@@ -1,0 +1,120 @@
+// Experiment C1/D2 (Section 5.1): atinstant on a moving region is
+// O(log n + r) — binary search over the unit array plus linear unit
+// evaluation — or O(log n + r log r) when the full halfsegment-ordered
+// region structure must be produced.
+//
+// Series:
+//   BM_FindUnit_Binary/n      — the O(log n) unit lookup (Section 4.3).
+//   BM_FindUnit_Linear/n      — baseline linear scan (ablation D2).
+//   BM_AtInstant_Snapshot/r   — evaluation only, O(r) ("for display").
+//   BM_AtInstant_FullRegion/r — evaluation + close, O(r log r).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "gen/region_gen.h"
+#include "spatial/region_builder.h"
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+// A long-lived moving region with `n` units (small fixed shape). The
+// zig-zag drift keeps consecutive unit functions distinct so the mapping
+// really has n units (constant drift would merge them all).
+MovingRegion MakeManyUnits(int n) {
+  std::mt19937_64 rng(42);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 4;
+  opts.shape.jitter = 0;
+  opts.shape.radius = 5;
+  opts.shape.center = Point(0, 0);
+  opts.num_units = n;
+  opts.unit_duration = 1;
+  opts.drift = Point(3, 0);
+  opts.drift_alternation = Point(0, 1);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  return mr;
+}
+
+// One unit whose snapshot has `r` segments.
+URegion MakeBigUnit(int r) {
+  std::mt19937_64 rng(7);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = r;
+  opts.shape.jitter = 0.2;
+  opts.shape.radius = 100;
+  opts.shape.center = Point(0, 0);
+  opts.num_units = 1;
+  opts.unit_duration = 10;
+  opts.drift = Point(20, 10);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  return mr.unit(0);
+}
+
+void BM_FindUnit_Binary(benchmark::State& state) {
+  MovingRegion mr = MakeManyUnits(int(state.range(0)));
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> t(0, double(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mr.FindUnit(t(rng)));
+  }
+  state.counters["units"] = double(mr.NumUnits());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FindUnit_Binary)->RangeMultiplier(4)->Range(16, 16384)
+    ->Complexity(benchmark::oLogN);
+
+void BM_FindUnit_Linear(benchmark::State& state) {
+  MovingRegion mr = MakeManyUnits(int(state.range(0)));
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> t(0, double(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mr.FindUnitLinear(t(rng)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FindUnit_Linear)->RangeMultiplier(4)->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_AtInstant_Snapshot(benchmark::State& state) {
+  URegion u = MakeBigUnit(int(state.range(0)));
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> t(0.1, 9.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u.Snapshot(t(rng)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AtInstant_Snapshot)->RangeMultiplier(2)->Range(16, 1024)
+    ->Complexity(benchmark::oN);
+
+void BM_AtInstant_FullRegion(benchmark::State& state) {
+  URegion u = MakeBigUnit(int(state.range(0)));
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> t(0.1, 9.9);
+  for (auto _ : state) {
+    Region r = u.ValueAt(t(rng));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AtInstant_FullRegion)->RangeMultiplier(2)->Range(16, 1024)
+    ->Complexity(benchmark::oNLogN);
+
+// End-to-end atinstant: lookup + full region, the paper's composite
+// O(log n + r log r).
+void BM_AtInstant_EndToEnd(benchmark::State& state) {
+  MovingRegion mr = MakeManyUnits(int(state.range(0)));
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> t(0, double(state.range(0)));
+  for (auto _ : state) {
+    auto v = mr.AtInstant(t(rng));
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_AtInstant_EndToEnd)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,63 @@
+// Extension benchmarks: linearization of higher-order motion into the
+// sliced representation (Figure 5's refinement idea) and unit-list
+// compression by trajectory simplification.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ext/quadratic_motion.h"
+#include "ext/simplify.h"
+#include "gen/trajectory_gen.h"
+
+namespace modb {
+namespace {
+
+void BM_Linearize_Quadratic(benchmark::State& state) {
+  QuadraticMotion q =
+      QuadraticMotion::Ballistic(Point(0, 0), Point(100, 200), Point(0, -9.81));
+  double tol = 1.0 / double(state.range(0));
+  auto iv = *TimeInterval::Make(0, 40, true, true);
+  std::size_t units = 0;
+  for (auto _ : state) {
+    auto mp = Linearize(q, iv, tol);
+    units = mp->NumUnits();
+    benchmark::DoNotOptimize(mp);
+  }
+  state.counters["units"] = double(units);
+}
+BENCHMARK(BM_Linearize_Quadratic)->RangeMultiplier(4)->Range(1, 4096);
+
+void BM_LinearizePath_Sine(benchmark::State& state) {
+  auto wave = [](Instant t) { return Point(t, 50 * std::sin(t / 5)); };
+  double tol = 10.0 / double(state.range(0));
+  auto iv = *TimeInterval::Make(0, 100, true, true);
+  std::size_t units = 0;
+  for (auto _ : state) {
+    auto mp = LinearizePath(wave, iv, tol);
+    units = mp->NumUnits();
+    benchmark::DoNotOptimize(mp);
+  }
+  state.counters["units"] = double(units);
+}
+BENCHMARK(BM_LinearizePath_Sine)->RangeMultiplier(4)->Range(1, 1024);
+
+void BM_Simplify(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  TrajectoryOptions opts;
+  opts.num_units = int(state.range(0));
+  opts.max_step = 10;
+  MovingPoint mp = *RandomWalkPoint(rng, opts);
+  std::size_t units = 0;
+  for (auto _ : state) {
+    auto simple = SimplifyTrajectory(mp, 5.0);
+    units = simple->NumUnits();
+    benchmark::DoNotOptimize(simple);
+  }
+  state.counters["units_out"] = double(units);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Simplify)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,103 @@
+// Experiment C2/D4 (Section 5.2): inside(mpoint, mregion) runs in
+// O(n + m + S) — n, m unit counts, S total moving segments — and in
+// O(n + m) when the per-pair bounding cubes never intersect.
+//
+// Series:
+//   BM_Inside_Units/n      — sweep the number of units (S fixed/unit).
+//   BM_Inside_MSegs/S      — sweep the moving-segment count per unit.
+//   BM_Inside_FarApart/n   — disjoint bounding boxes: the O(n+m) path.
+//   BM_Inside_NoBBox/n     — ablation: bounding-box filter disabled.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "gen/region_gen.h"
+#include "gen/trajectory_gen.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+MovingRegion MakeRegion(int units, int msegs, Point origin) {
+  std::mt19937_64 rng(11);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = msegs;
+  opts.shape.jitter = 0.1;
+  opts.shape.radius = 50;
+  opts.shape.center = origin;
+  opts.num_units = units;
+  opts.unit_duration = 4;
+  opts.drift = Point(5, 2);
+  opts.drift_alternation = Point(1, 2);
+  return *GenerateMovingRegion(rng, opts);
+}
+
+MovingPoint MakePoint(int units, double extent, Instant t0 = 0) {
+  std::mt19937_64 rng(13);
+  TrajectoryOptions opts;
+  opts.num_units = units;
+  opts.start_time = t0;
+  opts.unit_duration = 4.0 * 8 / units;  // Align with the region deftime.
+  opts.extent = extent;
+  opts.max_step = extent / 10;
+  return *RandomWalkPoint(rng, opts);
+}
+
+void BM_Inside_Units(benchmark::State& state) {
+  int n = int(state.range(0));
+  MovingRegion mr = MakeRegion(8, 12, Point(60, 60));
+  MovingPoint mp = MakePoint(n, 160);
+  for (auto _ : state) {
+    auto r = Inside(mp, mr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Inside_Units)->RangeMultiplier(2)->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_Inside_MSegs(benchmark::State& state) {
+  int msegs = int(state.range(0));
+  MovingRegion mr = MakeRegion(4, msegs, Point(60, 60));
+  MovingPoint mp = MakePoint(32, 160);
+  for (auto _ : state) {
+    auto r = Inside(mp, mr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(msegs);
+}
+BENCHMARK(BM_Inside_MSegs)->RangeMultiplier(2)->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_Inside_FarApart(benchmark::State& state) {
+  int n = int(state.range(0));
+  // The point walks a region of the plane 100000 units away: every
+  // bounding-box test fails, so no crossing computation happens.
+  MovingRegion mr = MakeRegion(8, 64, Point(100000, 100000));
+  MovingPoint mp = MakePoint(n, 160);
+  for (auto _ : state) {
+    auto r = Inside(mp, mr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Inside_FarApart)->RangeMultiplier(2)->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_Inside_FarApart_NoBBox(benchmark::State& state) {
+  int n = int(state.range(0));
+  MovingRegion mr = MakeRegion(8, 64, Point(100000, 100000));
+  MovingPoint mp = MakePoint(n, 160);
+  InsideOptions options;
+  options.use_bounding_boxes = false;
+  for (auto _ : state) {
+    auto r = Inside(mp, mr, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Inside_FarApart_NoBBox)->RangeMultiplier(2)->Range(8, 512);
+
+}  // namespace
+}  // namespace modb

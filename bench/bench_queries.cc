@@ -1,0 +1,107 @@
+// Experiments Q1/Q2 (Section 2): the two example queries on the planes
+// relation, plus the D4 ablation (unit bounding cubes + R-tree for the
+// spatio-temporal join).
+
+#include <benchmark/benchmark.h>
+
+#include "db/query.h"
+#include "gen/flights_gen.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+Relation Planes(int flights) {
+  FlightsOptions opts;
+  opts.num_airports = 12;
+  opts.num_flights = flights;
+  opts.extent = 10000;
+  opts.units_per_flight = 8;
+  opts.speed = 800;
+  opts.departure_window = 24;
+  opts.seed = 99;
+  return *GeneratePlanes(opts);
+}
+
+// Q1: SELECT … WHERE airline = "Lufthansa" AND
+//     length(trajectory(flight)) > 5000.
+void BM_Q1_TrajectoryLength(benchmark::State& state) {
+  Relation planes = Planes(int(state.range(0)));
+  for (auto _ : state) {
+    Relation r = Select(planes, [](const Tuple& t) {
+      return std::get<StringValue>(t[kFlightAttrAirline]).value() ==
+                 "Lufthansa" &&
+             Trajectory(std::get<MovingPoint>(t[kFlightAttrFlight]))
+                     .Length() > 5000;
+    });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Q1_TrajectoryLength)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity(benchmark::oN);
+
+bool ClosePred(const Tuple& a, std::size_t i, const Tuple& b, std::size_t j,
+               double dist) {
+  if (i >= j) return false;
+  auto d = LiftedDistance(std::get<MovingPoint>(a[kFlightAttrFlight]),
+                          std::get<MovingPoint>(b[kFlightAttrFlight]));
+  if (!d.ok() || d->IsEmpty()) return false;
+  auto am = AtMin(*d);
+  return am.ok() && !am->IsEmpty() && am->Initial().val() < dist;
+}
+
+// Q2: the spatio-temporal join via
+//     val(initial(atmin(distance(p, q)))) < 50.
+void BM_Q2_Join_NestedLoop(benchmark::State& state) {
+  Relation planes = Planes(int(state.range(0)));
+  for (auto _ : state) {
+    Relation r = NestedLoopJoin(
+        planes, planes,
+        [](const Tuple& a, std::size_t i, const Tuple& b, std::size_t j) {
+          return ClosePred(a, i, b, j, 50);
+        });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Q2_Join_NestedLoop)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity(benchmark::oNSquared);
+
+// D4 ablation: R-tree over unit bounding cubes prunes candidate pairs.
+void BM_Q2_Join_RTree(benchmark::State& state) {
+  Relation planes = Planes(int(state.range(0)));
+  for (auto _ : state) {
+    Relation r = IndexJoinOnMovingPoint(
+        planes, kFlightAttrFlight, planes, kFlightAttrFlight, 50,
+        [](const Tuple& a, std::size_t i, const Tuple& b, std::size_t j) {
+          return ClosePred(a, i, b, j, 50);
+        });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Q2_Join_RTree)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity();
+
+// The join predicate in isolation: distance + atmin + initial pipeline.
+void BM_Q2_PredicateOnly(benchmark::State& state) {
+  Relation planes = Planes(64);
+  for (auto _ : state) {
+    int hits = 0;
+    const auto& p = std::get<MovingPoint>(planes.tuple(0)[kFlightAttrFlight]);
+    for (std::size_t j = 1; j < planes.NumTuples(); ++j) {
+      const auto& q =
+          std::get<MovingPoint>(planes.tuple(j)[kFlightAttrFlight]);
+      auto d = LiftedDistance(p, q);
+      if (!d.ok() || d->IsEmpty()) continue;
+      auto am = AtMin(*d);
+      if (am.ok() && !am->IsEmpty() && am->Initial().val() < 50) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_Q2_PredicateOnly);
+
+}  // namespace
+}  // namespace modb

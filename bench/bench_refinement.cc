@@ -1,0 +1,72 @@
+// Experiment F8 (Figure 8): the refinement partition of two unit lists is
+// produced by a parallel scan in O(n + m).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "temporal/lifted_ops.h"
+#include "temporal/moving.h"
+#include "temporal/refinement.h"
+
+namespace modb {
+namespace {
+
+MovingBool RandomBoolMapping(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> gap(0.01, 0.5);
+  std::uniform_real_distribution<double> dur(0.1, 1.5);
+  MappingBuilder<UBool> b;
+  double t = gap(rng);
+  bool v = true;
+  for (int i = 0; i < n; ++i) {
+    double e = t + dur(rng);
+    (void)b.Append(*UBool::Make(*TimeInterval::Make(t, e, true, true), v));
+    v = !v;
+    t = e + gap(rng);
+  }
+  return *b.Build();
+}
+
+void BM_RefinementPartition(benchmark::State& state) {
+  int n = int(state.range(0));
+  MovingBool a = RandomBoolMapping(n, 1);
+  MovingBool b = RandomBoolMapping(n, 2);
+  for (auto _ : state) {
+    auto rp = RefinementPartition(a, b);
+    benchmark::DoNotOptimize(rp);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RefinementPartition)->RangeMultiplier(4)->Range(16, 65536)
+    ->Complexity(benchmark::oN);
+
+// Asymmetric sizes: still linear in n + m.
+void BM_RefinementAsymmetric(benchmark::State& state) {
+  MovingBool a = RandomBoolMapping(int(state.range(0)), 1);
+  MovingBool b = RandomBoolMapping(64, 2);
+  for (auto _ : state) {
+    auto rp = RefinementPartition(a, b);
+    benchmark::DoNotOptimize(rp);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RefinementAsymmetric)->RangeMultiplier(4)->Range(64, 65536)
+    ->Complexity(benchmark::oN);
+
+// Downstream consumer: lifted And over the partition (concat merging).
+void BM_LiftedAnd(benchmark::State& state) {
+  int n = int(state.range(0));
+  MovingBool a = RandomBoolMapping(n, 1);
+  MovingBool b = RandomBoolMapping(n, 2);
+  for (auto _ : state) {
+    auto r = And(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LiftedAnd)->RangeMultiplier(4)->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,113 @@
+// Experiment D1 (Section 4.1): the `close` operation — building the
+// cycle/face structure from a halfsegment soup. The pairwise validity
+// check dominates; the grid-accelerated strategy stays near-linear while
+// the naive all-pairs baseline grows quadratically (with the x-sorted
+// early exit softening it on thin data).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "spatial/region_builder.h"
+
+namespace modb {
+namespace {
+
+// Segment soup of `rings` square rings arranged in a grid (4 segments
+// each), all disjoint — a realistic multi-face region boundary.
+std::vector<Seg> RingSoup(int rings) {
+  std::vector<Seg> segs;
+  int per_row = std::max(1, int(std::sqrt(double(rings))));
+  for (int i = 0; i < rings; ++i) {
+    double x0 = (i % per_row) * 3.0;
+    double y0 = (i / per_row) * 3.0;
+    Point a(x0, y0), b(x0 + 2, y0), c(x0 + 2, y0 + 2), d(x0, y0 + 2);
+    segs.push_back(*Seg::Make(a, b));
+    segs.push_back(*Seg::Make(b, c));
+    segs.push_back(*Seg::Make(c, d));
+    segs.push_back(*Seg::Make(d, a));
+  }
+  return segs;
+}
+
+// One big jittered polygon with n vertices.
+std::vector<Seg> PolygonSoup(int n) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> jitter(-0.2, 0.2);
+  std::vector<Point> ring;
+  for (int i = 0; i < n; ++i) {
+    double angle = 2 * std::numbers::pi * i / n;
+    double r = 100 * (1 + jitter(rng));
+    ring.push_back(Point(r * std::cos(angle), r * std::sin(angle)));
+  }
+  std::vector<Seg> segs;
+  for (int i = 0; i < n; ++i) {
+    segs.push_back(*Seg::Make(ring[std::size_t(i)],
+                              ring[std::size_t((i + 1) % n)]));
+  }
+  return segs;
+}
+
+void BM_Close_Grid_ManyFaces(benchmark::State& state) {
+  std::vector<Seg> segs = RingSoup(int(state.range(0)));
+  for (auto _ : state) {
+    auto r = RegionBuilder::Close(segs, RegionBuilder::Validation::kGrid);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Close_Grid_ManyFaces)->RangeMultiplier(2)->Range(8, 512)
+    ->Complexity();
+
+void BM_Close_Naive_ManyFaces(benchmark::State& state) {
+  std::vector<Seg> segs = RingSoup(int(state.range(0)));
+  for (auto _ : state) {
+    auto r = RegionBuilder::Close(segs, RegionBuilder::Validation::kNaive);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Close_Naive_ManyFaces)->RangeMultiplier(2)->Range(8, 512)
+    ->Complexity();
+
+void BM_Close_Grid_OnePolygon(benchmark::State& state) {
+  std::vector<Seg> segs = PolygonSoup(int(state.range(0)));
+  for (auto _ : state) {
+    auto r = RegionBuilder::Close(segs, RegionBuilder::Validation::kGrid);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Close_Grid_OnePolygon)->RangeMultiplier(2)->Range(16, 1024)
+    ->Complexity();
+
+void BM_Close_Naive_OnePolygon(benchmark::State& state) {
+  std::vector<Seg> segs = PolygonSoup(int(state.range(0)));
+  for (auto _ : state) {
+    auto r = RegionBuilder::Close(segs, RegionBuilder::Validation::kNaive);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Close_Naive_OnePolygon)->RangeMultiplier(2)->Range(16, 1024)
+    ->Complexity();
+
+// The plumbline primitive used by inside (Section 5.2).
+void BM_Plumbline(benchmark::State& state) {
+  std::vector<Seg> segs = PolygonSoup(int(state.range(0)));
+  Region r = *RegionBuilder::Close(segs);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> pos(-120, 120);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.Contains(Point(pos(rng), pos(rng))));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Plumbline)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,108 @@
+// Spatial-algebra benchmarks: the overlay pipeline (boolean set
+// operations feeding the close operation), line canonicalization, and
+// the cross-type predicates — the non-temporal operations that temporal
+// lifting builds on.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "gen/region_gen.h"
+#include "spatial/overlay.h"
+#include "spatial/spatial_ops.h"
+
+namespace modb {
+namespace {
+
+Region Polygon(int n, Point center, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  RegionGenOptions opts;
+  opts.num_vertices = n;
+  opts.radius = 100;
+  opts.jitter = 0.2;
+  opts.center = center;
+  return *GenerateRegion(rng, opts);
+}
+
+void BM_Overlay_Union(benchmark::State& state) {
+  int n = int(state.range(0));
+  Region a = Polygon(n, Point(0, 0), 1);
+  Region b = Polygon(n, Point(60, 40), 2);
+  for (auto _ : state) {
+    auto u = Union(a, b);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Overlay_Union)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_Overlay_Intersection(benchmark::State& state) {
+  int n = int(state.range(0));
+  Region a = Polygon(n, Point(0, 0), 1);
+  Region b = Polygon(n, Point(60, 40), 2);
+  for (auto _ : state) {
+    auto u = Intersection(a, b);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Overlay_Intersection)->RangeMultiplier(2)->Range(8, 256)
+    ->Complexity();
+
+void BM_Overlay_Difference(benchmark::State& state) {
+  int n = int(state.range(0));
+  Region a = Polygon(n, Point(0, 0), 1);
+  Region b = Polygon(n, Point(60, 40), 2);
+  for (auto _ : state) {
+    auto u = Difference(a, b);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_Overlay_Difference)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_Line_Canonical(benchmark::State& state) {
+  // Segment soup with collinear chains to merge.
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> pos(0, 1000);
+  std::vector<Seg> segs;
+  for (int i = 0; i < int(state.range(0)); ++i) {
+    double x = pos(rng), y = pos(rng);
+    segs.push_back(*Seg::Make(Point(x, y), Point(x + 10, y)));
+    if (i % 3 == 0) {
+      segs.push_back(*Seg::Make(Point(x + 5, y), Point(x + 15, y)));
+    }
+  }
+  for (auto _ : state) {
+    Line l = Line::Canonical(segs);
+    benchmark::DoNotOptimize(l);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Line_Canonical)->RangeMultiplier(2)->Range(16, 512);
+
+void BM_Region_Contains(benchmark::State& state) {
+  Region r = Polygon(int(state.range(0)), Point(0, 0), 7);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> pos(-130, 130);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.Contains(Point(pos(rng), pos(rng))));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Region_Contains)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_Region_Distance(benchmark::State& state) {
+  Region a = Polygon(int(state.range(0)), Point(0, 0), 1);
+  Region b = Polygon(int(state.range(0)), Point(500, 0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpatialDistance(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Region_Distance)->RangeMultiplier(2)->Range(8, 256);
+
+}  // namespace
+}  // namespace modb

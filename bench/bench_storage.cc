@@ -1,0 +1,109 @@
+// Experiment S1/F7 (Section 4): flat attribute representations — root
+// record + database arrays, subarrays shared across the units of a
+// mapping, inline-vs-paged placement per [DG98]. Measures (de)serialization
+// throughput and reports representation sizes as counters.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "gen/region_gen.h"
+#include "gen/trajectory_gen.h"
+#include "storage/flat.h"
+
+namespace modb {
+namespace {
+
+MovingPoint MakeTrack(int units) {
+  std::mt19937_64 rng(17);
+  TrajectoryOptions opts;
+  opts.num_units = units;
+  return *RandomWalkPoint(rng, opts);
+}
+
+MovingRegion MakeStorm(int units) {
+  std::mt19937_64 rng(19);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 16;
+  opts.shape.radius = 40;
+  opts.num_units = units;
+  opts.unit_duration = 2;
+  opts.drift = Point(5, 5);
+  opts.drift_alternation = Point(2, 1);
+  return *GenerateMovingRegion(rng, opts);
+}
+
+void BM_Serialize_MovingPoint(benchmark::State& state) {
+  MovingPoint mp = MakeTrack(int(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    FlatValue f = ToFlat(mp);
+    std::string blob = SerializeFlat(f);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["blob_bytes"] = double(bytes);
+  state.counters["bytes_per_unit"] = double(bytes) / double(mp.NumUnits());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Serialize_MovingPoint)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_Deserialize_MovingPoint(benchmark::State& state) {
+  MovingPoint mp = MakeTrack(int(state.range(0)));
+  std::string blob = SerializeFlat(ToFlat(mp));
+  for (auto _ : state) {
+    auto back = MovingPointFromFlat(*ParseFlat(blob));
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Deserialize_MovingPoint)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_Serialize_MovingRegion(benchmark::State& state) {
+  MovingRegion mr = MakeStorm(int(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    FlatValue f = ToFlat(mr);
+    std::string blob = SerializeFlat(f);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["blob_bytes"] = double(bytes);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Serialize_MovingRegion)->RangeMultiplier(2)->Range(2, 32)
+    ->Complexity(benchmark::oN);
+
+void BM_Deserialize_MovingRegion(benchmark::State& state) {
+  MovingRegion mr = MakeStorm(int(state.range(0)));
+  std::string blob = SerializeFlat(ToFlat(mr));
+  for (auto _ : state) {
+    auto back = MovingRegionFromFlat(*ParseFlat(blob));
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_Deserialize_MovingRegion)->RangeMultiplier(2)->Range(2, 32);
+
+// [DG98] placement: tuple stays small, arrays page out past the
+// threshold.
+void BM_AttributeStore_PutGet(benchmark::State& state) {
+  MovingPoint mp = MakeTrack(int(state.range(0)));
+  FlatValue f = ToFlat(mp);
+  std::size_t tuple_bytes = 0, pages = 0;
+  for (auto _ : state) {
+    AttributeStore store(256);
+    std::string tuple = store.Put(f);
+    auto back = store.Get(tuple);
+    tuple_bytes = tuple.size();
+    pages = store.page_store().NumPages();
+    benchmark::DoNotOptimize(back);
+  }
+  state.counters["tuple_bytes"] = double(tuple_bytes);
+  state.counters["pages"] = double(pages);
+}
+BENCHMARK(BM_AttributeStore_PutGet)->RangeMultiplier(4)->Range(4, 4096);
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,173 @@
+// Experiment T2 (Table 2): the discrete type system, exercised end to
+// end. For every type of the catalog: construct a representative value,
+// run its flat round trip, and report the representation size as
+// counters. The benchmark names double as the implemented-type inventory:
+//   int real string bool | point points line region | instant range |
+//   const(int/string/bool) ureal upoint upoints uline uregion | mapping.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "gen/region_gen.h"
+#include "gen/trajectory_gen.h"
+#include "storage/flat.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e) {
+  return *TimeInterval::Make(s, e, true, true);
+}
+
+template <typename T, typename ToFn, typename FromFn>
+void RoundTrip(benchmark::State& state, const T& value, ToFn to, FromFn from) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto flat = to(value);
+    bytes = flat.TotalBytes();
+    auto back = from(flat);
+    benchmark::DoNotOptimize(back);
+  }
+  state.counters["flat_bytes"] = double(bytes);
+}
+
+void BM_Type_Int(benchmark::State& state) {
+  RoundTrip(state, IntValue(42), [](const IntValue& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return IntFromFlat(f); });
+}
+BENCHMARK(BM_Type_Int);
+
+void BM_Type_Real(benchmark::State& state) {
+  RoundTrip(state, RealValue(3.14),
+            [](const RealValue& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return RealFromFlat(f); });
+}
+BENCHMARK(BM_Type_Real);
+
+void BM_Type_Bool(benchmark::State& state) {
+  RoundTrip(state, BoolValue(true),
+            [](const BoolValue& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return BoolFromFlat(f); });
+}
+BENCHMARK(BM_Type_Bool);
+
+void BM_Type_String(benchmark::State& state) {
+  RoundTrip(state, StringValue(std::string("Lufthansa")),
+            [](const StringValue& v) { return *ToFlat(v); },
+            [](const FlatValue& f) { return StringFromFlat(f); });
+}
+BENCHMARK(BM_Type_String);
+
+void BM_Type_Point(benchmark::State& state) {
+  RoundTrip(state, Point(1, 2), [](const Point& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return PointFromFlat(f); });
+}
+BENCHMARK(BM_Type_Point);
+
+void BM_Type_Points(benchmark::State& state) {
+  Points ps = Points::FromVector({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  RoundTrip(state, ps, [](const Points& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return PointsFromFlat(f); });
+}
+BENCHMARK(BM_Type_Points);
+
+void BM_Type_Line(benchmark::State& state) {
+  Line l = *Line::Make({*Seg::Make(Point(0, 0), Point(1, 1)),
+                        *Seg::Make(Point(2, 0), Point(3, 1)),
+                        *Seg::Make(Point(4, 0), Point(5, 1))});
+  RoundTrip(state, l, [](const Line& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return LineFromFlat(f); });
+}
+BENCHMARK(BM_Type_Line);
+
+void BM_Type_Region(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  RegionGenOptions opts;
+  opts.num_vertices = 16;
+  opts.with_hole = true;
+  Region r = *GenerateRegion(rng, opts);
+  RoundTrip(state, r, [](const Region& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return RegionFromFlat(f); });
+}
+BENCHMARK(BM_Type_Region);
+
+void BM_Type_RangeInstant(benchmark::State& state) {
+  Periods p = Periods::FromIntervals({TI(0, 1), TI(2, 3), TI(5, 9)});
+  RoundTrip(state, p, [](const Periods& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return PeriodsFromFlat(f); });
+}
+BENCHMARK(BM_Type_RangeInstant);
+
+void BM_Type_MappingConstBool(benchmark::State& state) {
+  MovingBool m = *MovingBool::Make(
+      {*UBool::Make(*TimeInterval::Make(0, 1, true, false), true),
+       *UBool::Make(TI(1, 2), false)});
+  RoundTrip(state, m, [](const MovingBool& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return MovingBoolFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingConstBool);
+
+void BM_Type_MappingConstInt(benchmark::State& state) {
+  MovingInt m = *MovingInt::Make({*UInt::Make(TI(0, 5), 7)});
+  RoundTrip(state, m, [](const MovingInt& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return MovingIntFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingConstInt);
+
+void BM_Type_MappingConstString(benchmark::State& state) {
+  MovingString m = *MovingString::Make({*UString::Make(TI(0, 5), "cruise")});
+  RoundTrip(state, m, [](const MovingString& v) { return *ToFlat(v); },
+            [](const FlatValue& f) { return MovingStringFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingConstString);
+
+void BM_Type_MappingUReal(benchmark::State& state) {
+  MovingReal m = *MovingReal::Make({*UReal::Make(TI(0, 5), 1, 2, 3, true)});
+  RoundTrip(state, m, [](const MovingReal& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return MovingRealFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingUReal);
+
+void BM_Type_MappingUPoint(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  TrajectoryOptions opts;
+  opts.num_units = 16;
+  MovingPoint m = *RandomWalkPoint(rng, opts);
+  RoundTrip(state, m, [](const MovingPoint& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return MovingPointFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingUPoint);
+
+void BM_Type_MappingUPoints(benchmark::State& state) {
+  MovingPoints m = *MovingPoints::Make({*UPoints::Make(
+      TI(0, 5), {LinearMotion{0, 1, 0, 0}, LinearMotion{5, 0, 5, 0}})});
+  RoundTrip(state, m, [](const MovingPoints& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return MovingPointsFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingUPoints);
+
+void BM_Type_MappingULine(benchmark::State& state) {
+  MSeg ms = *MSeg::FromEndSegments(0, *Seg::Make(Point(0, 0), Point(1, 0)),
+                                   5, *Seg::Make(Point(2, 2), Point(3, 2)));
+  MovingLine m = *MovingLine::Make({*ULine::Make(TI(0, 5), {ms})});
+  RoundTrip(state, m, [](const MovingLine& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return MovingLineFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingULine);
+
+void BM_Type_MappingURegion(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 8;
+  opts.num_units = 2;
+  opts.drift = Point(5, 5);
+  opts.drift_alternation = Point(1, 1);
+  MovingRegion m = *GenerateMovingRegion(rng, opts);
+  RoundTrip(state, m, [](const MovingRegion& v) { return ToFlat(v); },
+            [](const FlatValue& f) { return MovingRegionFromFlat(f); });
+}
+BENCHMARK(BM_Type_MappingURegion);
+
+}  // namespace
+}  // namespace modb

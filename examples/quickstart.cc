@@ -1,0 +1,62 @@
+// Quickstart: the sliced representation in action (Figure 1).
+//
+// Builds a moving point and a moving real from slices, inspects them with
+// the temporal operations, and round-trips the value through the flat
+// storage layer.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "storage/flat.h"
+#include "temporal/lifted_ops.h"
+#include "temporal/moving.h"
+
+using namespace modb;  // Example code; the library itself never does this.
+
+int main() {
+  // --- a moving point: three slices of linear motion --------------------
+  // A delivery scooter: depot → customer → waiting → back.
+  MappingBuilder<UPoint> builder;
+  auto slice = [&](double t0, double t1, Point from, Point to, bool last) {
+    auto iv = *TimeInterval::Make(t0, t1, true, last);
+    (void)builder.Append(*UPoint::FromEndpoints(iv, from, to));
+  };
+  slice(0, 10, Point(0, 0), Point(40, 30), false);   // Out: speed 5.
+  slice(10, 15, Point(40, 30), Point(40, 30), false);  // Wait at customer.
+  slice(15, 25, Point(40, 30), Point(0, 0), true);   // Return.
+  MovingPoint scooter = *builder.Build();
+
+  std::printf("scooter: %zu units covering %.1f time units\n",
+              scooter.NumUnits(), scooter.TotalDuration());
+
+  // --- atinstant / deftime / trajectory ---------------------------------
+  Intime<Point> at7 = scooter.AtInstant(7);
+  std::printf("position at t=7:    %s\n", at7.val().ToString().c_str());
+  std::printf("deftime:            %s\n", scooter.DefTime().ToString().c_str());
+  Line path = Trajectory(scooter);
+  std::printf("trajectory length:  %.1f (out + back)\n", path.Length());
+
+  // --- lifted operations: a moving real from a distance -----------------
+  MovingReal dist = *LiftedDistance(scooter, Point(0, 0));
+  std::printf("distance from depot at t=7:  %.2f\n", dist.AtInstant(7).val());
+  std::printf("max distance from depot:     %.2f\n", *MaxValue(dist));
+
+  MovingBool far = *Compare(dist, 25.0, CmpOp::kGt);
+  Periods when_far = WhenTrue(far);
+  std::printf("away more than 25 units during %s\n",
+              when_far.ToString().c_str());
+
+  // --- speed is a moving real too ----------------------------------------
+  MovingReal speed = *Speed(scooter);
+  std::printf("speed at t=5: %.1f   at t=12: %.1f\n",
+              speed.AtInstant(5).val(), speed.AtInstant(12).val());
+
+  // --- flat storage round trip (Section 4) -------------------------------
+  AttributeStore store;
+  std::string tuple = store.Put(ToFlat(scooter));
+  MovingPoint back = *MovingPointFromFlat(*store.Get(tuple));
+  std::printf("storage round trip: %zu units, tuple %zu bytes, %zu pages\n",
+              back.NumUnits(), tuple.size(), store.page_store().NumPages());
+  return 0;
+}

@@ -1,0 +1,9 @@
+#include "core/base_types.h"
+
+namespace modb {
+
+bool FitsFlatString(const std::string& s) {
+  return s.size() <= kMaxStringLength;
+}
+
+}  // namespace modb

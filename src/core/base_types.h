@@ -1,0 +1,86 @@
+// The BASE kind of the discrete model (Section 3.2.1).
+//
+// Carrier sets are D_int = int ∪ {⊥}, D_real = real ∪ {⊥},
+// D_string = string ∪ {⊥}, D_bool = bool ∪ {⊥}: ordinary programming
+// language types extended with an explicit undefined value. BaseValue<T>
+// models exactly that extension.
+
+#ifndef MODB_CORE_BASE_TYPES_H_
+#define MODB_CORE_BASE_TYPES_H_
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace modb {
+
+/// A value of a base type: either a defined T or the undefined value ⊥.
+///
+/// Comparison semantics: undefined values compare equal to each other and
+/// less than every defined value, giving the total order needed by
+/// range(α) and by the canonical set representations of Section 4.
+template <typename T>
+class BaseValue {
+ public:
+  /// Constructs the undefined value ⊥.
+  BaseValue() : defined_(false), value_() {}
+  /// Constructs a defined value.
+  BaseValue(T value) : defined_(true), value_(std::move(value)) {}  // NOLINT
+
+  static BaseValue Undefined() { return BaseValue(); }
+
+  bool defined() const { return defined_; }
+
+  /// Requires defined().
+  const T& value() const {
+    assert(defined_);
+    return value_;
+  }
+
+  /// Returns the contained value, or `fallback` when undefined.
+  T value_or(T fallback) const { return defined_ ? value_ : fallback; }
+
+  friend bool operator==(const BaseValue& a, const BaseValue& b) {
+    if (a.defined_ != b.defined_) return false;
+    return !a.defined_ || a.value_ == b.value_;
+  }
+
+  friend bool operator<(const BaseValue& a, const BaseValue& b) {
+    if (a.defined_ != b.defined_) return !a.defined_;
+    return a.defined_ && a.value_ < b.value_;
+  }
+
+ private:
+  bool defined_;
+  T value_;
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const BaseValue<T>& v) {
+  if (!v.defined()) return os << "undefined";
+  return os << v.value();
+}
+
+/// D_int: 64-bit integers plus ⊥.
+using IntValue = BaseValue<int64_t>;
+/// D_real: doubles plus ⊥.
+using RealValue = BaseValue<double>;
+/// D_bool: booleans plus ⊥.
+using BoolValue = BaseValue<bool>;
+/// D_string: strings plus ⊥. The flat storage layer (Section 4.1 footnote:
+/// "fixed length array of characters") caps strings at kMaxStringLength.
+using StringValue = BaseValue<std::string>;
+
+/// Maximum string length accepted by the flat attribute representation,
+/// mirroring SECONDO's fixed-length string attribute.
+inline constexpr std::size_t kMaxStringLength = 48;
+
+/// True iff `s` fits the flat fixed-length string representation.
+bool FitsFlatString(const std::string& s);
+
+}  // namespace modb
+
+#endif  // MODB_CORE_BASE_TYPES_H_

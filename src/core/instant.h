@@ -1,0 +1,18 @@
+// The TIME kind of the discrete model (Table 2): type `instant`.
+//
+// The paper defines Instant = real (Section 3.2.1); we use double. The
+// undefined value required by the abstract model is provided by wrapping
+// in BaseValue<Instant> (core/base_types.h) where needed; the raw Instant
+// is used inside intervals and units, which never hold undefined instants.
+
+#ifndef MODB_CORE_INSTANT_H_
+#define MODB_CORE_INSTANT_H_
+
+namespace modb {
+
+/// A point on the (continuous, totally ordered) time axis.
+using Instant = double;
+
+}  // namespace modb
+
+#endif  // MODB_CORE_INSTANT_H_

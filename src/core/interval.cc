@@ -1,0 +1,11 @@
+#include "core/interval.h"
+
+namespace modb {
+
+// Interval<T> is header-only; explicit instantiations of the most common
+// carriers keep the template code compiled (and warnings surfaced) even in
+// translation units that never use them.
+template class Interval<Instant>;
+template class Interval<int64_t>;
+
+}  // namespace modb

@@ -1,0 +1,203 @@
+// Interval(S) of Section 3.2.3: half-open/closed intervals over a totally
+// ordered carrier set, represented as (s, e, lc, rc).
+//
+// The paper's predicates r-disjoint / disjoint / r-adjacent / adjacent are
+// implemented verbatim, including the discrete-domain clause of r-adjacent
+// ("¬∃ w ∈ S : e_u < w < s_v"), which is decidable here for integral S.
+
+#ifndef MODB_CORE_INTERVAL_H_
+#define MODB_CORE_INTERVAL_H_
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+#include "core/instant.h"
+#include "core/status.h"
+
+namespace modb {
+
+/// An interval (s, e, lc, rc) over the ordered domain T.
+///
+/// Invariants (enforced by Make): s <= e, and s == e implies lc && rc
+/// (a degenerate interval is a single closed point).
+template <typename T>
+class Interval {
+ public:
+  /// Validating factory.
+  static Result<Interval> Make(T s, T e, bool lc, bool rc) {
+    if (e < s) {
+      return Status::InvalidArgument("interval end precedes start");
+    }
+    if (s == e && !(lc && rc)) {
+      return Status::InvalidArgument(
+          "degenerate interval must be closed on both sides");
+    }
+    return Interval(s, e, lc, rc);
+  }
+
+  /// Convenience factory for a closed interval [s, e]; requires s <= e.
+  static Result<Interval> Closed(T s, T e) { return Make(s, e, true, true); }
+
+  /// Convenience factory for the degenerate interval [v, v].
+  static Interval At(T v) { return Interval(v, v, true, true); }
+
+  const T& start() const { return start_; }
+  const T& end() const { return end_; }
+  bool left_closed() const { return left_closed_; }
+  bool right_closed() const { return right_closed_; }
+
+  bool IsDegenerate() const { return start_ == end_; }
+
+  /// σ((s,e,lc,rc)) ∋ v — membership in the interval.
+  bool Contains(const T& v) const {
+    if (v < start_ || end_ < v) return false;
+    if (v == start_ && !left_closed_) return false;
+    if (v == end_ && !right_closed_) return false;
+    return true;
+  }
+
+  /// σ'(i) ∋ v — membership in the open part of the interval.
+  bool ContainsOpen(const T& v) const { return start_ < v && v < end_; }
+
+  /// True iff this interval's point set is a subset of `other`'s.
+  bool IsContainedIn(const Interval& other) const {
+    if (start_ < other.start_) return false;
+    if (start_ == other.start_ && left_closed_ && !other.left_closed_) {
+      return false;
+    }
+    if (other.end_ < end_) return false;
+    if (end_ == other.end_ && right_closed_ && !other.right_closed_) {
+      return false;
+    }
+    return true;
+  }
+
+  /// r-disjoint(u, v) of the paper: u entirely before v.
+  static bool RDisjoint(const Interval& u, const Interval& v) {
+    return u.end_ < v.start_ ||
+           (u.end_ == v.start_ && !(u.right_closed_ && v.left_closed_));
+  }
+
+  /// disjoint(u, v): no common point.
+  static bool Disjoint(const Interval& u, const Interval& v) {
+    return RDisjoint(u, v) || RDisjoint(v, u);
+  }
+
+  /// r-adjacent(u, v): disjoint and u immediately precedes v.
+  static bool RAdjacent(const Interval& u, const Interval& v) {
+    if (!Disjoint(u, v)) return false;
+    if (u.end_ == v.start_ && (u.right_closed_ || v.left_closed_)) return true;
+    // Discrete-domain clause: closed gap [e_u, s_v] with no domain value
+    // strictly between. Only decidable (and only non-empty) for integral T.
+    if constexpr (std::is_integral_v<T>) {
+      if (u.end_ < v.start_ && u.right_closed_ && v.left_closed_ &&
+          u.end_ + 1 == v.start_) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// adjacent(u, v): r-adjacent in either order.
+  static bool Adjacent(const Interval& u, const Interval& v) {
+    return RAdjacent(u, v) || RAdjacent(v, u);
+  }
+
+  /// Intersection of point sets; nullopt when disjoint.
+  static std::optional<Interval> Intersect(const Interval& u,
+                                           const Interval& v) {
+    T s = std::max(u.start_, v.start_);
+    T e = std::min(u.end_, v.end_);
+    if (e < s) return std::nullopt;
+    bool lc = (u.start_ == s ? u.left_closed_ : true) &&
+              (v.start_ == s ? v.left_closed_ : true);
+    bool rc = (u.end_ == e ? u.right_closed_ : true) &&
+              (v.end_ == e ? v.right_closed_ : true);
+    if (s == e && !(lc && rc)) return std::nullopt;
+    return Interval(s, e, lc, rc);
+  }
+
+  /// Union of two intervals whose point sets overlap or are adjacent.
+  /// Precondition: !Disjoint(u,v) || Adjacent(u,v).
+  static Interval Merge(const Interval& u, const Interval& v) {
+    T s;
+    bool lc;
+    if (u.start_ < v.start_) {
+      s = u.start_;
+      lc = u.left_closed_;
+    } else if (v.start_ < u.start_) {
+      s = v.start_;
+      lc = v.left_closed_;
+    } else {
+      s = u.start_;
+      lc = u.left_closed_ || v.left_closed_;
+    }
+    T e;
+    bool rc;
+    if (u.end_ > v.end_) {
+      e = u.end_;
+      rc = u.right_closed_;
+    } else if (v.end_ > u.end_) {
+      e = v.end_;
+      rc = v.right_closed_;
+    } else {
+      e = u.end_;
+      rc = u.right_closed_ || v.right_closed_;
+    }
+    return Interval(s, e, lc, rc);
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.start_ == b.start_ && a.end_ == b.end_ &&
+           a.left_closed_ == b.left_closed_ &&
+           a.right_closed_ == b.right_closed_;
+  }
+
+  /// Order by start point (then left-closedness, end, right-closedness).
+  /// Total order on the canonical (pairwise disjoint) interval sets used
+  /// throughout the library.
+  friend bool operator<(const Interval& a, const Interval& b) {
+    if (a.start_ != b.start_) return a.start_ < b.start_;
+    if (a.left_closed_ != b.left_closed_) return a.left_closed_;
+    if (a.end_ != b.end_) return a.end_ < b.end_;
+    return b.right_closed_ && !a.right_closed_;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << (left_closed_ ? '[' : '(') << start_ << ", " << end_
+       << (right_closed_ ? ']' : ')');
+    return os.str();
+  }
+
+ private:
+  Interval(T s, T e, bool lc, bool rc)
+      : start_(std::move(s)),
+        end_(std::move(e)),
+        left_closed_(lc),
+        right_closed_(rc) {}
+
+  T start_;
+  T end_;
+  bool left_closed_;
+  bool right_closed_;
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Interval<T>& i) {
+  return os << i.ToString();
+}
+
+/// The unit-interval type used by all temporal units (Section 3.2.4).
+using TimeInterval = Interval<Instant>;
+
+/// Duration of a time interval.
+inline double Duration(const TimeInterval& i) { return i.end() - i.start(); }
+
+}  // namespace modb
+
+#endif  // MODB_CORE_INTERVAL_H_

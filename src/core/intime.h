@@ -1,0 +1,34 @@
+// intime(α) of Sections 2/3.2.3: a pair of a time instant and a value,
+// e.g. the result of the initial/final/atinstant operations.
+
+#ifndef MODB_CORE_INTIME_H_
+#define MODB_CORE_INTIME_H_
+
+#include <utility>
+
+#include "core/instant.h"
+
+namespace modb {
+
+/// A value of type intime(α): (instant, value). The `defined` flag models
+/// the undefined result of projecting an empty moving value.
+template <typename T>
+struct Intime {
+  Instant instant = 0;
+  T value{};
+  bool defined = false;
+
+  Intime() = default;
+  Intime(Instant t, T v) : instant(t), value(std::move(v)), defined(true) {}
+
+  static Intime Undefined() { return Intime(); }
+
+  /// The `val` operation of Section 2 (projection onto the value).
+  const T& val() const { return value; }
+  /// The `inst` operation (projection onto the instant).
+  Instant inst() const { return instant; }
+};
+
+}  // namespace modb
+
+#endif  // MODB_CORE_INTIME_H_

@@ -1,0 +1,171 @@
+// range(α) of Section 3.2.3: finite sets of pairwise disjoint,
+// non-adjacent intervals over an ordered domain, in canonical (unique and
+// minimal) representation.
+//
+// The data structure follows Section 4.1: an ordered array of interval
+// records. Canonicalization merges overlapping/adjacent inputs so that the
+// IntervalSet conditions hold by construction.
+
+#ifndef MODB_CORE_RANGE_SET_H_
+#define MODB_CORE_RANGE_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/instant.h"
+#include "core/interval.h"
+
+namespace modb {
+
+/// A value of type range(α): canonical ordered set of disjoint,
+/// non-adjacent intervals.
+template <typename T>
+class RangeSet {
+ public:
+  /// The empty range value.
+  RangeSet() = default;
+
+  /// Builds a canonical range set from arbitrary intervals: overlapping or
+  /// adjacent inputs are merged. Never fails (canonicalization repairs all
+  /// violations of the IntervalSet conditions).
+  static RangeSet FromIntervals(std::vector<Interval<T>> intervals) {
+    std::sort(intervals.begin(), intervals.end());
+    std::vector<Interval<T>> merged;
+    for (const Interval<T>& iv : intervals) {
+      if (!merged.empty() && (!Interval<T>::Disjoint(merged.back(), iv) ||
+                              Interval<T>::Adjacent(merged.back(), iv))) {
+        merged.back() = Interval<T>::Merge(merged.back(), iv);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    return RangeSet(std::move(merged));
+  }
+
+  /// Single-interval range.
+  static RangeSet Of(const Interval<T>& iv) { return FromIntervals({iv}); }
+
+  bool IsEmpty() const { return intervals_.empty(); }
+  std::size_t NumIntervals() const { return intervals_.size(); }
+  const std::vector<Interval<T>>& intervals() const { return intervals_; }
+  const Interval<T>& interval(std::size_t i) const { return intervals_[i]; }
+
+  /// Membership test; O(log n).
+  bool Contains(const T& v) const {
+    auto it = std::upper_bound(
+        intervals_.begin(), intervals_.end(), v,
+        [](const T& val, const Interval<T>& iv) { return val < iv.start(); });
+    if (it == intervals_.begin()) return false;
+    return std::prev(it)->Contains(v);
+  }
+
+  /// True iff every point of `iv` is in this range set.
+  bool Covers(const Interval<T>& iv) const {
+    for (const Interval<T>& mine : intervals_) {
+      if (iv.IsContainedIn(mine)) return true;
+    }
+    return false;
+  }
+
+  /// Smallest value bound: the start of the first interval (undefined on
+  /// empty ranges — caller must check IsEmpty()).
+  const T& Minimum() const { return intervals_.front().start(); }
+  /// Largest value bound: the end of the last interval.
+  const T& Maximum() const { return intervals_.back().end(); }
+
+  /// Set union.
+  static RangeSet Union(const RangeSet& a, const RangeSet& b) {
+    std::vector<Interval<T>> all = a.intervals_;
+    all.insert(all.end(), b.intervals_.begin(), b.intervals_.end());
+    return FromIntervals(std::move(all));
+  }
+
+  /// Set intersection.
+  static RangeSet Intersection(const RangeSet& a, const RangeSet& b) {
+    std::vector<Interval<T>> out;
+    std::size_t i = 0, j = 0;
+    while (i < a.intervals_.size() && j < b.intervals_.size()) {
+      const Interval<T>& u = a.intervals_[i];
+      const Interval<T>& v = b.intervals_[j];
+      if (auto inter = Interval<T>::Intersect(u, v)) out.push_back(*inter);
+      // Advance the interval that ends first.
+      if (u.end() < v.end() || (u.end() == v.end() && !u.right_closed())) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return RangeSet(std::move(out));
+  }
+
+  /// Set difference a \ b.
+  static RangeSet Difference(const RangeSet& a, const RangeSet& b) {
+    std::vector<Interval<T>> out;
+    for (const Interval<T>& u : a.intervals_) {
+      // Carve b's intervals out of u.
+      T s = u.start();
+      bool lc = u.left_closed();
+      bool emitted_all = false;
+      for (const Interval<T>& v : b.intervals_) {
+        auto inter = Interval<T>::Intersect(u, v);
+        if (!inter) continue;
+        // Piece before the intersection: [s .. inter.start)
+        if (s < inter->start() || (s == inter->start() && lc &&
+                                   !inter->left_closed())) {
+          bool piece_rc = !inter->left_closed();
+          auto piece = Interval<T>::Make(s, inter->start(), lc, piece_rc);
+          if (piece.ok()) out.push_back(*piece);
+        }
+        // Continue after the intersection.
+        s = inter->end();
+        lc = !inter->right_closed();
+        if (inter->end() == u.end() &&
+            (inter->right_closed() || !u.right_closed())) {
+          emitted_all = true;
+          break;
+        }
+      }
+      if (!emitted_all) {
+        auto piece = Interval<T>::Make(s, u.end(), lc, u.right_closed());
+        if (piece.ok()) out.push_back(*piece);
+      }
+    }
+    return FromIntervals(std::move(out));
+  }
+
+  friend bool operator==(const RangeSet& a, const RangeSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < intervals_.size(); ++i) {
+      if (i) os << ", ";
+      os << intervals_[i].ToString();
+    }
+    os << "}";
+    return os.str();
+  }
+
+ private:
+  explicit RangeSet(std::vector<Interval<T>> sorted_disjoint)
+      : intervals_(std::move(sorted_disjoint)) {}
+
+  std::vector<Interval<T>> intervals_;
+};
+
+/// range(instant) — the set of time intervals a moving value is defined on
+/// (result of the deftime operation).
+using Periods = RangeSet<Instant>;
+/// range(real) / range(int) — used by rangevalues on moving reals/ints.
+using RealRange = RangeSet<double>;
+using IntRange = RangeSet<int64_t>;
+
+}  // namespace modb
+
+#endif  // MODB_CORE_RANGE_SET_H_

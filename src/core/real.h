@@ -1,0 +1,55 @@
+// Numeric policy for the MODB library.
+//
+// The paper's discrete model is defined over the programming-language type
+// `real`; we use IEEE double. All tolerance decisions are concentrated here
+// so that the epsilon policy is auditable in one place.
+
+#ifndef MODB_CORE_REAL_H_
+#define MODB_CORE_REAL_H_
+
+#include <cmath>
+#include <limits>
+
+namespace modb {
+
+/// Absolute tolerance used by geometric and temporal comparisons.
+/// Coordinates and instants in this library are expected to be "human
+/// scale" (|v| < 1e9), for which 1e-9 absolute tolerance is conservative.
+inline constexpr double kEpsilon = 1e-9;
+
+/// True iff |a - b| <= eps.
+inline bool ApproxEq(double a, double b, double eps = kEpsilon) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// True iff a < b - eps (strictly less under tolerance).
+inline bool DefinitelyLess(double a, double b, double eps = kEpsilon) {
+  return a < b - eps;
+}
+
+/// True iff a > b + eps (strictly greater under tolerance).
+inline bool DefinitelyGreater(double a, double b, double eps = kEpsilon) {
+  return a > b + eps;
+}
+
+/// True iff a <= b + eps.
+inline bool ApproxLe(double a, double b, double eps = kEpsilon) {
+  return a <= b + eps;
+}
+
+/// True iff a >= b - eps.
+inline bool ApproxGe(double a, double b, double eps = kEpsilon) {
+  return a >= b - eps;
+}
+
+/// Clamps values within eps of zero to exactly zero. Used to stabilize
+/// polynomial coefficients derived from differences of coordinates.
+inline double SnapZero(double v, double eps = kEpsilon) {
+  return std::fabs(v) <= eps ? 0.0 : v;
+}
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace modb
+
+#endif  // MODB_CORE_REAL_H_

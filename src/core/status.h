@@ -1,0 +1,124 @@
+// Status and Result<T>: exception-free error handling for the MODB library.
+//
+// The library follows the Google C++ style rule of not using exceptions.
+// Every fallible constructor is a static factory returning Result<T>, so
+// invariant-carrying types (Line, Region, Mapping, units) can never exist
+// in an invalid state.
+
+#ifndef MODB_CORE_STATUS_H_
+#define MODB_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace modb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success/error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Line> line = Line::Make(segments);
+///   if (!line.ok()) return line.status();
+///   Use(line.value());
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so factories can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace modb
+
+// Propagates a non-OK status from an expression producing a Status.
+#define MODB_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::modb::Status _modb_status = (expr);           \
+    if (!_modb_status.ok()) return _modb_status;    \
+  } while (0)
+
+#endif  // MODB_CORE_STATUS_H_

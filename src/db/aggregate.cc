@@ -1,0 +1,140 @@
+#include "db/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace modb {
+
+namespace {
+
+struct Accumulator {
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+
+  void Add(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    sum += v;
+    ++count;
+  }
+
+  Result<double> Finish(AggregateOp op) const {
+    switch (op) {
+      case AggregateOp::kCount:
+        return double(count);
+      case AggregateOp::kSum:
+        return sum;
+      case AggregateOp::kAvg:
+        if (count == 0) {
+          return Status::FailedPrecondition("avg over zero tuples");
+        }
+        return sum / double(count);
+      case AggregateOp::kMin:
+      case AggregateOp::kMax:
+        if (count == 0) {
+          return Status::FailedPrecondition("min/max over zero tuples");
+        }
+        return op == AggregateOp::kMin ? min : max;
+    }
+    return Status::Internal("unknown aggregate");
+  }
+};
+
+// Evaluates the expression to a double (with int coercion).
+Result<double> EvalNumeric(const Expr& expr, const Schema& schema,
+                           const Tuple& tuple) {
+  Result<AttributeValue> v = Eval(expr, schema, tuple);
+  if (!v.ok()) return v.status();
+  if (TypeOf(*v) == AttributeType::kReal) {
+    const RealValue& r = std::get<RealValue>(*v);
+    if (!r.defined()) return Status::FailedPrecondition("undefined real");
+    return r.value();
+  }
+  if (TypeOf(*v) == AttributeType::kInt) {
+    const IntValue& i = std::get<IntValue>(*v);
+    if (!i.defined()) return Status::FailedPrecondition("undefined int");
+    return double(i.value());
+  }
+  return Status::InvalidArgument("aggregate expression must be numeric");
+}
+
+Status CheckExpr(const Relation& rel, AggregateOp op, const ExprPtr& expr) {
+  if (op == AggregateOp::kCount) return Status::OK();
+  if (!expr) {
+    return Status::InvalidArgument("this aggregate needs an expression");
+  }
+  Result<AttributeType> t = InferType(*expr, rel.schema());
+  if (!t.ok()) return t.status();
+  if (*t != AttributeType::kReal && *t != AttributeType::kInt) {
+    return Status::InvalidArgument("aggregate expression must be numeric");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Aggregate(const Relation& rel, AggregateOp op,
+                         const ExprPtr& expr) {
+  MODB_RETURN_IF_ERROR(CheckExpr(rel, op, expr));
+  Accumulator acc;
+  for (const Tuple& t : rel.tuples()) {
+    if (op == AggregateOp::kCount) {
+      acc.Add(0);
+      continue;
+    }
+    Result<double> v = EvalNumeric(*expr, rel.schema(), t);
+    if (!v.ok()) return v.status();
+    acc.Add(*v);
+  }
+  return acc.Finish(op);
+}
+
+Result<Relation> GroupBy(const Relation& rel, const std::string& key_attr,
+                         AggregateOp op, const ExprPtr& expr) {
+  int key_idx = rel.schema().IndexOf(key_attr);
+  if (key_idx < 0) {
+    return Status::NotFound("no attribute named " + key_attr);
+  }
+  if (rel.schema().attribute(std::size_t(key_idx)).type !=
+      AttributeType::kString) {
+    return Status::InvalidArgument("group-by key must be a string attribute");
+  }
+  MODB_RETURN_IF_ERROR(CheckExpr(rel, op, expr));
+
+  std::vector<std::string> order;
+  std::map<std::string, Accumulator> groups;
+  for (const Tuple& t : rel.tuples()) {
+    const StringValue& key = std::get<StringValue>(t[std::size_t(key_idx)]);
+    if (!key.defined()) {
+      return Status::FailedPrecondition("undefined group-by key");
+    }
+    if (groups.find(key.value()) == groups.end()) order.push_back(key.value());
+    Accumulator& acc = groups[key.value()];
+    if (op == AggregateOp::kCount) {
+      acc.Add(0);
+    } else {
+      Result<double> v = EvalNumeric(*expr, rel.schema(), t);
+      if (!v.ok()) return v.status();
+      acc.Add(*v);
+    }
+  }
+
+  Relation out(rel.name() + "_grouped",
+               Schema({{key_attr, AttributeType::kString},
+                       {"value", AttributeType::kReal}}));
+  for (const std::string& key : order) {
+    Result<double> v = groups[key].Finish(op);
+    if (!v.ok()) return v.status();
+    MODB_RETURN_IF_ERROR(out.Insert({StringValue(key), RealValue(*v)}));
+  }
+  return out;
+}
+
+}  // namespace modb

@@ -1,0 +1,32 @@
+// Aggregation over relations: count/sum/avg/min/max of a real-valued
+// expression, and grouping by a string attribute — enough to phrase the
+// summary queries a moving objects database is typically asked ("average
+// flight length per airline").
+
+#ifndef MODB_DB_AGGREGATE_H_
+#define MODB_DB_AGGREGATE_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "db/expr.h"
+
+namespace modb {
+
+enum class AggregateOp { kCount, kSum, kAvg, kMin, kMax };
+
+/// Aggregates `expr` (must infer to a numeric type; ignored for kCount)
+/// over all tuples. kMin/kMax/kAvg of an empty relation fail with
+/// kFailedPrecondition; kCount/kSum yield 0.
+Result<double> Aggregate(const Relation& rel, AggregateOp op,
+                         const ExprPtr& expr = nullptr);
+
+/// GROUP BY over a string attribute: returns a relation
+/// (key: string, value: real) with `op` applied to `expr` per group.
+/// Group keys appear in first-seen order.
+Result<Relation> GroupBy(const Relation& rel, const std::string& key_attr,
+                         AggregateOp op, const ExprPtr& expr = nullptr);
+
+}  // namespace modb
+
+#endif  // MODB_DB_AGGREGATE_H_

@@ -1,0 +1,626 @@
+#include "db/expr.h"
+
+#include <utility>
+
+#include "spatial/spatial_ops.h"
+#include "temporal/lifted_ops.h"
+#include "temporal/mline_ops.h"
+#include "temporal/mregion_ops.h"
+
+namespace modb {
+
+namespace {
+
+using AT = AttributeType;
+
+bool IsNumeric(AT t) { return t == AT::kInt || t == AT::kReal; }
+
+// Numeric accessor with int → real coercion.
+Result<double> AsReal(const AttributeValue& v) {
+  if (TypeOf(v) == AT::kReal) {
+    const RealValue& r = std::get<RealValue>(v);
+    if (!r.defined()) return Status::FailedPrecondition("undefined real");
+    return r.value();
+  }
+  if (TypeOf(v) == AT::kInt) {
+    const IntValue& i = std::get<IntValue>(v);
+    if (!i.defined()) return Status::FailedPrecondition("undefined int");
+    return double(i.value());
+  }
+  return Status::InvalidArgument("expected a numeric value");
+}
+
+Result<bool> AsBool(const AttributeValue& v) {
+  if (TypeOf(v) != AT::kBool) {
+    return Status::InvalidArgument("expected a bool value");
+  }
+  const BoolValue& b = std::get<BoolValue>(v);
+  if (!b.defined()) return Status::FailedPrecondition("undefined bool");
+  return b.value();
+}
+
+Status WrongArgs(const std::string& op) {
+  return Status::InvalidArgument("operation '" + op +
+                                 "' does not accept these argument types");
+}
+
+double PeriodsDuration(const Periods& p) {
+  double total = 0;
+  for (const TimeInterval& iv : p.intervals()) total += Duration(iv);
+  return total;
+}
+
+}  // namespace
+
+// -- construction -------------------------------------------------------------
+
+ExprPtr Expr::MakeAttr(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::kAttr;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeConst(AttributeValue value) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::kConst;
+  e->constant_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::MakeCall(std::string op, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::kCall;
+  e->name_ = std::move(op);
+  e->args_ = std::move(args);
+  return e;
+}
+
+ExprPtr Attr(std::string name) { return Expr::MakeAttr(std::move(name)); }
+ExprPtr Lit(double v) { return Expr::MakeConst(RealValue(v)); }
+ExprPtr Lit(const char* s) {
+  return Expr::MakeConst(StringValue(std::string(s)));
+}
+ExprPtr Lit(bool v) { return Expr::MakeConst(BoolValue(v)); }
+ExprPtr Lit(int64_t v) { return Expr::MakeConst(IntValue(v)); }
+ExprPtr Lit(AttributeValue v) { return Expr::MakeConst(std::move(v)); }
+ExprPtr Call(std::string op, std::vector<ExprPtr> args) {
+  return Expr::MakeCall(std::move(op), std::move(args));
+}
+
+ExprPtr And(ExprPtr a, ExprPtr b) { return Call("and", {a, b}); }
+ExprPtr Or(ExprPtr a, ExprPtr b) { return Call("or", {a, b}); }
+ExprPtr NotE(ExprPtr a) { return Call("not", {a}); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) { return Call("eq", {a, b}); }
+ExprPtr Lt(ExprPtr a, ExprPtr b) { return Call("lt", {a, b}); }
+ExprPtr Le(ExprPtr a, ExprPtr b) { return Call("le", {a, b}); }
+ExprPtr Gt(ExprPtr a, ExprPtr b) { return Call("gt", {a, b}); }
+ExprPtr Ge(ExprPtr a, ExprPtr b) { return Call("ge", {a, b}); }
+
+// -- type inference -----------------------------------------------------------
+
+namespace {
+
+Result<AT> InferCall(const std::string& op, const std::vector<AT>& a) {
+  const std::size_t n = a.size();
+  // Unary.
+  if (op == "trajectory" && n == 1 && a[0] == AT::kMovingPoint) {
+    return AT::kLine;
+  }
+  if (op == "length" && n == 1) {
+    if (a[0] == AT::kLine) return AT::kReal;
+    if (a[0] == AT::kMovingLine) return AT::kMovingReal;
+  }
+  if ((op == "area" || op == "perimeter") && n == 1) {
+    if (a[0] == AT::kRegion) return AT::kReal;
+    if (a[0] == AT::kMovingRegion) return AT::kMovingReal;
+  }
+  if (op == "traversed" && n == 1 &&
+      (a[0] == AT::kMovingRegion || a[0] == AT::kMovingLine)) {
+    return AT::kRegion;
+  }
+  if (op == "speed" && n == 1 && a[0] == AT::kMovingPoint) {
+    return AT::kMovingReal;
+  }
+  if ((op == "atmin" || op == "atmax") && n == 1 && a[0] == AT::kMovingReal) {
+    return AT::kMovingReal;
+  }
+  if ((op == "initial_val" || op == "final_val") && n == 1) {
+    if (a[0] == AT::kMovingReal) return AT::kReal;
+    if (a[0] == AT::kMovingPoint) return AT::kPoint;
+    if (a[0] == AT::kMovingBool) return AT::kBool;
+  }
+  if ((op == "initial_inst" || op == "final_inst") && n == 1 &&
+      (a[0] == AT::kMovingReal || a[0] == AT::kMovingPoint ||
+       a[0] == AT::kMovingBool)) {
+    return AT::kReal;
+  }
+  if ((op == "min" || op == "max") && n == 1 && a[0] == AT::kMovingReal) {
+    return AT::kReal;
+  }
+  if (op == "deftime" && n == 1 &&
+      (a[0] == AT::kMovingBool || a[0] == AT::kMovingReal ||
+       a[0] == AT::kMovingPoint || a[0] == AT::kMovingRegion)) {
+    return AT::kPeriods;
+  }
+  if (op == "duration" && n == 1 && a[0] == AT::kPeriods) return AT::kReal;
+  if (op == "when_true" && n == 1 && a[0] == AT::kMovingBool) {
+    return AT::kPeriods;
+  }
+  if (op == "not" && n == 1) {
+    if (a[0] == AT::kBool) return AT::kBool;
+    if (a[0] == AT::kMovingBool) return AT::kMovingBool;
+  }
+  // Binary.
+  if (op == "distance" && n == 2) {
+    if (a[0] == AT::kMovingPoint && a[1] == AT::kMovingPoint) {
+      return AT::kMovingReal;
+    }
+    if (a[0] == AT::kMovingPoint && a[1] == AT::kPoint) {
+      return AT::kMovingReal;
+    }
+    if (a[0] == AT::kPoint && a[1] == AT::kPoint) return AT::kReal;
+  }
+  if (op == "inside" && n == 2) {
+    if (a[0] == AT::kMovingPoint && a[1] == AT::kMovingRegion) {
+      return AT::kMovingBool;
+    }
+    if (a[0] == AT::kMovingPoint && a[1] == AT::kRegion) {
+      return AT::kMovingBool;
+    }
+    if (a[0] == AT::kPoint && a[1] == AT::kMovingRegion) {
+      return AT::kMovingBool;
+    }
+    if (a[0] == AT::kPoint && a[1] == AT::kRegion) return AT::kBool;
+  }
+  if (op == "passes" && n == 2) {
+    if (a[0] == AT::kMovingPoint && a[1] == AT::kPoint) return AT::kBool;
+    if (a[0] == AT::kMovingReal && IsNumeric(a[1])) return AT::kBool;
+  }
+  if (op == "present" && n == 2 && IsNumeric(a[1]) &&
+      (a[0] == AT::kMovingBool || a[0] == AT::kMovingReal ||
+       a[0] == AT::kMovingPoint || a[0] == AT::kMovingRegion)) {
+    return AT::kBool;
+  }
+  if (op == "atinstant" && n == 2 && IsNumeric(a[1])) {
+    switch (a[0]) {
+      case AT::kMovingBool:
+        return AT::kBool;
+      case AT::kMovingReal:
+        return AT::kReal;
+      case AT::kMovingPoint:
+        return AT::kPoint;
+      case AT::kMovingRegion:
+        return AT::kRegion;
+      default:
+        break;
+    }
+  }
+  if ((op == "and" || op == "or") && n == 2) {
+    if (a[0] == AT::kBool && a[1] == AT::kBool) return AT::kBool;
+    if (a[0] == AT::kMovingBool && a[1] == AT::kMovingBool) {
+      return AT::kMovingBool;
+    }
+  }
+  if ((op == "lt" || op == "le" || op == "gt" || op == "ge" || op == "eq") &&
+      n == 2) {
+    if (IsNumeric(a[0]) && IsNumeric(a[1])) return AT::kBool;
+    if (a[0] == AT::kMovingReal && IsNumeric(a[1])) return AT::kMovingBool;
+    if (a[0] == AT::kMovingReal && a[1] == AT::kMovingReal) {
+      return AT::kMovingBool;
+    }
+    if (op == "eq" && a[0] == a[1] &&
+        (a[0] == AT::kString || a[0] == AT::kBool)) {
+      return AT::kBool;
+    }
+  }
+  return Status::InvalidArgument("no overload of '" + op + "' matches");
+}
+
+}  // namespace
+
+Result<AttributeType> InferType(const Expr& expr, const Schema& schema) {
+  switch (expr.kind()) {
+    case Expr::Kind::kAttr: {
+      int idx = schema.IndexOf(expr.name());
+      if (idx < 0) return Status::NotFound("no attribute " + expr.name());
+      return schema.attribute(std::size_t(idx)).type;
+    }
+    case Expr::Kind::kConst:
+      return TypeOf(expr.constant());
+    case Expr::Kind::kCall: {
+      std::vector<AT> arg_types;
+      for (const ExprPtr& arg : expr.args()) {
+        Result<AT> t = InferType(*arg, schema);
+        if (!t.ok()) return t.status();
+        arg_types.push_back(*t);
+      }
+      return InferCall(expr.name(), arg_types);
+    }
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+// -- evaluation ---------------------------------------------------------------
+
+namespace {
+
+CmpOp ToCmpOp(const std::string& op) {
+  if (op == "lt") return CmpOp::kLt;
+  if (op == "le") return CmpOp::kLe;
+  if (op == "gt") return CmpOp::kGt;
+  if (op == "ge") return CmpOp::kGe;
+  return CmpOp::kEq;
+}
+
+Result<AttributeValue> EvalCall(const std::string& op,
+                                std::vector<AttributeValue> a) {
+  const std::size_t n = a.size();
+  auto type = [&](std::size_t i) { return TypeOf(a[i]); };
+
+  if (op == "trajectory" && n == 1 && type(0) == AT::kMovingPoint) {
+    return AttributeValue(Trajectory(std::get<MovingPoint>(a[0])));
+  }
+  if (op == "length" && n == 1) {
+    if (type(0) == AT::kLine) {
+      return AttributeValue(RealValue(std::get<Line>(a[0]).Length()));
+    }
+    if (type(0) == AT::kMovingLine) {
+      Result<MovingReal> r = Length(std::get<MovingLine>(a[0]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+  }
+  if (op == "area" && n == 1) {
+    if (type(0) == AT::kRegion) {
+      return AttributeValue(RealValue(std::get<Region>(a[0]).Area()));
+    }
+    if (type(0) == AT::kMovingRegion) {
+      Result<MovingReal> r = Area(std::get<MovingRegion>(a[0]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+  }
+  if (op == "perimeter" && n == 1) {
+    if (type(0) == AT::kRegion) {
+      return AttributeValue(RealValue(std::get<Region>(a[0]).Perimeter()));
+    }
+    if (type(0) == AT::kMovingRegion) {
+      Result<MovingReal> r = PerimeterApprox(std::get<MovingRegion>(a[0]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+  }
+  if (op == "traversed" && n == 1) {
+    if (type(0) == AT::kMovingRegion) {
+      Result<Region> r = Traversed(std::get<MovingRegion>(a[0]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (type(0) == AT::kMovingLine) {
+      Result<Region> r = Traversed(std::get<MovingLine>(a[0]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+  }
+  if (op == "speed" && n == 1 && type(0) == AT::kMovingPoint) {
+    Result<MovingReal> r = Speed(std::get<MovingPoint>(a[0]));
+    if (!r.ok()) return r.status();
+    return AttributeValue(std::move(*r));
+  }
+  if ((op == "atmin" || op == "atmax") && n == 1 &&
+      type(0) == AT::kMovingReal) {
+    Result<MovingReal> r = op == "atmin" ? AtMin(std::get<MovingReal>(a[0]))
+                                         : AtMax(std::get<MovingReal>(a[0]));
+    if (!r.ok()) return r.status();
+    return AttributeValue(std::move(*r));
+  }
+  if ((op == "initial_val" || op == "final_val" || op == "initial_inst" ||
+       op == "final_inst") &&
+      n == 1) {
+    bool initial = op.rfind("initial", 0) == 0;
+    bool want_val = op.ends_with("_val");
+    auto project = [&](auto intime) -> Result<AttributeValue> {
+      if (!intime.defined) {
+        return Status::FailedPrecondition("initial/final of empty moving");
+      }
+      if (!want_val) return AttributeValue(RealValue(intime.inst()));
+      using V = decltype(intime.value);
+      if constexpr (std::is_same_v<V, double>) {
+        return AttributeValue(RealValue(intime.val()));
+      } else if constexpr (std::is_same_v<V, bool>) {
+        return AttributeValue(BoolValue(intime.val()));
+      } else {
+        return AttributeValue(intime.val());
+      }
+    };
+    if (type(0) == AT::kMovingReal) {
+      const auto& m = std::get<MovingReal>(a[0]);
+      return project(initial ? m.Initial() : m.Final());
+    }
+    if (type(0) == AT::kMovingPoint) {
+      const auto& m = std::get<MovingPoint>(a[0]);
+      return project(initial ? m.Initial() : m.Final());
+    }
+    if (type(0) == AT::kMovingBool) {
+      const auto& m = std::get<MovingBool>(a[0]);
+      return project(initial ? m.Initial() : m.Final());
+    }
+  }
+  if ((op == "min" || op == "max") && n == 1 && type(0) == AT::kMovingReal) {
+    auto v = op == "min" ? MinValue(std::get<MovingReal>(a[0]))
+                         : MaxValue(std::get<MovingReal>(a[0]));
+    if (!v) return Status::FailedPrecondition("min/max of empty moving real");
+    return AttributeValue(RealValue(*v));
+  }
+  if (op == "deftime" && n == 1) {
+    switch (type(0)) {
+      case AT::kMovingBool:
+        return AttributeValue(std::get<MovingBool>(a[0]).DefTime());
+      case AT::kMovingReal:
+        return AttributeValue(std::get<MovingReal>(a[0]).DefTime());
+      case AT::kMovingPoint:
+        return AttributeValue(std::get<MovingPoint>(a[0]).DefTime());
+      case AT::kMovingRegion:
+        return AttributeValue(std::get<MovingRegion>(a[0]).DefTime());
+      default:
+        break;
+    }
+  }
+  if (op == "duration" && n == 1 && type(0) == AT::kPeriods) {
+    return AttributeValue(RealValue(PeriodsDuration(std::get<Periods>(a[0]))));
+  }
+  if (op == "when_true" && n == 1 && type(0) == AT::kMovingBool) {
+    return AttributeValue(WhenTrue(std::get<MovingBool>(a[0])));
+  }
+  if (op == "not" && n == 1) {
+    if (type(0) == AT::kBool) {
+      Result<bool> b = AsBool(a[0]);
+      if (!b.ok()) return b.status();
+      return AttributeValue(BoolValue(!*b));
+    }
+    if (type(0) == AT::kMovingBool) {
+      return AttributeValue(Not(std::get<MovingBool>(a[0])));
+    }
+  }
+  if (op == "distance" && n == 2) {
+    if (type(0) == AT::kMovingPoint && type(1) == AT::kMovingPoint) {
+      Result<MovingReal> r = LiftedDistance(std::get<MovingPoint>(a[0]),
+                                            std::get<MovingPoint>(a[1]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (type(0) == AT::kMovingPoint && type(1) == AT::kPoint) {
+      Result<MovingReal> r = LiftedDistance(std::get<MovingPoint>(a[0]),
+                                            std::get<Point>(a[1]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (type(0) == AT::kPoint && type(1) == AT::kPoint) {
+      return AttributeValue(
+          RealValue(Distance(std::get<Point>(a[0]), std::get<Point>(a[1]))));
+    }
+  }
+  if (op == "inside" && n == 2) {
+    if (type(0) == AT::kMovingPoint && type(1) == AT::kMovingRegion) {
+      Result<MovingBool> r = Inside(std::get<MovingPoint>(a[0]),
+                                    std::get<MovingRegion>(a[1]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (type(0) == AT::kMovingPoint && type(1) == AT::kRegion) {
+      Result<MovingBool> r =
+          Inside(std::get<MovingPoint>(a[0]), std::get<Region>(a[1]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (type(0) == AT::kPoint && type(1) == AT::kMovingRegion) {
+      Result<MovingBool> r =
+          Inside(std::get<Point>(a[0]), std::get<MovingRegion>(a[1]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (type(0) == AT::kPoint && type(1) == AT::kRegion) {
+      return AttributeValue(BoolValue(
+          Inside(std::get<Point>(a[0]), std::get<Region>(a[1]))));
+    }
+  }
+  if (op == "passes" && n == 2) {
+    if (type(0) == AT::kMovingPoint && type(1) == AT::kPoint) {
+      return AttributeValue(BoolValue(
+          Passes(std::get<MovingPoint>(a[0]), std::get<Point>(a[1]))));
+    }
+    if (type(0) == AT::kMovingReal && IsNumeric(type(1))) {
+      Result<double> v = AsReal(a[1]);
+      if (!v.ok()) return v.status();
+      return AttributeValue(
+          BoolValue(Passes(std::get<MovingReal>(a[0]), *v)));
+    }
+  }
+  if (op == "present" && n == 2 && IsNumeric(type(1))) {
+    Result<double> t = AsReal(a[1]);
+    if (!t.ok()) return t.status();
+    switch (type(0)) {
+      case AT::kMovingBool:
+        return AttributeValue(BoolValue(std::get<MovingBool>(a[0]).Present(*t)));
+      case AT::kMovingReal:
+        return AttributeValue(BoolValue(std::get<MovingReal>(a[0]).Present(*t)));
+      case AT::kMovingPoint:
+        return AttributeValue(
+            BoolValue(std::get<MovingPoint>(a[0]).Present(*t)));
+      case AT::kMovingRegion:
+        return AttributeValue(
+            BoolValue(std::get<MovingRegion>(a[0]).Present(*t)));
+      default:
+        break;
+    }
+  }
+  if (op == "atinstant" && n == 2 && IsNumeric(type(1))) {
+    Result<double> t = AsReal(a[1]);
+    if (!t.ok()) return t.status();
+    auto undefined = [] {
+      return Status::FailedPrecondition("atinstant outside the deftime");
+    };
+    switch (type(0)) {
+      case AT::kMovingBool: {
+        auto v = std::get<MovingBool>(a[0]).AtInstant(*t);
+        if (!v.defined) return undefined();
+        return AttributeValue(BoolValue(v.val()));
+      }
+      case AT::kMovingReal: {
+        auto v = std::get<MovingReal>(a[0]).AtInstant(*t);
+        if (!v.defined) return undefined();
+        return AttributeValue(RealValue(v.val()));
+      }
+      case AT::kMovingPoint: {
+        auto v = std::get<MovingPoint>(a[0]).AtInstant(*t);
+        if (!v.defined) return undefined();
+        return AttributeValue(v.val());
+      }
+      case AT::kMovingRegion: {
+        auto v = std::get<MovingRegion>(a[0]).AtInstant(*t);
+        if (!v.defined) return undefined();
+        return AttributeValue(v.val());
+      }
+      default:
+        break;
+    }
+  }
+  if ((op == "and" || op == "or") && n == 2) {
+    if (type(0) == AT::kBool && type(1) == AT::kBool) {
+      Result<bool> x = AsBool(a[0]);
+      Result<bool> y = AsBool(a[1]);
+      if (!x.ok()) return x.status();
+      if (!y.ok()) return y.status();
+      return AttributeValue(
+          BoolValue(op == "and" ? (*x && *y) : (*x || *y)));
+    }
+    if (type(0) == AT::kMovingBool && type(1) == AT::kMovingBool) {
+      Result<MovingBool> r =
+          op == "and"
+              ? And(std::get<MovingBool>(a[0]), std::get<MovingBool>(a[1]))
+              : Or(std::get<MovingBool>(a[0]), std::get<MovingBool>(a[1]));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+  }
+  if ((op == "lt" || op == "le" || op == "gt" || op == "ge" || op == "eq") &&
+      n == 2) {
+    if (IsNumeric(type(0)) && IsNumeric(type(1))) {
+      Result<double> x = AsReal(a[0]);
+      Result<double> y = AsReal(a[1]);
+      if (!x.ok()) return x.status();
+      if (!y.ok()) return y.status();
+      bool v = op == "lt"   ? *x < *y
+               : op == "le" ? *x <= *y
+               : op == "gt" ? *x > *y
+               : op == "ge" ? *x >= *y
+                            : *x == *y;
+      return AttributeValue(BoolValue(v));
+    }
+    if (type(0) == AT::kMovingReal && IsNumeric(type(1))) {
+      Result<double> y = AsReal(a[1]);
+      if (!y.ok()) return y.status();
+      Result<MovingBool> r =
+          Compare(std::get<MovingReal>(a[0]), *y, ToCmpOp(op));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (type(0) == AT::kMovingReal && type(1) == AT::kMovingReal) {
+      Result<MovingBool> r = Compare(std::get<MovingReal>(a[0]),
+                                     std::get<MovingReal>(a[1]), ToCmpOp(op));
+      if (!r.ok()) return r.status();
+      return AttributeValue(std::move(*r));
+    }
+    if (op == "eq" && type(0) == AT::kString && type(1) == AT::kString) {
+      return AttributeValue(BoolValue(std::get<StringValue>(a[0]) ==
+                                      std::get<StringValue>(a[1])));
+    }
+    if (op == "eq" && type(0) == AT::kBool && type(1) == AT::kBool) {
+      return AttributeValue(BoolValue(std::get<BoolValue>(a[0]) ==
+                                      std::get<BoolValue>(a[1])));
+    }
+  }
+  return WrongArgs(op);
+}
+
+}  // namespace
+
+Result<AttributeValue> Eval(const Expr& expr, const Schema& schema,
+                            const Tuple& tuple) {
+  switch (expr.kind()) {
+    case Expr::Kind::kAttr: {
+      int idx = schema.IndexOf(expr.name());
+      if (idx < 0) return Status::NotFound("no attribute " + expr.name());
+      return tuple[std::size_t(idx)];
+    }
+    case Expr::Kind::kConst:
+      return expr.constant();
+    case Expr::Kind::kCall: {
+      std::vector<AttributeValue> args;
+      args.reserve(expr.args().size());
+      for (const ExprPtr& arg : expr.args()) {
+        Result<AttributeValue> v = Eval(*arg, schema, tuple);
+        if (!v.ok()) return v.status();
+        args.push_back(std::move(*v));
+      }
+      return EvalCall(expr.name(), std::move(args));
+    }
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+Result<Relation> SelectWhere(const Relation& rel, const ExprPtr& predicate) {
+  Result<AttributeType> t = InferType(*predicate, rel.schema());
+  if (!t.ok()) return t.status();
+  if (*t != AT::kBool) {
+    return Status::InvalidArgument("selection predicate must be bool, got " +
+                                   std::string(AttributeTypeName(*t)));
+  }
+  Relation out(rel.name() + "_sel", rel.schema());
+  for (const Tuple& tuple : rel.tuples()) {
+    Result<AttributeValue> v = Eval(*predicate, rel.schema(), tuple);
+    if (!v.ok()) return v.status();
+    Result<bool> b = AsBool(*v);
+    if (!b.ok()) return b.status();
+    if (*b) MODB_RETURN_IF_ERROR(out.Insert(tuple));
+  }
+  return out;
+}
+
+Result<Relation> JoinWhere(const Relation& a, const Relation& b,
+                           const ExprPtr& predicate, bool dedup_self_pairs) {
+  Schema joined = Schema::Concat(a.schema(), a.name() + ".", b.schema(),
+                                 b.name() + ".");
+  Result<AttributeType> t = InferType(*predicate, joined);
+  if (!t.ok()) return t.status();
+  if (*t != AT::kBool) {
+    return Status::InvalidArgument("join predicate must be bool");
+  }
+  Relation out(a.name() + "_x_" + b.name(), joined);
+  for (std::size_t i = 0; i < a.NumTuples(); ++i) {
+    for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+      if (dedup_self_pairs && i >= j) continue;
+      Tuple combined = a.tuple(i);
+      combined.insert(combined.end(), b.tuple(j).begin(), b.tuple(j).end());
+      Result<AttributeValue> v = Eval(*predicate, joined, combined);
+      if (!v.ok()) return v.status();
+      Result<bool> keep = AsBool(*v);
+      if (!keep.ok()) return keep.status();
+      if (*keep) MODB_RETURN_IF_ERROR(out.Insert(std::move(combined)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SupportedOperations() {
+  return {"trajectory", "length",    "area",       "perimeter", "traversed",
+          "speed",      "atmin",     "atmax",      "initial_val",
+          "final_val",  "initial_inst", "final_inst", "min",    "max",
+          "deftime",    "duration",  "when_true",  "not",       "distance",
+          "inside",     "passes",    "present",    "atinstant", "and",
+          "or",         "lt",        "le",         "gt",        "ge",
+          "eq"};
+}
+
+}  // namespace modb

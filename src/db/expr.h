@@ -1,0 +1,100 @@
+// A typed expression language over relations — the "query language"
+// side of the paper's Section 2: the spatio-temporal operations become
+// callable expressions over attributes, so the example queries read like
+// their SQL originals:
+//
+//   Q1 predicate:
+//     And(Eq(Attr("airline"), Lit("Lufthansa")),
+//         Gt(Call("length", {Call("trajectory", {Attr("flight")})}),
+//            Lit(5000.0)))
+//
+//   Q2 predicate (on the join schema):
+//     Lt(Call("initial_val",
+//             {Call("atmin", {Call("distance", {Attr("p.flight"),
+//                                               Attr("q.flight")})})}),
+//        Lit(0.5))
+//
+// Expressions are type checked against the schema before evaluation;
+// every operation dispatches on its argument types exactly like the
+// overloaded operations of the abstract model.
+
+#ifndef MODB_DB_EXPR_H_
+#define MODB_DB_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "db/relation.h"
+
+namespace modb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An expression node: attribute reference, literal, or operation call.
+class Expr {
+ public:
+  enum class Kind { kAttr, kConst, kCall };
+
+  static ExprPtr MakeAttr(std::string name);
+  static ExprPtr MakeConst(AttributeValue value);
+  static ExprPtr MakeCall(std::string op, std::vector<ExprPtr> args);
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const AttributeValue& constant() const { return constant_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+ private:
+  Kind kind_;
+  std::string name_;           // Attribute name or operation name.
+  AttributeValue constant_{};  // For kConst.
+  std::vector<ExprPtr> args_;  // For kCall.
+};
+
+// -- convenience constructors -------------------------------------------------
+
+ExprPtr Attr(std::string name);
+ExprPtr Lit(double v);
+ExprPtr Lit(const char* s);
+ExprPtr Lit(bool v);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(AttributeValue v);
+ExprPtr Call(std::string op, std::vector<ExprPtr> args);
+
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr NotE(ExprPtr a);
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+/// Infers the result type of `expr` against `schema`; fails on unknown
+/// attributes, unknown operations, or argument-type mismatches.
+Result<AttributeType> InferType(const Expr& expr, const Schema& schema);
+
+/// Evaluates `expr` on one tuple. The expression should be type checked
+/// first; evaluation re-verifies as it dispatches.
+Result<AttributeValue> Eval(const Expr& expr, const Schema& schema,
+                            const Tuple& tuple);
+
+/// σ with a boolean expression.
+Result<Relation> SelectWhere(const Relation& rel, const ExprPtr& predicate);
+
+/// Join with a boolean expression over the concatenated schema
+/// (attributes prefixed "<a.name>." / "<b.name>."). Self-join pairs can
+/// be deduplicated with `dedup_self_pairs`.
+Result<Relation> JoinWhere(const Relation& a, const Relation& b,
+                           const ExprPtr& predicate,
+                           bool dedup_self_pairs = false);
+
+/// The operations understood by Call, for documentation/tests.
+std::vector<std::string> SupportedOperations();
+
+}  // namespace modb
+
+#endif  // MODB_DB_EXPR_H_

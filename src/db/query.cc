@@ -1,0 +1,104 @@
+#include "db/query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace modb {
+
+Relation Select(const Relation& rel,
+                const std::function<bool(const Tuple&)>& pred) {
+  Relation out(rel.name() + "_sel", rel.schema());
+  for (const Tuple& t : rel.tuples()) {
+    if (pred(t)) {
+      // Insert cannot fail: tuples already conform to the schema.
+      (void)out.Insert(t);
+    }
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& rel,
+                         const std::vector<std::string>& attributes) {
+  std::vector<int> indices;
+  std::vector<AttributeDef> defs;
+  for (const std::string& name : attributes) {
+    int idx = rel.schema().IndexOf(name);
+    if (idx < 0) {
+      return Status::NotFound("no attribute named " + name + " in " +
+                              rel.name());
+    }
+    indices.push_back(idx);
+    defs.push_back(rel.schema().attribute(std::size_t(idx)));
+  }
+  Relation out(rel.name() + "_proj", Schema(std::move(defs)));
+  for (const Tuple& t : rel.tuples()) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (int idx : indices) projected.push_back(t[std::size_t(idx)]);
+    (void)out.Insert(std::move(projected));
+  }
+  return out;
+}
+
+Relation NestedLoopJoin(
+    const Relation& a, const Relation& b,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred) {
+  Relation out(a.name() + "_x_" + b.name(),
+               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
+                              b.name() + "."));
+  for (std::size_t i = 0; i < a.NumTuples(); ++i) {
+    for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+      if (!pred(a.tuple(i), i, b.tuple(j), j)) continue;
+      Tuple joined = a.tuple(i);
+      joined.insert(joined.end(), b.tuple(j).begin(), b.tuple(j).end());
+      (void)out.Insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Relation IndexJoinOnMovingPoint(
+    const Relation& a, int attr_a, const Relation& b, int attr_b,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred) {
+  // Index b's units: entry id packs (tuple index << 20 | unit index); we
+  // only need the tuple index here, so duplicates are collapsed.
+  std::vector<RTree3D::Entry> entries;
+  for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+    const auto& mp = std::get<MovingPoint>(b.tuple(j)[std::size_t(attr_b)]);
+    for (const UPoint& u : mp.units()) {
+      entries.push_back({u.BoundingCube(), int64_t(j)});
+    }
+  }
+  RTree3D tree = RTree3D::BulkLoad(std::move(entries));
+
+  Relation out(a.name() + "_ix_" + b.name(),
+               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
+                              b.name() + "."));
+  for (std::size_t i = 0; i < a.NumTuples(); ++i) {
+    const auto& mp = std::get<MovingPoint>(a.tuple(i)[std::size_t(attr_a)]);
+    std::set<int64_t> candidates;
+    for (const UPoint& u : mp.units()) {
+      Cube c = u.BoundingCube();
+      c.rect.min_x -= expand;
+      c.rect.min_y -= expand;
+      c.rect.max_x += expand;
+      c.rect.max_y += expand;
+      tree.QueryVisit(c, [&candidates](int64_t id) { candidates.insert(id); });
+    }
+    for (int64_t j : candidates) {
+      if (!pred(a.tuple(i), i, b.tuple(std::size_t(j)), std::size_t(j))) {
+        continue;
+      }
+      Tuple joined = a.tuple(i);
+      joined.insert(joined.end(), b.tuple(std::size_t(j)).begin(),
+                    b.tuple(std::size_t(j)).end());
+      (void)out.Insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+}  // namespace modb

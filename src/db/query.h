@@ -1,0 +1,47 @@
+// Minimal functional query operators over Relation: scan-based selection,
+// projection, and (nested-loop or index-accelerated) join. These are what
+// the examples and benchmarks use to express the Section-2 queries.
+
+#ifndef MODB_DB_QUERY_H_
+#define MODB_DB_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "db/relation.h"
+#include "index/rtree3d.h"
+
+namespace modb {
+
+/// σ: tuples of `rel` satisfying `pred`.
+Relation Select(const Relation& rel,
+                const std::function<bool(const Tuple&)>& pred);
+
+/// π: the named attributes, in the given order.
+Result<Relation> Project(const Relation& rel,
+                         const std::vector<std::string>& attributes);
+
+/// Nested-loop join with an arbitrary predicate over the two tuples.
+/// For a self join pass the same relation twice; `pred` receives
+/// (left tuple, left index, right tuple, right index) so self-join pairs
+/// can be deduplicated by index.
+Relation NestedLoopJoin(
+    const Relation& a, const Relation& b,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred);
+
+/// Index nested-loop join specialized for spatio-temporal joins over
+/// moving-point attributes: an R-tree over the unit bounding cubes of
+/// `b`'s attribute prunes candidate pairs before `pred` runs. `expand`
+/// grows each query cube by a spatial slack (e.g. the join distance).
+Relation IndexJoinOnMovingPoint(
+    const Relation& a, int attr_a, const Relation& b, int attr_b,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred);
+
+}  // namespace modb
+
+#endif  // MODB_DB_QUERY_H_

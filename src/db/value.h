@@ -1,0 +1,56 @@
+// Attribute values for the relational embedding (Section 2): the data
+// types of Table 2 plugged into a relation schema as abstract data types,
+// exactly as in the `planes(airline: string, id: string, flight: mpoint)`
+// example.
+
+#ifndef MODB_DB_VALUE_H_
+#define MODB_DB_VALUE_H_
+
+#include <string>
+#include <variant>
+
+#include "core/base_types.h"
+#include "core/range_set.h"
+#include "spatial/line.h"
+#include "spatial/points.h"
+#include "spatial/region.h"
+#include "temporal/moving.h"
+
+namespace modb {
+
+enum class AttributeType {
+  kInt,
+  kReal,
+  kBool,
+  kString,
+  kPoint,
+  kPoints,
+  kLine,
+  kRegion,
+  kPeriods,
+  kMovingBool,
+  kMovingInt,
+  kMovingString,
+  kMovingReal,
+  kMovingPoint,
+  kMovingPoints,
+  kMovingLine,
+  kMovingRegion,
+};
+
+const char* AttributeTypeName(AttributeType type);
+
+/// One attribute value; the variant alternatives correspond 1:1 to
+/// AttributeType.
+using AttributeValue =
+    std::variant<IntValue, RealValue, BoolValue, StringValue, Point, Points,
+                 Line, Region, Periods, MovingBool, MovingInt, MovingString,
+                 MovingReal, MovingPoint, MovingPoints, MovingLine,
+                 MovingRegion>;
+
+/// The dynamic type of a value.
+AttributeType TypeOf(const AttributeValue& value);
+
+}  // namespace modb
+
+#endif  // MODB_DB_VALUE_H_

@@ -1,0 +1,115 @@
+#include "ext/quadratic_motion.h"
+
+#include <cmath>
+
+namespace modb {
+
+double QuadraticMotion::AccelerationNorm() const {
+  return 2 * std::sqrt(x2 * x2 + y2 * y2);
+}
+
+QuadraticMotion QuadraticMotion::Ballistic(Point pos0, Point vel0,
+                                           Point accel, Instant t0) {
+  // p(t) = pos0 + vel0·(t - t0) + accel/2·(t - t0)².
+  QuadraticMotion q;
+  q.x2 = accel.x / 2;
+  q.y2 = accel.y / 2;
+  q.x1 = vel0.x - accel.x * t0;
+  q.y1 = vel0.y - accel.y * t0;
+  q.x0 = pos0.x - vel0.x * t0 + q.x2 * t0 * t0;
+  q.y0 = pos0.y - vel0.y * t0 + q.y2 * t0 * t0;
+  return q;
+}
+
+int LinearizeSliceCount(const QuadraticMotion& motion,
+                        const TimeInterval& interval, double max_error) {
+  double dur = Duration(interval);
+  if (dur == 0) return 1;
+  double accel = motion.AccelerationNorm();
+  if (accel == 0) return 1;  // Already linear.
+  // Chord error over a span h is accel·h²/8 ≤ max_error.
+  double h = std::sqrt(8 * max_error / accel);
+  return std::max(1, int(std::ceil(dur / h)));
+}
+
+Result<MovingPoint> Linearize(const QuadraticMotion& motion,
+                              const TimeInterval& interval,
+                              double max_error) {
+  if (max_error <= 0) {
+    return Status::InvalidArgument("max_error must be positive");
+  }
+  double dur = Duration(interval);
+  if (dur == 0) {
+    auto unit = UPoint::Static(interval, motion.At(interval.start()));
+    if (!unit.ok()) return unit.status();
+    return MovingPoint::Make({*unit});
+  }
+  int slices = LinearizeSliceCount(motion, interval, max_error);
+  MappingBuilder<UPoint> builder;
+  for (int k = 0; k < slices; ++k) {
+    double t0 = interval.start() + dur * k / slices;
+    double t1 = interval.start() + dur * (k + 1) / slices;
+    bool lc = (k == 0) ? interval.left_closed() : true;
+    bool rc = (k == slices - 1) ? interval.right_closed() : false;
+    auto iv = TimeInterval::Make(t0, t1, lc, rc);
+    if (!iv.ok()) return iv.status();
+    auto unit = UPoint::FromEndpoints(*iv, motion.At(t0), motion.At(t1));
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+  }
+  return builder.Build();
+}
+
+namespace {
+
+// Recursively emits slice boundaries so that the chord through each span
+// stays within max_error of the path at the span midpoint (a sufficient
+// probe for convex-ish spans; halving continues until max_depth).
+void Subdivide(const std::function<Point(Instant)>& path, Instant t0,
+               Instant t1, double max_error, int depth,
+               std::vector<Instant>* boundaries) {
+  Point p0 = path(t0);
+  Point p1 = path(t1);
+  Instant mid = (t0 + t1) / 2;
+  Point pm = path(mid);
+  Point chord_mid((p0.x + p1.x) / 2, (p0.y + p1.y) / 2);
+  if (depth <= 0 || Distance(pm, chord_mid) <= max_error) {
+    boundaries->push_back(t1);
+    return;
+  }
+  Subdivide(path, t0, mid, max_error, depth - 1, boundaries);
+  Subdivide(path, mid, t1, max_error, depth - 1, boundaries);
+}
+
+}  // namespace
+
+Result<MovingPoint> LinearizePath(const std::function<Point(Instant)>& path,
+                                  const TimeInterval& interval,
+                                  double max_error, int max_depth) {
+  if (max_error <= 0) {
+    return Status::InvalidArgument("max_error must be positive");
+  }
+  double dur = Duration(interval);
+  if (dur == 0) {
+    auto unit = UPoint::Static(interval, path(interval.start()));
+    if (!unit.ok()) return unit.status();
+    return MovingPoint::Make({*unit});
+  }
+  std::vector<Instant> boundaries = {interval.start()};
+  Subdivide(path, interval.start(), interval.end(), max_error, max_depth,
+            &boundaries);
+  MappingBuilder<UPoint> builder;
+  for (std::size_t k = 0; k + 1 < boundaries.size(); ++k) {
+    bool lc = (k == 0) ? interval.left_closed() : true;
+    bool rc = (k + 2 == boundaries.size()) ? interval.right_closed() : false;
+    auto iv = TimeInterval::Make(boundaries[k], boundaries[k + 1], lc, rc);
+    if (!iv.ok()) return iv.status();
+    auto unit = UPoint::FromEndpoints(*iv, path(boundaries[k]),
+                                      path(boundaries[k + 1]));
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+  }
+  return builder.Build();
+}
+
+}  // namespace modb

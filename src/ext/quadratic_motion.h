@@ -1,0 +1,66 @@
+// Extension: higher-order motion descriptions and their reduction to the
+// sliced linear representation.
+//
+// The paper deliberately restricts the discrete model to linear unit
+// functions but notes that "a moving point could be represented not only
+// by a 3D polyline but also by higher order polynomial splines — both
+// cases are included within the abstract model" (Section 1), and that a
+// sequence of linear slices "can reach an arbitrary precision" (Figure 5
+// discussion). This module provides exactly that bridge: quadratic motion
+// (constant acceleration) and generic smooth paths, linearized into a
+// mapping(upoint) with a guaranteed error bound.
+
+#ifndef MODB_EXT_QUADRATIC_MOTION_H_
+#define MODB_EXT_QUADRATIC_MOTION_H_
+
+#include <functional>
+
+#include "core/interval.h"
+#include "core/status.h"
+#include "spatial/point.h"
+#include "temporal/moving.h"
+
+namespace modb {
+
+/// A point under constant acceleration:
+///   x(t) = x0 + x1·t + x2·t²,  y(t) = y0 + y1·t + y2·t².
+struct QuadraticMotion {
+  double x0 = 0, x1 = 0, x2 = 0;
+  double y0 = 0, y1 = 0, y2 = 0;
+
+  Point At(Instant t) const {
+    return Point(x0 + (x1 + x2 * t) * t, y0 + (y1 + y2 * t) * t);
+  }
+
+  /// Magnitude of the (constant) acceleration vector (2·(x2, y2)).
+  double AccelerationNorm() const;
+
+  /// Ballistic construction: initial position, velocity, acceleration.
+  static QuadraticMotion Ballistic(Point pos0, Point vel0, Point accel,
+                                   Instant t0 = 0);
+};
+
+/// Linearizes a quadratic motion over `interval` into a mapping(upoint)
+/// whose position error never exceeds `max_error`.
+///
+/// The chord error of a quadratic over a span h is ‖accel‖·h²/8, so the
+/// slice count is computed in closed form — no adaptive search needed.
+Result<MovingPoint> Linearize(const QuadraticMotion& motion,
+                              const TimeInterval& interval, double max_error);
+
+/// Number of slices Linearize will use (exposed for tests/benchmarks).
+int LinearizeSliceCount(const QuadraticMotion& motion,
+                        const TimeInterval& interval, double max_error);
+
+/// Linearizes an arbitrary (continuous) path by adaptive bisection: a
+/// span is split while the path's midpoint deviates from the chord by
+/// more than `max_error`. `max_depth` bounds the recursion (the result is
+/// then best-effort, reported via the status). This is the generic
+/// ingestion path for smooth trajectories.
+Result<MovingPoint> LinearizePath(const std::function<Point(Instant)>& path,
+                                  const TimeInterval& interval,
+                                  double max_error, int max_depth = 24);
+
+}  // namespace modb
+
+#endif  // MODB_EXT_QUADRATIC_MOTION_H_

@@ -1,0 +1,131 @@
+#include "ext/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/real.h"
+
+namespace modb {
+
+namespace {
+
+struct Sample {
+  Instant t;
+  Point pos;
+};
+
+// Distance at instant s.t between the sample position and the linear
+// interpolation of (first..last) evaluated at the same *instant* — the
+// synchronous Euclidean distance, the right error metric for moving
+// points (space-only Douglas–Peucker would ignore timing errors).
+double SynchronousDeviation(const Sample& first, const Sample& last,
+                            const Sample& s) {
+  double dur = last.t - first.t;
+  double f = dur == 0 ? 0 : (s.t - first.t) / dur;
+  Point interp(first.pos.x + (last.pos.x - first.pos.x) * f,
+               first.pos.y + (last.pos.y - first.pos.y) * f);
+  return Distance(interp, s.pos);
+}
+
+// Classic Douglas–Peucker on the samples with the synchronous metric.
+void Peucker(const std::vector<Sample>& samples, std::size_t lo,
+             std::size_t hi, double tolerance, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1;
+  std::size_t split = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    double d = SynchronousDeviation(samples[lo], samples[hi], samples[i]);
+    if (d > worst) {
+      worst = d;
+      split = i;
+    }
+  }
+  if (worst <= tolerance) return;
+  (*keep)[split] = true;
+  Peucker(samples, lo, split, tolerance, keep);
+  Peucker(samples, split, hi, tolerance, keep);
+}
+
+}  // namespace
+
+Result<MovingPoint> SimplifyTrajectory(const MovingPoint& mp,
+                                       double tolerance) {
+  if (tolerance < 0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+  if (mp.NumUnits() <= 1) return mp;
+  // Require continuity: contiguous deftime and matching positions at unit
+  // boundaries.
+  for (std::size_t i = 0; i + 1 < mp.NumUnits(); ++i) {
+    const TimeInterval& cur = mp.unit(i).interval();
+    const TimeInterval& nxt = mp.unit(i + 1).interval();
+    if (cur.end() != nxt.start()) {
+      return Status::FailedPrecondition(
+          "simplify requires a gap-free moving point");
+    }
+    if (!ApproxEqual(mp.unit(i).EndPoint(), mp.unit(i + 1).StartPoint(),
+                     kEpsilon * 1e3)) {
+      return Status::FailedPrecondition(
+          "simplify requires continuous unit boundaries");
+    }
+  }
+
+  std::vector<Sample> samples;
+  samples.reserve(mp.NumUnits() + 1);
+  samples.push_back(
+      {mp.unit(0).interval().start(), mp.unit(0).StartPoint()});
+  for (const UPoint& u : mp.units()) {
+    samples.push_back({u.interval().end(), u.EndPoint()});
+  }
+
+  std::vector<bool> keep(samples.size(), false);
+  keep.front() = keep.back() = true;
+  Peucker(samples, 0, samples.size() - 1, tolerance, &keep);
+
+  MappingBuilder<UPoint> builder;
+  std::size_t prev = 0;
+  bool overall_lc = mp.unit(0).interval().left_closed();
+  bool overall_rc = mp.units().back().interval().right_closed();
+  std::vector<std::size_t> kept_idx;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (keep[i]) kept_idx.push_back(i);
+  }
+  for (std::size_t k = 0; k + 1 < kept_idx.size(); ++k) {
+    prev = kept_idx[k];
+    std::size_t next = kept_idx[k + 1];
+    bool lc = (k == 0) ? overall_lc : true;
+    bool rc = (k + 2 == kept_idx.size()) ? overall_rc : false;
+    auto iv =
+        TimeInterval::Make(samples[prev].t, samples[next].t, lc, rc);
+    if (!iv.ok()) return iv.status();
+    auto unit = UPoint::FromEndpoints(*iv, samples[prev].pos,
+                                      samples[next].pos);
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+  }
+  return builder.Build();
+}
+
+double TrajectoryDeviation(const MovingPoint& a, const MovingPoint& b) {
+  std::vector<Instant> probes;
+  auto add_breaks = [&probes](const MovingPoint& m) {
+    for (const UPoint& u : m.units()) {
+      probes.push_back(u.interval().start());
+      probes.push_back(u.interval().end());
+      probes.push_back((u.interval().start() + u.interval().end()) / 2);
+    }
+  };
+  add_breaks(a);
+  add_breaks(b);
+  double worst = 0;
+  for (Instant t : probes) {
+    Intime<Point> pa = a.AtInstant(t);
+    Intime<Point> pb = b.AtInstant(t);
+    if (!pa.defined || !pb.defined) continue;
+    worst = std::max(worst, Distance(pa.val(), pb.val()));
+  }
+  return worst;
+}
+
+}  // namespace modb

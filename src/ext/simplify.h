@@ -1,0 +1,31 @@
+// Extension: trajectory simplification. A mapping(upoint) built from raw
+// samples often carries far more units than the motion warrants; this
+// module reduces the unit list with a Douglas–Peucker pass over the
+// moving point's (x, y, t) polyline — the "3D polyline" view of a moving
+// point the paper describes in Section 1 — while guaranteeing a spatial
+// error bound: at every original breakpoint instant, the simplified
+// point's position deviates by at most `tolerance`.
+
+#ifndef MODB_EXT_SIMPLIFY_H_
+#define MODB_EXT_SIMPLIFY_H_
+
+#include "core/status.h"
+#include "temporal/moving.h"
+
+namespace modb {
+
+/// Simplifies a continuous moving point (consecutive units share their
+/// boundary positions) to fewer units. Requires contiguous deftime;
+/// returns kFailedPrecondition for mappings with temporal gaps (simplify
+/// each contiguous part separately via AtPeriods).
+Result<MovingPoint> SimplifyTrajectory(const MovingPoint& mp,
+                                       double tolerance);
+
+/// Maximum position deviation between two moving points at the union of
+/// both unit breakpoints and midpoints (the error metric SimplifyTrajectory
+/// bounds). Instants where either is undefined are skipped.
+double TrajectoryDeviation(const MovingPoint& a, const MovingPoint& b);
+
+}  // namespace modb
+
+#endif  // MODB_EXT_SIMPLIFY_H_

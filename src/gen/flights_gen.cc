@@ -1,0 +1,50 @@
+#include "gen/flights_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "gen/trajectory_gen.h"
+
+namespace modb {
+
+Result<Relation> GeneratePlanes(const FlightsOptions& options) {
+  if (options.num_airports < 2) {
+    return Status::InvalidArgument("need at least 2 airports");
+  }
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coord(0, options.extent);
+  std::uniform_int_distribution<int> airport(0, options.num_airports - 1);
+  std::uniform_real_distribution<double> depart(0, options.departure_window);
+
+  std::vector<Point> airports;
+  airports.reserve(std::size_t(options.num_airports));
+  for (int i = 0; i < options.num_airports; ++i) {
+    airports.push_back(Point(coord(rng), coord(rng)));
+  }
+
+  const std::vector<std::string> airlines = {"Lufthansa", "Alitalia", "KLM",
+                                             "Iberia", "Sabena"};
+  Relation planes("planes",
+                  Schema({{"airline", AttributeType::kString},
+                          {"id", AttributeType::kString},
+                          {"flight", AttributeType::kMovingPoint}}));
+  for (int i = 0; i < options.num_flights; ++i) {
+    int from = airport(rng);
+    int to = airport(rng);
+    while (to == from) to = airport(rng);
+    double dist = Distance(airports[std::size_t(from)],
+                           airports[std::size_t(to)]);
+    double duration = dist / options.speed;
+    Result<MovingPoint> flight =
+        StraightRoute(airports[std::size_t(from)], airports[std::size_t(to)],
+                      depart(rng), duration, options.units_per_flight);
+    if (!flight.ok()) return flight.status();
+    const std::string& airline = airlines[std::size_t(i) % airlines.size()];
+    std::string id = airline.substr(0, 2) + std::to_string(100 + i);
+    MODB_RETURN_IF_ERROR(planes.Insert(
+        {StringValue(airline), StringValue(id), std::move(*flight)}));
+  }
+  return planes;
+}
+
+}  // namespace modb

@@ -1,0 +1,41 @@
+// Generator for the paper's running example relation
+//   planes(airline: string, id: string, flight: mpoint)
+// (Section 2): a synthetic airport network and straight-line flights
+// between airports, sliced into upoint units.
+
+#ifndef MODB_GEN_FLIGHTS_GEN_H_
+#define MODB_GEN_FLIGHTS_GEN_H_
+
+#include <cstdint>
+#include <random>
+
+#include "core/status.h"
+#include "db/relation.h"
+
+namespace modb {
+
+struct FlightsOptions {
+  int num_airports = 12;
+  int num_flights = 50;
+  /// Side length of the square world (km scale in the examples).
+  double extent = 10000.0;
+  /// Units per flight leg.
+  int units_per_flight = 8;
+  /// Flight speed (distance per time unit).
+  double speed = 800.0;
+  /// Departures are drawn uniformly from [0, departure_window].
+  double departure_window = 24.0;
+  std::uint64_t seed = 42;
+};
+
+/// Index of the flight attribute in the generated schema.
+inline constexpr int kFlightAttrAirline = 0;
+inline constexpr int kFlightAttrId = 1;
+inline constexpr int kFlightAttrFlight = 2;
+
+/// Builds the planes relation.
+Result<Relation> GeneratePlanes(const FlightsOptions& options);
+
+}  // namespace modb
+
+#endif  // MODB_GEN_FLIGHTS_GEN_H_

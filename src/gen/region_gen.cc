@@ -1,0 +1,130 @@
+#include "gen/region_gen.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace modb {
+
+namespace {
+
+// Builds the moving cycle interpolating ring0 (at t0) to ring1 (at t1).
+Result<MCycle> InterpolateCycle(const std::vector<Point>& ring0,
+                                const std::vector<Point>& ring1, Instant t0,
+                                Instant t1) {
+  MCycle cycle;
+  const std::size_t n = ring0.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s0 = Seg::Make(ring0[i], ring0[(i + 1) % n]);
+    auto s1 = Seg::Make(ring1[i], ring1[(i + 1) % n]);
+    if (!s0.ok()) return s0.status();
+    if (!s1.ok()) return s1.status();
+    // Match endpoints in ring order, not in Seg-normalized order, so the
+    // same physical vertex interpolates to itself.
+    Point a0 = ring0[i], b0 = ring0[(i + 1) % n];
+    Point a1 = ring1[i], b1 = ring1[(i + 1) % n];
+    double dur = t1 - t0;
+    auto motion = [&](const Point& p0, const Point& p1) {
+      double x1 = (p1.x - p0.x) / dur;
+      double y1 = (p1.y - p0.y) / dur;
+      return LinearMotion{p0.x - x1 * t0, x1, p0.y - y1 * t0, y1};
+    };
+    auto ms = MSeg::Make(motion(a0, a1), motion(b0, b1));
+    if (!ms.ok()) return ms.status();
+    cycle.push_back(*ms);
+  }
+  return cycle;
+}
+
+std::vector<Point> TransformRing(const std::vector<Point>& ring,
+                                 const Point& center, const Point& shift,
+                                 double scale) {
+  std::vector<Point> out;
+  out.reserve(ring.size());
+  for (const Point& p : ring) {
+    out.push_back(Point(center.x + shift.x + (p.x - center.x) * scale,
+                        center.y + shift.y + (p.y - center.y) * scale));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Point> GenerateRing(std::mt19937_64& rng,
+                                const RegionGenOptions& options,
+                                double scale) {
+  std::uniform_real_distribution<double> jitter(-options.jitter,
+                                                options.jitter);
+  std::vector<Point> ring;
+  ring.reserve(std::size_t(options.num_vertices));
+  for (int i = 0; i < options.num_vertices; ++i) {
+    double angle = 2 * std::numbers::pi * i / options.num_vertices;
+    double r = options.radius * scale * (1 + jitter(rng));
+    ring.push_back(Point(options.center.x + r * std::cos(angle),
+                         options.center.y + r * std::sin(angle)));
+  }
+  return ring;
+}
+
+Result<Region> GenerateRegion(std::mt19937_64& rng,
+                              const RegionGenOptions& options) {
+  std::vector<Point> outer = GenerateRing(rng, options);
+  std::vector<std::vector<Point>> holes;
+  if (options.with_hole) {
+    RegionGenOptions hole_opts = options;
+    hole_opts.jitter = 0;  // Keep the hole strictly inside.
+    holes.push_back(GenerateRing(rng, hole_opts, 0.4));
+  }
+  return Region::FromRings(outer, holes);
+}
+
+Result<MovingRegion> GenerateMovingRegion(std::mt19937_64& rng,
+                                          const MovingRegionOptions& options) {
+  std::vector<Point> base = GenerateRing(rng, options.shape);
+  std::vector<Point> hole_base;
+  if (options.shape.with_hole) {
+    RegionGenOptions hole_opts = options.shape;
+    hole_opts.jitter = 0;
+    hole_base = GenerateRing(rng, hole_opts, 0.4);
+  }
+
+  MappingBuilder<URegion> builder;
+  Instant t = options.start_time;
+  Point shift(0, 0);
+  double scale = 1.0;
+  for (int k = 0; k < options.num_units; ++k) {
+    Instant t0 = t;
+    Instant t1 = t + options.unit_duration;
+    double alt = (k % 2 == 0) ? 1.0 : -1.0;
+    Point shift1(shift.x + options.drift.x + alt * options.drift_alternation.x,
+                 shift.y + options.drift.y + alt * options.drift_alternation.y);
+    double scale1 = scale * options.scale_per_unit;
+
+    std::vector<Point> ring0 =
+        TransformRing(base, options.shape.center, shift, scale);
+    std::vector<Point> ring1 =
+        TransformRing(base, options.shape.center, shift1, scale1);
+    Result<MCycle> outer = InterpolateCycle(ring0, ring1, t0, t1);
+    if (!outer.ok()) return outer.status();
+    MFace face{std::move(*outer), {}};
+    if (!hole_base.empty()) {
+      std::vector<Point> h0 =
+          TransformRing(hole_base, options.shape.center, shift, scale);
+      std::vector<Point> h1 =
+          TransformRing(hole_base, options.shape.center, shift1, scale1);
+      Result<MCycle> hole = InterpolateCycle(h0, h1, t0, t1);
+      if (!hole.ok()) return hole.status();
+      face.holes.push_back(std::move(*hole));
+    }
+    auto iv = TimeInterval::Make(t0, t1, true, k + 1 == options.num_units);
+    if (!iv.ok()) return iv.status();
+    auto unit = URegion::Make(*iv, {std::move(face)});
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+    t = t1;
+    shift = shift1;
+    scale = scale1;
+  }
+  return builder.Build();
+}
+
+}  // namespace modb

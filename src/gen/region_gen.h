@@ -1,0 +1,65 @@
+// Synthetic region and moving-region workloads: jittered convex polygons
+// (optionally with a hole), and moving regions that translate and scale —
+// the motions the non-rotation constraint of Section 3.2.6 represents
+// exactly.
+
+#ifndef MODB_GEN_REGION_GEN_H_
+#define MODB_GEN_REGION_GEN_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/status.h"
+#include "spatial/region.h"
+#include "temporal/moving.h"
+
+namespace modb {
+
+struct RegionGenOptions {
+  /// Vertices of the outer cycle.
+  int num_vertices = 16;
+  Point center = Point(0, 0);
+  double radius = 100.0;
+  /// Relative radial jitter in [0, 1); 0 gives a regular polygon.
+  double jitter = 0.3;
+  /// Add a concentric hole of half the (min) radius.
+  bool with_hole = false;
+};
+
+/// The outer (or hole) ring as a vertex list; radii are jittered but kept
+/// star-shaped so the ring is always simple.
+std::vector<Point> GenerateRing(std::mt19937_64& rng,
+                                const RegionGenOptions& options,
+                                double scale = 1.0);
+
+/// A random region value.
+Result<Region> GenerateRegion(std::mt19937_64& rng,
+                              const RegionGenOptions& options);
+
+struct MovingRegionOptions {
+  RegionGenOptions shape;
+  /// Number of uregion units.
+  int num_units = 4;
+  Instant start_time = 0;
+  double unit_duration = 10.0;
+  /// Center displacement per unit.
+  Point drift = Point(20, 0);
+  /// Added to the drift on even units and subtracted on odd units
+  /// (zig-zag). A constant drift makes consecutive units share one linear
+  /// motion, which the mapping builder merges into a single unit; any
+  /// non-zero alternation keeps the requested slicing observable.
+  Point drift_alternation = Point(0, 0);
+  /// Multiplicative size change per unit (1 = rigid translation).
+  double scale_per_unit = 1.0;
+};
+
+/// A moving region that drifts and scales. Each unit interpolates the
+/// ring vertices linearly (matching a-to-a), so every moving segment is
+/// trivially coplanar (Figure 5's construction).
+Result<MovingRegion> GenerateMovingRegion(std::mt19937_64& rng,
+                                          const MovingRegionOptions& options);
+
+}  // namespace modb
+
+#endif  // MODB_GEN_REGION_GEN_H_

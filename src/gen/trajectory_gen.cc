@@ -1,0 +1,65 @@
+#include "gen/trajectory_gen.h"
+
+#include <algorithm>
+
+namespace modb {
+
+Result<MovingPoint> RandomWalkPoint(std::mt19937_64& rng,
+                                    const TrajectoryOptions& options) {
+  std::uniform_real_distribution<double> coord(0, options.extent);
+  std::uniform_real_distribution<double> step(-options.max_step,
+                                              options.max_step);
+  std::uniform_real_distribution<double> unit01(0, 1);
+
+  MappingBuilder<UPoint> builder;
+  Point pos(coord(rng), coord(rng));
+  Instant t = options.start_time;
+  for (int i = 0; i < options.num_units; ++i) {
+    Point next = pos;
+    if (unit01(rng) >= options.stop_probability) {
+      next.x = std::clamp(pos.x + step(rng), 0.0, options.extent);
+      next.y = std::clamp(pos.y + step(rng), 0.0, options.extent);
+    }
+    auto iv = TimeInterval::Make(t, t + options.unit_duration, true,
+                                 /*rc=*/i + 1 == options.num_units);
+    if (!iv.ok()) return iv.status();
+    auto unit = UPoint::FromEndpoints(*iv, pos, next);
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+    pos = next;
+    t += options.unit_duration;
+  }
+  return builder.Build();
+}
+
+Result<MovingPoint> StraightRoute(const Point& from, const Point& to,
+                                  Instant departure, double duration,
+                                  int num_units) {
+  if (num_units < 1 || duration <= 0) {
+    return Status::InvalidArgument("route needs >= 1 unit and > 0 duration");
+  }
+  MappingBuilder<UPoint> builder;
+  // A single linear motion sliced into equal units. Because consecutive
+  // units share the same motion coefficients, the builder merges them —
+  // which is exactly the minimality the mapping constraints require. To
+  // keep the requested slicing observable we instead construct units via
+  // endpoint interpolation, which yields bitwise-different (but
+  // value-equal) coefficients only if rounding differs; merge handles the
+  // rest. Either way the result is a valid minimal mapping.
+  for (int i = 0; i < num_units; ++i) {
+    double f0 = double(i) / num_units;
+    double f1 = double(i + 1) / num_units;
+    Point p0(from.x + (to.x - from.x) * f0, from.y + (to.y - from.y) * f0);
+    Point p1(from.x + (to.x - from.x) * f1, from.y + (to.y - from.y) * f1);
+    auto iv = TimeInterval::Make(departure + duration * f0,
+                                 departure + duration * f1, true,
+                                 i + 1 == num_units);
+    if (!iv.ok()) return iv.status();
+    auto unit = UPoint::FromEndpoints(*iv, p0, p1);
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+  }
+  return builder.Build();
+}
+
+}  // namespace modb

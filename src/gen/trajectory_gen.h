@@ -1,0 +1,45 @@
+// Synthetic moving-point workloads. The paper evaluates no dataset of its
+// own (it is a data-model paper); these generators produce the
+// trajectories its examples and complexity claims are exercised with:
+// piecewise-linear random walks and waypoint routes, sliced exactly as a
+// mapping(upoint).
+
+#ifndef MODB_GEN_TRAJECTORY_GEN_H_
+#define MODB_GEN_TRAJECTORY_GEN_H_
+
+#include <cstdint>
+#include <random>
+
+#include "core/status.h"
+#include "temporal/moving.h"
+
+namespace modb {
+
+struct TrajectoryOptions {
+  /// Number of upoint units.
+  int num_units = 16;
+  Instant start_time = 0;
+  /// Duration of each unit.
+  double unit_duration = 1.0;
+  /// Region of the plane the walk stays in ([0, extent] × [0, extent]).
+  double extent = 1000.0;
+  /// Maximum displacement per unit.
+  double max_step = 20.0;
+  /// Probability that a unit is stationary (a stop).
+  double stop_probability = 0.0;
+};
+
+/// A random-walk moving point; consecutive units share their boundary
+/// positions exactly (the continuity the sliced representation encodes).
+Result<MovingPoint> RandomWalkPoint(std::mt19937_64& rng,
+                                    const TrajectoryOptions& options);
+
+/// A straight flight from `from` to `to` at constant speed, sliced into
+/// `num_units` units of equal duration starting at `departure`.
+Result<MovingPoint> StraightRoute(const Point& from, const Point& to,
+                                  Instant departure, double duration,
+                                  int num_units);
+
+}  // namespace modb
+
+#endif  // MODB_GEN_TRAJECTORY_GEN_H_

@@ -1,0 +1,100 @@
+#include "index/rtree3d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace modb {
+
+namespace {
+
+double CenterX(const Cube& c) { return (c.rect.min_x + c.rect.max_x) / 2; }
+double CenterY(const Cube& c) { return (c.rect.min_y + c.rect.max_y) / 2; }
+double CenterT(const Cube& c) { return (c.min_t + c.max_t) / 2; }
+
+// Sort-Tile-Recursive grouping: partitions `items` (ordered arbitrarily)
+// into groups of at most `fanout`, tiling by x slabs, then y runs, then t.
+template <typename GetCube>
+std::vector<std::vector<int32_t>> StrGroups(std::vector<int32_t> items,
+                                            int fanout, GetCube cube_of) {
+  const std::size_t n = items.size();
+  const std::size_t num_groups = (n + fanout - 1) / std::size_t(fanout);
+  const int s = std::max(1, int(std::ceil(std::cbrt(double(num_groups)))));
+  std::sort(items.begin(), items.end(), [&](int32_t a, int32_t b) {
+    return CenterX(cube_of(a)) < CenterX(cube_of(b));
+  });
+  std::vector<std::vector<int32_t>> groups;
+  const std::size_t slab = (n + s - 1) / std::size_t(s);
+  for (std::size_t x0 = 0; x0 < n; x0 += slab) {
+    std::size_t x1 = std::min(n, x0 + slab);
+    std::sort(items.begin() + x0, items.begin() + x1,
+              [&](int32_t a, int32_t b) {
+                return CenterY(cube_of(a)) < CenterY(cube_of(b));
+              });
+    const std::size_t run = (x1 - x0 + s - 1) / std::size_t(s);
+    for (std::size_t y0 = x0; y0 < x1; y0 += run) {
+      std::size_t y1 = std::min(x1, y0 + run);
+      std::sort(items.begin() + y0, items.begin() + y1,
+                [&](int32_t a, int32_t b) {
+                  return CenterT(cube_of(a)) < CenterT(cube_of(b));
+                });
+      for (std::size_t t0 = y0; t0 < y1; t0 += std::size_t(fanout)) {
+        std::size_t t1 = std::min(y1, t0 + std::size_t(fanout));
+        groups.emplace_back(items.begin() + t0, items.begin() + t1);
+      }
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+RTree3D RTree3D::BulkLoad(std::vector<Entry> entries, int fanout) {
+  RTree3D tree;
+  tree.entries_ = std::move(entries);
+  tree.num_entries_ = tree.entries_.size();
+  if (tree.entries_.empty()) return tree;
+
+  // Leaf level.
+  std::vector<int32_t> ids(tree.entries_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = int32_t(i);
+  auto entry_cube = [&tree](int32_t i) -> const Cube& {
+    return tree.entries_[std::size_t(i)].cube;
+  };
+  std::vector<int32_t> level;
+  for (auto& group : StrGroups(std::move(ids), fanout, entry_cube)) {
+    Node node;
+    node.leaf = true;
+    node.children = std::move(group);
+    for (int32_t e : node.children) node.cube.Extend(entry_cube(e));
+    tree.nodes_.push_back(std::move(node));
+    level.push_back(int32_t(tree.nodes_.size()) - 1);
+  }
+  tree.height_ = 1;
+
+  // Internal levels.
+  auto node_cube = [&tree](int32_t i) -> const Cube& {
+    return tree.nodes_[std::size_t(i)].cube;
+  };
+  while (level.size() > 1) {
+    std::vector<int32_t> next;
+    for (auto& group : StrGroups(std::move(level), fanout, node_cube)) {
+      Node node;
+      node.leaf = false;
+      node.children = std::move(group);
+      for (int32_t c : node.children) node.cube.Extend(node_cube(c));
+      tree.nodes_.push_back(std::move(node));
+      next.push_back(int32_t(tree.nodes_.size()) - 1);
+    }
+    level = std::move(next);
+    ++tree.height_;
+  }
+  return tree;
+}
+
+std::vector<int64_t> RTree3D::Query(const Cube& query) const {
+  std::vector<int64_t> out;
+  QueryVisit(query, [&out](int64_t id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace modb

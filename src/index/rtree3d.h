@@ -1,0 +1,72 @@
+// A 3D (x, y, t) R-tree over unit bounding cubes. Section 4.2 stores a
+// bounding cube with every variable-size unit; this index puts those
+// cubes to work for spatio-temporal joins (the ablation of
+// bench_queries). Built by Sort-Tile-Recursive bulk loading.
+
+#ifndef MODB_INDEX_RTREE3D_H_
+#define MODB_INDEX_RTREE3D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/bbox.h"
+
+namespace modb {
+
+class RTree3D {
+ public:
+  struct Entry {
+    Cube cube;
+    int64_t id = 0;
+  };
+
+  RTree3D() = default;
+
+  /// Builds the tree from all entries at once (STR bulk load).
+  static RTree3D BulkLoad(std::vector<Entry> entries, int fanout = 16);
+
+  /// Ids of all entries whose cubes intersect the query cube.
+  std::vector<int64_t> Query(const Cube& query) const;
+
+  /// Visits intersecting entries without materializing the id vector.
+  template <typename Fn>
+  void QueryVisit(const Cube& query, Fn&& fn) const {
+    if (nodes_.empty()) return;
+    VisitRec(int32_t(nodes_.size()) - 1, query, fn);
+  }
+
+  std::size_t NumEntries() const { return num_entries_; }
+  std::size_t NumNodes() const { return nodes_.size(); }
+  int Height() const { return height_; }
+
+ private:
+  struct Node {
+    Cube cube;
+    bool leaf = true;
+    // Leaf: indices into entries_. Internal: indices into nodes_.
+    std::vector<int32_t> children;
+  };
+
+  template <typename Fn>
+  void VisitRec(int32_t node_idx, const Cube& query, Fn& fn) const {
+    const Node& node = nodes_[std::size_t(node_idx)];
+    if (!Cube::Intersect(node.cube, query)) return;
+    if (node.leaf) {
+      for (int32_t e : node.children) {
+        const Entry& entry = entries_[std::size_t(e)];
+        if (Cube::Intersect(entry.cube, query)) fn(entry.id);
+      }
+      return;
+    }
+    for (int32_t c : node.children) VisitRec(c, query, fn);
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;  // Root is the last node.
+  std::size_t num_entries_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace modb
+
+#endif  // MODB_INDEX_RTREE3D_H_

@@ -1,0 +1,96 @@
+// Bounding boxes: 2D rectangles (the "bounding box" summary data of
+// Section 4.1) and 3D bounding cubes over space × time (the per-unit
+// "bounding cube" of Section 4.2).
+
+#ifndef MODB_SPATIAL_BBOX_H_
+#define MODB_SPATIAL_BBOX_H_
+
+#include <algorithm>
+
+#include "core/instant.h"
+#include "core/real.h"
+#include "spatial/point.h"
+
+namespace modb {
+
+/// Axis-aligned 2D rectangle. An empty Rect (default constructed) has
+/// min > max and contains nothing.
+struct Rect {
+  double min_x = kInfinity;
+  double min_y = kInfinity;
+  double max_x = -kInfinity;
+  double max_y = -kInfinity;
+
+  Rect() = default;
+  Rect(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  static Rect Of(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void Extend(const Rect& r) {
+    min_x = std::min(min_x, r.min_x);
+    min_y = std::min(min_y, r.min_y);
+    max_x = std::max(max_x, r.max_x);
+    max_y = std::max(max_y, r.max_y);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  static bool Intersect(const Rect& a, const Rect& b) {
+    return a.min_x <= b.max_x && b.min_x <= a.max_x && a.min_y <= b.max_y &&
+           b.min_y <= a.max_y;
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+/// Axis-aligned 3D box over (x, y, t): the bounding cube stored with each
+/// variable-size unit (Section 4.2) and the key of the R-tree index.
+struct Cube {
+  Rect rect;
+  Instant min_t = kInfinity;
+  Instant max_t = -kInfinity;
+
+  Cube() = default;
+  Cube(const Rect& r, Instant t0, Instant t1)
+      : rect(r), min_t(t0), max_t(t1) {}
+
+  bool IsEmpty() const { return rect.IsEmpty() || min_t > max_t; }
+
+  void Extend(const Cube& c) {
+    rect.Extend(c.rect);
+    min_t = std::min(min_t, c.min_t);
+    max_t = std::max(max_t, c.max_t);
+  }
+
+  static bool Intersect(const Cube& a, const Cube& b) {
+    return Rect::Intersect(a.rect, b.rect) && a.min_t <= b.max_t &&
+           b.min_t <= a.max_t;
+  }
+
+  /// Margin-based volume used by the R-tree heuristics (degenerate boxes
+  /// still get non-zero weight).
+  double Volume() const {
+    if (IsEmpty()) return 0;
+    return (rect.max_x - rect.min_x + 1e-12) *
+           (rect.max_y - rect.min_y + 1e-12) * (max_t - min_t + 1e-12);
+  }
+};
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_BBOX_H_

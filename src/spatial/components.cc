@@ -1,0 +1,84 @@
+#include "spatial/components.h"
+
+#include <numeric>
+
+#include "spatial/region_builder.h"
+
+namespace modb {
+
+namespace {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Result<std::vector<Region>> Components(const Region& r) {
+  std::vector<Region> out;
+  out.reserve(r.NumFaces());
+  for (std::size_t f = 0; f < r.NumFaces(); ++f) {
+    // Gather the face's cycles by walking its cycle chain.
+    std::vector<Seg> segs;
+    int32_t c = r.faces()[f].first_cycle;
+    while (c >= 0) {
+      std::vector<Seg> cyc = r.CycleSegments(c);
+      segs.insert(segs.end(), cyc.begin(), cyc.end());
+      c = r.cycles()[std::size_t(c)].next_cycle_in_face;
+    }
+    Result<Region> face = RegionBuilder::Close(std::move(segs));
+    if (!face.ok()) return face.status();
+    out.push_back(std::move(*face));
+  }
+  return out;
+}
+
+std::vector<Line> Components(const Line& l) {
+  const std::vector<Seg>& segs = l.segments();
+  const std::size_t n = segs.size();
+  DisjointSets ds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Sorted by left endpoint: past i's x-range nothing connects.
+      if (segs[j].a().x > segs[i].b().x) break;
+      if (SegsIntersect(segs[i], segs[j])) ds.Merge(i, j);
+    }
+  }
+  std::vector<std::vector<Seg>> groups;
+  std::vector<int> group_of(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t root = ds.Find(i);
+    if (group_of[root] < 0) {
+      group_of[root] = int(groups.size());
+      groups.emplace_back();
+    }
+    groups[std::size_t(group_of[root])].push_back(segs[i]);
+  }
+  std::vector<Line> out;
+  out.reserve(groups.size());
+  for (auto& group : groups) {
+    // The segments come from a valid line value, so Make cannot fail.
+    out.push_back(*Line::Make(std::move(group)));
+  }
+  return out;
+}
+
+std::size_t NumComponents(const Region& r) { return r.NumFaces(); }
+
+std::size_t NumComponents(const Line& l) { return Components(l).size(); }
+
+}  // namespace modb

@@ -1,0 +1,29 @@
+// The `components` operation of the abstract model: decomposing composite
+// spatial values into their connected parts — a region into its faces, a
+// line into its edge-connected components.
+
+#ifndef MODB_SPATIAL_COMPONENTS_H_
+#define MODB_SPATIAL_COMPONENTS_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "spatial/line.h"
+#include "spatial/region.h"
+
+namespace modb {
+
+/// Splits a region into single-face regions (each keeping its holes).
+Result<std::vector<Region>> Components(const Region& r);
+
+/// Splits a line into connected components (segments linked by shared
+/// endpoints or crossings).
+std::vector<Line> Components(const Line& l);
+
+/// Number of faces / connected components without materializing them.
+std::size_t NumComponents(const Region& r);
+std::size_t NumComponents(const Line& l);
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_COMPONENTS_H_

@@ -1,0 +1,37 @@
+#include "spatial/halfsegment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace modb {
+
+bool HalfSegmentLess(const HalfSegment& s, const HalfSegment& t) {
+  const Point& dp = s.DominatingPoint();
+  const Point& dq = t.DominatingPoint();
+  if (!(dp == dq)) return dp < dq;
+  // Equal dominating points: right halfsegments precede left ones, so a
+  // sweep retires a segment before admitting its successor.
+  if (s.left_dominating != t.left_dominating) return !s.left_dominating;
+  // Same flavor: angular order of the secondary endpoint around the
+  // dominating point.
+  const Point& p = s.SecondaryPoint();
+  const Point& q = t.SecondaryPoint();
+  double ang_p = std::atan2(p.y - dp.y, p.x - dp.x);
+  double ang_q = std::atan2(q.y - dq.y, q.x - dq.x);
+  if (ang_p != ang_q) return ang_p < ang_q;
+  // Collinear same-direction halfsegments: shorter first for determinism.
+  return SquaredDistance(dp, p) < SquaredDistance(dq, q);
+}
+
+std::vector<HalfSegment> MakeHalfSegments(const std::vector<Seg>& segs) {
+  std::vector<HalfSegment> out;
+  out.reserve(segs.size() * 2);
+  for (const Seg& s : segs) {
+    out.push_back(HalfSegment{.seg = s, .left_dominating = true});
+    out.push_back(HalfSegment{.seg = s, .left_dominating = false});
+  }
+  std::sort(out.begin(), out.end(), HalfSegmentLess);
+  return out;
+}
+
+}  // namespace modb

@@ -1,0 +1,51 @@
+// Halfsegments (Section 4.1): each segment is stored twice, once per
+// endpoint; the stored endpoint is the *dominating point*. The total order
+// on halfsegments (dominating point first, right-before-left at equal
+// points, then angular order) is what makes plane-sweep algorithms a
+// linear scan over the array — the design rationale given in the paper and
+// in [GdRS95].
+
+#ifndef MODB_SPATIAL_HALFSEGMENT_H_
+#define MODB_SPATIAL_HALFSEGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/seg.h"
+
+namespace modb {
+
+/// A halfsegment record. The cycle/face/link fields are only meaningful
+/// inside a Region (set by RegionBuilder); Line leaves them at defaults.
+struct HalfSegment {
+  Seg seg;
+  /// True when the dominating point is the left (smaller) endpoint.
+  bool left_dominating = true;
+  /// True when the region's interior lies above (for vertical segments:
+  /// left of) the segment. Only meaningful inside a Region.
+  bool inside_above = false;
+  /// Index of the cycle this halfsegment belongs to (Region only).
+  int32_t cycle = -1;
+  /// Index of the face this halfsegment belongs to (Region only).
+  int32_t face = -1;
+  /// Index of the next halfsegment in the same cycle (Region only);
+  /// realizes the paper's "next-in-cycle" links as array indices.
+  int32_t next_in_cycle = -1;
+
+  const Point& DominatingPoint() const {
+    return left_dominating ? seg.a() : seg.b();
+  }
+  const Point& SecondaryPoint() const {
+    return left_dominating ? seg.b() : seg.a();
+  }
+};
+
+/// The ROSE-style total order on halfsegments.
+bool HalfSegmentLess(const HalfSegment& s, const HalfSegment& t);
+
+/// Expands segments into their 2n halfsegments in sorted order.
+std::vector<HalfSegment> MakeHalfSegments(const std::vector<Seg>& segs);
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_HALFSEGMENT_H_

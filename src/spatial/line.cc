@@ -1,0 +1,201 @@
+#include "spatial/line.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace modb {
+
+namespace {
+
+// Union-find over segment indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// Parameter of p along the supporting line of s (dominant axis).
+double ParamOf(const Seg& s, const Point& p) {
+  double dx = s.b().x - s.a().x;
+  double dy = s.b().y - s.a().y;
+  if (std::fabs(dx) >= std::fabs(dy)) return (p.x - s.a().x) / dx;
+  return (p.y - s.a().y) / dy;
+}
+
+Point Lerp(const Seg& s, double u) {
+  return Point(s.a().x + u * (s.b().x - s.a().x),
+               s.a().y + u * (s.b().y - s.a().y));
+}
+
+}  // namespace
+
+std::vector<Seg> MergeSegs(std::vector<Seg> segs) {
+  const std::size_t n = segs.size();
+  if (n <= 1) return segs;
+  // Group collinear segments that share at least one point; each group is
+  // a contiguous piece of one supporting line (connectivity is transitive
+  // along the line).
+  DisjointSets ds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (Collinear(segs[i], segs[j]) && SegsIntersect(segs[i], segs[j])) {
+        ds.Merge(i, j);
+      }
+    }
+  }
+  std::vector<Seg> out;
+  std::vector<bool> done(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t root = ds.Find(i);
+    if (done[root]) continue;
+    done[root] = true;
+    // Collect the group's extreme endpoints along segs[root].
+    double lo = 0, hi = 1;
+    bool first = true;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (ds.Find(j) != root) continue;
+      double u0 = ParamOf(segs[root], segs[j].a());
+      double u1 = ParamOf(segs[root], segs[j].b());
+      if (first) {
+        lo = std::min(u0, u1);
+        hi = std::max(u0, u1);
+        first = false;
+      } else {
+        lo = std::min({lo, u0, u1});
+        hi = std::max({hi, u0, u1});
+      }
+    }
+    auto merged = Seg::Make(Lerp(segs[root], lo), Lerp(segs[root], hi));
+    if (merged.ok()) out.push_back(*merged);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<Line> Line::Make(std::vector<Seg> segs) {
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      // Segments are sorted by left endpoint; once j starts past i's
+      // right end in x, no later j can share a point with i.
+      if (segs[j].a().x > segs[i].b().x) break;
+      if (Collinear(segs[i], segs[j]) && SegsIntersect(segs[i], segs[j])) {
+        return Status::InvalidArgument(
+            "line value contains collinear non-disjoint segments: " +
+            segs[i].ToString() + " and " + segs[j].ToString());
+      }
+    }
+  }
+  return Line(std::move(segs));
+}
+
+Line Line::Canonical(std::vector<Seg> segs) {
+  return Line(MergeSegs(std::move(segs)));
+}
+
+double Line::Length() const {
+  double total = 0;
+  for (const Seg& s : segs_) total += s.Length();
+  return total;
+}
+
+Rect Line::BoundingBox() const {
+  Rect r;
+  for (const Seg& s : segs_) {
+    r.Extend(s.a());
+    r.Extend(s.b());
+  }
+  return r;
+}
+
+bool Line::Contains(const Point& p) const {
+  for (const Seg& s : segs_) {
+    if (s.Contains(p)) return true;
+  }
+  return false;
+}
+
+Line Line::Union(const Line& a, const Line& b) {
+  std::vector<Seg> all = a.segs_;
+  all.insert(all.end(), b.segs_.begin(), b.segs_.end());
+  return Canonical(std::move(all));
+}
+
+Line Line::Intersection(const Line& a, const Line& b) {
+  std::vector<Seg> out;
+  for (const Seg& s : a.segs_) {
+    for (const Seg& t : b.segs_) {
+      SegIntersection x = Intersect(s, t);
+      if (x.kind == SegIntersection::Kind::kSegment) {
+        auto frag = Seg::Make(x.seg_a, x.seg_b);
+        if (frag.ok()) out.push_back(*frag);
+      }
+    }
+  }
+  return Canonical(std::move(out));
+}
+
+Line Line::Difference(const Line& a, const Line& b) {
+  std::vector<Seg> out;
+  for (const Seg& s : a.segs_) {
+    // Collect the parameter intervals of s covered by b, then keep the
+    // complement.
+    std::vector<std::pair<double, double>> covered;
+    for (const Seg& t : b.segs_) {
+      SegIntersection x = Intersect(s, t);
+      if (x.kind != SegIntersection::Kind::kSegment) continue;
+      double u0 = ParamOf(s, x.seg_a);
+      double u1 = ParamOf(s, x.seg_b);
+      covered.emplace_back(std::min(u0, u1), std::max(u0, u1));
+    }
+    std::sort(covered.begin(), covered.end());
+    double pos = 0;
+    double eps = kEpsilon / std::max(s.Length(), kEpsilon);
+    for (const auto& [lo, hi] : covered) {
+      if (lo > pos + eps) {
+        auto piece = Seg::Make(Lerp(s, pos), Lerp(s, lo));
+        if (piece.ok()) out.push_back(*piece);
+      }
+      pos = std::max(pos, hi);
+    }
+    if (pos < 1 - eps) {
+      auto piece = Seg::Make(Lerp(s, pos), Lerp(s, 1));
+      if (piece.ok()) out.push_back(*piece);
+    }
+  }
+  return Canonical(std::move(out));
+}
+
+Points Line::CrossingPoints(const Line& a, const Line& b) {
+  std::vector<Point> pts;
+  for (const Seg& s : a.segs_) {
+    for (const Seg& t : b.segs_) {
+      SegIntersection x = Intersect(s, t);
+      if (x.kind == SegIntersection::Kind::kPoint) pts.push_back(x.point);
+    }
+  }
+  return Points::FromVector(std::move(pts));
+}
+
+std::string Line::ToString() const {
+  std::ostringstream os;
+  os << "line(" << segs_.size() << " segs)";
+  return os.str();
+}
+
+}  // namespace modb

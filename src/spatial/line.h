@@ -1,0 +1,85 @@
+// The `line` type (Section 3.2.2): a finite set of line segments with the
+// single constraint that collinear segments are disjoint
+//   D_line = {S ⊂ Seg | ∀s,t ∈ S: s ≠ t ∧ collinear(s,t) ⇒ disjoint(s,t)},
+// which guarantees a unique representation. The paper deliberately uses
+// this unstructured segment-set view (Figure 2c) rather than a polyline or
+// graph view, so that e.g. trajectories of moving points are cheap to
+// build.
+
+#ifndef MODB_SPATIAL_LINE_H_
+#define MODB_SPATIAL_LINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "spatial/bbox.h"
+#include "spatial/halfsegment.h"
+#include "spatial/points.h"
+#include "spatial/seg.h"
+
+namespace modb {
+
+/// merge-segs of Section 3.2.6: merges collinear segments that share at
+/// least one point into maximal segments. The result satisfies the D_line
+/// constraint.
+std::vector<Seg> MergeSegs(std::vector<Seg> segs);
+
+/// A line value in canonical form (sorted segments, no collinear pair
+/// sharing a point).
+class Line {
+ public:
+  /// The empty line.
+  Line() = default;
+
+  /// Strict factory: rejects inputs violating the D_line constraint.
+  static Result<Line> Make(std::vector<Seg> segs);
+
+  /// Canonicalizing factory: merges collinear touching/overlapping
+  /// segments (merge-segs), so any set of segments yields a valid value —
+  /// Figure 2(c)'s observation that every segment set denotes a line.
+  static Line Canonical(std::vector<Seg> segs);
+
+  bool IsEmpty() const { return segs_.empty(); }
+  std::size_t NumSegments() const { return segs_.size(); }
+  const std::vector<Seg>& segments() const { return segs_; }
+  const Seg& segment(std::size_t i) const { return segs_[i]; }
+
+  /// Total Euclidean length (the `length` operation of Section 2).
+  double Length() const;
+  Rect BoundingBox() const;
+
+  /// True iff p lies on some segment of the line.
+  bool Contains(const Point& p) const;
+
+  /// The ordered halfsegment array of Section 4.1.
+  std::vector<HalfSegment> HalfSegments() const {
+    return MakeHalfSegments(segs_);
+  }
+
+  /// Set operations with line semantics (1-dimensional parts only).
+  static Line Union(const Line& a, const Line& b);
+  /// Common 1-dimensional parts (collinear overlaps).
+  static Line Intersection(const Line& a, const Line& b);
+  /// a minus the 1-dimensional parts shared with b.
+  static Line Difference(const Line& a, const Line& b);
+  /// 0-dimensional intersections: points where segments of a and b cross
+  /// or touch without collinear overlap.
+  static Points CrossingPoints(const Line& a, const Line& b);
+
+  friend bool operator==(const Line& a, const Line& b) {
+    return a.segs_ == b.segs_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit Line(std::vector<Seg> sorted) : segs_(std::move(sorted)) {}
+
+  std::vector<Seg> segs_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_LINE_H_

@@ -1,0 +1,228 @@
+#include "spatial/overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/real.h"
+#include "spatial/region_builder.h"
+#include "spatial/seg.h"
+#include "spatial/segment_grid.h"
+
+namespace modb {
+
+namespace {
+
+double ParamOf(const Seg& s, const Point& p) {
+  double dx = s.b().x - s.a().x;
+  double dy = s.b().y - s.a().y;
+  if (std::fabs(dx) >= std::fabs(dy)) return (p.x - s.a().x) / dx;
+  return (p.y - s.a().y) / dy;
+}
+
+Point Lerp(const Seg& s, double u) {
+  return Point(s.a().x + u * (s.b().x - s.a().x),
+               s.a().y + u * (s.b().y - s.a().y));
+}
+
+// Splits every segment of `own` at its intersections with `other`,
+// pruning candidates with a grid over `other`.
+std::vector<Seg> Node(const std::vector<Seg>& own,
+                      const std::vector<Seg>& other,
+                      const SegmentGrid& other_grid) {
+  std::vector<Seg> out;
+  std::vector<int32_t> candidates;
+  for (const Seg& s : own) {
+    candidates.clear();
+    // Segments of `other` registered in any grid column overlapping s's
+    // x-range are a sound candidate superset for intersections with s.
+    Rect bb = s.BoundingBox();
+    other_grid.VisitXRange(bb.min_x, bb.max_x,
+                           [&](int32_t i) { candidates.push_back(i); });
+    std::vector<double> params = {0.0, 1.0};
+    for (int32_t ti : candidates) {
+      const Seg& t = other[std::size_t(ti)];
+      SegIntersection x = Intersect(s, t);
+      if (x.kind == SegIntersection::Kind::kPoint) {
+        params.push_back(ParamOf(s, x.point));
+      } else if (x.kind == SegIntersection::Kind::kSegment) {
+        params.push_back(ParamOf(s, x.seg_a));
+        params.push_back(ParamOf(s, x.seg_b));
+      }
+    }
+    std::sort(params.begin(), params.end());
+    double eps = kEpsilon / std::max(s.Length(), kEpsilon);
+    double prev = 0.0;
+    for (double u : params) {
+      u = std::clamp(u, 0.0, 1.0);
+      if (u > prev + eps) {
+        auto piece = Seg::Make(Lerp(s, prev), Lerp(s, u));
+        if (piece.ok()) out.push_back(*piece);
+        prev = u;
+      }
+    }
+    if (prev < 1.0 - eps) {
+      auto piece = Seg::Make(Lerp(s, prev), Lerp(s, 1.0));
+      if (piece.ok()) out.push_back(*piece);
+    }
+  }
+  return out;
+}
+
+// Snaps nearly coincident endpoints (produced by noding the same
+// intersection from two different parent segments) to one representative
+// so RegionBuilder sees exactly shared vertices.
+class SnapPool {
+ public:
+  explicit SnapPool(double tol) : tol_(tol) {}
+
+  void Add(const Point& p) { pts_.push_back(p); }
+
+  void Build() {
+    std::sort(pts_.begin(), pts_.end());
+    reps_.clear();
+    for (const Point& p : pts_) {
+      bool merged = false;
+      // Candidates are nearby in the sorted order; scan back while x is
+      // within tolerance.
+      for (auto it = reps_.rbegin(); it != reps_.rend(); ++it) {
+        if (p.x - it->x > tol_) break;
+        if (std::fabs(p.y - it->y) <= tol_) {
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) reps_.push_back(p);
+    }
+  }
+
+  Point Snap(const Point& p) const {
+    // Binary search window on x, then nearest rep within tolerance.
+    auto lo = std::lower_bound(reps_.begin(), reps_.end(),
+                               Point(p.x - tol_ * 2, -kInfinity));
+    const Point* best = nullptr;
+    double best_d = tol_;
+    for (auto it = lo; it != reps_.end() && it->x <= p.x + tol_ * 2; ++it) {
+      double d = std::max(std::fabs(it->x - p.x), std::fabs(it->y - p.y));
+      if (d <= best_d) {
+        best_d = d;
+        best = &*it;
+      }
+    }
+    return best ? *best : p;
+  }
+
+ private:
+  double tol_;
+  std::vector<Point> pts_;
+  std::vector<Point> reps_;
+};
+
+// Parity of operand boundary crossings strictly above (non-vertical) or
+// strictly left (vertical) of the midpoint m of a sub-segment, with
+// candidates from the operand's grid. Odd parity means the operand's
+// interior occupies that side.
+bool SideInside(const std::vector<Seg>& operand, const SegmentGrid& grid,
+                const Point& m, bool vertical, bool positive_side) {
+  int parity = 0;
+  double tol = kEpsilon * (1.0 + std::fabs(vertical ? m.x : m.y));
+  auto tally = [&](int32_t i) {
+    const Seg& t = operand[std::size_t(i)];
+    const Point& a = t.a();
+    const Point& b = t.b();
+    if (!vertical) {
+      bool spans = (a.x <= m.x) != (b.x <= m.x);
+      if (!spans) return;
+      double y_at = a.y + (m.x - a.x) * (b.y - a.y) / (b.x - a.x);
+      if (positive_side ? (y_at > m.y + tol) : (y_at < m.y - tol)) ++parity;
+    } else {
+      bool spans = (a.y <= m.y) != (b.y <= m.y);
+      if (!spans) return;
+      double x_at = a.x + (m.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (positive_side ? (x_at > m.x + tol) : (x_at < m.x - tol)) ++parity;
+    }
+  };
+  if (!vertical) {
+    grid.VisitColumn(m.x, tally);
+  } else {
+    grid.VisitRow(m.y, tally);
+  }
+  return (parity % 2) == 1;
+}
+
+bool Combine(BoolOp op, bool in_a, bool in_b) {
+  switch (op) {
+    case BoolOp::kUnion:
+      return in_a || in_b;
+    case BoolOp::kIntersection:
+      return in_a && in_b;
+    case BoolOp::kDifference:
+      return in_a && !in_b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Region> Overlay(const Region& a, const Region& b, BoolOp op) {
+  const std::vector<Seg> segs_a = a.Segments();
+  const std::vector<Seg> segs_b = b.Segments();
+
+  // Cheap outs.
+  if (a.IsEmpty()) {
+    if (op == BoolOp::kUnion) return b;
+    return Region();
+  }
+  if (b.IsEmpty()) {
+    if (op == BoolOp::kIntersection) return Region();
+    return a;
+  }
+
+  SegmentGrid grid_a(segs_a);
+  SegmentGrid grid_b(segs_b);
+
+  std::vector<Seg> noded = Node(segs_a, segs_b, grid_b);
+  std::vector<Seg> noded_b = Node(segs_b, segs_a, grid_a);
+  noded.insert(noded.end(), noded_b.begin(), noded_b.end());
+
+  // Classify BEFORE snapping: every noded piece is an exact sub-segment
+  // of an original boundary edge, so the vertical/horizontal ray parity
+  // test is meaningful (snapping can tilt an exactly-vertical piece by an
+  // ulp, which would break the side classification).
+  std::vector<Seg> kept;
+  for (const Seg& s : noded) {
+    Point m = s.Midpoint();
+    bool vertical = s.IsVertical();
+    bool above_a = SideInside(segs_a, grid_a, m, vertical, true);
+    bool below_a = SideInside(segs_a, grid_a, m, vertical, false);
+    bool above_b = SideInside(segs_b, grid_b, m, vertical, true);
+    bool below_b = SideInside(segs_b, grid_b, m, vertical, false);
+    bool above_r = Combine(op, above_a, above_b);
+    bool below_r = Combine(op, below_a, below_b);
+    if (above_r != below_r) kept.push_back(s);
+  }
+  if (kept.empty()) return Region();
+
+  // Snap endpoints so fragments produced by noding the two operands
+  // independently share exact vertices, then deduplicate shared-boundary
+  // fragments.
+  SnapPool pool(kEpsilon * 16);
+  for (const Seg& s : kept) {
+    pool.Add(s.a());
+    pool.Add(s.b());
+  }
+  pool.Build();
+  std::vector<Seg> snapped;
+  snapped.reserve(kept.size());
+  for (const Seg& s : kept) {
+    auto piece = Seg::Make(pool.Snap(s.a()), pool.Snap(s.b()));
+    if (piece.ok()) snapped.push_back(*piece);
+  }
+  std::sort(snapped.begin(), snapped.end());
+  snapped.erase(std::unique(snapped.begin(), snapped.end()), snapped.end());
+
+  if (snapped.empty()) return Region();
+  return RegionBuilder::Close(std::move(snapped));
+}
+
+}  // namespace modb

@@ -1,0 +1,36 @@
+// Boolean set operations on regions via segment arrangement + side
+// classification, feeding RegionBuilder::Close — the halfsegment-pipeline
+// approach of the ROSE algebra implementation [GdRS95] the paper builds
+// its data structures for.
+//
+// Pipeline: node all boundary segments at mutual intersections, snap the
+// resulting endpoints, classify for each sub-segment which operand
+// interiors lie immediately above/below it, and keep exactly the
+// sub-segments where the result interior differs across the two sides.
+
+#ifndef MODB_SPATIAL_OVERLAY_H_
+#define MODB_SPATIAL_OVERLAY_H_
+
+#include "core/status.h"
+#include "spatial/region.h"
+
+namespace modb {
+
+enum class BoolOp { kUnion, kIntersection, kDifference };
+
+/// Applies a boolean operation to two regions.
+Result<Region> Overlay(const Region& a, const Region& b, BoolOp op);
+
+inline Result<Region> Union(const Region& a, const Region& b) {
+  return Overlay(a, b, BoolOp::kUnion);
+}
+inline Result<Region> Intersection(const Region& a, const Region& b) {
+  return Overlay(a, b, BoolOp::kIntersection);
+}
+inline Result<Region> Difference(const Region& a, const Region& b) {
+  return Overlay(a, b, BoolOp::kDifference);
+}
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_OVERLAY_H_

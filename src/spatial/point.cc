@@ -1,0 +1,31 @@
+#include "spatial/point.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace modb {
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << "(" << x << ", " << y << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  double cr = Cross(a, b, c);
+  // Relative tolerance: the cross product scales with the product of the
+  // two edge lengths, so an absolute epsilon would misclassify large
+  // coordinates and over-classify tiny ones.
+  double scale = std::max({1.0, std::fabs(b.x - a.x) + std::fabs(b.y - a.y),
+                           std::fabs(c.x - a.x) + std::fabs(c.y - a.y)});
+  double eps = kEpsilon * scale * scale;
+  if (cr > eps) return 1;
+  if (cr < -eps) return -1;
+  return 0;
+}
+
+}  // namespace modb

@@ -1,0 +1,84 @@
+// The `point` type of the SPATIAL kind (Section 3.2.2): a pair (x, y) in
+// the Euclidean plane with the paper's lexicographic order
+//   p < q  ⇔  p.x < q.x ∨ (p.x = q.x ∧ p.y < q.y).
+
+#ifndef MODB_SPATIAL_POINT_H_
+#define MODB_SPATIAL_POINT_H_
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "core/real.h"
+
+namespace modb {
+
+/// A defined point value. The undefined point (D_point = Point ∪ {⊥}) is
+/// modeled as BaseValue<Point> where an undefined attribute is needed.
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  friend Point operator+(const Point& a, const Point& b) {
+    return Point(a.x + b.x, a.y + b.y);
+  }
+  friend Point operator-(const Point& a, const Point& b) {
+    return Point(a.x - b.x, a.y - b.y);
+  }
+  friend Point operator*(const Point& a, double k) {
+    return Point(a.x * k, a.y * k);
+  }
+  friend Point operator*(double k, const Point& a) { return a * k; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  /// Lexicographic order on points (Section 3.2.2).
+  friend bool operator<(const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  }
+  friend bool operator<=(const Point& a, const Point& b) {
+    return a == b || a < b;
+  }
+  friend bool operator>(const Point& a, const Point& b) { return b < a; }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// 2D cross product (b - a) × (c - a).
+inline double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// Dot product of vectors (b - a) and (c - a).
+inline double Dot(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.x - a.x) + (b.y - a.y) * (c.y - a.y);
+}
+
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Orientation of c relative to the directed line a→b with relative
+/// tolerance: +1 left turn, -1 right turn, 0 collinear.
+int Orientation(const Point& a, const Point& b, const Point& c);
+
+/// True iff a and b coincide under the library epsilon.
+inline bool ApproxEqual(const Point& a, const Point& b,
+                        double eps = kEpsilon) {
+  return ApproxEq(a.x, b.x, eps) && ApproxEq(a.y, b.y, eps);
+}
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_POINT_H_

@@ -1,0 +1,57 @@
+#include "spatial/points.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace modb {
+
+Points Points::FromVector(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return Points(std::move(pts));
+}
+
+bool Points::Contains(const Point& p) const {
+  return std::binary_search(points_.begin(), points_.end(), p);
+}
+
+Rect Points::BoundingBox() const {
+  Rect r;
+  for (const Point& p : points_) r.Extend(p);
+  return r;
+}
+
+Points Points::Union(const Points& a, const Points& b) {
+  std::vector<Point> out;
+  out.reserve(a.Size() + b.Size());
+  std::set_union(a.points_.begin(), a.points_.end(), b.points_.begin(),
+                 b.points_.end(), std::back_inserter(out));
+  return Points(std::move(out));
+}
+
+Points Points::Intersection(const Points& a, const Points& b) {
+  std::vector<Point> out;
+  std::set_intersection(a.points_.begin(), a.points_.end(), b.points_.begin(),
+                        b.points_.end(), std::back_inserter(out));
+  return Points(std::move(out));
+}
+
+Points Points::Difference(const Points& a, const Points& b) {
+  std::vector<Point> out;
+  std::set_difference(a.points_.begin(), a.points_.end(), b.points_.begin(),
+                      b.points_.end(), std::back_inserter(out));
+  return Points(std::move(out));
+}
+
+std::string Points::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i) os << ", ";
+    os << points_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace modb

@@ -1,0 +1,53 @@
+// The `points` type (Section 3.2.2): D_points = 2^Point, a finite set of
+// points. Stored as a lexicographically sorted array (Section 4.1), which
+// makes equality a memcmp-style array comparison.
+
+#ifndef MODB_SPATIAL_POINTS_H_
+#define MODB_SPATIAL_POINTS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "spatial/bbox.h"
+#include "spatial/point.h"
+
+namespace modb {
+
+/// A finite set of points in canonical (sorted, duplicate-free) order.
+class Points {
+ public:
+  /// The empty point set.
+  Points() = default;
+
+  /// Builds the canonical set from arbitrary input (sorts, removes
+  /// duplicates).
+  static Points FromVector(std::vector<Point> pts);
+
+  bool IsEmpty() const { return points_.empty(); }
+  std::size_t Size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+  const Point& point(std::size_t i) const { return points_[i]; }
+
+  bool Contains(const Point& p) const;
+  Rect BoundingBox() const;
+
+  static Points Union(const Points& a, const Points& b);
+  static Points Intersection(const Points& a, const Points& b);
+  static Points Difference(const Points& a, const Points& b);
+
+  friend bool operator==(const Points& a, const Points& b) {
+    return a.points_ == b.points_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit Points(std::vector<Point> sorted) : points_(std::move(sorted)) {}
+
+  std::vector<Point> points_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_POINTS_H_

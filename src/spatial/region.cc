@@ -1,0 +1,183 @@
+#include "spatial/region.h"
+
+#include <sstream>
+
+#include "spatial/region_builder.h"
+
+namespace modb {
+
+double SignedArea(const std::vector<Point>& ring) {
+  double area2 = 0;
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = ring[i];
+    const Point& q = ring[(i + 1) % n];
+    area2 += p.x * q.y - q.x * p.y;
+  }
+  return area2 / 2;
+}
+
+bool EvenOddContains(const std::vector<Seg>& segs, const Point& p,
+                     bool* on_boundary) {
+  if (on_boundary) *on_boundary = false;
+  int crossings = 0;
+  for (const Seg& s : segs) {
+    if (s.Contains(p)) {
+      if (on_boundary) *on_boundary = true;
+      return true;
+    }
+    const Point& a = s.a();
+    const Point& b = s.b();
+    // Half-open x-range rule avoids double counting at shared vertices.
+    bool spans = (a.x <= p.x) != (b.x <= p.x);
+    if (!spans) continue;
+    double y_at = a.y + (p.x - a.x) * (b.y - a.y) / (b.x - a.x);
+    if (y_at > p.y) ++crossings;
+  }
+  return (crossings % 2) == 1;
+}
+
+Result<Region> Region::FromPolygon(const std::vector<Point>& ring) {
+  return FromRings(ring, {});
+}
+
+Result<Region> Region::FromRings(
+    const std::vector<Point>& outer,
+    const std::vector<std::vector<Point>>& holes) {
+  std::vector<Seg> segs;
+  auto add_ring = [&segs](const std::vector<Point>& ring) -> Status {
+    if (ring.size() < 3) {
+      return Status::InvalidArgument("ring needs at least 3 vertices");
+    }
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      auto s = Seg::Make(ring[i], ring[(i + 1) % ring.size()]);
+      if (!s.ok()) return s.status();
+      segs.push_back(*s);
+    }
+    return Status::OK();
+  };
+  MODB_RETURN_IF_ERROR(add_ring(outer));
+  for (const auto& hole : holes) MODB_RETURN_IF_ERROR(add_ring(hole));
+  return RegionBuilder::Close(std::move(segs));
+}
+
+Result<Region> Region::FromParts(std::vector<HalfSegment> halfsegments,
+                                 std::vector<CycleRecord> cycles,
+                                 std::vector<FaceRecord> faces, double area,
+                                 double perimeter, Rect bbox) {
+  if (halfsegments.size() % 2 != 0) {
+    return Status::InvalidArgument("odd halfsegment count");
+  }
+  const int32_t n_hs = int32_t(halfsegments.size());
+  const int32_t n_cy = int32_t(cycles.size());
+  const int32_t n_fa = int32_t(faces.size());
+  for (const HalfSegment& h : halfsegments) {
+    if (h.cycle < 0 || h.cycle >= n_cy || h.face < 0 || h.face >= n_fa ||
+        h.next_in_cycle < 0 || h.next_in_cycle >= n_hs) {
+      return Status::InvalidArgument("halfsegment link out of range");
+    }
+  }
+  for (const CycleRecord& c : cycles) {
+    if (c.first_halfsegment < 0 || c.first_halfsegment >= n_hs ||
+        c.face < 0 || c.face >= n_fa || c.next_cycle_in_face >= n_cy) {
+      return Status::InvalidArgument("cycle record out of range");
+    }
+  }
+  for (const FaceRecord& f : faces) {
+    if (f.first_cycle < 0 || f.first_cycle >= n_cy) {
+      return Status::InvalidArgument("face record out of range");
+    }
+  }
+  return Region(std::move(halfsegments), std::move(cycles), std::move(faces),
+                area, perimeter, bbox);
+}
+
+std::vector<Seg> Region::Segments() const {
+  std::vector<Seg> out;
+  out.reserve(halfsegments_.size() / 2);
+  for (const HalfSegment& h : halfsegments_) {
+    if (h.left_dominating) out.push_back(h.seg);
+  }
+  return out;
+}
+
+std::vector<Seg> Region::CycleSegments(int32_t c) const {
+  std::vector<Seg> out;
+  if (c < 0 || c >= static_cast<int32_t>(cycles_.size())) return out;
+  int32_t start = cycles_[c].first_halfsegment;
+  int32_t cur = start;
+  do {
+    out.push_back(halfsegments_[cur].seg);
+    cur = halfsegments_[cur].next_in_cycle;
+  } while (cur != start && cur >= 0);
+  return out;
+}
+
+std::vector<Point> Region::CycleVertices(int32_t c) const {
+  std::vector<Seg> segs = CycleSegments(c);
+  std::vector<Point> out;
+  if (segs.empty()) return out;
+  // Reconstruct walk order of vertices: consecutive segments share a
+  // vertex; emit the shared one.
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const Seg& cur = segs[i];
+    const Seg& nxt = segs[(i + 1) % segs.size()];
+    // The vertex NOT shared with nxt comes first in walk order.
+    if (nxt.HasEndpoint(cur.a())) {
+      out.push_back(cur.b());
+    } else {
+      out.push_back(cur.a());
+    }
+  }
+  return out;
+}
+
+bool Region::Contains(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  // Plumbline directly over the halfsegment array (left halves only), so
+  // the hot path allocates nothing.
+  int crossings = 0;
+  for (const HalfSegment& h : halfsegments_) {
+    if (!h.left_dominating) continue;
+    if (h.seg.Contains(p)) return true;
+    const Point& a = h.seg.a();
+    const Point& b = h.seg.b();
+    bool spans = (a.x <= p.x) != (b.x <= p.x);
+    if (!spans) continue;
+    double y_at = a.y + (p.x - a.x) * (b.y - a.y) / (b.x - a.x);
+    if (y_at > p.y) ++crossings;
+  }
+  return (crossings % 2) == 1;
+}
+
+bool Region::OnBoundary(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  for (const HalfSegment& h : halfsegments_) {
+    if (h.left_dominating && h.seg.Contains(p)) return true;
+  }
+  return false;
+}
+
+bool Region::InteriorContains(const Point& p) const {
+  return Contains(p) && !OnBoundary(p);
+}
+
+bool operator==(const Region& a, const Region& b) {
+  if (a.halfsegments_.size() != b.halfsegments_.size()) return false;
+  for (std::size_t i = 0; i < a.halfsegments_.size(); ++i) {
+    if (!(a.halfsegments_[i].seg == b.halfsegments_[i].seg) ||
+        a.halfsegments_[i].left_dominating != b.halfsegments_[i].left_dominating) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Region::ToString() const {
+  std::ostringstream os;
+  os << "region(" << NumFaces() << " faces, " << NumCycles() << " cycles, "
+     << NumSegments() << " segs, area=" << area_ << ")";
+  return os.str();
+}
+
+}  // namespace modb

@@ -1,0 +1,144 @@
+// The `region` type (Section 3.2.2): a set of edge-disjoint faces, each an
+// outer cycle plus hole cycles, discretized as polygons.
+//
+// Data structure per Section 4.1: an ordered halfsegment array plus two
+// link arrays `cycles` and `faces`; all cross references are array indices
+// ("pointers" in the paper's terminology). Regions are immutable and can
+// only be created through RegionBuilder::Close (the paper's "close"
+// operation), which validates the D_region constraints and derives the
+// cycle/face structure.
+
+#ifndef MODB_SPATIAL_REGION_H_
+#define MODB_SPATIAL_REGION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "spatial/bbox.h"
+#include "spatial/halfsegment.h"
+#include "spatial/seg.h"
+
+namespace modb {
+
+/// A cycle record of the `cycles` array: a simple polygon, either the
+/// outer boundary of a face or a hole.
+struct CycleRecord {
+  /// Index of the first halfsegment of this cycle in the halfsegment
+  /// array.
+  int32_t first_halfsegment = -1;
+  /// Index of the next cycle of the same face (-1 at the end) — the
+  /// paper's per-face cycle chain.
+  int32_t next_cycle_in_face = -1;
+  /// Owning face.
+  int32_t face = -1;
+  /// True for hole cycles.
+  bool is_hole = false;
+  /// Number of segments in the cycle.
+  int32_t size = 0;
+};
+
+/// A face record of the `faces` array.
+struct FaceRecord {
+  /// Index of the face's outer cycle (head of the cycle chain).
+  int32_t first_cycle = -1;
+  /// Number of hole cycles.
+  int32_t num_holes = 0;
+};
+
+/// A region value. Immutable; equality is array equality thanks to the
+/// canonical halfsegment order (Section 4's "two set values are equal iff
+/// their array representations are equal").
+class Region {
+ public:
+  /// The empty region.
+  Region() = default;
+
+  /// Convenience: builds a single-face region from a simple polygon ring
+  /// (vertices in any orientation, consecutive duplicates rejected).
+  static Result<Region> FromPolygon(const std::vector<Point>& ring);
+
+  /// Convenience: one face with holes.
+  static Result<Region> FromRings(const std::vector<Point>& outer,
+                                  const std::vector<std::vector<Point>>& holes);
+
+  /// Non-validating reassembly from the stored arrays (Section 4.1's
+  /// representation); used by the storage layer. Performs only structural
+  /// sanity checks (sizes, index bounds).
+  static Result<Region> FromParts(std::vector<HalfSegment> halfsegments,
+                                  std::vector<CycleRecord> cycles,
+                                  std::vector<FaceRecord> faces, double area,
+                                  double perimeter, Rect bbox);
+
+  bool IsEmpty() const { return halfsegments_.empty(); }
+  std::size_t NumSegments() const { return halfsegments_.size() / 2; }
+  std::size_t NumCycles() const { return cycles_.size(); }
+  std::size_t NumFaces() const { return faces_.size(); }
+
+  const std::vector<HalfSegment>& halfsegments() const {
+    return halfsegments_;
+  }
+  const std::vector<CycleRecord>& cycles() const { return cycles_; }
+  const std::vector<FaceRecord>& faces() const { return faces_; }
+
+  /// The undirected segments (each once).
+  std::vector<Seg> Segments() const;
+  /// The segments of cycle `c` in walk order (following next_in_cycle).
+  std::vector<Seg> CycleSegments(int32_t c) const;
+  /// The vertices of cycle `c` in walk order.
+  std::vector<Point> CycleVertices(int32_t c) const;
+
+  /// Point-set membership (interior or boundary) — the plumbline
+  /// algorithm referenced in Section 5.2.
+  bool Contains(const Point& p) const;
+  /// True iff p lies on a boundary segment.
+  bool OnBoundary(const Point& p) const;
+  /// True iff p is in the interior (contained but not on the boundary).
+  bool InteriorContains(const Point& p) const;
+
+  /// Total area (the `size` operation of the abstract model): face areas
+  /// minus hole areas.
+  double Area() const { return area_; }
+  /// Total boundary length.
+  double Perimeter() const { return perimeter_; }
+  Rect BoundingBox() const { return bbox_; }
+
+  friend bool operator==(const Region& a, const Region& b);
+
+  std::string ToString() const;
+
+ private:
+  friend class RegionBuilder;
+
+  Region(std::vector<HalfSegment> hs, std::vector<CycleRecord> cycles,
+         std::vector<FaceRecord> faces, double area, double perimeter,
+         Rect bbox)
+      : halfsegments_(std::move(hs)),
+        cycles_(std::move(cycles)),
+        faces_(std::move(faces)),
+        area_(area),
+        perimeter_(perimeter),
+        bbox_(bbox) {}
+
+  std::vector<HalfSegment> halfsegments_;
+  std::vector<CycleRecord> cycles_;
+  std::vector<FaceRecord> faces_;
+  double area_ = 0;
+  double perimeter_ = 0;
+  Rect bbox_;
+};
+
+/// Signed area of a polygon given by its vertices in walk order
+/// (positive for counterclockwise).
+double SignedArea(const std::vector<Point>& ring);
+
+/// Even-odd point-in-polygon test against an arbitrary segment soup.
+/// Returns true when p is inside or on a segment. This is the plumbline
+/// primitive: it counts boundary crossings of the upward vertical ray.
+bool EvenOddContains(const std::vector<Seg>& segs, const Point& p,
+                     bool* on_boundary = nullptr);
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_REGION_H_

@@ -1,0 +1,414 @@
+#include "spatial/region_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "core/real.h"
+#include "spatial/segment_grid.h"
+
+namespace modb {
+
+namespace {
+
+using VertexKey = std::pair<double, double>;
+
+VertexKey KeyOf(const Point& p) { return {p.x, p.y}; }
+
+// ---------------------------------------------------------------------------
+// Pairwise constraint validation.
+// ---------------------------------------------------------------------------
+
+Status CheckPair(const Seg& s, const Seg& t) {
+  if (PIntersect(s, t)) {
+    return Status::InvalidArgument("segments intersect properly: " +
+                                   s.ToString() + " x " + t.ToString());
+  }
+  if (Overlap(s, t)) {
+    return Status::InvalidArgument("segments overlap: " + s.ToString() +
+                                   " / " + t.ToString());
+  }
+  return Status::OK();
+}
+
+Status ValidateNaive(const std::vector<Seg>& segs) {
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      // segs sorted by left endpoint: once j's left end passes i's right
+      // end in x, no intersection with i is possible.
+      if (segs[j].a().x > segs[i].b().x) break;
+      MODB_RETURN_IF_ERROR(CheckPair(segs[i], segs[j]));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateWithGrid(const std::vector<Seg>& segs,
+                        const SegmentGrid& grid) {
+  Status failure = Status::OK();
+  grid.VisitCandidatePairs([&](int32_t i, int32_t j) {
+    Status s = CheckPair(segs[std::size_t(i)], segs[std::size_t(j)]);
+    if (!s.ok()) {
+      failure = std::move(s);
+      return false;
+    }
+    return true;
+  });
+  return failure;
+}
+
+// ---------------------------------------------------------------------------
+// Cycle extraction via directed face walks.
+// ---------------------------------------------------------------------------
+
+struct WalkResult {
+  // Each cycle: segment indices in walk order.
+  std::vector<std::vector<int32_t>> cycles;
+};
+
+Result<WalkResult> ExtractCycles(const std::vector<Seg>& segs) {
+  const std::size_t n = segs.size();
+  auto origin = [&](std::size_t e) -> const Point& {
+    return (e & 1) ? segs[e >> 1].b() : segs[e >> 1].a();
+  };
+  auto target = [&](std::size_t e) -> const Point& {
+    return (e & 1) ? segs[e >> 1].a() : segs[e >> 1].b();
+  };
+
+  // Outgoing directed edges per vertex, sorted counterclockwise.
+  std::map<VertexKey, std::vector<std::size_t>> out_edges;
+  for (std::size_t e = 0; e < 2 * n; ++e) {
+    out_edges[KeyOf(origin(e))].push_back(e);
+  }
+  for (auto& [key, edges] : out_edges) {
+    if (edges.size() % 2 != 0 || edges.size() < 2) {
+      return Status::InvalidArgument(
+          "region boundary has a vertex of odd or deficient degree");
+    }
+    std::sort(edges.begin(), edges.end(), [&](std::size_t x, std::size_t y) {
+      const Point& o = origin(x);
+      const Point& px = target(x);
+      const Point& py = target(y);
+      return std::atan2(px.y - o.y, px.x - o.x) <
+             std::atan2(py.y - o.y, py.x - o.x);
+    });
+  }
+
+  // next(e): at v = target(e), the outgoing edge immediately clockwise
+  // from twin(e) in the CCW-sorted list (face interior on the left).
+  auto next_edge = [&](std::size_t e) -> std::size_t {
+    std::size_t twin = e ^ 1;
+    const auto& edges = out_edges.at(KeyOf(target(e)));
+    auto it = std::find(edges.begin(), edges.end(), twin);
+    return it == edges.begin() ? edges.back() : *std::prev(it);
+  };
+
+  std::vector<bool> used(2 * n, false);
+  // Directed walks; keep only simple ones (no vertex repeated), which are
+  // the boundary walks of single cycles.
+  std::vector<std::vector<std::size_t>> simple_walks;
+  for (std::size_t start = 0; start < 2 * n; ++start) {
+    if (used[start]) continue;
+    std::vector<std::size_t> walk;
+    std::set<VertexKey> visited;
+    bool simple = true;
+    std::size_t e = start;
+    do {
+      used[e] = true;
+      walk.push_back(e);
+      if (!visited.insert(KeyOf(origin(e))).second) simple = false;
+      e = next_edge(e);
+    } while (e != start);
+    if (simple) simple_walks.push_back(std::move(walk));
+  }
+
+  // Deduplicate the two directed walks of each cycle via the undirected
+  // segment-index set.
+  std::set<std::vector<int32_t>> seen_sets;
+  WalkResult result;
+  std::vector<int> covered(n, 0);
+  for (const auto& walk : simple_walks) {
+    std::vector<int32_t> segs_in_walk;
+    segs_in_walk.reserve(walk.size());
+    for (std::size_t e : walk) segs_in_walk.push_back(int32_t(e >> 1));
+    std::vector<int32_t> sorted = segs_in_walk;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      continue;  // Walk uses a segment twice: not a simple cycle.
+    }
+    if (!seen_sets.insert(sorted).second) continue;  // The twin walk.
+    for (int32_t i : sorted) ++covered[i];
+    result.cycles.push_back(std::move(segs_in_walk));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (covered[i] != 1) {
+      return Status::InvalidArgument(
+          "segment set does not decompose into simple cycles (segment " +
+          segs[i].ToString() + " covered " + std::to_string(covered[i]) +
+          " times)");
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Parity rays (plumbline) over the grid.
+// ---------------------------------------------------------------------------
+
+// Crossing parities of the upward vertical ray from `probe` against every
+// cycle at once. Sets *on_boundary when the probe lies on some segment.
+std::vector<uint8_t> CycleParitiesAt(const std::vector<Seg>& segs,
+                                     const SegmentGrid& grid,
+                                     const std::vector<int32_t>& cycle_of_seg,
+                                     std::size_t num_cycles, int32_t self_cycle,
+                                     const Point& probe, bool* on_boundary) {
+  std::vector<uint8_t> parity(num_cycles, 0);
+  *on_boundary = false;
+  grid.VisitColumn(probe.x, [&](int32_t i) {
+    const Seg& t = segs[std::size_t(i)];
+    // The probe is an edge midpoint of self_cycle; only *other* cycles
+    // grazing it force a retry.
+    if (cycle_of_seg[std::size_t(i)] != self_cycle && t.Contains(probe)) {
+      *on_boundary = true;
+      return;
+    }
+    const Point& a = t.a();
+    const Point& b = t.b();
+    bool spans = (a.x <= probe.x) != (b.x <= probe.x);
+    if (!spans) return;
+    double y_at = a.y + (probe.x - a.x) * (b.y - a.y) / (b.x - a.x);
+    if (y_at > probe.y) parity[std::size_t(cycle_of_seg[std::size_t(i)])] ^= 1;
+  });
+  return parity;
+}
+
+// Inside-above flag of `s` via exact parity counting over the grid.
+bool ComputeInsideAbove(const Seg& s, std::size_t self,
+                        const std::vector<Seg>& segs,
+                        const SegmentGrid& grid) {
+  Point m = s.Midpoint();
+  int parity = 0;
+  if (!s.IsVertical()) {
+    // Crossings of the upward vertical ray from m, excluding s itself.
+    grid.VisitColumn(m.x, [&](int32_t i) {
+      if (std::size_t(i) == self) return;
+      const Seg& t = segs[std::size_t(i)];
+      const Point& a = t.a();
+      const Point& b = t.b();
+      bool spans = (a.x <= m.x) != (b.x <= m.x);
+      if (!spans) return;
+      double y_at = a.y + (m.x - a.x) * (b.y - a.y) / (b.x - a.x);
+      if (y_at > m.y) ++parity;
+    });
+    return (parity % 2) == 1;
+  }
+  // Vertical segment: inside_above means "interior to the left"; count
+  // crossings of the leftward horizontal ray from m.
+  grid.VisitRow(m.y, [&](int32_t i) {
+    if (std::size_t(i) == self) return;
+    const Seg& t = segs[std::size_t(i)];
+    const Point& a = t.a();
+    const Point& b = t.b();
+    bool spans = (a.y <= m.y) != (b.y <= m.y);
+    if (!spans) return;
+    double x_at = a.x + (m.y - a.y) * (b.x - a.x) / (b.y - a.y);
+    if (x_at < m.x) ++parity;
+  });
+  return (parity % 2) == 1;
+}
+
+}  // namespace
+
+Result<Region> RegionBuilder::Close(std::vector<Seg> segs,
+                                    Validation validation) {
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  if (segs.empty()) return Region();
+  if (segs.size() < 3) {
+    return Status::InvalidArgument("a region needs at least 3 segments");
+  }
+
+  SegmentGrid grid(segs);
+  MODB_RETURN_IF_ERROR(validation == Validation::kGrid
+                           ? ValidateWithGrid(segs, grid)
+                           : ValidateNaive(segs));
+
+  Result<WalkResult> walks = ExtractCycles(segs);
+  if (!walks.ok()) return walks.status();
+  const std::vector<std::vector<int32_t>>& cycle_segs = walks->cycles;
+  const std::size_t num_cycles = cycle_segs.size();
+
+  std::vector<int32_t> cycle_of_seg(segs.size(), -1);
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    for (int32_t i : cycle_segs[c]) cycle_of_seg[std::size_t(i)] = int32_t(c);
+  }
+
+  // Per-cycle validation: size and the no-touch-within-a-cycle rule
+  // (candidate pairs from the grid; only same-cycle pairs are checked).
+  for (const auto& cyc : cycle_segs) {
+    if (cyc.size() < 3) {
+      return Status::InvalidArgument("cycle with fewer than 3 segments");
+    }
+  }
+  {
+    Status failure = Status::OK();
+    grid.VisitCandidatePairs([&](int32_t i, int32_t j) {
+      if (cycle_of_seg[std::size_t(i)] != cycle_of_seg[std::size_t(j)]) {
+        return true;
+      }
+      if (Touch(segs[std::size_t(i)], segs[std::size_t(j)])) {
+        failure = Status::InvalidArgument(
+            "segments of one cycle touch: " + segs[std::size_t(i)].ToString() +
+            " / " + segs[std::size_t(j)].ToString());
+        return false;
+      }
+      return true;
+    });
+    MODB_RETURN_IF_ERROR(failure);
+  }
+
+  // Containment: one plumbline ray per cycle gives its parity against
+  // every other cycle at once. depth = number of strictly containing
+  // cycles; even depth → outer cycle, odd → hole.
+  std::vector<std::vector<uint8_t>> inside(num_cycles);
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    bool decided = false;
+    for (int32_t si : cycle_segs[c]) {
+      Point probe = segs[std::size_t(si)].Midpoint();
+      bool on_boundary = false;
+      std::vector<uint8_t> parity =
+          CycleParitiesAt(segs, grid, cycle_of_seg, num_cycles, int32_t(c),
+                          probe, &on_boundary);
+      if (on_boundary) continue;  // Probe grazed another cycle; retry.
+      parity[c] = 0;  // A cycle does not contain itself.
+      inside[c] = std::move(parity);
+      decided = true;
+      break;
+    }
+    if (!decided) {
+      return Status::InvalidArgument(
+          "cannot separate touching cycles (shared edges?)");
+    }
+  }
+  std::vector<int> depth(num_cycles, 0);
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    for (std::size_t d = 0; d < num_cycles; ++d) depth[c] += inside[c][d];
+  }
+
+  // Assign holes to faces: a hole's face is the containing outer cycle
+  // one level up.
+  std::vector<int32_t> face_of_cycle(num_cycles, -1);
+  std::vector<int32_t> outer_cycles;
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    if (depth[c] % 2 == 0) outer_cycles.push_back(int32_t(c));
+  }
+  std::vector<FaceRecord> faces(outer_cycles.size());
+  for (std::size_t f = 0; f < outer_cycles.size(); ++f) {
+    face_of_cycle[std::size_t(outer_cycles[f])] = int32_t(f);
+  }
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    if (depth[c] % 2 == 0) continue;
+    int32_t parent = -1;
+    for (int32_t oc : outer_cycles) {
+      if (depth[std::size_t(oc)] == depth[c] - 1 && inside[c][std::size_t(oc)]) {
+        parent = oc;
+        break;
+      }
+    }
+    if (parent < 0) {
+      return Status::InvalidArgument("hole cycle without containing face");
+    }
+    face_of_cycle[c] = face_of_cycle[std::size_t(parent)];
+    ++faces[std::size_t(face_of_cycle[c])].num_holes;
+  }
+
+  // Area, perimeter, bounding box.
+  double area = 0;
+  double perimeter = 0;
+  Rect bbox;
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    // Vertices in walk order for the signed area.
+    std::vector<Point> ring;
+    const auto& cyc = cycle_segs[c];
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const Seg& cur = segs[std::size_t(cyc[i])];
+      const Seg& nxt = segs[std::size_t(cyc[(i + 1) % cyc.size()])];
+      ring.push_back(nxt.HasEndpoint(cur.a()) ? cur.b() : cur.a());
+    }
+    double a = std::fabs(SignedArea(ring));
+    area += (depth[c] % 2 == 0) ? a : -a;
+    for (int32_t si : cyc) {
+      const Seg& s = segs[std::size_t(si)];
+      perimeter += s.Length();
+      bbox.Extend(s.a());
+      bbox.Extend(s.b());
+    }
+  }
+
+  // Build the sorted halfsegment array with cycle/face ids, inside-above
+  // flags, and next-in-cycle links.
+  std::vector<HalfSegment> hs = MakeHalfSegments(segs);
+  std::map<std::pair<VertexKey, VertexKey>, int32_t> left_index;
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    if (hs[i].left_dominating) {
+      left_index[{KeyOf(hs[i].seg.a()), KeyOf(hs[i].seg.b())}] = int32_t(i);
+    }
+  }
+  auto index_of = [&](const Seg& s) {
+    return left_index.at({KeyOf(s.a()), KeyOf(s.b())});
+  };
+  std::vector<int32_t> next_left(segs.size(), -1);  // By segment index.
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    const auto& cyc = cycle_segs[c];
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      next_left[std::size_t(cyc[i])] =
+          index_of(segs[std::size_t(cyc[(i + 1) % cyc.size()])]);
+    }
+  }
+  // Map halfsegments back to their segment index for attribute fill.
+  std::map<std::pair<VertexKey, VertexKey>, int32_t> seg_index;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    seg_index[{KeyOf(segs[i].a()), KeyOf(segs[i].b())}] = int32_t(i);
+  }
+  // Compute inside_above once per segment, then share with both halves.
+  std::vector<bool> above(segs.size());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    above[i] = ComputeInsideAbove(segs[i], i, segs, grid);
+  }
+  for (HalfSegment& h : hs) {
+    int32_t si = seg_index.at({KeyOf(h.seg.a()), KeyOf(h.seg.b())});
+    h.cycle = cycle_of_seg[std::size_t(si)];
+    h.face = face_of_cycle[std::size_t(h.cycle)];
+    h.next_in_cycle = next_left[std::size_t(si)];
+    h.inside_above = above[std::size_t(si)];
+  }
+
+  // Cycle and face records.
+  std::vector<CycleRecord> cycles(num_cycles);
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    cycles[c].first_halfsegment =
+        index_of(segs[std::size_t(cycle_segs[c][0])]);
+    cycles[c].face = face_of_cycle[c];
+    cycles[c].is_hole = (depth[c] % 2 == 1);
+    cycles[c].size = int32_t(cycle_segs[c].size());
+  }
+  // Chain cycles within each face: outer first, then holes.
+  for (std::size_t f = 0; f < outer_cycles.size(); ++f) {
+    faces[f].first_cycle = outer_cycles[f];
+    int32_t tail = outer_cycles[f];
+    for (std::size_t c = 0; c < num_cycles; ++c) {
+      if (!cycles[c].is_hole || face_of_cycle[c] != int32_t(f)) continue;
+      cycles[std::size_t(tail)].next_cycle_in_face = int32_t(c);
+      tail = int32_t(c);
+    }
+  }
+
+  return Region(std::move(hs), std::move(cycles), std::move(faces), area,
+                perimeter, bbox);
+}
+
+}  // namespace modb

@@ -1,0 +1,44 @@
+// RegionBuilder implements the `close` operation of Section 4.1:
+// "Algorithms constructing region values generally compute the list of
+// halfsegments and then call a close operation offered by the region data
+// type, which determines the structure of faces and cycles and represents
+// it by setting pointers."
+//
+// Close validates the D_region carrier-set constraints (Section 3.2.2):
+//   * no properly intersecting segments anywhere,
+//   * no collinear overlapping segments anywhere,
+//   * every endpoint of even degree, segments decomposable into simple
+//     cycles (each endpoint occurring exactly twice per cycle),
+//   * no touch within a single cycle (touch across cycles is allowed),
+// and then derives cycles, hole/outer classification by containment
+// depth, face assignment, inside-above flags, and the index-linked
+// halfsegment/cycle/face arrays.
+
+#ifndef MODB_SPATIAL_REGION_BUILDER_H_
+#define MODB_SPATIAL_REGION_BUILDER_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "spatial/region.h"
+#include "spatial/seg.h"
+
+namespace modb {
+
+class RegionBuilder {
+ public:
+  /// Pairwise-constraint checking strategy. kGrid uses a uniform spatial
+  /// hash (near-linear for realistic inputs); kNaive compares all pairs
+  /// with an x-sorted early exit (the baseline for bench_region_close).
+  enum class Validation { kGrid, kNaive };
+
+  /// The close operation: builds a Region from a segment soup.
+  /// Endpoints that should be shared must match exactly (bitwise double
+  /// equality); this mirrors the paper's unique-representation premise.
+  static Result<Region> Close(std::vector<Seg> segs,
+                              Validation validation = Validation::kGrid);
+};
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_REGION_BUILDER_H_

@@ -1,0 +1,139 @@
+#include "spatial/seg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace modb {
+
+namespace {
+
+// Parameter of p along s (0 at s.a(), 1 at s.b()), projecting onto the
+// dominant axis for stability. Precondition: p collinear with s.
+double ParamOf(const Seg& s, const Point& p) {
+  double dx = s.b().x - s.a().x;
+  double dy = s.b().y - s.a().y;
+  if (std::fabs(dx) >= std::fabs(dy)) return (p.x - s.a().x) / dx;
+  return (p.y - s.a().y) / dy;
+}
+
+Point Lerp(const Seg& s, double u) {
+  return Point(s.a().x + u * (s.b().x - s.a().x),
+               s.a().y + u * (s.b().y - s.a().y));
+}
+
+}  // namespace
+
+std::string Seg::ToString() const {
+  std::ostringstream os;
+  os << a_.ToString() << "-" << b_.ToString();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Seg& s) {
+  return os << s.ToString();
+}
+
+bool Seg::Contains(const Point& p) const {
+  if (Orientation(a_, b_, p) != 0) return false;
+  // p within the bounding box of the segment (with tolerance).
+  return ApproxGe(p.x, std::min(a_.x, b_.x)) &&
+         ApproxLe(p.x, std::max(a_.x, b_.x)) &&
+         ApproxGe(p.y, std::min(a_.y, b_.y)) &&
+         ApproxLe(p.y, std::max(a_.y, b_.y));
+}
+
+bool Seg::InteriorContains(const Point& p) const {
+  return Contains(p) && !ApproxEqual(p, a_) && !ApproxEqual(p, b_);
+}
+
+bool Collinear(const Seg& s, const Seg& t) {
+  return Orientation(s.a(), s.b(), t.a()) == 0 &&
+         Orientation(s.a(), s.b(), t.b()) == 0;
+}
+
+bool Meet(const Seg& s, const Seg& t) {
+  return s.HasEndpoint(t.a()) || s.HasEndpoint(t.b());
+}
+
+bool Touch(const Seg& s, const Seg& t) {
+  return s.InteriorContains(t.a()) || s.InteriorContains(t.b()) ||
+         t.InteriorContains(s.a()) || t.InteriorContains(s.b());
+}
+
+bool Overlap(const Seg& s, const Seg& t) {
+  if (!Collinear(s, t)) return false;
+  SegIntersection x = Intersect(s, t);
+  return x.kind == SegIntersection::Kind::kSegment;
+}
+
+bool PIntersect(const Seg& s, const Seg& t) {
+  if (Collinear(s, t)) return false;
+  int o1 = Orientation(s.a(), s.b(), t.a());
+  int o2 = Orientation(s.a(), s.b(), t.b());
+  int o3 = Orientation(t.a(), t.b(), s.a());
+  int o4 = Orientation(t.a(), t.b(), s.b());
+  // Strict crossing: endpoints of each segment strictly on opposite sides
+  // of the other's supporting line.
+  return o1 * o2 < 0 && o3 * o4 < 0;
+}
+
+bool SegsIntersect(const Seg& s, const Seg& t) {
+  return Intersect(s, t).kind != SegIntersection::Kind::kNone;
+}
+
+SegIntersection Intersect(const Seg& s, const Seg& t) {
+  SegIntersection out;
+  if (Collinear(s, t)) {
+    // Project both onto s's parameterization.
+    double u0 = ParamOf(s, t.a());
+    double u1 = ParamOf(s, t.b());
+    if (u0 > u1) std::swap(u0, u1);
+    double lo = std::max(0.0, u0);
+    double hi = std::min(1.0, u1);
+    double span_eps = kEpsilon / std::max(s.Length(), kEpsilon);
+    if (hi < lo - span_eps) return out;  // Disjoint collinear segments.
+    Point pa = Lerp(s, lo);
+    Point pb = Lerp(s, hi);
+    if (hi - lo <= span_eps) {
+      out.kind = SegIntersection::Kind::kPoint;
+      out.point = pa;
+      return out;
+    }
+    out.kind = SegIntersection::Kind::kSegment;
+    if (pb < pa) std::swap(pa, pb);
+    out.seg_a = pa;
+    out.seg_b = pb;
+    return out;
+  }
+  // Non-collinear: solve s.a + u*(s.b-s.a) = t.a + v*(t.b-t.a).
+  double d1x = s.b().x - s.a().x, d1y = s.b().y - s.a().y;
+  double d2x = t.b().x - t.a().x, d2y = t.b().y - t.a().y;
+  double denom = d1x * d2y - d1y * d2x;
+  if (denom == 0) return out;  // Parallel non-collinear.
+  double ex = t.a().x - s.a().x, ey = t.a().y - s.a().y;
+  double u = (ex * d2y - ey * d2x) / denom;
+  double v = (ex * d1y - ey * d1x) / denom;
+  double ues = kEpsilon / std::max(s.Length(), kEpsilon);
+  double vet = kEpsilon / std::max(t.Length(), kEpsilon);
+  if (u < -ues || u > 1 + ues || v < -vet || v > 1 + vet) return out;
+  out.kind = SegIntersection::Kind::kPoint;
+  out.point = Lerp(s, std::clamp(u, 0.0, 1.0));
+  return out;
+}
+
+double Distance(const Point& p, const Seg& s) {
+  double dx = s.b().x - s.a().x, dy = s.b().y - s.a().y;
+  double len2 = dx * dx + dy * dy;
+  double u = ((p.x - s.a().x) * dx + (p.y - s.a().y) * dy) / len2;
+  u = std::clamp(u, 0.0, 1.0);
+  return Distance(p, Point(s.a().x + u * dx, s.a().y + u * dy));
+}
+
+double Distance(const Seg& s, const Seg& t) {
+  if (SegsIntersect(s, t)) return 0;
+  return std::min(std::min(Distance(s.a(), t), Distance(s.b(), t)),
+                  std::min(Distance(t.a(), s), Distance(t.b(), s)));
+}
+
+}  // namespace modb

@@ -1,0 +1,112 @@
+// The segment carrier Seg = {(u, v) | u, v ∈ Point, u < v} of Section
+// 3.2.2 together with the predicates the paper's definitions rest on:
+// collinear, p-intersect (proper intersection), touch, and meet.
+
+#ifndef MODB_SPATIAL_SEG_H_
+#define MODB_SPATIAL_SEG_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "core/status.h"
+#include "spatial/bbox.h"
+#include "spatial/point.h"
+
+namespace modb {
+
+/// A line segment with normalized endpoints a < b (lexicographic).
+class Seg {
+ public:
+  /// Validating factory; rejects degenerate segments (p == q) and
+  /// normalizes endpoint order.
+  static Result<Seg> Make(const Point& p, const Point& q) {
+    if (p == q) return Status::InvalidArgument("degenerate segment");
+    return p < q ? Seg(p, q) : Seg(q, p);
+  }
+
+  /// Left (smaller) endpoint.
+  const Point& a() const { return a_; }
+  /// Right (larger) endpoint.
+  const Point& b() const { return b_; }
+
+  double Length() const { return Distance(a_, b_); }
+  Point Midpoint() const { return Point((a_.x + b_.x) / 2, (a_.y + b_.y) / 2); }
+  Rect BoundingBox() const {
+    Rect r = Rect::Of(a_);
+    r.Extend(b_);
+    return r;
+  }
+  bool IsVertical() const { return a_.x == b_.x; }
+
+  /// True iff p lies on the segment (endpoints included).
+  bool Contains(const Point& p) const;
+  /// True iff p lies in the segment's interior (endpoints excluded).
+  bool InteriorContains(const Point& p) const;
+  /// True iff p is one of the endpoints.
+  bool HasEndpoint(const Point& p) const { return p == a_ || p == b_; }
+
+  friend bool operator==(const Seg& s, const Seg& t) {
+    return s.a_ == t.a_ && s.b_ == t.b_;
+  }
+  /// Lexicographic order on (a, b); the canonical order for segment sets.
+  friend bool operator<(const Seg& s, const Seg& t) {
+    if (!(s.a_ == t.a_)) return s.a_ < t.a_;
+    return s.b_ < t.b_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Seg(const Point& a, const Point& b) : a_(a), b_(b) {}
+
+  Point a_;
+  Point b_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Seg& s);
+
+/// collinear(s, t): the segments lie on the same infinite line.
+bool Collinear(const Seg& s, const Seg& t);
+
+/// p-intersect(s, t): the segments intersect in a point that is interior
+/// to both (a "proper" crossing).
+bool PIntersect(const Seg& s, const Seg& t);
+
+/// touch(s, t): an endpoint of one segment lies in the interior of the
+/// other.
+bool Touch(const Seg& s, const Seg& t);
+
+/// meet(s, t): the segments share an endpoint.
+bool Meet(const Seg& s, const Seg& t);
+
+/// True iff the segments are collinear and share more than one point.
+/// This is the configuration D_line forbids ("collinear ⇒ disjoint").
+bool Overlap(const Seg& s, const Seg& t);
+
+/// True iff the segments share at least one point.
+bool SegsIntersect(const Seg& s, const Seg& t);
+
+/// Result of intersecting two segments.
+struct SegIntersection {
+  enum class Kind { kNone, kPoint, kSegment };
+  Kind kind = Kind::kNone;
+  Point point;     // Valid when kind == kPoint.
+  Point seg_a;     // Valid when kind == kSegment (seg_a < seg_b).
+  Point seg_b;
+};
+
+/// Exact-configuration intersection of two segments (point crossing,
+/// collinear overlap, or none).
+SegIntersection Intersect(const Seg& s, const Seg& t);
+
+/// Distance from a point to a segment.
+double Distance(const Point& p, const Seg& s);
+
+/// Minimum distance between two segments (0 when they intersect).
+double Distance(const Seg& s, const Seg& t);
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_SEG_H_

@@ -1,0 +1,59 @@
+#include "spatial/segment_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spatial/bbox.h"
+
+namespace modb {
+
+SegmentGrid::SegmentGrid(const std::vector<Seg>& segs) : segs_(&segs) {
+  const std::size_t n = segs.size();
+  if (n == 0) return;
+  Rect bbox;
+  for (const Seg& s : segs) {
+    bbox.Extend(s.a());
+    bbox.Extend(s.b());
+  }
+  dim_ = std::max(1, int(std::sqrt(double(n))));
+  min_x_ = bbox.min_x;
+  min_y_ = bbox.min_y;
+  wx_ = std::max(bbox.max_x - bbox.min_x, 1e-9) / dim_;
+  wy_ = std::max(bbox.max_y - bbox.min_y, 1e-9) / dim_;
+  cells_.resize(std::size_t(dim_) * dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rect r = segs[i].BoundingBox();
+    int x0 = CellX(r.min_x), x1 = CellX(r.max_x);
+    int y0 = CellY(r.min_y), y1 = CellY(r.max_y);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        cells_[std::size_t(cy) * dim_ + cx].push_back(int32_t(i));
+      }
+    }
+  }
+  stamp_.assign(n, 0);
+}
+
+int SegmentGrid::CellX(double x) const {
+  return std::clamp(int((x - min_x_) / wx_), 0, dim_ - 1);
+}
+
+int SegmentGrid::CellY(double y) const {
+  return std::clamp(int((y - min_y_) / wy_), 0, dim_ - 1);
+}
+
+void SegmentGrid::NextEpoch() const {
+  ++epoch_;
+  if (epoch_ == 0) {  // Wrapped: reset all stamps.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+bool SegmentGrid::MarkOnce(int32_t i) const {
+  if (stamp_[std::size_t(i)] == epoch_) return false;
+  stamp_[std::size_t(i)] = epoch_;
+  return true;
+}
+
+}  // namespace modb

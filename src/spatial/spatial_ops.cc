@@ -1,0 +1,190 @@
+#include "spatial/spatial_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "spatial/overlay.h"
+
+namespace modb {
+
+bool Inside(const Point& p, const Region& r) { return r.Contains(p); }
+
+bool Inside(const Points& ps, const Region& r) {
+  if (ps.IsEmpty()) return false;
+  for (const Point& p : ps.points()) {
+    if (!r.Contains(p)) return false;
+  }
+  return true;
+}
+
+bool Inside(const Line& l, const Region& r) {
+  if (l.IsEmpty()) return false;
+  const std::vector<Seg> boundary = r.Segments();
+  for (const Seg& s : l.segments()) {
+    // Both endpoints and the midpoint inside, and no proper crossing with
+    // the boundary.
+    if (!r.Contains(s.a()) || !r.Contains(s.b()) || !r.Contains(s.Midpoint())) {
+      return false;
+    }
+    for (const Seg& b : boundary) {
+      if (PIntersect(s, b)) return false;
+    }
+  }
+  return true;
+}
+
+bool Inside(const Region& a, const Region& b) {
+  if (a.IsEmpty()) return false;
+  Result<Region> diff = Difference(a, b);
+  return diff.ok() && diff->IsEmpty();
+}
+
+bool Intersects(const Line& a, const Line& b) {
+  if (!Rect::Intersect(a.BoundingBox(), b.BoundingBox())) return false;
+  for (const Seg& s : a.segments()) {
+    for (const Seg& t : b.segments()) {
+      if (SegsIntersect(s, t)) return true;
+    }
+  }
+  return false;
+}
+
+bool Intersects(const Line& l, const Region& r) {
+  if (!Rect::Intersect(l.BoundingBox(), r.BoundingBox())) return false;
+  const std::vector<Seg> boundary = r.Segments();
+  for (const Seg& s : l.segments()) {
+    if (r.Contains(s.a()) || r.Contains(s.b())) return true;
+    for (const Seg& b : boundary) {
+      if (SegsIntersect(s, b)) return true;
+    }
+  }
+  return false;
+}
+
+bool Intersects(const Region& a, const Region& b) {
+  if (!Rect::Intersect(a.BoundingBox(), b.BoundingBox())) return false;
+  // Boundary contact or crossing.
+  for (const Seg& s : a.Segments()) {
+    if (b.Contains(s.a()) || b.Contains(s.b())) return true;
+    for (const Seg& t : b.Segments()) {
+      if (SegsIntersect(s, t)) return true;
+    }
+  }
+  // One may contain the other entirely.
+  for (const Seg& t : b.Segments()) {
+    if (a.Contains(t.a())) return true;
+  }
+  return false;
+}
+
+namespace {
+
+double ParamOf(const Seg& s, const Point& p) {
+  double dx = s.b().x - s.a().x;
+  double dy = s.b().y - s.a().y;
+  if (std::fabs(dx) >= std::fabs(dy)) return (p.x - s.a().x) / dx;
+  return (p.y - s.a().y) / dy;
+}
+
+Point Lerp(const Seg& s, double u) {
+  return Point(s.a().x + u * (s.b().x - s.a().x),
+               s.a().y + u * (s.b().y - s.a().y));
+}
+
+// Splits the line's segments at region-boundary crossings and keeps the
+// pieces whose midpoint satisfies `keep_inside`.
+Line ClipLine(const Line& l, const Region& r, bool keep_inside) {
+  const std::vector<Seg> boundary = r.Segments();
+  std::vector<Seg> out;
+  for (const Seg& s : l.segments()) {
+    std::vector<double> cuts = {0.0, 1.0};
+    for (const Seg& b : boundary) {
+      SegIntersection x = Intersect(s, b);
+      if (x.kind == SegIntersection::Kind::kPoint) {
+        cuts.push_back(ParamOf(s, x.point));
+      } else if (x.kind == SegIntersection::Kind::kSegment) {
+        cuts.push_back(ParamOf(s, x.seg_a));
+        cuts.push_back(ParamOf(s, x.seg_b));
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    double eps = kEpsilon / std::max(s.Length(), kEpsilon);
+    double prev = 0.0;
+    for (double u : cuts) {
+      u = std::clamp(u, 0.0, 1.0);
+      if (u <= prev + eps) continue;
+      Point mid = Lerp(s, (prev + u) / 2);
+      if (r.Contains(mid) == keep_inside) {
+        auto piece = Seg::Make(Lerp(s, prev), Lerp(s, u));
+        if (piece.ok()) out.push_back(*piece);
+      }
+      prev = u;
+    }
+  }
+  return Line::Canonical(std::move(out));
+}
+
+}  // namespace
+
+Line Intersection(const Line& l, const Region& r) {
+  if (!Rect::Intersect(l.BoundingBox(), r.BoundingBox())) return Line();
+  return ClipLine(l, r, /*keep_inside=*/true);
+}
+
+Line Difference(const Line& l, const Region& r) {
+  if (!Rect::Intersect(l.BoundingBox(), r.BoundingBox())) return l;
+  return ClipLine(l, r, /*keep_inside=*/false);
+}
+
+double SpatialDistance(const Point& p, const Points& ps) {
+  double best = kInfinity;
+  for (const Point& q : ps.points()) best = std::min(best, Distance(p, q));
+  return best;
+}
+
+double SpatialDistance(const Point& p, const Line& l) {
+  double best = kInfinity;
+  for (const Seg& s : l.segments()) best = std::min(best, Distance(p, s));
+  return best;
+}
+
+double SpatialDistance(const Point& p, const Region& r) {
+  if (r.Contains(p)) return 0;
+  double best = kInfinity;
+  for (const HalfSegment& h : r.halfsegments()) {
+    if (h.left_dominating) best = std::min(best, Distance(p, h.seg));
+  }
+  return best;
+}
+
+double SpatialDistance(const Line& a, const Line& b) {
+  double best = kInfinity;
+  for (const Seg& s : a.segments()) {
+    for (const Seg& t : b.segments()) {
+      best = std::min(best, Distance(s, t));
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+double SpatialDistance(const Region& a, const Region& b) {
+  if (Intersects(a, b)) return 0;
+  double best = kInfinity;
+  for (const Seg& s : a.Segments()) {
+    for (const Seg& t : b.Segments()) {
+      best = std::min(best, Distance(s, t));
+    }
+  }
+  return best;
+}
+
+double Direction(const Point& p, const Point& q) {
+  if (p == q) return -1;
+  double deg = std::atan2(q.y - p.y, q.x - p.x) * 180.0 / std::numbers::pi;
+  if (deg < 0) deg += 360.0;
+  return deg;
+}
+
+}  // namespace modb

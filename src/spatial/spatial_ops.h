@@ -1,0 +1,59 @@
+// Non-temporal operations of the abstract model (Section 2, [GBE+98]):
+// predicates, distance, and direction across the spatial types. These are
+// the operations that temporal lifting (src/temporal/lifted_ops.h) makes
+// applicable to moving types.
+
+#ifndef MODB_SPATIAL_SPATIAL_OPS_H_
+#define MODB_SPATIAL_SPATIAL_OPS_H_
+
+#include "spatial/line.h"
+#include "spatial/points.h"
+#include "spatial/region.h"
+
+namespace modb {
+
+// -- inside ----------------------------------------------------------------
+
+/// Point-set containment of p in r (boundary counts as inside).
+bool Inside(const Point& p, const Region& r);
+/// True iff every point of ps is inside r.
+bool Inside(const Points& ps, const Region& r);
+/// True iff every segment of l is inside r.
+bool Inside(const Line& l, const Region& r);
+/// True iff region a is a subset of region b.
+bool Inside(const Region& a, const Region& b);
+
+// -- intersects ------------------------------------------------------------
+
+bool Intersects(const Line& a, const Line& b);
+bool Intersects(const Line& l, const Region& r);
+bool Intersects(const Region& a, const Region& b);
+
+// -- intersection / clipping -------------------------------------------------
+
+/// The 1-dimensional part of l ∩ r: the line clipped to the region
+/// (boundary included). Segments are split at boundary crossings and the
+/// inside pieces kept.
+Line Intersection(const Line& l, const Region& r);
+
+/// The part of l outside r (complement of the clip).
+Line Difference(const Line& l, const Region& r);
+
+// -- distance --------------------------------------------------------------
+
+double SpatialDistance(const Point& p, const Points& ps);
+double SpatialDistance(const Point& p, const Line& l);
+/// 0 when p is inside r, else distance to r's boundary.
+double SpatialDistance(const Point& p, const Region& r);
+double SpatialDistance(const Line& a, const Line& b);
+double SpatialDistance(const Region& a, const Region& b);
+
+// -- direction -------------------------------------------------------------
+
+/// Direction from p to q in degrees in [0, 360); -1 when p == q
+/// (undefined in the abstract model).
+double Direction(const Point& p, const Point& q);
+
+}  // namespace modb
+
+#endif  // MODB_SPATIAL_SPATIAL_OPS_H_

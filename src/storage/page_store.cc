@@ -1,0 +1,85 @@
+#include "storage/page_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+namespace modb {
+
+namespace {
+constexpr uint64_t kFileMagic = 0x4d4f444250414745ull;  // "MODBPAGE".
+}  // namespace
+
+PageExtent PageStore::Write(std::string_view bytes) {
+  PageExtent extent;
+  extent.first_page = uint32_t(pages_.size());
+  extent.num_bytes = uint32_t(bytes.size());
+  extent.num_pages = uint32_t((bytes.size() + kPageSize - 1) / kPageSize);
+  for (uint32_t i = 0; i < extent.num_pages; ++i) {
+    std::size_t off = std::size_t(i) * kPageSize;
+    std::size_t len = std::min(kPageSize, bytes.size() - off);
+    std::string page(kPageSize, '\0');
+    std::memcpy(page.data(), bytes.data() + off, len);
+    pages_.push_back(std::move(page));
+  }
+  bytes_used_ += bytes.size();
+  return extent;
+}
+
+Result<std::string> PageStore::Read(const PageExtent& extent) const {
+  if (std::size_t(extent.first_page) + extent.num_pages > pages_.size()) {
+    return Status::OutOfRange("page extent out of range");
+  }
+  if (extent.num_bytes > std::size_t(extent.num_pages) * kPageSize) {
+    return Status::InvalidArgument("extent byte count exceeds its pages");
+  }
+  std::string out;
+  out.reserve(extent.num_bytes);
+  std::size_t remaining = extent.num_bytes;
+  for (uint32_t i = 0; i < extent.num_pages && remaining > 0; ++i) {
+    std::size_t len = std::min(kPageSize, remaining);
+    out.append(pages_[extent.first_page + i].data(), len);
+    remaining -= len;
+  }
+  return out;
+}
+
+Status PageStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  uint64_t magic = kFileMagic;
+  uint64_t num_pages = pages_.size();
+  uint64_t bytes_used = bytes_used_;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&num_pages), sizeof num_pages);
+  out.write(reinterpret_cast<const char*>(&bytes_used), sizeof bytes_used);
+  for (const std::string& page : pages_) {
+    out.write(page.data(), std::streamsize(kPageSize));
+  }
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<PageStore> PageStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  uint64_t magic = 0, num_pages = 0, bytes_used = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&num_pages), sizeof num_pages);
+  in.read(reinterpret_cast<char*>(&bytes_used), sizeof bytes_used);
+  if (!in || magic != kFileMagic) {
+    return Status::InvalidArgument("not a MODB page file: " + path);
+  }
+  PageStore store;
+  store.pages_.reserve(num_pages);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    std::string page(kPageSize, '\0');
+    in.read(page.data(), std::streamsize(kPageSize));
+    if (!in) return Status::InvalidArgument("truncated page file: " + path);
+    store.pages_.push_back(std::move(page));
+  }
+  store.bytes_used_ = bytes_used;
+  return store;
+}
+
+}  // namespace modb

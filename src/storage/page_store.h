@@ -1,0 +1,65 @@
+// An in-process emulation of the DBMS block environment the paper's data
+// structures target (Section 4): attribute values must live in "a small
+// number of memory blocks that can be moved efficiently between secondary
+// and main memory". PageStore hands out page extents; DbArray-style
+// variable-size components are placed either inline in the tuple or in a
+// page extent depending on size, following [DG98].
+
+#ifndef MODB_STORAGE_PAGE_STORE_H_
+#define MODB_STORAGE_PAGE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace modb {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+/// A contiguous run of pages holding one database array.
+struct PageExtent {
+  uint32_t first_page = 0;
+  uint32_t num_pages = 0;
+  uint32_t num_bytes = 0;
+};
+
+/// A trivially simple page allocator with read/write access by extent.
+class PageStore {
+ public:
+  PageStore() = default;
+
+  // Page stores own bulk data; copying one is almost always a bug.
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+  PageStore(PageStore&&) = default;
+  PageStore& operator=(PageStore&&) = default;
+
+  /// Copies `bytes` into freshly allocated pages.
+  PageExtent Write(std::string_view bytes);
+
+  /// Reads an extent back.
+  Result<std::string> Read(const PageExtent& extent) const;
+
+  /// Persists all pages to a file ("secondary memory": previously issued
+  /// extents remain valid against the reloaded store).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Reloads a store persisted with SaveToFile.
+  static Result<PageStore> LoadFromFile(const std::string& path);
+
+  std::size_t NumPages() const { return pages_.size(); }
+  std::size_t BytesAllocated() const { return pages_.size() * kPageSize; }
+  std::size_t BytesUsed() const { return bytes_used_; }
+
+ private:
+  std::vector<std::string> pages_;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace modb
+
+#endif  // MODB_STORAGE_PAGE_STORE_H_

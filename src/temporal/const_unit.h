@@ -1,0 +1,62 @@
+// The const(α) unit type constructor (Section 3.2.5): a temporal unit
+// whose unit function is constant — ι(v, t) = v. This is the sliced
+// representation for discretely changing values; mapping(const(int)),
+// mapping(const(string)) and mapping(const(bool)) realize moving(int),
+// moving(string) and moving(bool) (Table 3).
+
+#ifndef MODB_TEMPORAL_CONST_UNIT_H_
+#define MODB_TEMPORAL_CONST_UNIT_H_
+
+#include <string>
+#include <utility>
+
+#include "core/interval.h"
+#include "core/status.h"
+
+namespace modb {
+
+/// A unit (i, v) with constant unit function. T must be regular
+/// (copyable, equality comparable).
+template <typename T>
+class ConstUnit {
+ public:
+  using ValueType = T;
+
+  static Result<ConstUnit> Make(TimeInterval interval, T value) {
+    // D_const(α) = Interval(Instant) × D'_α: undefined values are not
+    // representable here by construction (T is the defined carrier).
+    return ConstUnit(interval, std::move(value));
+  }
+
+  const TimeInterval& interval() const { return interval_; }
+  const T& value() const { return value_; }
+
+  /// ι(v, t) = v.
+  T ValueAt(Instant /*t*/) const { return value_; }
+
+  /// Unit-function equality: the adjacency constraint of Mapping(S)
+  /// ("adjacent intervals ⇒ distinct values") compares these.
+  static bool FunctionEqual(const ConstUnit& a, const ConstUnit& b) {
+    return a.value_ == b.value_;
+  }
+
+  /// The same unit function on a sub-interval (used by atperiods).
+  Result<ConstUnit> WithInterval(TimeInterval sub) const {
+    return Make(sub, value_);
+  }
+
+ private:
+  ConstUnit(TimeInterval interval, T value)
+      : interval_(interval), value_(std::move(value)) {}
+
+  TimeInterval interval_;
+  T value_;
+};
+
+using UBool = ConstUnit<bool>;
+using UInt = ConstUnit<int64_t>;
+using UString = ConstUnit<std::string>;
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_CONST_UNIT_H_

@@ -1,0 +1,221 @@
+// The mapping(α) type constructor (Section 3.2.4) — the sliced
+// representation. A mapping is a finite set of temporal units with
+//   (i)  equal intervals ⇒ equal unit functions,
+//   (ii) distinct intervals ⇒ disjoint, and adjacent ⇒ distinct unit
+//        functions,
+// stored as an array of unit records ordered by time interval (Section
+// 4.3, Figure 7). Units are located by binary search (the O(log n) step
+// of the atinstant algorithm, Section 5.1).
+//
+// A unit type U must provide:
+//   using ValueType = ...;
+//   const TimeInterval& interval() const;
+//   ValueType ValueAt(Instant) const;
+//   static bool FunctionEqual(const U&, const U&);
+//   Result<U> WithInterval(TimeInterval) const;
+
+#ifndef MODB_TEMPORAL_MAPPING_H_
+#define MODB_TEMPORAL_MAPPING_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/intime.h"
+#include "core/range_set.h"
+#include "core/status.h"
+
+namespace modb {
+
+template <typename U>
+class Mapping {
+ public:
+  using UnitType = U;
+  using ValueType = typename U::ValueType;
+
+  /// The empty mapping (a moving value that is nowhere defined).
+  Mapping() = default;
+
+  /// Validating factory: enforces the Mapping(S) constraints.
+  static Result<Mapping> Make(std::vector<U> units) {
+    std::sort(units.begin(), units.end(), [](const U& a, const U& b) {
+      return a.interval() < b.interval();
+    });
+    for (std::size_t i = 0; i + 1 < units.size(); ++i) {
+      const TimeInterval& u = units[i].interval();
+      const TimeInterval& v = units[i + 1].interval();
+      if (!TimeInterval::Disjoint(u, v)) {
+        return Status::InvalidArgument(
+            "mapping units overlap in time: " + u.ToString() + " and " +
+            v.ToString());
+      }
+      if (TimeInterval::Adjacent(u, v) &&
+          U::FunctionEqual(units[i], units[i + 1])) {
+        return Status::InvalidArgument(
+            "adjacent mapping units with equal unit function (not minimal): " +
+            u.ToString() + " and " + v.ToString());
+      }
+    }
+    return Mapping(std::move(units));
+  }
+
+  /// Non-validating factory for the storage layer: `units` must already
+  /// be sorted and satisfy the Mapping(S) constraints.
+  static Mapping MakeTrusted(std::vector<U> units) {
+    return Mapping(std::move(units));
+  }
+
+  bool IsEmpty() const { return units_.empty(); }
+  std::size_t NumUnits() const { return units_.size(); }
+  const std::vector<U>& units() const { return units_; }
+  const U& unit(std::size_t i) const { return units_[i]; }
+
+  /// Binary search for the unit whose interval contains t (the first step
+  /// of the atinstant algorithm of Section 5.1). O(log n).
+  std::optional<std::size_t> FindUnit(Instant t) const {
+    auto it = std::upper_bound(
+        units_.begin(), units_.end(), t, [](Instant v, const U& u) {
+          return v < u.interval().start();
+        });
+    if (it == units_.begin()) return std::nullopt;
+    std::size_t idx = std::size_t(std::distance(units_.begin(), it)) - 1;
+    if (units_[idx].interval().Contains(t)) return idx;
+    // t may coincide with the left-open start of units_[idx] while the
+    // previous unit ends (closed) exactly there.
+    if (idx > 0 && units_[idx - 1].interval().Contains(t)) return idx - 1;
+    return std::nullopt;
+  }
+
+  /// Linear-scan variant (the baseline against which bench_atinstant
+  /// demonstrates the O(log n) claim).
+  std::optional<std::size_t> FindUnitLinear(Instant t) const {
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+      if (units_[i].interval().Contains(t)) return i;
+      if (units_[i].interval().start() > t) break;
+    }
+    return std::nullopt;
+  }
+
+  /// atinstant: the value at time t, or an undefined Intime.
+  Intime<ValueType> AtInstant(Instant t) const {
+    std::optional<std::size_t> idx = FindUnit(t);
+    if (!idx) return Intime<ValueType>::Undefined();
+    return Intime<ValueType>(t, units_[*idx].ValueAt(t));
+  }
+
+  /// present: is the moving value defined at t?
+  bool Present(Instant t) const { return FindUnit(t).has_value(); }
+
+  /// present lifted to periods: defined at some instant of the periods?
+  bool Present(const Periods& periods) const {
+    for (const U& u : units_) {
+      for (const TimeInterval& iv : periods.intervals()) {
+        if (!TimeInterval::Disjoint(u.interval(), iv)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// deftime: the projection onto the time domain.
+  Periods DefTime() const {
+    std::vector<TimeInterval> ivs;
+    ivs.reserve(units_.size());
+    for (const U& u : units_) ivs.push_back(u.interval());
+    return Periods::FromIntervals(std::move(ivs));
+  }
+
+  /// atperiods: restriction of the moving value to the given periods.
+  Result<Mapping> AtPeriods(const Periods& periods) const {
+    std::vector<U> out;
+    for (const U& u : units_) {
+      for (const TimeInterval& iv : periods.intervals()) {
+        auto inter = TimeInterval::Intersect(u.interval(), iv);
+        if (!inter) continue;
+        Result<U> piece = u.WithInterval(*inter);
+        if (!piece.ok()) return piece.status();
+        out.push_back(std::move(*piece));
+      }
+    }
+    return Make(std::move(out));
+  }
+
+  /// initial: the (instant, value) pair at the earliest defined instant.
+  Intime<ValueType> Initial() const {
+    if (units_.empty()) return Intime<ValueType>::Undefined();
+    const U& u = units_.front();
+    return Intime<ValueType>(u.interval().start(),
+                             u.ValueAt(u.interval().start()));
+  }
+
+  /// final: the (instant, value) pair at the latest defined instant.
+  Intime<ValueType> Final() const {
+    if (units_.empty()) return Intime<ValueType>::Undefined();
+    const U& u = units_.back();
+    return Intime<ValueType>(u.interval().end(), u.ValueAt(u.interval().end()));
+  }
+
+  /// Total time span covered.
+  double TotalDuration() const {
+    double d = 0;
+    for (const U& u : units_) d += Duration(u.interval());
+    return d;
+  }
+
+ private:
+  explicit Mapping(std::vector<U> sorted_units)
+      : units_(std::move(sorted_units)) {}
+
+  std::vector<U> units_;
+};
+
+/// Builder that assembles a mapping unit by unit, merging units with
+/// adjacent intervals and equal unit functions (keeping the
+/// representation minimal, as `concat` in Section 5.2 does in O(1) per
+/// append). Appends must be in increasing time order.
+template <typename U>
+class MappingBuilder {
+ public:
+  /// Appends a unit; merges with the previous one when the intervals are
+  /// adjacent and the unit functions equal.
+  Status Append(U unit) {
+    if (!units_.empty()) {
+      const TimeInterval& prev = units_.back().interval();
+      const TimeInterval& cur = unit.interval();
+      if (!TimeInterval::Disjoint(prev, cur)) {
+        return Status::InvalidArgument(
+            "units appended out of order or overlapping: " + prev.ToString() +
+            " then " + cur.ToString());
+      }
+      if (!TimeInterval::RDisjoint(prev, cur)) {
+        return Status::InvalidArgument("units appended out of time order");
+      }
+      if (TimeInterval::Adjacent(prev, cur) &&
+          U::FunctionEqual(units_.back(), unit)) {
+        TimeInterval merged = TimeInterval::Merge(prev, cur);
+        Result<U> m = unit.WithInterval(merged);
+        if (!m.ok()) return m.status();
+        units_.back() = std::move(*m);
+        return Status::OK();
+      }
+    }
+    units_.push_back(std::move(unit));
+    return Status::OK();
+  }
+
+  std::size_t NumUnits() const { return units_.size(); }
+
+  /// Finalizes into a mapping. The builder is left empty.
+  Result<Mapping<U>> Build() {
+    return Mapping<U>::Make(std::move(units_));
+  }
+
+ private:
+  std::vector<U> units_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_MAPPING_H_

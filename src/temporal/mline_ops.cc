@@ -1,0 +1,69 @@
+#include "temporal/mline_ops.h"
+
+#include <cmath>
+
+#include "core/real.h"
+#include "spatial/overlay.h"
+
+namespace modb {
+
+Result<MovingReal> Length(const MovingLine& ml) {
+  MappingBuilder<UReal> builder;
+  for (const ULine& u : ml.units()) {
+    const TimeInterval& iv = u.interval();
+    double dur = Duration(iv);
+    auto total_length = [&u](Instant t) {
+      double total = 0;
+      for (const MSeg& m : u.msegs()) {
+        if (auto s = m.ValueAt(t)) total += s->Length();
+      }
+      return total;
+    };
+    if (dur == 0) {
+      auto unit = UReal::Constant(iv, total_length(iv.start()));
+      if (!unit.ok()) return unit.status();
+      MODB_RETURN_IF_ERROR(builder.Append(*unit));
+      continue;
+    }
+    // Linear in t: two interior samples determine it exactly (interior
+    // instants dodge endpoint degeneracies/merges).
+    double t1 = iv.start() + dur * 0.25;
+    double t2 = iv.start() + dur * 0.75;
+    double v1 = total_length(t1);
+    double v2 = total_length(t2);
+    double b = (v2 - v1) / (t2 - t1);
+    double c = v1 - b * t1;
+    auto unit = UReal::Make(iv, 0, SnapZero(b), c, false);
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+  }
+  return builder.Build();
+}
+
+Result<Region> Traversed(const MovingLine& ml) {
+  Region acc;
+  for (const ULine& u : ml.units()) {
+    const TimeInterval& iv = u.interval();
+    for (const MSeg& m : u.msegs()) {
+      Point s0 = m.s().At(iv.start());
+      Point e0 = m.e().At(iv.start());
+      Point s1 = m.s().At(iv.end());
+      Point e1 = m.e().At(iv.end());
+      std::vector<Point> ring;
+      for (const Point& p : {s0, e0, e1, s1}) {
+        if (ring.empty() || !(ring.back() == p)) ring.push_back(p);
+      }
+      while (ring.size() > 1 && ring.front() == ring.back()) ring.pop_back();
+      if (ring.size() < 3) continue;
+      if (std::fabs(SignedArea(ring)) < kEpsilon) continue;
+      Result<Region> sweep = Region::FromPolygon(ring);
+      if (!sweep.ok()) continue;  // Degenerate sliver.
+      Result<Region> merged = Union(acc, *sweep);
+      if (!merged.ok()) return merged.status();
+      acc = std::move(*merged);
+    }
+  }
+  return acc;
+}
+
+}  // namespace modb

@@ -1,0 +1,29 @@
+// Operations specific to moving lines: the lifted length (exact, thanks
+// to the non-rotation constraint) and the traversed projection into the
+// plane.
+
+#ifndef MODB_TEMPORAL_MLINE_OPS_H_
+#define MODB_TEMPORAL_MLINE_OPS_H_
+
+#include "core/status.h"
+#include "spatial/region.h"
+#include "temporal/moving.h"
+
+namespace modb {
+
+/// Lifted `length`: the total length of the moving line over time. Under
+/// the non-rotation constraint each moving segment's length |w + t·dv| is
+/// linear in t within a unit (dv ∥ w and no degeneration on the open
+/// interval), so the sum is linear and exactly representable as a plain
+/// ureal. Recovered by two-point interpolation per unit.
+Result<MovingReal> Length(const MovingLine& ml);
+
+/// traversed: the 2-dimensional part of the plane swept by the moving
+/// line — the union of each moving segment's swept trapezium. Segments
+/// that translate along their own direction sweep no area; a fully
+/// stationary moving line yields the empty region.
+Result<Region> Traversed(const MovingLine& ml);
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_MLINE_OPS_H_

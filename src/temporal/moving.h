@@ -1,0 +1,49 @@
+// Table 3 of the paper: the correspondence between abstract moving types
+// and their discrete sliced representations.
+//
+//   moving(int)    = mapping(const(int))     → MovingInt
+//   moving(string) = mapping(const(string))  → MovingString
+//   moving(bool)   = mapping(const(bool))    → MovingBool
+//   moving(real)   = mapping(ureal)          → MovingReal
+//   moving(point)  = mapping(upoint)         → MovingPoint
+//   moving(points) = mapping(upoints)        → MovingPoints
+//   moving(line)   = mapping(uline)          → MovingLine
+//   moving(region) = mapping(uregion)        → MovingRegion
+
+#ifndef MODB_TEMPORAL_MOVING_H_
+#define MODB_TEMPORAL_MOVING_H_
+
+#include "spatial/line.h"
+#include "spatial/points.h"
+#include "spatial/region.h"
+#include "temporal/const_unit.h"
+#include "temporal/mapping.h"
+#include "temporal/upoint.h"
+#include "temporal/upoints.h"
+#include "temporal/ureal.h"
+#include "temporal/uline.h"
+#include "temporal/uregion.h"
+
+namespace modb {
+
+using MovingInt = Mapping<UInt>;
+using MovingString = Mapping<UString>;
+using MovingBool = Mapping<UBool>;
+using MovingReal = Mapping<UReal>;
+using MovingPoint = Mapping<UPoint>;
+using MovingPoints = Mapping<UPoints>;
+using MovingLine = Mapping<ULine>;
+using MovingRegion = Mapping<URegion>;
+
+// Section 3.2.5 also notes that const(α) "can nevertheless be applied to
+// other types … useful for applications where values of such types change
+// only in discrete steps": stepped spatial mappings, e.g. a land parcel
+// whose shape changes at survey dates.
+using SteppedPoint = Mapping<ConstUnit<Point>>;
+using SteppedPoints = Mapping<ConstUnit<Points>>;
+using SteppedLine = Mapping<ConstUnit<Line>>;
+using SteppedRegion = Mapping<ConstUnit<Region>>;
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_MOVING_H_

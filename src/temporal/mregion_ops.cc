@@ -1,0 +1,136 @@
+#include "temporal/mregion_ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/real.h"
+#include "spatial/overlay.h"
+
+namespace modb {
+
+namespace {
+
+struct QuadFit {
+  double a, b, c;
+};
+
+// Interpolates the quadratic through (t1,v1), (t2,v2), (t3,v3).
+QuadFit FitQuadratic(double t1, double v1, double t2, double v2, double t3,
+                     double v3) {
+  double d12 = (v1 - v2) / (t1 - t2);
+  double d23 = (v2 - v3) / (t2 - t3);
+  double a = (d12 - d23) / (t1 - t3);
+  double b = d12 - a * (t1 + t2);
+  double c = v1 - a * t1 * t1 - b * t1;
+  return {SnapZero(a), SnapZero(b), c};
+}
+
+}  // namespace
+
+Result<MovingReal> Area(const MovingRegion& mr) {
+  MappingBuilder<UReal> builder;
+  for (const URegion& u : mr.units()) {
+    const TimeInterval& iv = u.interval();
+    double dur = Duration(iv);
+    if (dur == 0) {
+      auto unit = UReal::Constant(iv, u.ValueAt(iv.start()).Area());
+      if (!unit.ok()) return unit.status();
+      MODB_RETURN_IF_ERROR(builder.Append(*unit));
+      continue;
+    }
+    // Three interior samples determine the exact quadratic (interior
+    // instants avoid endpoint degeneracies).
+    double t1 = iv.start() + dur * 0.25;
+    double t2 = iv.start() + dur * 0.5;
+    double t3 = iv.start() + dur * 0.75;
+    QuadFit q = FitQuadratic(t1, u.ValueAt(t1).Area(), t2,
+                             u.ValueAt(t2).Area(), t3, u.ValueAt(t3).Area());
+    auto unit = UReal::Make(iv, q.a, q.b, q.c, false);
+    if (!unit.ok()) return unit.status();
+    MODB_RETURN_IF_ERROR(builder.Append(*unit));
+  }
+  return builder.Build();
+}
+
+Result<MovingReal> PerimeterApprox(const MovingRegion& mr, int subdivisions) {
+  if (subdivisions < 1) {
+    return Status::InvalidArgument("subdivisions must be >= 1");
+  }
+  MappingBuilder<UReal> builder;
+  for (const URegion& u : mr.units()) {
+    const TimeInterval& iv = u.interval();
+    double dur = Duration(iv);
+    if (dur == 0) {
+      auto unit = UReal::Constant(iv, u.ValueAt(iv.start()).Perimeter());
+      if (!unit.ok()) return unit.status();
+      MODB_RETURN_IF_ERROR(builder.Append(*unit));
+      continue;
+    }
+    auto perimeter_at = [&u](Instant t) {
+      double total = 0;
+      for (const MSeg& m : u.AllMSegs()) {
+        if (auto s = m.ValueAt(t)) total += s->Length();
+      }
+      return total;
+    };
+    for (int k = 0; k < subdivisions; ++k) {
+      double s = iv.start() + dur * k / subdivisions;
+      double e = iv.start() + dur * (k + 1) / subdivisions;
+      bool lc = (k == 0) ? iv.left_closed() : true;
+      bool rc = (k == subdivisions - 1) ? iv.right_closed() : false;
+      auto sub = TimeInterval::Make(s, e, lc, rc);
+      if (!sub.ok()) return sub.status();
+      double h = (e - s);
+      QuadFit q = FitQuadratic(s + h * 0.25, perimeter_at(s + h * 0.25),
+                               s + h * 0.5, perimeter_at(s + h * 0.5),
+                               s + h * 0.75, perimeter_at(s + h * 0.75));
+      auto unit = UReal::Make(*sub, q.a, q.b, q.c, false);
+      if (!unit.ok()) return unit.status();
+      MODB_RETURN_IF_ERROR(builder.Append(*unit));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Region> Traversed(const MovingRegion& mr) {
+  Region acc;
+  auto merge = [&acc](const Region& r) -> Status {
+    if (r.IsEmpty()) return Status::OK();
+    Result<Region> u = Union(acc, r);
+    if (!u.ok()) return u.status();
+    acc = std::move(*u);
+    return Status::OK();
+  };
+  for (const URegion& u : mr.units()) {
+    const TimeInterval& iv = u.interval();
+    // Snapshots at the exact ends: ValueAt applies the ι_s/ι_e cleanup
+    // there, and exact endpoints keep the snapshots' vertices aligned
+    // with the swept-quad corners (no sliver geometry in the overlay).
+    MODB_RETURN_IF_ERROR(merge(u.ValueAt(iv.start())));
+    if (Duration(iv) > 0) MODB_RETURN_IF_ERROR(merge(u.ValueAt(iv.end())));
+    // Swept trapezium of every moving segment: any interior point of the
+    // moving region at an intermediate instant either lies in the start
+    // snapshot or some boundary segment swept over it.
+    for (const MSeg& m : u.AllMSegs()) {
+      Point s0 = m.s().At(iv.start());
+      Point e0 = m.e().At(iv.start());
+      Point s1 = m.s().At(iv.end());
+      Point e1 = m.e().At(iv.end());
+      std::vector<Point> quad = {s0, e0, e1, s1};
+      // Drop consecutive duplicates (degenerate ends).
+      std::vector<Point> ring;
+      for (const Point& p : quad) {
+        if (ring.empty() || !(ring.back() == p)) ring.push_back(p);
+      }
+      while (ring.size() > 1 && ring.front() == ring.back()) ring.pop_back();
+      if (ring.size() < 3) continue;
+      if (std::fabs(SignedArea(ring)) < kEpsilon) continue;
+      Result<Region> sweep = Region::FromPolygon(ring);
+      if (!sweep.ok()) continue;  // Degenerate sweep; covered by snapshots.
+      MODB_RETURN_IF_ERROR(merge(*sweep));
+    }
+  }
+  return acc;
+}
+
+}  // namespace modb

@@ -1,0 +1,39 @@
+// Operations specific to moving regions: the lifted size (area) and
+// perimeter of Section 3.2.5's closure discussion, and the traversed
+// projection into the plane.
+
+#ifndef MODB_TEMPORAL_MREGION_OPS_H_
+#define MODB_TEMPORAL_MREGION_OPS_H_
+
+#include "core/status.h"
+#include "spatial/region.h"
+#include "temporal/moving.h"
+
+namespace modb {
+
+/// Lifted `size`: the area of the moving region over time. With
+/// non-rotating linearly moving segments the area is *exactly* a
+/// quadratic polynomial per unit, so the result is representable in
+/// mapping(ureal) without error (the closure property claimed in Section
+/// 3.2.5). Coefficients are recovered by interpolating three interior
+/// samples.
+Result<MovingReal> Area(const MovingRegion& mr);
+
+/// Lifted `perimeter`. A pleasant consequence of the non-rotation
+/// constraint: a moving segment's direction is constant, so its length
+/// |w + t·dv| is *linear* in t within a unit (dv is parallel to w), and
+/// the unit perimeter — a sum of such lengths — is linear too. The
+/// quadratic fit therefore recovers it exactly (up to roundoff); the
+/// `subdivisions` parameter is kept as a safety net for inputs whose
+/// coefficients only approximately satisfy the coplanarity tolerance.
+Result<MovingReal> PerimeterApprox(const MovingRegion& mr,
+                                   int subdivisions = 8);
+
+/// traversed: the part of the plane ever covered by the moving region —
+/// the union of the initial snapshot, the final snapshot, and the swept
+/// trapezium of every moving segment, per unit.
+Result<Region> Traversed(const MovingRegion& mr);
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_MREGION_OPS_H_

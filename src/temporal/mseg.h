@@ -1,0 +1,89 @@
+// Moving segments (Section 3.2.6):
+//   MSeg = {(s, e) | s, e ∈ MPoint, s ≠ e, s coplanar with e}.
+// Coplanarity of the two 3D lines is exactly the paper's non-rotation
+// constraint: the segment keeps its direction throughout the motion, so a
+// moving segment sweeps a planar trapezium (or triangle) in (x, y, t)
+// space.
+
+#ifndef MODB_TEMPORAL_MSEG_H_
+#define MODB_TEMPORAL_MSEG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/status.h"
+#include "spatial/seg.h"
+#include "temporal/upoints.h"
+
+namespace modb {
+
+class MSeg {
+ public:
+  /// Validating factory: rejects identical endpoint motions and motions
+  /// violating the coplanarity (non-rotation) constraint. Endpoints are
+  /// stored in lexicographic quadruple order (the subarray order of
+  /// Section 4.2).
+  static Result<MSeg> Make(LinearMotion s, LinearMotion e);
+
+  /// Convenience: the moving segment interpolating segment `at_start` at
+  /// time t0 to segment `at_end` at time t1 (matching a-to-a, b-to-b).
+  /// This is how Figure 5-style discrete representations of continuously
+  /// moving lines are constructed.
+  static Result<MSeg> FromEndSegments(Instant t0, const Seg& at_start,
+                                      Instant t1, const Seg& at_end);
+
+  /// A non-moving segment.
+  static Result<MSeg> StaticSeg(const Seg& s) {
+    return Make(LinearMotion{s.a().x, 0, s.a().y, 0},
+                LinearMotion{s.b().x, 0, s.b().y, 0});
+  }
+
+  const LinearMotion& s() const { return s_; }
+  const LinearMotion& e() const { return e_; }
+
+  /// ι((s,e), t) as a segment; nullopt when the segment degenerates to a
+  /// point at t (allowed only at unit-interval endpoints).
+  std::optional<Seg> ValueAt(Instant t) const;
+
+  /// Instants at which the segment degenerates to a point.
+  std::vector<Instant> DegenerationTimes() const;
+
+  friend bool operator==(const MSeg& a, const MSeg& b) {
+    return a.s_ == b.s_ && a.e_ == b.e_;
+  }
+  friend bool operator<(const MSeg& a, const MSeg& b) {
+    if (!(a.s_ == b.s_)) return a.s_ < b.s_;
+    return a.e_ < b.e_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  MSeg(LinearMotion s, LinearMotion e) : s_(s), e_(e) {}
+
+  LinearMotion s_;
+  LinearMotion e_;
+};
+
+/// Times (within `within`) at which the moving point `p` crosses the
+/// moving segment `m`. `always_collinear` reports the degenerate case of
+/// the point travelling along the segment's supporting moving line.
+struct MSegCrossings {
+  std::vector<Instant> times;
+  bool always_collinear = false;
+};
+
+MSegCrossings CrossingTimes(const LinearMotion& p, const MSeg& m,
+                            const TimeInterval& within);
+
+/// Candidate instants at which the mutual configuration of two moving
+/// segments can change (an endpoint of one crossing the other). Used by
+/// the uline/uregion validity checks.
+std::vector<Instant> ConfigurationEvents(const MSeg& a, const MSeg& b,
+                                         const TimeInterval& within);
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_MSEG_H_

@@ -1,0 +1,9 @@
+#include "temporal/refinement.h"
+
+namespace modb {
+
+// RefinementPartition is a header-only template; this TU exists to give
+// the build a stable home for future non-template helpers and to compile
+// the header standalone.
+
+}  // namespace modb

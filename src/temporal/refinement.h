@@ -1,0 +1,146 @@
+// The refinement partition of the time axis (Figure 8): given two unit
+// lists ordered by time interval, a parallel scan produces the common
+// subdivision, pairing each refinement interval with the unit (if any) of
+// each mapping valid on it. This is the generic first stage of every
+// binary lifted operation (Section 5.2: "algorithms for binary operations
+// on moving objects can generally be reduced to simpler algorithms on
+// pairs of units").
+
+#ifndef MODB_TEMPORAL_REFINEMENT_H_
+#define MODB_TEMPORAL_REFINEMENT_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/interval.h"
+#include "temporal/mapping.h"
+
+namespace modb {
+
+/// One interval of the refinement partition. unit_a/unit_b are indices
+/// into the respective mappings, or kNoUnit when that mapping is not
+/// defined on the interval.
+struct RefinementEntry {
+  static constexpr int kNoUnit = -1;
+
+  TimeInterval interval = TimeInterval::At(0);
+  int unit_a = kNoUnit;
+  int unit_b = kNoUnit;
+
+  bool HasBoth() const { return unit_a != kNoUnit && unit_b != kNoUnit; }
+};
+
+namespace refinement_internal {
+
+/// The part of `whole` strictly before `common` (sharing whole's left
+/// boundary), or nullopt when empty.
+inline std::optional<TimeInterval> LeadingPiece(const TimeInterval& whole,
+                                                const TimeInterval& common) {
+  if (whole.start() < common.start()) {
+    auto piece = TimeInterval::Make(whole.start(), common.start(),
+                                    whole.left_closed(),
+                                    !common.left_closed());
+    if (piece.ok()) return *piece;
+    return std::nullopt;
+  }
+  if (whole.start() == common.start() && whole.left_closed() &&
+      !common.left_closed()) {
+    return TimeInterval::At(whole.start());
+  }
+  return std::nullopt;
+}
+
+/// The part of `whole` strictly after `common`, or nullopt when empty.
+inline std::optional<TimeInterval> TrailingPiece(const TimeInterval& whole,
+                                                 const TimeInterval& common) {
+  if (common.end() < whole.end()) {
+    auto piece = TimeInterval::Make(common.end(), whole.end(),
+                                    !common.right_closed(),
+                                    whole.right_closed());
+    if (piece.ok()) return *piece;
+    return std::nullopt;
+  }
+  if (whole.end() == common.end() && whole.right_closed() &&
+      !common.right_closed()) {
+    return TimeInterval::At(whole.end());
+  }
+  return std::nullopt;
+}
+
+}  // namespace refinement_internal
+
+/// Computes the refinement partition of the deftimes of two mappings in
+/// O(n + m). Intervals where neither mapping is defined are omitted.
+template <typename UA, typename UB>
+std::vector<RefinementEntry> RefinementPartition(const Mapping<UA>& a,
+                                                 const Mapping<UB>& b) {
+  using refinement_internal::LeadingPiece;
+  using refinement_internal::TrailingPiece;
+
+  std::vector<RefinementEntry> out;
+  const std::size_t n = a.NumUnits(), m = b.NumUnits();
+  std::size_t i = 0, j = 0;
+  // The not-yet-emitted remainder of the current unit on each side.
+  std::optional<TimeInterval> cur_a =
+      n ? std::optional(a.unit(0).interval()) : std::nullopt;
+  std::optional<TimeInterval> cur_b =
+      m ? std::optional(b.unit(0).interval()) : std::nullopt;
+  auto advance_a = [&] {
+    ++i;
+    cur_a = (i < n) ? std::optional(a.unit(i).interval()) : std::nullopt;
+  };
+  auto advance_b = [&] {
+    ++j;
+    cur_b = (j < m) ? std::optional(b.unit(j).interval()) : std::nullopt;
+  };
+
+  while (cur_a || cur_b) {
+    if (!cur_b) {
+      out.push_back({*cur_a, int(i), RefinementEntry::kNoUnit});
+      advance_a();
+      continue;
+    }
+    if (!cur_a) {
+      out.push_back({*cur_b, RefinementEntry::kNoUnit, int(j)});
+      advance_b();
+      continue;
+    }
+    if (TimeInterval::RDisjoint(*cur_a, *cur_b)) {
+      out.push_back({*cur_a, int(i), RefinementEntry::kNoUnit});
+      advance_a();
+      continue;
+    }
+    if (TimeInterval::RDisjoint(*cur_b, *cur_a)) {
+      out.push_back({*cur_b, RefinementEntry::kNoUnit, int(j)});
+      advance_b();
+      continue;
+    }
+    auto common = TimeInterval::Intersect(*cur_a, *cur_b);
+    // Overlap implies a non-empty intersection.
+    if (auto lead = LeadingPiece(*cur_a, *common)) {
+      out.push_back({*lead, int(i), RefinementEntry::kNoUnit});
+    }
+    if (auto lead = LeadingPiece(*cur_b, *common)) {
+      out.push_back({*lead, RefinementEntry::kNoUnit, int(j)});
+    }
+    out.push_back({*common, int(i), int(j)});
+    std::optional<TimeInterval> trail_a = TrailingPiece(*cur_a, *common);
+    std::optional<TimeInterval> trail_b = TrailingPiece(*cur_b, *common);
+    if (trail_a) {
+      cur_a = trail_a;
+    } else {
+      advance_a();
+    }
+    if (trail_b) {
+      cur_b = trail_b;
+    } else {
+      advance_b();
+    }
+  }
+  return out;
+}
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_REFINEMENT_H_

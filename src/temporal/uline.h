@@ -1,0 +1,80 @@
+// The uline unit type (Section 3.2.6): a set of non-rotating moving
+// segments whose evaluation is a valid line value at every instant of the
+// open unit interval. At the closed endpoints, segments may degenerate to
+// points or overlap; the ι_s/ι_e cleanup (drop degenerates, merge-segs)
+// repairs the value there.
+
+#ifndef MODB_TEMPORAL_ULINE_H_
+#define MODB_TEMPORAL_ULINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/status.h"
+#include "spatial/bbox.h"
+#include "spatial/line.h"
+#include "temporal/mseg.h"
+
+namespace modb {
+
+class ULine {
+ public:
+  using ValueType = Line;
+
+  /// Validating factory. Checks, exactly:
+  ///   * no moving segment degenerates inside the open interval,
+  ///   * no two moving segments are collinear-overlapping at any instant
+  ///     of the open interval (candidate instants are the roots of the
+  ///     pairwise collinearity quadratics, plus sampled probes for the
+  ///     always-collinear case).
+  static Result<ULine> Make(TimeInterval interval, std::vector<MSeg> msegs);
+
+  /// Non-validating factory for the storage layer: reconstructs a unit
+  /// whose invariants were established before serialization.
+  static ULine MakeTrusted(TimeInterval interval, std::vector<MSeg> msegs) {
+    return ULine(interval, std::move(msegs));
+  }
+
+  const TimeInterval& interval() const { return interval_; }
+  const std::vector<MSeg>& msegs() const { return msegs_; }
+  std::size_t Size() const { return msegs_.size(); }
+
+  /// ι(M, t) with cleanup: inside the open interval this is the plain
+  /// evaluation; at the interval endpoints degenerate members are dropped
+  /// and overlapping segments merged (ι_s / ι_e of Section 3.2.6).
+  Line ValueAt(Instant t) const;
+
+  Cube BoundingCube() const;
+
+  static bool FunctionEqual(const ULine& a, const ULine& b) {
+    return a.msegs_ == b.msegs_;
+  }
+
+  Result<ULine> WithInterval(TimeInterval sub) const;
+
+  std::string ToString() const;
+
+ private:
+  ULine(TimeInterval interval, std::vector<MSeg> msegs)
+      : interval_(interval), msegs_(std::move(msegs)) {}
+
+  TimeInterval interval_;
+  std::vector<MSeg> msegs_;
+};
+
+/// Instants inside `within` at which moving segments a and b are
+/// collinear AND share a positive-length overlap — the configuration
+/// D_uline forbids. `always` reports permanently collinear overlapping
+/// pairs.
+struct OverlapEvents {
+  std::vector<Instant> times;
+  bool always = false;
+};
+
+OverlapEvents CollinearOverlapTimes(const MSeg& a, const MSeg& b,
+                                    const TimeInterval& within);
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_ULINE_H_

@@ -1,0 +1,72 @@
+#include "temporal/upoint.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/real.h"
+
+namespace modb {
+
+Result<UPoint> UPoint::FromEndpoints(TimeInterval interval,
+                                     const Point& p_start,
+                                     const Point& p_end) {
+  double dur = Duration(interval);
+  if (dur == 0) {
+    if (!(p_start == p_end)) {
+      return Status::InvalidArgument(
+          "instant unit with two distinct positions");
+    }
+    return Static(interval, p_start);
+  }
+  double x1 = (p_end.x - p_start.x) / dur;
+  double y1 = (p_end.y - p_start.y) / dur;
+  LinearMotion m{p_start.x - x1 * interval.start(), x1,
+                 p_start.y - y1 * interval.start(), y1};
+  return Make(interval, m);
+}
+
+std::optional<Seg> UPoint::TrajectorySegment() const {
+  Point p = StartPoint();
+  Point q = EndPoint();
+  if (p == q) return std::nullopt;
+  auto s = Seg::Make(p, q);
+  if (!s.ok()) return std::nullopt;
+  return *s;
+}
+
+double UPoint::Speed() const {
+  return std::sqrt(motion_.x1 * motion_.x1 + motion_.y1 * motion_.y1);
+}
+
+std::optional<Instant> UPoint::InstantAt(const Point& p) const {
+  if (motion_.IsStatic()) {
+    if (ApproxEqual(motion_.At(interval_.start()), p)) {
+      return interval_.start();
+    }
+    return std::nullopt;
+  }
+  Instant t;
+  if (std::fabs(motion_.x1) >= std::fabs(motion_.y1)) {
+    t = (p.x - motion_.x0) / motion_.x1;
+  } else {
+    t = (p.y - motion_.y0) / motion_.y1;
+  }
+  if (!interval_.Contains(t)) return std::nullopt;
+  if (!ApproxEqual(motion_.At(t), p)) return std::nullopt;
+  return t;
+}
+
+Cube UPoint::BoundingCube() const {
+  Rect r = Rect::Of(StartPoint());
+  r.Extend(EndPoint());
+  return Cube(r, interval_.start(), interval_.end());
+}
+
+std::string UPoint::ToString() const {
+  std::ostringstream os;
+  os << "upoint" << interval_.ToString() << " " << StartPoint().ToString()
+     << "->" << EndPoint().ToString();
+  return os.str();
+}
+
+}  // namespace modb

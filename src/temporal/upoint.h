@@ -1,0 +1,110 @@
+// The upoint unit type (Section 3.2.6): a linearly moving point.
+//   MPoint = {(x0, x1, y0, y1)}, ι((x0,x1,y0,y1), t) = (x0 + x1·t, y0 + y1·t)
+//   D_upoint = Interval(Instant) × MPoint.
+
+#ifndef MODB_TEMPORAL_UPOINT_H_
+#define MODB_TEMPORAL_UPOINT_H_
+
+#include <optional>
+#include <string>
+
+#include "core/interval.h"
+#include "core/status.h"
+#include "spatial/bbox.h"
+#include "spatial/point.h"
+#include "spatial/seg.h"
+
+namespace modb {
+
+/// The paper's MPoint carrier: coefficients of a 3D line describing the
+/// unbounded temporal evolution of a 2D point.
+struct LinearMotion {
+  double x0 = 0;
+  double x1 = 0;
+  double y0 = 0;
+  double y1 = 0;
+
+  /// ι((x0,x1,y0,y1), t).
+  Point At(Instant t) const { return Point(x0 + x1 * t, y0 + y1 * t); }
+
+  bool IsStatic() const { return x1 == 0 && y1 == 0; }
+
+  friend bool operator==(const LinearMotion& a, const LinearMotion& b) {
+    return a.x0 == b.x0 && a.x1 == b.x1 && a.y0 == b.y0 && a.y1 == b.y1;
+  }
+  /// Lexicographic order on the quadruple (the storage order of
+  /// Section 4.2).
+  friend bool operator<(const LinearMotion& a, const LinearMotion& b) {
+    if (a.x0 != b.x0) return a.x0 < b.x0;
+    if (a.x1 != b.x1) return a.x1 < b.x1;
+    if (a.y0 != b.y0) return a.y0 < b.y0;
+    return a.y1 < b.y1;
+  }
+};
+
+/// A upoint unit: a time interval plus a LinearMotion.
+class UPoint {
+ public:
+  using ValueType = Point;
+
+  /// Direct factory from motion coefficients.
+  static Result<UPoint> Make(TimeInterval interval, LinearMotion motion) {
+    return UPoint(interval, motion);
+  }
+
+  /// Factory from the observed positions at the interval's endpoints —
+  /// the natural constructor when slicing a sampled trajectory.
+  /// A degenerate (single-instant) interval requires p_start == p_end.
+  static Result<UPoint> FromEndpoints(TimeInterval interval,
+                                      const Point& p_start,
+                                      const Point& p_end);
+
+  /// A stationary unit.
+  static Result<UPoint> Static(TimeInterval interval, const Point& p) {
+    return Make(interval, LinearMotion{p.x, 0, p.y, 0});
+  }
+
+  const TimeInterval& interval() const { return interval_; }
+  const LinearMotion& motion() const { return motion_; }
+
+  Point ValueAt(Instant t) const { return motion_.At(t); }
+  Point StartPoint() const { return motion_.At(interval_.start()); }
+  Point EndPoint() const { return motion_.At(interval_.end()); }
+
+  /// Projection into the plane: a segment, or nullopt when the unit is
+  /// stationary (projection is a single point — the `trajectory`
+  /// operation keeps only line parts, Section 2).
+  std::optional<Seg> TrajectorySegment() const;
+
+  /// Constant speed of the unit (|velocity|).
+  double Speed() const;
+
+  /// The instant within the unit interval at which the moving point is at
+  /// p, if any. A stationary unit at p reports the interval start.
+  std::optional<Instant> InstantAt(const Point& p) const;
+
+  /// 3D bounding cube (Section 4.2 stores one per variable-size unit; for
+  /// upoint it is derivable but useful for indexing).
+  Cube BoundingCube() const;
+
+  static bool FunctionEqual(const UPoint& a, const UPoint& b) {
+    return a.motion_ == b.motion_;
+  }
+
+  Result<UPoint> WithInterval(TimeInterval sub) const {
+    return Make(sub, motion_);
+  }
+
+  std::string ToString() const;
+
+ private:
+  UPoint(TimeInterval interval, LinearMotion motion)
+      : interval_(interval), motion_(motion) {}
+
+  TimeInterval interval_;
+  LinearMotion motion_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_UPOINT_H_

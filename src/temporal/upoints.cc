@@ -1,0 +1,85 @@
+#include "temporal/upoints.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/real.h"
+
+namespace modb {
+
+CoincidenceResult Coincidence(const LinearMotion& a, const LinearMotion& b) {
+  CoincidenceResult out;
+  double dx0 = a.x0 - b.x0, dx1 = a.x1 - b.x1;
+  double dy0 = a.y0 - b.y0, dy1 = a.y1 - b.y1;
+  // Coincide at t iff dx0 + dx1·t == 0 and dy0 + dy1·t == 0.
+  if (dx1 == 0 && dy1 == 0) {
+    out.always = (dx0 == 0 && dy0 == 0);
+    return out;
+  }
+  Instant t;
+  if (std::fabs(dx1) >= std::fabs(dy1)) {
+    if (dx1 == 0) {
+      if (dx0 != 0) return out;
+      t = -dy0 / dy1;
+    } else {
+      t = -dx0 / dx1;
+    }
+  } else {
+    t = -dy0 / dy1;
+  }
+  if (ApproxEq(dx0 + dx1 * t, 0, kEpsilon * (1 + std::fabs(dx0))) &&
+      ApproxEq(dy0 + dy1 * t, 0, kEpsilon * (1 + std::fabs(dy0)))) {
+    out.instants.push_back(t);
+  }
+  return out;
+}
+
+Result<UPoints> UPoints::Make(TimeInterval interval,
+                              std::vector<LinearMotion> motions) {
+  if (motions.empty()) {
+    return Status::InvalidArgument("upoints unit needs at least one motion");
+  }
+  std::sort(motions.begin(), motions.end());
+  for (std::size_t i = 0; i < motions.size(); ++i) {
+    for (std::size_t j = i + 1; j < motions.size(); ++j) {
+      CoincidenceResult co = Coincidence(motions[i], motions[j]);
+      if (co.always) {
+        return Status::InvalidArgument(
+            "upoints unit contains identical motions");
+      }
+      for (Instant t : co.instants) {
+        if (interval.ContainsOpen(t) ||
+            (interval.IsDegenerate() && t == interval.start())) {
+          return Status::InvalidArgument(
+              "upoints motions coincide inside the unit interval");
+        }
+      }
+    }
+  }
+  return UPoints(interval, std::move(motions));
+}
+
+Points UPoints::ValueAt(Instant t) const {
+  std::vector<Point> pts;
+  pts.reserve(motions_.size());
+  for (const LinearMotion& m : motions_) pts.push_back(m.At(t));
+  return Points::FromVector(std::move(pts));
+}
+
+Cube UPoints::BoundingCube() const {
+  Rect r;
+  for (const LinearMotion& m : motions_) {
+    r.Extend(m.At(interval_.start()));
+    r.Extend(m.At(interval_.end()));
+  }
+  return Cube(r, interval_.start(), interval_.end());
+}
+
+std::string UPoints::ToString() const {
+  std::ostringstream os;
+  os << "upoints" << interval_.ToString() << " " << motions_.size()
+     << " motions";
+  return os.str();
+}
+
+}  // namespace modb

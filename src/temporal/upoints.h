@@ -1,0 +1,78 @@
+// The upoints unit type (Section 3.2.6): a set of linearly moving points
+// that stay pairwise distinct throughout the open unit interval
+// (condition (i) of D_upoints), and pairwise distinct at the single
+// instant for degenerate intervals (condition (ii)).
+
+#ifndef MODB_TEMPORAL_UPOINTS_H_
+#define MODB_TEMPORAL_UPOINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/status.h"
+#include "spatial/bbox.h"
+#include "spatial/points.h"
+#include "temporal/upoint.h"
+
+namespace modb {
+
+class UPoints {
+ public:
+  using ValueType = Points;
+
+  /// Validating factory: rejects motions that coincide at some instant of
+  /// the open unit interval. Motions are stored in lexicographic order of
+  /// their quadruples (the subarray order of Section 4.2).
+  static Result<UPoints> Make(TimeInterval interval,
+                              std::vector<LinearMotion> motions);
+
+  /// Non-validating factory for the storage layer: reconstructs a unit
+  /// whose invariants were established before serialization.
+  static UPoints MakeTrusted(TimeInterval interval,
+                             std::vector<LinearMotion> motions) {
+    return UPoints(interval, std::move(motions));
+  }
+
+  const TimeInterval& interval() const { return interval_; }
+  const std::vector<LinearMotion>& motions() const { return motions_; }
+  std::size_t Size() const { return motions_.size(); }
+
+  /// ι(M, t) = { ι(m, t) | m ∈ M }. At the (possibly degenerate)
+  /// endpoints, distinct motions may collapse to the same point; the
+  /// Points canonicalization performs the cleanup.
+  Points ValueAt(Instant t) const;
+
+  Cube BoundingCube() const;
+
+  static bool FunctionEqual(const UPoints& a, const UPoints& b) {
+    return a.motions_ == b.motions_;
+  }
+
+  Result<UPoints> WithInterval(TimeInterval sub) const {
+    return Make(sub, motions_);
+  }
+
+  std::string ToString() const;
+
+ private:
+  UPoints(TimeInterval interval, std::vector<LinearMotion> motions)
+      : interval_(interval), motions_(std::move(motions)) {}
+
+  TimeInterval interval_;
+  std::vector<LinearMotion> motions_;
+};
+
+/// Instants where two linear motions coincide: none, one, or "always"
+/// (encoded by `always`). Used by the D_upoints validity check and by
+/// lifted equality of moving points.
+struct CoincidenceResult {
+  bool always = false;
+  std::vector<Instant> instants;  // At most one for non-parallel motions.
+};
+
+CoincidenceResult Coincidence(const LinearMotion& a, const LinearMotion& b);
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_UPOINTS_H_

@@ -1,0 +1,267 @@
+#include "temporal/uregion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "core/real.h"
+#include "spatial/region_builder.h"
+
+namespace modb {
+
+namespace {
+
+double ParamOf(const Seg& s, const Point& p) {
+  double dx = s.b().x - s.a().x;
+  double dy = s.b().y - s.a().y;
+  if (std::fabs(dx) >= std::fabs(dy)) return (p.x - s.a().x) / dx;
+  return (p.y - s.a().y) / dy;
+}
+
+Point Lerp(const Seg& s, double u) {
+  return Point(s.a().x + u * (s.b().x - s.a().x),
+               s.a().y + u * (s.b().y - s.a().y));
+}
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Seg> OddParityFragments(std::vector<Seg> segs) {
+  const std::size_t n = segs.size();
+  if (n <= 1) return segs;
+  DisjointSets ds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (Collinear(segs[i], segs[j]) && Overlap(segs[i], segs[j])) {
+        ds.Merge(i, j);
+      }
+    }
+  }
+  std::vector<Seg> out;
+  std::vector<bool> done(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t root = ds.Find(i);
+    if (done[root]) continue;
+    done[root] = true;
+    // Collect the group.
+    std::vector<std::size_t> group;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (ds.Find(j) == root) group.push_back(j);
+    }
+    if (group.size() == 1) {
+      out.push_back(segs[group[0]]);
+      continue;
+    }
+    // Fragment the supporting line of segs[root] at all group endpoints;
+    // keep odd-coverage fragments (the paper's even/odd cancellation).
+    const Seg& base = segs[root];
+    std::vector<double> cuts;
+    for (std::size_t j : group) {
+      cuts.push_back(ParamOf(base, segs[j].a()));
+      cuts.push_back(ParamOf(base, segs[j].b()));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                           [](double a, double b) {
+                             return std::fabs(a - b) <= 1e-12;
+                           }),
+               cuts.end());
+    for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+      double mid = (cuts[k] + cuts[k + 1]) / 2;
+      int coverage = 0;
+      for (std::size_t j : group) {
+        double u0 = ParamOf(base, segs[j].a());
+        double u1 = ParamOf(base, segs[j].b());
+        if (u0 > u1) std::swap(u0, u1);
+        if (mid > u0 && mid < u1) ++coverage;
+      }
+      if (coverage % 2 == 1) {
+        auto frag = Seg::Make(Lerp(base, cuts[k]), Lerp(base, cuts[k + 1]));
+        if (frag.ok()) out.push_back(*frag);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t URegion::NumMSegs() const {
+  std::size_t n = 0;
+  for (const MFace& f : faces_) {
+    n += f.outer.size();
+    for (const MCycle& h : f.holes) n += h.size();
+  }
+  return n;
+}
+
+std::vector<MSeg> URegion::AllMSegs() const {
+  std::vector<MSeg> out;
+  out.reserve(NumMSegs());
+  for (const MFace& f : faces_) {
+    out.insert(out.end(), f.outer.begin(), f.outer.end());
+    for (const MCycle& h : f.holes) {
+      out.insert(out.end(), h.begin(), h.end());
+    }
+  }
+  return out;
+}
+
+std::vector<Seg> URegion::Snapshot(Instant t) const {
+  std::vector<Seg> segs;
+  segs.reserve(NumMSegs());
+  for (const MFace& f : faces_) {
+    for (const MSeg& m : f.outer) {
+      if (auto s = m.ValueAt(t)) segs.push_back(*s);
+    }
+    for (const MCycle& h : f.holes) {
+      for (const MSeg& m : h) {
+        if (auto s = m.ValueAt(t)) segs.push_back(*s);
+      }
+    }
+  }
+  return segs;
+}
+
+Region URegion::ValueAt(Instant t) const {
+  std::vector<Seg> segs = Snapshot(t);
+  bool endpoint = (t == interval_.start() || t == interval_.end());
+  if (endpoint) segs = OddParityFragments(std::move(segs));
+  Result<Region> r = RegionBuilder::Close(segs);
+  if (r.ok()) return std::move(*r);
+  if (!endpoint) {
+    // Numeric degeneracy at an interior instant: fall back to the cleanup
+    // path, which cancels overlapping fragments.
+    Result<Region> repaired =
+        RegionBuilder::Close(OddParityFragments(Snapshot(t)));
+    if (repaired.ok()) return std::move(*repaired);
+  }
+  return Region();
+}
+
+Result<URegion> URegion::Make(TimeInterval interval,
+                              std::vector<MFace> faces) {
+  if (faces.empty()) {
+    return Status::InvalidArgument("uregion unit needs at least one face");
+  }
+  for (MFace& f : faces) {
+    if (f.outer.size() < 3) {
+      return Status::InvalidArgument("moving cycle needs at least 3 msegs");
+    }
+    std::sort(f.outer.begin(), f.outer.end());
+    for (MCycle& h : f.holes) {
+      if (h.size() < 3) {
+        return Status::InvalidArgument("moving hole needs at least 3 msegs");
+      }
+      std::sort(h.begin(), h.end());
+    }
+  }
+  URegion candidate(interval, std::move(faces));
+
+  // Collect probe instants: clamped endpoints, midpoint, pairwise
+  // configuration events and midpoints between consecutive events.
+  const double dur = Duration(interval);
+  std::vector<Instant> probes;
+  if (dur == 0) {
+    probes.push_back(interval.start());
+  } else {
+    const double delta = dur * 1e-6;
+    probes.push_back(interval.start() + delta);
+    probes.push_back(interval.start() + dur / 2);
+    probes.push_back(interval.end() - delta);
+    std::vector<MSeg> all = candidate.AllMSegs();
+    std::vector<Instant> events;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        for (Instant t : ConfigurationEvents(all[i], all[j], interval)) {
+          if (interval.ContainsOpen(t)) events.push_back(t);
+        }
+      }
+      for (Instant t : all[i].DegenerationTimes()) {
+        if (interval.ContainsOpen(t)) {
+          return Status::InvalidArgument(
+              "moving segment degenerates inside the unit interval");
+        }
+      }
+    }
+    std::sort(events.begin(), events.end());
+    events.erase(std::unique(events.begin(), events.end()), events.end());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      probes.push_back(events[i]);
+      Instant next = (i + 1 < events.size()) ? events[i + 1] : interval.end();
+      probes.push_back((events[i] + next) / 2);
+    }
+  }
+  for (Instant t : probes) {
+    if (!interval.Contains(t)) continue;
+    Result<Region> r = RegionBuilder::Close(candidate.Snapshot(t));
+    if (!r.ok()) {
+      return Status::InvalidArgument(
+          "uregion invalid at t=" + std::to_string(t) + ": " +
+          r.status().message());
+    }
+    // Structural preservation: every hole must remain inside its own
+    // face's outer cycle (ι(F, t) must denote the same face structure).
+    for (const MFace& f : candidate.faces()) {
+      std::vector<Seg> outer;
+      for (const MSeg& m : f.outer) {
+        if (auto s = m.ValueAt(t)) outer.push_back(*s);
+      }
+      for (const MCycle& h : f.holes) {
+        for (const MSeg& m : h) {
+          auto s = m.ValueAt(t);
+          if (!s) continue;
+          bool on_boundary = false;
+          if (!EvenOddContains(outer, s->Midpoint(), &on_boundary) &&
+              !on_boundary) {
+            return Status::InvalidArgument(
+                "uregion hole leaves its face at t=" + std::to_string(t));
+          }
+        }
+      }
+    }
+  }
+  return candidate;
+}
+
+Cube URegion::BoundingCube() const {
+  Rect r;
+  for (const MSeg& m : AllMSegs()) {
+    r.Extend(m.s().At(interval_.start()));
+    r.Extend(m.s().At(interval_.end()));
+    r.Extend(m.e().At(interval_.start()));
+    r.Extend(m.e().At(interval_.end()));
+  }
+  return Cube(r, interval_.start(), interval_.end());
+}
+
+Result<URegion> URegion::WithInterval(TimeInterval sub) const {
+  // Sub-intervals of a valid unit remain valid.
+  return URegion(sub, faces_);
+}
+
+std::string URegion::ToString() const {
+  std::ostringstream os;
+  os << "uregion" << interval_.ToString() << " " << faces_.size()
+     << " mfaces, " << NumMSegs() << " msegs";
+  return os.str();
+}
+
+}  // namespace modb

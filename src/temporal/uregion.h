@@ -1,0 +1,106 @@
+// The uregion unit type (Section 3.2.6): moving faces (outer moving
+// cycle plus moving hole cycles) built from non-rotating moving segments,
+// valid as a region value at every instant of the open unit interval.
+//
+//   MCycle = sets of ≥3 MSeg,  MFace = (MCycle, set of MCycle),
+//   D_uregion = {(i, F) | ι(F, t) ∈ D'_region ∀ t ∈ σ'(i)}.
+//
+// At the closed interval endpoints, degeneracies are permitted (Figure
+// 6); the ι_s/ι_e cleanup removes point-degenerate segments and cancels
+// even-parity fragments of overlapping collinear segments.
+
+#ifndef MODB_TEMPORAL_UREGION_H_
+#define MODB_TEMPORAL_UREGION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/status.h"
+#include "spatial/bbox.h"
+#include "spatial/region.h"
+#include "temporal/mseg.h"
+
+namespace modb {
+
+/// A moving cycle: the moving version of a simple polygon.
+using MCycle = std::vector<MSeg>;
+
+/// A moving face: outer moving cycle plus moving holes.
+struct MFace {
+  MCycle outer;
+  std::vector<MCycle> holes;
+
+  friend bool operator==(const MFace& a, const MFace& b) {
+    return a.outer == b.outer && a.holes == b.holes;
+  }
+};
+
+/// The ι_s/ι_e endpoint cleanup of Section 3.2.6: for collections of
+/// overlapping collinear segments, partitions the supporting line into
+/// fragments and keeps exactly the fragments covered an odd number of
+/// times. Non-overlapping segments pass through unchanged.
+std::vector<Seg> OddParityFragments(std::vector<Seg> segs);
+
+class URegion {
+ public:
+  using ValueType = Region;
+
+  /// Validating factory. Structural checks are exact (cycle sizes,
+  /// non-rotation via MSeg); temporal validity (ι(F, t) ∈ D'_region on
+  /// the open interval) is verified by evaluating the region at
+  /// endpoint-clamped probes, at all pairwise configuration-change events
+  /// (endpoint/segment crossing roots), and between consecutive events.
+  static Result<URegion> Make(TimeInterval interval, std::vector<MFace> faces);
+
+  /// Non-validating factory for the storage layer: reconstructs a unit
+  /// whose invariants were established before serialization.
+  static URegion MakeTrusted(TimeInterval interval, std::vector<MFace> faces) {
+    return URegion(interval, std::move(faces));
+  }
+
+  /// Convenience: one moving face without holes.
+  static Result<URegion> FromCycle(TimeInterval interval, MCycle cycle) {
+    return Make(interval, {MFace{std::move(cycle), {}}});
+  }
+
+  const TimeInterval& interval() const { return interval_; }
+  const std::vector<MFace>& faces() const { return faces_; }
+  std::size_t NumFaces() const { return faces_.size(); }
+  std::size_t NumMSegs() const;
+
+  /// All moving segments, flattened (the msegments subarray of
+  /// Section 4.2).
+  std::vector<MSeg> AllMSegs() const;
+
+  /// ι(F, t) without structure: the raw evaluated segments, O(r). This is
+  /// the paper's "output only" path of Section 5.1 (display on screen).
+  std::vector<Seg> Snapshot(Instant t) const;
+
+  /// The full region value at t: evaluates every moving segment and
+  /// `close`s the result into a structured region (O(r log r) path of
+  /// Section 5.1). At interval endpoints the ι_s/ι_e cleanup is applied
+  /// first.
+  Region ValueAt(Instant t) const;
+
+  Cube BoundingCube() const;
+
+  static bool FunctionEqual(const URegion& a, const URegion& b) {
+    return a.faces_ == b.faces_;
+  }
+
+  Result<URegion> WithInterval(TimeInterval sub) const;
+
+  std::string ToString() const;
+
+ private:
+  URegion(TimeInterval interval, std::vector<MFace> faces)
+      : interval_(interval), faces_(std::move(faces)) {}
+
+  TimeInterval interval_;
+  std::vector<MFace> faces_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_TEMPORAL_UREGION_H_

@@ -1,0 +1,57 @@
+#include "core/base_types.h"
+
+#include <gtest/gtest.h>
+
+#include "core/intime.h"
+
+namespace modb {
+namespace {
+
+TEST(BaseValue, DefaultIsUndefined) {
+  IntValue v;
+  EXPECT_FALSE(v.defined());
+  EXPECT_EQ(v, IntValue::Undefined());
+}
+
+TEST(BaseValue, DefinedHoldsValue) {
+  IntValue v(42);
+  ASSERT_TRUE(v.defined());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(0), 42);
+  EXPECT_EQ(IntValue::Undefined().value_or(7), 7);
+}
+
+TEST(BaseValue, UndefinedComparesEqualToUndefined) {
+  EXPECT_EQ(RealValue::Undefined(), RealValue::Undefined());
+  EXPECT_NE(RealValue::Undefined(), RealValue(0.0));
+}
+
+TEST(BaseValue, UndefinedSortsFirst) {
+  EXPECT_TRUE(IntValue::Undefined() < IntValue(-1000));
+  EXPECT_FALSE(IntValue(-1000) < IntValue::Undefined());
+  EXPECT_FALSE(IntValue::Undefined() < IntValue::Undefined());
+}
+
+TEST(BaseValue, StringAndBoolCarriers) {
+  StringValue s(std::string("Lufthansa"));
+  EXPECT_EQ(s.value(), "Lufthansa");
+  BoolValue b(true);
+  EXPECT_TRUE(b.value());
+  EXPECT_TRUE(BoolValue(false) < BoolValue(true));
+}
+
+TEST(FlatString, LengthLimit) {
+  EXPECT_TRUE(FitsFlatString(std::string(kMaxStringLength, 'x')));
+  EXPECT_FALSE(FitsFlatString(std::string(kMaxStringLength + 1, 'x')));
+}
+
+TEST(Intime, ProjectionsAndUndefined) {
+  Intime<double> it(3.0, 7.5);
+  EXPECT_TRUE(it.defined);
+  EXPECT_DOUBLE_EQ(it.inst(), 3.0);
+  EXPECT_DOUBLE_EQ(it.val(), 7.5);
+  EXPECT_FALSE(Intime<double>::Undefined().defined);
+}
+
+}  // namespace
+}  // namespace modb

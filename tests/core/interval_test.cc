@@ -1,0 +1,197 @@
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc, bool rc) {
+  auto r = TimeInterval::Make(s, e, lc, rc);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(IntervalMake, RejectsReversedEndpoints) {
+  EXPECT_FALSE(TimeInterval::Make(2, 1, true, true).ok());
+}
+
+TEST(IntervalMake, DegenerateMustBeClosed) {
+  EXPECT_FALSE(TimeInterval::Make(1, 1, true, false).ok());
+  EXPECT_FALSE(TimeInterval::Make(1, 1, false, true).ok());
+  EXPECT_FALSE(TimeInterval::Make(1, 1, false, false).ok());
+  EXPECT_TRUE(TimeInterval::Make(1, 1, true, true).ok());
+}
+
+TEST(IntervalMake, AtBuildsDegenerate) {
+  TimeInterval i = TimeInterval::At(3.5);
+  EXPECT_TRUE(i.IsDegenerate());
+  EXPECT_TRUE(i.Contains(3.5));
+  EXPECT_FALSE(i.Contains(3.5 + 1e-9));
+}
+
+TEST(IntervalContains, RespectsClosedness) {
+  TimeInterval i = TI(1, 2, true, false);
+  EXPECT_TRUE(i.Contains(1));
+  EXPECT_TRUE(i.Contains(1.5));
+  EXPECT_FALSE(i.Contains(2));
+  EXPECT_FALSE(i.Contains(0.999));
+}
+
+TEST(IntervalContainsOpen, ExcludesEndpointsAlways) {
+  TimeInterval i = TI(1, 2, true, true);
+  EXPECT_FALSE(i.ContainsOpen(1));
+  EXPECT_FALSE(i.ContainsOpen(2));
+  EXPECT_TRUE(i.ContainsOpen(1.5));
+}
+
+TEST(IntervalIsContainedIn, SubsetOnBoundaryFlags) {
+  EXPECT_TRUE(TI(1, 2, false, false).IsContainedIn(TI(1, 2, true, true)));
+  EXPECT_FALSE(TI(1, 2, true, true).IsContainedIn(TI(1, 2, false, true)));
+  EXPECT_TRUE(TI(1.2, 1.8, true, true).IsContainedIn(TI(1, 2, false, false)));
+  EXPECT_FALSE(TI(0.5, 1.5, true, true).IsContainedIn(TI(1, 2, true, true)));
+}
+
+// The paper's r-disjoint: e_u < s_v, or equal endpoint not shared by both
+// closed sides.
+TEST(IntervalDisjoint, TouchingEndpointsDependOnFlags) {
+  // [1,2] and [2,3]: both closed at 2 → share the point 2.
+  EXPECT_FALSE(TimeInterval::Disjoint(TI(1, 2, true, true), TI(2, 3, true, true)));
+  // [1,2) and [2,3]: disjoint.
+  EXPECT_TRUE(TimeInterval::Disjoint(TI(1, 2, true, false), TI(2, 3, true, true)));
+  // [1,2] and (2,3]: disjoint.
+  EXPECT_TRUE(TimeInterval::Disjoint(TI(1, 2, true, true), TI(2, 3, false, true)));
+  // [1,2) and (2,3]: disjoint (with a gap point).
+  EXPECT_TRUE(TimeInterval::Disjoint(TI(1, 2, true, false), TI(2, 3, false, true)));
+}
+
+TEST(IntervalDisjoint, OverlapDetected) {
+  EXPECT_FALSE(TimeInterval::Disjoint(TI(1, 3, true, true), TI(2, 4, true, true)));
+  EXPECT_FALSE(TimeInterval::Disjoint(TI(2, 4, true, true), TI(1, 3, true, true)));
+  EXPECT_TRUE(TimeInterval::Disjoint(TI(1, 2, true, true), TI(3, 4, true, true)));
+}
+
+// adjacent: disjoint and no domain value fits between.
+TEST(IntervalAdjacent, ContinuousDomain) {
+  // [1,2) + [2,3]: adjacent (2 belongs to the right interval).
+  EXPECT_TRUE(TimeInterval::Adjacent(TI(1, 2, true, false), TI(2, 3, true, true)));
+  // [1,2] + (2,3]: adjacent.
+  EXPECT_TRUE(TimeInterval::Adjacent(TI(1, 2, true, true), TI(2, 3, false, true)));
+  // [1,2) + (2,3]: NOT adjacent (the instant 2 lies between them).
+  EXPECT_FALSE(TimeInterval::Adjacent(TI(1, 2, true, false), TI(2, 3, false, true)));
+  // Overlapping intervals are not adjacent.
+  EXPECT_FALSE(TimeInterval::Adjacent(TI(1, 2.5, true, true), TI(2, 3, true, true)));
+  // Order independence.
+  EXPECT_TRUE(TimeInterval::Adjacent(TI(2, 3, true, true), TI(1, 2, true, false)));
+}
+
+// The discrete-domain clause of r-adjacent: [1,2] and [3,4] over int are
+// adjacent because no integer lies strictly between 2 and 3.
+TEST(IntervalAdjacent, IntegerDomainGapOfOne) {
+  using IntIv = Interval<int64_t>;
+  auto a = *IntIv::Make(1, 2, true, true);
+  auto b = *IntIv::Make(3, 4, true, true);
+  EXPECT_TRUE(IntIv::Adjacent(a, b));
+  auto c = *IntIv::Make(4, 5, true, true);
+  EXPECT_FALSE(IntIv::Adjacent(a, c));
+}
+
+TEST(IntervalIntersect, ProperOverlap) {
+  auto r = TimeInterval::Intersect(TI(1, 3, true, false), TI(2, 4, false, true));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->start(), 2);
+  EXPECT_EQ(r->end(), 3);
+  EXPECT_FALSE(r->left_closed());
+  EXPECT_FALSE(r->right_closed());
+}
+
+TEST(IntervalIntersect, SharedEndpointOnly) {
+  auto r = TimeInterval::Intersect(TI(1, 2, true, true), TI(2, 3, true, true));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->IsDegenerate());
+  EXPECT_EQ(r->start(), 2);
+}
+
+TEST(IntervalIntersect, DisjointGivesNullopt) {
+  EXPECT_FALSE(TimeInterval::Intersect(TI(1, 2, true, false),
+                                       TI(2, 3, true, true)).has_value());
+  EXPECT_FALSE(TimeInterval::Intersect(TI(1, 2, true, true),
+                                       TI(3, 4, true, true)).has_value());
+}
+
+TEST(IntervalIntersect, NestedKeepsInnerFlags) {
+  auto r = TimeInterval::Intersect(TI(0, 10, true, true), TI(2, 3, false, false));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, TI(2, 3, false, false));
+}
+
+TEST(IntervalMerge, UnionOfAdjacent) {
+  TimeInterval m = TimeInterval::Merge(TI(1, 2, true, false), TI(2, 3, true, true));
+  EXPECT_EQ(m, TI(1, 3, true, true));
+}
+
+TEST(IntervalMerge, OverlappingKeepsOuterFlags) {
+  TimeInterval m = TimeInterval::Merge(TI(1, 3, false, true), TI(2, 4, true, false));
+  EXPECT_EQ(m, TI(1, 4, false, false));
+}
+
+TEST(IntervalMerge, EqualEndpointsUnionFlags) {
+  TimeInterval m = TimeInterval::Merge(TI(1, 2, false, true), TI(1, 2, true, false));
+  EXPECT_EQ(m, TI(1, 2, true, true));
+}
+
+TEST(IntervalOrder, SortsByStartThenFlags) {
+  std::vector<TimeInterval> v = {TI(2, 3, true, true), TI(1, 5, false, true),
+                                 TI(1, 2, true, true)};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v[0], TI(1, 2, true, true));
+  EXPECT_EQ(v[1], TI(1, 5, false, true));
+  EXPECT_EQ(v[2], TI(2, 3, true, true));
+}
+
+TEST(IntervalDuration, Basics) {
+  EXPECT_DOUBLE_EQ(Duration(TI(1, 4, true, true)), 3);
+  EXPECT_DOUBLE_EQ(Duration(TimeInterval::At(7)), 0);
+}
+
+// Property sweep: Disjoint/Adjacent are symmetric, Intersect agrees with
+// Contains on sampled points.
+class IntervalPairProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalPairProperty, IntersectMatchesPointwiseMembership) {
+  int seed = GetParam();
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> pick(0, 10);
+  std::bernoulli_distribution flag(0.5);
+  auto random_interval = [&]() {
+    double a = pick(rng), b = pick(rng);
+    if (a > b) std::swap(a, b);
+    bool lc = flag(rng), rc = flag(rng);
+    if (a == b) lc = rc = true;
+    return TI(a, b, lc, rc);
+  };
+  TimeInterval u = random_interval();
+  TimeInterval v = random_interval();
+  EXPECT_EQ(TimeInterval::Disjoint(u, v), TimeInterval::Disjoint(v, u));
+  EXPECT_EQ(TimeInterval::Adjacent(u, v), TimeInterval::Adjacent(v, u));
+  auto inter = TimeInterval::Intersect(u, v);
+  for (int i = 0; i <= 50; ++i) {
+    double t = 10.0 * i / 50;
+    bool both = u.Contains(t) && v.Contains(t);
+    bool in_inter = inter.has_value() && inter->Contains(t);
+    EXPECT_EQ(both, in_inter) << "t=" << t << " u=" << u.ToString()
+                              << " v=" << v.ToString();
+  }
+  if (inter.has_value()) {
+    EXPECT_FALSE(TimeInterval::Disjoint(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalPairProperty,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,180 @@
+#include "core/range_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+TEST(RangeSetCanonical, MergesOverlapping) {
+  Periods p = Periods::FromIntervals({TI(1, 3), TI(2, 5)});
+  ASSERT_EQ(p.NumIntervals(), 1u);
+  EXPECT_EQ(p.interval(0), TI(1, 5));
+}
+
+TEST(RangeSetCanonical, MergesAdjacent) {
+  Periods p = Periods::FromIntervals({TI(1, 2, true, false), TI(2, 3)});
+  ASSERT_EQ(p.NumIntervals(), 1u);
+  EXPECT_EQ(p.interval(0), TI(1, 3));
+}
+
+TEST(RangeSetCanonical, KeepsGapSeparated) {
+  // [1,2) and (2,3]: the instant 2 is missing, so they stay apart.
+  Periods p = Periods::FromIntervals({TI(1, 2, true, false),
+                                      TI(2, 3, false, true)});
+  EXPECT_EQ(p.NumIntervals(), 2u);
+  EXPECT_FALSE(p.Contains(2));
+  EXPECT_TRUE(p.Contains(1.5));
+  EXPECT_TRUE(p.Contains(2.5));
+}
+
+TEST(RangeSetCanonical, SortsInput) {
+  Periods p = Periods::FromIntervals({TI(5, 6), TI(1, 2), TI(3, 4)});
+  ASSERT_EQ(p.NumIntervals(), 3u);
+  EXPECT_EQ(p.interval(0), TI(1, 2));
+  EXPECT_EQ(p.interval(2), TI(5, 6));
+}
+
+TEST(RangeSetCanonical, UniqueRepresentation) {
+  // Different input decompositions of the same point set compare equal —
+  // the paper's unique-representation requirement.
+  Periods a = Periods::FromIntervals({TI(1, 2), TI(2, 3)});
+  Periods b = Periods::FromIntervals({TI(1, 3)});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RangeSetContains, BinarySearchPath) {
+  Periods p = Periods::FromIntervals({TI(0, 1), TI(2, 3), TI(4, 5)});
+  EXPECT_TRUE(p.Contains(0));
+  EXPECT_TRUE(p.Contains(4.5));
+  EXPECT_FALSE(p.Contains(1.5));
+  EXPECT_FALSE(p.Contains(-1));
+  EXPECT_FALSE(p.Contains(6));
+}
+
+TEST(RangeSetCovers, IntervalSubset) {
+  Periods p = Periods::FromIntervals({TI(0, 2), TI(4, 6)});
+  EXPECT_TRUE(p.Covers(TI(0.5, 1.5)));
+  EXPECT_TRUE(p.Covers(TI(4, 6)));
+  EXPECT_FALSE(p.Covers(TI(1, 5)));
+}
+
+TEST(RangeSetMinMax, Bounds) {
+  Periods p = Periods::FromIntervals({TI(2, 3), TI(7, 9)});
+  EXPECT_DOUBLE_EQ(p.Minimum(), 2);
+  EXPECT_DOUBLE_EQ(p.Maximum(), 9);
+}
+
+TEST(RangeSetUnion, MergesAcrossOperands) {
+  Periods a = Periods::FromIntervals({TI(1, 2)});
+  Periods b = Periods::FromIntervals({TI(2, 3)});
+  Periods u = Periods::Union(a, b);
+  ASSERT_EQ(u.NumIntervals(), 1u);
+  EXPECT_EQ(u.interval(0), TI(1, 3));
+}
+
+TEST(RangeSetIntersection, Basic) {
+  Periods a = Periods::FromIntervals({TI(0, 5)});
+  Periods b = Periods::FromIntervals({TI(1, 2), TI(4, 8)});
+  Periods i = Periods::Intersection(a, b);
+  ASSERT_EQ(i.NumIntervals(), 2u);
+  EXPECT_EQ(i.interval(0), TI(1, 2));
+  EXPECT_EQ(i.interval(1), TI(4, 5));
+}
+
+TEST(RangeSetDifference, CarvesHoles) {
+  Periods a = Periods::FromIntervals({TI(0, 10)});
+  Periods b = Periods::FromIntervals({TI(2, 3), TI(5, 6)});
+  Periods d = Periods::Difference(a, b);
+  ASSERT_EQ(d.NumIntervals(), 3u);
+  EXPECT_EQ(d.interval(0), TI(0, 2, true, false));
+  EXPECT_EQ(d.interval(1), TI(3, 5, false, false));
+  EXPECT_EQ(d.interval(2), TI(6, 10, false, true));
+}
+
+TEST(RangeSetDifference, OpenClosedBookkeeping) {
+  Periods a = Periods::FromIntervals({TI(0, 10)});
+  Periods b = Periods::FromIntervals({TI(0, 10, false, false)});
+  Periods d = Periods::Difference(a, b);
+  // Only the two endpoints remain.
+  ASSERT_EQ(d.NumIntervals(), 2u);
+  EXPECT_TRUE(d.interval(0).IsDegenerate());
+  EXPECT_TRUE(d.interval(1).IsDegenerate());
+  EXPECT_TRUE(d.Contains(0));
+  EXPECT_TRUE(d.Contains(10));
+  EXPECT_FALSE(d.Contains(5));
+}
+
+TEST(RangeSetEmpty, Behaviors) {
+  Periods e;
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.Contains(0));
+  Periods a = Periods::FromIntervals({TI(1, 2)});
+  EXPECT_EQ(Periods::Union(e, a), a);
+  EXPECT_TRUE(Periods::Intersection(e, a).IsEmpty());
+  EXPECT_TRUE(Periods::Difference(e, a).IsEmpty());
+  EXPECT_EQ(Periods::Difference(a, e), a);
+}
+
+TEST(RangeSetIntDomain, AdjacentIntegersMerge) {
+  using IntIv = Interval<int64_t>;
+  IntRange r = IntRange::FromIntervals(
+      {*IntIv::Make(1, 3, true, true), *IntIv::Make(4, 6, true, true)});
+  // 3 and 4 are adjacent integers → one interval.
+  ASSERT_EQ(r.NumIntervals(), 1u);
+  EXPECT_EQ(r.interval(0), *IntIv::Make(1, 6, true, true));
+}
+
+// Property sweep: set algebra laws checked pointwise on random range
+// sets.
+class RangeSetAlgebra : public ::testing::TestWithParam<int> {
+ protected:
+  Periods RandomPeriods(std::mt19937& rng) {
+    std::uniform_real_distribution<double> pick(0, 10);
+    std::uniform_int_distribution<int> count(0, 4);
+    std::bernoulli_distribution flag(0.5);
+    std::vector<TimeInterval> ivs;
+    int n = count(rng);
+    for (int i = 0; i < n; ++i) {
+      double a = pick(rng), b = pick(rng);
+      if (a > b) std::swap(a, b);
+      bool lc = flag(rng), rc = flag(rng);
+      if (a == b) lc = rc = true;
+      ivs.push_back(TI(a, b, lc, rc));
+    }
+    return Periods::FromIntervals(std::move(ivs));
+  }
+};
+
+TEST_P(RangeSetAlgebra, PointwiseLaws) {
+  std::mt19937 rng(GetParam());
+  Periods a = RandomPeriods(rng);
+  Periods b = RandomPeriods(rng);
+  Periods u = Periods::Union(a, b);
+  Periods i = Periods::Intersection(a, b);
+  Periods d = Periods::Difference(a, b);
+  for (int k = 0; k <= 100; ++k) {
+    double t = 10.0 * k / 100;
+    bool in_a = a.Contains(t), in_b = b.Contains(t);
+    EXPECT_EQ(u.Contains(t), in_a || in_b) << t;
+    EXPECT_EQ(i.Contains(t), in_a && in_b) << t;
+    EXPECT_EQ(d.Contains(t), in_a && !in_b) << t;
+  }
+  // Canonical invariants: sorted, pairwise disjoint, non-adjacent.
+  for (std::size_t k = 0; k + 1 < u.NumIntervals(); ++k) {
+    EXPECT_TRUE(TimeInterval::Disjoint(u.interval(k), u.interval(k + 1)));
+    EXPECT_FALSE(TimeInterval::Adjacent(u.interval(k), u.interval(k + 1)));
+    EXPECT_TRUE(u.interval(k) < u.interval(k + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RangeSetAlgebra, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace modb

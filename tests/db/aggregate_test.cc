@@ -1,0 +1,93 @@
+#include "db/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/flights_gen.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+Relation Numbers() {
+  Relation r("nums", Schema({{"group", AttributeType::kString},
+                             {"x", AttributeType::kReal}}));
+  auto add = [&](const char* g, double x) {
+    (void)r.Insert({StringValue(std::string(g)), RealValue(x)});
+  };
+  add("a", 1);
+  add("a", 3);
+  add("b", 10);
+  add("b", 20);
+  add("b", 30);
+  return r;
+}
+
+TEST(AggregateTest, ScalarOps) {
+  Relation r = Numbers();
+  EXPECT_DOUBLE_EQ(*Aggregate(r, AggregateOp::kCount), 5);
+  EXPECT_DOUBLE_EQ(*Aggregate(r, AggregateOp::kSum, Attr("x")), 64);
+  EXPECT_DOUBLE_EQ(*Aggregate(r, AggregateOp::kAvg, Attr("x")), 64.0 / 5);
+  EXPECT_DOUBLE_EQ(*Aggregate(r, AggregateOp::kMin, Attr("x")), 1);
+  EXPECT_DOUBLE_EQ(*Aggregate(r, AggregateOp::kMax, Attr("x")), 30);
+}
+
+TEST(AggregateTest, ExpressionArgument) {
+  Relation r = Numbers();
+  // Aggregate over a computed expression: count of x, via lt filter first.
+  Relation big = *SelectWhere(r, Gt(Attr("x"), Lit(5.0)));
+  EXPECT_DOUBLE_EQ(*Aggregate(big, AggregateOp::kCount), 3);
+}
+
+TEST(AggregateTest, EmptyRelationBehavior) {
+  Relation r("empty", Schema({{"x", AttributeType::kReal}}));
+  EXPECT_DOUBLE_EQ(*Aggregate(r, AggregateOp::kCount), 0);
+  EXPECT_DOUBLE_EQ(*Aggregate(r, AggregateOp::kSum, Attr("x")), 0);
+  EXPECT_FALSE(Aggregate(r, AggregateOp::kAvg, Attr("x")).ok());
+  EXPECT_FALSE(Aggregate(r, AggregateOp::kMin, Attr("x")).ok());
+}
+
+TEST(AggregateTest, Validation) {
+  Relation r = Numbers();
+  EXPECT_FALSE(Aggregate(r, AggregateOp::kSum).ok());  // Missing expr.
+  EXPECT_FALSE(Aggregate(r, AggregateOp::kSum, Attr("group")).ok());
+  EXPECT_FALSE(Aggregate(r, AggregateOp::kSum, Attr("zzz")).ok());
+}
+
+TEST(GroupByTest, PerGroupValues) {
+  Relation r = Numbers();
+  Relation avg = *GroupBy(r, "group", AggregateOp::kAvg, Attr("x"));
+  ASSERT_EQ(avg.NumTuples(), 2u);
+  EXPECT_EQ(std::get<StringValue>(avg.tuple(0)[0]).value(), "a");
+  EXPECT_DOUBLE_EQ(std::get<RealValue>(avg.tuple(0)[1]).value(), 2);
+  EXPECT_EQ(std::get<StringValue>(avg.tuple(1)[0]).value(), "b");
+  EXPECT_DOUBLE_EQ(std::get<RealValue>(avg.tuple(1)[1]).value(), 20);
+  Relation count = *GroupBy(r, "group", AggregateOp::kCount);
+  EXPECT_DOUBLE_EQ(std::get<RealValue>(count.tuple(1)[1]).value(), 3);
+}
+
+TEST(GroupByTest, Validation) {
+  Relation r = Numbers();
+  EXPECT_FALSE(GroupBy(r, "x", AggregateOp::kCount).ok());    // Key not string.
+  EXPECT_FALSE(GroupBy(r, "nope", AggregateOp::kCount).ok());
+}
+
+// The motivating query: average flight length per airline.
+TEST(GroupByTest, FlightsPerAirline) {
+  Relation planes = *GeneratePlanes({.num_airports = 6,
+                                     .num_flights = 25,
+                                     .extent = 5000,
+                                     .units_per_flight = 4,
+                                     .speed = 500,
+                                     .departure_window = 10,
+                                     .seed = 2});
+  ExprPtr length = Call("length", {Call("trajectory", {Attr("flight")})});
+  Relation per_airline =
+      *GroupBy(planes, "airline", AggregateOp::kAvg, length);
+  EXPECT_EQ(per_airline.NumTuples(), 5u);  // Five airlines in the generator.
+  for (const Tuple& t : per_airline.tuples()) {
+    EXPECT_GT(std::get<RealValue>(t[1]).value(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace modb

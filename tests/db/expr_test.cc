@@ -1,0 +1,285 @@
+#include "db/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/flights_gen.h"
+#include "gen/region_gen.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+Relation SmallPlanes() {
+  Relation planes("planes", Schema({{"airline", AttributeType::kString},
+                                    {"id", AttributeType::kString},
+                                    {"flight", AttributeType::kMovingPoint}}));
+  auto add = [&](const char* airline, const char* id, Point a, Point b) {
+    (void)planes.Insert({StringValue(std::string(airline)),
+                         StringValue(std::string(id)),
+                         *MovingPoint::Make({*UPoint::FromEndpoints(
+                             TI(0, 10), a, b)})});
+  };
+  add("Lufthansa", "LH1", Point(0, 0), Point(10, 0));     // Length 10.
+  add("Lufthansa", "LH2", Point(0, 1), Point(3, 5));      // Length 5.
+  add("KLM", "KL3", Point(5, -5), Point(5, 5));           // Crosses LH1.
+  return planes;
+}
+
+TEST(ExprTypes, AttrAndConstInference) {
+  Relation planes = SmallPlanes();
+  EXPECT_EQ(*InferType(*Attr("airline"), planes.schema()),
+            AttributeType::kString);
+  EXPECT_EQ(*InferType(*Attr("flight"), planes.schema()),
+            AttributeType::kMovingPoint);
+  EXPECT_FALSE(InferType(*Attr("bogus"), planes.schema()).ok());
+  EXPECT_EQ(*InferType(*Lit(5.0), planes.schema()), AttributeType::kReal);
+}
+
+TEST(ExprTypes, CallInference) {
+  Relation planes = SmallPlanes();
+  const Schema& s = planes.schema();
+  EXPECT_EQ(*InferType(*Call("trajectory", {Attr("flight")}), s),
+            AttributeType::kLine);
+  EXPECT_EQ(*InferType(
+                *Call("length", {Call("trajectory", {Attr("flight")})}), s),
+            AttributeType::kReal);
+  EXPECT_EQ(*InferType(*Call("distance", {Attr("flight"), Attr("flight")}), s),
+            AttributeType::kMovingReal);
+  // Type errors surface.
+  EXPECT_FALSE(InferType(*Call("length", {Attr("airline")}), s).ok());
+  EXPECT_FALSE(InferType(*Call("frobnicate", {Attr("airline")}), s).ok());
+}
+
+// Q1 of the paper, declaratively.
+TEST(ExprQueries, Q1TrajectoryLength) {
+  Relation planes = SmallPlanes();
+  ExprPtr pred =
+      And(Eq(Attr("airline"), Lit("Lufthansa")),
+          Gt(Call("length", {Call("trajectory", {Attr("flight")})}),
+             Lit(7.0)));
+  Result<Relation> q1 = SelectWhere(planes, pred);
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  ASSERT_EQ(q1->NumTuples(), 1u);
+  EXPECT_EQ(std::get<StringValue>(q1->tuple(0)[1]).value(), "LH1");
+}
+
+// Q2 of the paper, declaratively: the spatio-temporal self join.
+TEST(ExprQueries, Q2CloseEncounterJoin) {
+  Relation p = SmallPlanes();
+  ExprPtr pred = Lt(
+      Call("initial_val",
+           {Call("atmin",
+                 {Call("distance", {Attr("planes.flight"),
+                                    Attr("planes.flight")})})}),
+      Lit(0.5));
+  // Self-join: both sides named "planes" — prefixes collide, so rename.
+  Relation q("q", p.schema());
+  for (const Tuple& t : p.tuples()) ASSERT_TRUE(q.Insert(t).ok());
+  ExprPtr pred2 = Lt(
+      Call("initial_val",
+           {Call("atmin", {Call("distance", {Attr("planes.flight"),
+                                             Attr("q.flight")})})}),
+      Lit(0.5));
+  Result<Relation> pairs = JoinWhere(p, q, pred2, /*dedup_self_pairs=*/true);
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  ASSERT_EQ(pairs->NumTuples(), 1u);
+  EXPECT_EQ(std::get<StringValue>(pairs->tuple(0)[1]).value(), "LH1");
+  EXPECT_EQ(std::get<StringValue>(pairs->tuple(0)[4]).value(), "KL3");
+  (void)pred;
+}
+
+TEST(ExprQueries, SelectRejectsNonBoolPredicate) {
+  Relation planes = SmallPlanes();
+  EXPECT_FALSE(SelectWhere(planes, Attr("airline")).ok());
+  EXPECT_FALSE(
+      SelectWhere(planes, Call("trajectory", {Attr("flight")})).ok());
+}
+
+TEST(ExprEval, MovingRealPipeline) {
+  Relation planes = SmallPlanes();
+  // speed of LH2 is 0.5 (length 5 over 10 time units).
+  ExprPtr speed_max = Call("max", {Call("speed", {Attr("flight")})});
+  Result<AttributeValue> v =
+      Eval(*speed_max, planes.schema(), planes.tuple(1));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_NEAR(std::get<RealValue>(*v).value(), 0.5, 1e-9);
+}
+
+TEST(ExprEval, PresentAndDeftime) {
+  Relation planes = SmallPlanes();
+  ExprPtr present5 = Call("present", {Attr("flight"), Lit(5.0)});
+  EXPECT_TRUE(std::get<BoolValue>(
+                  *Eval(*present5, planes.schema(), planes.tuple(0)))
+                  .value());
+  ExprPtr present99 = Call("present", {Attr("flight"), Lit(99.0)});
+  EXPECT_FALSE(std::get<BoolValue>(
+                   *Eval(*present99, planes.schema(), planes.tuple(0)))
+                   .value());
+  ExprPtr dur = Call("duration", {Call("deftime", {Attr("flight")})});
+  EXPECT_NEAR(std::get<RealValue>(
+                  *Eval(*dur, planes.schema(), planes.tuple(0)))
+                  .value(),
+              10, 1e-9);
+}
+
+TEST(ExprEval, LiftedComparisonYieldsMovingBool) {
+  Relation planes = SmallPlanes();
+  // distance(LH1, fixed point) < 3 — a moving bool, then project.
+  ExprPtr d = Call("distance", {Attr("flight"), Lit(AttributeValue(Point(5, 0)))});
+  ExprPtr lifted = Lt(d, Lit(3.0));
+  Result<AttributeValue> v = Eval(*lifted, planes.schema(), planes.tuple(0));
+  ASSERT_TRUE(v.ok()) << v.status();
+  const auto& mb = std::get<MovingBool>(*v);
+  EXPECT_FALSE(mb.AtInstant(1).val());
+  EXPECT_TRUE(mb.AtInstant(5).val());
+  // when_true / duration of the lifted predicate: |x-5| < 3 ⇒ 6 units.
+  ExprPtr dur = Call("duration", {Call("when_true", {lifted})});
+  EXPECT_NEAR(std::get<RealValue>(
+                  *Eval(*dur, planes.schema(), planes.tuple(0)))
+                  .value(),
+              6, 1e-9);
+}
+
+TEST(ExprEval, ErrorsPropagate) {
+  Relation planes = SmallPlanes();
+  // min of an empty moving real (distance over disjoint deftimes).
+  Relation late("late", planes.schema());
+  ASSERT_TRUE(late.Insert({StringValue(std::string("X")),
+                           StringValue(std::string("X1")),
+                           *MovingPoint::Make({*UPoint::FromEndpoints(
+                               TI(100, 110), Point(0, 0), Point(1, 1))})})
+                  .ok());
+  ExprPtr pred = Lt(Call("min", {Call("distance", {Attr("planes.flight"),
+                                                   Attr("late.flight")})}),
+                    Lit(1.0));
+  Result<Relation> joined = JoinWhere(planes, late, pred);
+  EXPECT_FALSE(joined.ok());  // min over empty → FailedPrecondition.
+  EXPECT_EQ(joined.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExprMeta, SupportedOperationsNonEmpty) {
+  EXPECT_GT(SupportedOperations().size(), 20u);
+}
+
+TEST(ExprEval, RegionOperations) {
+  Region zone = *Region::FromPolygon(
+      {Point(2, -2), Point(8, -2), Point(8, 2), Point(2, 2)});
+  Relation rel("zones", Schema({{"zone", AttributeType::kRegion},
+                                {"track", AttributeType::kMovingPoint}}));
+  ASSERT_TRUE(rel.Insert({zone,
+                          *MovingPoint::Make({*UPoint::FromEndpoints(
+                              TI(0, 10), Point(0, 0), Point(10, 0))})})
+                  .ok());
+  // area(region) → real.
+  EXPECT_DOUBLE_EQ(std::get<RealValue>(*Eval(*Call("area", {Attr("zone")}),
+                                             rel.schema(), rel.tuple(0)))
+                       .value(),
+                   24);
+  // perimeter(region) → real.
+  EXPECT_DOUBLE_EQ(
+      std::get<RealValue>(*Eval(*Call("perimeter", {Attr("zone")}),
+                                rel.schema(), rel.tuple(0)))
+          .value(),
+      20);
+  // inside(mpoint, region) → mbool; duration of the true part = 6.
+  ExprPtr in_dur = Call(
+      "duration",
+      {Call("when_true", {Call("inside", {Attr("track"), Attr("zone")})})});
+  EXPECT_NEAR(std::get<RealValue>(
+                  *Eval(*in_dur, rel.schema(), rel.tuple(0)))
+                  .value(),
+              6, 1e-9);
+  // inside(point, region) → bool.
+  ExprPtr pt_in = Call("inside", {Lit(AttributeValue(Point(5, 0))),
+                                  Attr("zone")});
+  EXPECT_TRUE(std::get<BoolValue>(*Eval(*pt_in, rel.schema(), rel.tuple(0)))
+                  .value());
+}
+
+TEST(ExprEval, MovingBoolAlgebra) {
+  Relation rel("r", Schema({{"track", AttributeType::kMovingPoint}}));
+  ASSERT_TRUE(rel.Insert({*MovingPoint::Make({*UPoint::FromEndpoints(
+                             TI(0, 10), Point(0, 0), Point(10, 0))})})
+                  .ok());
+  ExprPtr d = Call("distance",
+                   {Attr("track"), Lit(AttributeValue(Point(5, 0)))});
+  // NOT(d < 2) AND (d < 4): true in the rings 1 < |x-5| and |x-5| < 4.
+  ExprPtr ring = Call("and", {Call("not", {Lt(d, Lit(2.0))}),
+                              Lt(d, Lit(4.0))});
+  Result<AttributeValue> v = Eval(*ring, rel.schema(), rel.tuple(0));
+  ASSERT_TRUE(v.ok()) << v.status();
+  const auto& mb = std::get<MovingBool>(*v);
+  EXPECT_TRUE(mb.AtInstant(2).val());    // d = 3.
+  EXPECT_FALSE(mb.AtInstant(5).val());   // d = 0.
+  EXPECT_FALSE(mb.AtInstant(0.5).val()); // d = 4.5.
+}
+
+TEST(ExprEval, InitialInstAndPasses) {
+  Relation rel("r", Schema({{"track", AttributeType::kMovingPoint}}));
+  ASSERT_TRUE(rel.Insert({*MovingPoint::Make({*UPoint::FromEndpoints(
+                             TI(3, 13), Point(0, 0), Point(10, 0))})})
+                  .ok());
+  EXPECT_DOUBLE_EQ(
+      std::get<RealValue>(*Eval(*Call("initial_inst", {Call("speed",
+                                                            {Attr("track")})}),
+                                rel.schema(), rel.tuple(0)))
+          .value(),
+      3);
+  ExprPtr passes = Call("passes", {Attr("track"),
+                                   Lit(AttributeValue(Point(5, 0)))});
+  EXPECT_TRUE(std::get<BoolValue>(
+                  *Eval(*passes, rel.schema(), rel.tuple(0)))
+                  .value());
+  // initial_val on a moving point yields its first position.
+  auto first = Eval(*Call("initial_val", {Attr("track")}), rel.schema(),
+                    rel.tuple(0));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(ApproxEqual(std::get<Point>(*first), Point(0, 0)));
+}
+
+TEST(ExprEval, AtInstantProjections) {
+  Relation planes = SmallPlanes();
+  // Position of LH1 at t=3.
+  ExprPtr at3 = Call("atinstant", {Attr("flight"), Lit(3.0)});
+  Result<AttributeValue> v = Eval(*at3, planes.schema(), planes.tuple(0));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(ApproxEqual(std::get<Point>(*v), Point(3, 0)));
+  // Outside the deftime → FailedPrecondition.
+  ExprPtr at99 = Call("atinstant", {Attr("flight"), Lit(99.0)});
+  EXPECT_EQ(Eval(*at99, planes.schema(), planes.tuple(0)).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Type inference: mreal @ instant → real.
+  ExprPtr speed_at = Call("atinstant", {Call("speed", {Attr("flight")}),
+                                        Lit(3.0)});
+  EXPECT_EQ(*InferType(*speed_at, planes.schema()), AttributeType::kReal);
+  EXPECT_NEAR(std::get<RealValue>(
+                  *Eval(*speed_at, planes.schema(), planes.tuple(0)))
+                  .value(),
+              1.0, 1e-9);
+}
+
+TEST(ExprEval, TraversedViaExpr) {
+  std::mt19937_64 rng(3);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 4;
+  opts.shape.jitter = 0;
+  opts.shape.radius = 3;
+  opts.num_units = 1;
+  opts.unit_duration = 10;
+  opts.drift = Point(10, 0);
+  Relation rel("r", Schema({{"storm", AttributeType::kMovingRegion}}));
+  ASSERT_TRUE(rel.Insert({*GenerateMovingRegion(rng, opts)}).ok());
+  ExprPtr footprint_area = Call("area", {Call("traversed", {Attr("storm")})});
+  Result<AttributeValue> v =
+      Eval(*footprint_area, rel.schema(), rel.tuple(0));
+  ASSERT_TRUE(v.ok()) << v.status();
+  // Diamond area 18 + height 4.24·10 ≈ 60.4.
+  EXPECT_GT(std::get<RealValue>(*v).value(), 50);
+}
+
+}  // namespace
+}  // namespace modb

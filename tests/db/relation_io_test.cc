@@ -1,0 +1,126 @@
+#include "db/relation_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/flights_gen.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+TEST(AttributeBlob, TaggedRoundTripAllKinds) {
+  std::vector<AttributeValue> values = {
+      IntValue(7),
+      RealValue(2.5),
+      BoolValue(true),
+      StringValue(std::string("KLM")),
+      Point(1, 2),
+      Points::FromVector({{1, 1}, {2, 2}}),
+      *Line::Make({*Seg::Make(Point(0, 0), Point(1, 1))}),
+      *Region::FromPolygon({Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)}),
+      Periods::FromIntervals({TI(0, 1)}),
+      AttributeValue(*MovingBool::Make({*UBool::Make(TI(0, 1), true)})),
+      AttributeValue(*MovingReal::Make({*UReal::Make(TI(0, 1), 1, 0, 0, false)})),
+      AttributeValue(*MovingPoint::Make(
+          {*UPoint::FromEndpoints(TI(0, 1), Point(0, 0), Point(1, 1))})),
+  };
+  for (const AttributeValue& v : values) {
+    Result<std::string> blob = SerializeAttribute(v);
+    ASSERT_TRUE(blob.ok()) << blob.status();
+    Result<AttributeValue> back = DeserializeAttribute(*blob);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(TypeOf(*back), TypeOf(v));
+  }
+}
+
+TEST(AttributeBlob, RejectsCorruption) {
+  EXPECT_FALSE(DeserializeAttribute("").ok());
+  EXPECT_FALSE(DeserializeAttribute("\xff" "junk").ok());
+  Result<std::string> blob = SerializeAttribute(IntValue(1));
+  std::string truncated = blob->substr(0, blob->size() - 3);
+  EXPECT_FALSE(DeserializeAttribute(truncated).ok());
+}
+
+TEST(RelationIO, PlanesRoundTripThroughFile) {
+  Relation planes = *GeneratePlanes({.num_airports = 6,
+                                     .num_flights = 15,
+                                     .extent = 1000,
+                                     .units_per_flight = 4,
+                                     .speed = 100,
+                                     .departure_window = 5,
+                                     .seed = 5});
+  std::string path = ::testing::TempDir() + "/planes.modb";
+  ASSERT_TRUE(SaveRelation(planes, path).ok());
+  Result<Relation> back = LoadRelation(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->name(), planes.name());
+  ASSERT_EQ(back->NumTuples(), planes.NumTuples());
+  ASSERT_EQ(back->schema().NumAttributes(), 3u);
+  for (std::size_t i = 0; i < planes.NumTuples(); ++i) {
+    EXPECT_EQ(std::get<StringValue>(back->tuple(i)[1]),
+              std::get<StringValue>(planes.tuple(i)[1]));
+    const auto& orig = std::get<MovingPoint>(planes.tuple(i)[2]);
+    const auto& load = std::get<MovingPoint>(back->tuple(i)[2]);
+    ASSERT_EQ(load.NumUnits(), orig.NumUnits());
+    Instant mid = orig.DefTime().Minimum() + 0.3;
+    EXPECT_TRUE(ApproxEqual(load.AtInstant(mid).val(),
+                            orig.AtInstant(mid).val()));
+  }
+}
+
+TEST(RelationIO, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage.modb";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "nope";
+  }
+  EXPECT_FALSE(LoadRelation(path).ok());
+  EXPECT_FALSE(LoadRelation("/does/not/exist").ok());
+}
+
+TEST(TimesliceOp, CollapsesMovingTypes) {
+  Relation rel("obs", Schema({{"name", AttributeType::kString},
+                              {"pos", AttributeType::kMovingPoint},
+                              {"load", AttributeType::kMovingReal}}));
+  ASSERT_TRUE(rel.Insert({StringValue(std::string("a")),
+                          *MovingPoint::Make({*UPoint::FromEndpoints(
+                              TI(0, 10), Point(0, 0), Point(10, 0))}),
+                          *MovingReal::Make(
+                              {*UReal::Make(TI(0, 10), 0, 2, 0, false)})})
+                  .ok());
+  ASSERT_TRUE(rel.Insert({StringValue(std::string("b")),
+                          *MovingPoint::Make({*UPoint::FromEndpoints(
+                              TI(20, 30), Point(5, 5), Point(6, 6))}),
+                          *MovingReal::Make(
+                              {*UReal::Constant(TI(20, 30), 1)})})
+                  .ok());
+  Result<Relation> slice = Timeslice(rel, 4);
+  ASSERT_TRUE(slice.ok()) << slice.status();
+  // Only tuple "a" exists at t=4.
+  ASSERT_EQ(slice->NumTuples(), 1u);
+  EXPECT_EQ(slice->schema().attribute(1).type, AttributeType::kPoint);
+  EXPECT_EQ(slice->schema().attribute(2).type, AttributeType::kReal);
+  EXPECT_TRUE(ApproxEqual(std::get<Point>(slice->tuple(0)[1]), Point(4, 0)));
+  EXPECT_DOUBLE_EQ(std::get<RealValue>(slice->tuple(0)[2]).value(), 8);
+}
+
+TEST(TimesliceOp, StaticAttributesPassThrough) {
+  Relation rel("mixed", Schema({{"id", AttributeType::kInt},
+                                {"zone", AttributeType::kRegion}}));
+  Region zone = *Region::FromPolygon(
+      {Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)});
+  ASSERT_TRUE(rel.Insert({IntValue(1), zone}).ok());
+  Result<Relation> slice = Timeslice(rel, 99);
+  ASSERT_TRUE(slice.ok());
+  ASSERT_EQ(slice->NumTuples(), 1u);
+  EXPECT_TRUE(std::get<Region>(slice->tuple(0)[1]) == zone);
+}
+
+}  // namespace
+}  // namespace modb

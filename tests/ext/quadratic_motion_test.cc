@@ -1,0 +1,110 @@
+#include "ext/quadratic_motion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e) { return *TimeInterval::Make(s, e, true, true); }
+
+TEST(QuadraticMotionTest, BallisticEvaluation) {
+  // Thrown from (0, 0) with velocity (10, 10) under gravity (0, -2).
+  QuadraticMotion q =
+      QuadraticMotion::Ballistic(Point(0, 0), Point(10, 10), Point(0, -2));
+  EXPECT_TRUE(ApproxEqual(q.At(0), Point(0, 0)));
+  EXPECT_TRUE(ApproxEqual(q.At(1), Point(10, 9)));    // 10 - 1.
+  EXPECT_TRUE(ApproxEqual(q.At(10), Point(100, 0)));  // Lands at t=10.
+  EXPECT_DOUBLE_EQ(q.AccelerationNorm(), 2);
+}
+
+TEST(QuadraticMotionTest, BallisticWithNonZeroStart) {
+  QuadraticMotion q = QuadraticMotion::Ballistic(Point(5, 5), Point(1, 0),
+                                                 Point(0, -2), /*t0=*/3);
+  EXPECT_TRUE(ApproxEqual(q.At(3), Point(5, 5)));
+  EXPECT_TRUE(ApproxEqual(q.At(4), Point(6, 4)));
+}
+
+TEST(LinearizeTest, ErrorBoundRespected) {
+  QuadraticMotion q =
+      QuadraticMotion::Ballistic(Point(0, 0), Point(10, 10), Point(0, -2));
+  for (double tol : {1.0, 0.1, 0.01}) {
+    MovingPoint mp = *Linearize(q, TI(0, 10), tol);
+    double worst = 0;
+    for (double t = 0; t <= 10; t += 0.01) {
+      worst = std::max(worst, Distance(mp.AtInstant(t).val(), q.At(t)));
+    }
+    EXPECT_LE(worst, tol * (1 + 1e-9)) << "tol=" << tol;
+  }
+}
+
+TEST(LinearizeTest, SliceCountScalesWithInverseSqrtTolerance) {
+  QuadraticMotion q =
+      QuadraticMotion::Ballistic(Point(0, 0), Point(10, 10), Point(0, -2));
+  int coarse = LinearizeSliceCount(q, TI(0, 10), 0.1);
+  int fine = LinearizeSliceCount(q, TI(0, 10), 0.001);
+  // Error ~ h²: 100× tighter tolerance needs ~10× more slices.
+  EXPECT_NEAR(double(fine) / double(coarse), 10.0, 2.0);
+}
+
+TEST(LinearizeTest, LinearMotionNeedsOneSlice) {
+  QuadraticMotion q =
+      QuadraticMotion::Ballistic(Point(0, 0), Point(3, 4), Point(0, 0));
+  EXPECT_EQ(LinearizeSliceCount(q, TI(0, 10), 0.001), 1);
+  MovingPoint mp = *Linearize(q, TI(0, 10), 0.001);
+  EXPECT_EQ(mp.NumUnits(), 1u);
+}
+
+TEST(LinearizeTest, RejectsBadTolerance) {
+  QuadraticMotion q;
+  EXPECT_FALSE(Linearize(q, TI(0, 1), 0).ok());
+  EXPECT_FALSE(Linearize(q, TI(0, 1), -1).ok());
+}
+
+TEST(LinearizeTest, DegenerateInterval) {
+  QuadraticMotion q =
+      QuadraticMotion::Ballistic(Point(1, 2), Point(3, 4), Point(5, 6));
+  MovingPoint mp = *Linearize(q, TimeInterval::At(2), 0.1);
+  ASSERT_EQ(mp.NumUnits(), 1u);
+  EXPECT_TRUE(ApproxEqual(mp.AtInstant(2).val(), q.At(2)));
+}
+
+TEST(LinearizePathTest, CircleApproximation) {
+  auto circle = [](Instant t) {
+    return Point(std::cos(t), std::sin(t));
+  };
+  MovingPoint mp = *LinearizePath(circle, TI(0, 2 * std::numbers::pi), 0.01);
+  EXPECT_GT(mp.NumUnits(), 8u);
+  double worst = 0;
+  for (double t = 0; t <= 2 * std::numbers::pi; t += 0.003) {
+    worst = std::max(worst, Distance(mp.AtInstant(t).val(), circle(t)));
+  }
+  // The midpoint probe is a heuristic; allow a small slack factor.
+  EXPECT_LE(worst, 0.03);
+  // The trajectory length approaches the circumference from below.
+  EXPECT_NEAR(Trajectory(mp).Length(), 2 * std::numbers::pi, 0.05);
+}
+
+TEST(LinearizePathTest, ToleranceDrivesUnitCount) {
+  auto wave = [](Instant t) { return Point(t, std::sin(t)); };
+  MovingPoint coarse = *LinearizePath(wave, TI(0, 20), 0.1);
+  MovingPoint fine = *LinearizePath(wave, TI(0, 20), 0.001);
+  EXPECT_GT(fine.NumUnits(), coarse.NumUnits());
+}
+
+TEST(LinearizePathTest, MaxDepthBoundsWork) {
+  // A pathological path with a kink: depth cap keeps it terminating.
+  auto kink = [](Instant t) {
+    return Point(t, t < 5 ? 0.0 : (t - 5) * 100);
+  };
+  auto mp = LinearizePath(kink, TI(0, 10), 1e-9, /*max_depth=*/6);
+  ASSERT_TRUE(mp.ok());
+  EXPECT_LE(mp->NumUnits(), 64u);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,107 @@
+#include "ext/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ext/quadratic_motion.h"
+#include "gen/trajectory_gen.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+TEST(SimplifyTest, StraightLineCollapsesToOneUnit) {
+  // Many slices of one straight constant-speed motion.
+  MovingPoint mp = *StraightRoute(Point(0, 0), Point(100, 0), 0, 10, 1);
+  // StraightRoute merges equal motions already; build a noisy-free
+  // multi-unit version manually with distinct roundings.
+  MappingBuilder<UPoint> b;
+  for (int i = 0; i < 10; ++i) {
+    double t0 = i, t1 = i + 1;
+    (void)b.Append(*UPoint::FromEndpoints(TI(t0, t1, true, i == 9),
+                                          Point(10 * t0, 0),
+                                          Point(10 * t1, 0)));
+  }
+  MovingPoint many = *b.Build();
+  MovingPoint simple = *SimplifyTrajectory(many, 0.001);
+  EXPECT_EQ(simple.NumUnits(), 1u);
+  EXPECT_TRUE(ApproxEqual(simple.Initial().val(), Point(0, 0)));
+  EXPECT_TRUE(ApproxEqual(simple.Final().val(), Point(100, 0)));
+}
+
+TEST(SimplifyTest, ErrorBoundHolds) {
+  std::mt19937_64 rng(5);
+  TrajectoryOptions opts;
+  opts.num_units = 200;
+  opts.max_step = 10;
+  MovingPoint mp = *RandomWalkPoint(rng, opts);
+  for (double tol : {1.0, 5.0, 25.0}) {
+    auto simple = SimplifyTrajectory(mp, tol);
+    ASSERT_TRUE(simple.ok()) << simple.status();
+    EXPECT_LE(simple->NumUnits(), mp.NumUnits());
+    // Douglas–Peucker with the synchronous metric keeps every sample
+    // within tol of the simplified chain; probe densely for the bound
+    // (allow the usual DP slack at interior instants).
+    double dev = TrajectoryDeviation(mp, *simple);
+    EXPECT_LE(dev, tol * 1.0001) << "tol=" << tol;
+  }
+}
+
+TEST(SimplifyTest, MoreToleranceFewerUnits) {
+  std::mt19937_64 rng(9);
+  TrajectoryOptions opts;
+  opts.num_units = 300;
+  opts.max_step = 15;
+  MovingPoint mp = *RandomWalkPoint(rng, opts);
+  std::size_t tight = SimplifyTrajectory(mp, 0.5)->NumUnits();
+  std::size_t loose = SimplifyTrajectory(mp, 50.0)->NumUnits();
+  EXPECT_LT(loose, tight);
+  EXPECT_GE(tight, 10u);
+}
+
+TEST(SimplifyTest, RecoversLinearizedQuadratic) {
+  // Linearize tightly, then simplify with a coarser tolerance: the unit
+  // count must drop while the coarse bound still holds.
+  QuadraticMotion q =
+      QuadraticMotion::Ballistic(Point(0, 0), Point(10, 20), Point(0, -4));
+  MovingPoint fine = *Linearize(q, TI(0, 10), 0.01);
+  MovingPoint coarse = *SimplifyTrajectory(fine, 1.0);
+  EXPECT_LT(coarse.NumUnits(), fine.NumUnits());
+  double worst = 0;
+  for (double t = 0; t <= 10; t += 0.05) {
+    worst = std::max(worst, Distance(coarse.AtInstant(t).val(), q.At(t)));
+  }
+  EXPECT_LE(worst, 1.2);  // Coarse tolerance plus the fine residue.
+}
+
+TEST(SimplifyTest, PreservesEndpointsAndDeftime) {
+  std::mt19937_64 rng(11);
+  TrajectoryOptions opts;
+  opts.num_units = 50;
+  MovingPoint mp = *RandomWalkPoint(rng, opts);
+  MovingPoint simple = *SimplifyTrajectory(mp, 100.0);
+  EXPECT_DOUBLE_EQ(simple.DefTime().Minimum(), mp.DefTime().Minimum());
+  EXPECT_DOUBLE_EQ(simple.DefTime().Maximum(), mp.DefTime().Maximum());
+  EXPECT_TRUE(ApproxEqual(simple.Initial().val(), mp.Initial().val()));
+  EXPECT_TRUE(ApproxEqual(simple.Final().val(), mp.Final().val()));
+}
+
+TEST(SimplifyTest, RejectsGapsAndBadTolerance) {
+  MovingPoint gappy = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 1), Point(0, 0), Point(1, 0)),
+       *UPoint::FromEndpoints(TI(5, 6), Point(1, 0), Point(2, 0))});
+  EXPECT_EQ(SimplifyTrajectory(gappy, 1.0).status().code(),
+            StatusCode::kFailedPrecondition);
+  MovingPoint one = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 1), Point(0, 0), Point(1, 0))});
+  EXPECT_FALSE(SimplifyTrajectory(one, -1).ok());
+  EXPECT_EQ(SimplifyTrajectory(one, 1.0)->NumUnits(), 1u);
+}
+
+}  // namespace
+}  // namespace modb

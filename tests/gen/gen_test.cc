@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gen/flights_gen.h"
+#include "gen/region_gen.h"
+#include "gen/trajectory_gen.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+TEST(TrajectoryGen, RandomWalkProducesRequestedSlicing) {
+  std::mt19937_64 rng(1);
+  TrajectoryOptions opts;
+  opts.num_units = 32;
+  opts.unit_duration = 2;
+  MovingPoint mp = *RandomWalkPoint(rng, opts);
+  // Merging of equal-motion units may reduce the count, never increase.
+  EXPECT_LE(mp.NumUnits(), 32u);
+  EXPECT_GE(mp.NumUnits(), 16u);
+  EXPECT_DOUBLE_EQ(mp.TotalDuration(), 64);
+  // Continuity across unit boundaries.
+  for (std::size_t i = 0; i + 1 < mp.NumUnits(); ++i) {
+    Point end = mp.unit(i).EndPoint();
+    Point start = mp.unit(i + 1).StartPoint();
+    EXPECT_TRUE(ApproxEqual(end, start));
+  }
+}
+
+TEST(TrajectoryGen, StaysInExtent) {
+  std::mt19937_64 rng(2);
+  TrajectoryOptions opts;
+  opts.num_units = 50;
+  opts.extent = 100;
+  opts.max_step = 50;
+  MovingPoint mp = *RandomWalkPoint(rng, opts);
+  for (double t = 0; t < 50; t += 0.5) {
+    Point p = mp.AtInstant(t).val();
+    EXPECT_GE(p.x, -1e-9);
+    EXPECT_LE(p.x, 100 + 1e-9);
+    EXPECT_GE(p.y, -1e-9);
+    EXPECT_LE(p.y, 100 + 1e-9);
+  }
+}
+
+TEST(TrajectoryGen, StopProbabilityCreatesStationaryUnits) {
+  std::mt19937_64 rng(3);
+  TrajectoryOptions opts;
+  opts.num_units = 60;
+  opts.stop_probability = 0.5;
+  MovingPoint mp = *RandomWalkPoint(rng, opts);
+  EXPECT_FALSE(Locations(mp).IsEmpty());
+}
+
+TEST(TrajectoryGen, StraightRouteGeometry) {
+  MovingPoint mp = *StraightRoute(Point(0, 0), Point(100, 0), 5, 10, 4);
+  EXPECT_TRUE(ApproxEqual(mp.Initial().val(), Point(0, 0)));
+  EXPECT_TRUE(ApproxEqual(mp.Final().val(), Point(100, 0)));
+  EXPECT_DOUBLE_EQ(mp.Initial().inst(), 5);
+  EXPECT_DOUBLE_EQ(mp.Final().inst(), 15);
+  // Constant speed 10 throughout.
+  MovingReal s = *Speed(mp);
+  EXPECT_NEAR(s.AtInstant(7).val(), 10, 1e-9);
+  EXPECT_FALSE(StraightRoute(Point(0, 0), Point(1, 0), 0, -1, 4).ok());
+}
+
+TEST(RegionGen, StaticRegionValid) {
+  std::mt19937_64 rng(4);
+  RegionGenOptions opts;
+  opts.num_vertices = 24;
+  opts.radius = 50;
+  auto r = GenerateRegion(rng, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumSegments(), 24u);
+  EXPECT_GT(r->Area(), 0);
+}
+
+TEST(RegionGen, WithHole) {
+  std::mt19937_64 rng(5);
+  RegionGenOptions opts;
+  opts.num_vertices = 12;
+  opts.radius = 50;
+  opts.with_hole = true;
+  auto r = GenerateRegion(rng, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumCycles(), 2u);
+  EXPECT_FALSE(r->Contains(opts.center));  // Center is inside the hole.
+}
+
+TEST(RegionGen, MovingRegionContinuity) {
+  std::mt19937_64 rng(6);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 10;
+  opts.shape.radius = 30;
+  opts.num_units = 4;
+  opts.unit_duration = 5;
+  opts.drift = Point(10, -5);
+  opts.scale_per_unit = 1.2;
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  ASSERT_EQ(mr.NumUnits(), 4u);
+  // The region evolves continuously across unit boundaries.
+  for (std::size_t i = 0; i + 1 < mr.NumUnits(); ++i) {
+    double boundary = mr.unit(i).interval().end();
+    double a0 = mr.unit(i).ValueAt(boundary - 1e-6).Area();
+    double a1 = mr.unit(i + 1).ValueAt(boundary + 1e-6).Area();
+    EXPECT_NEAR(a0, a1, 0.01 * a0);
+  }
+}
+
+TEST(RegionGen, ConstantDriftMergesIntoOneUnit) {
+  // A rigid constant-velocity motion has identical unit functions in
+  // every slice, so the builder collapses them (minimality); the zig-zag
+  // alternation keeps the slicing observable.
+  std::mt19937_64 rng(12);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 6;
+  opts.num_units = 8;
+  opts.unit_duration = 1;
+  opts.drift = Point(5, 0);
+  MovingRegion merged = *GenerateMovingRegion(rng, opts);
+  EXPECT_LT(merged.NumUnits(), 8u);
+  std::mt19937_64 rng2(12);
+  opts.drift_alternation = Point(0, 1);
+  MovingRegion sliced = *GenerateMovingRegion(rng2, opts);
+  EXPECT_EQ(sliced.NumUnits(), 8u);
+  EXPECT_DOUBLE_EQ(sliced.TotalDuration(), 8);
+}
+
+TEST(FlightsGen, SchemaAndContents) {
+  auto planes = GeneratePlanes({.num_airports = 5,
+                                .num_flights = 20,
+                                .extent = 1000,
+                                .units_per_flight = 6,
+                                .speed = 100,
+                                .departure_window = 10,
+                                .seed = 7});
+  ASSERT_TRUE(planes.ok()) << planes.status();
+  EXPECT_EQ(planes->NumTuples(), 20u);
+  EXPECT_EQ(planes->schema().attribute(2).type, AttributeType::kMovingPoint);
+  for (const Tuple& t : planes->tuples()) {
+    const auto& mp = std::get<MovingPoint>(t[kFlightAttrFlight]);
+    EXPECT_FALSE(mp.IsEmpty());
+    // Flights travel at the configured speed.
+    MovingReal s = *Speed(mp);
+    EXPECT_NEAR(s.AtInstant(s.unit(0).interval().start()).val(), 100, 1e-6);
+  }
+}
+
+TEST(FlightsGen, Deterministic) {
+  FlightsOptions opts;
+  opts.num_flights = 5;
+  auto a = GeneratePlanes(opts);
+  auto b = GeneratePlanes(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t i = 0; i < a->NumTuples(); ++i) {
+    EXPECT_EQ(std::get<StringValue>(a->tuple(i)[1]).value(),
+              std::get<StringValue>(b->tuple(i)[1]).value());
+  }
+  EXPECT_FALSE(GeneratePlanes({.num_airports = 1}).ok());
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,82 @@
+#include "index/rtree3d.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace modb {
+namespace {
+
+Cube MakeCube(double x, double y, double t, double ext) {
+  return Cube(Rect(x, y, x + ext, y + ext), t, t + ext);
+}
+
+TEST(RTree3D, EmptyTree) {
+  RTree3D tree = RTree3D::BulkLoad({});
+  EXPECT_EQ(tree.NumEntries(), 0u);
+  EXPECT_TRUE(tree.Query(MakeCube(0, 0, 0, 100)).empty());
+}
+
+TEST(RTree3D, SingleEntry) {
+  RTree3D tree = RTree3D::BulkLoad({{MakeCube(5, 5, 5, 1), 42}});
+  auto hits = tree.Query(MakeCube(5.5, 5.5, 5.5, 0.1));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42);
+  EXPECT_TRUE(tree.Query(MakeCube(50, 50, 50, 1)).empty());
+}
+
+TEST(RTree3D, TouchingBoxesCount) {
+  RTree3D tree = RTree3D::BulkLoad({{MakeCube(0, 0, 0, 1), 1}});
+  // Shares exactly the corner point (1,1,1).
+  EXPECT_EQ(tree.Query(MakeCube(1, 1, 1, 1)).size(), 1u);
+}
+
+TEST(RTree3D, TimeDimensionFilters) {
+  RTree3D tree = RTree3D::BulkLoad(
+      {{Cube(Rect(0, 0, 1, 1), 0, 1), 1}, {Cube(Rect(0, 0, 1, 1), 10, 11), 2}});
+  auto hits = tree.Query(Cube(Rect(0, 0, 1, 1), 10.5, 10.6));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2);
+}
+
+class RTreeBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeBruteForce, MatchesLinearScan) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> pos(0, 100);
+  std::uniform_real_distribution<double> ext(0.5, 8);
+  std::vector<RTree3D::Entry> entries;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({MakeCube(pos(rng), pos(rng), pos(rng), ext(rng)), i});
+  }
+  RTree3D tree = RTree3D::BulkLoad(entries, 8);
+  EXPECT_EQ(tree.NumEntries(), std::size_t(n));
+  EXPECT_GE(tree.Height(), 2);
+  for (int q = 0; q < 20; ++q) {
+    Cube query = MakeCube(pos(rng), pos(rng), pos(rng), ext(rng) * 3);
+    std::vector<int64_t> expected;
+    for (const auto& e : entries) {
+      if (Cube::Intersect(e.cube, query)) expected.push_back(e.id);
+    }
+    std::vector<int64_t> got = tree.Query(query);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RTreeBruteForce, ::testing::Range(0, 10));
+
+TEST(RTree3D, VisitorShortForm) {
+  RTree3D tree = RTree3D::BulkLoad(
+      {{MakeCube(0, 0, 0, 1), 1}, {MakeCube(2, 2, 2, 1), 2}});
+  int count = 0;
+  tree.QueryVisit(MakeCube(-1, -1, -1, 10), [&count](int64_t) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,84 @@
+#include "spatial/components.h"
+
+#include <gtest/gtest.h>
+
+#include "spatial/region_builder.h"
+
+namespace modb {
+namespace {
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+std::vector<Seg> SquareSegs(double x0, double y0, double side) {
+  return {S(x0, y0, x0 + side, y0), S(x0 + side, y0, x0 + side, y0 + side),
+          S(x0 + side, y0 + side, x0, y0 + side), S(x0, y0 + side, x0, y0)};
+}
+
+TEST(RegionComponents, SplitsFacesKeepingHoles) {
+  std::vector<Seg> segs = SquareSegs(0, 0, 10);
+  for (const Seg& s : SquareSegs(4, 4, 2)) segs.push_back(s);  // Hole.
+  for (const Seg& s : SquareSegs(20, 20, 3)) segs.push_back(s);  // Face 2.
+  Region r = *RegionBuilder::Close(segs);
+  ASSERT_EQ(r.NumFaces(), 2u);
+  auto parts = Components(r);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  // One part has the hole, the other does not; areas sum to the whole.
+  double total = 0;
+  bool saw_holed = false;
+  for (const Region& part : *parts) {
+    EXPECT_EQ(part.NumFaces(), 1u);
+    total += part.Area();
+    if (part.NumCycles() == 2) saw_holed = true;
+  }
+  EXPECT_TRUE(saw_holed);
+  EXPECT_NEAR(total, r.Area(), 1e-9);
+}
+
+TEST(RegionComponents, SingleFaceIdentity) {
+  Region r = *Region::FromPolygon(
+      {Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)});
+  auto parts = Components(r);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 1u);
+  EXPECT_TRUE((*parts)[0] == r);
+  EXPECT_EQ(NumComponents(r), 1u);
+}
+
+TEST(RegionComponents, EmptyRegion) {
+  auto parts = Components(Region());
+  ASSERT_TRUE(parts.ok());
+  EXPECT_TRUE(parts->empty());
+}
+
+TEST(LineComponents, DisconnectedPieces) {
+  Line l = *Line::Make({S(0, 0, 1, 1), S(1, 1, 2, 0),   // Connected pair.
+                        S(10, 0, 11, 0)});              // Lone segment.
+  std::vector<Line> parts = Components(l);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(NumComponents(l), 2u);
+  std::size_t sizes[2] = {parts[0].NumSegments(), parts[1].NumSegments()};
+  EXPECT_EQ(sizes[0] + sizes[1], 3u);
+}
+
+TEST(LineComponents, CrossingCountsAsConnected) {
+  Line l = *Line::Make({S(0, 0, 2, 2), S(0, 2, 2, 0)});
+  EXPECT_EQ(NumComponents(l), 1u);
+}
+
+TEST(LineComponents, EmptyLine) {
+  EXPECT_TRUE(Components(Line()).empty());
+  EXPECT_EQ(NumComponents(Line()), 0u);
+}
+
+TEST(LineComponents, ChainTransitivity) {
+  // a-b-c-d chained: one component even though a and d don't touch.
+  Line l = *Line::Make({S(0, 0, 1, 1), S(1, 1, 2, 1), S(2, 1, 3, 0),
+                        S(3, 0, 4, 4)});
+  EXPECT_EQ(NumComponents(l), 1u);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,75 @@
+#include "spatial/halfsegment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace modb {
+namespace {
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+TEST(HalfSegment, DominatingPointSelection) {
+  HalfSegment left{.seg = S(0, 0, 2, 2), .left_dominating = true};
+  HalfSegment right{.seg = S(0, 0, 2, 2), .left_dominating = false};
+  EXPECT_EQ(left.DominatingPoint(), Point(0, 0));
+  EXPECT_EQ(left.SecondaryPoint(), Point(2, 2));
+  EXPECT_EQ(right.DominatingPoint(), Point(2, 2));
+  EXPECT_EQ(right.SecondaryPoint(), Point(0, 0));
+}
+
+TEST(HalfSegmentOrder, ByDominatingPointFirst) {
+  HalfSegment a{.seg = S(0, 0, 1, 1), .left_dominating = true};
+  HalfSegment b{.seg = S(2, 0, 3, 1), .left_dominating = true};
+  EXPECT_TRUE(HalfSegmentLess(a, b));
+  EXPECT_FALSE(HalfSegmentLess(b, a));
+}
+
+TEST(HalfSegmentOrder, RightBeforeLeftAtSharedPoint) {
+  // At a shared dominating point, the sweep must retire the ending
+  // segment before admitting the starting one.
+  HalfSegment ending{.seg = S(0, 0, 2, 0), .left_dominating = false};
+  HalfSegment starting{.seg = S(2, 0, 4, 0), .left_dominating = true};
+  EXPECT_TRUE(HalfSegmentLess(ending, starting));
+  EXPECT_FALSE(HalfSegmentLess(starting, ending));
+}
+
+TEST(HalfSegmentOrder, AngularOrderAmongLeftHalves) {
+  HalfSegment down{.seg = S(0, 0, 1, -1), .left_dominating = true};
+  HalfSegment flat{.seg = S(0, 0, 1, 0), .left_dominating = true};
+  HalfSegment up{.seg = S(0, 0, 1, 1), .left_dominating = true};
+  EXPECT_TRUE(HalfSegmentLess(down, flat));
+  EXPECT_TRUE(HalfSegmentLess(flat, up));
+  EXPECT_TRUE(HalfSegmentLess(down, up));
+}
+
+TEST(HalfSegmentOrder, StrictWeakOrdering) {
+  std::vector<HalfSegment> hs = MakeHalfSegments(
+      {S(0, 0, 1, 1), S(0, 0, 1, -1), S(1, 1, 2, 0), S(-1, 0, 0, 0)});
+  EXPECT_TRUE(std::is_sorted(hs.begin(), hs.end(), HalfSegmentLess));
+  for (const HalfSegment& h : hs) {
+    EXPECT_FALSE(HalfSegmentLess(h, h));  // Irreflexive.
+  }
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    for (std::size_t j = i + 1; j < hs.size(); ++j) {
+      // Antisymmetric over the sorted sequence.
+      EXPECT_FALSE(HalfSegmentLess(hs[j], hs[i]) &&
+                   HalfSegmentLess(hs[i], hs[j]));
+    }
+  }
+}
+
+TEST(MakeHalfSegments, TwoPerSegmentSorted) {
+  std::vector<HalfSegment> hs =
+      MakeHalfSegments({S(2, 0, 3, 0), S(0, 0, 1, 0)});
+  ASSERT_EQ(hs.size(), 4u);
+  EXPECT_EQ(hs[0].DominatingPoint(), Point(0, 0));
+  EXPECT_EQ(hs[1].DominatingPoint(), Point(1, 0));
+  EXPECT_EQ(hs[2].DominatingPoint(), Point(2, 0));
+  EXPECT_EQ(hs[3].DominatingPoint(), Point(3, 0));
+}
+
+}  // namespace
+}  // namespace modb

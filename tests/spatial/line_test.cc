@@ -1,0 +1,143 @@
+#include "spatial/line.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+// D_line: collinear segments must be disjoint.
+TEST(LineMake, AcceptsCrossingSegments) {
+  // Figure 2(c): any set of segments is a line value — crossings are fine.
+  auto l = Line::Make({S(0, 0, 2, 2), S(0, 2, 2, 0)});
+  ASSERT_TRUE(l.ok()) << l.status();
+  EXPECT_EQ(l->NumSegments(), 2u);
+}
+
+TEST(LineMake, RejectsCollinearOverlap) {
+  EXPECT_FALSE(Line::Make({S(0, 0, 2, 0), S(1, 0, 3, 0)}).ok());
+}
+
+TEST(LineMake, RejectsCollinearMeet) {
+  // Collinear segments sharing an endpoint are not disjoint → invalid
+  // (they must be merged into one).
+  EXPECT_FALSE(Line::Make({S(0, 0, 1, 0), S(1, 0, 2, 0)}).ok());
+}
+
+TEST(LineMake, AcceptsCollinearGap) {
+  auto l = Line::Make({S(0, 0, 1, 0), S(2, 0, 3, 0)});
+  EXPECT_TRUE(l.ok()) << l.status();
+}
+
+TEST(LineMake, DeduplicatesExactCopies) {
+  auto l = Line::Make({S(0, 0, 1, 1), S(0, 0, 1, 1)});
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l->NumSegments(), 1u);
+}
+
+TEST(MergeSegs, FusesOverlappingChain) {
+  std::vector<Seg> merged =
+      MergeSegs({S(0, 0, 2, 0), S(1, 0, 3, 0), S(3, 0, 5, 0)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], S(0, 0, 5, 0));
+}
+
+TEST(MergeSegs, KeepsSeparateLines) {
+  std::vector<Seg> merged = MergeSegs({S(0, 0, 2, 0), S(0, 1, 2, 1)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeSegs, NestedSegmentAbsorbed) {
+  std::vector<Seg> merged = MergeSegs({S(0, 0, 4, 0), S(1, 0, 2, 0)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], S(0, 0, 4, 0));
+}
+
+TEST(LineCanonical, AnySegmentSetBecomesValid) {
+  Line l = Line::Canonical({S(0, 0, 2, 0), S(1, 0, 3, 0), S(0, 1, 1, 2)});
+  EXPECT_EQ(l.NumSegments(), 2u);
+  // Canonical result passes strict validation.
+  EXPECT_TRUE(Line::Make(l.segments()).ok());
+}
+
+TEST(LineLength, SumOfSegments) {
+  Line l = *Line::Make({S(0, 0, 3, 4), S(10, 0, 13, 4)});
+  EXPECT_DOUBLE_EQ(l.Length(), 10);
+}
+
+TEST(LineContains, OnAnySegment) {
+  Line l = *Line::Make({S(0, 0, 2, 2), S(5, 0, 7, 0)});
+  EXPECT_TRUE(l.Contains(Point(1, 1)));
+  EXPECT_TRUE(l.Contains(Point(6, 0)));
+  EXPECT_FALSE(l.Contains(Point(3, 3)));
+}
+
+TEST(LineUnion, MergesCollinearAcrossOperands) {
+  Line a = *Line::Make({S(0, 0, 2, 0)});
+  Line b = *Line::Make({S(1, 0, 4, 0)});
+  Line u = Line::Union(a, b);
+  ASSERT_EQ(u.NumSegments(), 1u);
+  EXPECT_EQ(u.segment(0), S(0, 0, 4, 0));
+  EXPECT_DOUBLE_EQ(u.Length(), 4);
+}
+
+TEST(LineIntersection, CollinearOverlapOnly) {
+  Line a = *Line::Make({S(0, 0, 3, 0), S(0, 1, 3, 1)});
+  Line b = *Line::Make({S(2, 0, 5, 0), S(0, -1, 3, -1)});
+  Line i = Line::Intersection(a, b);
+  ASSERT_EQ(i.NumSegments(), 1u);
+  EXPECT_EQ(i.segment(0), S(2, 0, 3, 0));
+}
+
+TEST(LineIntersection, CrossingContributesNothing) {
+  Line a = *Line::Make({S(0, 0, 2, 2)});
+  Line b = *Line::Make({S(0, 2, 2, 0)});
+  EXPECT_TRUE(Line::Intersection(a, b).IsEmpty());
+  Points xp = Line::CrossingPoints(a, b);
+  ASSERT_EQ(xp.Size(), 1u);
+  EXPECT_TRUE(ApproxEqual(xp.point(0), Point(1, 1)));
+}
+
+TEST(LineDifference, RemovesSharedParts) {
+  Line a = *Line::Make({S(0, 0, 4, 0)});
+  Line b = *Line::Make({S(1, 0, 2, 0)});
+  Line d = Line::Difference(a, b);
+  ASSERT_EQ(d.NumSegments(), 2u);
+  EXPECT_EQ(d.segment(0), S(0, 0, 1, 0));
+  EXPECT_EQ(d.segment(1), S(2, 0, 4, 0));
+  EXPECT_DOUBLE_EQ(d.Length(), 3);
+}
+
+TEST(LineDifference, DisjointLeavesUntouched) {
+  Line a = *Line::Make({S(0, 0, 1, 0)});
+  Line b = *Line::Make({S(0, 1, 1, 1)});
+  EXPECT_EQ(Line::Difference(a, b), a);
+}
+
+TEST(LineEquality, UniqueRepresentation) {
+  // The same point set assembled differently compares equal after
+  // canonicalization.
+  Line a = Line::Canonical({S(0, 0, 1, 0), S(1, 0, 3, 0)});
+  Line b = Line::Canonical({S(0, 0, 3, 0)});
+  EXPECT_EQ(a, b);
+}
+
+TEST(LineHalfSegments, SortedPairPerSegment) {
+  Line l = *Line::Make({S(0, 0, 1, 1), S(2, 0, 3, 1)});
+  std::vector<HalfSegment> hs = l.HalfSegments();
+  ASSERT_EQ(hs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(hs.begin(), hs.end(), HalfSegmentLess));
+}
+
+TEST(LineBoundingBox, CoversAllSegments) {
+  Line l = *Line::Make({S(0, 0, 1, 1), S(-5, 2, -1, 2)});
+  Rect r = l.BoundingBox();
+  EXPECT_EQ(r.min_x, -5);
+  EXPECT_EQ(r.max_x, 1);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,141 @@
+#include "spatial/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace modb {
+namespace {
+
+std::vector<Point> Square(double x0, double y0, double side) {
+  return {Point(x0, y0), Point(x0 + side, y0), Point(x0 + side, y0 + side),
+          Point(x0, y0 + side)};
+}
+
+Region Sq(double x0, double y0, double side) {
+  return *Region::FromPolygon(Square(x0, y0, side));
+}
+
+TEST(OverlayUnion, DisjointSquaresKeepTwoFaces) {
+  auto u = Union(Sq(0, 0, 1), Sq(5, 5, 1));
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->NumFaces(), 2u);
+  EXPECT_NEAR(u->Area(), 2, 1e-9);
+}
+
+TEST(OverlayUnion, OverlappingSquaresMerge) {
+  auto u = Union(Sq(0, 0, 2), Sq(1, 1, 2));
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->NumFaces(), 1u);
+  EXPECT_NEAR(u->Area(), 4 + 4 - 1, 1e-9);
+  EXPECT_TRUE(u->Contains(Point(0.5, 0.5)));
+  EXPECT_TRUE(u->Contains(Point(2.5, 2.5)));
+  EXPECT_FALSE(u->Contains(Point(2.5, 0.5)));
+}
+
+TEST(OverlayUnion, SharedEdgeDissolves) {
+  auto u = Union(Sq(0, 0, 1), Sq(1, 0, 1));
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->NumFaces(), 1u);
+  EXPECT_NEAR(u->Area(), 2, 1e-9);
+  // The shared edge at x=1 is gone from the boundary.
+  EXPECT_FALSE(u->OnBoundary(Point(1, 0.5)));
+  EXPECT_TRUE(u->Contains(Point(1, 0.5)));
+}
+
+TEST(OverlayIntersection, OverlappingSquares) {
+  auto i = Intersection(Sq(0, 0, 2), Sq(1, 1, 2));
+  ASSERT_TRUE(i.ok()) << i.status();
+  EXPECT_NEAR(i->Area(), 1, 1e-9);
+  EXPECT_TRUE(i->Contains(Point(1.5, 1.5)));
+  EXPECT_FALSE(i->Contains(Point(0.5, 0.5)));
+}
+
+TEST(OverlayIntersection, DisjointIsEmpty) {
+  auto i = Intersection(Sq(0, 0, 1), Sq(5, 5, 1));
+  ASSERT_TRUE(i.ok());
+  EXPECT_TRUE(i->IsEmpty());
+  EXPECT_NEAR(i->Area(), 0, 1e-12);
+}
+
+TEST(OverlayDifference, PunchesHole) {
+  auto d = Difference(Sq(0, 0, 10), Sq(4, 4, 2));
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->NumFaces(), 1u);
+  EXPECT_EQ(d->NumCycles(), 2u);  // Outer + hole.
+  EXPECT_NEAR(d->Area(), 100 - 4, 1e-9);
+  EXPECT_FALSE(d->Contains(Point(5, 5)));
+  EXPECT_TRUE(d->Contains(Point(1, 1)));
+}
+
+TEST(OverlayDifference, ClipsCorner) {
+  auto d = Difference(Sq(0, 0, 2), Sq(1, 1, 2));
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_NEAR(d->Area(), 4 - 1, 1e-9);
+  EXPECT_TRUE(d->Contains(Point(0.5, 0.5)));
+  EXPECT_FALSE(d->Contains(Point(1.5, 1.5)));
+}
+
+TEST(OverlayDifference, SubtractAllGivesEmpty) {
+  auto d = Difference(Sq(1, 1, 1), Sq(0, 0, 4));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->IsEmpty());
+}
+
+TEST(OverlayDifference, ContainedOperandSplitsIntoHole) {
+  // Subtracting a band through the middle splits the square in two.
+  Region band = *Region::FromPolygon(
+      {Point(-1, 1), Point(3, 1), Point(3, 1.5), Point(-1, 1.5)});
+  auto d = Difference(Sq(0, 0, 2), band);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->NumFaces(), 2u);
+  EXPECT_NEAR(d->Area(), 4 - 2 * 0.5, 1e-9);
+}
+
+TEST(OverlayEmptyOperands, Identities) {
+  Region e;
+  Region a = Sq(0, 0, 1);
+  EXPECT_TRUE(*Union(e, a) == a);
+  EXPECT_TRUE(*Union(a, e) == a);
+  EXPECT_TRUE(Intersection(e, a)->IsEmpty());
+  EXPECT_TRUE(Difference(e, a)->IsEmpty());
+  EXPECT_TRUE(*Difference(a, e) == a);
+}
+
+// Property sweep: inclusion-exclusion and pointwise classification on
+// random rectangle pairs.
+class OverlayAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlayAlgebra, InclusionExclusionAndPointwise) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> pick(0, 8);
+  std::uniform_real_distribution<double> side(1, 5);
+  Region a = Sq(pick(rng), pick(rng), side(rng));
+  Region b = Sq(pick(rng), pick(rng), side(rng));
+  auto u = Union(a, b);
+  auto i = Intersection(a, b);
+  auto d = Difference(a, b);
+  ASSERT_TRUE(u.ok()) << u.status();
+  ASSERT_TRUE(i.ok()) << i.status();
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_NEAR(u->Area(), a.Area() + b.Area() - i->Area(), 1e-6);
+  EXPECT_NEAR(d->Area(), a.Area() - i->Area(), 1e-6);
+  // Pointwise agreement on a grid (skipping boundary-grazing points).
+  for (int gx = 0; gx < 14; ++gx) {
+    for (int gy = 0; gy < 14; ++gy) {
+      Point p(gx + 0.137, gy + 0.261);
+      bool in_a = a.InteriorContains(p);
+      bool in_b = b.InteriorContains(p);
+      if (a.OnBoundary(p) || b.OnBoundary(p)) continue;
+      EXPECT_EQ(u->Contains(p), in_a || in_b) << p.ToString();
+      EXPECT_EQ(i->Contains(p), in_a && in_b) << p.ToString();
+      EXPECT_EQ(d->Contains(p), in_a && !in_b) << p.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OverlayAlgebra, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,65 @@
+#include "spatial/point.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace modb {
+namespace {
+
+TEST(PointOrder, LexicographicPerPaper) {
+  // p < q ⇔ p.x < q.x ∨ (p.x = q.x ∧ p.y < q.y)
+  EXPECT_TRUE(Point(1, 5) < Point(2, 0));
+  EXPECT_TRUE(Point(1, 1) < Point(1, 2));
+  EXPECT_FALSE(Point(1, 2) < Point(1, 2));
+  EXPECT_FALSE(Point(2, 0) < Point(1, 9));
+}
+
+TEST(PointOrder, SortGroupsByX) {
+  std::vector<Point> v = {{2, 1}, {1, 2}, {1, 1}, {0, 9}};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v[0], Point(0, 9));
+  EXPECT_EQ(v[1], Point(1, 1));
+  EXPECT_EQ(v[2], Point(1, 2));
+  EXPECT_EQ(v[3], Point(2, 1));
+}
+
+TEST(PointArithmetic, VectorOps) {
+  Point p = Point(1, 2) + Point(3, 4);
+  EXPECT_EQ(p, Point(4, 6));
+  EXPECT_EQ(Point(3, 4) - Point(1, 1), Point(2, 3));
+  EXPECT_EQ(Point(1, 2) * 2.0, Point(2, 4));
+}
+
+TEST(PointDistance, Euclidean) {
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0), Point(3, 4)), 5);
+  EXPECT_DOUBLE_EQ(SquaredDistance(Point(1, 1), Point(2, 2)), 2);
+}
+
+TEST(Orientation, LeftRightCollinear) {
+  EXPECT_EQ(Orientation(Point(0, 0), Point(1, 0), Point(0.5, 1)), 1);
+  EXPECT_EQ(Orientation(Point(0, 0), Point(1, 0), Point(0.5, -1)), -1);
+  EXPECT_EQ(Orientation(Point(0, 0), Point(1, 0), Point(2, 0)), 0);
+}
+
+TEST(Orientation, ToleranceScalesWithMagnitude) {
+  // Collinearity detection should survive large coordinates.
+  Point a(1e6, 1e6), b(2e6, 2e6), c(3e6, 3e6);
+  EXPECT_EQ(Orientation(a, b, c), 0);
+  // And a real turn at large scale is still a turn.
+  EXPECT_NE(Orientation(a, b, Point(3e6, 3e6 + 10)), 0);
+}
+
+TEST(PointApprox, EqualWithinEpsilon) {
+  EXPECT_TRUE(ApproxEqual(Point(1, 1), Point(1 + 1e-12, 1 - 1e-12)));
+  EXPECT_FALSE(ApproxEqual(Point(1, 1), Point(1.001, 1)));
+}
+
+TEST(Cross, SignedParallelogramArea) {
+  EXPECT_DOUBLE_EQ(Cross(Point(0, 0), Point(2, 0), Point(0, 3)), 6);
+  EXPECT_DOUBLE_EQ(Cross(Point(0, 0), Point(0, 3), Point(2, 0)), -6);
+}
+
+}  // namespace
+}  // namespace modb

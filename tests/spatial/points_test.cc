@@ -1,0 +1,57 @@
+#include "spatial/points.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+TEST(Points, CanonicalSortedUnique) {
+  Points ps = Points::FromVector({{2, 2}, {1, 1}, {2, 2}, {0, 5}});
+  ASSERT_EQ(ps.Size(), 3u);
+  EXPECT_EQ(ps.point(0), Point(0, 5));
+  EXPECT_EQ(ps.point(1), Point(1, 1));
+  EXPECT_EQ(ps.point(2), Point(2, 2));
+}
+
+TEST(Points, EqualityIsArrayEquality) {
+  // Section 4: equal set values iff equal array representations.
+  Points a = Points::FromVector({{1, 1}, {2, 2}});
+  Points b = Points::FromVector({{2, 2}, {1, 1}, {1, 1}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Points, ContainsBinarySearch) {
+  Points ps = Points::FromVector({{1, 1}, {2, 2}, {3, 3}});
+  EXPECT_TRUE(ps.Contains(Point(2, 2)));
+  EXPECT_FALSE(ps.Contains(Point(2, 3)));
+}
+
+TEST(Points, BoundingBox) {
+  Points ps = Points::FromVector({{1, 5}, {-2, 2}, {4, 0}});
+  Rect r = ps.BoundingBox();
+  EXPECT_EQ(r.min_x, -2);
+  EXPECT_EQ(r.min_y, 0);
+  EXPECT_EQ(r.max_x, 4);
+  EXPECT_EQ(r.max_y, 5);
+}
+
+TEST(Points, SetOperations) {
+  Points a = Points::FromVector({{1, 1}, {2, 2}, {3, 3}});
+  Points b = Points::FromVector({{2, 2}, {4, 4}});
+  EXPECT_EQ(Points::Union(a, b),
+            Points::FromVector({{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+  EXPECT_EQ(Points::Intersection(a, b), Points::FromVector({{2, 2}}));
+  EXPECT_EQ(Points::Difference(a, b), Points::FromVector({{1, 1}, {3, 3}}));
+  EXPECT_EQ(Points::Difference(b, a), Points::FromVector({{4, 4}}));
+}
+
+TEST(Points, EmptyBehavior) {
+  Points e;
+  EXPECT_TRUE(e.IsEmpty());
+  Points a = Points::FromVector({{1, 1}});
+  EXPECT_EQ(Points::Union(e, a), a);
+  EXPECT_TRUE(Points::Intersection(e, a).IsEmpty());
+}
+
+}  // namespace
+}  // namespace modb

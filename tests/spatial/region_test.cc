@@ -1,0 +1,297 @@
+#include "spatial/region.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "spatial/region_builder.h"
+
+namespace modb {
+namespace {
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+std::vector<Point> Square(double x0, double y0, double side) {
+  return {Point(x0, y0), Point(x0 + side, y0), Point(x0 + side, y0 + side),
+          Point(x0, y0 + side)};
+}
+
+TEST(RegionFromPolygon, UnitSquare) {
+  auto r = Region::FromPolygon(Square(0, 0, 1));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumFaces(), 1u);
+  EXPECT_EQ(r->NumCycles(), 1u);
+  EXPECT_EQ(r->NumSegments(), 4u);
+  EXPECT_DOUBLE_EQ(r->Area(), 1);
+  EXPECT_DOUBLE_EQ(r->Perimeter(), 4);
+}
+
+TEST(RegionFromPolygon, OrientationIrrelevant) {
+  std::vector<Point> cw = Square(0, 0, 2);
+  std::reverse(cw.begin(), cw.end());
+  auto r = Region::FromPolygon(cw);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Area(), 4);
+}
+
+TEST(RegionFromRings, SquareWithHole) {
+  auto r = Region::FromRings(Square(0, 0, 10), {Square(4, 4, 2)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumFaces(), 1u);
+  EXPECT_EQ(r->NumCycles(), 2u);
+  EXPECT_DOUBLE_EQ(r->Area(), 100 - 4);
+  EXPECT_DOUBLE_EQ(r->Perimeter(), 40 + 8);
+  EXPECT_EQ(r->faces()[0].num_holes, 1);
+}
+
+TEST(RegionContains, InteriorHoleBoundary) {
+  Region r = *Region::FromRings(Square(0, 0, 10), {Square(4, 4, 2)});
+  EXPECT_TRUE(r.Contains(Point(1, 1)));         // Interior.
+  EXPECT_FALSE(r.Contains(Point(5, 5)));        // In the hole.
+  EXPECT_TRUE(r.Contains(Point(0, 5)));         // Outer boundary.
+  EXPECT_TRUE(r.Contains(Point(4, 5)));         // Hole boundary (closure!).
+  EXPECT_FALSE(r.Contains(Point(-1, 5)));       // Outside.
+  EXPECT_TRUE(r.OnBoundary(Point(4, 5)));
+  EXPECT_FALSE(r.InteriorContains(Point(4, 5)));
+  EXPECT_TRUE(r.InteriorContains(Point(1, 1)));
+}
+
+TEST(RegionMultipleFaces, TwoDisjointSquares) {
+  std::vector<Seg> segs;
+  for (auto sq : {Square(0, 0, 1), Square(5, 5, 2)}) {
+    for (int i = 0; i < 4; ++i) {
+      segs.push_back(*Seg::Make(sq[std::size_t(i)], sq[std::size_t((i + 1) % 4)]));
+    }
+  }
+  auto r = RegionBuilder::Close(segs);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumFaces(), 2u);
+  EXPECT_EQ(r->NumCycles(), 2u);
+  EXPECT_DOUBLE_EQ(r->Area(), 1 + 4);
+}
+
+TEST(RegionNesting, FaceInsideHole) {
+  // A face lying within the hole of another face (the paper explicitly
+  // allows this).
+  auto r = Region::FromRings(Square(0, 0, 10), {Square(2, 2, 6)});
+  ASSERT_TRUE(r.ok());
+  std::vector<Seg> segs = r->Segments();
+  for (auto sq = Square(4, 4, 2); const Seg& s :
+       {*Seg::Make(sq[0], sq[1]), *Seg::Make(sq[1], sq[2]),
+        *Seg::Make(sq[2], sq[3]), *Seg::Make(sq[3], sq[0])}) {
+    segs.push_back(s);
+  }
+  auto nested = RegionBuilder::Close(segs);
+  ASSERT_TRUE(nested.ok()) << nested.status();
+  EXPECT_EQ(nested->NumFaces(), 2u);
+  EXPECT_EQ(nested->NumCycles(), 3u);
+  EXPECT_DOUBLE_EQ(nested->Area(), (100 - 36) + 4);
+  EXPECT_TRUE(nested->Contains(Point(5, 5)));    // Inner face.
+  EXPECT_FALSE(nested->Contains(Point(3, 3)));   // Hole space.
+  EXPECT_TRUE(nested->Contains(Point(1, 1)));    // Outer face.
+}
+
+TEST(RegionTouchingCycles, SharedVertexAllowed) {
+  // Two triangles meeting in exactly one point: valid, two faces.
+  std::vector<Seg> segs = {
+      S(0, 0, 2, 0), S(2, 0, 1, 1), S(1, 1, 0, 0),   // Lower triangle.
+      S(1, 1, 2, 2), S(2, 2, 0, 2), S(0, 2, 1, 1)};  // Upper triangle.
+  auto r = RegionBuilder::Close(segs);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumFaces(), 2u);
+  EXPECT_EQ(r->NumCycles(), 2u);
+  EXPECT_TRUE(r->Contains(Point(1, 0.3)));
+  EXPECT_TRUE(r->Contains(Point(1, 1.9)));
+  EXPECT_FALSE(r->Contains(Point(0.2, 1.0)));
+}
+
+// -- constraint violations ---------------------------------------------------
+
+TEST(RegionInvalid, ProperIntersection) {
+  std::vector<Seg> segs = {S(0, 0, 4, 4), S(0, 4, 4, 0),  // Crossing pair.
+                           S(0, 0, 4, 0), S(4, 0, 4, 4),
+                           S(0, 4, 0, 0), S(4, 4, 0, 4)};
+  EXPECT_FALSE(RegionBuilder::Close(segs).ok());
+}
+
+TEST(RegionInvalid, OverlappingSegments) {
+  std::vector<Seg> segs = {S(0, 0, 2, 0), S(1, 0, 3, 0), S(3, 0, 3, 1),
+                           S(3, 1, 0, 1), S(0, 1, 0, 0)};
+  EXPECT_FALSE(RegionBuilder::Close(segs).ok());
+}
+
+TEST(RegionInvalid, DanglingSegment) {
+  std::vector<Seg> segs = {S(0, 0, 1, 0), S(1, 0, 1, 1), S(1, 1, 0, 0),
+                           S(5, 5, 6, 6)};  // Dangling.
+  EXPECT_FALSE(RegionBuilder::Close(segs).ok());
+}
+
+TEST(RegionInvalid, TooFewSegments) {
+  EXPECT_FALSE(RegionBuilder::Close({S(0, 0, 1, 0), S(1, 0, 0, 0)}).ok());
+}
+
+TEST(RegionInvalid, TouchWithinOneCycle) {
+  // A pentagon whose vertex (2,0) lies in the interior of its own bottom
+  // edge: every vertex has even degree and nothing crosses properly, but
+  // two segments of one cycle touch — forbidden by the Cycle definition.
+  std::vector<Seg> segs = {S(0, 0, 4, 0), S(4, 0, 4, 4), S(4, 4, 2, 0),
+                           S(2, 0, 0, 4), S(0, 4, 0, 0)};
+  EXPECT_FALSE(RegionBuilder::Close(segs).ok());
+}
+
+TEST(RegionInvalid, HoleWithoutFace) {
+  // Ring vertices walked so segments form a cycle, but placed outside any
+  // other cycle... a lone cycle is a face, so instead test odd nesting:
+  // a "hole" candidate cannot exist without this; covered by depth logic.
+  // Here: two identical squares — duplicate segments collapse, leaving a
+  // single valid square.
+  std::vector<Seg> segs;
+  for (int rep = 0; rep < 2; ++rep) {
+    auto sq = Square(0, 0, 1);
+    for (int i = 0; i < 4; ++i) {
+      segs.push_back(*Seg::Make(sq[std::size_t(i)], sq[std::size_t((i + 1) % 4)]));
+    }
+  }
+  auto r = RegionBuilder::Close(segs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumSegments(), 4u);
+}
+
+// -- structure arrays --------------------------------------------------------
+
+TEST(RegionStructure, HalfSegmentsSortedWithAttributes) {
+  Region r = *Region::FromRings(Square(0, 0, 10), {Square(4, 4, 2)});
+  const auto& hs = r.halfsegments();
+  EXPECT_EQ(hs.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(hs.begin(), hs.end(), HalfSegmentLess));
+  for (const HalfSegment& h : hs) {
+    EXPECT_GE(h.cycle, 0);
+    EXPECT_LT(h.cycle, int32_t(r.NumCycles()));
+    EXPECT_GE(h.face, 0);
+    EXPECT_LT(h.face, int32_t(r.NumFaces()));
+    EXPECT_GE(h.next_in_cycle, 0);
+  }
+}
+
+TEST(RegionStructure, CycleWalkCloses) {
+  Region r = *Region::FromPolygon(Square(0, 0, 3));
+  std::vector<Seg> cyc = r.CycleSegments(0);
+  ASSERT_EQ(cyc.size(), 4u);
+  // Consecutive walk segments share endpoints.
+  for (std::size_t i = 0; i < cyc.size(); ++i) {
+    EXPECT_TRUE(Meet(cyc[i], cyc[(i + 1) % cyc.size()]));
+  }
+}
+
+TEST(RegionStructure, CycleVerticesFormRing) {
+  Region r = *Region::FromPolygon(Square(0, 0, 3));
+  std::vector<Point> ring = r.CycleVertices(0);
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_NEAR(std::fabs(SignedArea(ring)), 9, 1e-9);
+}
+
+TEST(RegionStructure, InsideAboveFlags) {
+  Region r = *Region::FromPolygon(Square(0, 0, 2));
+  for (const HalfSegment& h : r.halfsegments()) {
+    if (h.seg.IsVertical()) {
+      // Left edge: interior right → inside_above false; right edge: true.
+      EXPECT_EQ(h.inside_above, h.seg.a().x == 2);
+    } else {
+      // Bottom edge: interior above; top edge: interior below.
+      EXPECT_EQ(h.inside_above, h.seg.a().y == 0);
+    }
+  }
+}
+
+TEST(RegionStructure, HoleCycleChainLinked) {
+  Region r = *Region::FromRings(Square(0, 0, 10),
+                                {Square(2, 2, 1), Square(6, 6, 1)});
+  ASSERT_EQ(r.NumCycles(), 3u);
+  const FaceRecord& f = r.faces()[0];
+  EXPECT_EQ(f.num_holes, 2);
+  // Walk the cycle chain: outer first, then the two holes.
+  int32_t c = f.first_cycle;
+  int seen = 0, holes = 0;
+  while (c >= 0) {
+    ++seen;
+    if (r.cycles()[std::size_t(c)].is_hole) ++holes;
+    c = r.cycles()[std::size_t(c)].next_cycle_in_face;
+  }
+  EXPECT_EQ(seen, 3);
+  EXPECT_EQ(holes, 2);
+}
+
+TEST(RegionEquality, SameGeometryEqual) {
+  Region a = *Region::FromPolygon(Square(0, 0, 1));
+  std::vector<Point> rotated = {Point(1, 0), Point(1, 1), Point(0, 1),
+                                Point(0, 0)};
+  Region b = *Region::FromPolygon(rotated);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(RegionFromParts, RoundTripOfArrays) {
+  Region r = *Region::FromRings(Square(0, 0, 10), {Square(4, 4, 2)});
+  auto rebuilt = Region::FromParts(r.halfsegments(), r.cycles(), r.faces(),
+                                   r.Area(), r.Perimeter(), r.BoundingBox());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_TRUE(*rebuilt == r);
+  EXPECT_DOUBLE_EQ(rebuilt->Area(), r.Area());
+}
+
+TEST(RegionFromParts, RejectsBrokenLinks) {
+  Region r = *Region::FromPolygon(Square(0, 0, 1));
+  auto hs = r.halfsegments();
+  hs[0].next_in_cycle = 99;
+  EXPECT_FALSE(Region::FromParts(hs, r.cycles(), r.faces(), r.Area(),
+                                 r.Perimeter(), r.BoundingBox()).ok());
+}
+
+TEST(EvenOdd, PlumblineAgainstSoup) {
+  std::vector<Seg> square = {S(0, 0, 2, 0), S(2, 0, 2, 2), S(2, 2, 0, 2),
+                             S(0, 2, 0, 0)};
+  bool on_boundary = false;
+  EXPECT_TRUE(EvenOddContains(square, Point(1, 1), &on_boundary));
+  EXPECT_FALSE(on_boundary);
+  EXPECT_TRUE(EvenOddContains(square, Point(0, 1), &on_boundary));
+  EXPECT_TRUE(on_boundary);
+  EXPECT_FALSE(EvenOddContains(square, Point(3, 1)));
+  // Ray through a vertex is counted once.
+  EXPECT_FALSE(EvenOddContains(square, Point(0, -1)));
+}
+
+// Property: validation strategies agree on random polygons.
+class RegionValidationParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionValidationParity, GridMatchesNaive) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> jitter(-0.3, 0.3);
+  std::vector<Point> ring;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    double angle = 2 * 3.14159265358979 * i / n;
+    double radius = 10 * (1 + jitter(rng));
+    ring.push_back(Point(radius * std::cos(angle), radius * std::sin(angle)));
+  }
+  std::vector<Seg> segs;
+  for (int i = 0; i < n; ++i) {
+    segs.push_back(*Seg::Make(ring[std::size_t(i)], ring[std::size_t((i + 1) % n)]));
+  }
+  auto grid = RegionBuilder::Close(segs, RegionBuilder::Validation::kGrid);
+  auto naive = RegionBuilder::Close(segs, RegionBuilder::Validation::kNaive);
+  ASSERT_EQ(grid.ok(), naive.ok());
+  if (grid.ok()) {
+    EXPECT_TRUE(*grid == *naive);
+    EXPECT_DOUBLE_EQ(grid->Area(), naive->Area());
+    EXPECT_GT(grid->Area(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegionValidationParity,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,139 @@
+#include "spatial/seg.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+TEST(SegMake, RejectsDegenerate) {
+  EXPECT_FALSE(Seg::Make(Point(1, 1), Point(1, 1)).ok());
+}
+
+TEST(SegMake, NormalizesEndpointOrder) {
+  Seg s = S(3, 3, 1, 1);
+  EXPECT_EQ(s.a(), Point(1, 1));
+  EXPECT_EQ(s.b(), Point(3, 3));
+  EXPECT_EQ(S(1, 1, 3, 3), S(3, 3, 1, 1));
+}
+
+TEST(SegBasics, LengthMidpointBBox) {
+  Seg s = S(0, 0, 3, 4);
+  EXPECT_DOUBLE_EQ(s.Length(), 5);
+  EXPECT_EQ(s.Midpoint(), Point(1.5, 2));
+  Rect r = s.BoundingBox();
+  EXPECT_EQ(r.min_x, 0);
+  EXPECT_EQ(r.max_y, 4);
+  EXPECT_TRUE(S(1, 0, 1, 5).IsVertical());
+  EXPECT_FALSE(s.IsVertical());
+}
+
+TEST(SegContains, OnAndOff) {
+  Seg s = S(0, 0, 4, 4);
+  EXPECT_TRUE(s.Contains(Point(2, 2)));
+  EXPECT_TRUE(s.Contains(Point(0, 0)));
+  EXPECT_FALSE(s.Contains(Point(5, 5)));   // On the line, off the segment.
+  EXPECT_FALSE(s.Contains(Point(2, 3)));
+  EXPECT_TRUE(s.InteriorContains(Point(2, 2)));
+  EXPECT_FALSE(s.InteriorContains(Point(0, 0)));
+}
+
+// -- the paper's predicates --------------------------------------------------
+
+TEST(Collinear, DetectsSharedLine) {
+  EXPECT_TRUE(Collinear(S(0, 0, 1, 1), S(2, 2, 3, 3)));
+  EXPECT_TRUE(Collinear(S(0, 0, 1, 1), S(0.5, 0.5, 2, 2)));
+  EXPECT_FALSE(Collinear(S(0, 0, 1, 1), S(0, 1, 1, 2)));  // Parallel only.
+  EXPECT_FALSE(Collinear(S(0, 0, 1, 1), S(0, 0, 1, 2)));
+}
+
+TEST(PIntersect, ProperCrossingOnly) {
+  // X crossing: proper.
+  EXPECT_TRUE(PIntersect(S(0, 0, 2, 2), S(0, 2, 2, 0)));
+  // T touch: endpoint in interior → not proper.
+  EXPECT_FALSE(PIntersect(S(0, 0, 2, 0), S(1, 0, 1, 1)));
+  // V meet at endpoints → not proper.
+  EXPECT_FALSE(PIntersect(S(0, 0, 1, 1), S(1, 1, 2, 0)));
+  // Disjoint.
+  EXPECT_FALSE(PIntersect(S(0, 0, 1, 0), S(0, 1, 1, 1)));
+  // Collinear overlap is not a proper intersection.
+  EXPECT_FALSE(PIntersect(S(0, 0, 2, 0), S(1, 0, 3, 0)));
+}
+
+TEST(Touch, EndpointInInterior) {
+  EXPECT_TRUE(Touch(S(0, 0, 2, 0), S(1, 0, 1, 1)));   // T from above.
+  EXPECT_TRUE(Touch(S(1, 0, 1, 1), S(0, 0, 2, 0)));   // Symmetric.
+  EXPECT_FALSE(Touch(S(0, 0, 1, 1), S(1, 1, 2, 0)));  // Meet, not touch.
+  EXPECT_FALSE(Touch(S(0, 0, 2, 2), S(0, 2, 2, 0)));  // Proper crossing.
+}
+
+TEST(Meet, SharedEndpoint) {
+  EXPECT_TRUE(Meet(S(0, 0, 1, 1), S(1, 1, 2, 0)));
+  EXPECT_FALSE(Meet(S(0, 0, 1, 1), S(2, 2, 3, 3)));
+}
+
+TEST(Overlap, CollinearSharedLengthOnly) {
+  EXPECT_TRUE(Overlap(S(0, 0, 2, 0), S(1, 0, 3, 0)));
+  EXPECT_TRUE(Overlap(S(0, 0, 3, 0), S(1, 0, 2, 0)));   // Nested.
+  EXPECT_FALSE(Overlap(S(0, 0, 1, 0), S(1, 0, 2, 0)));  // Meet at a point.
+  EXPECT_FALSE(Overlap(S(0, 0, 1, 0), S(2, 0, 3, 0)));  // Disjoint.
+  EXPECT_FALSE(Overlap(S(0, 0, 2, 2), S(0, 2, 2, 0)));  // Crossing.
+}
+
+// -- intersection construction -----------------------------------------------
+
+TEST(Intersect, CrossingPoint) {
+  SegIntersection x = Intersect(S(0, 0, 2, 2), S(0, 2, 2, 0));
+  ASSERT_EQ(x.kind, SegIntersection::Kind::kPoint);
+  EXPECT_TRUE(ApproxEqual(x.point, Point(1, 1)));
+}
+
+TEST(Intersect, TouchPoint) {
+  SegIntersection x = Intersect(S(0, 0, 2, 0), S(1, 0, 1, 3));
+  ASSERT_EQ(x.kind, SegIntersection::Kind::kPoint);
+  EXPECT_TRUE(ApproxEqual(x.point, Point(1, 0)));
+}
+
+TEST(Intersect, CollinearOverlapSegment) {
+  SegIntersection x = Intersect(S(0, 0, 2, 0), S(1, 0, 3, 0));
+  ASSERT_EQ(x.kind, SegIntersection::Kind::kSegment);
+  EXPECT_TRUE(ApproxEqual(x.seg_a, Point(1, 0)));
+  EXPECT_TRUE(ApproxEqual(x.seg_b, Point(2, 0)));
+}
+
+TEST(Intersect, CollinearMeetIsPoint) {
+  SegIntersection x = Intersect(S(0, 0, 1, 0), S(1, 0, 2, 0));
+  ASSERT_EQ(x.kind, SegIntersection::Kind::kPoint);
+  EXPECT_TRUE(ApproxEqual(x.point, Point(1, 0)));
+}
+
+TEST(Intersect, ParallelNone) {
+  EXPECT_EQ(Intersect(S(0, 0, 1, 0), S(0, 1, 1, 1)).kind,
+            SegIntersection::Kind::kNone);
+}
+
+TEST(Intersect, NearMissOutsideParamRange) {
+  EXPECT_EQ(Intersect(S(0, 0, 1, 1), S(3, 0, 4, -5)).kind,
+            SegIntersection::Kind::kNone);
+}
+
+// -- distances ---------------------------------------------------------------
+
+TEST(SegDistance, PointToSegment) {
+  Seg s = S(0, 0, 4, 0);
+  EXPECT_DOUBLE_EQ(Distance(Point(2, 3), s), 3);   // Perpendicular foot.
+  EXPECT_DOUBLE_EQ(Distance(Point(-3, 4), s), 5);  // Clamped to endpoint.
+  EXPECT_DOUBLE_EQ(Distance(Point(2, 0), s), 0);
+}
+
+TEST(SegDistance, SegmentToSegment) {
+  EXPECT_DOUBLE_EQ(Distance(S(0, 0, 1, 0), S(0, 2, 1, 2)), 2);
+  EXPECT_DOUBLE_EQ(Distance(S(0, 0, 2, 2), S(0, 2, 2, 0)), 0);  // Crossing.
+  EXPECT_DOUBLE_EQ(Distance(S(0, 0, 1, 0), S(4, 0, 5, 0)), 3);
+}
+
+}  // namespace
+}  // namespace modb

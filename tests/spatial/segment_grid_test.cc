@@ -1,0 +1,99 @@
+#include "spatial/segment_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace modb {
+namespace {
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+TEST(SegmentGridTest, EmptyInput) {
+  std::vector<Seg> none;
+  SegmentGrid grid(none);
+  int visits = 0;
+  grid.VisitColumn(0, [&](int32_t) { ++visits; });
+  grid.VisitRow(0, [&](int32_t) { ++visits; });
+  grid.VisitCandidatePairs([&](int32_t, int32_t) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(SegmentGridTest, ColumnVisitCoversStabbedSegments) {
+  std::vector<Seg> segs = {S(0, 0, 10, 0), S(2, 5, 4, 5), S(20, 0, 30, 0)};
+  SegmentGrid grid(segs);
+  std::set<int32_t> hit;
+  grid.VisitColumn(3, [&](int32_t i) { hit.insert(i); });
+  // Soundness: every segment whose x-range contains 3 is visited.
+  EXPECT_TRUE(hit.count(0));
+  EXPECT_TRUE(hit.count(1));
+}
+
+TEST(SegmentGridTest, VisitsAreDeduplicated) {
+  // A long segment spans many cells of its column.
+  std::vector<Seg> segs = {S(5, 0, 5, 100), S(0, 0, 10, 1), S(0, 50, 10, 51)};
+  SegmentGrid grid(segs);
+  std::vector<int32_t> hits;
+  grid.VisitColumn(5, [&](int32_t i) { hits.push_back(i); });
+  std::vector<int32_t> sorted = hits;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(SegmentGridTest, CandidatePairsSound) {
+  // Every actually intersecting pair must appear among the candidates.
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> pos(0, 100);
+  std::vector<Seg> segs;
+  for (int i = 0; i < 60; ++i) {
+    Point a(pos(rng), pos(rng));
+    Point b(a.x + pos(rng) / 10 + 0.1, a.y + pos(rng) / 10 + 0.1);
+    segs.push_back(*Seg::Make(a, b));
+  }
+  SegmentGrid grid(segs);
+  std::set<std::pair<int32_t, int32_t>> candidates;
+  grid.VisitCandidatePairs([&](int32_t i, int32_t j) {
+    candidates.insert({i, j});
+    return true;
+  });
+  for (int32_t i = 0; i < 60; ++i) {
+    for (int32_t j = i + 1; j < 60; ++j) {
+      if (SegsIntersect(segs[std::size_t(i)], segs[std::size_t(j)])) {
+        EXPECT_TRUE(candidates.count({i, j}))
+            << "missing intersecting pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SegmentGridTest, CandidatePairsEarlyStop) {
+  std::vector<Seg> segs = {S(0, 0, 1, 1), S(0, 1, 1, 0), S(0, 0.5, 1, 0.5)};
+  SegmentGrid grid(segs);
+  int visited = 0;
+  grid.VisitCandidatePairs([&](int32_t, int32_t) {
+    ++visited;
+    return false;  // Stop immediately.
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(SegmentGridTest, RowVisitCoversStabbedSegments) {
+  std::vector<Seg> segs = {S(0, 0, 0, 10), S(5, 2, 5, 4), S(9, 20, 9, 30)};
+  SegmentGrid grid(segs);
+  std::set<int32_t> hit;
+  grid.VisitRow(3, [&](int32_t i) { hit.insert(i); });
+  EXPECT_TRUE(hit.count(0));
+  EXPECT_TRUE(hit.count(1));
+}
+
+}  // namespace
+}  // namespace modb

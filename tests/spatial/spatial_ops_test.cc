@@ -1,0 +1,132 @@
+#include "spatial/spatial_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+std::vector<Point> Square(double x0, double y0, double side) {
+  return {Point(x0, y0), Point(x0 + side, y0), Point(x0 + side, y0 + side),
+          Point(x0, y0 + side)};
+}
+
+Region Sq(double x0, double y0, double side) {
+  return *Region::FromPolygon(Square(x0, y0, side));
+}
+
+TEST(InsidePredicate, PointInRegion) {
+  Region r = Sq(0, 0, 4);
+  EXPECT_TRUE(Inside(Point(2, 2), r));
+  EXPECT_TRUE(Inside(Point(0, 2), r));  // Boundary counts.
+  EXPECT_FALSE(Inside(Point(5, 2), r));
+}
+
+TEST(InsidePredicate, PointsInRegion) {
+  Region r = Sq(0, 0, 4);
+  EXPECT_TRUE(Inside(Points::FromVector({{1, 1}, {2, 3}}), r));
+  EXPECT_FALSE(Inside(Points::FromVector({{1, 1}, {9, 9}}), r));
+  EXPECT_FALSE(Inside(Points(), r));  // Empty set: vacuous → false.
+}
+
+TEST(InsidePredicate, LineInRegion) {
+  Region r = Sq(0, 0, 4);
+  EXPECT_TRUE(Inside(*Line::Make({S(1, 1, 3, 3)}), r));
+  EXPECT_FALSE(Inside(*Line::Make({S(1, 1, 6, 6)}), r));
+  // Chord with endpoints on the boundary stays inside.
+  EXPECT_TRUE(Inside(*Line::Make({S(0, 0, 4, 4)}), r));
+}
+
+TEST(InsidePredicate, RegionInRegion) {
+  EXPECT_TRUE(Inside(Sq(1, 1, 2), Sq(0, 0, 4)));
+  EXPECT_FALSE(Inside(Sq(0, 0, 4), Sq(1, 1, 2)));
+  EXPECT_FALSE(Inside(Sq(3, 3, 4), Sq(0, 0, 4)));  // Partial overlap.
+  EXPECT_TRUE(Inside(Sq(0, 0, 4), Sq(0, 0, 4)));   // Subset of itself.
+}
+
+TEST(IntersectsPredicate, LineLine) {
+  Line a = *Line::Make({S(0, 0, 2, 2)});
+  EXPECT_TRUE(Intersects(a, *Line::Make({S(0, 2, 2, 0)})));
+  EXPECT_FALSE(Intersects(a, *Line::Make({S(3, 0, 4, 0)})));
+}
+
+TEST(IntersectsPredicate, LineRegion) {
+  Region r = Sq(0, 0, 4);
+  EXPECT_TRUE(Intersects(*Line::Make({S(-1, 2, 1, 2)}), r));  // Crosses in.
+  EXPECT_TRUE(Intersects(*Line::Make({S(1, 1, 2, 2)}), r));   // Fully inside.
+  EXPECT_FALSE(Intersects(*Line::Make({S(5, 5, 6, 6)}), r));
+}
+
+TEST(IntersectsPredicate, RegionRegion) {
+  EXPECT_TRUE(Intersects(Sq(0, 0, 4), Sq(2, 2, 4)));
+  EXPECT_FALSE(Intersects(Sq(0, 0, 1), Sq(5, 5, 1)));
+  EXPECT_TRUE(Intersects(Sq(0, 0, 4), Sq(1, 1, 1)));  // Containment.
+  EXPECT_TRUE(Intersects(Sq(1, 1, 1), Sq(0, 0, 4)));
+  EXPECT_TRUE(Intersects(Sq(0, 0, 1), Sq(1, 0, 1)));  // Shared edge.
+}
+
+TEST(LineClip, CrossingChordSplits) {
+  Region r = Sq(2, -1, 4);  // x ∈ [2, 6], y ∈ [-1, 3].
+  Line l = *Line::Make({S(0, 0, 10, 0)});
+  Line inside = Intersection(l, r);
+  ASSERT_EQ(inside.NumSegments(), 1u);
+  EXPECT_EQ(inside.segment(0), S(2, 0, 6, 0));
+  Line outside = Difference(l, r);
+  ASSERT_EQ(outside.NumSegments(), 2u);
+  EXPECT_DOUBLE_EQ(outside.Length(), 2 + 4);
+  EXPECT_DOUBLE_EQ(inside.Length() + outside.Length(), l.Length());
+}
+
+TEST(LineClip, FullyInsideOrOutside) {
+  Region r = Sq(0, 0, 10);
+  Line in = *Line::Make({S(1, 1, 3, 3)});
+  EXPECT_EQ(Intersection(in, r), in);
+  EXPECT_TRUE(Difference(in, r).IsEmpty());
+  Line out = *Line::Make({S(20, 20, 30, 30)});
+  EXPECT_TRUE(Intersection(out, r).IsEmpty());
+  EXPECT_EQ(Difference(out, r), out);
+}
+
+TEST(LineClip, HoleExcludedFromIntersection) {
+  Region r = *Region::FromRings(Square(0, 0, 10), {Square(4, 4, 2)});
+  Line l = *Line::Make({S(0, 5, 10, 5)});  // Crosses the hole.
+  Line inside = Intersection(l, r);
+  // Two pieces: [0,4] and [6,10] at y=5.
+  EXPECT_EQ(inside.NumSegments(), 2u);
+  EXPECT_DOUBLE_EQ(inside.Length(), 8);
+  Line in_hole = Difference(l, r);
+  ASSERT_EQ(in_hole.NumSegments(), 1u);
+  EXPECT_DOUBLE_EQ(in_hole.Length(), 2);
+}
+
+TEST(DistanceOps, PointToSets) {
+  EXPECT_DOUBLE_EQ(
+      SpatialDistance(Point(0, 0), Points::FromVector({{3, 4}, {6, 8}})), 5);
+  EXPECT_DOUBLE_EQ(SpatialDistance(Point(0, 3), *Line::Make({S(0, 0, 4, 0)})),
+                   3);
+  EXPECT_DOUBLE_EQ(SpatialDistance(Point(2, 2), Sq(0, 0, 4)), 0);
+  EXPECT_DOUBLE_EQ(SpatialDistance(Point(6, 2), Sq(0, 0, 4)), 2);
+}
+
+TEST(DistanceOps, LineLineAndRegionRegion) {
+  EXPECT_DOUBLE_EQ(SpatialDistance(*Line::Make({S(0, 0, 1, 0)}),
+                                   *Line::Make({S(0, 3, 1, 3)})),
+                   3);
+  EXPECT_DOUBLE_EQ(SpatialDistance(Sq(0, 0, 1), Sq(4, 0, 1)), 3);
+  EXPECT_DOUBLE_EQ(SpatialDistance(Sq(0, 0, 4), Sq(1, 1, 1)), 0);
+}
+
+TEST(DirectionOp, CompassDegrees) {
+  EXPECT_DOUBLE_EQ(Direction(Point(0, 0), Point(1, 0)), 0);
+  EXPECT_DOUBLE_EQ(Direction(Point(0, 0), Point(0, 1)), 90);
+  EXPECT_DOUBLE_EQ(Direction(Point(0, 0), Point(-1, 0)), 180);
+  EXPECT_DOUBLE_EQ(Direction(Point(0, 0), Point(0, -1)), 270);
+  EXPECT_DOUBLE_EQ(Direction(Point(0, 0), Point(1, 1)), 45);
+  EXPECT_EQ(Direction(Point(1, 1), Point(1, 1)), -1);  // Undefined.
+}
+
+}  // namespace
+}  // namespace modb

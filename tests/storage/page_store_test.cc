@@ -1,0 +1,100 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace modb {
+namespace {
+
+TEST(PageStoreTest, RoundTripSmall) {
+  PageStore store;
+  PageExtent e = store.Write("hello world");
+  EXPECT_EQ(e.num_pages, 1u);
+  EXPECT_EQ(e.num_bytes, 11u);
+  auto back = store.Read(e);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "hello world");
+}
+
+TEST(PageStoreTest, MultiPageExtent) {
+  PageStore store;
+  std::string big(kPageSize * 2 + 100, 'x');
+  big[kPageSize] = 'y';
+  PageExtent e = store.Write(big);
+  EXPECT_EQ(e.num_pages, 3u);
+  auto back = store.Read(e);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, big);
+}
+
+TEST(PageStoreTest, MultipleExtentsIndependent) {
+  PageStore store;
+  PageExtent a = store.Write("aaa");
+  PageExtent b = store.Write(std::string(kPageSize + 1, 'b'));
+  PageExtent c = store.Write("ccc");
+  EXPECT_EQ(*store.Read(a), "aaa");
+  EXPECT_EQ(*store.Read(c), "ccc");
+  EXPECT_EQ(store.Read(b)->size(), kPageSize + 1);
+  EXPECT_EQ(store.NumPages(), 4u);
+}
+
+TEST(PageStoreTest, EmptyWrite) {
+  PageStore store;
+  PageExtent e = store.Write("");
+  EXPECT_EQ(e.num_pages, 0u);
+  auto back = store.Read(e);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(PageStoreTest, OutOfRangeRejected) {
+  PageStore store;
+  store.Write("data");
+  PageExtent bogus{5, 2, 100};
+  EXPECT_FALSE(store.Read(bogus).ok());
+}
+
+TEST(PageStoreTest, InconsistentExtentRejected) {
+  PageStore store;
+  PageExtent e = store.Write("data");
+  e.num_bytes = uint32_t(kPageSize * 5);  // More bytes than pages.
+  EXPECT_FALSE(store.Read(e).ok());
+}
+
+TEST(PageStoreTest, SaveAndLoadFile) {
+  PageStore store;
+  PageExtent a = store.Write("persisted data");
+  PageExtent b = store.Write(std::string(kPageSize + 7, 'k'));
+  std::string path = ::testing::TempDir() + "/modb_pages.bin";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  auto loaded = PageStore::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumPages(), store.NumPages());
+  EXPECT_EQ(loaded->BytesUsed(), store.BytesUsed());
+  // Extents issued before saving stay valid against the reload.
+  EXPECT_EQ(*loaded->Read(a), "persisted data");
+  EXPECT_EQ(loaded->Read(b)->size(), kPageSize + 7);
+}
+
+TEST(PageStoreTest, LoadRejectsGarbageFile) {
+  std::string path = ::testing::TempDir() + "/modb_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a page file";
+  }
+  EXPECT_FALSE(PageStore::LoadFromFile(path).ok());
+  EXPECT_FALSE(PageStore::LoadFromFile("/nonexistent/nowhere.bin").ok());
+}
+
+TEST(PageStoreTest, UsageAccounting) {
+  PageStore store;
+  store.Write(std::string(100, 'a'));
+  store.Write(std::string(200, 'b'));
+  EXPECT_EQ(store.BytesUsed(), 300u);
+  EXPECT_EQ(store.BytesAllocated(), 2 * kPageSize);
+}
+
+}  // namespace
+}  // namespace modb

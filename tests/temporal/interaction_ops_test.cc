@@ -1,0 +1,239 @@
+// Tests for the domain/range interaction operations added on top of the
+// Section 5 algorithms: at/atrange/passes on moving reals, intersection
+// of a moving point with a line, and inside of a fixed point in a moving
+// region.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "gen/region_gen.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+MovingReal Ramp(double t0, double t1) {
+  // Value t on [t0, t1].
+  return *MovingReal::Make({*UReal::Make(TI(t0, t1), 0, 1, 0, false)});
+}
+
+TEST(MRealAt, IsolatedHits) {
+  MovingReal m = Ramp(0, 10);
+  MovingReal at5 = *At(m, 5.0);
+  ASSERT_EQ(at5.NumUnits(), 1u);
+  EXPECT_TRUE(at5.unit(0).interval().IsDegenerate());
+  EXPECT_DOUBLE_EQ(at5.unit(0).interval().start(), 5);
+  EXPECT_TRUE(At(m, 20.0)->IsEmpty());
+}
+
+TEST(MRealAt, ConstantUnitWholeInterval) {
+  MovingReal m = *MovingReal::Make({*UReal::Constant(TI(0, 4), 7)});
+  MovingReal at7 = *At(m, 7.0);
+  ASSERT_EQ(at7.NumUnits(), 1u);
+  EXPECT_EQ(at7.unit(0).interval(), TI(0, 4));
+}
+
+TEST(MRealAt, ParabolaTwoHits) {
+  // (t-5)²: value 4 at t=3 and t=7.
+  MovingReal m = *MovingReal::Make({*UReal::Make(TI(0, 10), 1, -10, 25, false)});
+  MovingReal at4 = *At(m, 4.0);
+  ASSERT_EQ(at4.NumUnits(), 2u);
+  EXPECT_DOUBLE_EQ(at4.unit(0).interval().start(), 3);
+  EXPECT_DOUBLE_EQ(at4.unit(1).interval().start(), 7);
+}
+
+TEST(MRealAtRange, RampWindow) {
+  MovingReal m = Ramp(0, 10);
+  MovingReal mid = *AtRange(m, 2.0, 5.0);
+  EXPECT_FALSE(mid.Present(1.9));
+  EXPECT_TRUE(mid.Present(2));
+  EXPECT_TRUE(mid.Present(3.5));
+  EXPECT_TRUE(mid.Present(5));
+  EXPECT_FALSE(mid.Present(5.1));
+  EXPECT_NEAR(mid.AtInstant(3).val(), 3, 1e-12);
+  EXPECT_FALSE(AtRange(m, 3, 2).ok());  // lo > hi rejected.
+}
+
+TEST(MRealAtRange, ParabolaDipsIntoRange) {
+  // (t-5)² + 1 on [0,10]: within [1, 2] for |t-5| <= 1.
+  MovingReal m = *MovingReal::Make({*UReal::Make(TI(0, 10), 1, -10, 26, false)});
+  MovingReal r = *AtRange(m, 1.0, 2.0);
+  ASSERT_EQ(r.NumUnits(), 1u);
+  EXPECT_NEAR(r.unit(0).interval().start(), 4, 1e-9);
+  EXPECT_NEAR(r.unit(0).interval().end(), 6, 1e-9);
+}
+
+TEST(MRealPasses, HitAndMiss) {
+  MovingReal m = Ramp(0, 10);
+  EXPECT_TRUE(Passes(m, 7.5));
+  EXPECT_FALSE(Passes(m, 11.0));
+  EXPECT_TRUE(Passes(*MovingReal::Make({*UReal::Constant(TI(0, 1), 3)}), 3.0));
+}
+
+TEST(MPointLineIntersection, TransversalCrossings) {
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 10), Point(0, 0), Point(10, 0))});
+  Line cross = *Line::Make({*Seg::Make(Point(3, -1), Point(3, 1)),
+                            *Seg::Make(Point(7, -1), Point(7, 1))});
+  MovingPoint on = *Intersection(mp, cross);
+  ASSERT_EQ(on.NumUnits(), 2u);
+  EXPECT_TRUE(on.unit(0).interval().IsDegenerate());
+  EXPECT_DOUBLE_EQ(on.unit(0).interval().start(), 3);
+  EXPECT_DOUBLE_EQ(on.unit(1).interval().start(), 7);
+  EXPECT_TRUE(ApproxEqual(on.AtInstant(3).val(), Point(3, 0)));
+}
+
+TEST(MPointLineIntersection, RidingAlongSegment) {
+  // The point travels along the x axis; the line contains [2,6]×{0}: the
+  // point is on the line during t ∈ [2, 6].
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 10), Point(0, 0), Point(10, 0))});
+  Line rail = *Line::Make({*Seg::Make(Point(2, 0), Point(6, 0))});
+  MovingPoint on = *Intersection(mp, rail);
+  ASSERT_EQ(on.NumUnits(), 1u);
+  EXPECT_DOUBLE_EQ(on.unit(0).interval().start(), 2);
+  EXPECT_DOUBLE_EQ(on.unit(0).interval().end(), 6);
+  EXPECT_TRUE(ApproxEqual(on.AtInstant(4).val(), Point(4, 0)));
+}
+
+TEST(MPointLineIntersection, StationaryOnLine) {
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::Static(TI(0, 5), Point(3, 0))});
+  Line rail = *Line::Make({*Seg::Make(Point(0, 0), Point(10, 0))});
+  MovingPoint on = *Intersection(mp, rail);
+  ASSERT_EQ(on.NumUnits(), 1u);
+  EXPECT_EQ(on.unit(0).interval(), TI(0, 5));
+  MovingPoint off = *Intersection(
+      *MovingPoint::Make({*UPoint::Static(TI(0, 5), Point(3, 2))}), rail);
+  EXPECT_TRUE(off.IsEmpty());
+}
+
+TEST(DistanceToMovingPoints, SwitchesToNearestMember) {
+  // Point moving right along y=0; two static members at (0, 5) and
+  // (10, 5): the nearer one switches at x=5, i.e. t=5.
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 10), Point(0, 0), Point(10, 0))});
+  MovingPoints mps = *MovingPoints::Make({*UPoints::Make(
+      TI(0, 10), {LinearMotion{0, 0, 5, 0}, LinearMotion{10, 0, 5, 0}})});
+  MovingReal d = *LiftedDistance(mp, mps);
+  // Oracle at sampled instants: min over members.
+  for (double t = 0; t <= 10; t += 0.25) {
+    Point p = mp.AtInstant(t).val();
+    double oracle = std::min(Distance(p, Point(0, 5)),
+                             Distance(p, Point(10, 5)));
+    EXPECT_NEAR(d.AtInstant(t).val(), oracle, 1e-9) << t;
+  }
+  // The switch instant produces a breakpoint: at least 2 units.
+  EXPECT_GE(d.NumUnits(), 2u);
+  EXPECT_NEAR(d.AtInstant(0).val(), 5, 1e-9);
+  EXPECT_NEAR(d.AtInstant(5).val(), std::hypot(5, 5), 1e-9);
+}
+
+TEST(DistanceToMovingPoints, MovingMembersOracle) {
+  std::mt19937_64 rng(31);
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 8), Point(0, 0), Point(40, 16))});
+  MovingPoints mps = *MovingPoints::Make({*UPoints::Make(
+      TI(0, 8), {LinearMotion{40, -4, 0, 1}, LinearMotion{0, 5, 30, -3},
+                 LinearMotion{20, 0, -10, 2}})});
+  MovingReal d = *LiftedDistance(mp, mps);
+  for (double t = 0.05; t < 8; t += 0.11) {
+    Point p = mp.AtInstant(t).val();
+    Points members = mps.AtInstant(t).val();
+    double oracle = kInfinity;
+    for (const Point& q : members.points()) {
+      oracle = std::min(oracle, Distance(p, q));
+    }
+    EXPECT_NEAR(d.AtInstant(t).val(), oracle, 1e-8 * (1 + oracle)) << t;
+  }
+}
+
+TEST(InsideMovingPoints, CoincidenceInstants) {
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 10), Point(0, 0), Point(10, 0))});
+  // One member crosses the moving point's path at t=5; another never.
+  MovingPoints mps = *MovingPoints::Make({*UPoints::Make(
+      TI(0, 10), {LinearMotion{10, -1, 0, 0}, LinearMotion{0, 0, 7, 0}})});
+  MovingBool in = *Inside(mp, mps);
+  EXPECT_FALSE(in.AtInstant(4.9).val());
+  EXPECT_TRUE(in.AtInstant(5).val());
+  EXPECT_FALSE(in.AtInstant(5.1).val());
+}
+
+TEST(InsideLine, DerivedFromIntersection) {
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 10), Point(0, 0), Point(10, 0))});
+  Line rail = *Line::Make({*Seg::Make(Point(2, 0), Point(6, 0))});
+  MovingBool on = *Inside(mp, rail);
+  EXPECT_FALSE(on.AtInstant(1).val());
+  EXPECT_TRUE(on.AtInstant(4).val());
+  EXPECT_FALSE(on.AtInstant(8).val());
+  // Defined on all of mp's deftime.
+  EXPECT_TRUE(on.Present(0));
+  EXPECT_TRUE(on.Present(10));
+  Periods when = WhenTrue(on);
+  ASSERT_EQ(when.NumIntervals(), 1u);
+  EXPECT_DOUBLE_EQ(when.interval(0).start(), 2);
+  EXPECT_DOUBLE_EQ(when.interval(0).end(), 6);
+}
+
+TEST(PointInsideMovingRegion, RegionSweepsOverPoint) {
+  // A square translating right passes over the fixed point (20, 0).
+  std::mt19937_64 rng(1);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 4;
+  opts.shape.jitter = 0;
+  opts.shape.radius = 3;
+  opts.shape.center = Point(0, 0);
+  opts.num_units = 1;
+  opts.unit_duration = 10;
+  opts.drift = Point(40, 0);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  Point p(20, 0);
+  MovingBool in = *Inside(p, mr);
+  // Diamond radius 3, center x(t) = 4t: covers x=20 for |4t - 20| <= 3.
+  EXPECT_FALSE(in.AtInstant(4).val());
+  EXPECT_TRUE(in.AtInstant(5).val());
+  EXPECT_FALSE(in.AtInstant(6).val());
+  Periods when = WhenTrue(in);
+  ASSERT_EQ(when.NumIntervals(), 1u);
+  EXPECT_NEAR(when.interval(0).start(), 17.0 / 4, 1e-9);
+  EXPECT_NEAR(when.interval(0).end(), 23.0 / 4, 1e-9);
+  EXPECT_TRUE(Passes(mr, p));
+  EXPECT_FALSE(Passes(mr, Point(20, 50)));
+}
+
+TEST(PointInsideMovingRegion, OracleAgreement) {
+  std::mt19937_64 rng(14);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 9;
+  opts.shape.jitter = 0.25;
+  opts.shape.radius = 30;
+  opts.shape.center = Point(0, 0);
+  opts.num_units = 3;
+  opts.unit_duration = 6;
+  opts.drift = Point(25, 10);
+  opts.drift_alternation = Point(3, 2);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  std::uniform_real_distribution<double> px(-40, 120);
+  std::uniform_real_distribution<double> py(-40, 80);
+  for (int i = 0; i < 25; ++i) {
+    Point p(px(rng), py(rng));
+    MovingBool in = *Inside(p, mr);
+    for (double t = 0.1; t < 18; t += 0.37) {
+      std::size_t ui = *mr.FindUnit(t);
+      bool oracle = EvenOddContains(mr.unit(ui).Snapshot(t), p);
+      EXPECT_EQ(in.AtInstant(t).val(), oracle)
+          << "p=" << p.ToString() << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace modb

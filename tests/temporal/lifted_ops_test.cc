@@ -1,0 +1,488 @@
+#include "temporal/lifted_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "gen/region_gen.h"
+#include "gen/trajectory_gen.h"
+#include "spatial/region_builder.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+MovingPoint LinearMP(double t0, double t1, Point p0, Point p1) {
+  return *MovingPoint::Make({*UPoint::FromEndpoints(TI(t0, t1), p0, p1)});
+}
+
+// -- moving(bool) ------------------------------------------------------------
+
+TEST(MovingBoolOps, NotFlipsValues) {
+  MovingBool b = *MovingBool::Make({*UBool::Make(TI(0, 1), true),
+                                    *UBool::Make(TI(2, 3), false)});
+  MovingBool n = Not(b);
+  EXPECT_FALSE(n.AtInstant(0.5).val());
+  EXPECT_TRUE(n.AtInstant(2.5).val());
+}
+
+TEST(MovingBoolOps, AndOrOnOverlap) {
+  MovingBool a = *MovingBool::Make({*UBool::Make(TI(0, 10), true)});
+  MovingBool b = *MovingBool::Make({*UBool::Make(TI(5, 15), false)});
+  MovingBool c = *And(a, b);
+  EXPECT_FALSE(c.Present(2));  // Only defined where both are.
+  EXPECT_FALSE(c.AtInstant(7).val());
+  MovingBool d = *Or(a, b);
+  EXPECT_TRUE(d.AtInstant(7).val());
+}
+
+TEST(MovingBoolOps, WhenTrueCollectsPeriods) {
+  MovingBool b = *MovingBool::Make({*UBool::Make(TI(0, 1), true),
+                                    *UBool::Make(TI(2, 3), false),
+                                    *UBool::Make(TI(4, 5), true)});
+  Periods p = WhenTrue(b);
+  ASSERT_EQ(p.NumIntervals(), 2u);
+  EXPECT_TRUE(p.Contains(0.5));
+  EXPECT_FALSE(p.Contains(2.5));
+  EXPECT_TRUE(p.Contains(4.5));
+}
+
+// -- lifted distance ----------------------------------------------------------
+
+TEST(LiftedDistanceTest, HeadOnApproach) {
+  // Two points approaching on the x axis, meeting at t=5.
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint q = LinearMP(0, 10, Point(10, 0), Point(0, 0));
+  MovingReal d = *LiftedDistance(p, q);
+  ASSERT_EQ(d.NumUnits(), 1u);
+  EXPECT_TRUE(d.unit(0).root());
+  EXPECT_NEAR(d.AtInstant(0).val(), 10, 1e-9);
+  EXPECT_NEAR(d.AtInstant(5).val(), 0, 1e-9);
+  EXPECT_NEAR(d.AtInstant(7.5).val(), 5, 1e-9);
+}
+
+TEST(LiftedDistanceTest, MatchesPointwiseOracle) {
+  std::mt19937_64 rng(7);
+  TrajectoryOptions opts;
+  opts.num_units = 8;
+  MovingPoint p = *RandomWalkPoint(rng, opts);
+  MovingPoint q = *RandomWalkPoint(rng, opts);
+  MovingReal d = *LiftedDistance(p, q);
+  for (double t = 0; t <= 8; t += 0.1) {
+    Intime<Point> vp = p.AtInstant(t), vq = q.AtInstant(t);
+    if (!vp.defined || !vq.defined) continue;
+    EXPECT_NEAR(d.AtInstant(t).val(), Distance(vp.val(), vq.val()), 1e-6)
+        << t;
+  }
+}
+
+TEST(LiftedDistanceTest, ToFixedPoint) {
+  MovingPoint p = LinearMP(0, 10, Point(0, 3), Point(10, 3));
+  MovingReal d = *LiftedDistance(p, Point(5, 0));
+  // Closest at t=5: distance 3.
+  EXPECT_NEAR(d.AtInstant(5).val(), 3, 1e-9);
+  EXPECT_NEAR(d.AtInstant(0).val(), std::sqrt(34), 1e-9);
+}
+
+TEST(LiftedDistanceTest, PartialOverlapOnlyWhereBothDefined) {
+  MovingPoint p = LinearMP(0, 5, Point(0, 0), Point(5, 0));
+  MovingPoint q = LinearMP(3, 8, Point(0, 1), Point(5, 1));
+  MovingReal d = *LiftedDistance(p, q);
+  EXPECT_FALSE(d.Present(2));
+  EXPECT_TRUE(d.Present(4));
+  EXPECT_FALSE(d.Present(6));
+}
+
+// -- min/max and atmin --------------------------------------------------------
+
+TEST(MinMaxValue, OverUnits) {
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint q = LinearMP(0, 10, Point(10, 0), Point(0, 0));
+  MovingReal d = *LiftedDistance(p, q);
+  EXPECT_NEAR(*MinValue(d), 0, 1e-9);
+  EXPECT_NEAR(*MaxValue(d), 10, 1e-9);
+  EXPECT_FALSE(MinValue(MovingReal()).has_value());
+}
+
+TEST(AtMinTest, IsolatedMinimumInstant) {
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint q = LinearMP(0, 10, Point(10, 0), Point(0, 0));
+  MovingReal am = *AtMin(*LiftedDistance(p, q));
+  ASSERT_EQ(am.NumUnits(), 1u);
+  EXPECT_TRUE(am.unit(0).interval().IsDegenerate());
+  EXPECT_DOUBLE_EQ(am.unit(0).interval().start(), 5);
+  // The paper's query pipeline: val(initial(atmin(...))).
+  EXPECT_NEAR(am.Initial().val(), 0, 1e-9);
+  EXPECT_DOUBLE_EQ(am.Initial().inst(), 5);
+}
+
+TEST(AtMinTest, ConstantUnitKeepsWholeInterval) {
+  MovingReal m = *MovingReal::Make(
+      {*UReal::Constant(TI(0, 2, true, false), 1.0),
+       *UReal::Constant(TI(2, 4), 5.0)});
+  MovingReal am = *AtMin(m);
+  ASSERT_EQ(am.NumUnits(), 1u);
+  EXPECT_EQ(am.unit(0).interval(), TI(0, 2, true, false));
+}
+
+TEST(AtMaxTest, EndpointMaximum) {
+  // Increasing t on [0,4]: max at t=4.
+  MovingReal m = *MovingReal::Make({*UReal::Make(TI(0, 4), 0, 1, 0, false)});
+  MovingReal am = *AtMax(m);
+  ASSERT_EQ(am.NumUnits(), 1u);
+  EXPECT_DOUBLE_EQ(am.unit(0).interval().start(), 4);
+  EXPECT_NEAR(am.Initial().val(), 4, 1e-9);
+}
+
+// -- lifted comparison ---------------------------------------------------------
+
+TEST(CompareTest, DistanceBelowThreshold) {
+  // The Section-2 join predicate shape: distance < c.
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint q = LinearMP(0, 10, Point(10, 0), Point(0, 0));
+  MovingBool lt = *Compare(*LiftedDistance(p, q), 2.0, CmpOp::kLt);
+  // |10 - 2t| < 2 ⇔ t ∈ (4, 6).
+  EXPECT_FALSE(lt.AtInstant(3.9).val());
+  EXPECT_TRUE(lt.AtInstant(5).val());
+  EXPECT_FALSE(lt.AtInstant(6.1).val());
+  Periods when = WhenTrue(lt);
+  ASSERT_EQ(when.NumIntervals(), 1u);
+  EXPECT_NEAR(when.interval(0).start(), 4, 1e-9);
+  EXPECT_NEAR(when.interval(0).end(), 6, 1e-9);
+  EXPECT_FALSE(when.interval(0).left_closed());
+}
+
+TEST(CompareTest, BoundaryBelongsToLe) {
+  MovingReal m = *MovingReal::Make({*UReal::Make(TI(0, 10), 0, 1, 0, false)});
+  MovingBool le = *Compare(m, 5.0, CmpOp::kLe);
+  EXPECT_TRUE(le.AtInstant(5).val());
+  MovingBool lt = *Compare(m, 5.0, CmpOp::kLt);
+  EXPECT_FALSE(lt.AtInstant(5).val());
+  MovingBool eq = *Compare(m, 5.0, CmpOp::kEq);
+  EXPECT_TRUE(eq.AtInstant(5).val());
+  EXPECT_FALSE(eq.AtInstant(5.01).val());
+  MovingBool ne = *Compare(m, 5.0, CmpOp::kNe);
+  EXPECT_FALSE(ne.AtInstant(5).val());
+  EXPECT_TRUE(ne.AtInstant(6).val());
+}
+
+TEST(CompareTest, ConstantUnitWholeInterval) {
+  MovingReal m = *MovingReal::Make({*UReal::Constant(TI(0, 10), 3)});
+  EXPECT_TRUE(Compare(m, 3.0, CmpOp::kEq)->AtInstant(7).val());
+  EXPECT_FALSE(Compare(m, 3.0, CmpOp::kLt)->AtInstant(7).val());
+  EXPECT_TRUE(Compare(m, 4.0, CmpOp::kLt)->AtInstant(7).val());
+}
+
+TEST(CompareTest, TwoMovingReals) {
+  MovingReal a = *MovingReal::Make({*UReal::Make(TI(0, 10), 0, 1, 0, false)});
+  MovingReal b = *MovingReal::Make({*UReal::Constant(TI(0, 10), 4)});
+  MovingBool lt = *Compare(a, b, CmpOp::kLt);
+  EXPECT_TRUE(lt.AtInstant(3).val());
+  EXPECT_FALSE(lt.AtInstant(5).val());
+  EXPECT_FALSE(lt.AtInstant(4).val());
+}
+
+TEST(CompareTest, RootVsRootComparesRadicands) {
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint q1 = LinearMP(0, 10, Point(10, 0), Point(0, 0));
+  MovingPoint q2 = LinearMP(0, 10, Point(0, 4), Point(10, 4));  // Dist 4.
+  MovingReal d1 = *LiftedDistance(p, q1);
+  MovingReal d2 = *LiftedDistance(p, q2);
+  MovingBool lt = *Compare(d1, d2, CmpOp::kLt);
+  // |10-2t| < 4 ⇔ t ∈ (3, 7).
+  EXPECT_FALSE(lt.AtInstant(2).val());
+  EXPECT_TRUE(lt.AtInstant(5).val());
+  EXPECT_FALSE(lt.AtInstant(8).val());
+}
+
+TEST(CompareTest, RootVsNonConstantUnimplemented) {
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingReal d = *LiftedDistance(p, Point(0, 0));
+  MovingReal ramp = *MovingReal::Make({*UReal::Make(TI(0, 10), 0, 1, 0, false)});
+  EXPECT_EQ(Compare(d, ramp, CmpOp::kLt).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(PlusMinusTest, QuadraticArithmetic) {
+  MovingReal a = *MovingReal::Make({*UReal::Make(TI(0, 5), 1, 0, 0, false)});
+  MovingReal b = *MovingReal::Make({*UReal::Make(TI(0, 5), 0, 2, 1, false)});
+  MovingReal s = *Plus(a, b);
+  EXPECT_NEAR(s.AtInstant(2).val(), 4 + 5, 1e-9);
+  MovingReal d = *Minus(a, b);
+  EXPECT_NEAR(d.AtInstant(2).val(), 4 - 5, 1e-9);
+  MovingPoint p = LinearMP(0, 5, Point(0, 0), Point(5, 0));
+  MovingReal rooted = *LiftedDistance(p, Point(0, 1));
+  EXPECT_EQ(Plus(a, rooted).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(RangeValuesTest, ProjectionOntoRange) {
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint q = LinearMP(0, 10, Point(10, 0), Point(0, 0));
+  RealRange r = RangeValues(*LiftedDistance(p, q));
+  ASSERT_EQ(r.NumIntervals(), 1u);
+  EXPECT_NEAR(r.interval(0).start(), 0, 1e-9);
+  EXPECT_NEAR(r.interval(0).end(), 10, 1e-9);
+}
+
+// -- trajectory / speed / direction -------------------------------------------
+
+TEST(TrajectoryTest, StraightPathOneSegment) {
+  // Two units along the same line merge into one trajectory segment.
+  MovingPoint m = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 1, true, false), Point(0, 0), Point(1, 1)),
+       *UPoint::FromEndpoints(TI(1, 2), Point(1, 1), Point(3, 3))});
+  Line t = Trajectory(m);
+  ASSERT_EQ(t.NumSegments(), 1u);
+  EXPECT_DOUBLE_EQ(t.Length(), std::sqrt(18));
+}
+
+TEST(TrajectoryTest, StationaryEpisodesSkipped) {
+  MovingPoint m = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 1, true, false), Point(0, 0), Point(1, 0)),
+       *UPoint::Static(TI(1, 2, true, false), Point(1, 0)),
+       *UPoint::FromEndpoints(TI(2, 3), Point(1, 0), Point(1, 5))});
+  Line t = Trajectory(m);
+  EXPECT_EQ(t.NumSegments(), 2u);
+  Points locs = Locations(m);
+  ASSERT_EQ(locs.Size(), 1u);
+  EXPECT_EQ(locs.point(0), Point(1, 0));
+}
+
+TEST(SpeedTest, PiecewiseConstant) {
+  MovingPoint m = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 1, true, false), Point(0, 0), Point(3, 4)),
+       *UPoint::Static(TI(1, 2), Point(3, 4))});
+  MovingReal s = *Speed(m);
+  EXPECT_NEAR(s.AtInstant(0.5).val(), 5, 1e-9);
+  EXPECT_NEAR(s.AtInstant(1.5).val(), 0, 1e-9);
+}
+
+TEST(MDirectionTest, HeadingDegrees) {
+  MovingPoint m = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 1), Point(0, 0), Point(1, 1))});
+  MovingReal d = *MDirection(m);
+  EXPECT_NEAR(d.AtInstant(0.5).val(), 45, 1e-9);
+}
+
+TEST(VelocityTest, ConstantVector) {
+  MovingPoint m = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 2), Point(0, 0), Point(4, 2))});
+  MovingPoint v = *Velocity(m);
+  Intime<Point> at1 = v.AtInstant(1);
+  EXPECT_NEAR(at1.val().x, 2, 1e-9);
+  EXPECT_NEAR(at1.val().y, 1, 1e-9);
+}
+
+// -- passes / at ----------------------------------------------------------------
+
+TEST(PassesTest, HitAndMiss) {
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  EXPECT_TRUE(Passes(m, Point(3, 0)));
+  EXPECT_FALSE(Passes(m, Point(3, 1)));
+}
+
+TEST(AtPointTest, RestrictsToVisitInstant) {
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint at3 = *At(m, Point(3, 0));
+  ASSERT_EQ(at3.NumUnits(), 1u);
+  EXPECT_TRUE(at3.unit(0).interval().IsDegenerate());
+  EXPECT_DOUBLE_EQ(at3.unit(0).interval().start(), 3);
+}
+
+TEST(EqualsTest, MeetingPoints) {
+  MovingPoint p = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint q = LinearMP(0, 10, Point(10, 0), Point(0, 0));
+  MovingBool eq = *Equals(p, q);
+  EXPECT_FALSE(eq.AtInstant(4.9).val());
+  EXPECT_TRUE(eq.AtInstant(5).val());
+  EXPECT_FALSE(eq.AtInstant(5.1).val());
+  // Identical trajectories → true throughout.
+  MovingBool same = *Equals(p, p);
+  EXPECT_TRUE(same.AtInstant(2).val());
+  EXPECT_TRUE(same.AtInstant(9).val());
+}
+
+// -- inside (Section 5.2) -------------------------------------------------------
+
+TEST(InsideStaticRegion, CrossThrough) {
+  Region r = *Region::FromPolygon(
+      {Point(4, -2), Point(8, -2), Point(8, 2), Point(4, 2)});
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingBool in = *Inside(m, r);
+  EXPECT_FALSE(in.AtInstant(2).val());
+  EXPECT_TRUE(in.AtInstant(6).val());
+  EXPECT_FALSE(in.AtInstant(9).val());
+  // Entry/exit instants are on the boundary → inside (closed region).
+  EXPECT_TRUE(in.AtInstant(4).val());
+  EXPECT_TRUE(in.AtInstant(8).val());
+  Periods when = WhenTrue(in);
+  ASSERT_EQ(when.NumIntervals(), 1u);
+  EXPECT_NEAR(when.interval(0).start(), 4, 1e-9);
+  EXPECT_NEAR(when.interval(0).end(), 8, 1e-9);
+}
+
+TEST(InsideStaticRegion, StartingInside) {
+  Region r = *Region::FromPolygon(
+      {Point(-2, -2), Point(2, -2), Point(2, 2), Point(-2, 2)});
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingBool in = *Inside(m, r);
+  EXPECT_TRUE(in.AtInstant(0).val());
+  EXPECT_TRUE(in.AtInstant(2).val());
+  EXPECT_FALSE(in.AtInstant(3).val());
+}
+
+TEST(InsideStaticRegion, NeverInsideWithBBoxShortcut) {
+  Region r = *Region::FromPolygon(
+      {Point(100, 100), Point(101, 100), Point(101, 101), Point(100, 101)});
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingBool in = *Inside(m, r);
+  ASSERT_EQ(in.NumUnits(), 1u);
+  EXPECT_FALSE(in.AtInstant(5).val());
+  EXPECT_TRUE(in.Present(0));
+}
+
+TEST(InsideStaticRegion, HoleExcluded) {
+  Region r = *Region::FromRings(
+      {Point(0, -5), Point(10, -5), Point(10, 5), Point(0, 5)},
+      {{Point(4, -1), Point(6, -1), Point(6, 1), Point(4, 1)}});
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingBool in = *Inside(m, r);
+  EXPECT_TRUE(in.AtInstant(2).val());
+  EXPECT_FALSE(in.AtInstant(5).val());  // Inside the hole.
+  EXPECT_TRUE(in.AtInstant(8).val());
+}
+
+TEST(InsideStaticRegion, MultipleCrossingsAlternate) {
+  // Section 5.2: "even a linearly moving point within a single upoint
+  // unit can enter and leave the region several times" — two faces.
+  std::vector<Seg> segs;
+  for (double x0 : {2.0, 6.0}) {
+    std::vector<Point> sq = {Point(x0, -1), Point(x0 + 2, -1),
+                             Point(x0 + 2, 1), Point(x0, 1)};
+    for (int i = 0; i < 4; ++i) {
+      segs.push_back(*Seg::Make(sq[std::size_t(i)], sq[std::size_t((i + 1) % 4)]));
+    }
+  }
+  Region r = *RegionBuilder::Close(segs);
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingBool in = *Inside(m, r);
+  EXPECT_FALSE(in.AtInstant(1).val());
+  EXPECT_TRUE(in.AtInstant(3).val());
+  EXPECT_FALSE(in.AtInstant(5).val());
+  EXPECT_TRUE(in.AtInstant(7).val());
+  EXPECT_FALSE(in.AtInstant(9).val());
+  EXPECT_EQ(WhenTrue(in).NumIntervals(), 2u);
+}
+
+TEST(InsideMovingRegion, ChasedByRegion) {
+  // A square chasing the point from behind: the point starts inside,
+  // escapes... actually: region moves right at speed 2, point at speed 1.
+  std::mt19937_64 rng(3);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 4;
+  opts.shape.jitter = 0;
+  opts.shape.radius = 3;
+  opts.shape.center = Point(0, 0);
+  opts.num_units = 1;
+  opts.unit_duration = 10;
+  opts.drift = Point(20, 0);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  // Point moving right slowly from the region's center.
+  MovingPoint mp = LinearMP(0, 10, Point(0, 0), Point(5, 0));
+  MovingBool in = *Inside(mp, mr);
+  EXPECT_TRUE(in.AtInstant(0).val());
+  // The region's trailing edge (starting at x=-3, speed 2) passes the
+  // point (x=t/2·... point x = 0.5t; edge x = -3 + 2t): catch at t=2.
+  EXPECT_FALSE(in.AtInstant(4).val());
+}
+
+TEST(InsideMovingRegion, OracleAgreement) {
+  // Dense-time oracle: inside(mp, mr) at t must equal the plumbline test
+  // on the evaluated snapshots.
+  std::mt19937_64 rng(11);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 8;
+  opts.shape.jitter = 0.2;
+  opts.shape.radius = 40;
+  opts.shape.center = Point(50, 50);
+  opts.num_units = 3;
+  opts.unit_duration = 5;
+  opts.drift = Point(15, 5);
+  opts.drift_alternation = Point(2, 3);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  TrajectoryOptions topts;
+  topts.num_units = 15;
+  topts.extent = 150;
+  topts.max_step = 30;
+  MovingPoint mp = *RandomWalkPoint(rng, topts);
+  MovingBool in = *Inside(mp, mr);
+  int checked = 0;
+  for (double t = 0.05; t < 15; t += 0.1) {
+    Intime<bool> v = in.AtInstant(t);
+    if (!mp.Present(t) || !mr.Present(t)) {
+      EXPECT_FALSE(v.defined) << t;
+      continue;
+    }
+    ASSERT_TRUE(v.defined) << t;
+    std::size_t ui = *mr.FindUnit(t);
+    bool oracle = EvenOddContains(mr.unit(ui).Snapshot(t),
+                                  mp.AtInstant(t).val());
+    EXPECT_EQ(v.val(), oracle) << "t=" << t;
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+// Seed sweep of the oracle test: many random walk / drifting-region
+// configurations, each checked densely against the plumbline.
+class InsideOracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InsideOracleSweep, MatchesPlumblineDensely) {
+  std::mt19937_64 rng(uint64_t(GetParam()) * 7919 + 13);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 5 + GetParam() % 7;
+  opts.shape.jitter = 0.3;
+  opts.shape.radius = 25 + GetParam();
+  opts.shape.center = Point(40, 40);
+  opts.num_units = 2 + GetParam() % 3;
+  opts.unit_duration = 5;
+  opts.drift = Point(10.0 + GetParam(), 5.0 - GetParam() % 11);
+  opts.drift_alternation = Point(1 + GetParam() % 3, 2);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  TrajectoryOptions topts;
+  topts.num_units = 12;
+  topts.unit_duration = double(opts.num_units) * opts.unit_duration / 12;
+  topts.extent = 140;
+  topts.max_step = 35;
+  MovingPoint mp = *RandomWalkPoint(rng, topts);
+  MovingBool in = *Inside(mp, mr);
+  double t_end = double(opts.num_units) * opts.unit_duration;
+  for (double t = 0.013; t < t_end; t += 0.083) {
+    if (!mp.Present(t) || !mr.Present(t)) continue;
+    bool oracle = EvenOddContains(mr.unit(*mr.FindUnit(t)).Snapshot(t),
+                                  mp.AtInstant(t).val());
+    ASSERT_TRUE(in.AtInstant(t).defined) << t;
+    EXPECT_EQ(in.AtInstant(t).val(), oracle) << "seed=" << GetParam()
+                                             << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InsideOracleSweep, ::testing::Range(0, 12));
+
+TEST(AtRegionTest, RestrictionMatchesWhenTrue) {
+  Region r = *Region::FromPolygon(
+      {Point(4, -2), Point(8, -2), Point(8, 2), Point(4, 2)});
+  MovingPoint m = LinearMP(0, 10, Point(0, 0), Point(10, 0));
+  MovingPoint inside_part = *At(m, r);
+  EXPECT_FALSE(inside_part.Present(2));
+  EXPECT_TRUE(inside_part.Present(5));
+  EXPECT_NEAR(inside_part.AtInstant(5).val().x, 5, 1e-9);
+  EXPECT_NEAR(Trajectory(inside_part).Length(), 4, 1e-6);
+}
+
+}  // namespace
+}  // namespace modb

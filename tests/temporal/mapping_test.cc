@@ -1,0 +1,209 @@
+#include "temporal/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+UBool UB(double s, double e, bool v, bool lc = true, bool rc = true) {
+  return *UBool::Make(TI(s, e, lc, rc), v);
+}
+
+TEST(MappingMake, SortsUnitsByInterval) {
+  auto m = MovingBool::Make({UB(4, 5, true), UB(0, 1, false)});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->unit(0).interval().start(), 0);
+  EXPECT_EQ(m->unit(1).interval().start(), 4);
+}
+
+TEST(MappingMake, RejectsOverlappingIntervals) {
+  EXPECT_FALSE(MovingBool::Make({UB(0, 2, true), UB(1, 3, false)}).ok());
+}
+
+TEST(MappingMake, RejectsAdjacentEqualValues) {
+  // Mapping constraint (ii): adjacent intervals must carry distinct unit
+  // functions (minimal representation).
+  EXPECT_FALSE(MovingBool::Make({UB(0, 1, true, true, false),
+                                 UB(1, 2, true)}).ok());
+}
+
+TEST(MappingMake, AdjacentDistinctValuesOk) {
+  EXPECT_TRUE(MovingBool::Make({UB(0, 1, true, true, false),
+                                UB(1, 2, false)}).ok());
+}
+
+TEST(MappingMake, GapAllowsEqualValues) {
+  // [0,1) and (1,2]: not adjacent (instant 1 missing) → equal values fine.
+  EXPECT_TRUE(MovingBool::Make({UB(0, 1, true, true, false),
+                                UB(1, 2, true, false, true)}).ok());
+}
+
+TEST(MappingFindUnit, BinaryVsLinearAgree) {
+  std::vector<UBool> units;
+  for (int i = 0; i < 20; ++i) {
+    units.push_back(UB(2 * i, 2 * i + 1, i % 2 == 0));
+  }
+  MovingBool m = *MovingBool::Make(units);
+  for (double t = -1; t < 41; t += 0.25) {
+    EXPECT_EQ(m.FindUnit(t), m.FindUnitLinear(t)) << t;
+  }
+}
+
+TEST(MappingAtInstant, DefinedAndUndefined) {
+  MovingBool m = *MovingBool::Make({UB(0, 1, true), UB(2, 3, false)});
+  EXPECT_TRUE(m.AtInstant(0.5).defined);
+  EXPECT_TRUE(m.AtInstant(0.5).val());
+  EXPECT_FALSE(m.AtInstant(2.5).val());
+  EXPECT_FALSE(m.AtInstant(1.5).defined);  // In the gap.
+  EXPECT_FALSE(m.AtInstant(-1).defined);
+}
+
+TEST(MappingPresent, InstantAndPeriods) {
+  MovingBool m = *MovingBool::Make({UB(0, 1, true), UB(2, 3, false)});
+  EXPECT_TRUE(m.Present(0.5));
+  EXPECT_FALSE(m.Present(1.5));
+  EXPECT_TRUE(m.Present(Periods::FromIntervals({TI(1.2, 2.2)})));
+  EXPECT_FALSE(m.Present(Periods::FromIntervals({TI(1.2, 1.8)})));
+}
+
+TEST(MappingDefTime, MergesAdjacentUnits) {
+  MovingBool m = *MovingBool::Make(
+      {UB(0, 1, true, true, false), UB(1, 2, false), UB(5, 6, true)});
+  Periods dt = m.DefTime();
+  ASSERT_EQ(dt.NumIntervals(), 2u);
+  EXPECT_EQ(dt.interval(0), TI(0, 2));
+  EXPECT_EQ(dt.interval(1), TI(5, 6));
+}
+
+TEST(MappingAtPeriods, SlicesUnits) {
+  MovingBool m = *MovingBool::Make({UB(0, 10, true)});
+  auto r = m.AtPeriods(Periods::FromIntervals({TI(2, 3), TI(5, 6)}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumUnits(), 2u);
+  EXPECT_EQ(r->unit(0).interval(), TI(2, 3));
+  EXPECT_EQ(r->unit(1).interval(), TI(5, 6));
+  EXPECT_TRUE(r->AtInstant(2.5).val());
+  EXPECT_FALSE(r->Present(4));
+}
+
+TEST(MappingAtPeriods, EmptyIntersection) {
+  MovingBool m = *MovingBool::Make({UB(0, 1, true)});
+  auto r = m.AtPeriods(Periods::FromIntervals({TI(5, 6)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsEmpty());
+}
+
+TEST(MappingInitialFinal, FirstAndLastValues) {
+  MovingReal m = *MovingReal::Make(
+      {*UReal::Make(TI(0, 1), 0, 1, 0, false),      // t on [0,1].
+       *UReal::Make(TI(2, 3), 0, 0, 42, false)});   // 42 on [2,3].
+  Intime<double> init = m.Initial();
+  EXPECT_TRUE(init.defined);
+  EXPECT_DOUBLE_EQ(init.inst(), 0);
+  EXPECT_DOUBLE_EQ(init.val(), 0);
+  Intime<double> fin = m.Final();
+  EXPECT_DOUBLE_EQ(fin.inst(), 3);
+  EXPECT_DOUBLE_EQ(fin.val(), 42);
+  EXPECT_FALSE(MovingReal().Initial().defined);
+}
+
+TEST(MappingBuilderTest, MergesEqualAdjacent) {
+  MappingBuilder<UBool> b;
+  ASSERT_TRUE(b.Append(UB(0, 1, true, true, false)).ok());
+  ASSERT_TRUE(b.Append(UB(1, 2, true, true, false)).ok());
+  ASSERT_TRUE(b.Append(UB(2, 3, false)).ok());
+  auto m = b.Build();
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->NumUnits(), 2u);
+  EXPECT_EQ(m->unit(0).interval(), TI(0, 2, true, false));
+}
+
+TEST(MappingBuilderTest, RejectsOutOfOrder) {
+  MappingBuilder<UBool> b;
+  ASSERT_TRUE(b.Append(UB(2, 3, true)).ok());
+  EXPECT_FALSE(b.Append(UB(0, 1, false)).ok());
+}
+
+TEST(MappingBuilderTest, RejectsOverlap) {
+  MappingBuilder<UBool> b;
+  ASSERT_TRUE(b.Append(UB(0, 2, true)).ok());
+  EXPECT_FALSE(b.Append(UB(1, 3, false)).ok());
+}
+
+// Table 3 oracle: the discrete mapping(upoint), evaluated densely, must
+// coincide with the abstract moving(point) function it represents.
+TEST(MappingOracle, SlicedRepresentationMatchesAbstractFunction) {
+  // Abstract function: x(t) = t, y(t) piecewise linear through the
+  // waypoints y_i = i² at slice boundaries t_i = 2i. Velocities differ
+  // per slice, so the 5-unit representation is already minimal.
+  auto wy = [](int i) { return double(i * i); };
+  std::vector<UPoint> units;
+  for (int i = 0; i < 5; ++i) {
+    double t0 = 2.0 * i, t1 = 2.0 * (i + 1);
+    units.push_back(*UPoint::FromEndpoints(TI(t0, t1, true, i == 4),
+                                           Point(t0, wy(i)),
+                                           Point(t1, wy(i + 1))));
+  }
+  MovingPoint m = *MovingPoint::Make(units);
+  EXPECT_EQ(m.NumUnits(), 5u);
+  for (double t = 0; t <= 10.0001; t += 0.1) {
+    Intime<Point> v = m.AtInstant(std::min(t, 10.0));
+    ASSERT_TRUE(v.defined) << t;
+    int i = std::min(4, int(t / 2));
+    double frac = (t - 2 * i) / 2;
+    double expect_y = wy(i) + (wy(i + 1) - wy(i)) * frac;
+    EXPECT_NEAR(v.val().x, std::min(t, 10.0), 1e-9);
+    EXPECT_NEAR(v.val().y, std::min(expect_y, wy(5)), 1e-9);
+  }
+}
+
+TEST(MappingTotalDuration, SumOfUnitDurations) {
+  MovingBool m = *MovingBool::Make({UB(0, 1, true), UB(2, 4, false)});
+  EXPECT_DOUBLE_EQ(m.TotalDuration(), 3);
+}
+
+// Property sweep: random mappings keep their invariants through
+// AtPeriods.
+class MappingRestriction : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingRestriction, AtPeriodsPreservesValuesWhereDefined) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> gap(0.1, 1.0);
+  std::uniform_real_distribution<double> dur(0.5, 2.0);
+  std::bernoulli_distribution coin(0.5);
+  MappingBuilder<UBool> b;
+  double t = 0;
+  bool last = coin(rng);
+  for (int i = 0; i < 10; ++i) {
+    t += gap(rng);
+    double e = t + dur(rng);
+    ASSERT_TRUE(b.Append(UB(t, e, last)).ok());
+    last = !last;
+    t = e + 0.01;
+  }
+  MovingBool m = *b.Build();
+  Periods p = Periods::FromIntervals({TI(2, 7), TI(9, 12)});
+  auto r = m.AtPeriods(p);
+  ASSERT_TRUE(r.ok());
+  for (double probe = 0; probe < 15; probe += 0.05) {
+    bool should = m.Present(probe) && p.Contains(probe);
+    EXPECT_EQ(r->Present(probe), should) << probe;
+    if (should) {
+      EXPECT_EQ(r->AtInstant(probe).val(), m.AtInstant(probe).val());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MappingRestriction, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace modb

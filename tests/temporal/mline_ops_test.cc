@@ -1,0 +1,83 @@
+#include "temporal/mline_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+TEST(MLineLength, TranslatingLineConstant) {
+  MSeg a = *MSeg::FromEndSegments(0, S(0, 0, 3, 4), 10, S(10, 10, 13, 14));
+  MovingLine ml = *MovingLine::Make({*ULine::Make(TI(0, 10), {a})});
+  MovingReal len = *Length(ml);
+  EXPECT_NEAR(len.AtInstant(2).val(), 5, 1e-9);
+  EXPECT_NEAR(len.AtInstant(9).val(), 5, 1e-9);
+}
+
+TEST(MLineLength, StretchingLineLinear) {
+  // Length 2 at t=0 growing to 6 at t=10: linear, 2 + 0.4t.
+  MSeg a = *MSeg::FromEndSegments(0, S(0, 0, 2, 0), 10, S(-2, 0, 4, 0));
+  MovingLine ml = *MovingLine::Make({*ULine::Make(TI(0, 10), {a})});
+  MovingReal len = *Length(ml);
+  ASSERT_EQ(len.NumUnits(), 1u);
+  EXPECT_NEAR(len.unit(0).a(), 0, 1e-9);
+  EXPECT_NEAR(len.unit(0).b(), 0.4, 1e-9);
+  EXPECT_NEAR(len.unit(0).c(), 2, 1e-9);
+  for (double t = 0.5; t < 10; t += 1.3) {
+    EXPECT_NEAR(len.AtInstant(t).val(), 2 + 0.4 * t, 1e-9) << t;
+  }
+}
+
+TEST(MLineLength, MultipleSegmentsSum) {
+  MSeg a = *MSeg::StaticSeg(S(0, 0, 3, 0));
+  MSeg b = *MSeg::StaticSeg(S(0, 5, 0, 9));
+  MovingLine ml = *MovingLine::Make({*ULine::Make(TI(0, 5), {a, b})});
+  MovingReal len = *Length(ml);
+  EXPECT_NEAR(len.AtInstant(2).val(), 7, 1e-9);
+}
+
+TEST(MLineTraversed, SweepingSegmentMakesRectangle) {
+  // A horizontal segment of length 4 translating up by 3 sweeps 12.
+  MSeg a = *MSeg::FromEndSegments(0, S(0, 0, 4, 0), 10, S(0, 3, 4, 3));
+  MovingLine ml = *MovingLine::Make({*ULine::Make(TI(0, 10), {a})});
+  Region swept = *Traversed(ml);
+  EXPECT_NEAR(swept.Area(), 12, 1e-9);
+  EXPECT_TRUE(swept.Contains(Point(2, 1.5)));
+}
+
+TEST(MLineTraversed, StaticLineSweepsNothing) {
+  MSeg a = *MSeg::StaticSeg(S(0, 0, 4, 0));
+  MovingLine ml = *MovingLine::Make({*ULine::Make(TI(0, 10), {a})});
+  Region swept = *Traversed(ml);
+  EXPECT_TRUE(swept.IsEmpty());
+}
+
+TEST(MLineTraversed, SlidingAlongItselfSweepsNothing) {
+  // Translation parallel to the segment direction: zero swept area.
+  MSeg a = *MSeg::FromEndSegments(0, S(0, 0, 4, 0), 10, S(6, 0, 10, 0));
+  MovingLine ml = *MovingLine::Make({*ULine::Make(TI(0, 10), {a})});
+  Region swept = *Traversed(ml);
+  EXPECT_NEAR(swept.Area(), 0, 1e-9);
+}
+
+TEST(MLineTraversed, TwoUnitsUnion) {
+  MSeg up = *MSeg::FromEndSegments(0, S(0, 0, 4, 0), 5, S(0, 2, 4, 2));
+  MSeg right = *MSeg::FromEndSegments(5, S(0, 2, 4, 2), 10, S(3, 2, 7, 2));
+  MovingLine ml = *MovingLine::Make({*ULine::Make(TI(0, 5, true, false), {up}),
+                                     *ULine::Make(TI(5, 10), {right})});
+  Region swept = *Traversed(ml);
+  // First unit sweeps 4×2 = 8; second slides along its own line (0).
+  EXPECT_NEAR(swept.Area(), 8, 1e-9);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,171 @@
+// End-to-end behavior of the sliced moving *spatial* types at the mapping
+// level: multi-unit moving lines / regions / point sets through
+// atinstant, atperiods, deftime, initial/final — Table 3's discrete
+// representations exercised through the generic temporal interface.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gen/region_gen.h"
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+MovingLine TwoUnitFront() {
+  // A "front" sweeping up during [0,10), then right during [10,20].
+  MSeg up = *MSeg::FromEndSegments(0, S(0, 0, 10, 0), 10, S(0, 5, 10, 5));
+  MSeg right = *MSeg::FromEndSegments(10, S(0, 5, 10, 5), 20, S(4, 5, 14, 5));
+  return *MovingLine::Make({*ULine::Make(TI(0, 10, true, false), {up}),
+                            *ULine::Make(TI(10, 20), {right})});
+}
+
+TEST(MovingLineMapping, AtInstantAcrossUnits) {
+  MovingLine ml = TwoUnitFront();
+  EXPECT_EQ(ml.NumUnits(), 2u);
+  Intime<Line> at5 = ml.AtInstant(5);
+  ASSERT_TRUE(at5.defined);
+  EXPECT_TRUE(ApproxEqual(at5.val().segment(0).a(), Point(0, 2.5)));
+  Intime<Line> at15 = ml.AtInstant(15);
+  ASSERT_TRUE(at15.defined);
+  EXPECT_TRUE(ApproxEqual(at15.val().segment(0).a(), Point(2, 5)));
+  EXPECT_FALSE(ml.AtInstant(25).defined);
+}
+
+TEST(MovingLineMapping, ContinuityAtUnitBoundary) {
+  MovingLine ml = TwoUnitFront();
+  Line before = ml.AtInstant(10 - 1e-9).val();
+  Line at = ml.AtInstant(10).val();
+  EXPECT_TRUE(ApproxEqual(before.segment(0).a(), at.segment(0).a(), 1e-6));
+}
+
+TEST(MovingLineMapping, AtPeriodsSlices) {
+  MovingLine ml = TwoUnitFront();
+  auto r = ml.AtPeriods(Periods::FromIntervals({TI(3, 12)}));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumUnits(), 2u);
+  EXPECT_DOUBLE_EQ(r->DefTime().Minimum(), 3);
+  EXPECT_DOUBLE_EQ(r->DefTime().Maximum(), 12);
+  EXPECT_FALSE(r->Present(2));
+  EXPECT_TRUE(r->Present(11));
+}
+
+TEST(MovingLineMapping, InitialFinal) {
+  MovingLine ml = TwoUnitFront();
+  Intime<Line> init = ml.Initial();
+  ASSERT_TRUE(init.defined);
+  EXPECT_DOUBLE_EQ(init.inst(), 0);
+  EXPECT_EQ(init.val().segment(0), S(0, 0, 10, 0));
+  Intime<Line> fin = ml.Final();
+  EXPECT_DOUBLE_EQ(fin.inst(), 20);
+  EXPECT_EQ(fin.val().segment(0), S(4, 5, 14, 5));
+}
+
+TEST(MovingRegionMapping, AtInstantMatchesUnitValueAt) {
+  std::mt19937_64 rng(6);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 8;
+  opts.shape.radius = 20;
+  opts.num_units = 3;
+  opts.unit_duration = 4;
+  opts.drift = Point(6, 2);
+  opts.drift_alternation = Point(1, 1);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  for (double t = 0.3; t < 12; t += 0.9) {
+    Intime<Region> v = mr.AtInstant(t);
+    ASSERT_TRUE(v.defined) << t;
+    std::size_t ui = *mr.FindUnit(t);
+    EXPECT_NEAR(v.val().Area(), mr.unit(ui).ValueAt(t).Area(), 1e-9) << t;
+  }
+}
+
+TEST(MovingRegionMapping, SnapshotOutputOnlyPathAgrees) {
+  std::mt19937_64 rng(7);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 10;
+  opts.shape.radius = 15;
+  opts.num_units = 2;
+  opts.unit_duration = 5;
+  opts.drift = Point(4, 4);
+  opts.drift_alternation = Point(1, 1);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  // The O(r) snapshot and the O(r log r) structured value describe the
+  // same point set (probe with the plumbline).
+  std::uniform_real_distribution<double> probe(-30, 60);
+  for (int i = 0; i < 50; ++i) {
+    double t = 0.2 + (10 - 0.4) * i / 50.0;
+    std::size_t ui = *mr.FindUnit(t);
+    std::vector<Seg> snap = mr.unit(ui).Snapshot(t);
+    Region full = mr.unit(ui).ValueAt(t);
+    Point p(probe(rng), probe(rng));
+    bool on_boundary = false;
+    bool via_snapshot = EvenOddContains(snap, p, &on_boundary);
+    EXPECT_EQ(full.Contains(p), via_snapshot) << "t=" << t;
+  }
+}
+
+TEST(MovingPointsMapping, GroupMotion) {
+  // A flock of three points translating together, two units.
+  std::vector<LinearMotion> flock1 = {{0, 1, 0, 0}, {2, 1, 0, 0},
+                                      {1, 1, 2, 0}};
+  // Continuation: same positions at t=10, then rising (absolute-time
+  // coefficients, so y0 = -10 puts y(10) = 0).
+  std::vector<LinearMotion> flock2 = {{10, 0, -10, 1}, {12, 0, -10, 1},
+                                      {11, 0, -8, 1}};
+  MovingPoints mps = *MovingPoints::Make(
+      {*UPoints::Make(TI(0, 10, true, false), flock1),
+       *UPoints::Make(TI(10, 20), flock2)});
+  Intime<Points> at5 = mps.AtInstant(5);
+  ASSERT_TRUE(at5.defined);
+  EXPECT_EQ(at5.val().Size(), 3u);
+  EXPECT_TRUE(at5.val().Contains(Point(5, 0)));
+  Intime<Points> at15 = mps.AtInstant(15);
+  EXPECT_TRUE(at15.val().Contains(Point(10, 5)));
+  // Restriction.
+  auto r = mps.AtPeriods(Periods::FromIntervals({TI(8, 12)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumUnits(), 2u);
+  EXPECT_EQ(r->TotalDuration(), 4);
+}
+
+TEST(SteppedRegionMapping, DiscreteStepsViaConstUnits) {
+  // A land parcel re-surveyed at t=10: const(region) units (Section
+  // 3.2.5's "values changing only in discrete steps").
+  Region before = *Region::FromPolygon(
+      {Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)});
+  Region after = *Region::FromPolygon(
+      {Point(0, 0), Point(6, 0), Point(6, 4), Point(0, 4)});
+  SteppedRegion parcel = *SteppedRegion::Make(
+      {*ConstUnit<Region>::Make(TI(0, 10, true, false), before),
+       *ConstUnit<Region>::Make(TI(10, 20), after)});
+  EXPECT_DOUBLE_EQ(parcel.AtInstant(5).val().Area(), 16);
+  EXPECT_DOUBLE_EQ(parcel.AtInstant(10).val().Area(), 24);
+  // Adjacent units with EQUAL region values are rejected (minimality).
+  EXPECT_FALSE(SteppedRegion::Make(
+                   {*ConstUnit<Region>::Make(TI(0, 10, true, false), before),
+                    *ConstUnit<Region>::Make(TI(10, 20), before)})
+                   .ok());
+}
+
+TEST(MovingRegionMapping, RejectsOverlappingUnits) {
+  std::mt19937_64 rng(8);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 6;
+  opts.num_units = 1;
+  opts.unit_duration = 10;
+  MovingRegion a = *GenerateMovingRegion(rng, opts);
+  URegion u = a.unit(0);
+  EXPECT_FALSE(MovingRegion::Make({u, u}).ok());
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,170 @@
+#include "temporal/mregion_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "gen/region_gen.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+MovingRegion TranslatingSquare(double side, Point drift, int units = 1,
+                               double unit_duration = 10) {
+  std::mt19937_64 rng(1);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 4;
+  opts.shape.jitter = 0;
+  opts.shape.radius = side / std::sqrt(2.0);
+  opts.shape.center = Point(0, 0);
+  opts.num_units = units;
+  opts.unit_duration = unit_duration;
+  opts.drift = drift;
+  return *GenerateMovingRegion(rng, opts);
+}
+
+TEST(AreaOp, RigidTranslationConstantArea) {
+  MovingRegion mr = TranslatingSquare(2, Point(10, 0));
+  MovingReal area = *Area(mr);
+  double a0 = area.AtInstant(0.5).val();
+  double a1 = area.AtInstant(9.5).val();
+  EXPECT_NEAR(a0, a1, 1e-6);
+  EXPECT_GT(a0, 0);
+}
+
+TEST(AreaOp, GrowingSquareExactQuadratic) {
+  // Side s(t) = 2 + t: area (2 + t)² = t² + 4t + 4 — recovered exactly.
+  std::vector<Point> r0 = {Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)};
+  std::vector<Point> r1 = {Point(-4, -4), Point(8, -4), Point(8, 8),
+                           Point(-4, 8)};
+  // From side 2 at t=0 to side 12 at t=10 around center (1,1).
+  MCycle cycle;
+  for (int i = 0; i < 4; ++i) {
+    cycle.push_back(*MSeg::FromEndSegments(
+        0, *Seg::Make(r0[std::size_t(i)], r0[std::size_t((i + 1) % 4)]), 10,
+        *Seg::Make(r1[std::size_t(i)], r1[std::size_t((i + 1) % 4)])));
+  }
+  MovingRegion mr =
+      *MovingRegion::Make({*URegion::FromCycle(TI(0, 10), cycle)});
+  MovingReal area = *Area(mr);
+  ASSERT_EQ(area.NumUnits(), 1u);
+  const UReal& u = area.unit(0);
+  EXPECT_FALSE(u.root());
+  // Side at t: 2 + t ⇒ area 4 + 4t + t².
+  EXPECT_NEAR(u.a(), 1, 1e-6);
+  EXPECT_NEAR(u.b(), 4, 1e-6);
+  EXPECT_NEAR(u.c(), 4, 1e-6);
+  // Exactness also at the (clean) endpoints.
+  EXPECT_NEAR(area.AtInstant(0).val(), 4, 1e-6);
+  EXPECT_NEAR(area.AtInstant(10).val(), 144, 1e-5);
+}
+
+TEST(AreaOp, MatchesSnapshotOracle) {
+  std::mt19937_64 rng(5);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 10;
+  opts.shape.radius = 30;
+  opts.shape.center = Point(0, 0);
+  opts.num_units = 3;
+  opts.unit_duration = 4;
+  opts.drift = Point(8, 3);
+  opts.scale_per_unit = 1.3;
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  MovingReal area = *Area(mr);
+  for (double t = 0.3; t < 12; t += 0.7) {
+    std::size_t ui = *mr.FindUnit(t);
+    double oracle = mr.unit(ui).ValueAt(t).Area();
+    EXPECT_NEAR(area.AtInstant(t).val(), oracle, 1e-5 * (1 + oracle)) << t;
+  }
+}
+
+TEST(PerimeterOp, RigidTranslationExact) {
+  MovingRegion mr = TranslatingSquare(2, Point(10, 0));
+  MovingReal per = *PerimeterApprox(mr, 4);
+  double expected = mr.unit(0).ValueAt(1).Perimeter();
+  EXPECT_NEAR(per.AtInstant(1).val(), expected, 1e-6);
+  EXPECT_NEAR(per.AtInstant(8).val(), expected, 1e-6);
+}
+
+TEST(PerimeterOp, ExactForNonRotatingMotion) {
+  // The non-rotation constraint makes every moving segment's length
+  // linear in t, so the per-unit perimeter is linear and the quadratic
+  // fit recovers it exactly — even with a single subdivision.
+  std::mt19937_64 rng(9);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 6;
+  opts.shape.radius = 10;
+  opts.num_units = 1;
+  opts.unit_duration = 10;
+  opts.drift = Point(25, 10);
+  opts.scale_per_unit = 2.0;
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  for (int subdivisions : {1, 4}) {
+    MovingReal per = *PerimeterApprox(mr, subdivisions);
+    for (double t = 0.2; t < 10; t += 0.2) {
+      double oracle = mr.unit(0).ValueAt(t).Perimeter();
+      EXPECT_NEAR(per.AtInstant(t).val(), oracle, 1e-7 * (1 + oracle))
+          << "subdivisions=" << subdivisions << " t=" << t;
+    }
+  }
+}
+
+TEST(PerimeterOp, RejectsBadSubdivisions) {
+  MovingRegion mr = TranslatingSquare(2, Point(1, 0));
+  EXPECT_FALSE(PerimeterApprox(mr, 0).ok());
+}
+
+TEST(TraversedOp, TranslatingShapeSweepsAreaPlusHeightTimesDrift) {
+  // A convex shape translating horizontally by d sweeps its own area
+  // plus height × d (Cavalieri).
+  MovingRegion mr = TranslatingSquare(2, Point(10, 0));
+  Result<Region> trav = Traversed(mr);
+  ASSERT_TRUE(trav.ok()) << trav.status();
+  Region start = mr.unit(0).ValueAt(mr.unit(0).interval().start());
+  double height = start.BoundingBox().max_y - start.BoundingBox().min_y;
+  double expected = start.Area() + height * 10;
+  EXPECT_NEAR(trav->Area(), expected, 1e-6 * expected);
+}
+
+TEST(TraversedOp, StationaryRegionIsItself) {
+  MovingRegion mr = TranslatingSquare(2, Point(0.0, 0.0));
+  Result<Region> trav = Traversed(mr);
+  ASSERT_TRUE(trav.ok()) << trav.status();
+  double area = mr.unit(0).ValueAt(5).Area();
+  EXPECT_NEAR(trav->Area(), area, 1e-6);
+}
+
+TEST(TraversedOp, ContainsEverySnapshotPoint) {
+  std::mt19937_64 rng(21);
+  MovingRegionOptions opts;
+  opts.shape.num_vertices = 8;
+  opts.shape.radius = 10;
+  opts.shape.center = Point(0, 0);
+  opts.num_units = 2;
+  opts.unit_duration = 5;
+  opts.drift = Point(12, 6);
+  opts.drift_alternation = Point(2, 2);
+  MovingRegion mr = *GenerateMovingRegion(rng, opts);
+  Region trav = *Traversed(mr);
+  std::uniform_real_distribution<double> u01(0.05, 0.95);
+  for (int i = 0; i < 200; ++i) {
+    double t = u01(rng) * 10;
+    std::size_t ui = *mr.FindUnit(t);
+    Region snap = mr.unit(ui).ValueAt(t);
+    Rect b = snap.BoundingBox();
+    Point p(b.min_x + u01(rng) * (b.max_x - b.min_x),
+            b.min_y + u01(rng) * (b.max_y - b.min_y));
+    if (!snap.InteriorContains(p)) continue;
+    EXPECT_TRUE(trav.Contains(p))
+        << "t=" << t << " p=" << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,132 @@
+#include "temporal/mseg.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e) { return *TimeInterval::Make(s, e, true, true); }
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+TEST(MSegMake, RejectsIdenticalEndpointMotions) {
+  LinearMotion m{0, 1, 0, 0};
+  EXPECT_FALSE(MSeg::Make(m, m).ok());
+}
+
+TEST(MSegMake, AcceptsParallelTranslation) {
+  // Both endpoints move with velocity (1, 1): a rigid translation.
+  auto m = MSeg::Make(LinearMotion{0, 1, 0, 1}, LinearMotion{2, 1, 0, 1});
+  EXPECT_TRUE(m.ok()) << m.status();
+}
+
+TEST(MSegMake, RejectsRotation) {
+  // Endpoint s pinned at the origin; endpoint e moving perpendicular to
+  // the segment: the segment rotates — forbidden by the coplanarity
+  // constraint of Section 3.2.6.
+  auto m = MSeg::Make(LinearMotion{0, 0, 0, 0}, LinearMotion{2, 0, 0, 1});
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(MSegMake, AcceptsScalingAlongItsDirection) {
+  // Segment along the x axis stretching: e moves along the segment
+  // direction — no rotation.
+  auto m = MSeg::Make(LinearMotion{0, 0, 0, 0}, LinearMotion{2, 1, 0, 0});
+  EXPECT_TRUE(m.ok()) << m.status();
+}
+
+TEST(MSegFromEndSegments, InterpolatesEndpoints) {
+  MSeg m = *MSeg::FromEndSegments(0, S(0, 0, 1, 0), 10, S(5, 5, 6, 5));
+  auto at0 = m.ValueAt(0);
+  auto at10 = m.ValueAt(10);
+  ASSERT_TRUE(at0 && at10);
+  EXPECT_EQ(*at0, S(0, 0, 1, 0));
+  EXPECT_EQ(*at10, S(5, 5, 6, 5));
+  auto at5 = m.ValueAt(5);
+  ASSERT_TRUE(at5);
+  EXPECT_TRUE(ApproxEqual(at5->a(), Point(2.5, 2.5)));
+}
+
+TEST(MSegFromEndSegments, RejectsRotatingInterpolation) {
+  // Horizontal at t0, vertical at t1 (a-to-a, b-to-b mapping rotates).
+  EXPECT_FALSE(MSeg::FromEndSegments(0, S(0, 0, 1, 0), 1, S(0, 0, 0, 1)).ok());
+}
+
+TEST(MSegDegeneration, CollapseToPoint) {
+  // A segment shrinking to a point at t=2.
+  MSeg m = *MSeg::FromEndSegments(0, S(0, 0, 2, 0), 1, S(0.5, 0, 1.5, 0));
+  std::vector<Instant> deg = m.DegenerationTimes();
+  ASSERT_EQ(deg.size(), 1u);
+  EXPECT_DOUBLE_EQ(deg[0], 2);
+  EXPECT_FALSE(m.ValueAt(2).has_value());
+  EXPECT_TRUE(m.ValueAt(1.9).has_value());
+}
+
+TEST(MSegValueAt, NormalizedSegOrder) {
+  MSeg m = *MSeg::StaticSeg(S(3, 3, 1, 1));
+  auto s = m.ValueAt(0);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->a(), Point(1, 1));
+}
+
+// -- crossing times (the geometric core of Section 5.2) ----------------------
+
+TEST(CrossingTimes, PointThroughStaticSegment) {
+  MSeg wall = *MSeg::StaticSeg(S(5, -1, 5, 1));
+  // Point moving right along y=0 crosses x=5 at t=5.
+  MSegCrossings c = CrossingTimes(LinearMotion{0, 1, 0, 0}, wall, TI(0, 10));
+  ASSERT_EQ(c.times.size(), 1u);
+  EXPECT_NEAR(c.times[0], 5, 1e-9);
+  EXPECT_FALSE(c.always_collinear);
+}
+
+TEST(CrossingTimes, MissAboveTheSegment) {
+  MSeg wall = *MSeg::StaticSeg(S(5, -1, 5, 1));
+  MSegCrossings c = CrossingTimes(LinearMotion{0, 1, 2, 0}, wall, TI(0, 10));
+  EXPECT_TRUE(c.times.empty());  // Passes the line but above the segment.
+}
+
+TEST(CrossingTimes, OutsideTimeWindowFiltered) {
+  MSeg wall = *MSeg::StaticSeg(S(5, -1, 5, 1));
+  MSegCrossings c = CrossingTimes(LinearMotion{0, 1, 0, 0}, wall, TI(0, 4));
+  EXPECT_TRUE(c.times.empty());
+}
+
+TEST(CrossingTimes, MovingWallQuadratic) {
+  // Wall moving right at speed 1 from x=10; point moving right at speed 3
+  // from x=0: catch-up at t=5.
+  MSeg wall = *MSeg::Make(LinearMotion{10, 1, -1, 0}, LinearMotion{10, 1, 1, 0});
+  MSegCrossings c = CrossingTimes(LinearMotion{0, 3, 0, 0}, wall, TI(0, 10));
+  ASSERT_EQ(c.times.size(), 1u);
+  EXPECT_NEAR(c.times[0], 5, 1e-9);
+}
+
+TEST(CrossingTimes, AlwaysCollinearFlag) {
+  MSeg rail = *MSeg::StaticSeg(S(0, 0, 10, 0));
+  MSegCrossings c = CrossingTimes(LinearMotion{0, 1, 0, 0}, rail, TI(0, 10));
+  EXPECT_TRUE(c.always_collinear);
+}
+
+TEST(ConfigurationEvents, SharedEndpointsProduceNoEvents) {
+  // Two moving segments of one translating square corner share a vertex
+  // motion; the identically-zero cross quadratic must not flood events.
+  LinearMotion corner{0, 1, 0, 0};
+  MSeg a = *MSeg::Make(corner, LinearMotion{2, 1, 0, 0});
+  MSeg b = *MSeg::Make(corner, LinearMotion{0, 1, 2, 0});
+  EXPECT_TRUE(ConfigurationEvents(a, b, TI(0, 10)).empty());
+}
+
+TEST(ConfigurationEvents, DetectsEndpointCrossing) {
+  MSeg wall = *MSeg::StaticSeg(S(5, -2, 5, 2));
+  // A segment whose left endpoint passes through the wall at t=5.
+  MSeg mover = *MSeg::Make(LinearMotion{0, 1, 0, 0}, LinearMotion{1, 1, 0, 0});
+  std::vector<Instant> ev = ConfigurationEvents(mover, wall, TI(0, 10));
+  ASSERT_GE(ev.size(), 2u);  // Both endpoints cross (t=5 and t=4).
+  EXPECT_NEAR(ev[0], 4, 1e-9);
+  EXPECT_NEAR(ev[1], 5, 1e-9);
+}
+
+}  // namespace
+}  // namespace modb

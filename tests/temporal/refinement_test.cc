@@ -1,0 +1,137 @@
+#include "temporal/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+UBool UB(double s, double e, bool v, bool lc = true, bool rc = true) {
+  return *UBool::Make(TI(s, e, lc, rc), v);
+}
+
+UInt UI(double s, double e, int64_t v, bool lc = true, bool rc = true) {
+  return *UInt::Make(TI(s, e, lc, rc), v);
+}
+
+TEST(Refinement, IdenticalIntervalsOneEntry) {
+  MovingBool a = *MovingBool::Make({UB(0, 10, true)});
+  MovingInt b = *MovingInt::Make({UI(0, 10, 7)});
+  auto rp = RefinementPartition(a, b);
+  ASSERT_EQ(rp.size(), 1u);
+  EXPECT_TRUE(rp[0].HasBoth());
+  EXPECT_EQ(rp[0].interval, TI(0, 10));
+}
+
+TEST(Refinement, Figure8Pattern) {
+  // Figure 8: two unit lists and their refinement partition.
+  MovingBool a = *MovingBool::Make(
+      {UB(0, 4, true, true, false), UB(6, 10, false)});
+  MovingInt b = *MovingInt::Make({UI(2, 8, 5)});
+  auto rp = RefinementPartition(a, b);
+  // Expected pieces: [0,2) a-only, [2,4) both, [4,6) b-only, [6,8] both,
+  // (8,10] a-only.
+  ASSERT_EQ(rp.size(), 5u);
+  EXPECT_EQ(rp[0].interval, TI(0, 2, true, false));
+  EXPECT_TRUE(rp[0].unit_a == 0 && rp[0].unit_b == RefinementEntry::kNoUnit);
+  EXPECT_EQ(rp[1].interval, TI(2, 4, true, false));
+  EXPECT_TRUE(rp[1].HasBoth());
+  EXPECT_EQ(rp[2].interval, TI(4, 6, true, false));
+  EXPECT_TRUE(rp[2].unit_a == RefinementEntry::kNoUnit && rp[2].unit_b == 0);
+  EXPECT_EQ(rp[3].interval, TI(6, 8, true, true));
+  EXPECT_TRUE(rp[3].HasBoth());
+  EXPECT_EQ(rp[3].unit_a, 1);
+  EXPECT_EQ(rp[4].interval, TI(8, 10, false, true));
+  EXPECT_EQ(rp[4].unit_a, 1);
+}
+
+TEST(Refinement, EmptyOperands) {
+  MovingBool a;
+  MovingInt b = *MovingInt::Make({UI(0, 1, 1)});
+  auto rp = RefinementPartition(a, b);
+  ASSERT_EQ(rp.size(), 1u);
+  EXPECT_EQ(rp[0].unit_a, RefinementEntry::kNoUnit);
+  EXPECT_TRUE(RefinementPartition(a, MovingInt()).empty());
+}
+
+TEST(Refinement, DisjointTimelinesInterleave) {
+  MovingBool a = *MovingBool::Make({UB(0, 1, true), UB(4, 5, false)});
+  MovingInt b = *MovingInt::Make({UI(2, 3, 9)});
+  auto rp = RefinementPartition(a, b);
+  ASSERT_EQ(rp.size(), 3u);
+  EXPECT_EQ(rp[0].unit_a, 0);
+  EXPECT_EQ(rp[1].unit_b, 0);
+  EXPECT_EQ(rp[2].unit_a, 1);
+}
+
+TEST(Refinement, DegenerateOverlapPoint) {
+  // [0,2] and [2,4]: the shared instant 2 forms its own entry.
+  MovingBool a = *MovingBool::Make({UB(0, 2, true)});
+  MovingInt b = *MovingInt::Make({UI(2, 4, 1)});
+  auto rp = RefinementPartition(a, b);
+  ASSERT_EQ(rp.size(), 3u);
+  EXPECT_EQ(rp[0].interval, TI(0, 2, true, false));
+  EXPECT_TRUE(rp[1].interval.IsDegenerate());
+  EXPECT_TRUE(rp[1].HasBoth());
+  EXPECT_EQ(rp[2].interval, TI(2, 4, false, true));
+}
+
+// Property: the partition covers exactly the union of both deftimes,
+// entries are disjoint and ordered, and unit attribution is correct.
+class RefinementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinementProperty, CoverageDisjointnessAttribution) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> gap(0.01, 1.0);
+  std::uniform_real_distribution<double> dur(0.1, 2.0);
+  auto random_mapping = [&](auto make_unit, int n) {
+    double t = gap(rng);
+    std::vector<decltype(make_unit(0.0, 1.0, 0))> units;
+    for (int i = 0; i < n; ++i) {
+      double e = t + dur(rng);
+      units.push_back(make_unit(t, e, i));
+      t = e + gap(rng);
+    }
+    return units;
+  };
+  MovingBool a = *MovingBool::Make(random_mapping(
+      [](double s, double e, int i) { return *UBool::Make(TI(s, e), i % 2 == 0); },
+      5));
+  MovingInt b = *MovingInt::Make(random_mapping(
+      [](double s, double e, int i) { return *UInt::Make(TI(s, e), i); }, 4));
+  auto rp = RefinementPartition(a, b);
+  // Entries disjoint and ordered.
+  for (std::size_t i = 0; i + 1 < rp.size(); ++i) {
+    EXPECT_TRUE(TimeInterval::RDisjoint(rp[i].interval, rp[i + 1].interval));
+  }
+  // Pointwise: membership and attribution.
+  for (double t = 0; t < 20; t += 0.037) {
+    bool in_a = a.Present(t), in_b = b.Present(t);
+    int hits = 0;
+    for (const RefinementEntry& e : rp) {
+      if (!e.interval.Contains(t)) continue;
+      ++hits;
+      EXPECT_EQ(e.unit_a != RefinementEntry::kNoUnit, in_a) << t;
+      EXPECT_EQ(e.unit_b != RefinementEntry::kNoUnit, in_b) << t;
+      if (in_a) {
+        EXPECT_TRUE(a.unit(std::size_t(e.unit_a)).interval().Contains(t));
+      }
+      if (in_b) {
+        EXPECT_TRUE(b.unit(std::size_t(e.unit_b)).interval().Contains(t));
+      }
+    }
+    EXPECT_EQ(hits, (in_a || in_b) ? 1 : 0) << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RefinementProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,140 @@
+#include "temporal/uline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e) { return *TimeInterval::Make(s, e, true, true); }
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+// Figure 4: a valid uline — segments translating without rotation.
+TEST(ULineMake, TranslatingSegmentsValid) {
+  MSeg a = *MSeg::FromEndSegments(0, S(0, 0, 1, 0), 10, S(5, 5, 6, 5));
+  MSeg b = *MSeg::FromEndSegments(0, S(0, 2, 1, 3), 10, S(5, 7, 6, 8));
+  auto u = ULine::Make(TI(0, 10), {a, b});
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->Size(), 2u);
+}
+
+TEST(ULineMake, RejectsEmpty) {
+  EXPECT_FALSE(ULine::Make(TI(0, 1), {}).ok());
+}
+
+TEST(ULineMake, RejectsDegenerationInsideInterval) {
+  // Shrinks to a point at t=2, inside (0, 10).
+  MSeg m = *MSeg::FromEndSegments(0, S(0, 0, 2, 0), 1, S(0.5, 0, 1.5, 0));
+  EXPECT_FALSE(ULine::Make(TI(0, 10), {m}).ok());
+  // Valid if the degeneration instant is the interval end.
+  EXPECT_TRUE(ULine::Make(TI(0, 2), {m}).ok());
+}
+
+TEST(ULineMake, RejectsPermanentOverlap) {
+  MSeg a = *MSeg::StaticSeg(S(0, 0, 2, 0));
+  MSeg b = *MSeg::StaticSeg(S(1, 0, 3, 0));
+  EXPECT_FALSE(ULine::Make(TI(0, 1), {a, b}).ok());
+}
+
+TEST(ULineMake, RejectsTransientOverlapInsideInterval) {
+  // A static horizontal segment, and a translating horizontal segment
+  // that sweeps vertically across it, overlapping exactly at t=5.
+  MSeg still = *MSeg::StaticSeg(S(0, 0, 2, 0));
+  MSeg sweep = *MSeg::FromEndSegments(0, S(1, -5, 3, -5), 10, S(1, 5, 3, 5));
+  EXPECT_FALSE(ULine::Make(TI(0, 10), {still, sweep}).ok());
+  // Fine if the overlap instant is an endpoint of the unit interval.
+  EXPECT_TRUE(ULine::Make(TI(5, 10), {still, sweep}).ok());
+}
+
+TEST(ULineMake, CrossingSegmentsAreFine) {
+  // Segments may cross (line values allow crossings, only collinear
+  // overlap is forbidden).
+  MSeg a = *MSeg::StaticSeg(S(0, 0, 2, 2));
+  MSeg b = *MSeg::StaticSeg(S(0, 2, 2, 0));
+  EXPECT_TRUE(ULine::Make(TI(0, 1), {a, b}).ok());
+}
+
+TEST(ULineValueAt, EvaluatesToLine) {
+  MSeg a = *MSeg::FromEndSegments(0, S(0, 0, 1, 0), 10, S(5, 5, 6, 5));
+  ULine u = *ULine::Make(TI(0, 10), {a});
+  Line l0 = u.ValueAt(0);
+  ASSERT_EQ(l0.NumSegments(), 1u);
+  EXPECT_EQ(l0.segment(0), S(0, 0, 1, 0));
+  Line l5 = u.ValueAt(5);
+  EXPECT_TRUE(ApproxEqual(l5.segment(0).a(), Point(2.5, 2.5)));
+}
+
+TEST(ULineValueAt, EndpointDegenerationDropped) {
+  // ι_e cleanup: the degenerate member vanishes at the interval end.
+  MSeg shrink = *MSeg::FromEndSegments(0, S(0, 0, 2, 0), 1, S(0.5, 0, 1.5, 0));
+  MSeg steady = *MSeg::StaticSeg(S(0, 5, 2, 5));
+  ULine u = *ULine::Make(TI(0, 2), {shrink, steady});
+  EXPECT_EQ(u.ValueAt(1).NumSegments(), 2u);
+  Line at_end = u.ValueAt(2);
+  ASSERT_EQ(at_end.NumSegments(), 1u);  // Only the steady segment remains.
+  EXPECT_EQ(at_end.segment(0), S(0, 5, 2, 5));
+}
+
+TEST(ULineValueAt, EndpointOverlapMerged) {
+  // ι_s cleanup: two segments that overlap exactly at the interval start
+  // are merged into one maximal segment (merge-segs).
+  MSeg still = *MSeg::StaticSeg(S(0, 0, 2, 0));
+  MSeg sweep = *MSeg::FromEndSegments(0, S(1, 0, 3, 0), 10, S(1, 10, 3, 10));
+  ULine u = *ULine::Make(TI(0, 10), {still, sweep});
+  Line at_start = u.ValueAt(0);
+  ASSERT_EQ(at_start.NumSegments(), 1u);
+  EXPECT_EQ(at_start.segment(0), S(0, 0, 3, 0));
+  EXPECT_EQ(u.ValueAt(5).NumSegments(), 2u);
+}
+
+// Figure 5: refining the slicing improves the approximation of a
+// continuously moving line.
+TEST(ULineRefinement, ErrorShrinksWithMoreSlices) {
+  // Target motion: segment endpoints follow a parabola y = (t/10)²·10;
+  // linear slices approximate it.
+  auto target_y = [](double t) { return t * t / 10; };
+  auto error_with_slices = [&](int slices) {
+    double max_err = 0;
+    for (int k = 0; k < slices; ++k) {
+      double t0 = 10.0 * k / slices, t1 = 10.0 * (k + 1) / slices;
+      MSeg m = *MSeg::FromEndSegments(t0, S(0, target_y(t0), 1, target_y(t0)),
+                                      t1, S(0, target_y(t1), 1, target_y(t1)));
+      ULine u = *ULine::Make(*TimeInterval::Make(t0, t1, true, true), {m});
+      for (int probe = 1; probe < 8; ++probe) {
+        double t = t0 + (t1 - t0) * probe / 8;
+        double approx = u.ValueAt(t).segment(0).a().y;
+        max_err = std::max(max_err, std::fabs(approx - target_y(t)));
+      }
+    }
+    return max_err;
+  };
+  double err2 = error_with_slices(2);
+  double err8 = error_with_slices(8);
+  EXPECT_LT(err8, err2 / 4);  // Quadratic target: error ~ h².
+}
+
+TEST(ULineWithInterval, SubIntervalKeepsValidity) {
+  MSeg m = *MSeg::FromEndSegments(0, S(0, 0, 1, 0), 10, S(5, 5, 6, 5));
+  ULine u = *ULine::Make(TI(0, 10), {m});
+  auto sub = u.WithInterval(TI(2, 3));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->interval(), TI(2, 3));
+}
+
+TEST(ULineBoundingCube, CoversSweep) {
+  MSeg m = *MSeg::FromEndSegments(0, S(0, 0, 1, 0), 10, S(5, 5, 6, 5));
+  ULine u = *ULine::Make(TI(0, 10), {m});
+  Cube c = u.BoundingCube();
+  EXPECT_EQ(c.rect.min_x, 0);
+  EXPECT_EQ(c.rect.max_x, 6);
+  EXPECT_EQ(c.rect.max_y, 5);
+  EXPECT_EQ(c.max_t, 10);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,104 @@
+#include "temporal/upoint.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e) { return *TimeInterval::Make(s, e, true, true); }
+
+TEST(LinearMotion, Evaluation) {
+  LinearMotion m{1, 2, 3, -1};
+  EXPECT_EQ(m.At(0), Point(1, 3));
+  EXPECT_EQ(m.At(2), Point(5, 1));
+  EXPECT_FALSE(m.IsStatic());
+  EXPECT_TRUE((LinearMotion{1, 0, 3, 0}).IsStatic());
+}
+
+TEST(LinearMotion, LexicographicOrder) {
+  EXPECT_TRUE((LinearMotion{1, 0, 0, 0}) < (LinearMotion{2, 0, 0, 0}));
+  EXPECT_TRUE((LinearMotion{1, 0, 0, 0}) < (LinearMotion{1, 1, 0, 0}));
+  EXPECT_TRUE((LinearMotion{1, 1, 0, 0}) < (LinearMotion{1, 1, 0, 1}));
+}
+
+TEST(UPointFromEndpoints, InterpolatesExactly) {
+  UPoint u = *UPoint::FromEndpoints(TI(10, 20), Point(0, 0), Point(10, 20));
+  EXPECT_TRUE(ApproxEqual(u.ValueAt(10), Point(0, 0)));
+  EXPECT_TRUE(ApproxEqual(u.ValueAt(15), Point(5, 10)));
+  EXPECT_TRUE(ApproxEqual(u.ValueAt(20), Point(10, 20)));
+  EXPECT_TRUE(ApproxEqual(u.StartPoint(), Point(0, 0)));
+  EXPECT_TRUE(ApproxEqual(u.EndPoint(), Point(10, 20)));
+}
+
+TEST(UPointFromEndpoints, InstantUnitNeedsEqualPositions) {
+  EXPECT_FALSE(
+      UPoint::FromEndpoints(TimeInterval::At(5), Point(0, 0), Point(1, 1)).ok());
+  auto u = UPoint::FromEndpoints(TimeInterval::At(5), Point(2, 3), Point(2, 3));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->ValueAt(5), Point(2, 3));
+}
+
+TEST(UPointTrajectory, MovingGivesSegment) {
+  UPoint u = *UPoint::FromEndpoints(TI(0, 1), Point(0, 0), Point(3, 4));
+  auto s = u.TrajectorySegment();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(s->Length(), 5);
+}
+
+TEST(UPointTrajectory, StaticGivesNothing) {
+  UPoint u = *UPoint::Static(TI(0, 1), Point(2, 2));
+  EXPECT_FALSE(u.TrajectorySegment().has_value());
+}
+
+TEST(UPointSpeed, MagnitudeOfVelocity) {
+  UPoint u = *UPoint::FromEndpoints(TI(0, 2), Point(0, 0), Point(6, 8));
+  EXPECT_DOUBLE_EQ(u.Speed(), 5);  // 10 units of distance in 2 time units.
+  EXPECT_DOUBLE_EQ(UPoint::Static(TI(0, 1), Point(1, 1))->Speed(), 0);
+}
+
+TEST(UPointInstantAt, HitAndMiss) {
+  UPoint u = *UPoint::FromEndpoints(TI(0, 10), Point(0, 0), Point(10, 0));
+  auto t = u.InstantAt(Point(3, 0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 3);
+  EXPECT_FALSE(u.InstantAt(Point(3, 1)).has_value());    // Off the path.
+  EXPECT_FALSE(u.InstantAt(Point(11, 0)).has_value());   // Past the end.
+}
+
+TEST(UPointInstantAt, VerticalMotionUsesYAxis) {
+  UPoint u = *UPoint::FromEndpoints(TI(0, 10), Point(5, 0), Point(5, 10));
+  auto t = u.InstantAt(Point(5, 7));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 7);
+}
+
+TEST(UPointInstantAt, StaticUnit) {
+  UPoint u = *UPoint::Static(TI(2, 5), Point(1, 1));
+  auto t = u.InstantAt(Point(1, 1));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 2);
+  EXPECT_FALSE(u.InstantAt(Point(1, 2)).has_value());
+}
+
+TEST(UPointBoundingCube, CoversBothEnds) {
+  UPoint u = *UPoint::FromEndpoints(TI(1, 3), Point(0, 5), Point(4, 1));
+  Cube c = u.BoundingCube();
+  EXPECT_EQ(c.rect.min_x, 0);
+  EXPECT_EQ(c.rect.max_x, 4);
+  EXPECT_EQ(c.rect.min_y, 1);
+  EXPECT_EQ(c.rect.max_y, 5);
+  EXPECT_EQ(c.min_t, 1);
+  EXPECT_EQ(c.max_t, 3);
+}
+
+TEST(UPointFunctionEqual, MotionOnly) {
+  UPoint a = *UPoint::FromEndpoints(TI(0, 1), Point(0, 0), Point(1, 1));
+  UPoint b = *UPoint::FromEndpoints(TI(1, 2), Point(1, 1), Point(2, 2));
+  // Same 3D line, different intervals → equal unit functions (mergeable).
+  EXPECT_TRUE(UPoint::FunctionEqual(a, b));
+  UPoint c = *UPoint::FromEndpoints(TI(0, 1), Point(0, 0), Point(1, 2));
+  EXPECT_FALSE(UPoint::FunctionEqual(a, c));
+}
+
+}  // namespace
+}  // namespace modb

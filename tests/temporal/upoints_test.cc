@@ -1,0 +1,112 @@
+#include "temporal/upoints.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e) { return *TimeInterval::Make(s, e, true, true); }
+
+TEST(Coincidence, ParallelDistinctNever) {
+  CoincidenceResult c =
+      Coincidence(LinearMotion{0, 1, 0, 0}, LinearMotion{0, 1, 1, 0});
+  EXPECT_FALSE(c.always);
+  EXPECT_TRUE(c.instants.empty());
+}
+
+TEST(Coincidence, IdenticalAlways) {
+  LinearMotion m{1, 2, 3, 4};
+  CoincidenceResult c = Coincidence(m, m);
+  EXPECT_TRUE(c.always);
+}
+
+TEST(Coincidence, CrossingOnce) {
+  // One point moving right, one moving left, meeting at t=5, x=5.
+  CoincidenceResult c =
+      Coincidence(LinearMotion{0, 1, 0, 0}, LinearMotion{10, -1, 0, 0});
+  ASSERT_EQ(c.instants.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.instants[0], 5);
+}
+
+TEST(Coincidence, SameLineDifferentSpeeds) {
+  // Both on the x axis; faster one catches up at t=4.
+  CoincidenceResult c =
+      Coincidence(LinearMotion{0, 2, 0, 0}, LinearMotion{4, 1, 0, 0});
+  ASSERT_EQ(c.instants.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.instants[0], 4);
+}
+
+TEST(Coincidence, XMeetsButYDoesNot) {
+  CoincidenceResult c =
+      Coincidence(LinearMotion{0, 1, 0, 0}, LinearMotion{10, -1, 1, 0});
+  EXPECT_TRUE(c.instants.empty());
+}
+
+TEST(UPointsMake, RejectsEmptyAndDuplicates) {
+  EXPECT_FALSE(UPoints::Make(TI(0, 1), {}).ok());
+  LinearMotion m{1, 0, 1, 0};
+  EXPECT_FALSE(UPoints::Make(TI(0, 1), {m, m}).ok());
+}
+
+TEST(UPointsMake, RejectsCoincidenceInsideOpenInterval) {
+  // Meet at t=5.
+  EXPECT_FALSE(UPoints::Make(TI(0, 10), {LinearMotion{0, 1, 0, 0},
+                                         LinearMotion{10, -1, 0, 0}})
+                   .ok());
+}
+
+TEST(UPointsMake, CoincidenceAtEndpointAllowed) {
+  // Meet exactly at t=5 — allowed if 5 is an interval endpoint (the paper
+  // permits collapse at the ends).
+  EXPECT_TRUE(UPoints::Make(TI(0, 5), {LinearMotion{0, 1, 0, 0},
+                                       LinearMotion{10, -1, 0, 0}})
+                  .ok());
+  EXPECT_TRUE(UPoints::Make(TI(5, 10), {LinearMotion{0, 1, 0, 0},
+                                        LinearMotion{10, -1, 0, 0}})
+                  .ok());
+}
+
+TEST(UPointsMake, InstantUnitRequiresDistinctNow) {
+  EXPECT_FALSE(UPoints::Make(TimeInterval::At(5),
+                             {LinearMotion{0, 1, 0, 0},
+                              LinearMotion{10, -1, 0, 0}})
+                   .ok());
+  EXPECT_TRUE(UPoints::Make(TimeInterval::At(4),
+                            {LinearMotion{0, 1, 0, 0},
+                             LinearMotion{10, -1, 0, 0}})
+                  .ok());
+}
+
+TEST(UPointsValueAt, EvaluatesAllMotions) {
+  UPoints u = *UPoints::Make(
+      TI(0, 10), {LinearMotion{0, 1, 0, 0}, LinearMotion{0, 0, 5, 0}});
+  Points p = u.ValueAt(2);
+  ASSERT_EQ(p.Size(), 2u);
+  EXPECT_TRUE(p.Contains(Point(2, 0)));
+  EXPECT_TRUE(p.Contains(Point(0, 5)));
+}
+
+TEST(UPointsValueAt, EndpointCollapseCleansUp) {
+  UPoints u = *UPoints::Make(
+      TI(0, 5), {LinearMotion{0, 1, 0, 0}, LinearMotion{10, -1, 0, 0}});
+  // At the right endpoint both motions land on (5, 0): one point remains.
+  EXPECT_EQ(u.ValueAt(5).Size(), 1u);
+  EXPECT_EQ(u.ValueAt(4).Size(), 2u);
+}
+
+TEST(UPointsStorage, MotionsSortedLexicographically) {
+  UPoints u = *UPoints::Make(
+      TI(0, 1), {LinearMotion{5, 0, 0, 0}, LinearMotion{1, 0, 0, 0}});
+  EXPECT_TRUE(u.motions()[0] < u.motions()[1]);
+}
+
+TEST(UPointsBoundingCube, CoversAllMotionEndpoints) {
+  UPoints u = *UPoints::Make(
+      TI(0, 10), {LinearMotion{0, 1, 0, 0}, LinearMotion{0, 0, 5, 0}});
+  Cube c = u.BoundingCube();
+  EXPECT_EQ(c.rect.max_x, 10);
+  EXPECT_EQ(c.rect.max_y, 5);
+}
+
+}  // namespace
+}  // namespace modb

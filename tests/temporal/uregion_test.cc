@@ -1,0 +1,186 @@
+#include "temporal/uregion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e) { return *TimeInterval::Make(s, e, true, true); }
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+// A square ring translated by (dx, dy) and scaled around its center.
+MCycle SquareCycle(double x0, double y0, double side, Instant t0, Instant t1,
+                   double dx, double dy, double scale = 1.0) {
+  std::vector<Point> r0 = {Point(x0, y0), Point(x0 + side, y0),
+                           Point(x0 + side, y0 + side), Point(x0, y0 + side)};
+  Point c(x0 + side / 2, y0 + side / 2);
+  std::vector<Point> r1;
+  for (const Point& p : r0) {
+    r1.push_back(Point(c.x + dx + (p.x - c.x) * scale,
+                       c.y + dy + (p.y - c.y) * scale));
+  }
+  MCycle cycle;
+  for (int i = 0; i < 4; ++i) {
+    auto s0 = *Seg::Make(r0[std::size_t(i)], r0[std::size_t((i + 1) % 4)]);
+    auto s1 = *Seg::Make(r1[std::size_t(i)], r1[std::size_t((i + 1) % 4)]);
+    cycle.push_back(*MSeg::FromEndSegments(t0, s0, t1, s1));
+  }
+  return cycle;
+}
+
+TEST(URegionMake, TranslatingSquareValid) {
+  auto u = URegion::FromCycle(TI(0, 10),
+                              SquareCycle(0, 0, 2, 0, 10, 5, 3));
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->NumFaces(), 1u);
+  EXPECT_EQ(u->NumMSegs(), 4u);
+}
+
+TEST(URegionMake, RejectsEmptyAndSmallCycles) {
+  EXPECT_FALSE(URegion::Make(TI(0, 1), {}).ok());
+  MCycle tiny = SquareCycle(0, 0, 1, 0, 1, 0, 0);
+  tiny.pop_back();
+  tiny.pop_back();
+  EXPECT_FALSE(URegion::FromCycle(TI(0, 1), tiny).ok());
+}
+
+TEST(URegionMake, MovingHoleValid) {
+  MFace face{SquareCycle(0, 0, 10, 0, 10, 2, 0),
+             {SquareCycle(4, 4, 2, 0, 10, 2, 0)}};
+  auto u = URegion::Make(TI(0, 10), {face});
+  ASSERT_TRUE(u.ok()) << u.status();
+  Region r5 = u->ValueAt(5);
+  EXPECT_EQ(r5.NumCycles(), 2u);
+  EXPECT_NEAR(r5.Area(), 100 - 4, 1e-6);
+}
+
+TEST(URegionMake, RejectsHoleEscapingFace) {
+  // The hole drifts right while the outer cycle stays: at some instant
+  // inside the interval the hole crosses the outer boundary → invalid.
+  MFace face{SquareCycle(0, 0, 4, 0, 10, 0, 0),
+             {SquareCycle(1, 1, 2, 0, 10, 10, 0)}};
+  EXPECT_FALSE(URegion::Make(TI(0, 10), {face}).ok());
+}
+
+TEST(URegionMake, RejectsFacesCollidingMidway) {
+  // Two squares moving towards each other overlap in the middle of the
+  // interval.
+  MFace left{SquareCycle(0, 0, 2, 0, 10, 10, 0), {}};
+  MFace right{SquareCycle(10, 0, 2, 0, 10, -10, 0), {}};
+  EXPECT_FALSE(URegion::Make(TI(0, 10), {left, right}).ok());
+}
+
+TEST(URegionMake, DisjointCoMovingFacesValid) {
+  MFace a{SquareCycle(0, 0, 2, 0, 10, 3, 3), {}};
+  MFace b{SquareCycle(10, 10, 2, 0, 10, 3, 3), {}};
+  auto u = URegion::Make(TI(0, 10), {a, b});
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->ValueAt(5).NumFaces(), 2u);
+}
+
+TEST(URegionValueAt, SnapshotMatchesPaperAlgorithm) {
+  // Section 5.1: evaluating every moving segment at t yields the region.
+  auto u = *URegion::FromCycle(TI(0, 10), SquareCycle(0, 0, 2, 0, 10, 10, 0));
+  std::vector<Seg> snap = u.Snapshot(5);
+  ASSERT_EQ(snap.size(), 4u);
+  Region r = u.ValueAt(5);
+  EXPECT_NEAR(r.Area(), 4, 1e-6);
+  // The square has moved halfway: x ∈ [5, 7].
+  EXPECT_TRUE(r.Contains(Point(6, 1)));
+  EXPECT_FALSE(r.Contains(Point(1, 1)));
+}
+
+TEST(URegionValueAt, GrowingSquareArea) {
+  // Scale 1 → 3 over [0, 10]: side 2 → 6, area 4 → 36.
+  auto u = *URegion::FromCycle(TI(0, 10), SquareCycle(0, 0, 2, 0, 10, 0, 0, 3));
+  EXPECT_NEAR(u.ValueAt(0).Area(), 4, 1e-6);
+  EXPECT_NEAR(u.ValueAt(10).Area(), 36, 1e-6);
+  // Halfway the side is 4.
+  EXPECT_NEAR(u.ValueAt(5).Area(), 16, 1e-6);
+}
+
+// Figure 6: degeneracies at the endpoints of the unit interval.
+TEST(URegionDegeneracy, CollapseToPointAtEnd) {
+  // Square shrinking to its center at t=10 (scale → 0).
+  MCycle collapse;
+  std::vector<Point> r0 = {Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)};
+  Point c(1, 1);
+  for (int i = 0; i < 4; ++i) {
+    const Point& a0 = r0[std::size_t(i)];
+    const Point& b0 = r0[std::size_t((i + 1) % 4)];
+    double dur = 10;
+    auto motion = [&](const Point& p) {
+      return LinearMotion{p.x, (c.x - p.x) / dur, p.y, (c.y - p.y) / dur};
+    };
+    collapse.push_back(*MSeg::Make(motion(a0), motion(b0)));
+  }
+  auto u = URegion::FromCycle(TI(0, 10), collapse);
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_NEAR(u->ValueAt(0).Area(), 4, 1e-6);
+  EXPECT_NEAR(u->ValueAt(5).Area(), 1, 1e-6);
+  // At the end everything degenerates; the cleanup yields the empty
+  // region.
+  EXPECT_TRUE(u->ValueAt(10).IsEmpty());
+}
+
+TEST(OddParity, NonOverlappingPassThrough) {
+  std::vector<Seg> segs = {S(0, 0, 1, 0), S(0, 1, 1, 1)};
+  EXPECT_EQ(OddParityFragments(segs).size(), 2u);
+}
+
+TEST(OddParity, DoubleCoverageCancels) {
+  std::vector<Seg> in = {S(0, 0, 2, 0), S(0, 0, 2, 0)};
+  // Exact duplicates: every fragment covered twice → cancelled.
+  // (Note: duplicates only arise from evaluating degenerate instants.)
+  std::vector<Seg> out = OddParityFragments(in);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(OddParity, PartialOverlapKeepsOddParts) {
+  // Paper example: (p,q) overlaps (r,s) with order p r q s → fragments
+  // (p,r) cov 1, (r,q) cov 2, (q,s) cov 1.
+  std::vector<Seg> in = {S(0, 0, 2, 0), S(1, 0, 3, 0)};
+  std::vector<Seg> out = OddParityFragments(in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], S(0, 0, 1, 0));
+  EXPECT_EQ(out[1], S(2, 0, 3, 0));
+}
+
+TEST(OddParity, TripleCoverageKept) {
+  std::vector<Seg> in = {S(0, 0, 2, 0), S(0, 0, 2, 0), S(0, 0, 2, 0)};
+  std::vector<Seg> out = OddParityFragments(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], S(0, 0, 2, 0));
+}
+
+TEST(URegionStorage, AllMSegsFlattened) {
+  MFace face{SquareCycle(0, 0, 10, 0, 10, 2, 0),
+             {SquareCycle(4, 4, 2, 0, 10, 2, 0)}};
+  URegion u = *URegion::Make(TI(0, 10), {face});
+  EXPECT_EQ(u.AllMSegs().size(), 8u);
+  EXPECT_EQ(u.NumMSegs(), 8u);
+}
+
+TEST(URegionBoundingCube, CoversMotion) {
+  auto u = *URegion::FromCycle(TI(0, 10), SquareCycle(0, 0, 2, 0, 10, 10, 0));
+  Cube c = u.BoundingCube();
+  EXPECT_EQ(c.rect.min_x, 0);
+  EXPECT_EQ(c.rect.max_x, 12);
+  EXPECT_EQ(c.min_t, 0);
+  EXPECT_EQ(c.max_t, 10);
+}
+
+TEST(URegionWithInterval, SubInterval) {
+  auto u = *URegion::FromCycle(TI(0, 10), SquareCycle(0, 0, 2, 0, 10, 10, 0));
+  auto sub = u.WithInterval(TI(2, 3));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_NEAR(sub->ValueAt(2.5).Area(), 4, 1e-6);
+}
+
+}  // namespace
+}  // namespace modb
