@@ -1,0 +1,231 @@
+// Batch/parallel execution experiments: the O(n+k) AtInstantBatch merge
+// sweep vs. k independent O(log n) AtInstant searches, the SoA search
+// index, the refinement scratch buffer, and the parallel query
+// operators (deterministic chunked outer loops).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "db/query.h"
+#include "db/relation_io.h"
+#include "gen/flights_gen.h"
+#include "temporal/batch_ops.h"
+#include "temporal/lifted_ops.h"
+
+namespace modb {
+namespace {
+
+// A 10k-unit moving point: contiguous half-open [i, i+1) slices with
+// alternating velocities so adjacent units cannot be merged away.
+MovingPoint DenseTrack(int units) {
+  MappingBuilder<UPoint> builder;
+  builder.Reserve(std::size_t(units));
+  double x = 0;
+  for (int i = 0; i < units; ++i) {
+    double vx = (i % 2 == 0) ? 1.0 : -0.5;
+    auto iv = *TimeInterval::Make(i, i + 1, true, false);
+    (void)builder.Append(*UPoint::Make(iv, LinearMotion{x, vx, 0.0, 0.25}));
+    x += vx;
+  }
+  return *builder.Build();
+}
+
+std::vector<Instant> SortedInstants(int k, int units, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(0.0, double(units));
+  std::vector<Instant> out(static_cast<std::size_t>(k), 0.0);
+  for (Instant& t : out) t = d(rng);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Baseline: k independent binary searches, O(k log n). Uses the SoA
+// index too, so the comparison isolates the sweep vs. repeated search.
+void BM_AtInstant_Loop(benchmark::State& state) {
+  const int units = int(state.range(0));
+  const int k = int(state.range(1));
+  MovingPoint mp = DenseTrack(units);
+  mp.BuildSearchIndex();
+  std::vector<Instant> instants = SortedInstants(k, units, 7);
+  for (auto _ : state) {
+    double acc = 0;
+    for (Instant t : instants) {
+      Intime<Point> it = mp.AtInstant(t);
+      if (it.defined) acc += it.value.x;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * k);
+}
+BENCHMARK(BM_AtInstant_Loop)
+    ->ArgsProduct({{10000}, {8, 16, 32, 64, 128, 256, 1024, 8192}});
+
+// The merge sweep: one forward pass over units and instants, O(n + k)
+// dense / O(k log n) sparse via galloping.
+void BM_AtInstant_Batch(benchmark::State& state) {
+  const int units = int(state.range(0));
+  const int k = int(state.range(1));
+  MovingPoint mp = DenseTrack(units);
+  mp.BuildSearchIndex();
+  std::vector<Instant> instants = SortedInstants(k, units, 7);
+  std::vector<Intime<Point>> out;
+  for (auto _ : state) {
+    (void)AtInstantBatchInto(mp, instants, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * k);
+}
+BENCHMARK(BM_AtInstant_Batch)
+    ->ArgsProduct({{10000}, {8, 16, 32, 64, 128, 256, 1024, 8192}});
+
+// FindUnit through the packed SoA arrays vs. the unit-record path.
+void BM_FindUnit_SoAIndex(benchmark::State& state) {
+  MovingPoint mp = DenseTrack(10000);
+  if (state.range(0)) mp.BuildSearchIndex();
+  std::vector<Instant> instants = SortedInstants(1024, 10000, 11);
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (Instant t : instants) acc += mp.FindUnit(t).value_or(0);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1024);
+}
+BENCHMARK(BM_FindUnit_SoAIndex)->Arg(0)->Arg(1);
+
+// Refinement partition: fresh allocation per pair vs. the reusable
+// scratch buffer driver.
+MovingReal DenseReal(int units, double offset) {
+  MappingBuilder<UReal> builder;
+  builder.Reserve(std::size_t(units));
+  for (int i = 0; i < units; ++i) {
+    auto iv = *TimeInterval::Make(offset + i, offset + i + 1, true, false);
+    (void)builder.Append(*UReal::Make(iv, 0, (i % 3) - 1.0, double(i), false));
+  }
+  return *builder.Build();
+}
+
+void BM_Refinement_Alloc(benchmark::State& state) {
+  MovingReal a = DenseReal(int(state.range(0)), 0.0);
+  MovingReal b = DenseReal(int(state.range(0)), 0.25);
+  for (auto _ : state) {
+    auto rp = RefinementPartition(a, b);
+    benchmark::DoNotOptimize(rp);
+  }
+}
+BENCHMARK(BM_Refinement_Alloc)->Arg(256)->Arg(2048);
+
+void BM_Refinement_Scratch(benchmark::State& state) {
+  MovingReal a = DenseReal(int(state.range(0)), 0.0);
+  MovingReal b = DenseReal(int(state.range(0)), 0.25);
+  RefinementScratch scratch;
+  for (auto _ : state) {
+    std::size_t pairs = 0;
+    (void)ForEachRefinementPair(a, b, &scratch,
+                                [&pairs](const RefinementEntry&) {
+                                  ++pairs;
+                                  return Status::OK();
+                                });
+    benchmark::DoNotOptimize(pairs);
+  }
+}
+BENCHMARK(BM_Refinement_Scratch)->Arg(256)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Parallel operators. arg = thread count (0 = serial operator).
+// ---------------------------------------------------------------------------
+
+Relation Planes(int flights, std::uint64_t seed) {
+  FlightsOptions opts;
+  opts.num_flights = flights;
+  opts.seed = seed;
+  return *GeneratePlanes(opts);
+}
+
+bool ClosePred(const Tuple& a, std::size_t i, const Tuple& b, std::size_t j,
+               double dist) {
+  if (i >= j) return false;
+  auto d = LiftedDistance(std::get<MovingPoint>(a[kFlightAttrFlight]),
+                          std::get<MovingPoint>(b[kFlightAttrFlight]));
+  if (!d.ok() || d->IsEmpty()) return false;
+  auto am = AtMin(*d);
+  return am.ok() && !am->IsEmpty() && am->Initial().val() < dist;
+}
+
+// One-time check that the parallel join is byte-identical to serial
+// (the bench asserts what the tests verify exhaustively).
+bool JoinsMatch(const Relation& serial, const Relation& parallel) {
+  if (serial.NumTuples() != parallel.NumTuples()) return false;
+  for (std::size_t i = 0; i < serial.NumTuples(); ++i) {
+    for (std::size_t j = 0; j < serial.tuple(i).size(); ++j) {
+      auto sa = SerializeAttribute(serial.tuple(i)[j]);
+      auto sb = SerializeAttribute(parallel.tuple(i)[j]);
+      if (!sa.ok() || !sb.ok() || *sa != *sb) return false;
+    }
+  }
+  return true;
+}
+
+void BM_IndexJoin_Parallel(benchmark::State& state) {
+  const int threads = int(state.range(0));
+  Relation planes = Planes(96, 99);
+  auto pred = [](const Tuple& a, std::size_t i, const Tuple& b,
+                 std::size_t j) { return ClosePred(a, i, b, j, 50); };
+  Relation serial = IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                           kFlightAttrFlight, 50, pred);
+  if (threads > 0) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    Relation check = IndexJoinOnMovingPointParallel(
+        planes, kFlightAttrFlight, planes, kFlightAttrFlight, 50, pred,
+        options);
+    if (!JoinsMatch(serial, check)) {
+      state.SkipWithError("parallel join output differs from serial");
+      return;
+    }
+    for (auto _ : state) {
+      Relation r = IndexJoinOnMovingPointParallel(
+          planes, kFlightAttrFlight, planes, kFlightAttrFlight, 50, pred,
+          options);
+      benchmark::DoNotOptimize(r);
+    }
+  } else {
+    for (auto _ : state) {
+      Relation r = IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                          kFlightAttrFlight, 50, pred);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_IndexJoin_Parallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_Select_Parallel(benchmark::State& state) {
+  const int threads = int(state.range(0));
+  Relation planes = Planes(192, 99);
+  auto pred = [](const Tuple& t) {
+    return Trajectory(std::get<MovingPoint>(t[kFlightAttrFlight])).Length() >
+           5000;
+  };
+  if (threads > 0) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    for (auto _ : state) {
+      Relation r = SelectParallel(planes, pred, options);
+      benchmark::DoNotOptimize(r);
+    }
+  } else {
+    for (auto _ : state) {
+      Relation r = Select(planes, pred);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_Select_Parallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,81 @@
+#include "db/parallel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace modb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = int(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(std::size_t(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(
+    ThreadPool& pool, std::size_t n, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  chunks = std::min(std::max<std::size_t>(chunks, 1), n);
+  auto bound = [n, chunks](std::size_t c) { return c * n / chunks; };
+  if (chunks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  // Self-contained completion latch: ParallelFor invocations never share
+  // state, so nested/concurrent calls on the same pool are safe (though
+  // the caller must not invoke ParallelFor from inside a pool task).
+  std::mutex mu;
+  std::condition_variable done;
+  std::size_t remaining = chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool.Submit([&, c] {
+      fn(c, bound(c), bound(c + 1));
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace modb

@@ -1,0 +1,60 @@
+// A small fixed thread pool and a deterministic parallel-for, backing
+// the parallel query operators (query.h). Workers are started once and
+// reused; ParallelFor statically partitions an index range into
+// contiguous chunks so callers can keep per-chunk result buffers and
+// merge them in chunk order — making parallel operator output identical
+// to the serial operator's.
+
+#ifndef MODB_DB_PARALLEL_H_
+#define MODB_DB_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace modb {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// num_threads <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return int(workers_.size()); }
+
+  /// Enqueues a task; runs on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Process-wide shared pool, sized to the hardware, started lazily.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, n) into `chunks` contiguous ranges and runs
+/// fn(chunk_index, begin, end) for each on the pool, blocking until all
+/// complete. Chunk boundaries depend only on (n, chunks), so per-chunk
+/// outputs can be merged deterministically. fn must be thread-safe.
+/// chunks <= 1 (or n == 0) runs inline on the calling thread.
+void ParallelFor(
+    ThreadPool& pool, std::size_t n, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace modb
+
+#endif  // MODB_DB_PARALLEL_H_

@@ -5,6 +5,88 @@
 
 namespace modb {
 
+namespace {
+
+// Shared by the serial and parallel index joins: the R-tree over all
+// unit bounding cubes of b's moving-point attribute. Entry ids are the
+// owning tuple indices (duplicates collapsed at query time).
+RTree3D BuildUnitTree(const Relation& b, int attr_b) {
+  std::vector<RTree3D::Entry> entries;
+  for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+    const auto& mp = std::get<MovingPoint>(b.tuple(j)[std::size_t(attr_b)]);
+    for (const UPoint& u : mp.units()) {
+      entries.push_back({u.BoundingCube(), int64_t(j)});
+    }
+  }
+  return RTree3D::BulkLoad(std::move(entries));
+}
+
+// Joined tuples for outer tuple i of the index join, appended to *out in
+// ascending candidate order. One body for both operator variants keeps
+// their outputs identical.
+void ProbeIndexJoinTuple(
+    const Relation& a, int attr_a, const Relation& b, const RTree3D& tree,
+    double expand, std::size_t i,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    std::vector<Tuple>* out) {
+  const auto& mp = std::get<MovingPoint>(a.tuple(i)[std::size_t(attr_a)]);
+  std::set<int64_t> candidates;
+  for (const UPoint& u : mp.units()) {
+    Cube c = u.BoundingCube();
+    c.rect.min_x -= expand;
+    c.rect.min_y -= expand;
+    c.rect.max_x += expand;
+    c.rect.max_y += expand;
+    tree.QueryVisit(c, [&candidates](int64_t id) { candidates.insert(id); });
+  }
+  for (int64_t j : candidates) {
+    if (!pred(a.tuple(i), i, b.tuple(std::size_t(j)), std::size_t(j))) {
+      continue;
+    }
+    Tuple joined = a.tuple(i);
+    joined.insert(joined.end(), b.tuple(std::size_t(j)).begin(),
+                  b.tuple(std::size_t(j)).end());
+    out->push_back(std::move(joined));
+  }
+}
+
+std::size_t EffectiveChunks(const ParallelOptions& options) {
+  if (options.num_threads > 0) return std::size_t(options.num_threads);
+  int n = options.pool ? options.pool->num_threads()
+                       : ThreadPool::Shared().num_threads();
+  return std::size_t(std::max(1, n));
+}
+
+ThreadPool& EffectivePool(const ParallelOptions& options) {
+  return options.pool ? *options.pool : ThreadPool::Shared();
+}
+
+// Runs fn(i, &buffer_for_i's_chunk) over the outer indices [0, n) in
+// `chunks` contiguous ranges, then inserts all buffered tuples into
+// `out` in chunk order — the same order a serial i-ascending loop
+// produces.
+void ParallelOuterLoop(
+    std::size_t n, const ParallelOptions& options, Relation* out,
+    const std::function<void(std::size_t, std::vector<Tuple>*)>& fn) {
+  const std::size_t chunks = EffectiveChunks(options);
+  std::vector<std::vector<Tuple>> buffers(std::max<std::size_t>(chunks, 1));
+  ParallelFor(EffectivePool(options), n, chunks,
+              [&](std::size_t c, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  fn(i, &buffers[c]);
+                }
+              });
+  for (std::vector<Tuple>& buf : buffers) {
+    for (Tuple& t : buf) {
+      // Insert cannot fail: tuples conform to the output schema.
+      (void)out->Insert(std::move(t));
+    }
+  }
+}
+
+}  // namespace
+
 Relation Select(const Relation& rel,
                 const std::function<bool(const Tuple&)>& pred) {
   Relation out(rel.name() + "_sel", rel.schema());
@@ -63,41 +145,66 @@ Relation IndexJoinOnMovingPoint(
     double expand,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred) {
-  // Index b's units: entry id packs (tuple index << 20 | unit index); we
-  // only need the tuple index here, so duplicates are collapsed.
-  std::vector<RTree3D::Entry> entries;
-  for (std::size_t j = 0; j < b.NumTuples(); ++j) {
-    const auto& mp = std::get<MovingPoint>(b.tuple(j)[std::size_t(attr_b)]);
-    for (const UPoint& u : mp.units()) {
-      entries.push_back({u.BoundingCube(), int64_t(j)});
-    }
-  }
-  RTree3D tree = RTree3D::BulkLoad(std::move(entries));
-
+  RTree3D tree = BuildUnitTree(b, attr_b);
   Relation out(a.name() + "_ix_" + b.name(),
                Schema::Concat(a.schema(), a.name() + ".", b.schema(),
                               b.name() + "."));
+  std::vector<Tuple> buf;
   for (std::size_t i = 0; i < a.NumTuples(); ++i) {
-    const auto& mp = std::get<MovingPoint>(a.tuple(i)[std::size_t(attr_a)]);
-    std::set<int64_t> candidates;
-    for (const UPoint& u : mp.units()) {
-      Cube c = u.BoundingCube();
-      c.rect.min_x -= expand;
-      c.rect.min_y -= expand;
-      c.rect.max_x += expand;
-      c.rect.max_y += expand;
-      tree.QueryVisit(c, [&candidates](int64_t id) { candidates.insert(id); });
-    }
-    for (int64_t j : candidates) {
-      if (!pred(a.tuple(i), i, b.tuple(std::size_t(j)), std::size_t(j))) {
-        continue;
-      }
-      Tuple joined = a.tuple(i);
-      joined.insert(joined.end(), b.tuple(std::size_t(j)).begin(),
-                    b.tuple(std::size_t(j)).end());
-      (void)out.Insert(std::move(joined));
-    }
+    buf.clear();
+    ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred, &buf);
+    for (Tuple& t : buf) (void)out.Insert(std::move(t));
   }
+  return out;
+}
+
+Relation SelectParallel(const Relation& rel,
+                        const std::function<bool(const Tuple&)>& pred,
+                        const ParallelOptions& options) {
+  Relation out(rel.name() + "_sel", rel.schema());
+  ParallelOuterLoop(rel.NumTuples(), options, &out,
+                    [&](std::size_t i, std::vector<Tuple>* buf) {
+                      if (pred(rel.tuple(i))) buf->push_back(rel.tuple(i));
+                    });
+  return out;
+}
+
+Relation NestedLoopJoinParallel(
+    const Relation& a, const Relation& b,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ParallelOptions& options) {
+  Relation out(a.name() + "_x_" + b.name(),
+               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
+                              b.name() + "."));
+  ParallelOuterLoop(
+      a.NumTuples(), options, &out,
+      [&](std::size_t i, std::vector<Tuple>* buf) {
+        for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+          if (!pred(a.tuple(i), i, b.tuple(j), j)) continue;
+          Tuple joined = a.tuple(i);
+          joined.insert(joined.end(), b.tuple(j).begin(), b.tuple(j).end());
+          buf->push_back(std::move(joined));
+        }
+      });
+  return out;
+}
+
+Relation IndexJoinOnMovingPointParallel(
+    const Relation& a, int attr_a, const Relation& b, int attr_b,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ParallelOptions& options) {
+  RTree3D tree = BuildUnitTree(b, attr_b);
+  Relation out(a.name() + "_ix_" + b.name(),
+               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
+                              b.name() + "."));
+  ParallelOuterLoop(a.NumTuples(), options, &out,
+                    [&](std::size_t i, std::vector<Tuple>* buf) {
+                      ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred,
+                                          buf);
+                    });
   return out;
 }
 

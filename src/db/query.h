@@ -10,10 +10,24 @@
 #include <vector>
 
 #include "core/status.h"
+#include "db/parallel.h"
 #include "db/relation.h"
 #include "index/rtree3d.h"
 
 namespace modb {
+
+/// Options for the parallel operator variants. Each operator partitions
+/// its outer relation into `num_threads` contiguous chunks with
+/// per-worker result buffers merged in chunk order, so the output
+/// relation is identical (tuple-for-tuple and byte-for-byte) to the
+/// serial operator's. Predicates must be thread-safe: they are invoked
+/// concurrently from pool workers.
+struct ParallelOptions {
+  /// Worker/chunk count; <= 0 uses the shared pool's thread count.
+  int num_threads = 0;
+  /// Pool to run on; nullptr uses ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
 
 /// σ: tuples of `rel` satisfying `pred`.
 Relation Select(const Relation& rel,
@@ -41,6 +55,29 @@ Relation IndexJoinOnMovingPoint(
     double expand,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred);
+
+/// Parallel σ: output identical to Select(rel, pred).
+Relation SelectParallel(const Relation& rel,
+                        const std::function<bool(const Tuple&)>& pred,
+                        const ParallelOptions& options = {});
+
+/// Parallel nested-loop join: the outer relation is partitioned across
+/// workers; output identical to NestedLoopJoin(a, b, pred).
+Relation NestedLoopJoinParallel(
+    const Relation& a, const Relation& b,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ParallelOptions& options = {});
+
+/// Parallel index join: the R-tree over `b` is built once (serially),
+/// then probed concurrently for chunks of `a`; output identical to
+/// IndexJoinOnMovingPoint(a, attr_a, b, attr_b, expand, pred).
+Relation IndexJoinOnMovingPointParallel(
+    const Relation& a, int attr_a, const Relation& b, int attr_b,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ParallelOptions& options = {});
 
 }  // namespace modb
 

@@ -8,6 +8,7 @@
 
 #include "core/real.h"
 #include "spatial/spatial_ops.h"
+#include "temporal/batch_ops.h"
 #include "temporal/refinement.h"
 
 namespace modb {
@@ -212,7 +213,12 @@ namespace {
 Result<MovingBool> BoolCombine(const MovingBool& a, const MovingBool& b,
                                bool is_and) {
   MappingBuilder<UBool> builder;
-  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     bool va = a.unit(std::size_t(e.unit_a)).value();
     bool vb = b.unit(std::size_t(e.unit_b)).value();
@@ -248,7 +254,12 @@ Periods WhenTrue(const MovingBool& b) {
 
 Result<MovingReal> LiftedDistance(const MovingPoint& a, const MovingPoint& b) {
   MappingBuilder<UReal> builder;
-  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     const LinearMotion& ma = a.unit(std::size_t(e.unit_a)).motion();
     const LinearMotion& mb = b.unit(std::size_t(e.unit_b)).motion();
@@ -265,6 +276,7 @@ Result<MovingReal> LiftedDistance(const MovingPoint& a, const MovingPoint& b) {
 
 Result<MovingReal> LiftedDistance(const MovingPoint& a, const Point& p) {
   MappingBuilder<UReal> builder;
+  builder.Reserve(a.NumUnits());
   for (const UPoint& u : a.units()) {
     const LinearMotion& m = u.motion();
     double dx0 = m.x0 - p.x, dx1 = m.x1;
@@ -298,7 +310,12 @@ DistQuad SquaredDistanceQuad(const LinearMotion& p, const LinearMotion& q) {
 Result<MovingReal> LiftedDistance(const MovingPoint& a,
                                   const MovingPoints& b) {
   MappingBuilder<UReal> builder;
-  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     const LinearMotion& p = a.unit(std::size_t(e.unit_a)).motion();
     const std::vector<LinearMotion>& members =
@@ -346,7 +363,12 @@ Result<MovingReal> LiftedDistance(const MovingPoint& a,
 
 Result<MovingBool> Inside(const MovingPoint& a, const MovingPoints& b) {
   MappingBuilder<UBool> builder;
-  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     const LinearMotion& p = a.unit(std::size_t(e.unit_a)).motion();
     const std::vector<LinearMotion>& members =
@@ -446,7 +468,12 @@ Result<MovingBool> Compare(const MovingReal& m, double c, CmpOp op) {
 Result<MovingBool> Compare(const MovingReal& a, const MovingReal& b,
                            CmpOp op) {
   MappingBuilder<UBool> builder;
-  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     const UReal& ua = a.unit(std::size_t(e.unit_a));
     const UReal& ub = b.unit(std::size_t(e.unit_b));
@@ -510,7 +537,12 @@ namespace {
 Result<MovingReal> AddSub(const MovingReal& a, const MovingReal& b,
                           double sign) {
   MappingBuilder<UReal> builder;
-  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     const UReal& ua = a.unit(std::size_t(e.unit_a));
     const UReal& ub = b.unit(std::size_t(e.unit_b));
@@ -630,6 +662,7 @@ Points Locations(const MovingPoint& mp) {
 
 Result<MovingReal> Speed(const MovingPoint& mp) {
   MappingBuilder<UReal> builder;
+  builder.Reserve(mp.NumUnits());
   for (const UPoint& u : mp.units()) {
     auto unit = UReal::Constant(u.interval(), u.Speed());
     if (!unit.ok()) return unit.status();
@@ -654,6 +687,7 @@ Result<MovingReal> MDirection(const MovingPoint& mp) {
 
 Result<MovingPoint> Velocity(const MovingPoint& mp) {
   MappingBuilder<UPoint> builder;
+  builder.Reserve(mp.NumUnits());
   for (const UPoint& u : mp.units()) {
     auto unit = UPoint::Static(u.interval(),
                                Point(u.motion().x1, u.motion().y1));
@@ -734,7 +768,12 @@ Result<MovingBool> Inside(const MovingPoint& mp, const Line& l) {
 
 Result<MovingBool> Equals(const MovingPoint& a, const MovingPoint& b) {
   MappingBuilder<UBool> builder;
-  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     CoincidenceResult co = Coincidence(a.unit(std::size_t(e.unit_a)).motion(),
                                        b.unit(std::size_t(e.unit_b)).motion());
@@ -762,7 +801,12 @@ Result<MovingBool> Equals(const MovingPoint& a, const MovingPoint& b) {
 Result<MovingBool> Inside(const MovingPoint& mp, const MovingRegion& mr,
                           const InsideOptions& options) {
   MappingBuilder<UBool> builder;
-  for (const RefinementEntry& e : RefinementPartition(mp, mr)) {
+  // Function-local thread_local scratch: reused across calls (one
+  // allocation per thread, not per tuple pair), and safe under the
+  // parallel query operators.
+  thread_local RefinementScratch rp;
+  MODB_RETURN_IF_ERROR(RefinementPartitionInto(mp, mr, &rp));
+  for (const RefinementEntry& e : rp) {
     if (!e.HasBoth()) continue;
     const UPoint& up = mp.unit(std::size_t(e.unit_a));
     const URegion& ur = mr.unit(std::size_t(e.unit_b));

@@ -18,7 +18,11 @@
 #define MODB_TEMPORAL_MAPPING_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,8 +31,57 @@
 #include "core/intime.h"
 #include "core/range_set.h"
 #include "core/status.h"
+#include "spatial/bbox.h"
 
 namespace modb {
+
+/// Optional SoA side-structure for a Mapping (built on demand by
+/// Mapping::BuildSearchIndex): the unit intervals unpacked into
+/// contiguous start/end arrays so the FindUnit binary search probes
+/// packed doubles instead of striding over full unit records, plus a
+/// cached deftime bounding interval and (for spatial unit types) the
+/// union of the unit bounding cubes.
+struct MappingSearchIndex {
+  static constexpr std::uint8_t kLeftClosed = 1;
+  static constexpr std::uint8_t kRightClosed = 2;
+
+  std::vector<Instant> start;
+  std::vector<Instant> end;
+  std::vector<std::uint8_t> closed;  // kLeftClosed | kRightClosed bits.
+
+  /// Branchless search keys folding the closedness flags into the
+  /// comparison value:
+  ///   end_key[i]   <  t  ⟺  unit i lies entirely before t
+  ///   start_key[i] <= t  ⟺  unit i starts at or before t
+  /// (an open bound is nudged one ulp inward), so search probes are a
+  /// single double compare on one packed array.
+  std::vector<Instant> start_key;
+  std::vector<Instant> end_key;
+
+  /// Bounding interval of the deftime: [min start, max end]. Only
+  /// meaningful when `start` is non-empty.
+  Instant min_start = 0;
+  Instant max_end = 0;
+
+  /// Union of the unit bounding cubes for unit types exposing
+  /// BoundingCube(); left empty (IsEmpty()) otherwise.
+  Cube bbox;
+
+  bool left_closed(std::size_t i) const {
+    return (closed[i] & kLeftClosed) != 0;
+  }
+  bool right_closed(std::size_t i) const {
+    return (closed[i] & kRightClosed) != 0;
+  }
+
+  /// Membership of t in unit i's interval, on the packed arrays.
+  bool Contains(std::size_t i, Instant t) const {
+    if (t < start[i] || end[i] < t) return false;
+    if (t == start[i] && !left_closed(i)) return false;
+    if (t == end[i] && !right_closed(i)) return false;
+    return true;
+  }
+};
 
 template <typename U>
 class Mapping {
@@ -73,9 +126,67 @@ class Mapping {
   const std::vector<U>& units() const { return units_; }
   const U& unit(std::size_t i) const { return units_[i]; }
 
+  /// Builds the SoA search index (idempotent). Copies of the mapping
+  /// share the index; it stays valid because a Mapping's unit list never
+  /// changes after construction.
+  void BuildSearchIndex() {
+    if (index_) return;
+    auto ix = std::make_shared<MappingSearchIndex>();
+    ix->start.reserve(units_.size());
+    ix->end.reserve(units_.size());
+    ix->closed.reserve(units_.size());
+    ix->start_key.reserve(units_.size());
+    ix->end_key.reserve(units_.size());
+    constexpr Instant kInf = std::numeric_limits<Instant>::infinity();
+    for (const U& u : units_) {
+      const TimeInterval& iv = u.interval();
+      ix->start.push_back(iv.start());
+      ix->end.push_back(iv.end());
+      ix->closed.push_back(
+          std::uint8_t((iv.left_closed() ? MappingSearchIndex::kLeftClosed : 0) |
+                       (iv.right_closed() ? MappingSearchIndex::kRightClosed
+                                          : 0)));
+      ix->start_key.push_back(iv.left_closed()
+                                  ? iv.start()
+                                  : std::nextafter(iv.start(), kInf));
+      ix->end_key.push_back(iv.right_closed()
+                                ? iv.end()
+                                : std::nextafter(iv.end(), -kInf));
+      if constexpr (requires(const U& un) {
+                      { un.BoundingCube() } -> std::convertible_to<Cube>;
+                    }) {
+        ix->bbox.Extend(u.BoundingCube());
+      }
+    }
+    if (!units_.empty()) {
+      ix->min_start = ix->start.front();
+      ix->max_end = ix->end.back();
+    }
+    index_ = std::move(ix);
+  }
+
+  bool HasSearchIndex() const { return index_ != nullptr; }
+
+  /// The SoA index, or nullptr when BuildSearchIndex was never called.
+  const MappingSearchIndex* search_index() const { return index_.get(); }
+
   /// Binary search for the unit whose interval contains t (the first step
-  /// of the atinstant algorithm of Section 5.1). O(log n).
+  /// of the atinstant algorithm of Section 5.1). O(log n). Probes the
+  /// packed SoA arrays when the search index has been built.
   std::optional<std::size_t> FindUnit(Instant t) const {
+    if (const MappingSearchIndex* ix = index_.get()) {
+      if (ix->start.empty() || t < ix->min_start || ix->max_end < t) {
+        return std::nullopt;
+      }
+      // First unit not entirely before t; it contains t iff it starts at
+      // or before t (single-compare probes on the packed key arrays).
+      auto it =
+          std::lower_bound(ix->end_key.begin(), ix->end_key.end(), t);
+      if (it == ix->end_key.end()) return std::nullopt;
+      std::size_t idx = std::size_t(std::distance(ix->end_key.begin(), it));
+      if (ix->start_key[idx] <= t) return idx;
+      return std::nullopt;
+    }
     auto it = std::upper_bound(
         units_.begin(), units_.end(), t, [](Instant v, const U& u) {
           return v < u.interval().start();
@@ -110,10 +221,20 @@ class Mapping {
   bool Present(Instant t) const { return FindUnit(t).has_value(); }
 
   /// present lifted to periods: defined at some instant of the periods?
+  /// Two-pointer merge over the two sorted interval sequences, O(n + m)
+  /// (Section 5.2).
   bool Present(const Periods& periods) const {
-    for (const U& u : units_) {
-      for (const TimeInterval& iv : periods.intervals()) {
-        if (!TimeInterval::Disjoint(u.interval(), iv)) return true;
+    const std::vector<TimeInterval>& ivs = periods.intervals();
+    std::size_t i = 0, j = 0;
+    while (i < units_.size() && j < ivs.size()) {
+      const TimeInterval& u = units_[i].interval();
+      const TimeInterval& v = ivs[j];
+      if (TimeInterval::RDisjoint(u, v)) {
+        ++i;
+      } else if (TimeInterval::RDisjoint(v, u)) {
+        ++j;
+      } else {
+        return true;
       }
     }
     return false;
@@ -128,15 +249,35 @@ class Mapping {
   }
 
   /// atperiods: restriction of the moving value to the given periods.
+  /// Two-pointer merge over the sorted unit and period sequences,
+  /// O(n + m + output) (Section 5.2).
   Result<Mapping> AtPeriods(const Periods& periods) const {
+    const std::vector<TimeInterval>& ivs = periods.intervals();
     std::vector<U> out;
-    for (const U& u : units_) {
-      for (const TimeInterval& iv : periods.intervals()) {
-        auto inter = TimeInterval::Intersect(u.interval(), iv);
-        if (!inter) continue;
-        Result<U> piece = u.WithInterval(*inter);
+    std::size_t i = 0, j = 0;
+    while (i < units_.size() && j < ivs.size()) {
+      const TimeInterval& u = units_[i].interval();
+      const TimeInterval& v = ivs[j];
+      if (TimeInterval::RDisjoint(u, v)) {
+        ++i;
+        continue;
+      }
+      if (TimeInterval::RDisjoint(v, u)) {
+        ++j;
+        continue;
+      }
+      if (auto inter = TimeInterval::Intersect(u, v)) {
+        Result<U> piece = units_[i].WithInterval(*inter);
         if (!piece.ok()) return piece.status();
         out.push_back(std::move(*piece));
+      }
+      // Advance the side whose interval ends first; the other may still
+      // overlap what follows.
+      if (u.end() < v.end() ||
+          (u.end() == v.end() && !u.right_closed())) {
+        ++i;
+      } else {
+        ++j;
       }
     }
     return Make(std::move(out));
@@ -169,6 +310,8 @@ class Mapping {
       : units_(std::move(sorted_units)) {}
 
   std::vector<U> units_;
+  // Shared across copies; never mutated after construction.
+  std::shared_ptr<const MappingSearchIndex> index_;
 };
 
 /// Builder that assembles a mapping unit by unit, merging units with
@@ -206,6 +349,9 @@ class MappingBuilder {
   }
 
   std::size_t NumUnits() const { return units_.size(); }
+
+  /// Pre-allocates capacity for n units (bulk assembly fast path).
+  void Reserve(std::size_t n) { units_.reserve(n); }
 
   /// Finalizes into a mapping. The builder is left empty.
   Result<Mapping<U>> Build() {

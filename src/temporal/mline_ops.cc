@@ -9,6 +9,7 @@ namespace modb {
 
 Result<MovingReal> Length(const MovingLine& ml) {
   MappingBuilder<UReal> builder;
+  builder.Reserve(ml.NumUnits());
   for (const ULine& u : ml.units()) {
     const TimeInterval& iv = u.interval();
     double dur = Duration(iv);

@@ -29,6 +29,7 @@ QuadFit FitQuadratic(double t1, double v1, double t2, double v2, double t3,
 
 Result<MovingReal> Area(const MovingRegion& mr) {
   MappingBuilder<UReal> builder;
+  builder.Reserve(mr.NumUnits());
   for (const URegion& u : mr.units()) {
     const TimeInterval& iv = u.interval();
     double dur = Duration(iv);
@@ -57,6 +58,7 @@ Result<MovingReal> PerimeterApprox(const MovingRegion& mr, int subdivisions) {
     return Status::InvalidArgument("subdivisions must be >= 1");
   }
   MappingBuilder<UReal> builder;
+  builder.Reserve(mr.NumUnits() * std::size_t(subdivisions));
   for (const URegion& u : mr.units()) {
     const TimeInterval& iv = u.interval();
     double dur = Duration(iv);

@@ -1,0 +1,196 @@
+#include "db/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "db/relation_io.h"
+#include "gen/flights_gen.h"
+
+namespace modb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelFor.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (count.fetch_add(1) + 1 == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return count.load() == kTasks; });
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 5u, 100u, 1000u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 7u, 64u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(pool, n, chunks,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      hits[i].fetch_add(1);
+                    }
+                  });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " chunks=" << chunks
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, ChunkBoundariesAreContiguousAndOrdered) {
+  ThreadPool pool(2);
+  const std::size_t n = 37, chunks = 5;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks, {0, 0});
+  std::mutex mu;
+  ParallelFor(pool, n, chunks,
+              [&](std::size_t c, std::size_t begin, std::size_t end) {
+                std::lock_guard<std::mutex> lock(mu);
+                ranges[c] = {begin, end};
+              });
+  std::size_t expect_begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    EXPECT_EQ(ranges[c].first, expect_begin) << c;
+    EXPECT_LE(ranges[c].first, ranges[c].second) << c;
+    expect_begin = ranges[c].second;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel operators: byte-identical to the serial operators at every
+// thread count (per-chunk buffers merged in chunk order).
+// ---------------------------------------------------------------------------
+
+// AttributeValue has no operator==, so compare through the storage
+// serialization: two relations are byte-identical iff every serialized
+// attribute of every tuple matches, in order.
+void ExpectByteIdentical(const Relation& a, const Relation& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.schema().NumAttributes(), b.schema().NumAttributes());
+  ASSERT_EQ(a.NumTuples(), b.NumTuples());
+  for (std::size_t i = 0; i < a.NumTuples(); ++i) {
+    const Tuple& ta = a.tuple(i);
+    const Tuple& tb = b.tuple(i);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      auto sa = SerializeAttribute(ta[j]);
+      auto sb = SerializeAttribute(tb[j]);
+      ASSERT_TRUE(sa.ok() && sb.ok());
+      ASSERT_EQ(*sa, *sb) << "tuple " << i << " attr " << j;
+    }
+  }
+}
+
+Relation TestPlanes(int num_flights, std::uint64_t seed) {
+  FlightsOptions opt;
+  opt.num_flights = num_flights;
+  opt.seed = seed;
+  auto rel = GeneratePlanes(opt);
+  EXPECT_TRUE(rel.ok()) << rel.status();
+  return *rel;
+}
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 7};
+
+TEST(ParallelOperators, SelectMatchesSerial) {
+  Relation planes = TestPlanes(60, 1);
+  auto pred = [](const Tuple& t) {
+    const auto& mp = std::get<MovingPoint>(t[std::size_t(kFlightAttrFlight)]);
+    return mp.NumUnits() % 2 == 0;
+  };
+  Relation serial = Select(planes, pred);
+  EXPECT_GT(serial.NumTuples(), 0u);
+  EXPECT_LT(serial.NumTuples(), planes.NumTuples());
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    ExpectByteIdentical(serial, SelectParallel(planes, pred, options));
+    // num_threads overrides chunking without a private pool.
+    ParallelOptions by_count;
+    by_count.num_threads = threads;
+    ExpectByteIdentical(serial, SelectParallel(planes, pred, by_count));
+  }
+}
+
+TEST(ParallelOperators, NestedLoopJoinMatchesSerial) {
+  Relation a = TestPlanes(24, 2);
+  Relation b = TestPlanes(24, 3);
+  // Join flights whose deftimes overlap.
+  auto pred = [&](const Tuple& ta, std::size_t, const Tuple& tb,
+                  std::size_t) {
+    const auto& ma = std::get<MovingPoint>(ta[std::size_t(kFlightAttrFlight)]);
+    const auto& mb = std::get<MovingPoint>(tb[std::size_t(kFlightAttrFlight)]);
+    if (ma.IsEmpty() || mb.IsEmpty()) return false;
+    return ma.units().front().interval().start() <=
+               mb.units().back().interval().end() &&
+           mb.units().front().interval().start() <=
+               ma.units().back().interval().end();
+  };
+  Relation serial = NestedLoopJoin(a, b, pred);
+  EXPECT_GT(serial.NumTuples(), 0u);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    ExpectByteIdentical(serial, NestedLoopJoinParallel(a, b, pred, options));
+  }
+}
+
+TEST(ParallelOperators, IndexJoinMatchesSerial) {
+  Relation a = TestPlanes(32, 4);
+  Relation b = TestPlanes(32, 5);
+  auto pred = [](const Tuple&, std::size_t i, const Tuple&, std::size_t j) {
+    return i != j;
+  };
+  Relation serial =
+      IndexJoinOnMovingPoint(a, kFlightAttrFlight, b, kFlightAttrFlight,
+                             500.0, pred);
+  EXPECT_GT(serial.NumTuples(), 0u);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ParallelOptions options;
+    options.pool = &pool;
+    Relation par = IndexJoinOnMovingPointParallel(
+        a, kFlightAttrFlight, b, kFlightAttrFlight, 500.0, pred, options);
+    ExpectByteIdentical(serial, par);
+  }
+}
+
+TEST(ParallelOperators, EmptyRelationAndMoreChunksThanTuples) {
+  Relation planes = TestPlanes(3, 6);
+  Relation empty("planes", planes.schema());
+  auto all = [](const Tuple&) { return true; };
+  ParallelOptions options;
+  options.num_threads = 8;  // more chunks than tuples
+  ExpectByteIdentical(Select(empty, all), SelectParallel(empty, all, options));
+  ExpectByteIdentical(Select(planes, all),
+                      SelectParallel(planes, all, options));
+}
+
+}  // namespace
+}  // namespace modb

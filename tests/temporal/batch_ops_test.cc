@@ -1,0 +1,430 @@
+#include "temporal/batch_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <type_traits>
+#include <vector>
+
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+TimeInterval TI(double s, double e, bool lc = true, bool rc = true) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+UBool UB(double s, double e, bool v, bool lc = true, bool rc = true) {
+  return *UBool::Make(TI(s, e, lc, rc), v);
+}
+
+UInt UI(double s, double e, int64_t v, bool lc = true, bool rc = true) {
+  return *UInt::Make(TI(s, e, lc, rc), v);
+}
+
+// ---------------------------------------------------------------------------
+// Refinement edge cases (satellite: point intervals, adjacent open/closed
+// boundaries, empty mappings, index width).
+// ---------------------------------------------------------------------------
+
+static_assert(std::is_same_v<decltype(RefinementEntry::unit_a), std::int32_t>,
+              "refinement indices must be fixed-width (no silent narrowing)");
+static_assert(std::is_same_v<decltype(RefinementEntry::unit_b), std::int32_t>,
+              "refinement indices must be fixed-width (no silent narrowing)");
+
+TEST(RefinementEdge, PointIntervalUnit) {
+  // A mapping whose only unit is a single instant, inside b's span.
+  MovingInt a = *MovingInt::Make({*UInt::Make(TimeInterval::At(5), 1)});
+  MovingBool b = *MovingBool::Make({UB(0, 10, true)});
+  auto rp = RefinementPartition(a, b);
+  ASSERT_EQ(rp.size(), 3u);
+  EXPECT_EQ(rp[0].interval, TI(0, 5, true, false));
+  EXPECT_FALSE(rp[0].HasBoth());
+  EXPECT_TRUE(rp[1].interval.IsDegenerate());
+  EXPECT_TRUE(rp[1].HasBoth());
+  EXPECT_EQ(rp[1].unit_a, 0);
+  EXPECT_EQ(rp[2].interval, TI(5, 10, false, true));
+  EXPECT_FALSE(rp[2].HasBoth());
+}
+
+TEST(RefinementEdge, PointIntervalAgainstPointInterval) {
+  MovingInt a = *MovingInt::Make({*UInt::Make(TimeInterval::At(3), 1)});
+  MovingBool b = *MovingBool::Make({*UBool::Make(TimeInterval::At(3), true)});
+  auto rp = RefinementPartition(a, b);
+  ASSERT_EQ(rp.size(), 1u);
+  EXPECT_TRUE(rp[0].interval.IsDegenerate());
+  EXPECT_TRUE(rp[0].HasBoth());
+
+  // Disjoint point intervals interleave.
+  MovingBool b2 = *MovingBool::Make({*UBool::Make(TimeInterval::At(4), true)});
+  auto rp2 = RefinementPartition(a, b2);
+  ASSERT_EQ(rp2.size(), 2u);
+  EXPECT_EQ(rp2[0].unit_a, 0);
+  EXPECT_EQ(rp2[0].unit_b, RefinementEntry::kNoUnit);
+  EXPECT_EQ(rp2[1].unit_b, 0);
+}
+
+TEST(RefinementEdge, AdjacentOpenClosedBoundaries) {
+  // a: [0,2] then (2,4] — adjacent at 2 with the instant owned by unit 0.
+  MovingInt a = *MovingInt::Make({UI(0, 2, 1), UI(2, 4, 2, false, true)});
+  MovingBool b = *MovingBool::Make({UB(1, 3, true)});
+  auto rp = RefinementPartition(a, b);
+  // Pointwise attribution across the partition.
+  for (double t : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+    int hits = 0;
+    for (const RefinementEntry& e : rp) {
+      if (!e.interval.Contains(t)) continue;
+      ++hits;
+      ASSERT_EQ(e.unit_a != RefinementEntry::kNoUnit, a.Present(t)) << t;
+      ASSERT_EQ(e.unit_b != RefinementEntry::kNoUnit, b.Present(t)) << t;
+      if (e.unit_a != RefinementEntry::kNoUnit) {
+        EXPECT_TRUE(
+            a.unit(std::size_t(e.unit_a)).interval().Contains(t)) << t;
+      }
+    }
+    EXPECT_EQ(hits, 1) << t;
+  }
+  // The boundary instant 2 must map to unit 0 of a (closed there), not
+  // unit 1 (open there).
+  for (const RefinementEntry& e : rp) {
+    if (e.interval.Contains(2.0)) {
+      EXPECT_EQ(e.unit_a, 0);
+    }
+  }
+}
+
+TEST(RefinementEdge, OneEmptyMapping) {
+  MovingInt a = *MovingInt::Make({UI(0, 1, 1), UI(2, 3, 2)});
+  MovingBool empty;
+  auto rp = RefinementPartition(a, empty);
+  ASSERT_EQ(rp.size(), 2u);
+  for (const RefinementEntry& e : rp) {
+    EXPECT_NE(e.unit_a, RefinementEntry::kNoUnit);
+    EXPECT_EQ(e.unit_b, RefinementEntry::kNoUnit);
+  }
+  auto rp2 = RefinementPartition(empty, a);
+  ASSERT_EQ(rp2.size(), 2u);
+  for (const RefinementEntry& e : rp2) {
+    EXPECT_EQ(e.unit_a, RefinementEntry::kNoUnit);
+  }
+  EXPECT_TRUE(RefinementPartition(empty, MovingInt()).empty());
+}
+
+TEST(RefinementEdge, ScratchDriverMatchesAllocatingPartition) {
+  MovingInt a = *MovingInt::Make({UI(0, 2, 1), UI(3, 5, 2, false, true)});
+  MovingBool b = *MovingBool::Make({UB(1, 4, true)});
+  RefinementScratch scratch;
+  std::vector<RefinementEntry> seen;
+  Status s = ForEachRefinementPair(
+      a, b, &scratch, [&seen](const RefinementEntry& e) {
+        seen.push_back(e);
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok());
+  std::vector<RefinementEntry> expected;
+  for (const RefinementEntry& e : RefinementPartition(a, b)) {
+    if (e.HasBoth()) expected.push_back(e);
+  }
+  ASSERT_EQ(seen.size(), expected.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].interval, expected[i].interval);
+    EXPECT_EQ(seen[i].unit_a, expected[i].unit_a);
+    EXPECT_EQ(seen[i].unit_b, expected[i].unit_b);
+  }
+  // The scratch keeps its storage for the next pair (no reallocation).
+  const RefinementEntry* data = scratch.data();
+  const std::size_t cap = scratch.capacity();
+  ASSERT_TRUE(ForEachRefinementPair(a, b, &scratch, [](const RefinementEntry&) {
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(scratch.data(), data);
+  EXPECT_EQ(scratch.capacity(), cap);
+}
+
+// ---------------------------------------------------------------------------
+// Batch sweep kernels.
+// ---------------------------------------------------------------------------
+
+UReal UR(double s, double e, double c, bool lc = true, bool rc = true) {
+  return *UReal::Make(TI(s, e, lc, rc), 0, 0.5, c, false);
+}
+
+TEST(AtInstantBatch, MatchesAtInstantOnBoundaries) {
+  MovingReal m = *MovingReal::Make(
+      {UR(0, 2, 1, true, false), UR(2, 4, 2, true, true),
+       UR(5, 6, 3, false, false),
+       *UReal::Make(TimeInterval::At(8), 0, 0, 9, false)});
+  std::vector<Instant> instants = {-1, 0, 1, 2, 2, 3.5, 4, 4.5,
+                                   5,  5.5, 6, 7, 8, 8, 9};
+  auto batch = AtInstantBatch(m, instants);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), instants.size());
+  for (std::size_t i = 0; i < instants.size(); ++i) {
+    Intime<double> one = m.AtInstant(instants[i]);
+    EXPECT_EQ((*batch)[i].defined, one.defined) << instants[i];
+    if (one.defined) {
+      EXPECT_EQ((*batch)[i].value, one.value) << instants[i];
+      EXPECT_EQ((*batch)[i].instant, instants[i]);
+    }
+  }
+  // Same through the SoA index.
+  m.BuildSearchIndex();
+  ASSERT_TRUE(m.HasSearchIndex());
+  auto batch2 = AtInstantBatch(m, instants);
+  ASSERT_TRUE(batch2.ok());
+  for (std::size_t i = 0; i < instants.size(); ++i) {
+    EXPECT_EQ((*batch2)[i].defined, (*batch)[i].defined);
+    if ((*batch)[i].defined) {
+      EXPECT_EQ((*batch2)[i].value, (*batch)[i].value);
+    }
+  }
+  // The Into variant reuses the buffer's capacity and agrees with the
+  // allocating wrapper.
+  std::vector<Intime<double>> buf;
+  ASSERT_TRUE(AtInstantBatchInto(m, instants, &buf).ok());
+  const Intime<double>* data = buf.data();
+  ASSERT_TRUE(AtInstantBatchInto(m, instants, &buf).ok());
+  EXPECT_EQ(buf.data(), data);
+  ASSERT_EQ(buf.size(), batch2->size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i].defined, (*batch2)[i].defined);
+    if (buf[i].defined) EXPECT_EQ(buf[i].value, (*batch2)[i].value);
+  }
+  std::vector<std::uint8_t> pbuf;
+  ASSERT_TRUE(PresentBatchInto(m, instants, &pbuf).ok());
+  auto pres = PresentBatch(m, instants);
+  ASSERT_TRUE(pres.ok());
+  EXPECT_EQ(pbuf, *pres);
+}
+
+TEST(AtInstantBatch, RejectsUnsortedInstants) {
+  MovingReal m = *MovingReal::Make({UR(0, 2, 1)});
+  auto r = AtInstantBatch(m, {2.0, 1.0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  auto p = PresentBatch(m, {2.0, 1.0});
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(AtInstantBatch, EmptyMappingAndEmptyBatch) {
+  MovingReal empty;
+  auto r = AtInstantBatch(empty, {1.0, 2.0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_FALSE((*r)[0].defined);
+  EXPECT_FALSE((*r)[1].defined);
+  MovingReal m = *MovingReal::Make({UR(0, 2, 1)});
+  auto r2 = AtInstantBatch(m, {});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+// Fuzzed mapping generator: random unit count, random gaps (including
+// zero-width gaps with complementary open/closed flags — adjacent
+// units), occasional degenerate point units, distinct unit functions.
+MovingReal FuzzMapping(std::mt19937& rng, int max_units) {
+  std::uniform_int_distribution<int> nd(0, max_units);
+  std::uniform_real_distribution<double> gap(0.0, 1.0);
+  std::uniform_real_distribution<double> dur(0.0, 2.0);
+  std::bernoulli_distribution coin(0.5);
+  int n = nd(rng);
+  std::vector<UReal> units;
+  double t = gap(rng);
+  // Whether the instant `t` (the previous unit's end) belongs to it.
+  bool prev_owns_end = false;
+  for (int i = 0; i < n; ++i) {
+    double d = coin(rng) ? 0.0 : dur(rng) + 1e-3;
+    double s;
+    bool lc, rc;
+    if (d == 0) {
+      // Degenerate units must be closed on both sides; they may start at
+      // t only if the previous unit's end is open there.
+      lc = rc = true;
+      s = (i > 0 && !prev_owns_end && coin(rng)) ? t : t + gap(rng) + 1e-3;
+    } else {
+      rc = coin(rng);
+      if (i > 0 && coin(rng)) {
+        // Adjacent: shared boundary owned by at most one side.
+        s = t;
+        lc = prev_owns_end ? false : coin(rng);
+      } else {
+        s = t + gap(rng) + 1e-3;
+        lc = coin(rng);
+      }
+    }
+    double e = s + d;
+    units.push_back(*UReal::Make(*TimeInterval::Make(s, e, lc, rc),
+                                 0, 0.25, double(i), false));
+    t = e;
+    prev_owns_end = rc;
+  }
+  auto m = MovingReal::Make(std::move(units));
+  EXPECT_TRUE(m.ok()) << m.status();
+  return m.ok() ? *m : MovingReal();
+}
+
+// Satellite: randomized differential test, AtInstantBatch ≡ per-instant
+// AtInstant on 1000 fuzzed mappings (and PresentBatch ≡ Present,
+// FindUnit with ≡ without the SoA index).
+TEST(AtInstantBatch, DifferentialFuzz1000) {
+  std::mt19937 rng(20260807);
+  std::uniform_real_distribution<double> pick(-1.0, 1.0);
+  for (int iter = 0; iter < 1000; ++iter) {
+    MovingReal m = FuzzMapping(rng, 12);
+    MovingReal indexed = m;
+    indexed.BuildSearchIndex();
+
+    // Query instants: uniform samples plus exact unit endpoints.
+    std::vector<Instant> instants;
+    double hi = m.IsEmpty() ? 5.0 : m.units().back().interval().end() + 1.0;
+    std::uniform_real_distribution<double> td(-0.5, hi);
+    for (int k = 0; k < 24; ++k) instants.push_back(td(rng));
+    for (const UReal& u : m.units()) {
+      instants.push_back(u.interval().start());
+      instants.push_back(u.interval().end());
+    }
+    std::sort(instants.begin(), instants.end());
+
+    auto batch = AtInstantBatch(m, instants);
+    auto batch_ix = AtInstantBatch(indexed, instants);
+    auto present = PresentBatch(m, instants);
+    auto present_ix = PresentBatch(indexed, instants);
+    ASSERT_TRUE(batch.ok() && batch_ix.ok() && present.ok() &&
+                present_ix.ok());
+    for (std::size_t i = 0; i < instants.size(); ++i) {
+      Instant t = instants[i];
+      Intime<double> one = m.AtInstant(t);
+      ASSERT_EQ((*batch)[i].defined, one.defined)
+          << "iter " << iter << " t=" << t;
+      if (one.defined) {
+        ASSERT_EQ((*batch)[i].value, one.value)
+            << "iter " << iter << " t=" << t;
+      }
+      ASSERT_EQ((*batch_ix)[i].defined, one.defined)
+          << "iter " << iter << " t=" << t;
+      ASSERT_EQ((*present)[i] != 0, m.Present(t))
+          << "iter " << iter << " t=" << t;
+      ASSERT_EQ((*present_ix)[i] != 0, m.Present(t))
+          << "iter " << iter << " t=" << t;
+      ASSERT_EQ(indexed.FindUnit(t), m.FindUnit(t))
+          << "iter " << iter << " t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-pointer Present(Periods) / AtPeriods vs. the quadratic reference.
+// ---------------------------------------------------------------------------
+
+bool PresentReference(const MovingReal& m, const Periods& periods) {
+  for (const UReal& u : m.units()) {
+    for (const TimeInterval& iv : periods.intervals()) {
+      if (!TimeInterval::Disjoint(u.interval(), iv)) return true;
+    }
+  }
+  return false;
+}
+
+Result<MovingReal> AtPeriodsReference(const MovingReal& m,
+                                      const Periods& periods) {
+  std::vector<UReal> out;
+  for (const UReal& u : m.units()) {
+    for (const TimeInterval& iv : periods.intervals()) {
+      auto inter = TimeInterval::Intersect(u.interval(), iv);
+      if (!inter) continue;
+      Result<UReal> piece = u.WithInterval(*inter);
+      if (!piece.ok()) return piece.status();
+      out.push_back(std::move(*piece));
+    }
+  }
+  return MovingReal::Make(std::move(out));
+}
+
+TEST(MappingPeriods, TwoPointerMatchesReferenceFuzz) {
+  std::mt19937 rng(7771);
+  std::uniform_real_distribution<double> gap(0.0, 1.5);
+  std::uniform_real_distribution<double> dur(0.0, 2.0);
+  std::bernoulli_distribution coin(0.5);
+  for (int iter = 0; iter < 300; ++iter) {
+    MovingReal m = FuzzMapping(rng, 10);
+    // Random periods (canonicalized by FromIntervals).
+    std::vector<TimeInterval> ivs;
+    double t = gap(rng) - 0.5;
+    int k = std::uniform_int_distribution<int>(0, 6)(rng);
+    for (int i = 0; i < k; ++i) {
+      double s = t + gap(rng);
+      double d = coin(rng) ? 0.0 : dur(rng);
+      bool lc = d == 0 ? true : coin(rng);
+      bool rc = d == 0 ? true : coin(rng);
+      ivs.push_back(*TimeInterval::Make(s, s + d, lc, rc));
+      t = s + d + 1e-3;
+    }
+    Periods periods = Periods::FromIntervals(std::move(ivs));
+
+    EXPECT_EQ(m.Present(periods), PresentReference(m, periods))
+        << "iter " << iter;
+
+    auto fast = m.AtPeriods(periods);
+    auto ref = AtPeriodsReference(m, periods);
+    ASSERT_EQ(fast.ok(), ref.ok()) << "iter " << iter;
+    if (!fast.ok()) continue;
+    ASSERT_EQ(fast->NumUnits(), ref->NumUnits()) << "iter " << iter;
+    for (std::size_t i = 0; i < fast->NumUnits(); ++i) {
+      EXPECT_EQ(fast->unit(i).interval(), ref->unit(i).interval())
+          << "iter " << iter;
+      Instant mid = (fast->unit(i).interval().start() +
+                     fast->unit(i).interval().end()) /
+                    2;
+      EXPECT_EQ(fast->unit(i).ValueAt(mid), ref->unit(i).ValueAt(mid))
+          << "iter " << iter;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SoA search index details.
+// ---------------------------------------------------------------------------
+
+TEST(SearchIndex, CachesDeftimeBoundAndSharesAcrossCopies) {
+  MovingReal m = *MovingReal::Make({UR(1, 2, 1), UR(4, 6, 2)});
+  EXPECT_FALSE(m.HasSearchIndex());
+  m.BuildSearchIndex();
+  ASSERT_TRUE(m.HasSearchIndex());
+  const MappingSearchIndex* ix = m.search_index();
+  EXPECT_EQ(ix->min_start, 1.0);
+  EXPECT_EQ(ix->max_end, 6.0);
+  ASSERT_EQ(ix->start.size(), 2u);
+  EXPECT_TRUE(ix->left_closed(0));
+  // Copies share the index.
+  MovingReal copy = m;
+  EXPECT_EQ(copy.search_index(), ix);
+  // Idempotent.
+  m.BuildSearchIndex();
+  EXPECT_EQ(m.search_index(), ix);
+}
+
+TEST(SearchIndex, SpatialBBoxForMovingPoint) {
+  MovingPoint mp = *MovingPoint::Make(
+      {*UPoint::FromEndpoints(TI(0, 1, true, false), Point(0, 0),
+                              Point(10, 5)),
+       *UPoint::FromEndpoints(TI(1, 2), Point(10, 5), Point(-3, 7))});
+  mp.BuildSearchIndex();
+  const Cube& bbox = mp.search_index()->bbox;
+  ASSERT_FALSE(bbox.IsEmpty());
+  EXPECT_EQ(bbox.rect.min_x, -3.0);
+  EXPECT_EQ(bbox.rect.max_x, 10.0);
+  EXPECT_EQ(bbox.rect.min_y, 0.0);
+  EXPECT_EQ(bbox.rect.max_y, 7.0);
+  EXPECT_EQ(bbox.min_t, 0.0);
+  EXPECT_EQ(bbox.max_t, 2.0);
+
+  // Non-spatial unit types leave the bbox empty.
+  MovingReal mr = *MovingReal::Make({UR(0, 1, 1)});
+  mr.BuildSearchIndex();
+  EXPECT_TRUE(mr.search_index()->bbox.IsEmpty());
+}
+
+}  // namespace
+}  // namespace modb
