@@ -172,29 +172,30 @@ void BM_IndexJoin_Parallel(benchmark::State& state) {
   Relation planes = Planes(96, 99);
   auto pred = [](const Tuple& a, std::size_t i, const Tuple& b,
                  std::size_t j) { return ClosePred(a, i, b, j, 50); };
-  Relation serial = IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
-                                           kFlightAttrFlight, 50, pred);
+  Relation serial = *IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                            kFlightAttrFlight, 50, pred);
   if (threads > 0) {
     ThreadPool pool(threads);
-    ParallelOptions options;
-    options.pool = &pool;
-    Relation check = IndexJoinOnMovingPointParallel(
-        planes, kFlightAttrFlight, planes, kFlightAttrFlight, 50, pred,
-        options);
+    ExecOptions options;
+    options.parallel.num_threads = 0;  // one chunk per pool thread
+    options.parallel.pool = &pool;
+    Relation check =
+        *IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                kFlightAttrFlight, 50, pred, options);
     if (!JoinsMatch(serial, check)) {
       state.SkipWithError("parallel join output differs from serial");
       return;
     }
     for (auto _ : state) {
-      Relation r = IndexJoinOnMovingPointParallel(
-          planes, kFlightAttrFlight, planes, kFlightAttrFlight, 50, pred,
-          options);
+      Relation r =
+          *IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                  kFlightAttrFlight, 50, pred, options);
       benchmark::DoNotOptimize(r);
     }
   } else {
     for (auto _ : state) {
-      Relation r = IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
-                                          kFlightAttrFlight, 50, pred);
+      Relation r = *IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                           kFlightAttrFlight, 50, pred);
       benchmark::DoNotOptimize(r);
     }
   }
@@ -211,15 +212,16 @@ void BM_Select_Parallel(benchmark::State& state) {
   };
   if (threads > 0) {
     ThreadPool pool(threads);
-    ParallelOptions options;
-    options.pool = &pool;
+    ExecOptions options;
+    options.parallel.num_threads = 0;  // one chunk per pool thread
+    options.parallel.pool = &pool;
     for (auto _ : state) {
-      Relation r = SelectParallel(planes, pred, options);
+      Relation r = *Select(planes, pred, options);
       benchmark::DoNotOptimize(r);
     }
   } else {
     for (auto _ : state) {
-      Relation r = Select(planes, pred);
+      Relation r = *Select(planes, pred);
       benchmark::DoNotOptimize(r);
     }
   }

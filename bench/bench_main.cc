@@ -1,0 +1,39 @@
+// Shared main() for every bench binary, replacing benchmark_main: runs
+// the registered benchmarks, then exports the global obs metrics
+// registry as JSON so each perf record (BENCH_<name>.json) is paired
+// with the work-attribution record that explains it (METRICS_<name>.json
+// — R-tree node visits, sweep dispatches, page I/O, operator counters).
+//
+// The output path comes from $MODB_METRICS_OUT (set by the <name>_json
+// CMake targets); without it the dump goes to stderr so ad-hoc runs
+// still surface the numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::string json = modb::obs::Metrics::Global().ToJson();
+  const char* out_path = std::getenv("MODB_METRICS_OUT");
+  if (out_path != nullptr && out_path[0] != '\0') {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "bench_main: cannot write metrics to %s\n",
+                   out_path);
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "-- metrics --\n%s\n", json.c_str());
+  }
+  return 0;
+}

@@ -28,7 +28,7 @@ Relation Planes(int flights) {
 void BM_Q1_TrajectoryLength(benchmark::State& state) {
   Relation planes = Planes(int(state.range(0)));
   for (auto _ : state) {
-    Relation r = Select(planes, [](const Tuple& t) {
+    Relation r = *Select(planes, [](const Tuple& t) {
       return std::get<StringValue>(t[kFlightAttrAirline]).value() ==
                  "Lufthansa" &&
              Trajectory(std::get<MovingPoint>(t[kFlightAttrFlight]))
@@ -56,7 +56,7 @@ bool ClosePred(const Tuple& a, std::size_t i, const Tuple& b, std::size_t j,
 void BM_Q2_Join_NestedLoop(benchmark::State& state) {
   Relation planes = Planes(int(state.range(0)));
   for (auto _ : state) {
-    Relation r = NestedLoopJoin(
+    Relation r = *NestedLoopJoin(
         planes, planes,
         [](const Tuple& a, std::size_t i, const Tuple& b, std::size_t j) {
           return ClosePred(a, i, b, j, 50);
@@ -72,7 +72,7 @@ BENCHMARK(BM_Q2_Join_NestedLoop)->RangeMultiplier(2)->Range(16, 256)
 void BM_Q2_Join_RTree(benchmark::State& state) {
   Relation planes = Planes(int(state.range(0)));
   for (auto _ : state) {
-    Relation r = IndexJoinOnMovingPoint(
+    Relation r = *IndexJoinOnMovingPoint(
         planes, kFlightAttrFlight, planes, kFlightAttrFlight, 50,
         [](const Tuple& a, std::size_t i, const Tuple& b, std::size_t j) {
           return ClosePred(a, i, b, j, 50);

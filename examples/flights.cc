@@ -13,6 +13,7 @@
 #include "db/expr.h"
 #include "db/query.h"
 #include "gen/flights_gen.h"
+#include "obs/report.h"
 #include "temporal/lifted_ops.h"
 
 using namespace modb;
@@ -35,7 +36,7 @@ int main() {
   std::printf(")\n\n");
 
   // ---- Q1: long Lufthansa flights ---------------------------------------
-  Relation q1 = Select(planes, [](const Tuple& t) {
+  Relation q1 = *Select(planes, [](const Tuple& t) {
     return std::get<StringValue>(t[kFlightAttrAirline]).value() ==
                "Lufthansa" &&
            Trajectory(std::get<MovingPoint>(t[kFlightAttrFlight])).Length() >
@@ -63,7 +64,7 @@ int main() {
     // The paper's expression: val(initial(atmin(distance(p, q)))) < c.
     return am->Initial().val() < kCloser;
   };
-  Relation q2 = NestedLoopJoin(planes, planes, close_pred);
+  Relation q2 = *NestedLoopJoin(planes, planes, close_pred);
   std::printf("\nQ2: pairs of planes closer than %.0f km (%zu pairs)\n",
               kCloser, q2.NumTuples());
   for (const Tuple& t : q2.tuples()) {
@@ -87,11 +88,21 @@ int main() {
               q1_expr.NumTuples() == q1.NumTuples() ? "yes" : "NO (bug!)");
 
   // ---- Q2 again, accelerated with the unit R-tree -------------------------
-  Relation q2ix = IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
-                                         kFlightAttrFlight, kCloser,
-                                         close_pred);
+  // Request an ExecStats tree to see where the join's work went: how
+  // many candidate pairs the R-tree produced vs how many survived the
+  // exact lifted-distance predicate.
+  ExecStats join_stats;
+  ExecOptions exec;
+  exec.stats = &join_stats;
+  Relation q2ix = *IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                          kFlightAttrFlight, kCloser,
+                                          close_pred, exec);
   std::printf("\nindex-accelerated join finds the same %zu pairs: %s\n",
               q2ix.NumTuples(),
               q2ix.NumTuples() == q2.NumTuples() ? "yes" : "NO (bug!)");
+
+  // ---- Observability: what did all of the above cost? ---------------------
+  std::printf("\n%s", obs::DumpStats(&join_stats).c_str());
+  std::printf("index join stats as JSON: %s\n", join_stats.ToJson().c_str());
   return 0;
 }

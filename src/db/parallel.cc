@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace modb {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -57,10 +59,13 @@ void ParallelFor(
   if (n == 0) return;
   chunks = std::min(std::max<std::size_t>(chunks, 1), n);
   auto bound = [n, chunks](std::size_t c) { return c * n / chunks; };
+  MODB_COUNTER_INC("parallel.for_calls");
   if (chunks == 1) {
+    MODB_COUNTER_INC("parallel.inline_runs");
     fn(0, 0, n);
     return;
   }
+  MODB_COUNTER_ADD("parallel.chunks_dispatched", chunks);
   // Self-contained completion latch: ParallelFor invocations never share
   // state, so nested/concurrent calls on the same pool are safe (though
   // the caller must not invoke ParallelFor from inside a pool task).

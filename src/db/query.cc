@@ -1,7 +1,10 @@
 #include "db/query.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+
+#include "obs/metrics.h"
 
 namespace modb {
 
@@ -22,14 +25,14 @@ RTree3D BuildUnitTree(const Relation& b, int attr_b) {
 }
 
 // Joined tuples for outer tuple i of the index join, appended to *out in
-// ascending candidate order. One body for both operator variants keeps
+// ascending candidate order. One body for every execution policy keeps
 // their outputs identical.
 void ProbeIndexJoinTuple(
     const Relation& a, int attr_a, const Relation& b, const RTree3D& tree,
     double expand, std::size_t i,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
-    std::vector<Tuple>* out) {
+    std::vector<Tuple>* out, ExecStats* stats) {
   const auto& mp = std::get<MovingPoint>(a.tuple(i)[std::size_t(attr_a)]);
   std::set<int64_t> candidates;
   for (const UPoint& u : mp.units()) {
@@ -40,10 +43,14 @@ void ProbeIndexJoinTuple(
     c.rect.max_y += expand;
     tree.QueryVisit(c, [&candidates](int64_t id) { candidates.insert(id); });
   }
+  stats->units_scanned += mp.units().size();
+  stats->index_candidates += candidates.size();
   for (int64_t j : candidates) {
+    ++stats->predicate_evals;
     if (!pred(a.tuple(i), i, b.tuple(std::size_t(j)), std::size_t(j))) {
       continue;
     }
+    ++stats->index_hits;
     Tuple joined = a.tuple(i);
     joined.insert(joined.end(), b.tuple(std::size_t(j)).begin(),
                   b.tuple(std::size_t(j)).end());
@@ -51,56 +58,140 @@ void ProbeIndexJoinTuple(
   }
 }
 
-std::size_t EffectiveChunks(const ParallelOptions& options) {
-  if (options.num_threads > 0) return std::size_t(options.num_threads);
-  int n = options.pool ? options.pool->num_threads()
-                       : ThreadPool::Shared().num_threads();
-  return std::size_t(std::max(1, n));
+Status ValidateOptions(const ExecOptions& options) {
+  if (options.parallel.num_threads > kMaxQueryThreads) {
+    return Status::InvalidArgument(
+        "ExecOptions.parallel.num_threads = " +
+        std::to_string(options.parallel.num_threads) + " exceeds the sanity "
+        "bound of " + std::to_string(kMaxQueryThreads) +
+        " (<= 0 selects one chunk per pool thread)");
+  }
+  return Status::OK();
 }
 
-ThreadPool& EffectivePool(const ParallelOptions& options) {
-  return options.pool ? *options.pool : ThreadPool::Shared();
+// Timing wrapper: clock reads only happen when a stats sink was given.
+class OptionalTimer {
+ public:
+  explicit OptionalTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  std::uint64_t ElapsedNs() const {
+    if (!enabled_) return 0;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    return ns > 0 ? std::uint64_t(ns) : 0;
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Operator epilogue: report to the caller's sink (if any) and mirror the
+// headline counters into the global metrics registry so bench/example
+// metric dumps attribute work to the query layer too.
+void FinishNode(ExecStats&& node, std::uint64_t wall_ns,
+                const ExecOptions& options) {
+#ifndef MODB_NO_METRICS
+  // Dynamic names, so no MODB_COUNTER_* macro (its per-call-site pointer
+  // cache assumes one name per site). One registry lookup per operator
+  // call is far off any hot path.
+  obs::Metrics& metrics = obs::Metrics::Global();
+  metrics.counter("query." + node.op + ".calls")->Inc();
+  metrics.counter("query." + node.op + ".tuples_out")->Inc(node.tuples_out);
+  metrics.counter("query." + node.op + ".predicate_evals")
+      ->Inc(node.predicate_evals);
+#endif
+  if (options.stats != nullptr) {
+    node.wall_ns = wall_ns;
+    *options.stats = std::move(node);
+  }
 }
 
-// Runs fn(i, &buffer_for_i's_chunk) over the outer indices [0, n) in
-// `chunks` contiguous ranges, then inserts all buffered tuples into
-// `out` in chunk order — the same order a serial i-ascending loop
-// produces.
-void ParallelOuterLoop(
-    std::size_t n, const ParallelOptions& options, Relation* out,
-    const std::function<void(std::size_t, std::vector<Tuple>*)>& fn) {
-  const std::size_t chunks = EffectiveChunks(options);
-  std::vector<std::vector<Tuple>> buffers(std::max<std::size_t>(chunks, 1));
-  ParallelFor(EffectivePool(options), n, chunks,
+// Runs fn(i, &chunk_buffer, &chunk_stats) over the outer indices [0, n),
+// then merges buffered tuples and stats in ascending chunk order — the
+// same order a serial i-ascending loop produces, independent of thread
+// scheduling. num_threads == 1 stays on the calling thread and never
+// resolves a pool.
+void RunOuterLoop(
+    std::size_t n, const ExecOptions& options, Relation* out, ExecStats* node,
+    const std::function<void(std::size_t, std::vector<Tuple>*, ExecStats*)>&
+        fn) {
+  const int nt = options.parallel.num_threads;
+  if (nt == 1 || n == 0) {
+    std::vector<Tuple> buf;
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i, &buf, node);
+      for (Tuple& t : buf) {
+        // Insert cannot fail: tuples conform to the output schema.
+        (void)out->Insert(std::move(t));
+      }
+      buf.clear();
+    }
+    node->workers = 1;
+    return;
+  }
+  ThreadPool& pool =
+      options.parallel.pool ? *options.parallel.pool : ThreadPool::Shared();
+  const std::size_t chunks =
+      nt > 0 ? std::size_t(nt) : std::size_t(std::max(1, pool.num_threads()));
+  std::vector<std::vector<Tuple>> buffers(chunks);
+  std::vector<ExecStats> chunk_stats(chunks);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks, {0, 0});
+  ParallelFor(pool, n, chunks,
               [&](std::size_t c, std::size_t begin, std::size_t end) {
+                ranges[c] = {begin, end};
                 for (std::size_t i = begin; i < end; ++i) {
-                  fn(i, &buffers[c]);
+                  fn(i, &buffers[c], &chunk_stats[c]);
                 }
               });
-  for (std::vector<Tuple>& buf : buffers) {
-    for (Tuple& t : buf) {
-      // Insert cannot fail: tuples conform to the output schema.
+  const bool keep_children = options.stats != nullptr;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    node->MergeCountersFrom(chunk_stats[c]);
+    if (keep_children) {
+      // Per-chunk cardinalities (outer tuples seen / tuples emitted) are
+      // filled here, after the merge, so the parent's own explicit
+      // tuples_in/tuples_out are not double-counted.
+      chunk_stats[c].op = "chunk[" + std::to_string(c) + "]";
+      chunk_stats[c].workers = 1;
+      chunk_stats[c].tuples_in = ranges[c].second - ranges[c].first;
+      chunk_stats[c].tuples_out = buffers[c].size();
+      node->children.push_back(std::move(chunk_stats[c]));
+    }
+    for (Tuple& t : buffers[c]) {
       (void)out->Insert(std::move(t));
     }
   }
+  node->workers = chunks;
 }
 
 }  // namespace
 
-Relation Select(const Relation& rel,
-                const std::function<bool(const Tuple&)>& pred) {
+Result<Relation> Select(const Relation& rel,
+                        const std::function<bool(const Tuple&)>& pred,
+                        const ExecOptions& options) {
+  MODB_RETURN_IF_ERROR(ValidateOptions(options));
+  OptionalTimer timer(options.stats != nullptr);
+  ExecStats node;
+  node.op = "select";
+  node.tuples_in = rel.NumTuples();
   Relation out(rel.name() + "_sel", rel.schema());
-  for (const Tuple& t : rel.tuples()) {
-    if (pred(t)) {
-      // Insert cannot fail: tuples already conform to the schema.
-      (void)out.Insert(t);
-    }
-  }
+  RunOuterLoop(rel.NumTuples(), options, &out, &node,
+               [&](std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
+                 ++s->predicate_evals;
+                 if (pred(rel.tuple(i))) buf->push_back(rel.tuple(i));
+               });
+  node.tuples_out = out.NumTuples();
+  FinishNode(std::move(node), timer.ElapsedNs(), options);
   return out;
 }
 
 Result<Relation> Project(const Relation& rel,
-                         const std::vector<std::string>& attributes) {
+                         const std::vector<std::string>& attributes,
+                         const ExecOptions& options) {
+  MODB_RETURN_IF_ERROR(ValidateOptions(options));
+  OptionalTimer timer(options.stats != nullptr);
   std::vector<int> indices;
   std::vector<AttributeDef> defs;
   for (const std::string& name : attributes) {
@@ -112,6 +203,9 @@ Result<Relation> Project(const Relation& rel,
     indices.push_back(idx);
     defs.push_back(rel.schema().attribute(std::size_t(idx)));
   }
+  ExecStats node;
+  node.op = "project";
+  node.tuples_in = rel.NumTuples();
   Relation out(rel.name() + "_proj", Schema(std::move(defs)));
   for (const Tuple& t : rel.tuples()) {
     Tuple projected;
@@ -119,93 +213,97 @@ Result<Relation> Project(const Relation& rel,
     for (int idx : indices) projected.push_back(t[std::size_t(idx)]);
     (void)out.Insert(std::move(projected));
   }
+  node.tuples_out = out.NumTuples();
+  node.workers = 1;
+  FinishNode(std::move(node), timer.ElapsedNs(), options);
   return out;
 }
 
-Relation NestedLoopJoin(
-    const Relation& a, const Relation& b,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred) {
-  Relation out(a.name() + "_x_" + b.name(),
-               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
-                              b.name() + "."));
-  for (std::size_t i = 0; i < a.NumTuples(); ++i) {
-    for (std::size_t j = 0; j < b.NumTuples(); ++j) {
-      if (!pred(a.tuple(i), i, b.tuple(j), j)) continue;
-      Tuple joined = a.tuple(i);
-      joined.insert(joined.end(), b.tuple(j).begin(), b.tuple(j).end());
-      (void)out.Insert(std::move(joined));
-    }
-  }
-  return out;
-}
-
-Relation IndexJoinOnMovingPoint(
-    const Relation& a, int attr_a, const Relation& b, int attr_b,
-    double expand,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred) {
-  RTree3D tree = BuildUnitTree(b, attr_b);
-  Relation out(a.name() + "_ix_" + b.name(),
-               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
-                              b.name() + "."));
-  std::vector<Tuple> buf;
-  for (std::size_t i = 0; i < a.NumTuples(); ++i) {
-    buf.clear();
-    ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred, &buf);
-    for (Tuple& t : buf) (void)out.Insert(std::move(t));
-  }
-  return out;
-}
-
-Relation SelectParallel(const Relation& rel,
-                        const std::function<bool(const Tuple&)>& pred,
-                        const ParallelOptions& options) {
-  Relation out(rel.name() + "_sel", rel.schema());
-  ParallelOuterLoop(rel.NumTuples(), options, &out,
-                    [&](std::size_t i, std::vector<Tuple>* buf) {
-                      if (pred(rel.tuple(i))) buf->push_back(rel.tuple(i));
-                    });
-  return out;
-}
-
-Relation NestedLoopJoinParallel(
+Result<Relation> NestedLoopJoin(
     const Relation& a, const Relation& b,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
-    const ParallelOptions& options) {
+    const ExecOptions& options) {
+  MODB_RETURN_IF_ERROR(ValidateOptions(options));
+  OptionalTimer timer(options.stats != nullptr);
+  ExecStats node;
+  node.op = "nested_loop_join";
+  node.tuples_in = a.NumTuples() + b.NumTuples();
   Relation out(a.name() + "_x_" + b.name(),
                Schema::Concat(a.schema(), a.name() + ".", b.schema(),
                               b.name() + "."));
-  ParallelOuterLoop(
-      a.NumTuples(), options, &out,
-      [&](std::size_t i, std::vector<Tuple>* buf) {
+  RunOuterLoop(
+      a.NumTuples(), options, &out, &node,
+      [&](std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
         for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+          ++s->predicate_evals;
           if (!pred(a.tuple(i), i, b.tuple(j), j)) continue;
           Tuple joined = a.tuple(i);
           joined.insert(joined.end(), b.tuple(j).begin(), b.tuple(j).end());
           buf->push_back(std::move(joined));
         }
       });
+  node.tuples_out = out.NumTuples();
+  FinishNode(std::move(node), timer.ElapsedNs(), options);
   return out;
 }
 
-Relation IndexJoinOnMovingPointParallel(
+Result<Relation> IndexJoinOnMovingPoint(
+    const Relation& a, int attr_a, const Relation& b, int attr_b,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ExecOptions& options) {
+  MODB_RETURN_IF_ERROR(ValidateOptions(options));
+  OptionalTimer timer(options.stats != nullptr);
+  ExecStats node;
+  node.op = "index_join_on_moving_point";
+  node.tuples_in = a.NumTuples() + b.NumTuples();
+  RTree3D tree = BuildUnitTree(b, attr_b);
+  Relation out(a.name() + "_ix_" + b.name(),
+               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
+                              b.name() + "."));
+  RunOuterLoop(a.NumTuples(), options, &out, &node,
+               [&](std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
+                 ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred, buf,
+                                     s);
+               });
+  node.tuples_out = out.NumTuples();
+  FinishNode(std::move(node), timer.ElapsedNs(), options);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated wrappers.
+// ---------------------------------------------------------------------------
+
+Result<Relation> SelectParallel(const Relation& rel,
+                                const std::function<bool(const Tuple&)>& pred,
+                                const ParallelOptions& options) {
+  ExecOptions exec;
+  exec.parallel = options;
+  return Select(rel, pred, exec);
+}
+
+Result<Relation> NestedLoopJoinParallel(
+    const Relation& a, const Relation& b,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ParallelOptions& options) {
+  ExecOptions exec;
+  exec.parallel = options;
+  return NestedLoopJoin(a, b, pred, exec);
+}
+
+Result<Relation> IndexJoinOnMovingPointParallel(
     const Relation& a, int attr_a, const Relation& b, int attr_b,
     double expand,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
     const ParallelOptions& options) {
-  RTree3D tree = BuildUnitTree(b, attr_b);
-  Relation out(a.name() + "_ix_" + b.name(),
-               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
-                              b.name() + "."));
-  ParallelOuterLoop(a.NumTuples(), options, &out,
-                    [&](std::size_t i, std::vector<Tuple>* buf) {
-                      ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred,
-                                          buf);
-                    });
-  return out;
+  ExecOptions exec;
+  exec.parallel = options;
+  return IndexJoinOnMovingPoint(a, attr_a, b, attr_b, expand, pred, exec);
 }
 
 }  // namespace modb

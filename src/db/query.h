@@ -1,6 +1,12 @@
 // Minimal functional query operators over Relation: scan-based selection,
 // projection, and (nested-loop or index-accelerated) join. These are what
 // the examples and benchmarks use to express the Section-2 queries.
+//
+// All operators share one entrypoint shape: they take an ExecOptions
+// (execution policy + optional ExecStats sink) and return
+// Result<Relation>. Serial vs parallel execution is a policy knob, not a
+// separate function; the former *Parallel variants remain as thin
+// deprecated wrappers for one release and will be removed.
 
 #ifndef MODB_DB_QUERY_H_
 #define MODB_DB_QUERY_H_
@@ -13,66 +19,102 @@
 #include "db/parallel.h"
 #include "db/relation.h"
 #include "index/rtree3d.h"
+#include "obs/exec_stats.h"
 
 namespace modb {
 
-/// Options for the parallel operator variants. Each operator partitions
-/// its outer relation into `num_threads` contiguous chunks with
-/// per-worker result buffers merged in chunk order, so the output
+/// Parallel execution policy for the query operators.
+///
+/// Determinism guarantee: each operator partitions its outer relation
+/// into contiguous chunks whose boundaries depend only on (tuple count,
+/// chunk count) — never on thread scheduling — and gives every chunk a
+/// private result buffer (and private ExecStats node). Buffers and stats
+/// are merged in ascending chunk order after the barrier, so the output
 /// relation is identical (tuple-for-tuple and byte-for-byte) to the
-/// serial operator's. Predicates must be thread-safe: they are invoked
-/// concurrently from pool workers.
+/// serial operator's, and the stats tree is identical across runs.
+/// Predicates must be thread-safe when more than one chunk runs: they
+/// are invoked concurrently from pool workers.
 struct ParallelOptions {
-  /// Worker/chunk count; <= 0 uses the shared pool's thread count.
+  /// Worker/chunk count. 1 runs serially inline on the calling thread
+  /// (no pool is touched); <= 0 uses one chunk per thread of the pool;
+  /// values above kMaxQueryThreads are rejected with InvalidArgument.
   int num_threads = 0;
   /// Pool to run on; nullptr uses ThreadPool::Shared().
   ThreadPool* pool = nullptr;
 };
 
-/// σ: tuples of `rel` satisfying `pred`.
-Relation Select(const Relation& rel,
-                const std::function<bool(const Tuple&)>& pred);
+/// Upper bound on ParallelOptions.num_threads. Chunk counts beyond this
+/// are certainly a bug (a garbage or overflowed value), not a policy.
+inline constexpr int kMaxQueryThreads = 4096;
 
-/// π: the named attributes, in the given order.
+/// Per-call execution options shared by every query operator.
+struct ExecOptions {
+  /// Chunking/pool policy. ExecOptions defaults to serial inline
+  /// (num_threads = 1); a ParallelOptions you construct yourself keeps
+  /// its historical default of 0 = one chunk per pool thread.
+  ParallelOptions parallel{.num_threads = 1};
+  /// When non-null, the operator fills one ExecStats node here
+  /// (cardinalities, predicate/index counters, wall time, one child per
+  /// worker chunk). Null skips even the clock reads.
+  ExecStats* stats = nullptr;
+};
+
+/// σ: tuples of `rel` satisfying `pred`.
+Result<Relation> Select(const Relation& rel,
+                        const std::function<bool(const Tuple&)>& pred,
+                        const ExecOptions& options = {});
+
+/// π: the named attributes, in the given order. Always serial (it is a
+/// pure copy); `options` only supplies the stats sink.
 Result<Relation> Project(const Relation& rel,
-                         const std::vector<std::string>& attributes);
+                         const std::vector<std::string>& attributes,
+                         const ExecOptions& options = {});
 
 /// Nested-loop join with an arbitrary predicate over the two tuples.
 /// For a self join pass the same relation twice; `pred` receives
 /// (left tuple, left index, right tuple, right index) so self-join pairs
 /// can be deduplicated by index.
-Relation NestedLoopJoin(
+Result<Relation> NestedLoopJoin(
     const Relation& a, const Relation& b,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred);
+                             std::size_t)>& pred,
+    const ExecOptions& options = {});
 
 /// Index nested-loop join specialized for spatio-temporal joins over
 /// moving-point attributes: an R-tree over the unit bounding cubes of
 /// `b`'s attribute prunes candidate pairs before `pred` runs. `expand`
 /// grows each query cube by a spatial slack (e.g. the join distance).
-Relation IndexJoinOnMovingPoint(
+/// The R-tree is built once (serially), then probed per outer chunk.
+Result<Relation> IndexJoinOnMovingPoint(
     const Relation& a, int attr_a, const Relation& b, int attr_b,
     double expand,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred);
+                             std::size_t)>& pred,
+    const ExecOptions& options = {});
 
-/// Parallel σ: output identical to Select(rel, pred).
-Relation SelectParallel(const Relation& rel,
-                        const std::function<bool(const Tuple&)>& pred,
-                        const ParallelOptions& options = {});
+// ---------------------------------------------------------------------------
+// Deprecated wrappers (one release of grace): the parallel variants are
+// now spelled as the unified operators with options.parallel set. The
+// wrappers forward their ParallelOptions unchanged, so the historical
+// default (num_threads = 0: one chunk per pool thread) still holds here.
+// ---------------------------------------------------------------------------
 
-/// Parallel nested-loop join: the outer relation is partitioned across
-/// workers; output identical to NestedLoopJoin(a, b, pred).
-Relation NestedLoopJoinParallel(
+[[deprecated("use Select(rel, pred, ExecOptions{.parallel = ...})")]]
+Result<Relation> SelectParallel(const Relation& rel,
+                                const std::function<bool(const Tuple&)>& pred,
+                                const ParallelOptions& options = {});
+
+[[deprecated(
+    "use NestedLoopJoin(a, b, pred, ExecOptions{.parallel = ...})")]]
+Result<Relation> NestedLoopJoinParallel(
     const Relation& a, const Relation& b,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
     const ParallelOptions& options = {});
 
-/// Parallel index join: the R-tree over `b` is built once (serially),
-/// then probed concurrently for chunks of `a`; output identical to
-/// IndexJoinOnMovingPoint(a, attr_a, b, attr_b, expand, pred).
-Relation IndexJoinOnMovingPointParallel(
+[[deprecated(
+    "use IndexJoinOnMovingPoint(..., ExecOptions{.parallel = ...})")]]
+Result<Relation> IndexJoinOnMovingPointParallel(
     const Relation& a, int attr_a, const Relation& b, int attr_b,
     double expand,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,

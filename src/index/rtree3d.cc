@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace modb {
 
 namespace {
@@ -48,10 +50,21 @@ std::vector<std::vector<int32_t>> StrGroups(std::vector<int32_t> items,
 
 }  // namespace
 
+#ifndef MODB_NO_METRICS
+void RTree3D::QueryCounters::Flush() const {
+  MODB_COUNTER_INC("index.rtree3d.queries");
+  MODB_COUNTER_ADD("index.rtree3d.node_visits", node_visits);
+  MODB_COUNTER_ADD("index.rtree3d.leaf_entry_tests", leaf_entry_tests);
+  MODB_COUNTER_ADD("index.rtree3d.leaf_hits", leaf_hits);
+}
+#endif
+
 RTree3D RTree3D::BulkLoad(std::vector<Entry> entries, int fanout) {
   RTree3D tree;
   tree.entries_ = std::move(entries);
   tree.num_entries_ = tree.entries_.size();
+  MODB_COUNTER_INC("index.rtree3d.bulk_loads");
+  MODB_COUNTER_ADD("index.rtree3d.entries_loaded", tree.num_entries_);
   if (tree.entries_.empty()) return tree;
 
   // Leaf level.

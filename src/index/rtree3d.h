@@ -29,10 +29,15 @@ class RTree3D {
   std::vector<int64_t> Query(const Cube& query) const;
 
   /// Visits intersecting entries without materializing the id vector.
+  /// Traversal work (node visits, leaf entry tests/hits) is accumulated
+  /// in locals and flushed to the obs metrics registry once per query —
+  /// a no-op (and fully optimized out) under MODB_NO_METRICS.
   template <typename Fn>
   void QueryVisit(const Cube& query, Fn&& fn) const {
     if (nodes_.empty()) return;
-    VisitRec(int32_t(nodes_.size()) - 1, query, fn);
+    QueryCounters counters;
+    VisitRec(int32_t(nodes_.size()) - 1, query, fn, &counters);
+    counters.Flush();
   }
 
   std::size_t NumEntries() const { return num_entries_; }
@@ -47,18 +52,39 @@ class RTree3D {
     std::vector<int32_t> children;
   };
 
+  // Per-query traversal tallies; Flush (rtree3d.cc) adds them to the
+  // "index.rtree3d.*" counters and is empty under MODB_NO_METRICS.
+  struct QueryCounters {
+    std::uint64_t node_visits = 0;
+    std::uint64_t leaf_entry_tests = 0;
+    std::uint64_t leaf_hits = 0;
+#ifdef MODB_NO_METRICS
+    // Inline no-op so the local tallies above are provably dead and the
+    // compiler strips the increments from the traversal.
+    void Flush() const {}
+#else
+    void Flush() const;  // rtree3d.cc
+#endif
+  };
+
   template <typename Fn>
-  void VisitRec(int32_t node_idx, const Cube& query, Fn& fn) const {
+  void VisitRec(int32_t node_idx, const Cube& query, Fn& fn,
+                QueryCounters* counters) const {
     const Node& node = nodes_[std::size_t(node_idx)];
+    ++counters->node_visits;
     if (!Cube::Intersect(node.cube, query)) return;
     if (node.leaf) {
       for (int32_t e : node.children) {
         const Entry& entry = entries_[std::size_t(e)];
-        if (Cube::Intersect(entry.cube, query)) fn(entry.id);
+        ++counters->leaf_entry_tests;
+        if (Cube::Intersect(entry.cube, query)) {
+          ++counters->leaf_hits;
+          fn(entry.id);
+        }
       }
       return;
     }
-    for (int32_t c : node.children) VisitRec(c, query, fn);
+    for (int32_t c : node.children) VisitRec(c, query, fn, counters);
   }
 
   std::vector<Entry> entries_;

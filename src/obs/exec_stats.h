@@ -1,0 +1,78 @@
+// ExecStats: the per-query-node execution profile tree. Every unified
+// query operator (db/query.h) fills one node when ExecOptions.stats is
+// set: cardinalities in/out, predicate evaluations, index candidates vs
+// hits, and units touched, plus wall time and — for parallel runs — one
+// child node per worker chunk, merged deterministically in chunk order
+// (chunk boundaries depend only on (n, chunks), so two runs of the same
+// query produce the same tree regardless of thread scheduling).
+//
+// Unlike the obs/metrics.h registry (process-global, always-on counters),
+// an ExecStats tree is caller-owned and opt-in: operators pay for
+// plain local increments only, and skip even the clock reads when no
+// tree was requested. ToJson/FromJson round-trip exactly, so stats can
+// ride alongside the BENCH_*.json files and be diffed across runs.
+
+#ifndef MODB_OBS_EXEC_STATS_H_
+#define MODB_OBS_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace modb {
+namespace obs {
+
+struct ExecStats {
+  /// Operator (or worker-chunk) label: "select", "nested_loop_join",
+  /// "index_join_on_moving_point", "project", "chunk[3]", ...
+  std::string op;
+
+  // Cardinalities. For joins, tuples_in counts outer + inner tuples.
+  std::uint64_t tuples_in = 0;
+  std::uint64_t tuples_out = 0;
+
+  /// Times the caller's predicate ran (after any index pruning).
+  std::uint64_t predicate_evals = 0;
+
+  /// Index join: candidate tuples the index produced, and candidates
+  /// that survived the exact predicate. candidates - hits = wasted
+  /// refinements; tuples_in(outer) - candidates = pruning power.
+  std::uint64_t index_candidates = 0;
+  std::uint64_t index_hits = 0;
+
+  /// Moving-object units touched while probing/evaluating (e.g. units
+  /// whose bounding cubes were used as index query windows).
+  std::uint64_t units_scanned = 0;
+
+  /// Worker chunks the operator ran as (1 = serial inline).
+  std::uint64_t workers = 0;
+
+  /// Operator wall time; 0 unless a stats tree was requested.
+  std::uint64_t wall_ns = 0;
+
+  /// Per-worker (or sub-operator) nodes, in deterministic chunk order.
+  std::vector<ExecStats> children;
+
+  /// Sums every counter of `other` into this node, workers included.
+  /// op and children are untouched, and wall_ns is NOT summed — wall
+  /// time is not additive across concurrent workers; the parent
+  /// measures its own.
+  void MergeCountersFrom(const ExecStats& other);
+
+  /// Compact JSON; zero-valued fields are omitted, so dumps stay small.
+  std::string ToJson() const;
+
+  /// Inverse of ToJson (unknown keys are rejected, missing keys are 0).
+  static Result<ExecStats> FromJson(const std::string& json);
+};
+
+}  // namespace obs
+
+// The query layer exposes the type in the modb namespace.
+using ExecStats = obs::ExecStats;
+
+}  // namespace modb
+
+#endif  // MODB_OBS_EXEC_STATS_H_

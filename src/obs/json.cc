@@ -1,0 +1,349 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace modb {
+namespace obs {
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Largest integer magnitude a double represents exactly; integers within
+// it are written without a decimal point so counters round-trip
+// byte-identically.
+constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+
+void WriteString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(char(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void WriteNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; degrade to null.
+    out->append("null");
+    return;
+  }
+  double integral;
+  if (std::modf(d, &integral) == 0.0 && std::fabs(d) < kMaxExactInt) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out->append(buf);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out->append(buf);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    Result<JsonValue> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    Result<JsonValue> out = ParseValueInner();
+    --depth_;
+    return out;
+  }
+
+  Result<JsonValue> ParseValueInner() {
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue::Str(std::move(*s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return JsonValue::Bool(true);
+        return Err("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) return JsonValue::Bool(false);
+        return Err("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue::Null();
+        return Err("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key string");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      Result<JsonValue> val = ParseValue();
+      if (!val.ok()) return val;
+      obj.Set(std::move(*key), std::move(*val));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    for (;;) {
+      Result<JsonValue> val = ParseValue();
+      if (!val.ok()) return val;
+      arr.Append(std::move(*val));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      unsigned char c = (unsigned char)text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) return Err("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(char(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Err("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+            else return Err("invalid hex digit in \\u escape");
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            return Err("surrogate \\u escapes are not supported");
+          }
+          // Encode the BMP code point as UTF-8.
+          if (cp < 0x80) {
+            out.push_back(char(cp));
+          } else if (cp < 0x800) {
+            out.push_back(char(0xC0 | (cp >> 6)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(char(0xE0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Err("invalid escape character");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {}
+    if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+      return Err("invalid number");
+    }
+    while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+        return Err("invalid number: expected fraction digits");
+      }
+      while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_])) {
+        return Err("invalid number: expected exponent digits");
+      }
+      while (pos_ < text_.size() && std::isdigit((unsigned char)text_[pos_])) {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    return JsonValue::Number(std::strtod(token.c_str(), nullptr));
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+void JsonValue::WriteTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kNumber:
+      WriteNumber(number_, out);
+      return;
+    case Kind::kString:
+      WriteString(string_, out);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        item.WriteTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& member : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        WriteString(member.first, out);
+        out->push_back(':');
+        member.second.WriteTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Write() const {
+  std::string out;
+  WriteTo(&out);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace obs
+}  // namespace modb

@@ -1,0 +1,104 @@
+// A minimal JSON document model with a compact writer and a strict
+// recursive-descent parser. This exists so the observability layer can
+// emit machine-readable metric/stat dumps (and round-trip them in tests)
+// without pulling a third-party JSON dependency into the build; it is
+// also what tools/json_check uses to validate the bench output files.
+//
+// Scope: the JSON interchange subset the obs layer needs — objects keep
+// insertion order, numbers are IEEE doubles (integers up to 2^53 are
+// written without a decimal point and round-trip exactly), strings are
+// UTF-8 with \uXXXX escapes decoded on parse.
+
+#ifndef MODB_OBS_JSON_H_
+#define MODB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace modb {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue Int(std::uint64_t n) { return Number(double(n)); }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  /// number_value as a non-negative integer (counters), clamped at 0.
+  std::uint64_t uint_value() const {
+    return number_ > 0 ? std::uint64_t(number_) : 0;
+  }
+  const std::string& string_value() const { return string_; }
+
+  // Array access.
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // Object access: members keep insertion order; Set overwrites in place.
+  void Set(std::string key, JsonValue v);
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Compact serialization (no whitespace).
+  std::string Write() const;
+  void WriteTo(std::string* out) const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace obs
+}  // namespace modb
+
+#endif  // MODB_OBS_JSON_H_

@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+#ifndef MODB_NO_METRICS
+#include <bit>
+#endif
+
+namespace modb {
+namespace obs {
+
+#ifndef MODB_NO_METRICS
+
+void Histogram::Record(std::uint64_t sample) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Metrics& Metrics::Global() {
+  static Metrics* metrics = new Metrics();  // Leaked: outlives all users.
+  return *metrics;
+}
+
+Counter* Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* Metrics::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<CounterSnapshot> Metrics::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->value()});
+  }
+  return out;  // std::map iteration is already name-sorted.
+}
+
+std::vector<HistogramSnapshot> Metrics::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = histogram->count();
+    snap.sum = histogram->sum();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      std::uint64_t n = histogram->bucket(i);
+      if (n) snap.buckets.emplace_back(i, n);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Metrics::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string Metrics::ToJson() const {
+  JsonValue counters = JsonValue::Object();
+  for (const CounterSnapshot& c : SnapshotCounters()) {
+    counters.Set(c.name, JsonValue::Int(c.value));
+  }
+  JsonValue histograms = JsonValue::Object();
+  for (const HistogramSnapshot& h : SnapshotHistograms()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Int(h.count));
+    entry.Set("sum", JsonValue::Int(h.sum));
+    JsonValue buckets = JsonValue::Array();
+    for (const auto& [bucket, n] : h.buckets) {
+      JsonValue pair = JsonValue::Array();
+      pair.Append(JsonValue::Int(std::uint64_t(bucket)));
+      pair.Append(JsonValue::Int(n));
+      buckets.Append(std::move(pair));
+    }
+    entry.Set("buckets", std::move(buckets));
+    histograms.Set(h.name, std::move(entry));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("counters", std::move(counters));
+  root.Set("histograms", std::move(histograms));
+  return root.Write();
+}
+
+#else  // MODB_NO_METRICS
+
+Metrics& Metrics::Global() {
+  static Metrics* metrics = new Metrics();
+  return *metrics;
+}
+
+std::string Metrics::ToJson() const {
+  return R"({"counters":{},"histograms":{}})";
+}
+
+#endif  // MODB_NO_METRICS
+
+}  // namespace obs
+}  // namespace modb

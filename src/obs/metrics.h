@@ -1,0 +1,222 @@
+// The process-wide metrics registry: named monotonic counters, log2
+// histograms, and scoped wall-clock timers. This is the low-level half of
+// the observability layer (the structured per-query half is
+// obs/exec_stats.h); the storage, index, temporal-kernel, and parallel
+// layers bump these counters so a bench or example run can explain where
+// its work went (see obs/report.h and the METRICS_<bench>.json export).
+//
+// Hot-path discipline:
+//   * Increments are single relaxed atomic adds — no locks, no branches.
+//   * Registration (name -> counter lookup) takes a mutex, but the
+//     MODB_COUNTER_* macros cache the resolved pointer in a function-local
+//     static, so each call site pays the lookup once per process.
+//   * Layers that count per-element (R-tree node visits, sweep steps)
+//     accumulate into plain locals and flush one atomic add per call.
+//   * Compiling with -DMODB_NO_METRICS (CMake: -DMODB_METRICS=OFF)
+//     replaces everything here with empty inline stubs; the macros expand
+//     to ((void)0) and instrumented code is byte-for-byte free of
+//     metrics work. The API surface stays available so callers need no
+//     #ifdefs: ToJson() still emits a valid (empty) document.
+
+#ifndef MODB_OBS_METRICS_H_
+#define MODB_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef MODB_NO_METRICS
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace modb {
+namespace obs {
+
+#ifndef MODB_NO_METRICS
+
+/// A monotonically increasing counter. Increment is one relaxed atomic
+/// add; reads are racy-but-coherent snapshots (fine for reporting).
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// A histogram over non-negative integer samples with power-of-two
+/// buckets: bucket i counts samples whose bit width is i (0 -> bucket 0,
+/// 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...). Recording is two relaxed adds.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;  // bit widths 0..64
+
+  void Record(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  // (bucket index, count) for the non-empty buckets, ascending.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+};
+
+/// The registry. Counter/Histogram objects live as long as the registry
+/// (i.e. the process, for Global()), so cached pointers never dangle.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// The process-wide registry all macros and library code use.
+  static Metrics& Global();
+
+  /// Finds or registers a counter/histogram. Thread-safe; O(log n) under
+  /// a mutex — cache the pointer on hot paths (the macros below do).
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Stable (name-sorted) snapshots of everything registered.
+  std::vector<CounterSnapshot> SnapshotCounters() const;
+  std::vector<HistogramSnapshot> SnapshotHistograms() const;
+
+  /// Zeroes every registered counter and histogram (entries remain
+  /// registered). For tests and per-phase deltas.
+  void ResetAll();
+
+  /// {"counters":{...},"histograms":{name:{"count":..,"sum":..,
+  /// "buckets":[[i,n],...]}}} — compact, keys sorted.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Records the scope's wall time in nanoseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h)
+      : h_(h), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    h_->Record(ns > 0 ? std::uint64_t(ns) : 0);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Hot-path macros: resolve the metric once per call site, then one
+// relaxed atomic op per use.
+#define MODB_COUNTER_INC(name) MODB_COUNTER_ADD(name, 1)
+#define MODB_COUNTER_ADD(name, n)                                       \
+  do {                                                                  \
+    static ::modb::obs::Counter* _modb_counter =                        \
+        ::modb::obs::Metrics::Global().counter(name);                   \
+    _modb_counter->Inc(std::uint64_t(n));                               \
+  } while (0)
+#define MODB_HISTOGRAM_RECORD(name, sample)                             \
+  do {                                                                  \
+    static ::modb::obs::Histogram* _modb_histogram =                    \
+        ::modb::obs::Metrics::Global().histogram(name);                 \
+    _modb_histogram->Record(std::uint64_t(sample));                     \
+  } while (0)
+#define MODB_SCOPED_TIMER(name)                                         \
+  ::modb::obs::ScopedTimer _modb_scoped_timer_##__LINE__(               \
+      ::modb::obs::Metrics::Global().histogram(name))
+
+#else  // MODB_NO_METRICS: the whole layer compiles to nothing.
+
+class Counter {
+ public:
+  void Inc(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+  void Record(std::uint64_t) {}
+  std::uint64_t count() const { return 0; }
+  std::uint64_t sum() const { return 0; }
+  std::uint64_t bucket(int) const { return 0; }
+  void Reset() {}
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+};
+
+class Metrics {
+ public:
+  static Metrics& Global();
+  Counter* counter(const std::string&) { return &counter_; }
+  Histogram* histogram(const std::string&) { return &histogram_; }
+  std::vector<CounterSnapshot> SnapshotCounters() const { return {}; }
+  std::vector<HistogramSnapshot> SnapshotHistograms() const { return {}; }
+  void ResetAll() {}
+  std::string ToJson() const;
+
+ private:
+  Counter counter_;
+  Histogram histogram_;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram*) {}
+};
+
+#define MODB_COUNTER_INC(name) ((void)0)
+#define MODB_COUNTER_ADD(name, n) ((void)0)
+#define MODB_HISTOGRAM_RECORD(name, sample) ((void)0)
+#define MODB_SCOPED_TIMER(name) ((void)0)
+
+#endif  // MODB_NO_METRICS
+
+}  // namespace obs
+}  // namespace modb
+
+#endif  // MODB_OBS_METRICS_H_

@@ -1,0 +1,75 @@
+#include "obs/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace modb {
+namespace obs {
+
+namespace {
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out->append(buf);
+  out->push_back('\n');
+}
+
+void AppendStatsNode(const ExecStats& s, int depth, std::string* out) {
+  std::string indent(std::size_t(depth) * 2, ' ');
+  AppendLine(out, "%s%s: in=%llu out=%llu pred=%llu", indent.c_str(),
+             s.op.empty() ? "(node)" : s.op.c_str(),
+             (unsigned long long)s.tuples_in, (unsigned long long)s.tuples_out,
+             (unsigned long long)s.predicate_evals);
+  if (s.index_candidates || s.index_hits || s.units_scanned) {
+    AppendLine(out, "%s  index: candidates=%llu hits=%llu units_scanned=%llu",
+               indent.c_str(), (unsigned long long)s.index_candidates,
+               (unsigned long long)s.index_hits,
+               (unsigned long long)s.units_scanned);
+  }
+  if (s.workers || s.wall_ns) {
+    AppendLine(out, "%s  exec: workers=%llu wall=%.3f ms", indent.c_str(),
+               (unsigned long long)s.workers, double(s.wall_ns) / 1e6);
+  }
+  for (const ExecStats& child : s.children) {
+    AppendStatsNode(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string DumpStats(const ExecStats* stats) {
+  std::string out;
+  out.append("== modb observability report ==\n");
+#ifdef MODB_NO_METRICS
+  out.append("metrics: compiled out (MODB_NO_METRICS)\n");
+#else
+  Metrics& metrics = Metrics::Global();
+  auto counters = metrics.SnapshotCounters();
+  auto histograms = metrics.SnapshotHistograms();
+  AppendLine(&out, "counters (%zu):", counters.size());
+  for (const CounterSnapshot& c : counters) {
+    AppendLine(&out, "  %-44s %12llu", c.name.c_str(),
+               (unsigned long long)c.value);
+  }
+  AppendLine(&out, "histograms (%zu):", histograms.size());
+  for (const HistogramSnapshot& h : histograms) {
+    double mean = h.count ? double(h.sum) / double(h.count) : 0;
+    AppendLine(&out, "  %-44s count=%llu mean=%.1f", h.name.c_str(),
+               (unsigned long long)h.count, mean);
+  }
+#endif
+  if (stats != nullptr) {
+    out.append("query stats:\n");
+    AppendStatsNode(*stats, 1, &out);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace modb

@@ -1,0 +1,26 @@
+// DumpStats: the human-readable observability report the examples print.
+// Renders the global metrics registry (counters sorted by name,
+// histograms with count/mean) and, when given one, an ExecStats tree
+// with per-node cardinalities — the quick answer to "where did this
+// query's time and work go?" without leaving the terminal.
+
+#ifndef MODB_OBS_REPORT_H_
+#define MODB_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/exec_stats.h"
+
+namespace modb {
+namespace obs {
+
+/// Multi-line report of the global metrics registry plus an optional
+/// query stats tree. Under MODB_NO_METRICS the registry section reports
+/// that metrics are compiled out; a provided ExecStats tree still
+/// renders (it is caller-owned, not registry-backed).
+std::string DumpStats(const ExecStats* stats = nullptr);
+
+}  // namespace obs
+}  // namespace modb
+
+#endif  // MODB_OBS_REPORT_H_

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/metrics.h"
+
 namespace modb {
 
 namespace {
@@ -23,16 +25,24 @@ PageExtent PageStore::Write(std::string_view bytes) {
     pages_.push_back(std::move(page));
   }
   bytes_used_ += bytes.size();
+  MODB_COUNTER_INC("storage.page_store.writes");
+  MODB_COUNTER_ADD("storage.page_store.pages_written", extent.num_pages);
+  MODB_COUNTER_ADD("storage.page_store.bytes_written", bytes.size());
   return extent;
 }
 
 Result<std::string> PageStore::Read(const PageExtent& extent) const {
   if (std::size_t(extent.first_page) + extent.num_pages > pages_.size()) {
+    MODB_COUNTER_INC("storage.page_store.read_errors");
     return Status::OutOfRange("page extent out of range");
   }
   if (extent.num_bytes > std::size_t(extent.num_pages) * kPageSize) {
+    MODB_COUNTER_INC("storage.page_store.read_errors");
     return Status::InvalidArgument("extent byte count exceeds its pages");
   }
+  MODB_COUNTER_INC("storage.page_store.reads");
+  MODB_COUNTER_ADD("storage.page_store.pages_read", extent.num_pages);
+  MODB_COUNTER_ADD("storage.page_store.bytes_read", extent.num_bytes);
   std::string out;
   out.reserve(extent.num_bytes);
   std::size_t remaining = extent.num_bytes;
@@ -57,6 +67,8 @@ Status PageStore::SaveToFile(const std::string& path) const {
     out.write(page.data(), std::streamsize(kPageSize));
   }
   if (!out) return Status::Internal("short write to " + path);
+  MODB_COUNTER_INC("storage.page_store.file_saves");
+  MODB_COUNTER_ADD("storage.page_store.pages_saved", pages_.size());
   return Status::OK();
 }
 
@@ -79,6 +91,8 @@ Result<PageStore> PageStore::LoadFromFile(const std::string& path) {
     store.pages_.push_back(std::move(page));
   }
   store.bytes_used_ = bytes_used;
+  MODB_COUNTER_INC("storage.page_store.file_loads");
+  MODB_COUNTER_ADD("storage.page_store.pages_loaded", store.pages_.size());
   return store;
 }
 

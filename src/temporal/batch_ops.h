@@ -30,6 +30,7 @@
 #include "core/instant.h"
 #include "core/intime.h"
 #include "core/status.h"
+#include "obs/metrics.h"
 #include "temporal/mapping.h"
 #include "temporal/refinement.h"
 
@@ -102,6 +103,16 @@ struct UnitsView {
   }
 };
 
+/// Per-batch tallies of how each instant was resolved: straight off the
+/// forward cursor, or by dispatching a gallop + binary search. Kernels
+/// accumulate into plain locals and flush once per batch, so the sweep
+/// inner loop carries no atomics (and under MODB_NO_METRICS the flush is
+/// a no-op and the locals fold away).
+struct SweepCounters {
+  std::uint64_t cursor_hits = 0;     // resolved by the sweep cursor as-is
+  std::uint64_t gallop_searches = 0; // needed the gallop/binary-search path
+};
+
 /// One step of the merge sweep: the index of the unit containing t, or
 /// npos. `*cursor` only moves forward; with ascending queries the total
 /// advance over a whole batch is O(n + k) (galloping keeps each
@@ -110,10 +121,15 @@ inline constexpr std::size_t kNpos = std::size_t(-1);
 
 template <typename View>
 std::size_t SweepFind(const View& v, Instant t, std::size_t* cursor,
-                      std::size_t hint = 1) {
+                      std::size_t hint = 1,
+                      SweepCounters* counters = nullptr) {
   const std::size_t n = v.size();
   std::size_t i = *cursor;
-  if (i < n && v.before(i, t)) {
+  const bool needs_advance = i < n && v.before(i, t);
+  if (counters != nullptr) {
+    ++(needs_advance ? counters->gallop_searches : counters->cursor_hits);
+  }
+  if (needs_advance) {
     // First probe: interpolate t's position within the remaining unit
     // ends. On near-uniform unit durations (the common case for sliced
     // trajectories) this lands within a few units of the target, so a
@@ -176,13 +192,15 @@ Status AtInstantBatchInto(const Mapping<U>& m,
   out->reserve(instants.size());
   std::size_t cursor = 0;
   Instant prev = -std::numeric_limits<Instant>::infinity();
+  batch_internal::SweepCounters sweep;
   auto run = [&](const auto& view) {
     const std::size_t hint = std::max<std::size_t>(
         1, view.size() / std::max<std::size_t>(1, instants.size()));
     for (Instant t : instants) {
       if (t < prev) return false;
       prev = t;
-      std::size_t idx = batch_internal::SweepFind(view, t, &cursor, hint);
+      std::size_t idx =
+          batch_internal::SweepFind(view, t, &cursor, hint, &sweep);
       if (idx == batch_internal::kNpos) {
         out->push_back(Out::Undefined());
       } else {
@@ -195,6 +213,17 @@ Status AtInstantBatchInto(const Mapping<U>& m,
                 ? run(batch_internal::SoAView{m.search_index()})
                 : run(batch_internal::UnitsView<U>{&m.units()});
   if (!ok) return batch_internal::NotAscending();
+  MODB_COUNTER_INC("temporal.batch.atinstant_calls");
+  MODB_COUNTER_ADD("temporal.batch.atinstant_instants", instants.size());
+  MODB_COUNTER_ADD("temporal.batch.units_scanned", cursor);
+  MODB_COUNTER_ADD("temporal.batch.sweep_cursor_hits", sweep.cursor_hits);
+  MODB_COUNTER_ADD("temporal.batch.sweep_gallop_searches",
+                   sweep.gallop_searches);
+  if (m.search_index()) {
+    MODB_COUNTER_INC("temporal.batch.dispatch_soa_index");
+  } else {
+    MODB_COUNTER_INC("temporal.batch.dispatch_unit_records");
+  }
   return Status::OK();
 }
 
@@ -218,13 +247,15 @@ Status PresentBatchInto(const Mapping<U>& m,
   out->reserve(instants.size());
   std::size_t cursor = 0;
   Instant prev = -std::numeric_limits<Instant>::infinity();
+  batch_internal::SweepCounters sweep;
   auto run = [&](const auto& view) {
     const std::size_t hint = std::max<std::size_t>(
         1, view.size() / std::max<std::size_t>(1, instants.size()));
     for (Instant t : instants) {
       if (t < prev) return false;
       prev = t;
-      out->push_back(batch_internal::SweepFind(view, t, &cursor, hint) !=
+      out->push_back(batch_internal::SweepFind(view, t, &cursor, hint,
+                                               &sweep) !=
                              batch_internal::kNpos
                          ? 1
                          : 0);
@@ -235,6 +266,12 @@ Status PresentBatchInto(const Mapping<U>& m,
                 ? run(batch_internal::SoAView{m.search_index()})
                 : run(batch_internal::UnitsView<U>{&m.units()});
   if (!ok) return batch_internal::NotAscending();
+  MODB_COUNTER_INC("temporal.batch.present_calls");
+  MODB_COUNTER_ADD("temporal.batch.present_instants", instants.size());
+  MODB_COUNTER_ADD("temporal.batch.units_scanned", cursor);
+  MODB_COUNTER_ADD("temporal.batch.sweep_cursor_hits", sweep.cursor_hits);
+  MODB_COUNTER_ADD("temporal.batch.sweep_gallop_searches",
+                   sweep.gallop_searches);
   return Status::OK();
 }
 
@@ -258,11 +295,19 @@ using RefinementScratch = std::vector<RefinementEntry>;
 template <typename UA, typename UB, typename Fn>
 Status ForEachRefinementPair(const Mapping<UA>& a, const Mapping<UB>& b,
                              RefinementScratch* scratch, Fn&& fn) {
+  if (scratch->capacity() > 0) {
+    MODB_COUNTER_INC("temporal.refinement.scratch_reused");
+  } else {
+    MODB_COUNTER_INC("temporal.refinement.scratch_fresh");
+  }
   MODB_RETURN_IF_ERROR(RefinementPartitionInto(a, b, scratch));
+  std::uint64_t codefined = 0;
   for (const RefinementEntry& e : *scratch) {
     if (!e.HasBoth()) continue;
+    ++codefined;
     MODB_RETURN_IF_ERROR(fn(e));
   }
+  MODB_COUNTER_ADD("temporal.refinement.codefined_entries", codefined);
   return Status::OK();
 }
 

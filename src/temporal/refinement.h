@@ -18,6 +18,7 @@
 
 #include "core/interval.h"
 #include "core/status.h"
+#include "obs/metrics.h"
 #include "temporal/mapping.h"
 
 namespace modb {
@@ -157,6 +158,8 @@ Status RefinementPartitionInto(const Mapping<UA>& a, const Mapping<UB>& b,
       advance_b();
     }
   }
+  MODB_COUNTER_INC("temporal.refinement.partitions");
+  MODB_COUNTER_ADD("temporal.refinement.entries", out->size());
   return Status::OK();
 }
 

@@ -116,24 +116,30 @@ Relation TestPlanes(int num_flights, std::uint64_t seed) {
 
 const std::vector<int> kThreadCounts = {1, 2, 4, 7};
 
+// ExecOptions running on a pool (one chunk per pool thread).
+ExecOptions PoolOptions(ThreadPool* pool) {
+  ExecOptions options;
+  options.parallel.num_threads = 0;
+  options.parallel.pool = pool;
+  return options;
+}
+
 TEST(ParallelOperators, SelectMatchesSerial) {
   Relation planes = TestPlanes(60, 1);
   auto pred = [](const Tuple& t) {
     const auto& mp = std::get<MovingPoint>(t[std::size_t(kFlightAttrFlight)]);
     return mp.NumUnits() % 2 == 0;
   };
-  Relation serial = Select(planes, pred);
+  Relation serial = *Select(planes, pred);
   EXPECT_GT(serial.NumTuples(), 0u);
   EXPECT_LT(serial.NumTuples(), planes.NumTuples());
   for (int threads : kThreadCounts) {
     ThreadPool pool(threads);
-    ParallelOptions options;
-    options.pool = &pool;
-    ExpectByteIdentical(serial, SelectParallel(planes, pred, options));
+    ExpectByteIdentical(serial, *Select(planes, pred, PoolOptions(&pool)));
     // num_threads overrides chunking without a private pool.
-    ParallelOptions by_count;
-    by_count.num_threads = threads;
-    ExpectByteIdentical(serial, SelectParallel(planes, pred, by_count));
+    ExecOptions by_count;
+    by_count.parallel.num_threads = threads;
+    ExpectByteIdentical(serial, *Select(planes, pred, by_count));
   }
 }
 
@@ -151,13 +157,12 @@ TEST(ParallelOperators, NestedLoopJoinMatchesSerial) {
            mb.units().front().interval().start() <=
                ma.units().back().interval().end();
   };
-  Relation serial = NestedLoopJoin(a, b, pred);
+  Relation serial = *NestedLoopJoin(a, b, pred);
   EXPECT_GT(serial.NumTuples(), 0u);
   for (int threads : kThreadCounts) {
     ThreadPool pool(threads);
-    ParallelOptions options;
-    options.pool = &pool;
-    ExpectByteIdentical(serial, NestedLoopJoinParallel(a, b, pred, options));
+    ExpectByteIdentical(serial, *NestedLoopJoin(a, b, pred,
+                                                PoolOptions(&pool)));
   }
 }
 
@@ -168,15 +173,14 @@ TEST(ParallelOperators, IndexJoinMatchesSerial) {
     return i != j;
   };
   Relation serial =
-      IndexJoinOnMovingPoint(a, kFlightAttrFlight, b, kFlightAttrFlight,
-                             500.0, pred);
+      *IndexJoinOnMovingPoint(a, kFlightAttrFlight, b, kFlightAttrFlight,
+                              500.0, pred);
   EXPECT_GT(serial.NumTuples(), 0u);
   for (int threads : kThreadCounts) {
     ThreadPool pool(threads);
-    ParallelOptions options;
-    options.pool = &pool;
-    Relation par = IndexJoinOnMovingPointParallel(
-        a, kFlightAttrFlight, b, kFlightAttrFlight, 500.0, pred, options);
+    Relation par =
+        *IndexJoinOnMovingPoint(a, kFlightAttrFlight, b, kFlightAttrFlight,
+                                500.0, pred, PoolOptions(&pool));
     ExpectByteIdentical(serial, par);
   }
 }
@@ -185,12 +189,77 @@ TEST(ParallelOperators, EmptyRelationAndMoreChunksThanTuples) {
   Relation planes = TestPlanes(3, 6);
   Relation empty("planes", planes.schema());
   auto all = [](const Tuple&) { return true; };
-  ParallelOptions options;
-  options.num_threads = 8;  // more chunks than tuples
-  ExpectByteIdentical(Select(empty, all), SelectParallel(empty, all, options));
-  ExpectByteIdentical(Select(planes, all),
-                      SelectParallel(planes, all, options));
+  ExecOptions options;
+  options.parallel.num_threads = 8;  // more chunks than tuples
+  ExpectByteIdentical(*Select(empty, all), *Select(empty, all, options));
+  ExpectByteIdentical(*Select(planes, all), *Select(planes, all, options));
 }
+
+TEST(ParallelOperators, RejectsAbsurdThreadCounts) {
+  Relation planes = TestPlanes(3, 6);
+  auto all = [](const Tuple&) { return true; };
+  ExecOptions options;
+  options.parallel.num_threads = kMaxQueryThreads + 1;
+  auto r = Select(planes, all, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // <= 0 means "auto" and stays valid.
+  options.parallel.num_threads = -5;
+  EXPECT_TRUE(Select(planes, all, options).ok());
+  options.parallel.num_threads = kMaxQueryThreads;
+  EXPECT_TRUE(Select(planes, all, options).ok());
+}
+
+// Requesting an ExecStats sink must not change the produced relation
+// (the differential guarantee the instrumentation relies on), and the
+// tree must describe the work that actually happened.
+TEST(ParallelOperators, StatsSinkDoesNotChangeOutput) {
+  Relation planes = TestPlanes(40, 7);
+  auto pred = [](const Tuple& t) {
+    const auto& mp = std::get<MovingPoint>(t[std::size_t(kFlightAttrFlight)]);
+    return mp.NumUnits() % 2 == 1;
+  };
+  Relation plain = *Select(planes, pred);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ExecStats stats;
+    ExecOptions options = PoolOptions(&pool);
+    options.stats = &stats;
+    ExpectByteIdentical(plain, *Select(planes, pred, options));
+    EXPECT_EQ(stats.op, "select");
+    EXPECT_EQ(stats.tuples_in, planes.NumTuples());
+    EXPECT_EQ(stats.tuples_out, plain.NumTuples());
+    EXPECT_EQ(stats.predicate_evals, planes.NumTuples());
+    EXPECT_EQ(stats.workers, std::uint64_t(threads));
+    EXPECT_EQ(stats.children.size(), std::size_t(threads));
+    // Per-worker children partition the parent's counters.
+    std::uint64_t in = 0, out = 0;
+    for (const ExecStats& child : stats.children) {
+      in += child.tuples_in;
+      out += child.tuples_out;
+    }
+    EXPECT_EQ(in, stats.tuples_in);
+    EXPECT_EQ(out, stats.tuples_out);
+  }
+}
+
+// The deprecated one-PR compatibility wrappers must keep behaving like
+// the unified entrypoints until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ParallelOperators, DeprecatedWrappersStillWork) {
+  Relation planes = TestPlanes(20, 8);
+  auto pred = [](const Tuple& t) {
+    const auto& mp = std::get<MovingPoint>(t[std::size_t(kFlightAttrFlight)]);
+    return mp.NumUnits() % 2 == 0;
+  };
+  Relation serial = *Select(planes, pred);
+  ThreadPool pool(2);
+  ParallelOptions options;
+  options.pool = &pool;
+  ExpectByteIdentical(serial, *SelectParallel(planes, pred, options));
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace modb

@@ -53,7 +53,7 @@ TEST(RelationInsert, TypeChecking) {
 
 TEST(QueryOps, SelectAndProject) {
   Relation planes = MakePlanesSmall();
-  Relation lh = Select(planes, [](const Tuple& t) {
+  Relation lh = *Select(planes, [](const Tuple& t) {
     return std::get<StringValue>(t[0]).value() == "Lufthansa";
   });
   EXPECT_EQ(lh.NumTuples(), 2u);
@@ -74,7 +74,7 @@ TEST(PaperQueries, TrajectoryLengthFilter) {
                                      .speed = 800,
                                      .departure_window = 24,
                                      .seed = 1});
-  Relation result = Select(planes, [](const Tuple& t) {
+  Relation result = *Select(planes, [](const Tuple& t) {
     return std::get<StringValue>(t[kFlightAttrAirline]).value() ==
                "Lufthansa" &&
            Trajectory(std::get<MovingPoint>(t[kFlightAttrFlight])).Length() >
@@ -103,7 +103,7 @@ TEST(PaperQueries, SpatioTemporalJoin) {
     if (!am.ok()) return false;
     return am->Initial().val() < 0.5;
   };
-  Relation pairs = NestedLoopJoin(planes, planes, close_pred);
+  Relation pairs = *NestedLoopJoin(planes, planes, close_pred);
   ASSERT_EQ(pairs.NumTuples(), 1u);
   EXPECT_EQ(std::get<StringValue>(pairs.tuple(0)[1]).value(), "LH1");
   EXPECT_EQ(std::get<StringValue>(pairs.tuple(0)[4]).value(), "KL2");
@@ -127,9 +127,9 @@ TEST(QueryOps, IndexJoinMatchesNestedLoop) {
     auto mv = MinValue(*d);
     return mv.has_value() && *mv < kDist;
   };
-  Relation nl = NestedLoopJoin(planes, planes, pred);
-  Relation ix = IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
-                                       kFlightAttrFlight, kDist, pred);
+  Relation nl = *NestedLoopJoin(planes, planes, pred);
+  Relation ix = *IndexJoinOnMovingPoint(planes, kFlightAttrFlight, planes,
+                                        kFlightAttrFlight, kDist, pred);
   EXPECT_EQ(ix.NumTuples(), nl.NumTuples());
   EXPECT_GT(nl.NumTuples(), 0u);
 }

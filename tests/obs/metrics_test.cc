@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "db/parallel.h"
+#include "obs/json.h"
+
+namespace modb {
+namespace obs {
+namespace {
+
+#ifndef MODB_NO_METRICS
+
+TEST(Counter, IncValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsByBitWidth) {
+  Histogram h;
+  h.Record(0);     // bit width 0
+  h.Record(1);     // 1
+  h.Record(2);     // 2
+  h.Record(3);     // 2
+  h.Record(4);     // 3
+  h.Record(1024);  // 11
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 1024);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(MetricsRegistry, SameNameSamePointer) {
+  Metrics m;
+  Counter* a = m.counter("x");
+  Counter* b = m.counter("x");
+  Counter* c = m.counter("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(m.histogram("h"), m.histogram("h"));
+}
+
+TEST(MetricsRegistry, SnapshotsAreNameSorted) {
+  Metrics m;
+  m.counter("zulu")->Inc(1);
+  m.counter("alpha")->Inc(2);
+  m.counter("mike")->Inc(3);
+  auto snap = m.SnapshotCounters();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mike");
+  EXPECT_EQ(snap[2].name, "zulu");
+  EXPECT_EQ(snap[0].value, 2u);
+}
+
+TEST(MetricsRegistry, ResetAllKeepsRegistrations) {
+  Metrics m;
+  Counter* c = m.counter("c");
+  c->Inc(7);
+  m.histogram("h")->Record(9);
+  m.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(m.counter("c"), c);  // still registered
+  EXPECT_EQ(m.histogram("h")->count(), 0u);
+}
+
+// The correctness property the whole hot-path design rests on: relaxed
+// atomic increments from ParallelFor workers lose nothing — the final
+// counter equals the serial total at every chunking.
+TEST(MetricsRegistry, CountsUnderParallelForMatchSerial) {
+  Metrics m;
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  for (std::size_t chunks : {1u, 2u, 7u, 64u}) {
+    Counter* c = m.counter("parallel_sum");
+    c->Reset();
+    ParallelFor(pool, n, chunks,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  // Local-accumulate-then-flush, as the library does.
+                  std::uint64_t local = 0;
+                  for (std::size_t i = begin; i < end; ++i) local += i;
+                  c->Inc(local);
+                });
+    EXPECT_EQ(c->value(), std::uint64_t(n) * (n - 1) / 2) << chunks;
+  }
+}
+
+TEST(MetricsRegistry, ScopedTimerRecords) {
+  Metrics m;
+  Histogram* h = m.histogram("t");
+  { ScopedTimer timer(h); }
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(MetricsRegistry, MacrosHitTheGlobalRegistry) {
+  Counter* c = Metrics::Global().counter("test.macro_counter");
+  const std::uint64_t before = c->value();
+  for (int i = 0; i < 5; ++i) MODB_COUNTER_INC("test.macro_counter");
+  MODB_COUNTER_ADD("test.macro_counter", 10);
+  EXPECT_EQ(c->value(), before + 15);
+}
+
+#else  // MODB_NO_METRICS
+
+TEST(MetricsRegistry, CompiledOutStubsAreInert) {
+  Counter* c = Metrics::Global().counter("anything");
+  c->Inc(100);
+  EXPECT_EQ(c->value(), 0u);
+  MODB_COUNTER_INC("anything");
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_TRUE(Metrics::Global().SnapshotCounters().empty());
+  EXPECT_TRUE(Metrics::Global().SnapshotHistograms().empty());
+}
+
+#endif  // MODB_NO_METRICS
+
+// In both builds ToJson() must be a valid document with the two
+// top-level sections (empty when compiled out) — the bench JSON export
+// and tools/json_check rely on this.
+TEST(MetricsRegistry, ToJsonIsValidJson) {
+#ifndef MODB_NO_METRICS
+  Metrics m;
+  m.counter("a.b")->Inc(3);
+  m.histogram("c\"quoted\"")->Record(5);
+  const std::string json = m.ToJson();
+#else
+  const std::string json = Metrics::Global().ToJson();
+#endif
+  auto doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.ok()) << doc.status() << " in " << json;
+  ASSERT_EQ(doc->kind(), JsonValue::Kind::kObject);
+  const JsonValue* counters = doc->Find("counters");
+  const JsonValue* histograms = doc->Find("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(histograms, nullptr);
+#ifndef MODB_NO_METRICS
+  const JsonValue* a = counters->Find("a.b");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->uint_value(), 3u);
+  const JsonValue* h = histograms->Find("c\"quoted\"");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("count")->uint_value(), 1u);
+  EXPECT_EQ(h->Find("sum")->uint_value(), 5u);
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace modb

@@ -1,0 +1,47 @@
+// json_check: validates that each argument file parses as a complete
+// JSON document. The bench_json CMake target runs it over every
+// BENCH_<name>.json and METRICS_<name>.json it produces, so a bench that
+// emits malformed JSON fails the build step instead of silently
+// corrupting the perf-trajectory record.
+//
+// Usage: json_check FILE [FILE...]   (exit 0 iff every file is valid)
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_check FILE [FILE...]\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "json_check: cannot open %s\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.empty()) {
+      std::fprintf(stderr, "json_check: %s is empty\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    auto parsed = modb::obs::JsonValue::Parse(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "json_check: %s: %s\n", argv[i],
+                   parsed.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("json_check: %s OK (%zu bytes)\n", argv[i], text.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
