@@ -273,37 +273,4 @@ Result<Relation> IndexJoinOnMovingPoint(
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated wrappers.
-// ---------------------------------------------------------------------------
-
-Result<Relation> SelectParallel(const Relation& rel,
-                                const std::function<bool(const Tuple&)>& pred,
-                                const ParallelOptions& options) {
-  ExecOptions exec;
-  exec.parallel = options;
-  return Select(rel, pred, exec);
-}
-
-Result<Relation> NestedLoopJoinParallel(
-    const Relation& a, const Relation& b,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred,
-    const ParallelOptions& options) {
-  ExecOptions exec;
-  exec.parallel = options;
-  return NestedLoopJoin(a, b, pred, exec);
-}
-
-Result<Relation> IndexJoinOnMovingPointParallel(
-    const Relation& a, int attr_a, const Relation& b, int attr_b,
-    double expand,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred,
-    const ParallelOptions& options) {
-  ExecOptions exec;
-  exec.parallel = options;
-  return IndexJoinOnMovingPoint(a, attr_a, b, attr_b, expand, pred, exec);
-}
-
 }  // namespace modb

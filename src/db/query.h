@@ -5,8 +5,7 @@
 // All operators share one entrypoint shape: they take an ExecOptions
 // (execution policy + optional ExecStats sink) and return
 // Result<Relation>. Serial vs parallel execution is a policy knob, not a
-// separate function; the former *Parallel variants remain as thin
-// deprecated wrappers for one release and will be removed.
+// separate function.
 
 #ifndef MODB_DB_QUERY_H_
 #define MODB_DB_QUERY_H_
@@ -91,35 +90,6 @@ Result<Relation> IndexJoinOnMovingPoint(
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
     const ExecOptions& options = {});
-
-// ---------------------------------------------------------------------------
-// Deprecated wrappers (one release of grace): the parallel variants are
-// now spelled as the unified operators with options.parallel set. The
-// wrappers forward their ParallelOptions unchanged, so the historical
-// default (num_threads = 0: one chunk per pool thread) still holds here.
-// ---------------------------------------------------------------------------
-
-[[deprecated("use Select(rel, pred, ExecOptions{.parallel = ...})")]]
-Result<Relation> SelectParallel(const Relation& rel,
-                                const std::function<bool(const Tuple&)>& pred,
-                                const ParallelOptions& options = {});
-
-[[deprecated(
-    "use NestedLoopJoin(a, b, pred, ExecOptions{.parallel = ...})")]]
-Result<Relation> NestedLoopJoinParallel(
-    const Relation& a, const Relation& b,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred,
-    const ParallelOptions& options = {});
-
-[[deprecated(
-    "use IndexJoinOnMovingPoint(..., ExecOptions{.parallel = ...})")]]
-Result<Relation> IndexJoinOnMovingPointParallel(
-    const Relation& a, int attr_a, const Relation& b, int attr_b,
-    double expand,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred,
-    const ParallelOptions& options = {});
 
 }  // namespace modb
 

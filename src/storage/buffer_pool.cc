@@ -1,0 +1,189 @@
+#include "storage/buffer_pool.h"
+
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace modb {
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = std::exchange(o.pool_, nullptr);
+    frame_ = o.frame_;
+    data_ = std::exchange(o.data_, nullptr);
+    page_ = o.page_;
+    dirty_ = std::exchange(o.dirty_, false);
+  }
+  return *this;
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(PageDevice* device, std::size_t capacity)
+    : device_(device), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+  free_.reserve(capacity_);
+  // Hand frames out in index order (pop_back): 0, 1, 2, ...
+  for (std::size_t i = capacity_; i > 0; --i) free_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() { FlushAll().ok(); }
+
+Result<BufferPool::PageRef> BufferPool::Pin(std::uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(page);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    f.lru_tick = ++tick_;
+    ++stats_.hits;
+    MODB_COUNTER_INC("storage.buffer_pool.hits");
+    return PageRef(this, it->second, f.data.get(), page);
+  }
+  ++stats_.misses;
+  MODB_COUNTER_INC("storage.buffer_pool.misses");
+
+  std::size_t victim;
+  if (!free_.empty()) {
+    victim = free_.back();
+    free_.pop_back();
+  } else {
+    // Evict the least-recently-used unpinned frame.
+    victim = capacity_;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      const Frame& f = frames_[i];
+      if (f.resident && f.pins == 0 && f.lru_tick < best) {
+        best = f.lru_tick;
+        victim = i;
+      }
+    }
+    if (victim == capacity_) {
+      MODB_COUNTER_INC("storage.buffer_pool.pin_exhausted");
+      return Status::FailedPrecondition(
+          "buffer pool exhausted: every frame is pinned");
+    }
+    Frame& v = frames_[victim];
+    if (v.dirty) {
+      Status wb = WritebackLocked(&v);
+      if (!wb.ok()) {
+        // The dirty victim stays resident — failing the pin must not
+        // lose its unwritten bytes.
+        ++stats_.write_errors;
+        return wb;
+      }
+    }
+    table_.erase(v.page);
+    v.resident = false;
+    ++stats_.evictions;
+    MODB_COUNTER_INC("storage.buffer_pool.evictions");
+  }
+
+  Frame& f = frames_[victim];
+  if (!f.data) f.data = std::make_unique<char[]>(kPageSize);
+  Status read = device_->ReadPage(page, f.data.get());
+  if (!read.ok()) {
+    ++stats_.read_errors;
+    free_.push_back(victim);
+    return read;
+  }
+  f.page = page;
+  f.pins = 1;
+  f.dirty = false;
+  f.resident = true;
+  f.lru_tick = ++tick_;
+  table_.emplace(page, victim);
+  return PageRef(this, victim, f.data.get(), page);
+}
+
+void BufferPool::Unpin(std::size_t frame, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame];
+  f.dirty = f.dirty || dirty;
+  if (f.pins > 0) --f.pins;
+  if (f.pins == 0) f.lru_tick = ++tick_;
+}
+
+Status BufferPool::WritebackLocked(Frame* f) {
+  Status s = device_->WritePage(f->page, f->data.get());
+  if (!s.ok()) return s;
+  f->dirty = false;
+  ++stats_.writebacks;
+  MODB_COUNTER_INC("storage.buffer_pool.writebacks");
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.resident && f.dirty) {
+      Status s = WritebackLocked(&f);
+      if (!s.ok()) {
+        ++stats_.write_errors;
+        return s;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Frame& f : frames_) {
+    if (f.resident && f.pins > 0) {
+      return Status::FailedPrecondition("cannot drop: pages are pinned");
+    }
+  }
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Frame& f = frames_[i];
+    if (!f.resident) continue;
+    if (f.dirty) {
+      Status s = WritebackLocked(&f);
+      if (!s.ok()) {
+        ++stats_.write_errors;
+        return s;
+      }
+    }
+    table_.erase(f.page);
+    f.resident = false;
+    ++stats_.evictions;
+    MODB_COUNTER_INC("storage.buffer_pool.evictions");
+    free_.push_back(i);
+  }
+  return Status::OK();
+}
+
+bool BufferPool::IsResident(std::uint32_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.count(page) != 0;
+}
+
+std::size_t BufferPool::NumResident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+std::size_t BufferPool::NumPinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.resident && f.pins > 0) ++n;
+  }
+  return n;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace modb

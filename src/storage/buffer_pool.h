@@ -1,0 +1,142 @@
+// An LRU buffer pool over a PageDevice — the main-memory half of the
+// paper's Section-4 storage contract. Attribute pages live on "secondary
+// memory" (the device); queries pin the pages they touch, the pool reads
+// each page at most once while it stays resident, and dirty pages are
+// written back on eviction or an explicit flush. Pinned pages are never
+// evicted, so a PageRef's bytes stay valid for its whole lifetime even
+// while other threads fault pages in and out.
+//
+// Concurrency: one mutex guards the frame table; device I/O runs under
+// it. That serializes faults (by design — the backing devices are not
+// thread-safe) while keeping pin/unpin of resident pages cheap. Hit,
+// miss, eviction, and writeback counts are kept both as plain members
+// (stats(), for deterministic tests) and as obs/ metrics counters
+// (storage.buffer_pool.*, compiled out under MODB_NO_METRICS).
+
+#ifndef MODB_STORAGE_BUFFER_POOL_H_
+#define MODB_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "storage/page_store.h"
+
+namespace modb {
+
+/// Snapshot of the pool's lifetime counters.
+struct BufferPoolStats {
+  std::uint64_t hits = 0;        // pin found the page resident
+  std::uint64_t misses = 0;      // pin had to read the device
+  std::uint64_t evictions = 0;   // resident page dropped to make room
+  std::uint64_t writebacks = 0;  // dirty page written back to the device
+  std::uint64_t read_errors = 0;
+  std::uint64_t write_errors = 0;
+};
+
+/// Fixed-capacity page cache with pin/unpin and dirty-page writeback.
+class BufferPool {
+ public:
+  /// `device` must outlive the pool. `capacity` is the frame count (the
+  /// pool's memory budget is capacity * kPageSize).
+  BufferPool(PageDevice* device, std::size_t capacity);
+
+  /// Flushes dirty pages, swallowing errors; call FlushAll() first to
+  /// observe them.
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An RAII pin on one resident page. While any PageRef for a page is
+  /// alive, the page cannot be evicted and data() stays valid. Writing
+  /// through mutable_data() marks the page dirty; the dirty bit is
+  /// applied when the ref releases.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& o) noexcept { *this = std::move(o); }
+    PageRef& operator=(PageRef&& o) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef() { Release(); }
+
+    explicit operator bool() const { return pool_ != nullptr; }
+    std::uint32_t page_id() const { return page_; }
+    const char* data() const { return data_; }
+    char* mutable_data() {
+      dirty_ = true;
+      return data_;
+    }
+    void MarkDirty() { dirty_ = true; }
+
+    /// Early unpin; the ref becomes empty.
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, std::size_t frame, char* data,
+            std::uint32_t page)
+        : pool_(pool), frame_(frame), data_(data), page_(page) {}
+
+    BufferPool* pool_ = nullptr;
+    std::size_t frame_ = 0;
+    char* data_ = nullptr;
+    std::uint32_t page_ = 0;
+    bool dirty_ = false;
+  };
+
+  /// Pins `page`, reading it from the device if not resident (possibly
+  /// evicting the least-recently-used unpinned page, with writeback if it
+  /// is dirty). Fails with FailedPrecondition when every frame is pinned,
+  /// and propagates device read/writeback errors — a failed pin changes
+  /// no cached state, so the caller can retry.
+  Result<PageRef> Pin(std::uint32_t page);
+
+  /// Writes every dirty resident page back to the device.
+  Status FlushAll();
+
+  /// Flushes and evicts every resident page. Fails with
+  /// FailedPrecondition if any page is still pinned. Turns the next pins
+  /// cold — used by tests and the cold-cache benchmarks.
+  Status DropAll();
+
+  bool IsResident(std::uint32_t page) const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t NumResident() const;
+  /// Frames currently holding at least one pin.
+  std::size_t NumPinned() const;
+  BufferPoolStats stats() const;
+
+ private:
+  struct Frame {
+    std::uint32_t page = 0;
+    std::uint32_t pins = 0;
+    bool dirty = false;
+    bool resident = false;
+    std::uint64_t lru_tick = 0;  // larger = more recently used
+    std::unique_ptr<char[]> data;
+  };
+
+  void Unpin(std::size_t frame, bool dirty);
+  /// Writes frame's page back; on success clears its dirty bit.
+  Status WritebackLocked(Frame* f);
+
+  PageDevice* device_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::vector<std::size_t> free_;
+  std::unordered_map<std::uint32_t, std::size_t> table_;
+  std::uint64_t tick_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_STORAGE_BUFFER_POOL_H_

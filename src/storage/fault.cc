@@ -1,0 +1,76 @@
+#include "storage/fault.h"
+
+#ifdef MODB_FAULTS
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace modb {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::FailNth(FaultOp op, std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int i = int(op);
+  fail_armed_[i] = true;
+  fail_at_[i] = nth;
+  count_[i] = 0;
+}
+
+void FaultInjector::TearNth(std::uint64_t nth, std::size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tear_armed_ = true;
+  tear_at_ = nth;
+  tear_keep_ = keep_bytes;
+  count_[int(FaultOp::kWrite)] = 0;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_armed_[0] = fail_armed_[1] = false;
+  tear_armed_ = false;
+  count_[0] = count_[1] = 0;
+}
+
+std::uint64_t FaultInjector::OpCount(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_[int(op)];
+}
+
+Status FaultInjector::OnRead(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int i = int(FaultOp::kRead);
+  const std::uint64_t n = count_[i]++;
+  if (fail_armed_[i] && n == fail_at_[i]) {
+    fail_armed_[i] = false;
+    MODB_COUNTER_INC("storage.fault.injected_read_failures");
+    return Status::Internal(std::string("injected read fault at ") + site);
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnWrite(const char* site, std::size_t* keep_bytes) {
+  *keep_bytes = kFaultKeepAll;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int i = int(FaultOp::kWrite);
+  const std::uint64_t n = count_[i]++;
+  if (fail_armed_[i] && n == fail_at_[i]) {
+    fail_armed_[i] = false;
+    MODB_COUNTER_INC("storage.fault.injected_write_failures");
+    return Status::Internal(std::string("injected write fault at ") + site);
+  }
+  if (tear_armed_ && n == tear_at_) {
+    tear_armed_ = false;
+    *keep_bytes = tear_keep_;
+    MODB_COUNTER_INC("storage.fault.injected_torn_writes");
+  }
+  return Status::OK();
+}
+
+}  // namespace modb
+
+#endif  // MODB_FAULTS

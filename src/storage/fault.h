@@ -1,0 +1,112 @@
+// Fault injection for the storage layer. Real block devices fail: reads
+// error, writes error, and a crash mid-write leaves a *torn* page (only a
+// prefix persisted). The storage code cannot be called robust until every
+// one of those paths is exercised, so the page devices route each I/O
+// through the global FaultInjector, which tests arm to fail or tear the
+// Nth subsequent operation.
+//
+// The hooks are compile-time gated: with -DMODB_FAULTS=OFF the injector
+// is an inline no-op stub (kFaultsEnabled == false) and the device code
+// carries zero fault-checking work. Torn writes are deliberately *silent*
+// at the device level — the write "succeeds" but persists only a prefix —
+// because that is what a real torn write looks like; the checksummed
+// spill page headers (storage/spill.h, docs/STORAGE_FORMAT.md) are what
+// must catch them on read.
+
+#ifndef MODB_STORAGE_FAULT_H_
+#define MODB_STORAGE_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/status.h"
+
+#ifdef MODB_FAULTS
+#include <mutex>
+#endif
+
+namespace modb {
+
+/// The two I/O directions a fault plan can match.
+enum class FaultOp : std::uint8_t { kRead = 0, kWrite = 1 };
+
+/// Sentinel for "persist the whole buffer" (no torn write armed).
+inline constexpr std::size_t kFaultKeepAll = std::size_t(-1);
+
+#ifdef MODB_FAULTS
+
+inline constexpr bool kFaultsEnabled = true;
+
+/// Process-wide injector. Arming is one-shot: a plan fires on the Nth
+/// matching operation counted from the moment it was armed, then disarms
+/// itself. Thread-safe; tests should Disarm() in their teardown so plans
+/// never leak across tests.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms a hard failure: the nth (0-based) subsequent op of kind `op`
+  /// returns an Internal error instead of performing any I/O.
+  void FailNth(FaultOp op, std::uint64_t nth);
+
+  /// Arms a torn write: the nth subsequent write persists only the first
+  /// `keep_bytes` bytes and then reports success.
+  void TearNth(std::uint64_t nth, std::size_t keep_bytes);
+
+  /// Clears every armed plan and zeroes the op counters.
+  void Disarm();
+
+  /// Operations of kind `op` observed since the last Disarm/arm.
+  std::uint64_t OpCount(FaultOp op) const;
+
+  // -- hooks called by the page devices --------------------------------------
+
+  /// Consulted before a read; non-OK means the read must fail.
+  Status OnRead(const char* site);
+
+  /// Consulted before a write. Non-OK means the write must fail without
+  /// persisting anything; OK with *keep_bytes != kFaultKeepAll means the
+  /// device must persist only that prefix and report success.
+  Status OnWrite(const char* site, std::size_t* keep_bytes);
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::uint64_t count_[2] = {0, 0};
+  bool fail_armed_[2] = {false, false};
+  std::uint64_t fail_at_[2] = {0, 0};
+  bool tear_armed_ = false;
+  std::uint64_t tear_at_ = 0;
+  std::size_t tear_keep_ = 0;
+};
+
+#else  // !MODB_FAULTS: inline stubs; hooks fold away entirely.
+
+inline constexpr bool kFaultsEnabled = false;
+
+class FaultInjector {
+ public:
+  static FaultInjector& Global() {
+    static FaultInjector injector;
+    return injector;
+  }
+  void FailNth(FaultOp, std::uint64_t) {}
+  void TearNth(std::uint64_t, std::size_t) {}
+  void Disarm() {}
+  std::uint64_t OpCount(FaultOp) const { return 0; }
+  Status OnRead(const char*) { return Status::OK(); }
+  Status OnWrite(const char*, std::size_t* keep_bytes) {
+    *keep_bytes = kFaultKeepAll;
+    return Status::OK();
+  }
+
+ private:
+  FaultInjector() = default;
+};
+
+#endif  // MODB_FAULTS
+
+}  // namespace modb
+
+#endif  // MODB_STORAGE_FAULT_H_

@@ -94,6 +94,28 @@ FlatValue BaseToFlat(const BaseValue<T>& v, PutFn put) {
   return FlatValue{w.Take(), {}};
 }
 
+// A corrupted count field must not drive a huge allocation before the
+// per-record short-read checks get a chance to fire: every record
+// consumes at least `min_record_bytes` of the backing array, so any
+// count beyond remaining/min_record_bytes is corruption — reject it up
+// front instead of reserving for it.
+Status CheckCount(uint32_t n, std::size_t remaining,
+                  std::size_t min_record_bytes) {
+  if (std::size_t(n) > remaining / min_record_bytes) {
+    return Status::InvalidArgument("count field exceeds its database array");
+  }
+  return Status::OK();
+}
+
+// Record sizes of the fixed-width array entries (bytes on the wire).
+constexpr std::size_t kIntervalBytes = 18;   // 2 f64 + 2 u8
+constexpr std::size_t kPointBytes = 16;      // 2 f64
+constexpr std::size_t kLineHsBytes = 33;     // seg + left_dominating u8
+constexpr std::size_t kRegionHsBytes = 46;   // seg + 2 u8 + 3 i32
+constexpr std::size_t kCycleRecBytes = 17;   // 3 i32 + u8 + i32
+constexpr std::size_t kFaceRecBytes = 8;     // 2 i32
+constexpr std::size_t kSubarrayRefBytes = 8; // offset u32 + count u32
+
 }  // namespace
 
 // -- blob packing ------------------------------------------------------------
@@ -240,6 +262,7 @@ Result<Points> PointsFromFlat(const FlatValue& f) {
   ByteReader root(f.root);
   uint32_t n;
   MODB_RETURN_IF_ERROR(root.GetU32(&n));
+  MODB_RETURN_IF_ERROR(CheckCount(n, f.arrays[0].size(), kPointBytes));
   ByteReader arr(f.arrays[0]);
   std::vector<Point> pts(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -268,6 +291,7 @@ Result<Line> LineFromFlat(const FlatValue& f) {
   ByteReader root(f.root);
   uint32_t n;
   MODB_RETURN_IF_ERROR(root.GetU32(&n));
+  MODB_RETURN_IF_ERROR(CheckCount(n, f.arrays[0].size() / 2, kLineHsBytes));
   ByteReader arr(f.arrays[0]);
   std::vector<Seg> segs;
   segs.reserve(n);
@@ -327,6 +351,9 @@ Result<Region> RegionFromFlat(const FlatValue& f) {
   MODB_RETURN_IF_ERROR(root.GetF64(&perimeter));
   MODB_RETURN_IF_ERROR(GetRect(&root, &bbox));
   if (n_hs == 0) return Region();
+  MODB_RETURN_IF_ERROR(CheckCount(n_hs, f.arrays[0].size(), kRegionHsBytes));
+  MODB_RETURN_IF_ERROR(CheckCount(n_cy, f.arrays[1].size(), kCycleRecBytes));
+  MODB_RETURN_IF_ERROR(CheckCount(n_fa, f.arrays[2].size(), kFaceRecBytes));
   ByteReader hsr(f.arrays[0]);
   std::vector<HalfSegment> hs;
   hs.reserve(n_hs);
@@ -379,6 +406,7 @@ Result<Periods> PeriodsFromFlat(const FlatValue& f) {
   ByteReader root(f.root);
   uint32_t n;
   MODB_RETURN_IF_ERROR(root.GetU32(&n));
+  MODB_RETURN_IF_ERROR(CheckCount(n, f.arrays[0].size(), kIntervalBytes));
   ByteReader arr(f.arrays[0]);
   std::vector<TimeInterval> ivs;
   ivs.reserve(n);
@@ -414,6 +442,7 @@ Result<Mapping<U>> FixedMappingFromFlat(const FlatValue& f, GetUnit get) {
   ByteReader root(f.root);
   uint32_t n;
   MODB_RETURN_IF_ERROR(root.GetU32(&n));
+  MODB_RETURN_IF_ERROR(CheckCount(n, f.arrays[0].size(), kIntervalBytes));
   ByteReader units(f.arrays[0]);
   std::vector<U> out;
   out.reserve(n);
@@ -555,6 +584,8 @@ Result<MovingPoints> MovingPointsFromFlat(const FlatValue& f) {
     MODB_RETURN_IF_ERROR(GetMotion(&motions, &mo));
     all.push_back(mo);
   }
+  MODB_RETURN_IF_ERROR(
+      CheckCount(n, f.arrays[0].size(), kIntervalBytes + kSubarrayRefBytes));
   std::vector<UPoints> out;
   out.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -602,6 +633,8 @@ Result<MovingLine> MovingLineFromFlat(const FlatValue& f) {
     if (!ms.ok()) return ms.status();
     all.push_back(*ms);
   }
+  MODB_RETURN_IF_ERROR(
+      CheckCount(n, f.arrays[0].size(), kIntervalBytes + kSubarrayRefBytes));
   std::vector<ULine> out;
   out.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -701,6 +734,8 @@ Result<MovingRegion> MovingRegionFromFlat(const FlatValue& f) {
     return MCycle(all_msegs.begin() + c.start,
                   all_msegs.begin() + c.start + c.count);
   };
+  MODB_RETURN_IF_ERROR(
+      CheckCount(n, f.arrays[0].size(), kIntervalBytes + kSubarrayRefBytes));
   std::vector<URegion> out;
   out.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 
 #include "obs/metrics.h"
+#include "storage/fault.h"
 
 namespace modb {
 
 namespace {
 constexpr uint64_t kFileMagic = 0x4d4f444250414745ull;  // "MODBPAGE".
+// File header: magic u64, num_pages u64, bytes_used u64 (all LE).
+constexpr std::size_t kFileHeaderSize = 24;
 }  // namespace
+
+// -- PageStore ---------------------------------------------------------------
 
 PageExtent PageStore::Write(std::string_view bytes) {
   PageExtent extent;
@@ -40,6 +44,8 @@ Result<std::string> PageStore::Read(const PageExtent& extent) const {
     MODB_COUNTER_INC("storage.page_store.read_errors");
     return Status::InvalidArgument("extent byte count exceeds its pages");
   }
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnRead("page_store.read_extent"));
   MODB_COUNTER_INC("storage.page_store.reads");
   MODB_COUNTER_ADD("storage.page_store.pages_read", extent.num_pages);
   MODB_COUNTER_ADD("storage.page_store.bytes_read", extent.num_bytes);
@@ -54,18 +60,60 @@ Result<std::string> PageStore::Read(const PageExtent& extent) const {
   return out;
 }
 
+Result<uint32_t> PageStore::AllocatePages(uint32_t n) {
+  uint32_t first = uint32_t(pages_.size());
+  for (uint32_t i = 0; i < n; ++i) pages_.emplace_back(kPageSize, '\0');
+  MODB_COUNTER_ADD("storage.page_store.pages_allocated", n);
+  return first;
+}
+
+Status PageStore::ReadPage(uint32_t page, char* out) const {
+  if (page >= pages_.size()) {
+    MODB_COUNTER_INC("storage.page_store.read_errors");
+    return Status::OutOfRange("page id out of range");
+  }
+  MODB_RETURN_IF_ERROR(FaultInjector::Global().OnRead("page_store.read_page"));
+  std::memcpy(out, pages_[page].data(), kPageSize);
+  MODB_COUNTER_INC("storage.page_store.page_reads");
+  return Status::OK();
+}
+
+Status PageStore::WritePage(uint32_t page, const char* data) {
+  if (page >= pages_.size()) {
+    MODB_COUNTER_INC("storage.page_store.write_errors");
+    return Status::OutOfRange("page id out of range");
+  }
+  std::size_t keep = kFaultKeepAll;
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnWrite("page_store.write_page", &keep));
+  // A torn write persists only a prefix of the page; the rest keeps its
+  // previous contents, exactly like an interrupted device write.
+  std::memcpy(pages_[page].data(), data, std::min(keep, kPageSize));
+  MODB_COUNTER_INC("storage.page_store.page_writes");
+  return Status::OK();
+}
+
 Status PageStore::SaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
+  std::size_t keep = kFaultKeepAll;
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnWrite("page_store.save_to_file", &keep));
+  // Under a torn write, stream only the first `keep` bytes of the file
+  // image — the truncated file must be rejected by LoadFromFile.
+  std::size_t budget = keep;
+  auto put = [&](const char* p, std::size_t n) {
+    std::size_t len = std::min(n, budget);
+    out.write(p, std::streamsize(len));
+    budget -= len;
+  };
   uint64_t magic = kFileMagic;
   uint64_t num_pages = pages_.size();
   uint64_t bytes_used = bytes_used_;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&num_pages), sizeof num_pages);
-  out.write(reinterpret_cast<const char*>(&bytes_used), sizeof bytes_used);
-  for (const std::string& page : pages_) {
-    out.write(page.data(), std::streamsize(kPageSize));
-  }
+  put(reinterpret_cast<const char*>(&magic), sizeof magic);
+  put(reinterpret_cast<const char*>(&num_pages), sizeof num_pages);
+  put(reinterpret_cast<const char*>(&bytes_used), sizeof bytes_used);
+  for (const std::string& page : pages_) put(page.data(), kPageSize);
   if (!out) return Status::Internal("short write to " + path);
   MODB_COUNTER_INC("storage.page_store.file_saves");
   MODB_COUNTER_ADD("storage.page_store.pages_saved", pages_.size());
@@ -75,6 +123,8 @@ Status PageStore::SaveToFile(const std::string& path) const {
 Result<PageStore> PageStore::LoadFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnRead("page_store.load_from_file"));
   uint64_t magic = 0, num_pages = 0, bytes_used = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
   in.read(reinterpret_cast<char*>(&num_pages), sizeof num_pages);
@@ -94,6 +144,112 @@ Result<PageStore> PageStore::LoadFromFile(const std::string& path) {
   MODB_COUNTER_INC("storage.page_store.file_loads");
   MODB_COUNTER_ADD("storage.page_store.pages_loaded", store.pages_.size());
   return store;
+}
+
+// -- FilePageDevice ----------------------------------------------------------
+
+Status FilePageDevice::WriteHeader() {
+  uint64_t magic = kFileMagic;
+  file_.seekp(0);
+  file_.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  file_.write(reinterpret_cast<const char*>(&num_pages_), sizeof num_pages_);
+  file_.write(reinterpret_cast<const char*>(&bytes_used_), sizeof bytes_used_);
+  file_.flush();
+  if (!file_) return Status::Internal("cannot write header to " + path_);
+  return Status::OK();
+}
+
+Result<FilePageDevice> FilePageDevice::Create(const std::string& path) {
+  // Truncate, then reopen read/write (fstream cannot create-and-truncate
+  // in in|out mode on a missing file).
+  { std::ofstream trunc(path, std::ios::binary | std::ios::trunc); }
+  FilePageDevice dev;
+  dev.path_ = path;
+  dev.file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!dev.file_) return Status::Internal("cannot create " + path);
+  MODB_RETURN_IF_ERROR(dev.WriteHeader());
+  MODB_COUNTER_INC("storage.file_device.creates");
+  return dev;
+}
+
+Result<FilePageDevice> FilePageDevice::Open(const std::string& path) {
+  FilePageDevice dev;
+  dev.path_ = path;
+  dev.file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!dev.file_) return Status::NotFound("cannot open " + path);
+  uint64_t magic = 0;
+  dev.file_.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  dev.file_.read(reinterpret_cast<char*>(&dev.num_pages_),
+                 sizeof dev.num_pages_);
+  dev.file_.read(reinterpret_cast<char*>(&dev.bytes_used_),
+                 sizeof dev.bytes_used_);
+  if (!dev.file_ || magic != kFileMagic) {
+    return Status::InvalidArgument("not a MODB page file: " + path);
+  }
+  MODB_COUNTER_INC("storage.file_device.opens");
+  return dev;
+}
+
+Result<uint32_t> FilePageDevice::AllocatePages(uint32_t n) {
+  std::size_t keep = kFaultKeepAll;
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnWrite("file_device.allocate_pages", &keep));
+  uint32_t first = uint32_t(num_pages_);
+  const std::string zeros(kPageSize, '\0');
+  file_.clear();
+  file_.seekp(std::streamoff(kFileHeaderSize + num_pages_ * kPageSize));
+  // A torn allocation appends only a prefix of the new pages' bytes; the
+  // header below is still updated, so later reads of the missing tail
+  // fail — exactly the crash-mid-grow shape.
+  std::size_t budget = keep;
+  for (uint32_t i = 0; i < n && budget > 0; ++i) {
+    std::size_t len = std::min(kPageSize, budget);
+    file_.write(zeros.data(), std::streamsize(len));
+    budget -= len;
+  }
+  if (!file_) return Status::Internal("cannot grow " + path_);
+  num_pages_ += n;
+  bytes_used_ += std::size_t(n) * kPageSize;
+  MODB_RETURN_IF_ERROR(WriteHeader());
+  MODB_COUNTER_ADD("storage.file_device.pages_allocated", n);
+  return first;
+}
+
+Status FilePageDevice::ReadPage(uint32_t page, char* out) const {
+  if (page >= num_pages_) {
+    MODB_COUNTER_INC("storage.file_device.read_errors");
+    return Status::OutOfRange("page id out of range");
+  }
+  MODB_RETURN_IF_ERROR(FaultInjector::Global().OnRead("file_device.read_page"));
+  file_.clear();
+  file_.seekg(std::streamoff(kFileHeaderSize + uint64_t(page) * kPageSize));
+  file_.read(out, std::streamsize(kPageSize));
+  if (!file_) {
+    MODB_COUNTER_INC("storage.file_device.read_errors");
+    return Status::Internal("short page read from " + path_);
+  }
+  MODB_COUNTER_INC("storage.file_device.page_reads");
+  return Status::OK();
+}
+
+Status FilePageDevice::WritePage(uint32_t page, const char* data) {
+  if (page >= num_pages_) {
+    MODB_COUNTER_INC("storage.file_device.write_errors");
+    return Status::OutOfRange("page id out of range");
+  }
+  std::size_t keep = kFaultKeepAll;
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnWrite("file_device.write_page", &keep));
+  file_.clear();
+  file_.seekp(std::streamoff(kFileHeaderSize + uint64_t(page) * kPageSize));
+  file_.write(data, std::streamsize(std::min(keep, kPageSize)));
+  file_.flush();
+  if (!file_) {
+    MODB_COUNTER_INC("storage.file_device.write_errors");
+    return Status::Internal("short page write to " + path_);
+  }
+  MODB_COUNTER_INC("storage.file_device.page_writes");
+  return Status::OK();
 }
 
 }  // namespace modb

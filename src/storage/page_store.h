@@ -4,12 +4,21 @@
 // and main memory". PageStore hands out page extents; DbArray-style
 // variable-size components are placed either inline in the tuple or in a
 // page extent depending on size, following [DG98].
+//
+// The PageDevice interface is the block-device contract the buffer pool
+// (storage/buffer_pool.h) caches over: fixed-size pages addressed by id,
+// with fallible page-granular reads and writes. PageStore implements it
+// in memory; FilePageDevice implements it directly against a file so
+// pages are only brought into main memory on demand ("secondary memory"
+// proper — a relation accessed through it can exceed RAM). Both route
+// every page I/O through the fault injector (storage/fault.h).
 
 #ifndef MODB_STORAGE_PAGE_STORE_H_
 #define MODB_STORAGE_PAGE_STORE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,8 +36,29 @@ struct PageExtent {
   uint32_t num_bytes = 0;
 };
 
-/// A trivially simple page allocator with read/write access by extent.
-class PageStore {
+/// The block-device contract: fixed-size pages addressed by id. All
+/// operations are fallible; implementations must not abort on I/O errors.
+/// Implementations are not required to be thread-safe — the buffer pool
+/// serializes access to its device.
+class PageDevice {
+ public:
+  virtual ~PageDevice() = default;
+
+  virtual std::size_t NumPages() const = 0;
+
+  /// Appends `n` zeroed pages; returns the id of the first.
+  virtual Result<uint32_t> AllocatePages(uint32_t n) = 0;
+
+  /// Copies page `page` into out[0, kPageSize).
+  virtual Status ReadPage(uint32_t page, char* out) const = 0;
+
+  /// Overwrites page `page` with data[0, kPageSize).
+  virtual Status WritePage(uint32_t page, const char* data) = 0;
+};
+
+/// A trivially simple in-memory page allocator with read/write access by
+/// extent and by page.
+class PageStore : public PageDevice {
  public:
   PageStore() = default;
 
@@ -44,20 +74,63 @@ class PageStore {
   /// Reads an extent back.
   Result<std::string> Read(const PageExtent& extent) const;
 
+  // PageDevice:
+  std::size_t NumPages() const override { return pages_.size(); }
+  Result<uint32_t> AllocatePages(uint32_t n) override;
+  Status ReadPage(uint32_t page, char* out) const override;
+  Status WritePage(uint32_t page, const char* data) override;
+
   /// Persists all pages to a file ("secondary memory": previously issued
-  /// extents remain valid against the reloaded store).
+  /// extents remain valid against the reloaded store). The file layout is
+  /// specified in docs/STORAGE_FORMAT.md and shared with FilePageDevice.
   Status SaveToFile(const std::string& path) const;
 
   /// Reloads a store persisted with SaveToFile.
   static Result<PageStore> LoadFromFile(const std::string& path);
 
-  std::size_t NumPages() const { return pages_.size(); }
   std::size_t BytesAllocated() const { return pages_.size() * kPageSize; }
   std::size_t BytesUsed() const { return bytes_used_; }
 
  private:
   std::vector<std::string> pages_;
   std::size_t bytes_used_ = 0;
+};
+
+/// A file-backed page device over the PageStore file format: pages are
+/// read and written in place, one page per I/O, so only the pages a query
+/// actually touches ever occupy main memory. Cache it behind a BufferPool
+/// to amortize the per-page seeks.
+class FilePageDevice : public PageDevice {
+ public:
+  /// Creates (truncating) an empty device file.
+  static Result<FilePageDevice> Create(const std::string& path);
+
+  /// Opens an existing device file (e.g. one written by
+  /// PageStore::SaveToFile).
+  static Result<FilePageDevice> Open(const std::string& path);
+
+  FilePageDevice(const FilePageDevice&) = delete;
+  FilePageDevice& operator=(const FilePageDevice&) = delete;
+  FilePageDevice(FilePageDevice&&) = default;
+  FilePageDevice& operator=(FilePageDevice&&) = default;
+
+  // PageDevice:
+  std::size_t NumPages() const override { return std::size_t(num_pages_); }
+  Result<uint32_t> AllocatePages(uint32_t n) override;
+  Status ReadPage(uint32_t page, char* out) const override;
+  Status WritePage(uint32_t page, const char* data) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FilePageDevice() = default;
+
+  Status WriteHeader();
+
+  std::string path_;
+  mutable std::fstream file_;
+  uint64_t num_pages_ = 0;
+  uint64_t bytes_used_ = 0;
 };
 
 }  // namespace modb

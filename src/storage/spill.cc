@@ -1,0 +1,135 @@
+#include "storage/spill.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace modb {
+
+namespace {
+
+// Per-page header, docs/STORAGE_FORMAT.md. Packed little-endian by
+// memcpy of the individual fields (matching ByteWriter's conventions).
+struct SpillPageHeader {
+  std::uint32_t magic;
+  std::uint8_t version;
+  std::uint8_t flags;
+  std::uint16_t payload_len;
+  std::uint32_t seq;
+  std::uint32_t crc;
+};
+static_assert(sizeof(SpillPageHeader) == kSpillHeaderSize);
+
+void PutHeader(char* page, const SpillPageHeader& h) {
+  std::memcpy(page, &h, sizeof h);
+}
+
+SpillPageHeader GetHeader(const char* page) {
+  SpillPageHeader h;
+  std::memcpy(&h, page, sizeof h);
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const char* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ std::uint8_t(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<SpillLocator> SpillBlob(PageDevice* device, std::string_view blob) {
+  SpillLocator loc;
+  loc.num_bytes = std::uint32_t(blob.size());
+  loc.num_pages =
+      std::uint32_t((blob.size() + kSpillPayloadSize - 1) / kSpillPayloadSize);
+  if (loc.num_pages == 0) loc.num_pages = 1;  // an empty value still roots
+  Result<std::uint32_t> first = device->AllocatePages(loc.num_pages);
+  if (!first.ok()) return first.status();
+  loc.first_page = *first;
+
+  char page[kPageSize];
+  for (std::uint32_t i = 0; i < loc.num_pages; ++i) {
+    std::size_t off = std::size_t(i) * kSpillPayloadSize;
+    std::size_t len =
+        off < blob.size() ? std::min(kSpillPayloadSize, blob.size() - off) : 0;
+    std::memset(page, 0, kPageSize);
+    std::memcpy(page + kSpillHeaderSize, blob.data() + off, len);
+    SpillPageHeader h;
+    h.magic = kSpillMagic;
+    h.version = kSpillVersion;
+    h.flags = i == 0 ? kSpillFlagFirstPage : 0;
+    h.payload_len = std::uint16_t(len);
+    h.seq = i;
+    h.crc = Crc32(page + kSpillHeaderSize, len);
+    PutHeader(page, h);
+    MODB_RETURN_IF_ERROR(device->WritePage(loc.first_page + i, page));
+  }
+  MODB_COUNTER_INC("storage.spill.values_spilled");
+  MODB_COUNTER_ADD("storage.spill.pages_spilled", loc.num_pages);
+  MODB_COUNTER_ADD("storage.spill.bytes_spilled", blob.size());
+  return loc;
+}
+
+Result<std::string> ReadSpilledBlob(BufferPool* pool,
+                                    const SpillLocator& loc) {
+  if (std::size_t(loc.num_bytes) >
+      std::size_t(loc.num_pages) * kSpillPayloadSize) {
+    return Status::InvalidArgument("spill locator byte count exceeds pages");
+  }
+  std::string out;
+  out.reserve(loc.num_bytes);
+  for (std::uint32_t i = 0; i < loc.num_pages; ++i) {
+    Result<BufferPool::PageRef> ref = pool->Pin(loc.first_page + i);
+    if (!ref.ok()) return ref.status();
+    const char* page = ref->data();
+    const SpillPageHeader h = GetHeader(page);
+    if (h.magic != kSpillMagic) {
+      MODB_COUNTER_INC("storage.spill.header_rejects");
+      return Status::InvalidArgument("not a spill page (bad magic)");
+    }
+    if (h.version != kSpillVersion) {
+      MODB_COUNTER_INC("storage.spill.header_rejects");
+      return Status::InvalidArgument("unsupported spill page version");
+    }
+    if (h.seq != i || ((h.flags & kSpillFlagFirstPage) != 0) != (i == 0)) {
+      MODB_COUNTER_INC("storage.spill.header_rejects");
+      return Status::InvalidArgument("spill page sequence mismatch");
+    }
+    const std::size_t expect =
+        std::min(kSpillPayloadSize, std::size_t(loc.num_bytes) - out.size());
+    if (std::size_t(h.payload_len) != expect) {
+      MODB_COUNTER_INC("storage.spill.header_rejects");
+      return Status::InvalidArgument("spill page payload length mismatch");
+    }
+    if (Crc32(page + kSpillHeaderSize, h.payload_len) != h.crc) {
+      MODB_COUNTER_INC("storage.spill.checksum_rejects");
+      return Status::InvalidArgument(
+          "spill page checksum mismatch (torn or corrupt write)");
+    }
+    out.append(page + kSpillHeaderSize, h.payload_len);
+  }
+  if (out.size() != loc.num_bytes) {
+    return Status::InvalidArgument("spilled value shorter than its locator");
+  }
+  MODB_COUNTER_INC("storage.spill.values_loaded");
+  MODB_COUNTER_ADD("storage.spill.bytes_loaded", out.size());
+  return out;
+}
+
+}  // namespace modb

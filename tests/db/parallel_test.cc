@@ -243,23 +243,5 @@ TEST(ParallelOperators, StatsSinkDoesNotChangeOutput) {
   }
 }
 
-// The deprecated one-PR compatibility wrappers must keep behaving like
-// the unified entrypoints until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ParallelOperators, DeprecatedWrappersStillWork) {
-  Relation planes = TestPlanes(20, 8);
-  auto pred = [](const Tuple& t) {
-    const auto& mp = std::get<MovingPoint>(t[std::size_t(kFlightAttrFlight)]);
-    return mp.NumUnits() % 2 == 0;
-  };
-  Relation serial = *Select(planes, pred);
-  ThreadPool pool(2);
-  ParallelOptions options;
-  options.pool = &pool;
-  ExpectByteIdentical(serial, *SelectParallel(planes, pred, options));
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace modb

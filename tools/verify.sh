@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI driver: configure, build, and test the three configurations that
+# must stay green —
+#   default       RelWithDebInfo, metrics off by default, fault hooks on
+#   asan-metrics  ASan+UBSan with the metrics registry enabled
+#   nometrics     metrics AND fault hooks compiled out (stub paths)
+# Usage: tools/verify.sh [preset ...]   (defaults to all three)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan-metrics nometrics)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+for preset in "${presets[@]}"; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$jobs"
+done
+echo "==== all presets green: ${presets[*]} ===="
