@@ -71,14 +71,16 @@ void BM_AtInstant_Batch(benchmark::State& state) {
   mp.BuildSearchIndex();
   std::vector<Instant> instants = SortedInstants(k, units, 7);
   std::vector<Intime<Point>> out;
+  BatchScratch scratch;
   for (auto _ : state) {
-    (void)AtInstantBatchInto(mp, instants, &out);
+    (void)AtInstantBatchInto(mp, instants, &out, &scratch);
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * k);
 }
 BENCHMARK(BM_AtInstant_Batch)
-    ->ArgsProduct({{10000}, {8, 16, 32, 64, 128, 256, 1024, 8192}});
+    ->ArgsProduct({{10000}, {8, 16, 32, 64, 128, 256, 1024, 8192}})
+    ->ArgsProduct({{16384}, {16384}});
 
 // FindUnit through the packed SoA arrays vs. the unit-record path.
 void BM_FindUnit_SoAIndex(benchmark::State& state) {

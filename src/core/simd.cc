@@ -1,0 +1,58 @@
+#include "core/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace modb {
+namespace simd {
+
+namespace {
+
+bool DetectAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// Environment preference, read once. kAuto when MODB_SIMD is unset or
+// unrecognized.
+Mode EnvMode() {
+  const char* env = std::getenv("MODB_SIMD");
+  if (env == nullptr) return Mode::kAuto;
+  if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0) {
+    return Mode::kScalar;
+  }
+  if (std::strcmp(env, "avx2") == 0) return Mode::kAvx2;
+  return Mode::kAuto;
+}
+
+std::atomic<Mode> g_forced{Mode::kAuto};
+
+}  // namespace
+
+void SetSimdMode(Mode mode) {
+  g_forced.store(mode, std::memory_order_relaxed);
+}
+
+Mode GetSimdMode() { return g_forced.load(std::memory_order_relaxed); }
+
+bool CpuHasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+bool UseAvx2() {
+  Mode mode = g_forced.load(std::memory_order_relaxed);
+  if (mode == Mode::kAuto) {
+    static const Mode env = EnvMode();
+    mode = env;
+  }
+  if (mode == Mode::kScalar) return false;
+  return CpuHasAvx2();  // kAvx2 and kAuto both require hardware support.
+}
+
+}  // namespace simd
+}  // namespace modb

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <set>
 
 #include "obs/metrics.h"
 
@@ -10,39 +9,36 @@ namespace modb {
 
 namespace {
 
-// Shared by the serial and parallel index joins: the R-tree over all
-// unit bounding cubes of b's moving-point attribute. Entry ids are the
-// owning tuple indices (duplicates collapsed at query time).
-RTree3D BuildUnitTree(const Relation& b, int attr_b) {
-  std::vector<RTree3D::Entry> entries;
-  for (std::size_t j = 0; j < b.NumTuples(); ++j) {
-    const auto& mp = std::get<MovingPoint>(b.tuple(j)[std::size_t(attr_b)]);
-    for (const UPoint& u : mp.units()) {
-      entries.push_back({u.BoundingCube(), int64_t(j)});
-    }
-  }
-  return RTree3D::BulkLoad(std::move(entries));
-}
-
 // Joined tuples for outer tuple i of the index join, appended to *out in
 // ascending candidate order. One body for every execution policy keeps
-// their outputs identical.
+// their outputs identical. The candidate ids are collected through the
+// caller's ProbeScratch (sort + unique replaces the historical std::set,
+// preserving the ascending iteration order without per-probe
+// allocation), so a warm scratch makes the whole probe allocation-free.
 void ProbeIndexJoinTuple(
     const Relation& a, int attr_a, const Relation& b, const RTree3D& tree,
     double expand, std::size_t i,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
-    std::vector<Tuple>* out, ExecStats* stats) {
+    std::vector<Tuple>* out, ExecStats* stats, ProbeScratch* scratch) {
   const auto& mp = std::get<MovingPoint>(a.tuple(i)[std::size_t(attr_a)]);
-  std::set<int64_t> candidates;
+  std::vector<int64_t>& candidates = scratch->candidates;
+  candidates.clear();
+  const Cube& bounds = tree.Bounds();
   for (const UPoint& u : mp.units()) {
     Cube c = u.BoundingCube();
     c.rect.min_x -= expand;
     c.rect.min_y -= expand;
     c.rect.max_x += expand;
     c.rect.max_y += expand;
-    tree.QueryVisit(c, [&candidates](int64_t id) { candidates.insert(id); });
+    // Bbox prefilter: a probe cube disjoint from the whole tree cannot
+    // produce candidates; skip the descent outright.
+    if (!Cube::Intersect(c, bounds)) continue;
+    tree.QueryVisit(c, [&candidates](int64_t id) { candidates.push_back(id); });
   }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
   stats->units_scanned += mp.units().size();
   stats->index_candidates += candidates.size();
   for (int64_t j : candidates) {
@@ -109,20 +105,33 @@ void FinishNode(ExecStats&& node, std::uint64_t wall_ns,
   }
 }
 
-// Runs fn(i, &chunk_buffer, &chunk_stats) over the outer indices [0, n),
-// then merges buffered tuples and stats in ascending chunk order — the
-// same order a serial i-ascending loop produces, independent of thread
-// scheduling. num_threads == 1 stays on the calling thread and never
-// resolves a pool.
+// Upper bound on the chunk count RunOuterLoop will use for these
+// options (ParallelFor may clamp further when n is small). Operators
+// that keep per-chunk scratch state size it with this before running.
+std::size_t PlannedChunks(const ExecOptions& options) {
+  const int nt = options.parallel.num_threads;
+  if (nt == 1) return 1;
+  ThreadPool& pool =
+      options.parallel.pool ? *options.parallel.pool : ThreadPool::Shared();
+  return nt > 0 ? std::size_t(nt) : std::size_t(std::max(1, pool.num_threads()));
+}
+
+// Runs fn(chunk, i, &chunk_buffer, &chunk_stats) over the outer indices
+// [0, n), then merges buffered tuples and stats in ascending chunk
+// order — the same order a serial i-ascending loop produces,
+// independent of thread scheduling. The chunk index (always <
+// PlannedChunks(options)) lets fn address per-chunk scratch state.
+// num_threads == 1 stays on the calling thread and never resolves a
+// pool.
 void RunOuterLoop(
     std::size_t n, const ExecOptions& options, Relation* out, ExecStats* node,
-    const std::function<void(std::size_t, std::vector<Tuple>*, ExecStats*)>&
-        fn) {
+    const std::function<void(std::size_t, std::size_t, std::vector<Tuple>*,
+                             ExecStats*)>& fn) {
   const int nt = options.parallel.num_threads;
   if (nt == 1 || n == 0) {
     std::vector<Tuple> buf;
     for (std::size_t i = 0; i < n; ++i) {
-      fn(i, &buf, node);
+      fn(0, i, &buf, node);
       for (Tuple& t : buf) {
         // Insert cannot fail: tuples conform to the output schema.
         (void)out->Insert(std::move(t));
@@ -132,10 +141,9 @@ void RunOuterLoop(
     node->workers = 1;
     return;
   }
+  const std::size_t chunks = PlannedChunks(options);
   ThreadPool& pool =
       options.parallel.pool ? *options.parallel.pool : ThreadPool::Shared();
-  const std::size_t chunks =
-      nt > 0 ? std::size_t(nt) : std::size_t(std::max(1, pool.num_threads()));
   std::vector<std::vector<Tuple>> buffers(chunks);
   std::vector<ExecStats> chunk_stats(chunks);
   std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks, {0, 0});
@@ -143,7 +151,7 @@ void RunOuterLoop(
               [&](std::size_t c, std::size_t begin, std::size_t end) {
                 ranges[c] = {begin, end};
                 for (std::size_t i = begin; i < end; ++i) {
-                  fn(i, &buffers[c], &chunk_stats[c]);
+                  fn(c, i, &buffers[c], &chunk_stats[c]);
                 }
               });
   const bool keep_children = options.stats != nullptr;
@@ -178,7 +186,8 @@ Result<Relation> Select(const Relation& rel,
   node.tuples_in = rel.NumTuples();
   Relation out(rel.name() + "_sel", rel.schema());
   RunOuterLoop(rel.NumTuples(), options, &out, &node,
-               [&](std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
+               [&](std::size_t, std::size_t i, std::vector<Tuple>* buf,
+                   ExecStats* s) {
                  ++s->predicate_evals;
                  if (pred(rel.tuple(i))) buf->push_back(rel.tuple(i));
                });
@@ -234,7 +243,7 @@ Result<Relation> NestedLoopJoin(
                               b.name() + "."));
   RunOuterLoop(
       a.NumTuples(), options, &out, &node,
-      [&](std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
+      [&](std::size_t, std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
         for (std::size_t j = 0; j < b.NumTuples(); ++j) {
           ++s->predicate_evals;
           if (!pred(a.tuple(i), i, b.tuple(j), j)) continue;
@@ -248,6 +257,61 @@ Result<Relation> NestedLoopJoin(
   return out;
 }
 
+Result<RTree3D> BuildMovingPointIndex(const Relation& b, int attr_b) {
+  if (attr_b < 0 || std::size_t(attr_b) >= b.schema().NumAttributes()) {
+    return Status::InvalidArgument("moving-point index attribute " +
+                                   std::to_string(attr_b) +
+                                   " out of range for " + b.name());
+  }
+  std::vector<RTree3D::Entry> entries;
+  for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+    const auto* mp =
+        std::get_if<MovingPoint>(&b.tuple(j)[std::size_t(attr_b)]);
+    if (mp == nullptr) {
+      return Status::InvalidArgument("attribute " + std::to_string(attr_b) +
+                                     " of " + b.name() +
+                                     " is not a moving point");
+    }
+    for (const UPoint& u : mp->units()) {
+      entries.push_back({u.BoundingCube(), int64_t(j)});
+    }
+  }
+  MODB_COUNTER_INC("query.index_join.index_builds");
+  return RTree3D::BulkLoad(std::move(entries));
+}
+
+namespace {
+
+// Shared body of the two IndexJoinOnMovingPoint overloads; index_builds
+// records whether this call paid for the R-tree construction.
+Result<Relation> IndexJoinImpl(
+    const Relation& a, int attr_a, const Relation& b, const RTree3D& tree,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ExecOptions& options, std::uint64_t index_builds,
+    const OptionalTimer& timer) {
+  ExecStats node;
+  node.op = "index_join_on_moving_point";
+  node.tuples_in = a.NumTuples() + b.NumTuples();
+  node.index_builds = index_builds;
+  Relation out(a.name() + "_ix_" + b.name(),
+               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
+                              b.name() + "."));
+  std::vector<ProbeScratch> scratch(PlannedChunks(options));
+  RunOuterLoop(a.NumTuples(), options, &out, &node,
+               [&](std::size_t c, std::size_t i, std::vector<Tuple>* buf,
+                   ExecStats* s) {
+                 ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred, buf,
+                                     s, &scratch[c]);
+               });
+  node.tuples_out = out.NumTuples();
+  FinishNode(std::move(node), timer.ElapsedNs(), options);
+  return out;
+}
+
+}  // namespace
+
 Result<Relation> IndexJoinOnMovingPoint(
     const Relation& a, int attr_a, const Relation& b, int attr_b,
     double expand,
@@ -256,21 +320,22 @@ Result<Relation> IndexJoinOnMovingPoint(
     const ExecOptions& options) {
   MODB_RETURN_IF_ERROR(ValidateOptions(options));
   OptionalTimer timer(options.stats != nullptr);
-  ExecStats node;
-  node.op = "index_join_on_moving_point";
-  node.tuples_in = a.NumTuples() + b.NumTuples();
-  RTree3D tree = BuildUnitTree(b, attr_b);
-  Relation out(a.name() + "_ix_" + b.name(),
-               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
-                              b.name() + "."));
-  RunOuterLoop(a.NumTuples(), options, &out, &node,
-               [&](std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
-                 ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred, buf,
-                                     s);
-               });
-  node.tuples_out = out.NumTuples();
-  FinishNode(std::move(node), timer.ElapsedNs(), options);
-  return out;
+  Result<RTree3D> tree = BuildMovingPointIndex(b, attr_b);
+  if (!tree.ok()) return tree.status();
+  return IndexJoinImpl(a, attr_a, b, *tree, expand, pred, options,
+                       /*index_builds=*/1, timer);
+}
+
+Result<Relation> IndexJoinOnMovingPoint(
+    const Relation& a, int attr_a, const Relation& b, const RTree3D& index,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ExecOptions& options) {
+  MODB_RETURN_IF_ERROR(ValidateOptions(options));
+  OptionalTimer timer(options.stats != nullptr);
+  return IndexJoinImpl(a, attr_a, b, index, expand, pred, options,
+                       /*index_builds=*/0, timer);
 }
 
 }  // namespace modb

@@ -79,13 +79,41 @@ Result<Relation> NestedLoopJoin(
                              std::size_t)>& pred,
     const ExecOptions& options = {});
 
+/// Builds the R-tree the index join probes: one entry per unit bounding
+/// cube of `b`'s moving-point attribute, entry id = owning tuple index.
+/// Build it once and pass it to the prebuilt-index join overload to
+/// amortize the build across repeated joins against the same inner
+/// relation (the tree stays valid as long as `b` is unchanged).
+Result<RTree3D> BuildMovingPointIndex(const Relation& b, int attr_b);
+
+/// Reusable per-probe buffers for the index join's candidate
+/// collection. One instance per worker chunk keeps the probe loop
+/// allocation-free after warmup; operators manage these internally, and
+/// callers driving RTree3D::QueryVisit directly can reuse one too.
+struct ProbeScratch {
+  std::vector<int64_t> candidates;
+};
+
 /// Index nested-loop join specialized for spatio-temporal joins over
 /// moving-point attributes: an R-tree over the unit bounding cubes of
 /// `b`'s attribute prunes candidate pairs before `pred` runs. `expand`
 /// grows each query cube by a spatial slack (e.g. the join distance).
-/// The R-tree is built once (serially), then probed per outer chunk.
+/// The R-tree is built once (serially), then probed per outer chunk;
+/// ExecStats.index_builds records the build (1 here, 0 when a prebuilt
+/// index is supplied).
 Result<Relation> IndexJoinOnMovingPoint(
     const Relation& a, int attr_a, const Relation& b, int attr_b,
+    double expand,
+    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
+                             std::size_t)>& pred,
+    const ExecOptions& options = {});
+
+/// Prebuilt-index overload: probes `index` (from BuildMovingPointIndex
+/// over `b`'s join attribute) instead of rebuilding the R-tree — the
+/// output is identical to the building overload's. The caller owns the
+/// index and must keep it consistent with `b`.
+Result<Relation> IndexJoinOnMovingPoint(
+    const Relation& a, int attr_a, const Relation& b, const RTree3D& index,
     double expand,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,

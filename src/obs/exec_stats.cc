@@ -13,6 +13,7 @@ void ExecStats::MergeCountersFrom(const ExecStats& other) {
   predicate_evals += other.predicate_evals;
   index_candidates += other.index_candidates;
   index_hits += other.index_hits;
+  index_builds += other.index_builds;
   units_scanned += other.units_scanned;
   workers += other.workers;
 }
@@ -30,6 +31,7 @@ JsonValue ToJsonValue(const ExecStats& s) {
   set_if("predicate_evals", s.predicate_evals);
   set_if("index_candidates", s.index_candidates);
   set_if("index_hits", s.index_hits);
+  set_if("index_builds", s.index_builds);
   set_if("units_scanned", s.units_scanned);
   set_if("workers", s.workers);
   set_if("wall_ns", s.wall_ns);
@@ -74,6 +76,7 @@ Result<ExecStats> FromJsonValue(const JsonValue& v) {
       else if (key == "predicate_evals") out.predicate_evals = n;
       else if (key == "index_candidates") out.index_candidates = n;
       else if (key == "index_hits") out.index_hits = n;
+      else if (key == "index_builds") out.index_builds = n;
       else if (key == "units_scanned") out.units_scanned = n;
       else if (key == "workers") out.workers = n;
       else if (key == "wall_ns") out.wall_ns = n;

@@ -42,6 +42,10 @@ struct ExecStats {
   std::uint64_t index_candidates = 0;
   std::uint64_t index_hits = 0;
 
+  /// Index structures built by this operator call (0 when a prebuilt
+  /// index was reused — the rebuild-per-call antipattern shows up here).
+  std::uint64_t index_builds = 0;
+
   /// Moving-object units touched while probing/evaluating (e.g. units
   /// whose bounding cubes were used as index query windows).
   std::uint64_t units_scanned = 0;

@@ -22,9 +22,11 @@
 #define MODB_TEMPORAL_BATCH_OPS_H_
 
 #include <algorithm>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "core/instant.h"
@@ -45,6 +47,12 @@ struct SoAView {
   const MappingSearchIndex* ix;
 
   std::size_t size() const { return ix->start.size(); }
+  /// Deftime-bounds prefilter: t strictly outside [min start, max end]
+  /// is undefined without probing the key arrays (cached bounds, one
+  /// compare pair per instant).
+  bool certainly_undefined(Instant t) const {
+    return ix->start.empty() || t < ix->min_start || ix->max_end < t;
+  }
   /// Unit k lies entirely before t (r-disjoint from [t, t]).
   bool before(std::size_t k, Instant t) const { return ix->end_key[k] < t; }
   /// Unit k starts at or before t.
@@ -53,6 +61,23 @@ struct SoAView {
   }
   /// Approximate end of unit k, for interpolation probe seeding.
   Instant end_approx(std::size_t k) const { return ix->end_key[k]; }
+  /// First index at or after i that is not before t (may be size()).
+  /// The +inf sentinel slot lets the sweep advance without bounds
+  /// checks, and the two leading steps are unconditional compare+adds
+  /// (no branch to mispredict) covering the common dense-merge case of
+  /// advancing 0–2 units per instant.
+  std::size_t advance_to(std::size_t i, Instant t) const {
+    const Instant* ek = ix->end_key.data();
+    i += std::size_t(ek[i] < t);
+    i += std::size_t(ek[i] < t);
+    while (ek[i] < t) ++i;
+    return i;
+  }
+  /// Containment test for an advance_to result (sentinel-safe: i ==
+  /// size() reads the +inf start_key slot and reports false).
+  bool contains_at(std::size_t i, Instant t) const {
+    return ix->start_key[i] <= t;
+  }
   /// First index in [lo, hi) that is not before t, or hi. Branchless
   /// binary search over the packed key array (the comparison result
   /// feeds a conditional move, not a branch, so random probe outcomes
@@ -78,6 +103,8 @@ struct UnitsView {
   const std::vector<U>* units;
 
   std::size_t size() const { return units->size(); }
+  /// No cached bounds without the SoA index; never prefilters.
+  bool certainly_undefined(Instant) const { return false; }
   bool before(std::size_t k, Instant t) const {
     const TimeInterval& iv = (*units)[k].interval();
     return iv.end() < t || (iv.end() == t && !iv.right_closed());
@@ -101,6 +128,15 @@ struct UnitsView {
     }
     return lo;
   }
+  /// Guarded equivalents of SoAView's sentinel-based sweep steps.
+  std::size_t advance_to(std::size_t i, Instant t) const {
+    const std::size_t n = size();
+    while (i < n && before(i, t)) ++i;
+    return i;
+  }
+  bool contains_at(std::size_t i, Instant t) const {
+    return i < size() && starts_by(i, t);
+  }
 };
 
 /// Per-batch tallies of how each instant was resolved: straight off the
@@ -111,6 +147,7 @@ struct UnitsView {
 struct SweepCounters {
   std::uint64_t cursor_hits = 0;     // resolved by the sweep cursor as-is
   std::uint64_t gallop_searches = 0; // needed the gallop/binary-search path
+  std::uint64_t bbox_skips = 0;      // resolved by the deftime-bounds prefilter
 };
 
 /// One step of the merge sweep: the index of the unit containing t, or
@@ -125,7 +162,17 @@ std::size_t SweepFind(const View& v, Instant t, std::size_t* cursor,
                       SweepCounters* counters = nullptr) {
   const std::size_t n = v.size();
   std::size_t i = *cursor;
-  const bool needs_advance = i < n && v.before(i, t);
+  bool needs_advance = i < n && v.before(i, t);
+  if (needs_advance) {
+    // Dense fast steps: with instants about as dense as the units (the
+    // k ≈ n sweep case) the advance is almost always a handful of
+    // adjacent units — resolve those with single compares before
+    // falling into the interpolation/gallop machinery below.
+    for (int s = 0; s < 3 && needs_advance; ++s) {
+      ++i;
+      needs_advance = i < n && v.before(i, t);
+    }
+  }
   if (counters != nullptr) {
     ++(needs_advance ? counters->gallop_searches : counters->cursor_hits);
   }
@@ -176,29 +223,162 @@ inline Status NotAscending() {
       "batch kernels require instants in ascending order");
 }
 
+/// Sentinel unit index for "undefined at this instant" in resolved
+/// index arrays.
+inline constexpr std::int32_t kUndefinedUnit = -1;
+
+/// Phase 1 of the split batch kernels: resolves every instant to its
+/// containing unit index (kUndefinedUnit when undefined), combining the
+/// deftime-bounds prefilter with the forward merge sweep. Returns false
+/// when the instants are not ascending. idx must hold instant count
+/// slots.
+template <typename View>
+bool ResolveAscending(const View& v, const std::vector<Instant>& instants,
+                      std::int32_t* idx, std::size_t* cursor,
+                      SweepCounters* counters) {
+  const std::size_t n = v.size();
+  const std::size_t k = instants.size();
+  Instant prev = -std::numeric_limits<Instant>::infinity();
+  if (k * 4 >= n) {
+    // Dense regime (k ≳ n/4): the cursor advances by ~n/k ≤ 4 units per
+    // instant, so a pure two-pointer merge — one compare per unit
+    // stepped over — beats dispatching the interpolation/gallop
+    // machinery. Still O(n + k) in total. The ascending check is one
+    // predictable up-front pass, and with sorted instants the
+    // deftime-bounds prefilter hits exactly a prefix (t before the
+    // first unit) and a suffix (t after the last), so both hoist out
+    // and the merge loop is two compares per instant.
+    if (!std::is_sorted(instants.begin(), instants.end())) return false;
+    std::size_t lo = 0, hi = k;
+    while (lo < hi && v.certainly_undefined(instants[lo])) {
+      idx[lo++] = kUndefinedUnit;
+    }
+    while (hi > lo && v.certainly_undefined(instants[hi - 1])) {
+      idx[--hi] = kUndefinedUnit;
+    }
+    counters->bbox_skips += lo + (k - hi);
+    std::size_t i = *cursor;
+    for (std::size_t q = lo; q < hi; ++q) {
+      const Instant t = instants[q];
+      i = v.advance_to(i, t);
+      idx[q] = v.contains_at(i, t) ? std::int32_t(i) : kUndefinedUnit;
+    }
+    counters->cursor_hits += hi - lo;
+    *cursor = i;
+    return true;
+  }
+  const std::size_t hint =
+      std::max<std::size_t>(1, n / std::max<std::size_t>(1, k));
+  for (std::size_t q = 0; q < k; ++q) {
+    const Instant t = instants[q];
+    if (t < prev) return false;
+    prev = t;
+    if (v.certainly_undefined(t)) {
+      ++counters->bbox_skips;
+      idx[q] = kUndefinedUnit;
+      continue;
+    }
+    const std::size_t r = SweepFind(v, t, cursor, hint, counters);
+    idx[q] = r == kNpos ? kUndefinedUnit : std::int32_t(r);
+  }
+  return true;
+}
+
+/// Phase 2 kernels over the packed motion-coefficient arrays
+/// (MappingSearchIndex::motion_*): scalar reference cores with AVX2
+/// specializations (gather + multiply-then-add, never FMA, so the two
+/// paths are byte-identical) dispatched at runtime via core/simd.h.
+/// Undefined slots (idx < 0) produce zeroed outputs with the defined
+/// flag clear, exactly like Intime::Undefined(). Defined in
+/// batch_ops.cc.
+void EvalMotionPositions(const MappingSearchIndex& ix, const Instant* ts,
+                         const std::int32_t* idx, std::size_t n,
+                         Intime<Point>* out);
+void EvalMotionPositionsXY(const MappingSearchIndex& ix, const Instant* ts,
+                           const std::int32_t* idx, std::size_t n, double* xs,
+                           double* ys, std::uint8_t* defined);
+
+inline void FlushSweepCounters(const SweepCounters& sweep,
+                               std::size_t units_scanned) {
+  MODB_COUNTER_ADD("temporal.batch.units_scanned", units_scanned);
+  MODB_COUNTER_ADD("temporal.batch.sweep_cursor_hits", sweep.cursor_hits);
+  MODB_COUNTER_ADD("temporal.batch.sweep_gallop_searches",
+                   sweep.gallop_searches);
+  MODB_COUNTER_ADD("temporal.batch.sweep_bbox_skips", sweep.bbox_skips);
+}
+
 }  // namespace batch_internal
+
+/// Reusable buffers for the split (resolve, then evaluate) batch
+/// kernels: hoist one instance out of a per-tuple loop and the kernels
+/// allocate nothing after warmup.
+struct BatchScratch {
+  std::vector<std::int32_t> unit_idx;
+};
 
 /// atinstant over a batch of ascending instants: one merge sweep instead
 /// of k independent O(log n) searches. Instants outside the deftime
 /// yield undefined Intime values, exactly like Mapping::AtInstant.
 /// Clears and fills `*out`, reusing its capacity — hoist the buffer out
 /// of a per-tuple loop to evaluate many batches without reallocating.
+///
+/// When the mapping has a SoA search index with packed motion
+/// coefficients (upoint), the kernel splits into a resolve pass (merge
+/// sweep filling `scratch->unit_idx`) and a vectorized evaluation pass
+/// over the contiguous coefficient arrays — byte-identical output to
+/// the generic path. Pass a hoisted BatchScratch to make repeated calls
+/// allocation-free.
 template <typename U>
 Status AtInstantBatchInto(const Mapping<U>& m,
                           const std::vector<Instant>& instants,
-                          std::vector<Intime<typename U::ValueType>>* out) {
+                          std::vector<Intime<typename U::ValueType>>* out,
+                          BatchScratch* scratch) {
   using Out = Intime<typename U::ValueType>;
+  std::size_t cursor = 0;
+  batch_internal::SweepCounters sweep;
+  const MappingSearchIndex* ix = m.search_index();
+  bool ok;
+  if constexpr (std::is_same_v<typename U::ValueType, Point>) {
+    if (ix != nullptr && (ix->has_motion() || ix->start.empty())) {
+      // Split fast path: resolve into the scratch index array, then
+      // evaluate positions off the packed coefficients in one
+      // vectorizable pass.
+      const std::size_t k = instants.size();
+      scratch->unit_idx.resize(k);
+      if (!batch_internal::ResolveAscending(batch_internal::SoAView{ix},
+                                            instants, scratch->unit_idx.data(),
+                                            &cursor, &sweep)) {
+        out->clear();
+        return batch_internal::NotAscending();
+      }
+      // resize without a clear: a warm same-size buffer skips the
+      // element re-initialization pass (the evaluate kernel overwrites
+      // every slot, defined or not).
+      out->resize(k);
+      batch_internal::EvalMotionPositions(*ix, instants.data(),
+                                          scratch->unit_idx.data(), k,
+                                          out->data());
+      MODB_COUNTER_INC("temporal.batch.atinstant_calls");
+      MODB_COUNTER_ADD("temporal.batch.atinstant_instants", k);
+      MODB_COUNTER_INC("temporal.batch.dispatch_soa_index");
+      batch_internal::FlushSweepCounters(sweep, cursor);
+      return Status::OK();
+    }
+  }
   out->clear();
   out->reserve(instants.size());
-  std::size_t cursor = 0;
-  Instant prev = -std::numeric_limits<Instant>::infinity();
-  batch_internal::SweepCounters sweep;
   auto run = [&](const auto& view) {
+    Instant prev = -std::numeric_limits<Instant>::infinity();
     const std::size_t hint = std::max<std::size_t>(
         1, view.size() / std::max<std::size_t>(1, instants.size()));
     for (Instant t : instants) {
       if (t < prev) return false;
       prev = t;
+      if (view.certainly_undefined(t)) {
+        ++sweep.bbox_skips;
+        out->push_back(Out::Undefined());
+        continue;
+      }
       std::size_t idx =
           batch_internal::SweepFind(view, t, &cursor, hint, &sweep);
       if (idx == batch_internal::kNpos) {
@@ -209,22 +389,28 @@ Status AtInstantBatchInto(const Mapping<U>& m,
     }
     return true;
   };
-  bool ok = m.search_index()
-                ? run(batch_internal::SoAView{m.search_index()})
-                : run(batch_internal::UnitsView<U>{&m.units()});
+  ok = ix != nullptr ? run(batch_internal::SoAView{ix})
+                     : run(batch_internal::UnitsView<U>{&m.units()});
   if (!ok) return batch_internal::NotAscending();
   MODB_COUNTER_INC("temporal.batch.atinstant_calls");
   MODB_COUNTER_ADD("temporal.batch.atinstant_instants", instants.size());
-  MODB_COUNTER_ADD("temporal.batch.units_scanned", cursor);
-  MODB_COUNTER_ADD("temporal.batch.sweep_cursor_hits", sweep.cursor_hits);
-  MODB_COUNTER_ADD("temporal.batch.sweep_gallop_searches",
-                   sweep.gallop_searches);
-  if (m.search_index()) {
+  batch_internal::FlushSweepCounters(sweep, cursor);
+  if (ix != nullptr) {
     MODB_COUNTER_INC("temporal.batch.dispatch_soa_index");
   } else {
     MODB_COUNTER_INC("temporal.batch.dispatch_unit_records");
   }
   return Status::OK();
+}
+
+/// Scratch-allocating overload (one index-array allocation per call on
+/// the fast path; prefer the scratch overload in loops).
+template <typename U>
+Status AtInstantBatchInto(const Mapping<U>& m,
+                          const std::vector<Instant>& instants,
+                          std::vector<Intime<typename U::ValueType>>* out) {
+  BatchScratch scratch;
+  return AtInstantBatchInto(m, instants, out, &scratch);
 }
 
 /// Allocating convenience wrapper around AtInstantBatchInto.
@@ -234,6 +420,74 @@ Result<std::vector<Intime<typename U::ValueType>>> AtInstantBatch(
   std::vector<Intime<typename U::ValueType>> out;
   MODB_RETURN_IF_ERROR(AtInstantBatchInto(m, instants, &out));
   return out;
+}
+
+/// Batched upoint position evaluation with SoA outputs: xs/ys get the
+/// evaluated coordinates (0 where undefined) and defined the 0/1
+/// presence flags — packed arrays ready for downstream vector kernels,
+/// with the same resolve pass as AtInstantBatchInto. Requires ascending
+/// instants. Clears and fills the output vectors, reusing capacity.
+template <typename U>
+  requires requires(const U& u) {
+    { u.motion().x0 } -> std::convertible_to<double>;
+  }
+Status AtInstantBatchXYInto(const Mapping<U>& m,
+                            const std::vector<Instant>& instants,
+                            std::vector<double>* xs, std::vector<double>* ys,
+                            std::vector<std::uint8_t>* defined,
+                            BatchScratch* scratch) {
+  const std::size_t k = instants.size();
+  std::size_t cursor = 0;
+  batch_internal::SweepCounters sweep;
+  scratch->unit_idx.resize(k);
+  bool ok;
+  const MappingSearchIndex* ix = m.search_index();
+  if (ix != nullptr) {
+    ok = batch_internal::ResolveAscending(batch_internal::SoAView{ix},
+                                          instants, scratch->unit_idx.data(),
+                                          &cursor, &sweep);
+  } else {
+    ok = batch_internal::ResolveAscending(
+        batch_internal::UnitsView<U>{&m.units()}, instants,
+        scratch->unit_idx.data(), &cursor, &sweep);
+  }
+  if (!ok) {
+    xs->clear();
+    ys->clear();
+    defined->clear();
+    return batch_internal::NotAscending();
+  }
+  // resize without a clear (see AtInstantBatchInto): every slot is
+  // overwritten below, so a warm same-size buffer costs nothing.
+  xs->resize(k);
+  ys->resize(k);
+  defined->resize(k);
+  if (ix != nullptr && ix->has_motion()) {
+    batch_internal::EvalMotionPositionsXY(*ix, instants.data(),
+                                          scratch->unit_idx.data(), k,
+                                          xs->data(), ys->data(),
+                                          defined->data());
+  } else {
+    // No packed coefficients: evaluate off the unit records (same
+    // outputs, strided reads).
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::int32_t j = scratch->unit_idx[i];
+      if (j < 0) {
+        (*xs)[i] = 0;
+        (*ys)[i] = 0;
+        (*defined)[i] = 0;
+      } else {
+        const Point p = m.unit(std::size_t(j)).ValueAt(instants[i]);
+        (*xs)[i] = p.x;
+        (*ys)[i] = p.y;
+        (*defined)[i] = 1;
+      }
+    }
+  }
+  MODB_COUNTER_INC("temporal.batch.atinstant_xy_calls");
+  MODB_COUNTER_ADD("temporal.batch.atinstant_instants", k);
+  batch_internal::FlushSweepCounters(sweep, cursor);
+  return Status::OK();
 }
 
 /// present over a batch of ascending instants; (*out)[i] is 1 iff the
@@ -254,6 +508,11 @@ Status PresentBatchInto(const Mapping<U>& m,
     for (Instant t : instants) {
       if (t < prev) return false;
       prev = t;
+      if (view.certainly_undefined(t)) {
+        ++sweep.bbox_skips;
+        out->push_back(0);
+        continue;
+      }
       out->push_back(batch_internal::SweepFind(view, t, &cursor, hint,
                                                &sweep) !=
                              batch_internal::kNpos
@@ -268,10 +527,7 @@ Status PresentBatchInto(const Mapping<U>& m,
   if (!ok) return batch_internal::NotAscending();
   MODB_COUNTER_INC("temporal.batch.present_calls");
   MODB_COUNTER_ADD("temporal.batch.present_instants", instants.size());
-  MODB_COUNTER_ADD("temporal.batch.units_scanned", cursor);
-  MODB_COUNTER_ADD("temporal.batch.sweep_cursor_hits", sweep.cursor_hits);
-  MODB_COUNTER_ADD("temporal.batch.sweep_gallop_searches",
-                   sweep.gallop_searches);
+  batch_internal::FlushSweepCounters(sweep, cursor);
   return Status::OK();
 }
 

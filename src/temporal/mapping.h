@@ -54,7 +54,10 @@ struct MappingSearchIndex {
   ///   end_key[i]   <  t  ⟺  unit i lies entirely before t
   ///   start_key[i] <= t  ⟺  unit i starts at or before t
   /// (an open bound is nudged one ulp inward), so search probes are a
-  /// single double compare on one packed array.
+  /// single double compare on one packed array. Both arrays carry one
+  /// trailing +inf sentinel slot (index = unit count) so merge sweeps
+  /// can advance and test containment without bounds checks: the
+  /// sentinel is never "before" any t and never "starts by" any t.
   std::vector<Instant> start_key;
   std::vector<Instant> end_key;
 
@@ -66,6 +69,17 @@ struct MappingSearchIndex {
   /// Union of the unit bounding cubes for unit types exposing
   /// BoundingCube(); left empty (IsEmpty()) otherwise.
   Cube bbox;
+
+  /// Packed linear-motion coefficients (x = x0 + x1·t, y = y0 + y1·t)
+  /// for unit types exposing motion() with those fields (upoint); empty
+  /// for other unit types. The batch kernels evaluate positions off
+  /// these four contiguous arrays — including via the AVX2 gather path —
+  /// instead of striding over the full unit records.
+  std::vector<double> motion_x0, motion_x1, motion_y0, motion_y1;
+
+  /// True when the packed motion arrays are populated (one slot per
+  /// unit).
+  bool has_motion() const { return !motion_x0.empty(); }
 
   bool left_closed(std::size_t i) const {
     return (closed[i] & kLeftClosed) != 0;
@@ -135,8 +149,8 @@ class Mapping {
     ix->start.reserve(units_.size());
     ix->end.reserve(units_.size());
     ix->closed.reserve(units_.size());
-    ix->start_key.reserve(units_.size());
-    ix->end_key.reserve(units_.size());
+    ix->start_key.reserve(units_.size() + 1);
+    ix->end_key.reserve(units_.size() + 1);
     constexpr Instant kInf = std::numeric_limits<Instant>::infinity();
     for (const U& u : units_) {
       const TimeInterval& iv = u.interval();
@@ -157,11 +171,26 @@ class Mapping {
                     }) {
         ix->bbox.Extend(u.BoundingCube());
       }
+      if constexpr (requires(const U& un) {
+                      { un.motion().x0 } -> std::convertible_to<double>;
+                      { un.motion().x1 } -> std::convertible_to<double>;
+                      { un.motion().y0 } -> std::convertible_to<double>;
+                      { un.motion().y1 } -> std::convertible_to<double>;
+                    }) {
+        ix->motion_x0.push_back(u.motion().x0);
+        ix->motion_x1.push_back(u.motion().x1);
+        ix->motion_y0.push_back(u.motion().y0);
+        ix->motion_y1.push_back(u.motion().y1);
+      }
     }
     if (!units_.empty()) {
       ix->min_start = ix->start.front();
       ix->max_end = ix->end.back();
     }
+    // Sentinel slots (see the field comment): unguarded sweeps stop
+    // here instead of bounds-checking every advance.
+    ix->start_key.push_back(kInf);
+    ix->end_key.push_back(kInf);
     index_ = std::move(ix);
   }
 

@@ -185,6 +185,46 @@ TEST(ParallelOperators, IndexJoinMatchesSerial) {
   }
 }
 
+// Satellite: the prebuilt-index overload must produce a byte-identical
+// relation to the building overload, serial and parallel, and the
+// ExecStats tree must expose the rebuild count (1 building, 0 reusing).
+TEST(ParallelOperators, PrebuiltIndexMatchesBuildingOverload) {
+  Relation a = TestPlanes(32, 4);
+  Relation b = TestPlanes(32, 5);
+  auto pred = [](const Tuple&, std::size_t i, const Tuple&, std::size_t j) {
+    return i != j;
+  };
+  ExecStats stats_built;
+  ExecOptions opts_built;
+  opts_built.stats = &stats_built;
+  Relation built = *IndexJoinOnMovingPoint(a, kFlightAttrFlight, b,
+                                           kFlightAttrFlight, 500.0, pred,
+                                           opts_built);
+  EXPECT_EQ(stats_built.index_builds, 1u);
+
+  Result<RTree3D> index = BuildMovingPointIndex(b, kFlightAttrFlight);
+  ASSERT_TRUE(index.ok());
+  ExecStats stats_pre;
+  ExecOptions opts_pre;
+  opts_pre.stats = &stats_pre;
+  Relation pre = *IndexJoinOnMovingPoint(a, kFlightAttrFlight, b, *index,
+                                         500.0, pred, opts_pre);
+  ExpectByteIdentical(built, pre);
+  EXPECT_EQ(stats_pre.index_builds, 0u);
+
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    Relation par = *IndexJoinOnMovingPoint(a, kFlightAttrFlight, b, *index,
+                                           500.0, pred, PoolOptions(&pool));
+    ExpectByteIdentical(built, par);
+  }
+
+  // Bad attribute index / non-moving-point attribute are rejected, not
+  // fatal.
+  EXPECT_FALSE(BuildMovingPointIndex(b, 999).ok());
+  EXPECT_FALSE(BuildMovingPointIndex(b, -1).ok());
+}
+
 TEST(ParallelOperators, EmptyRelationAndMoreChunksThanTuples) {
   Relation planes = TestPlanes(3, 6);
   Relation empty("planes", planes.schema());

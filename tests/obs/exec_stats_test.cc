@@ -16,6 +16,7 @@ ExecStats SampleTree() {
   root.predicate_evals = 30;
   root.index_candidates = 30;
   root.index_hits = 7;
+  root.index_builds = 1;
   root.units_scanned = 256;
   root.workers = 2;
   root.wall_ns = 123456789;
@@ -44,6 +45,7 @@ TEST(ExecStats, JsonRoundTripIsExact) {
   EXPECT_EQ(parsed->predicate_evals, root.predicate_evals);
   EXPECT_EQ(parsed->index_candidates, root.index_candidates);
   EXPECT_EQ(parsed->index_hits, root.index_hits);
+  EXPECT_EQ(parsed->index_builds, root.index_builds);
   EXPECT_EQ(parsed->units_scanned, root.units_scanned);
   EXPECT_EQ(parsed->workers, root.workers);
   EXPECT_EQ(parsed->wall_ns, root.wall_ns);
@@ -87,6 +89,7 @@ TEST(ExecStats, MergeCountersSumsEverythingButWallTime) {
   b.predicate_evals = 3;
   b.index_candidates = 4;
   b.index_hits = 5;
+  b.index_builds = 2;
   b.units_scanned = 6;
   b.workers = 1;
   b.wall_ns = 999;
@@ -100,6 +103,7 @@ TEST(ExecStats, MergeCountersSumsEverythingButWallTime) {
   EXPECT_EQ(a.predicate_evals, 33u);
   EXPECT_EQ(a.index_candidates, 34u);
   EXPECT_EQ(a.index_hits, 12u);
+  EXPECT_EQ(a.index_builds, 3u);
   EXPECT_EQ(a.units_scanned, 262u);
   EXPECT_EQ(a.workers, 3u);
   EXPECT_EQ(a.wall_ns, 123456789u);       // wall time is not additive

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <random>
 #include <type_traits>
 #include <vector>
 
+#include "core/simd.h"
 #include "temporal/moving.h"
 
 namespace modb {
@@ -190,7 +192,9 @@ TEST(AtInstantBatch, MatchesAtInstantOnBoundaries) {
   ASSERT_EQ(buf.size(), batch2->size());
   for (std::size_t i = 0; i < buf.size(); ++i) {
     EXPECT_EQ(buf[i].defined, (*batch2)[i].defined);
-    if (buf[i].defined) EXPECT_EQ(buf[i].value, (*batch2)[i].value);
+    if (buf[i].defined) {
+      EXPECT_EQ(buf[i].value, (*batch2)[i].value);
+    }
   }
   std::vector<std::uint8_t> pbuf;
   ASSERT_TRUE(PresentBatchInto(m, instants, &pbuf).ok());
@@ -310,6 +314,206 @@ TEST(AtInstantBatch, DifferentialFuzz1000) {
           << "iter " << iter << " t=" << t;
       ASSERT_EQ(indexed.FindUnit(t), m.FindUnit(t))
           << "iter " << iter << " t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Split motion kernels: SIMD vs. scalar differential checks (satellite:
+// every fast path byte-identical to the scalar reference).
+// ---------------------------------------------------------------------------
+
+bool BitEq(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+// A upoint track with gaps, adjacent open/closed boundaries, and varied
+// velocities — enough structure to hit defined and undefined lanes in
+// every 4-wide SIMD block.
+MovingPoint GappyTrack(std::mt19937* rng, int units) {
+  std::uniform_real_distribution<double> gap(0.0, 0.8);
+  std::uniform_real_distribution<double> vel(-2.0, 2.0);
+  std::bernoulli_distribution coin(0.5);
+  MappingBuilder<UPoint> builder;
+  double t = 0;
+  for (int i = 0; i < units; ++i) {
+    double s = t + (coin(*rng) ? 0.0 : gap(*rng) + 1e-3);
+    double e = s + gap(*rng) + 0.2;
+    bool lc = s == t ? false : true;
+    auto iv = *TimeInterval::Make(s, e, lc, true);
+    (void)builder.Append(*UPoint::Make(
+        iv, LinearMotion{vel(*rng), vel(*rng), vel(*rng), vel(*rng)}));
+    t = e;
+  }
+  auto m = builder.Build();
+  EXPECT_TRUE(m.ok()) << m.status();
+  return m.ok() ? *m : MovingPoint();
+}
+
+std::vector<Instant> SortedProbe(std::mt19937* rng, double lo, double hi,
+                                 int k) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  std::vector<Instant> out(static_cast<std::size_t>(k));
+  for (Instant& t : out) t = d(*rng);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(BatchSimd, UPointAtInstantScalarAvx2ByteIdentical) {
+  std::mt19937 rng(42);
+  for (int iter = 0; iter < 25; ++iter) {
+    MovingPoint mp = GappyTrack(&rng, 3 + iter * 7);
+    mp.BuildSearchIndex();
+    ASSERT_TRUE(mp.search_index()->has_motion());
+    double hi = mp.units().back().interval().end();
+    // Probe beyond both deftime ends so the prefilter lanes are mixed
+    // into the SIMD blocks; k spans dense and sparse resolve regimes.
+    std::vector<Instant> instants =
+        SortedProbe(&rng, -1.0, hi + 1.0, 17 + iter * 13);
+    std::vector<Intime<Point>> scalar, vec;
+    BatchScratch scratch;
+    simd::SetSimdMode(simd::Mode::kScalar);
+    ASSERT_TRUE(AtInstantBatchInto(mp, instants, &scalar, &scratch).ok());
+    simd::SetSimdMode(simd::Mode::kAvx2);
+    ASSERT_TRUE(AtInstantBatchInto(mp, instants, &vec, &scratch).ok());
+    simd::SetSimdMode(simd::Mode::kAuto);
+    ASSERT_EQ(scalar.size(), instants.size());
+    ASSERT_EQ(vec.size(), instants.size());
+    for (std::size_t i = 0; i < instants.size(); ++i) {
+      // Bitwise equality, not approximate: the AVX2 kernel must use the
+      // same multiply-then-add rounding as the scalar core.
+      ASSERT_EQ(scalar[i].defined, vec[i].defined) << "iter " << iter;
+      ASSERT_TRUE(BitEq(scalar[i].instant, vec[i].instant)) << "iter " << iter;
+      ASSERT_TRUE(BitEq(scalar[i].value.x, vec[i].value.x)) << "iter " << iter;
+      ASSERT_TRUE(BitEq(scalar[i].value.y, vec[i].value.y)) << "iter " << iter;
+      // And both agree with the per-instant reference.
+      Intime<Point> one = mp.AtInstant(instants[i]);
+      ASSERT_EQ(scalar[i].defined, one.defined) << "iter " << iter;
+      if (one.defined) {
+        ASSERT_TRUE(BitEq(scalar[i].value.x, one.value.x)) << "iter " << iter;
+        ASSERT_TRUE(BitEq(scalar[i].value.y, one.value.y)) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(BatchSimd, UPointXYKernelScalarAvx2ByteIdentical) {
+  std::mt19937 rng(1234);
+  for (int iter = 0; iter < 25; ++iter) {
+    MovingPoint mp = GappyTrack(&rng, 5 + iter * 5);
+    mp.BuildSearchIndex();
+    double hi = mp.units().back().interval().end();
+    std::vector<Instant> instants =
+        SortedProbe(&rng, -0.5, hi + 0.5, 11 + iter * 9);
+    std::vector<double> xs_s, ys_s, xs_v, ys_v;
+    std::vector<std::uint8_t> def_s, def_v;
+    BatchScratch scratch;
+    simd::SetSimdMode(simd::Mode::kScalar);
+    ASSERT_TRUE(
+        AtInstantBatchXYInto(mp, instants, &xs_s, &ys_s, &def_s, &scratch)
+            .ok());
+    simd::SetSimdMode(simd::Mode::kAvx2);
+    ASSERT_TRUE(
+        AtInstantBatchXYInto(mp, instants, &xs_v, &ys_v, &def_v, &scratch)
+            .ok());
+    simd::SetSimdMode(simd::Mode::kAuto);
+    ASSERT_EQ(def_s, def_v) << "iter " << iter;
+    for (std::size_t i = 0; i < instants.size(); ++i) {
+      ASSERT_TRUE(BitEq(xs_s[i], xs_v[i])) << "iter " << iter << " i=" << i;
+      ASSERT_TRUE(BitEq(ys_s[i], ys_v[i])) << "iter " << iter << " i=" << i;
+      Intime<Point> one = mp.AtInstant(instants[i]);
+      ASSERT_EQ(def_s[i] != 0, one.defined) << "iter " << iter;
+      if (one.defined) {
+        ASSERT_TRUE(BitEq(xs_s[i], one.value.x)) << "iter " << iter;
+        ASSERT_TRUE(BitEq(ys_s[i], one.value.y)) << "iter " << iter;
+      } else {
+        ASSERT_EQ(xs_s[i], 0.0) << "iter " << iter;
+        ASSERT_EQ(ys_s[i], 0.0) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(BatchSimd, UPointXYKernelWithoutIndexMatchesIndexed) {
+  std::mt19937 rng(77);
+  MovingPoint mp = GappyTrack(&rng, 40);
+  MovingPoint indexed = mp;
+  indexed.BuildSearchIndex();
+  double hi = mp.units().back().interval().end();
+  std::vector<Instant> instants = SortedProbe(&rng, -0.5, hi + 0.5, 200);
+  std::vector<double> xs_a, ys_a, xs_b, ys_b;
+  std::vector<std::uint8_t> def_a, def_b;
+  BatchScratch scratch;
+  ASSERT_TRUE(
+      AtInstantBatchXYInto(mp, instants, &xs_a, &ys_a, &def_a, &scratch).ok());
+  ASSERT_TRUE(
+      AtInstantBatchXYInto(indexed, instants, &xs_b, &ys_b, &def_b, &scratch)
+          .ok());
+  EXPECT_EQ(def_a, def_b);
+  for (std::size_t i = 0; i < instants.size(); ++i) {
+    EXPECT_TRUE(BitEq(xs_a[i], xs_b[i])) << i;
+    EXPECT_TRUE(BitEq(ys_a[i], ys_b[i])) << i;
+  }
+}
+
+TEST(BatchSimd, RejectsUnsortedOnFastPath) {
+  std::mt19937 rng(5);
+  MovingPoint mp = GappyTrack(&rng, 8);
+  mp.BuildSearchIndex();
+  std::vector<Intime<Point>> out;
+  std::vector<double> xs, ys;
+  std::vector<std::uint8_t> def;
+  BatchScratch scratch;
+  EXPECT_FALSE(AtInstantBatchInto(mp, {2.0, 1.0}, &out, &scratch).ok());
+  EXPECT_FALSE(AtInstantBatchXYInto(mp, {2.0, 1.0}, &xs, &ys, &def, &scratch)
+                   .ok());
+}
+
+// uregion workload: the sweep kernels run over the generic unit-record
+// and SoA views (no motion fast path) — batch results must match the
+// per-instant operations, including through the deftime-bounds
+// prefilter for instants far outside the definition time.
+MovingRegion TranslatingSquares(int units) {
+  std::vector<URegion> out;
+  for (int i = 0; i < units; ++i) {
+    double t0 = i * 3.0, t1 = i * 3.0 + 2.0;
+    MCycle cycle;
+    std::vector<Point> r0 = {Point(0, 0), Point(2, 0), Point(2, 2),
+                             Point(0, 2)};
+    for (int k = 0; k < 4; ++k) {
+      auto s0 = *Seg::Make(r0[std::size_t(k)], r0[std::size_t((k + 1) % 4)]);
+      Point a1(r0[std::size_t(k)].x + 1, r0[std::size_t(k)].y + 1);
+      Point b1(r0[std::size_t((k + 1) % 4)].x + 1,
+               r0[std::size_t((k + 1) % 4)].y + 1);
+      auto s1 = *Seg::Make(a1, b1);
+      cycle.push_back(*MSeg::FromEndSegments(t0, s0, t1, s1));
+    }
+    auto u = URegion::FromCycle(*TimeInterval::Make(t0, t1, true, true),
+                                std::move(cycle));
+    EXPECT_TRUE(u.ok()) << u.status();
+    out.push_back(*u);
+  }
+  auto m = MovingRegion::Make(std::move(out));
+  EXPECT_TRUE(m.ok()) << m.status();
+  return m.ok() ? *m : MovingRegion();
+}
+
+TEST(BatchSimd, URegionPresentAndAtInstantBatchMatchPerInstant) {
+  MovingRegion mr = TranslatingSquares(6);
+  MovingRegion indexed = mr;
+  indexed.BuildSearchIndex();
+  std::vector<Instant> instants;
+  for (double t = -5.0; t <= 25.0; t += 0.5) instants.push_back(t);
+  auto present = PresentBatch(mr, instants);
+  auto present_ix = PresentBatch(indexed, instants);
+  auto batch = AtInstantBatch(indexed, instants);
+  ASSERT_TRUE(present.ok() && present_ix.ok() && batch.ok());
+  for (std::size_t i = 0; i < instants.size(); ++i) {
+    const Instant t = instants[i];
+    ASSERT_EQ((*present)[i] != 0, mr.Present(t)) << t;
+    ASSERT_EQ((*present_ix)[i] != 0, mr.Present(t)) << t;
+    Intime<Region> one = mr.AtInstant(t);
+    ASSERT_EQ((*batch)[i].defined, one.defined) << t;
+    if (one.defined) {
+      ASSERT_EQ((*batch)[i].value.Area(), one.value.Area()) << t;
     }
   }
 }

@@ -1,0 +1,141 @@
+// bench_compare: regression gate over two google-benchmark JSON export
+// files. Benchmarks are matched by name (aggregate rows like *_mean are
+// ignored); a benchmark whose cpu_time grew by more than the threshold
+// relative to the baseline fails the run. Benchmarks present in only
+// one file are reported but never fail — the suite is allowed to grow.
+//
+// Usage: bench_compare BASELINE.json CURRENT.json [--threshold=0.15]
+//   exit 0  no benchmark regressed beyond the threshold
+//   exit 1  at least one regression
+//   exit 2  usage / parse error
+//
+// tools/verify.sh runs this against the repo-root BENCH_*.json
+// snapshots so a perf regression fails CI the same way a test failure
+// does.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+struct BenchRow {
+  std::string name;
+  double cpu_time = 0;  // normalized to nanoseconds
+  double real_time = 0;
+};
+
+double UnitToNs(const std::string& unit) {
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1.0;  // ns (google-benchmark's default)
+}
+
+bool LoadRows(const char* path, std::vector<BenchRow>* rows) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = modb::obs::JsonValue::Parse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const modb::obs::JsonValue* benches = parsed->Find("benchmarks");
+  if (benches == nullptr ||
+      benches->kind() != modb::obs::JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "bench_compare: %s has no \"benchmarks\" array\n",
+                 path);
+    return false;
+  }
+  for (const modb::obs::JsonValue& b : benches->items()) {
+    if (b.kind() != modb::obs::JsonValue::Kind::kObject) continue;
+    const modb::obs::JsonValue* run_type = b.Find("run_type");
+    if (run_type != nullptr && run_type->string_value() != "iteration") {
+      continue;  // skip _mean/_median/_stddev aggregates
+    }
+    const modb::obs::JsonValue* name = b.Find("name");
+    const modb::obs::JsonValue* cpu = b.Find("cpu_time");
+    const modb::obs::JsonValue* real = b.Find("real_time");
+    if (name == nullptr || cpu == nullptr || real == nullptr) continue;
+    double scale = 1.0;
+    if (const modb::obs::JsonValue* unit = b.Find("time_unit")) {
+      scale = UnitToNs(unit->string_value());
+    }
+    rows->push_back({name->string_value(), cpu->number_value() * scale,
+                     real->number_value() * scale});
+  }
+  return true;
+}
+
+const BenchRow* FindRow(const std::vector<BenchRow>& rows,
+                        const std::string& name) {
+  for (const BenchRow& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.15;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::atof(argv[i] + 12);
+      if (threshold <= 0) {
+        std::fprintf(stderr, "bench_compare: bad threshold %s\n", argv[i]);
+        return 2;
+      }
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CURRENT.json "
+                 "[--threshold=0.15]\n");
+    return 2;
+  }
+  std::vector<BenchRow> baseline, current;
+  if (!LoadRows(files[0], &baseline) || !LoadRows(files[1], &current)) {
+    return 2;
+  }
+  int regressions = 0, compared = 0;
+  for (const BenchRow& cur : current) {
+    const BenchRow* base = FindRow(baseline, cur.name);
+    if (base == nullptr) {
+      std::printf("  NEW      %-50s %12.0f ns\n", cur.name.c_str(),
+                  cur.cpu_time);
+      continue;
+    }
+    ++compared;
+    const double ratio =
+        base->cpu_time > 0 ? cur.cpu_time / base->cpu_time : 1.0;
+    const bool bad = ratio > 1.0 + threshold;
+    std::printf("  %-8s %-50s %12.0f -> %12.0f ns  (%+.1f%%)\n",
+                bad ? "REGRESS" : "ok", cur.name.c_str(), base->cpu_time,
+                cur.cpu_time, (ratio - 1.0) * 100.0);
+    if (bad) ++regressions;
+  }
+  for (const BenchRow& base : baseline) {
+    if (FindRow(current, base.name) == nullptr) {
+      std::printf("  GONE     %s\n", base.name.c_str());
+    }
+  }
+  std::printf("bench_compare: %d compared, %d regressed (threshold %+.0f%%)\n",
+              compared, regressions, threshold * 100.0);
+  return regressions == 0 ? 0 : 1;
+}

@@ -22,4 +22,42 @@ for preset in "${presets[@]}"; do
   echo "==== [$preset] test ===="
   ctest --preset "$preset" -j "$jobs"
 done
+
+# Perf smoke on the default (RelWithDebInfo) build: export the key
+# query/batch benchmarks to repo-root BENCH_*.json snapshots and gate
+# them with bench_compare — >15% cpu_time growth on any benchmark that
+# also exists in the previous snapshot fails, same as a test failure.
+run_perf_smoke() {
+  local name="$1" binary="$2" filter="$3"
+  local out="BENCH_${name}.json"
+  local prev=""
+  if [ -f "$out" ]; then
+    prev="$(mktemp)"
+    cp "$out" "$prev"
+  fi
+  "build/bench/${binary}" \
+    --benchmark_filter="$filter" \
+    --benchmark_min_time=0.1 \
+    --benchmark_format=json \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+  build/tools/json_check "$out"
+  if [ -n "$prev" ]; then
+    build/tools/bench_compare "$prev" "$out" --threshold=0.15
+    rm -f "$prev"
+  else
+    echo "perf-smoke: no previous $out snapshot, gate skipped"
+  fi
+}
+
+if [ -x build/bench/bench_queries ] && [ -x build/bench/bench_batch ]; then
+  echo "==== perf smoke ===="
+  run_perf_smoke queries bench_queries \
+    'BM_Q1_TrajectoryLength/64|BM_Q2_Join_RTree/64|BM_Q2_Join_RTree_Prebuilt/64'
+  run_perf_smoke batch bench_batch \
+    'BM_AtInstant_Batch/10000/1024|BM_AtInstant_Batch/16384/16384'
+else
+  echo "==== perf smoke skipped (default build not present) ===="
+fi
+
 echo "==== all presets green: ${presets[*]} ===="
