@@ -20,6 +20,7 @@
 #include "storage/spill.h"
 #include "temporal/batch_ops.h"
 #include "temporal/paged_ops.h"
+#include "validate/validate.h"
 
 namespace modb {
 namespace {
@@ -179,6 +180,69 @@ void BM_AtInstantBatch_SpilledWarm(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * k);
 }
 BENCHMARK(BM_AtInstantBatch_SpilledWarm)
+    ->ArgsProduct({{10000}, {1000}})
+    ->ArgNames({"units", "k"});
+
+// Materialized-warm with validation-on-load: identical to SpilledWarm
+// except the value was admitted through LoadValidated (the Section-3
+// invariant pass recovery uses). Validation runs once at decode time,
+// so the warm delta against BM_AtInstantBatch_SpilledWarm is the
+// steady-state cost of running validated — the acceptance bound is 3%.
+void BM_AtInstantBatch_SpilledWarmValidated(benchmark::State& state) {
+  const int units = int(state.range(0));
+  const int k = int(state.range(1));
+  MovingPoint mp = Trajectory(units, 7);
+  PageStore store;
+  auto spilled = *Spilled<MovingPoint>::Spill(mp, &store);
+  std::vector<Instant> instants = SortedInstants(k, units, 13);
+  BufferPool pool(&store, 1024);
+  std::vector<Intime<Point>> out;
+  // Prime through the validated path: decode + invariant check once.
+  auto primed = spilled.LoadValidated(&pool, validate::MappingValidator{},
+                                      /*build_search_index=*/true);
+  if (!primed.ok()) {
+    state.SkipWithError("validated load failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!AtInstantBatchSpilled(&spilled, &pool, instants, &out).ok()) {
+      state.SkipWithError("batch failed");
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * k);
+}
+BENCHMARK(BM_AtInstantBatch_SpilledWarmValidated)
+    ->ArgsProduct({{10000}, {1000}})
+    ->ArgNames({"units", "k"});
+
+// Cold with validation-on-load: the full price of admitting a value
+// through the invariant pass — decode plus one linear scan per load.
+void BM_AtInstantBatch_SpilledColdValidated(benchmark::State& state) {
+  const int units = int(state.range(0));
+  const int k = int(state.range(1));
+  MovingPoint mp = Trajectory(units, 7);
+  PageStore store;
+  auto spilled = *Spilled<MovingPoint>::Spill(mp, &store);
+  std::vector<Instant> instants = SortedInstants(k, units, 13);
+  BufferPool pool(&store, 1024);
+  std::vector<Intime<Point>> out;
+  for (auto _ : state) {
+    state.PauseTiming();
+    spilled.Release();
+    if (!pool.DropAll().ok()) state.SkipWithError("drop failed");
+    state.ResumeTiming();
+    auto loaded = spilled.LoadValidated(&pool, validate::MappingValidator{},
+                                        /*build_search_index=*/true);
+    if (!loaded.ok()) state.SkipWithError("validated load failed");
+    if (!AtInstantBatchSpilled(&spilled, &pool, instants, &out).ok()) {
+      state.SkipWithError("batch failed");
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * k);
+}
+BENCHMARK(BM_AtInstantBatch_SpilledColdValidated)
     ->ArgsProduct({{10000}, {1000}})
     ->ArgNames({"units", "k"});
 

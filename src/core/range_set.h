@@ -49,6 +49,14 @@ class RangeSet {
   /// Single-interval range.
   static RangeSet Of(const Interval<T>& iv) { return FromIntervals({iv}); }
 
+  /// Adopts `sorted_disjoint` verbatim, skipping canonicalization — for
+  /// storage paths replaying intervals that were canonical when written.
+  /// The IntervalSet conditions become the caller's obligation; pair
+  /// with validate::ValidateRangeSet when the source is untrusted.
+  static RangeSet MakeTrusted(std::vector<Interval<T>> sorted_disjoint) {
+    return RangeSet(std::move(sorted_disjoint));
+  }
+
   bool IsEmpty() const { return intervals_.empty(); }
   std::size_t NumIntervals() const { return intervals_.size(); }
   const std::vector<Interval<T>>& intervals() const { return intervals_; }

@@ -24,6 +24,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // Unrecoverable loss or corruption of stored data (short device
+  // read/write, torn page detected by checksum). Unlike kInternal —
+  // which storage treats as transient and retryable — a DataLoss error
+  // is permanent: retrying the same I/O cannot succeed.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -55,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

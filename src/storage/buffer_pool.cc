@@ -162,6 +162,31 @@ Status BufferPool::DropAll() {
   return Status::OK();
 }
 
+Status BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Frame& f : frames_) {
+    if (f.resident && f.pins > 0) {
+      return Status::FailedPrecondition("cannot discard: pages are pinned");
+    }
+  }
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Frame& f = frames_[i];
+    if (!f.resident) continue;
+    table_.erase(f.page);
+    f.resident = false;
+    f.dirty = false;
+    ++stats_.evictions;
+    MODB_COUNTER_INC("storage.buffer_pool.evictions");
+    free_.push_back(i);
+  }
+  return Status::OK();
+}
+
+std::size_t BufferPool::NumDevicePages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return device_->NumPages();
+}
+
 bool BufferPool::IsResident(std::uint32_t page) const {
   std::lock_guard<std::mutex> lock(mu_);
   return table_.count(page) != 0;

@@ -105,8 +105,20 @@ class BufferPool {
   /// cold — used by tests and the cold-cache benchmarks.
   Status DropAll();
 
+  /// Evicts every resident page *without* writing anything back — dirty
+  /// bytes are lost, exactly as if the process had crashed with them
+  /// still in memory. Crash-simulation harnesses use this to abandon a
+  /// store mid-commit; never call it on a pool you intend to keep using
+  /// as a cache of durable state. Fails with FailedPrecondition if any
+  /// page is still pinned.
+  Status DiscardAll();
+
   bool IsResident(std::uint32_t page) const;
   std::size_t capacity() const { return capacity_; }
+  /// Page count of the backing device — the bound readers must validate
+  /// untrusted locators against before sizing any allocation. Taken
+  /// under the pool mutex because the devices are not thread-safe.
+  std::size_t NumDevicePages() const;
   std::size_t NumResident() const;
   /// Frames currently holding at least one pin.
   std::size_t NumPinned() const;

@@ -33,7 +33,16 @@ void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
   fail_armed_[0] = fail_armed_[1] = false;
   tear_armed_ = false;
+  halt_after_fire_ = false;
+  halted_ = false;
   count_[0] = count_[1] = 0;
+  fired_ = 0;
+  last_site_ = nullptr;
+}
+
+void FaultInjector::HaltAfterFire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  halt_after_fire_ = true;
 }
 
 std::uint64_t FaultInjector::OpCount(FaultOp op) const {
@@ -41,12 +50,28 @@ std::uint64_t FaultInjector::OpCount(FaultOp op) const {
   return count_[int(op)];
 }
 
+std::uint64_t FaultInjector::FiredCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+const char* FaultInjector::last_fired_site() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_site_;
+}
+
 Status FaultInjector::OnRead(const char* site) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (halted_) {
+    return Status::Internal(std::string("I/O after injected crash at ") + site);
+  }
   const int i = int(FaultOp::kRead);
   const std::uint64_t n = count_[i]++;
   if (fail_armed_[i] && n == fail_at_[i]) {
     fail_armed_[i] = false;
+    ++fired_;
+    last_site_ = site;
+    halted_ = halt_after_fire_;
     MODB_COUNTER_INC("storage.fault.injected_read_failures");
     return Status::Internal(std::string("injected read fault at ") + site);
   }
@@ -56,16 +81,25 @@ Status FaultInjector::OnRead(const char* site) {
 Status FaultInjector::OnWrite(const char* site, std::size_t* keep_bytes) {
   *keep_bytes = kFaultKeepAll;
   std::lock_guard<std::mutex> lock(mu_);
+  if (halted_) {
+    return Status::Internal(std::string("I/O after injected crash at ") + site);
+  }
   const int i = int(FaultOp::kWrite);
   const std::uint64_t n = count_[i]++;
   if (fail_armed_[i] && n == fail_at_[i]) {
     fail_armed_[i] = false;
+    ++fired_;
+    last_site_ = site;
+    halted_ = halt_after_fire_;
     MODB_COUNTER_INC("storage.fault.injected_write_failures");
     return Status::Internal(std::string("injected write fault at ") + site);
   }
   if (tear_armed_ && n == tear_at_) {
     tear_armed_ = false;
     *keep_bytes = tear_keep_;
+    ++fired_;
+    last_site_ = site;
+    halted_ = halt_after_fire_;
     MODB_COUNTER_INC("storage.fault.injected_torn_writes");
   }
   return Status::OK();

@@ -53,11 +53,32 @@ class FaultInjector {
   /// `keep_bytes` bytes and then reports success.
   void TearNth(std::uint64_t nth, std::size_t keep_bytes);
 
+  /// Arms crash semantics: once any plan fires, every subsequent
+  /// operation fails with an Internal error until Disarm(). This models
+  /// what a fault means in a crash: the device tears or errors the
+  /// in-flight I/O *because the process is dying*, so no later I/O
+  /// happens either. Without it a torn write is silent and the workload
+  /// keeps writing — the right model for latent-corruption tests, the
+  /// wrong one for crash-recovery campaigns.
+  void HaltAfterFire();
+
   /// Clears every armed plan and zeroes the op counters.
   void Disarm();
 
   /// Operations of kind `op` observed since the last Disarm/arm.
   std::uint64_t OpCount(FaultOp op) const;
+
+  /// Plans (failures or tears) that have fired since the last Disarm.
+  /// Crash-campaign drivers poll this after every storage call: a torn
+  /// write reports success at the device level, so the only way to model
+  /// "the process died during this write" is to stop the workload the
+  /// moment the tear plan fires.
+  std::uint64_t FiredCount() const;
+
+  /// The call-site label of the most recently fired plan (a string
+  /// literal owned by the device code), or nullptr if none fired since
+  /// the last Disarm.
+  const char* last_fired_site() const;
 
   // -- hooks called by the page devices --------------------------------------
 
@@ -79,6 +100,10 @@ class FaultInjector {
   bool tear_armed_ = false;
   std::uint64_t tear_at_ = 0;
   std::size_t tear_keep_ = 0;
+  bool halt_after_fire_ = false;
+  bool halted_ = false;
+  std::uint64_t fired_ = 0;
+  const char* last_site_ = nullptr;
 };
 
 #else  // !MODB_FAULTS: inline stubs; hooks fold away entirely.
@@ -93,8 +118,11 @@ class FaultInjector {
   }
   void FailNth(FaultOp, std::uint64_t) {}
   void TearNth(std::uint64_t, std::size_t) {}
+  void HaltAfterFire() {}
   void Disarm() {}
   std::uint64_t OpCount(FaultOp) const { return 0; }
+  std::uint64_t FiredCount() const { return 0; }
+  const char* last_fired_site() const { return nullptr; }
   Status OnRead(const char*) { return Status::OK(); }
   Status OnWrite(const char*, std::size_t* keep_bytes) {
     *keep_bytes = kFaultKeepAll;

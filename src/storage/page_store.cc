@@ -221,12 +221,21 @@ Status FilePageDevice::ReadPage(uint32_t page, char* out) const {
     return Status::OutOfRange("page id out of range");
   }
   MODB_RETURN_IF_ERROR(FaultInjector::Global().OnRead("file_device.read_page"));
+  const uint64_t offset = kFileHeaderSize + uint64_t(page) * kPageSize;
   file_.clear();
-  file_.seekg(std::streamoff(kFileHeaderSize + uint64_t(page) * kPageSize));
+  file_.seekg(std::streamoff(offset));
   file_.read(out, std::streamsize(kPageSize));
   if (!file_) {
+    // A short read is data loss, not a transient hiccup: the file simply
+    // does not contain the bytes the header admits (e.g. a crash tore a
+    // previous AllocatePages growth). Report exactly what is missing so
+    // recovery can decide to heal rather than retry.
+    const std::streamsize got = file_.gcount();
     MODB_COUNTER_INC("storage.file_device.read_errors");
-    return Status::Internal("short page read from " + path_);
+    return Status::DataLoss(
+        "short page read from " + path_ + " at offset " +
+        std::to_string(offset) + ": expected " + std::to_string(kPageSize) +
+        " bytes, got " + std::to_string(got >= 0 ? got : 0));
   }
   MODB_COUNTER_INC("storage.file_device.page_reads");
   return Status::OK();
@@ -240,13 +249,18 @@ Status FilePageDevice::WritePage(uint32_t page, const char* data) {
   std::size_t keep = kFaultKeepAll;
   MODB_RETURN_IF_ERROR(
       FaultInjector::Global().OnWrite("file_device.write_page", &keep));
+  const uint64_t offset = kFileHeaderSize + uint64_t(page) * kPageSize;
+  const std::size_t want = std::min(keep, kPageSize);
   file_.clear();
-  file_.seekp(std::streamoff(kFileHeaderSize + uint64_t(page) * kPageSize));
-  file_.write(data, std::streamsize(std::min(keep, kPageSize)));
+  file_.seekp(std::streamoff(offset));
+  file_.write(data, std::streamsize(want));
   file_.flush();
   if (!file_) {
     MODB_COUNTER_INC("storage.file_device.write_errors");
-    return Status::Internal("short page write to " + path_);
+    return Status::DataLoss(
+        "short page write to " + path_ + " at offset " +
+        std::to_string(offset) + ": expected " + std::to_string(want) +
+        " bytes, persisted count unknown");
   }
   MODB_COUNTER_INC("storage.file_device.page_writes");
   return Status::OK();

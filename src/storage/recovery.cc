@@ -1,0 +1,453 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "validate/validate.h"
+
+namespace modb {
+
+namespace {
+
+// Root record field offsets (docs/STORAGE_FORMAT.md): magic u32 @0,
+// version u8 @4, reserved u8 @5, num_roots u16 @6, epoch u64 @8,
+// crc u32 @16, entries @20 (16 bytes each: first_page, num_pages,
+// num_bytes, type_tag — all u32 LE).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffNumRoots = 6;
+constexpr std::size_t kOffEpoch = 8;
+constexpr std::size_t kOffCrc = 16;
+
+template <typename T>
+void PutField(char* page, std::size_t off, T value) {
+  std::memcpy(page + off, &value, sizeof value);
+}
+
+template <typename T>
+T GetField(const char* page, std::size_t off) {
+  T value;
+  std::memcpy(&value, page + off, sizeof value);
+  return value;
+}
+
+std::size_t RootRecordBytes(std::size_t num_roots) {
+  return kRootHeaderSize + num_roots * kRootEntrySize;
+}
+
+void EncodeRootRecord(std::uint64_t epoch,
+                      const std::vector<VersionedRoot>& roots, char* page) {
+  std::memset(page, 0, kPageSize);
+  PutField(page, kOffMagic, kRootMagic);
+  PutField(page, kOffVersion, kRootVersion);
+  PutField(page, kOffNumRoots, std::uint16_t(roots.size()));
+  PutField(page, kOffEpoch, epoch);
+  std::size_t off = kRootHeaderSize;
+  for (const VersionedRoot& r : roots) {
+    PutField(page, off + 0, r.locator.first_page);
+    PutField(page, off + 4, r.locator.num_pages);
+    PutField(page, off + 8, r.locator.num_bytes);
+    PutField(page, off + 12, std::uint32_t(r.type));
+    off += kRootEntrySize;
+  }
+  // CRC over the used prefix, computed with the crc field still zero.
+  PutField(page, kOffCrc, Crc32(page, RootRecordBytes(roots.size())));
+}
+
+struct RootCandidate {
+  std::uint64_t epoch = 0;
+  std::vector<VersionedRoot> roots;
+};
+
+/// Parses and structurally checks one root-slot page against the device
+/// geometry. Any defect — bad magic/version/CRC, an out-of-bounds or
+/// overlapping locator, a locator touching the slot pages — rejects the
+/// whole candidate; commit atomicity means the other slot still holds a
+/// usable epoch.
+Result<RootCandidate> DecodeRootRecord(const char* page,
+                                       std::size_t num_device_pages) {
+  if (GetField<std::uint32_t>(page, kOffMagic) != kRootMagic) {
+    return Status::InvalidArgument("root slot: bad magic");
+  }
+  if (GetField<std::uint8_t>(page, kOffVersion) != kRootVersion) {
+    return Status::InvalidArgument("root slot: unsupported version");
+  }
+  const std::uint16_t num_roots = GetField<std::uint16_t>(page, kOffNumRoots);
+  if (num_roots > kMaxRootsPerStore) {
+    return Status::InvalidArgument("root slot: root count exceeds capacity");
+  }
+  const std::uint32_t stored_crc = GetField<std::uint32_t>(page, kOffCrc);
+  char scratch[kPageSize];
+  std::memcpy(scratch, page, kPageSize);
+  PutField(scratch, kOffCrc, std::uint32_t(0));
+  if (Crc32(scratch, RootRecordBytes(num_roots)) != stored_crc) {
+    return Status::InvalidArgument(
+        "root slot: checksum mismatch (torn or corrupt root write)");
+  }
+  RootCandidate cand;
+  cand.epoch = GetField<std::uint64_t>(page, kOffEpoch);
+  cand.roots.reserve(num_roots);
+  std::size_t off = kRootHeaderSize;
+  for (std::uint16_t i = 0; i < num_roots; ++i) {
+    VersionedRoot r;
+    r.locator.first_page = GetField<std::uint32_t>(page, off + 0);
+    r.locator.num_pages = GetField<std::uint32_t>(page, off + 4);
+    r.locator.num_bytes = GetField<std::uint32_t>(page, off + 8);
+    r.type = SpillValueType(GetField<std::uint32_t>(page, off + 12));
+    off += kRootEntrySize;
+    if (r.locator.first_page < 2 || r.locator.num_pages == 0 ||
+        std::size_t(r.locator.first_page) + r.locator.num_pages >
+            num_device_pages) {
+      return Status::InvalidArgument("root slot: locator outside the device");
+    }
+    if (r.locator.num_pages != SpillPagesNeeded(r.locator.num_bytes)) {
+      return Status::InvalidArgument(
+          "root slot: locator page count disagrees with its byte count");
+    }
+    cand.roots.push_back(r);
+  }
+  // Committed values must occupy disjoint page runs — overlap would make
+  // the free-list derivation (and the zero-leak accounting) ill-defined.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
+  runs.reserve(cand.roots.size());
+  for (const VersionedRoot& r : cand.roots) {
+    runs.emplace_back(r.locator.first_page,
+                      r.locator.first_page + r.locator.num_pages);
+  }
+  std::sort(runs.begin(), runs.end());
+  for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+    if (runs[i].second > runs[i + 1].first) {
+      return Status::InvalidArgument("root slot: locators overlap");
+    }
+  }
+  return cand;
+}
+
+bool PageIsAllZero(const char* page) {
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    if (page[i] != 0) return false;
+  }
+  return true;
+}
+
+template <typename M, typename Validator>
+Status DecodeThenValidate(const FlatValue& flat, Validator&& validator) {
+  Result<M> value = FlatCodec<M>::FromFlat(flat);
+  if (!value.ok()) return value.status();
+  return validator(*value);
+}
+
+}  // namespace
+
+Status DecodeAndValidateRootBlob(SpillValueType type, std::string_view blob) {
+  if (type == SpillValueType::kOpaque) return Status::OK();
+  Result<FlatValue> flat = ParseFlat(blob);
+  if (!flat.ok()) return flat.status();
+  const validate::MappingValidator vmap;
+  switch (type) {
+    case SpillValueType::kMovingBool:
+      return DecodeThenValidate<MovingBool>(*flat, vmap);
+    case SpillValueType::kMovingInt:
+      return DecodeThenValidate<MovingInt>(*flat, vmap);
+    case SpillValueType::kMovingString:
+      return DecodeThenValidate<MovingString>(*flat, vmap);
+    case SpillValueType::kMovingReal:
+      return DecodeThenValidate<MovingReal>(*flat, vmap);
+    case SpillValueType::kMovingPoint:
+      return DecodeThenValidate<MovingPoint>(*flat, vmap);
+    case SpillValueType::kMovingPoints:
+      return DecodeThenValidate<MovingPoints>(*flat, vmap);
+    case SpillValueType::kMovingLine:
+      return DecodeThenValidate<MovingLine>(*flat, vmap);
+    case SpillValueType::kMovingRegion:
+      return DecodeThenValidate<MovingRegion>(*flat, vmap);
+    case SpillValueType::kPeriods:
+      return DecodeThenValidate<Periods>(
+          *flat, [](const Periods& p) { return validate::ValidateRangeSet(p); });
+    case SpillValueType::kLine:
+      return DecodeThenValidate<Line>(
+          *flat, [](const Line& l) { return validate::ValidateLine(l); });
+    case SpillValueType::kRegion:
+      return DecodeThenValidate<Region>(
+          *flat, [](const Region& r) { return validate::ValidateRegion(r); });
+    case SpillValueType::kOpaque:
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown root value type tag " +
+                                 std::to_string(std::uint32_t(type)));
+}
+
+Result<VersionedSpillStore> VersionedSpillStore::Create(
+    const std::string& path) {
+  return Create(path, Options());
+}
+
+Result<VersionedSpillStore> VersionedSpillStore::Open(const std::string& path) {
+  return Open(path, Options());
+}
+
+Result<VersionedSpillStore> VersionedSpillStore::Create(
+    const std::string& path, Options options) {
+  Result<FilePageDevice> dev = FilePageDevice::Create(path);
+  if (!dev.ok()) return dev.status();
+  VersionedSpillStore store;
+  store.device_ = std::make_unique<FilePageDevice>(std::move(*dev));
+  store.options_ = options;
+  Result<std::uint32_t> first = store.device_->AllocatePages(2);
+  if (!first.ok()) return first.status();
+  // Epoch 0 (the empty state) goes to slot 0; slot 1 stays zeroed. The
+  // record write is itself the first commit point: once it is durable,
+  // every later crash recovers to at least this empty epoch.
+  char page[kPageSize];
+  EncodeRootRecord(0, {}, page);
+  MODB_RETURN_IF_ERROR(store.device_->WritePage(kRootSlotPages[0], page));
+  store.pool_ =
+      std::make_unique<BufferPool>(store.device_.get(), options.pool_capacity);
+  store.info_.epoch = 0;
+  return store;
+}
+
+Result<VersionedSpillStore> VersionedSpillStore::Open(const std::string& path,
+                                                      Options options) {
+  Result<FilePageDevice> dev = FilePageDevice::Open(path);
+  if (!dev.ok()) return dev.status();
+  VersionedSpillStore store;
+  store.device_ = std::make_unique<FilePageDevice>(std::move(*dev));
+  store.options_ = options;
+  if (store.device_->NumPages() < 2) {
+    return Status::DataLoss(
+        "store truncated before its root slots existed: " + path);
+  }
+
+  // Scan both root slots. A transient read fault is retried; a short
+  // read (DataLoss — the slot page is a phantom from a torn growth) is
+  // recorded for healing and the slot treated as empty.
+  bool heal_slot[2] = {false, false};
+  std::vector<RootCandidate> candidates;
+  char page[kPageSize];
+  for (int s = 0; s < 2; ++s) {
+    Status read = RetryTransient(options.retry, [&] {
+      return store.device_->ReadPage(kRootSlotPages[s], page);
+    });
+    if (!read.ok()) {
+      if (read.code() != StatusCode::kDataLoss) return read;
+      heal_slot[s] = true;
+      continue;
+    }
+    Result<RootCandidate> cand =
+        DecodeRootRecord(page, store.device_->NumPages());
+    if (cand.ok()) {
+      candidates.push_back(std::move(*cand));
+    } else if (!PageIsAllZero(page)) {
+      ++store.info_.roots_rejected;
+      MODB_COUNTER_INC("storage.recovery.root_rejected");
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RootCandidate& a, const RootCandidate& b) {
+              return a.epoch > b.epoch;
+            });
+
+  store.pool_ =
+      std::make_unique<BufferPool>(store.device_.get(), options.pool_capacity);
+
+  // Newest intact epoch whose every root reads back clean (and, unless
+  // disabled, decodes to a value satisfying the Section-3 invariants)
+  // wins. A candidate failing either check is rejected wholesale and
+  // the older slot gets its turn — that is the "old or new, never a
+  // blend" guarantee.
+  const RootCandidate* chosen = nullptr;
+  Status last_reject = Status::OK();
+  for (const RootCandidate& cand : candidates) {
+    Status usable = Status::OK();
+    for (const VersionedRoot& r : cand.roots) {
+      Result<std::string> blob =
+          RetryTransientResult<std::string>(options.retry, [&] {
+            return ReadSpilledBlob(store.pool_.get(), r.locator);
+          });
+      if (!blob.ok()) {
+        usable = blob.status();
+        break;
+      }
+      if (options.validate_on_open) {
+        usable = DecodeAndValidateRootBlob(r.type, *blob);
+        if (!usable.ok()) break;
+      }
+    }
+    if (usable.ok()) {
+      chosen = &cand;
+      break;
+    }
+    last_reject = usable;
+    ++store.info_.roots_rejected;
+    MODB_COUNTER_INC("storage.recovery.root_rejected");
+  }
+  if (chosen == nullptr) {
+    return Status::DataLoss(
+        "no intact committed state found in " + path +
+        (last_reject.ok() ? std::string()
+                          : ": " + last_reject.ToString()));
+  }
+
+  store.epoch_ = chosen->epoch;
+  store.committed_ = chosen->roots;
+  store.staged_ = store.committed_;
+  store.RecomputeFree();
+
+  // The free list is derived, never persisted: every page unreachable
+  // from the chosen epoch — including shadow pages a crashed commit
+  // orphaned — is reclaimed here.
+  store.info_.orphans_reclaimed = std::uint32_t(store.free_.size());
+  MODB_COUNTER_ADD("storage.recovery.orphans_reclaimed", store.free_.size());
+
+  // Heal phantom pages: the device header admits them but a torn growth
+  // never wrote their bytes, so reads fail until they are materialized.
+  // Both free pages (future shadow targets are pinned, which reads
+  // first) and an unreadable root slot (the next commit's target) must
+  // be healed or the store could never commit again.
+  for (std::uint32_t p : store.free_) {
+    Status probe = RetryTransient(
+        options.retry, [&] { return store.device_->ReadPage(p, page); });
+    if (probe.ok()) continue;
+    if (probe.code() != StatusCode::kDataLoss) return probe;
+    std::memset(page, 0, kPageSize);
+    MODB_RETURN_IF_ERROR(store.device_->WritePage(p, page));
+    ++store.info_.pages_healed;
+    MODB_COUNTER_INC("storage.recovery.pages_healed");
+  }
+  for (int s = 0; s < 2; ++s) {
+    if (!heal_slot[s]) continue;
+    std::memset(page, 0, kPageSize);
+    MODB_RETURN_IF_ERROR(store.device_->WritePage(kRootSlotPages[s], page));
+    ++store.info_.pages_healed;
+    MODB_COUNTER_INC("storage.recovery.pages_healed");
+  }
+
+  store.info_.epoch = store.epoch_;
+  store.info_.num_roots = std::uint32_t(store.committed_.size());
+  MODB_COUNTER_INC("storage.recovery.replays");
+  return store;
+}
+
+void VersionedSpillStore::RecomputeFree() {
+  free_.clear();
+  std::vector<bool> used(device_->NumPages(), false);
+  for (std::uint32_t slot : kRootSlotPages) used[slot] = true;
+  for (const VersionedRoot& r : committed_) {
+    for (std::uint32_t p = 0; p < r.locator.num_pages; ++p) {
+      used[r.locator.first_page + p] = true;
+    }
+  }
+  for (std::size_t p = 0; p < used.size(); ++p) {
+    if (!used[p]) free_.push_back(std::uint32_t(p));
+  }
+}
+
+Result<std::uint32_t> VersionedSpillStore::AllocateRun(std::uint32_t n) {
+  if (n > 0 && free_.size() >= n) {
+    std::sort(free_.begin(), free_.end());
+    std::size_t start = 0;
+    for (std::size_t i = 1; i <= free_.size(); ++i) {
+      if (i == free_.size() || free_[i] != free_[i - 1] + 1) {
+        if (i - start >= n) {
+          std::uint32_t first = free_[start];
+          free_.erase(free_.begin() + std::ptrdiff_t(start),
+                      free_.begin() + std::ptrdiff_t(start + n));
+          MODB_COUNTER_ADD("storage.recovery.pages_reused", n);
+          return first;
+        }
+        start = i;
+      }
+    }
+  }
+  return device_->AllocatePages(n);
+}
+
+Result<SpillLocator> VersionedSpillStore::StageBlobPages(
+    std::string_view blob) {
+  if (blob.size() > std::size_t(std::uint32_t(-1))) {
+    return Status::InvalidArgument("blob too large to spill");
+  }
+  Result<std::uint32_t> first = AllocateRun(SpillPagesNeeded(blob.size()));
+  if (!first.ok()) return first.status();
+  return SpillBlobToPages(pool_.get(), *first, blob);
+}
+
+Result<std::size_t> VersionedSpillStore::StageBlob(std::string_view blob,
+                                                   SpillValueType type) {
+  if (abandoned_) return Status::FailedPrecondition("store was abandoned");
+  if (staged_.size() >= kMaxRootsPerStore) {
+    return Status::FailedPrecondition("root record is full");
+  }
+  Result<SpillLocator> loc = StageBlobPages(blob);
+  if (!loc.ok()) return loc.status();
+  staged_.push_back(VersionedRoot{*loc, type});
+  return staged_.size() - 1;
+}
+
+Status VersionedSpillStore::RestageBlob(std::size_t root_index,
+                                        std::string_view blob,
+                                        SpillValueType type) {
+  if (abandoned_) return Status::FailedPrecondition("store was abandoned");
+  if (root_index >= staged_.size()) {
+    return Status::OutOfRange("root index out of range");
+  }
+  Result<SpillLocator> loc = StageBlobPages(blob);
+  if (!loc.ok()) return loc.status();
+  staged_[root_index] = VersionedRoot{*loc, type};
+  return Status::OK();
+}
+
+Status VersionedSpillStore::Commit() {
+  if (abandoned_) return Status::FailedPrecondition("store was abandoned");
+  // Phase 1: every staged data page durable. Only then may the root
+  // record mention them — flushing in the other order could persist a
+  // root that points at pages the crash never wrote.
+  MODB_RETURN_IF_ERROR(pool_->FlushAll());
+  const std::uint64_t next = epoch_ + 1;
+  {
+    Result<BufferPool::PageRef> slot =
+        pool_->Pin(kRootSlotPages[next % 2]);
+    if (!slot.ok()) return slot.status();
+    EncodeRootRecord(next, staged_, slot->mutable_data());
+  }
+  // Phase 2: the root record is the only dirty page left; this flush is
+  // the single-page commit point.
+  MODB_RETURN_IF_ERROR(pool_->FlushAll());
+  epoch_ = next;
+  committed_ = staged_;
+  RecomputeFree();
+  MODB_COUNTER_INC("storage.recovery.commits");
+  return Status::OK();
+}
+
+Result<std::string> VersionedSpillStore::ReadRootBlob(std::size_t i) {
+  if (abandoned_) return Status::FailedPrecondition("store was abandoned");
+  if (i >= committed_.size()) {
+    return Status::OutOfRange("root index out of range");
+  }
+  const SpillLocator loc = committed_[i].locator;
+  return RetryTransientResult<std::string>(
+      options_.retry, [&] { return ReadSpilledBlob(pool_.get(), loc); });
+}
+
+Status VersionedSpillStore::Abandon() {
+  abandoned_ = true;
+  return pool_->DiscardAll();
+}
+
+Status VersionedSpillStore::VerifyAccounting() const {
+  std::size_t reachable = 0;
+  for (const VersionedRoot& r : committed_) reachable += r.locator.num_pages;
+  const std::size_t total = device_->NumPages();
+  if (2 + reachable + free_.size() != total) {
+    return Status::Internal(
+        "page accounting broken: 2 slots + " + std::to_string(reachable) +
+        " reachable + " + std::to_string(free_.size()) + " free != " +
+        std::to_string(total) + " device pages");
+  }
+  return Status::OK();
+}
+
+}  // namespace modb

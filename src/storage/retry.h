@@ -1,0 +1,87 @@
+// Bounded exponential backoff for transient storage I/O errors.
+//
+// The storage layer distinguishes *transient* failures (kInternal — the
+// device hiccuped; the same I/O may succeed a moment later) from
+// *permanent* ones (kDataLoss, kInvalidArgument, kOutOfRange — the bytes
+// are gone or the request is wrong; retrying cannot help). Recovery and
+// other availability-critical readers wrap their device reads in
+// RetryTransient so a single flaky read does not fail a whole Recover(),
+// while corruption still surfaces immediately.
+//
+// Attempts and outcomes land in the metrics registry
+// (storage.retry.{attempts,retries,successes_after_retry,exhausted}).
+
+#ifndef MODB_STORAGE_RETRY_H_
+#define MODB_STORAGE_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "core/status.h"
+#include "obs/metrics.h"
+
+namespace modb {
+
+/// Backoff schedule: attempt k (0-based) sleeps
+/// min(base_delay_micros << k, max_delay_micros) before retrying, up to
+/// max_attempts total tries. Tests set base_delay_micros = 0 so a
+/// retried campaign stays fast.
+struct RetryPolicy {
+  int max_attempts = 4;
+  std::int64_t base_delay_micros = 100;
+  std::int64_t max_delay_micros = 10'000;
+};
+
+/// True for errors the storage layer treats as transient and retryable.
+inline bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kInternal;
+}
+
+/// Runs `fn` (a () -> Status callable) up to policy.max_attempts times,
+/// sleeping with bounded exponential backoff between attempts. Non-OK
+/// results that are not transient return immediately; a transient error
+/// on the last attempt is returned as-is ("exhausted").
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, Fn&& fn) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Status last;
+  for (int k = 0; k < attempts; ++k) {
+    MODB_COUNTER_INC("storage.retry.attempts");
+    last = fn();
+    if (last.ok()) {
+      if (k > 0) MODB_COUNTER_INC("storage.retry.successes_after_retry");
+      return last;
+    }
+    if (!IsTransient(last)) return last;
+    if (k + 1 == attempts) break;
+    MODB_COUNTER_INC("storage.retry.retries");
+    std::int64_t delay = policy.base_delay_micros;
+    if (delay > 0) {
+      for (int i = 0; i < k && delay < policy.max_delay_micros; ++i) {
+        delay *= 2;
+      }
+      if (delay > policy.max_delay_micros) delay = policy.max_delay_micros;
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
+  MODB_COUNTER_INC("storage.retry.exhausted");
+  return last;
+}
+
+/// Result<T> flavor: `fn` is a () -> Result<T> callable.
+template <typename T, typename Fn>
+Result<T> RetryTransientResult(const RetryPolicy& policy, Fn&& fn) {
+  Result<T> out = Status::Internal("retry never ran");
+  Status s = RetryTransient(policy, [&] {
+    out = fn();
+    return out.ok() ? Status::OK() : out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace modb
+
+#endif  // MODB_STORAGE_RETRY_H_

@@ -32,7 +32,37 @@ SpillPageHeader GetHeader(const char* page) {
   return h;
 }
 
+// Frames one page of `blob` (the slice starting at page index `seq`)
+// into `page`: zero fill, payload copy, checksummed header.
+void FillSpillPage(char* page, std::uint32_t seq, std::string_view blob) {
+  std::size_t off = std::size_t(seq) * kSpillPayloadSize;
+  std::size_t len =
+      off < blob.size() ? std::min(kSpillPayloadSize, blob.size() - off) : 0;
+  std::memset(page, 0, kPageSize);
+  std::memcpy(page + kSpillHeaderSize, blob.data() + off, len);
+  SpillPageHeader h;
+  h.magic = kSpillMagic;
+  h.version = kSpillVersion;
+  h.flags = seq == 0 ? kSpillFlagFirstPage : 0;
+  h.payload_len = std::uint16_t(len);
+  h.seq = seq;
+  h.crc = Crc32(page + kSpillHeaderSize, len);
+  PutHeader(page, h);
+}
+
+std::uint32_t PagesForBlob(std::string_view blob) {
+  std::uint32_t n =
+      std::uint32_t((blob.size() + kSpillPayloadSize - 1) / kSpillPayloadSize);
+  return n == 0 ? 1 : n;  // an empty value still roots
+}
+
 }  // namespace
+
+std::uint32_t SpillPagesNeeded(std::size_t num_bytes) {
+  std::uint32_t n =
+      std::uint32_t((num_bytes + kSpillPayloadSize - 1) / kSpillPayloadSize);
+  return n == 0 ? 1 : n;
+}
 
 std::uint32_t Crc32(const char* data, std::size_t n) {
   static const std::array<std::uint32_t, 256> table = [] {
@@ -56,29 +86,36 @@ std::uint32_t Crc32(const char* data, std::size_t n) {
 Result<SpillLocator> SpillBlob(PageDevice* device, std::string_view blob) {
   SpillLocator loc;
   loc.num_bytes = std::uint32_t(blob.size());
-  loc.num_pages =
-      std::uint32_t((blob.size() + kSpillPayloadSize - 1) / kSpillPayloadSize);
-  if (loc.num_pages == 0) loc.num_pages = 1;  // an empty value still roots
+  loc.num_pages = PagesForBlob(blob);
   Result<std::uint32_t> first = device->AllocatePages(loc.num_pages);
   if (!first.ok()) return first.status();
   loc.first_page = *first;
 
   char page[kPageSize];
   for (std::uint32_t i = 0; i < loc.num_pages; ++i) {
-    std::size_t off = std::size_t(i) * kSpillPayloadSize;
-    std::size_t len =
-        off < blob.size() ? std::min(kSpillPayloadSize, blob.size() - off) : 0;
-    std::memset(page, 0, kPageSize);
-    std::memcpy(page + kSpillHeaderSize, blob.data() + off, len);
-    SpillPageHeader h;
-    h.magic = kSpillMagic;
-    h.version = kSpillVersion;
-    h.flags = i == 0 ? kSpillFlagFirstPage : 0;
-    h.payload_len = std::uint16_t(len);
-    h.seq = i;
-    h.crc = Crc32(page + kSpillHeaderSize, len);
-    PutHeader(page, h);
+    FillSpillPage(page, i, blob);
     MODB_RETURN_IF_ERROR(device->WritePage(loc.first_page + i, page));
+  }
+  MODB_COUNTER_INC("storage.spill.values_spilled");
+  MODB_COUNTER_ADD("storage.spill.pages_spilled", loc.num_pages);
+  MODB_COUNTER_ADD("storage.spill.bytes_spilled", blob.size());
+  return loc;
+}
+
+Result<SpillLocator> SpillBlobToPages(BufferPool* pool,
+                                      std::uint32_t first_page,
+                                      std::string_view blob) {
+  SpillLocator loc;
+  loc.first_page = first_page;
+  loc.num_bytes = std::uint32_t(blob.size());
+  loc.num_pages = PagesForBlob(blob);
+  if (std::size_t(first_page) + loc.num_pages > pool->NumDevicePages()) {
+    return Status::OutOfRange("spill target pages beyond the device");
+  }
+  for (std::uint32_t i = 0; i < loc.num_pages; ++i) {
+    Result<BufferPool::PageRef> ref = pool->Pin(first_page + i);
+    if (!ref.ok()) return ref.status();
+    FillSpillPage(ref->mutable_data(), i, blob);
   }
   MODB_COUNTER_INC("storage.spill.values_spilled");
   MODB_COUNTER_ADD("storage.spill.pages_spilled", loc.num_pages);
@@ -88,9 +125,21 @@ Result<SpillLocator> SpillBlob(PageDevice* device, std::string_view blob) {
 
 Result<std::string> ReadSpilledBlob(BufferPool* pool,
                                     const SpillLocator& loc) {
+  if (loc.num_pages == 0) {
+    // Even an empty value roots one page (SpillPagesNeeded(0) == 1); a
+    // zero-page locator never came from a spill.
+    return Status::InvalidArgument("spill locator with zero pages");
+  }
   if (std::size_t(loc.num_bytes) >
       std::size_t(loc.num_pages) * kSpillPayloadSize) {
     return Status::InvalidArgument("spill locator byte count exceeds pages");
+  }
+  // Validate an untrusted locator against the device before sizing any
+  // allocation: a fuzzed num_pages/num_bytes must yield an error, not a
+  // multi-gigabyte reserve (bad_alloc).
+  if (std::size_t(loc.first_page) + loc.num_pages > pool->NumDevicePages()) {
+    MODB_COUNTER_INC("storage.spill.header_rejects");
+    return Status::OutOfRange("spill locator pages beyond the device");
   }
   std::string out;
   out.reserve(loc.num_bytes);

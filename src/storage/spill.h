@@ -48,9 +48,23 @@ struct SpillLocator {
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `n` bytes.
 std::uint32_t Crc32(const char* data, std::size_t n);
 
+/// Pages needed to spill a blob of `num_bytes` (an empty blob still
+/// roots one page).
+std::uint32_t SpillPagesNeeded(std::size_t num_bytes);
+
 /// Writes `blob` into freshly allocated pages of `device`, each prefixed
 /// with a checksummed header.
 Result<SpillLocator> SpillBlob(PageDevice* device, std::string_view blob);
+
+/// Writes `blob` into `SpillPagesNeeded(blob.size())` consecutive
+/// already-allocated pages starting at `first_page`, going through the
+/// pool (pages are pinned, overwritten, and marked dirty — durable after
+/// the pool flushes). This is the shadow-paging write path: the
+/// versioned store stages new value versions into free pages with it and
+/// the cache stays coherent because the pool sees every byte.
+Result<SpillLocator> SpillBlobToPages(BufferPool* pool,
+                                      std::uint32_t first_page,
+                                      std::string_view blob);
 
 /// Reads a spilled blob back through the pool, verifying every page's
 /// magic, version, sequence number, payload length, and checksum. Any
@@ -89,6 +103,10 @@ MODB_SPILL_CODEC(MovingPoint, MovingPointFromFlat);
 MODB_SPILL_CODEC(MovingPoints, MovingPointsFromFlat);
 MODB_SPILL_CODEC(MovingLine, MovingLineFromFlat);
 MODB_SPILL_CODEC(MovingRegion, MovingRegionFromFlat);
+// Non-mapping attribute types the versioned store can also root.
+MODB_SPILL_CODEC(Periods, PeriodsFromFlat);
+MODB_SPILL_CODEC(Line, LineFromFlat);
+MODB_SPILL_CODEC(Region, RegionFromFlat);
 #undef MODB_SPILL_CODEC
 
 /// A load-on-demand handle to one spilled value. Holds only the locator
@@ -123,9 +141,35 @@ class Spilled {
       Result<M> value = FlatCodec<M>::FromFlat(*flat);
       if (!value.ok()) return value.status();
       cached_.emplace(std::move(*value));
-      if (build_search_index) cached_->BuildSearchIndex();
+      // Non-mapping attribute types (Periods, Line, Region) have no
+      // search index; the flag is simply ignored for them.
+      if constexpr (requires(M& m) { m.BuildSearchIndex(); }) {
+        if (build_search_index) cached_->BuildSearchIndex();
+      }
     }
     return &*cached_;
+  }
+
+  /// Load with a structural validation pass (e.g.
+  /// validate::MappingValidator from src/validate/validate.h) run over
+  /// the decoded value before it is memoized: a value that violates the
+  /// Section-3 invariants is never served. `validator` is any callable
+  /// `const M& -> Status`. Costs one extra pass at decode time only —
+  /// warm calls return the memoized value untouched.
+  template <typename Validator>
+  Result<const M*> LoadValidated(BufferPool* pool, Validator&& validator,
+                                 bool build_search_index = false) {
+    const bool was_loaded = cached_.has_value();
+    Result<const M*> loaded = Load(pool, build_search_index);
+    if (!loaded.ok()) return loaded;
+    if (!was_loaded) {
+      Status valid = validator(**loaded);
+      if (!valid.ok()) {
+        cached_.reset();  // never serve (or cache) an invalid value
+        return valid;
+      }
+    }
+    return loaded;
   }
 
   /// Drops the decoded value (the pages stay on the device, and possibly

@@ -1,0 +1,130 @@
+#include "validate/validate.h"
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+namespace modb {
+namespace validate {
+
+namespace internal {
+
+Status Violation(std::string message) {
+  MODB_COUNTER_INC("validate.violations");
+  return Status::InvalidArgument(std::move(message));
+}
+
+void RecordCheck() { MODB_COUNTER_INC("validate.checks"); }
+
+}  // namespace internal
+
+Status ValidateHalfSegmentOrder(const std::vector<HalfSegment>& hs) {
+  internal::RecordCheck();
+  if (hs.size() % 2 != 0) {
+    return internal::Violation("halfsegment array has odd length " +
+                               std::to_string(hs.size()) +
+                               "; every segment must appear twice");
+  }
+  for (std::size_t i = 0; i + 1 < hs.size(); ++i) {
+    if (!HalfSegmentLess(hs[i], hs[i + 1])) {
+      return internal::Violation(
+          "halfsegments out of ROSE order at index " + std::to_string(i) +
+          ": " + hs[i].seg.ToString() + " must sort strictly before " +
+          hs[i + 1].seg.ToString());
+    }
+  }
+  // Pairing: each underlying segment exactly once per dominance side.
+  std::map<Seg, std::pair<int, int>> sides;  // seg -> (left, right) counts
+  for (const HalfSegment& h : hs) {
+    std::pair<int, int>& c = sides[h.seg];
+    (h.left_dominating ? c.first : c.second) += 1;
+  }
+  for (const auto& [seg, c] : sides) {
+    if (c.first != 1 || c.second != 1) {
+      return internal::Violation(
+          "segment " + seg.ToString() + " appears " +
+          std::to_string(c.first) + " time(s) left-dominating and " +
+          std::to_string(c.second) +
+          " time(s) right-dominating; each side must appear exactly once");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateLine(const Line& line) {
+  internal::RecordCheck();
+  const std::vector<Seg>& segs = line.segments();
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    if (!(segs[i] < segs[i + 1])) {
+      return internal::Violation(
+          "line segments not strictly ascending at index " +
+          std::to_string(i) + ": " + segs[i].ToString() +
+          " must sort strictly before " + segs[i + 1].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateRegion(const Region& region) {
+  MODB_RETURN_IF_ERROR(ValidateHalfSegmentOrder(region.halfsegments()));
+  internal::RecordCheck();
+  const std::vector<HalfSegment>& hs = region.halfsegments();
+  const auto num_hs = std::int32_t(hs.size());
+  const auto num_cycles = std::int32_t(region.NumCycles());
+  const auto num_faces = std::int32_t(region.NumFaces());
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    const HalfSegment& h = hs[i];
+    if (h.cycle < 0 || h.cycle >= num_cycles) {
+      return internal::Violation("halfsegment " + std::to_string(i) +
+                                 " has cycle link " + std::to_string(h.cycle) +
+                                 " outside [0, " + std::to_string(num_cycles) +
+                                 ")");
+    }
+    if (h.face < 0 || h.face >= num_faces) {
+      return internal::Violation("halfsegment " + std::to_string(i) +
+                                 " has face link " + std::to_string(h.face) +
+                                 " outside [0, " + std::to_string(num_faces) +
+                                 ")");
+    }
+    if (h.next_in_cycle < 0 || h.next_in_cycle >= num_hs) {
+      return internal::Violation(
+          "halfsegment " + std::to_string(i) + " has next-in-cycle link " +
+          std::to_string(h.next_in_cycle) + " outside [0, " +
+          std::to_string(num_hs) + ")");
+    }
+  }
+  for (std::size_t c = 0; c < region.cycles().size(); ++c) {
+    const CycleRecord& rec = region.cycles()[c];
+    if (rec.first_halfsegment < 0 || rec.first_halfsegment >= num_hs) {
+      return internal::Violation(
+          "cycle " + std::to_string(c) + " has first-halfsegment link " +
+          std::to_string(rec.first_halfsegment) + " outside [0, " +
+          std::to_string(num_hs) + ")");
+    }
+    if (rec.face < 0 || rec.face >= num_faces) {
+      return internal::Violation("cycle " + std::to_string(c) +
+                                 " has face link " + std::to_string(rec.face) +
+                                 " outside [0, " + std::to_string(num_faces) +
+                                 ")");
+    }
+    if (rec.next_cycle_in_face < -1 || rec.next_cycle_in_face >= num_cycles) {
+      return internal::Violation(
+          "cycle " + std::to_string(c) + " has next-cycle link " +
+          std::to_string(rec.next_cycle_in_face) + " outside [-1, " +
+          std::to_string(num_cycles) + ")");
+    }
+  }
+  for (std::size_t f = 0; f < region.faces().size(); ++f) {
+    const FaceRecord& rec = region.faces()[f];
+    if (rec.first_cycle < 0 || rec.first_cycle >= num_cycles) {
+      return internal::Violation(
+          "face " + std::to_string(f) + " has first-cycle link " +
+          std::to_string(rec.first_cycle) + " outside [0, " +
+          std::to_string(num_cycles) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace validate
+}  // namespace modb

@@ -5,8 +5,11 @@
 #include <cstddef>
 #include <string>
 
+#include "core/range_set.h"
 #include "db/parallel.h"
 #include "obs/json.h"
+#include "storage/recovery.h"
+#include "validate/validate.h"
 
 namespace modb {
 namespace obs {
@@ -114,6 +117,64 @@ TEST(MetricsRegistry, MacrosHitTheGlobalRegistry) {
   for (int i = 0; i < 5; ++i) MODB_COUNTER_INC("test.macro_counter");
   MODB_COUNTER_ADD("test.macro_counter", 10);
   EXPECT_EQ(c->value(), before + 15);
+}
+
+// The recovery and validation subsystems must flush their counters to
+// the global registry — CI dashboards (tools/verify.sh) read them from
+// the ToJson() export, so a silently-dead counter is an observability
+// regression even when the code paths themselves work.
+TEST(MetricsRegistry, RecoveryAndValidationCountersFlush) {
+  Metrics& g = Metrics::Global();
+  const std::uint64_t checks0 = g.counter("validate.checks")->value();
+  const std::uint64_t violations0 = g.counter("validate.violations")->value();
+  const std::uint64_t replays0 =
+      g.counter("storage.recovery.replays")->value();
+  const std::uint64_t orphans0 =
+      g.counter("storage.recovery.orphans_reclaimed")->value();
+  const std::uint64_t rejected0 =
+      g.counter("storage.recovery.root_rejected")->value();
+
+  // A failing invariant check bumps both validate counters.
+  Periods overlapping = Periods::MakeTrusted(
+      {*TimeInterval::Make(0, 5, true, false),
+       *TimeInterval::Make(3, 8, true, false)});
+  EXPECT_FALSE(validate::ValidateRangeSet(overlapping).ok());
+  EXPECT_GT(g.counter("validate.checks")->value(), checks0);
+  EXPECT_GT(g.counter("validate.violations")->value(), violations0);
+
+  // One commit + abandoned restage + reopen: the recovery replay runs
+  // and reclaims the abandoned shadow pages as orphans.
+  const std::string path =
+      ::testing::TempDir() + "/modb_metrics_recovery.bin";
+  {
+    auto store = VersionedSpillStore::Create(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store->StageBlob(std::string(9000, 'm'),
+                                 SpillValueType::kOpaque).ok());
+    ASSERT_TRUE(store->Commit().ok());
+    ASSERT_TRUE(store->RestageBlob(0, std::string(9000, 'n'),
+                                   SpillValueType::kOpaque).ok());
+    ASSERT_TRUE(store->Abandon().ok());
+  }
+  {
+    auto reopened = VersionedSpillStore::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    EXPECT_GT(reopened->recovery_info().orphans_reclaimed, 0u);
+  }
+  EXPECT_GT(g.counter("storage.recovery.replays")->value(), replays0);
+  EXPECT_GT(g.counter("storage.recovery.orphans_reclaimed")->value(),
+            orphans0);
+
+  // A garbage root slot bumps the rejection counter on the next open.
+  {
+    auto dev = FilePageDevice::Open(path);
+    ASSERT_TRUE(dev.ok());
+    char junk[kPageSize];
+    for (std::size_t i = 0; i < kPageSize; ++i) junk[i] = char(i * 3 + 1);
+    ASSERT_TRUE(dev->WritePage(kRootSlotPages[0], junk).ok());
+  }
+  ASSERT_TRUE(VersionedSpillStore::Open(path).ok());
+  EXPECT_GT(g.counter("storage.recovery.root_rejected")->value(), rejected0);
 }
 
 #else  // MODB_NO_METRICS

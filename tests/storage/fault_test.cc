@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
+#include "storage/retry.h"
 #include "storage/spill.h"
 
 namespace modb {
@@ -174,6 +176,58 @@ TEST_F(FaultTest, TornFileGrowthFailsLaterReads) {
   char page[kPageSize];
   EXPECT_TRUE(device->ReadPage(0, page).ok());
   EXPECT_FALSE(device->ReadPage(3, page).ok());
+}
+
+TEST_F(FaultTest, ShortReadReportsDataLossWithOffsetAndCounts) {
+  const std::string path = ::testing::TempDir() + "/modb_fault_short_read.bin";
+  auto device = FilePageDevice::Create(path);
+  ASSERT_TRUE(device.ok()) << device.status();
+  FaultInjector::Global().Disarm();
+  // Tear the growth after one page: pages 1..3 are phantoms the header
+  // admits but the file never materialized.
+  FaultInjector::Global().TearNth(0, kPageSize);
+  ASSERT_TRUE(device->AllocatePages(4).ok());
+
+  char page[kPageSize];
+  Status lost = device->ReadPage(3, page);
+  ASSERT_FALSE(lost.ok());
+  // A short read is permanent data loss — retrying cannot help — and the
+  // Status must carry enough detail to locate the hole: file, byte
+  // offset (24-byte header + 3 pages), expected and actual counts.
+  EXPECT_EQ(lost.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(IsTransient(lost));
+  EXPECT_NE(lost.message().find(path), std::string::npos) << lost;
+  EXPECT_NE(lost.message().find("offset " + std::to_string(24 + 3 * kPageSize)),
+            std::string::npos)
+      << lost;
+  EXPECT_NE(lost.message().find("expected " + std::to_string(kPageSize)),
+            std::string::npos)
+      << lost;
+  EXPECT_NE(lost.message().find("got "), std::string::npos) << lost;
+}
+
+TEST_F(FaultTest, ExternallyTruncatedFileReadsAsDataLoss) {
+  const std::string path = ::testing::TempDir() + "/modb_fault_truncated.bin";
+  auto device = FilePageDevice::Create(path);
+  ASSERT_TRUE(device.ok()) << device.status();
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(device->AllocatePages(2).ok());
+  char page[kPageSize];
+  for (std::size_t i = 0; i < kPageSize; ++i) page[i] = 'x';
+  ASSERT_TRUE(device->WritePage(1, page).ok());
+
+  // Cut the file mid-way through page 1, as a crashed filesystem might.
+  std::filesystem::resize_file(path, 24 + kPageSize + 100);
+
+  Status lost = device->ReadPage(1, page);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.code(), StatusCode::kDataLoss);
+  EXPECT_NE(lost.message().find("offset " + std::to_string(24 + kPageSize)),
+            std::string::npos)
+      << lost;
+  EXPECT_NE(lost.message().find("got 100"), std::string::npos) << lost;
+  // Page 0 is still intact: the loss report is per-page, not per-file.
+  EXPECT_TRUE(device->ReadPage(0, page).ok());
 }
 
 TEST_F(FaultTest, TornSaveToFileIsRejectedOnLoad) {

@@ -1,0 +1,180 @@
+#include "validate/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/range_set.h"
+#include "spatial/halfsegment.h"
+#include "spatial/line.h"
+#include "spatial/region.h"
+#include "temporal/const_unit.h"
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+TimeInterval IV(double s, double e, bool lc = true, bool rc = false) {
+  return *TimeInterval::Make(s, e, lc, rc);
+}
+
+UInt U(double s, double e, std::int64_t v) {
+  return *UInt::Make(IV(s, e), v);
+}
+
+Seg S(double ax, double ay, double bx, double by) {
+  return *Seg::Make(Point(ax, ay), Point(bx, by));
+}
+
+// -- range(α) ----------------------------------------------------------------
+
+TEST(ValidateRangeSet, CanonicalSetPasses) {
+  Periods p = Periods::FromIntervals({IV(0, 1, true, true), IV(3, 5)});
+  EXPECT_TRUE(validate::ValidateRangeSet(p).ok());
+  EXPECT_TRUE(validate::ValidateRangeSet(Periods()).ok());
+}
+
+TEST(ValidateRangeSet, RejectsOverlappingIntervals) {
+  Periods bad = Periods::MakeTrusted({IV(0, 5), IV(3, 8)});
+  Status s = validate::ValidateRangeSet(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("overlap"), std::string::npos);
+}
+
+TEST(ValidateRangeSet, RejectsOutOfOrderIntervals) {
+  Periods bad = Periods::MakeTrusted({IV(10, 12), IV(0, 1)});
+  Status s = validate::ValidateRangeSet(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("order"), std::string::npos);
+}
+
+TEST(ValidateRangeSet, RejectsAdjacentIntervals) {
+  // [0,1) and [1,2) are disjoint but adjacent: a canonical range value
+  // must have merged them.
+  Periods bad = Periods::MakeTrusted({IV(0, 1), IV(1, 2)});
+  Status s = validate::ValidateRangeSet(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("adjacent"), std::string::npos);
+}
+
+// -- mapping(U) --------------------------------------------------------------
+
+TEST(ValidateMapping, ValidMappingPasses) {
+  Result<MovingInt> m = MovingInt::Make({U(0, 1, 7), U(1, 2, 8), U(4, 5, 7)});
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(validate::ValidateMapping(*m).ok());
+  EXPECT_TRUE(validate::ValidateMapping(MovingInt()).ok());
+}
+
+TEST(ValidateMapping, RejectsOverlappingUnitIntervals) {
+  MovingInt bad = MovingInt::MakeTrusted({U(0, 5, 1), U(3, 8, 2)});
+  Status s = validate::ValidateMapping(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("overlap"), std::string::npos);
+}
+
+TEST(ValidateMapping, RejectsUnitsOutOfTimeOrder) {
+  MovingInt bad = MovingInt::MakeTrusted({U(4, 5, 1), U(0, 1, 2)});
+  Status s = validate::ValidateMapping(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("order"), std::string::npos);
+}
+
+TEST(ValidateMapping, RejectsAdjacentUnitsWithEqualValue) {
+  // Adjacent intervals carrying the same unit function violate the
+  // minimality clause of the mapping constraint (Section 3.2.4).
+  MovingInt bad = MovingInt::MakeTrusted({U(0, 1, 7), U(1, 2, 7)});
+  Status s = validate::ValidateMapping(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("equal unit function"), std::string::npos);
+}
+
+TEST(ValidateMapping, AcceptsAdjacentUnitsWithDistinctValues) {
+  MovingInt good = MovingInt::MakeTrusted({U(0, 1, 7), U(1, 2, 8)});
+  EXPECT_TRUE(validate::ValidateMapping(good).ok());
+}
+
+// -- halfsegment order -------------------------------------------------------
+
+TEST(ValidateHalfSegments, SortedPairedArrayPasses) {
+  std::vector<HalfSegment> hs =
+      MakeHalfSegments({S(0, 0, 2, 0), S(2, 0, 2, 2), S(0, 0, 2, 2)});
+  EXPECT_TRUE(validate::ValidateHalfSegmentOrder(hs).ok());
+  EXPECT_TRUE(validate::ValidateHalfSegmentOrder({}).ok());
+}
+
+TEST(ValidateHalfSegments, RejectsUnorderedArray) {
+  std::vector<HalfSegment> hs =
+      MakeHalfSegments({S(0, 0, 2, 0), S(2, 0, 2, 2), S(0, 0, 2, 2)});
+  std::swap(hs[0], hs[3]);
+  Status s = validate::ValidateHalfSegmentOrder(hs);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ROSE order"), std::string::npos);
+}
+
+TEST(ValidateHalfSegments, RejectsOddLength) {
+  std::vector<HalfSegment> hs = MakeHalfSegments({S(0, 0, 2, 0)});
+  hs.pop_back();
+  Status s = validate::ValidateHalfSegmentOrder(hs);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("odd length"), std::string::npos);
+}
+
+TEST(ValidateHalfSegments, RejectsUnpairedSegment) {
+  // Drop the right-dominating halves of two different segments: the
+  // array stays even-length and strictly ROSE-ordered, but each of
+  // those segments now appears with only one dominance.
+  std::vector<HalfSegment> hs =
+      MakeHalfSegments({S(0, 0, 2, 0), S(0, 1, 2, 1), S(0, 2, 2, 2)});
+  hs.erase(std::remove_if(hs.begin(), hs.end(),
+                          [](const HalfSegment& h) {
+                            return !h.left_dominating && h.seg.a().y > 0;
+                          }),
+           hs.end());
+  ASSERT_EQ(hs.size(), 4u);
+  Status s = validate::ValidateHalfSegmentOrder(hs);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("exactly once"), std::string::npos);
+}
+
+// -- line / region -----------------------------------------------------------
+
+TEST(ValidateLine, ValidLinePasses) {
+  Result<Line> line = Line::Make({S(0, 0, 1, 1), S(2, 2, 3, 3)});
+  ASSERT_TRUE(line.ok());
+  EXPECT_TRUE(validate::ValidateLine(*line).ok());
+  EXPECT_TRUE(validate::ValidateLine(Line()).ok());
+}
+
+TEST(ValidateRegion, ValidRegionPasses) {
+  Result<Region> region = Region::FromPolygon(
+      {Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)});
+  ASSERT_TRUE(region.ok());
+  EXPECT_TRUE(validate::ValidateRegion(*region).ok());
+  EXPECT_TRUE(validate::ValidateRegion(Region()).ok());
+}
+
+TEST(ValidateRegion, RejectsUnorderedStoredHalfsegments) {
+  Result<Region> region = Region::FromPolygon(
+      {Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)});
+  ASSERT_TRUE(region.ok());
+  std::vector<HalfSegment> hs = region->halfsegments();
+  ASSERT_GE(hs.size(), 2u);
+  std::swap(hs.front(), hs.back());
+  Result<Region> rebuilt =
+      Region::FromParts(hs, region->cycles(), region->faces(), region->Area(),
+                        region->Perimeter(), region->BoundingBox());
+  // The trusted reassembly path only bounds-checks links; the validator
+  // must be the one to notice the broken ROSE order.
+  ASSERT_TRUE(rebuilt.ok());
+  Status s = validate::ValidateRegion(*rebuilt);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ROSE order"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace modb

@@ -13,6 +13,27 @@ if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan-metrics nometrics)
 fi
 
+declare -A preset_dirs=(
+  [default]=build [asan]=build-asan
+  [asan-metrics]=build-asan-metrics [nometrics]=build-nometrics
+)
+
+# Crash-point enumeration (storage/crash_campaign.h): every device I/O
+# of a commit workload is crashed — hard fail and torn write — and
+# recovery must land on a committed state with zero leaked pages. Runs
+# on every fault-enabled preset (crashloop self-reports a skip on
+# nometrics, where the hooks are compiled out); the one-line JSON
+# summary is gated through json_check like the bench exports.
+run_crashloop() {
+  local preset="$1" dir="${preset_dirs[$1]:-build}"
+  [ -x "$dir/tools/crashloop" ] || return 0
+  echo "==== [$preset] crash campaign ===="
+  local out="$dir/CRASHLOOP_${preset}.json"
+  "$dir/tools/crashloop" "$dir/crashloop_scratch.bin" | tee "$out"
+  "$dir/tools/json_check" "$out"
+  rm -f "$dir/crashloop_scratch.bin"
+}
+
 jobs=$(nproc 2>/dev/null || echo 4)
 for preset in "${presets[@]}"; do
   echo "==== [$preset] configure ===="
@@ -21,6 +42,7 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   echo "==== [$preset] test ===="
   ctest --preset "$preset" -j "$jobs"
+  run_crashloop "$preset"
 done
 
 # Perf smoke on the default (RelWithDebInfo) build: export the key
