@@ -7,18 +7,101 @@
 // The output path comes from $MODB_METRICS_OUT (set by the <name>_json
 // CMake targets); without it the dump goes to stderr so ad-hoc runs
 // still surface the numbers.
+//
+// Two extras for the honest-benchmark rig:
+//  - Every run stamps "modb_build_type" into the benchmark JSON context
+//    from the CMake config that compiled THIS binary. The library_build_type
+//    field only describes how libbenchmark was built (a debug package on
+//    Debian), so bench_compare --require-release trusts this key instead.
+//  - `--modb_threads=1,2,4,8` selects the thread counts for binaries that
+//    define RegisterScalingBenchmarks (bench_scaling). The flag is consumed
+//    here before benchmark::Initialize sees it; registration must happen
+//    before Initialize so runtime-registered benchmarks honour filters.
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
+#ifndef MODB_BUILD_TYPE
+#define MODB_BUILD_TYPE "unknown"
+#endif
+
+namespace modb_bench {
+
+// Weak default so binaries without a scaling translation unit link; the
+// strong definition in bench_scaling.cc registers the sweep.
+__attribute__((weak)) void RegisterScalingBenchmarks(
+    const std::vector<int>& threads) {
+  (void)threads;
+}
+
+namespace {
+
+// Parses "1,2,4,8"; returns false (leaving out untouched) on anything
+// that is not a comma list of positive integers.
+bool ParseThreadList(const char* text, std::vector<int>* out) {
+  std::vector<int> parsed;
+  int value = 0;
+  bool have_digit = false;
+  for (const char* p = text;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      value = value * 10 + (*p - '0');
+      have_digit = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (!have_digit || value <= 0) return false;
+      parsed.push_back(value);
+      value = 0;
+      have_digit = false;
+      if (*p == '\0') break;
+    } else {
+      return false;
+    }
+  }
+  if (parsed.empty()) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+std::string LowerCase(std::string s) {
+  for (char& c : s) c = char(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+}  // namespace modb_bench
+
 int main(int argc, char** argv) {
+  std::vector<int> threads = {1, 2, 4, 8};
+  constexpr char kThreadsFlag[] = "--modb_threads=";
+  constexpr std::size_t kThreadsFlagLen = sizeof(kThreadsFlag) - 1;
+  for (int i = 1; i < argc;) {
+    if (std::strncmp(argv[i], kThreadsFlag, kThreadsFlagLen) == 0) {
+      if (!modb_bench::ParseThreadList(argv[i] + kThreadsFlagLen, &threads)) {
+        std::fprintf(stderr,
+                     "bench_main: bad %s value '%s' (want e.g. 1,2,4,8)\n",
+                     kThreadsFlag, argv[i] + kThreadsFlagLen);
+        return 1;
+      }
+      for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else {
+      ++i;
+    }
+  }
+  modb_bench::RegisterScalingBenchmarks(threads);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("modb_build_type",
+                              modb_bench::LowerCase(MODB_BUILD_TYPE));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

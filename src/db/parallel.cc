@@ -1,6 +1,7 @@
 #include "db/parallel.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -37,6 +38,27 @@ void ThreadPool::Submit(std::function<void()> task) {
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool pool;
   return pool;
+}
+
+Status ValidateParallelOptions(const ParallelOptions& options) {
+  if (options.num_threads > kMaxQueryThreads) {
+    return Status::InvalidArgument(
+        "ParallelOptions.num_threads = " +
+        std::to_string(options.num_threads) + " exceeds the sanity bound of " +
+        std::to_string(kMaxQueryThreads) +
+        " (<= 0 selects one worker per pool thread)");
+  }
+  return Status::OK();
+}
+
+std::size_t ResolveWorkerCount(const ParallelOptions& options) {
+  if (options.num_threads == 1) return 1;
+  if (options.num_threads > 1) return std::size_t(options.num_threads);
+  return std::size_t(std::max(1, ResolvePool(options).num_threads()));
+}
+
+ThreadPool& ResolvePool(const ParallelOptions& options) {
+  return options.pool != nullptr ? *options.pool : ThreadPool::Shared();
 }
 
 void ThreadPool::WorkerLoop() {

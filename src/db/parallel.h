@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/status.h"
+
 namespace modb {
 
 /// Fixed-size pool of worker threads draining a FIFO task queue.
@@ -45,6 +47,43 @@ class ThreadPool {
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// Parallel execution policy shared by the query operators (db/query.h)
+/// and the pipelined execution engine (src/exec/).
+///
+/// Determinism guarantee: every consumer partitions its input by rules
+/// that depend only on (input size, worker count) — never on thread
+/// scheduling — and merges per-partition results in a fixed order, so
+/// parallel output is identical (tuple-for-tuple and byte-for-byte) to
+/// serial output. Predicates must be thread-safe when more than one
+/// worker runs: they are invoked concurrently from pool workers.
+struct ParallelOptions {
+  /// Worker count. 1 runs serially inline on the calling thread (no
+  /// pool is touched); <= 0 uses one worker per thread of the pool;
+  /// values above kMaxQueryThreads are rejected with InvalidArgument.
+  int num_threads = 0;
+  /// Pool to run on; nullptr uses ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
+/// Upper bound on ParallelOptions.num_threads. Worker counts beyond
+/// this are certainly a bug (a garbage or overflowed value), not a
+/// policy.
+inline constexpr int kMaxQueryThreads = 4096;
+
+/// The one validation point for every ParallelOptions consumer — the
+/// query operators, the exec engine, and any batch kernel that accepts
+/// a parallel policy all call this, so the sanity bound is enforced
+/// (and phrased) identically everywhere.
+Status ValidateParallelOptions(const ParallelOptions& options);
+
+/// The worker/chunk count `options` resolves to: 1 when serial, the
+/// explicit count when positive, one per pool thread otherwise.
+/// Consumers size per-worker scratch state with this before running.
+std::size_t ResolveWorkerCount(const ParallelOptions& options);
+
+/// The pool `options` resolves to (ThreadPool::Shared() when unset).
+ThreadPool& ResolvePool(const ParallelOptions& options);
 
 /// Splits [0, n) into `chunks` contiguous ranges and runs
 /// fn(chunk_index, begin, end) for each on the pool, blocking until all

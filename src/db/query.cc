@@ -1,94 +1,29 @@
 #include "db/query.h"
 
-#include <algorithm>
-#include <chrono>
+#include <utility>
 
+#include "exec/pipeline.h"
+#include "exec/planner.h"
 #include "obs/metrics.h"
 
 namespace modb {
 
 namespace {
 
-// Joined tuples for outer tuple i of the index join, appended to *out in
-// ascending candidate order. One body for every execution policy keeps
-// their outputs identical. The candidate ids are collected through the
-// caller's ProbeScratch (sort + unique replaces the historical std::set,
-// preserving the ascending iteration order without per-probe
-// allocation), so a warm scratch makes the whole probe allocation-free.
-void ProbeIndexJoinTuple(
-    const Relation& a, int attr_a, const Relation& b, const RTree3D& tree,
-    double expand, std::size_t i,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred,
-    std::vector<Tuple>* out, ExecStats* stats, ProbeScratch* scratch) {
-  const auto& mp = std::get<MovingPoint>(a.tuple(i)[std::size_t(attr_a)]);
-  std::vector<int64_t>& candidates = scratch->candidates;
-  candidates.clear();
-  const Cube& bounds = tree.Bounds();
-  for (const UPoint& u : mp.units()) {
-    Cube c = u.BoundingCube();
-    c.rect.min_x -= expand;
-    c.rect.min_y -= expand;
-    c.rect.max_x += expand;
-    c.rect.max_y += expand;
-    // Bbox prefilter: a probe cube disjoint from the whole tree cannot
-    // produce candidates; skip the descent outright.
-    if (!Cube::Intersect(c, bounds)) continue;
-    tree.QueryVisit(c, [&candidates](int64_t id) { candidates.push_back(id); });
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-  stats->units_scanned += mp.units().size();
-  stats->index_candidates += candidates.size();
-  for (int64_t j : candidates) {
-    ++stats->predicate_evals;
-    if (!pred(a.tuple(i), i, b.tuple(std::size_t(j)), std::size_t(j))) {
-      continue;
-    }
-    ++stats->index_hits;
-    Tuple joined = a.tuple(i);
-    joined.insert(joined.end(), b.tuple(std::size_t(j)).begin(),
-                  b.tuple(std::size_t(j)).end());
-    out->push_back(std::move(joined));
-  }
-}
-
-Status ValidateOptions(const ExecOptions& options) {
-  if (options.parallel.num_threads > kMaxQueryThreads) {
-    return Status::InvalidArgument(
-        "ExecOptions.parallel.num_threads = " +
-        std::to_string(options.parallel.num_threads) + " exceeds the sanity "
-        "bound of " + std::to_string(kMaxQueryThreads) +
-        " (<= 0 selects one chunk per pool thread)");
-  }
-  return Status::OK();
-}
-
-// Timing wrapper: clock reads only happen when a stats sink was given.
-class OptionalTimer {
- public:
-  explicit OptionalTimer(bool enabled) : enabled_(enabled) {
-    if (enabled_) start_ = std::chrono::steady_clock::now();
-  }
-  std::uint64_t ElapsedNs() const {
-    if (!enabled_) return 0;
-    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start_)
-                  .count();
-    return ns > 0 ? std::uint64_t(ns) : 0;
-  }
-
- private:
-  bool enabled_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-// Operator epilogue: report to the caller's sink (if any) and mirror the
-// headline counters into the global metrics registry so bench/example
-// metric dumps attribute work to the query layer too.
-void FinishNode(ExecStats&& node, std::uint64_t wall_ns,
-                const ExecOptions& options) {
+// Shared wrapper tail: plan the logical query, run it pipelined, mirror
+// the headline counters into the global metrics registry, and hand the
+// stats tree to the caller's sink. The wrappers exist so the historical
+// operator API keeps compiling (and keeps its output names, schemas,
+// and stats semantics) while every query executes on the morsel engine.
+Result<Relation> PlanAndRun(const exec::LogicalQuery& q,
+                            const ExecOptions& options) {
+  Result<exec::PhysicalPlan> plan = exec::PlanQuery(q);
+  if (!plan.ok()) return plan.status();
+  ExecStats node;
+  ExecOptions engine_options = options;
+  engine_options.stats = &node;
+  Result<Relation> out = exec::RunPlan(*plan, engine_options);
+  if (!out.ok()) return out.status();
 #ifndef MODB_NO_METRICS
   // Dynamic names, so no MODB_COUNTER_* macro (its per-call-site pointer
   // cache assumes one name per site). One registry lookup per operator
@@ -99,79 +34,8 @@ void FinishNode(ExecStats&& node, std::uint64_t wall_ns,
   metrics.counter("query." + node.op + ".predicate_evals")
       ->Inc(node.predicate_evals);
 #endif
-  if (options.stats != nullptr) {
-    node.wall_ns = wall_ns;
-    *options.stats = std::move(node);
-  }
-}
-
-// Upper bound on the chunk count RunOuterLoop will use for these
-// options (ParallelFor may clamp further when n is small). Operators
-// that keep per-chunk scratch state size it with this before running.
-std::size_t PlannedChunks(const ExecOptions& options) {
-  const int nt = options.parallel.num_threads;
-  if (nt == 1) return 1;
-  ThreadPool& pool =
-      options.parallel.pool ? *options.parallel.pool : ThreadPool::Shared();
-  return nt > 0 ? std::size_t(nt) : std::size_t(std::max(1, pool.num_threads()));
-}
-
-// Runs fn(chunk, i, &chunk_buffer, &chunk_stats) over the outer indices
-// [0, n), then merges buffered tuples and stats in ascending chunk
-// order — the same order a serial i-ascending loop produces,
-// independent of thread scheduling. The chunk index (always <
-// PlannedChunks(options)) lets fn address per-chunk scratch state.
-// num_threads == 1 stays on the calling thread and never resolves a
-// pool.
-void RunOuterLoop(
-    std::size_t n, const ExecOptions& options, Relation* out, ExecStats* node,
-    const std::function<void(std::size_t, std::size_t, std::vector<Tuple>*,
-                             ExecStats*)>& fn) {
-  const int nt = options.parallel.num_threads;
-  if (nt == 1 || n == 0) {
-    std::vector<Tuple> buf;
-    for (std::size_t i = 0; i < n; ++i) {
-      fn(0, i, &buf, node);
-      for (Tuple& t : buf) {
-        // Insert cannot fail: tuples conform to the output schema.
-        (void)out->Insert(std::move(t));
-      }
-      buf.clear();
-    }
-    node->workers = 1;
-    return;
-  }
-  const std::size_t chunks = PlannedChunks(options);
-  ThreadPool& pool =
-      options.parallel.pool ? *options.parallel.pool : ThreadPool::Shared();
-  std::vector<std::vector<Tuple>> buffers(chunks);
-  std::vector<ExecStats> chunk_stats(chunks);
-  std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks, {0, 0});
-  ParallelFor(pool, n, chunks,
-              [&](std::size_t c, std::size_t begin, std::size_t end) {
-                ranges[c] = {begin, end};
-                for (std::size_t i = begin; i < end; ++i) {
-                  fn(c, i, &buffers[c], &chunk_stats[c]);
-                }
-              });
-  const bool keep_children = options.stats != nullptr;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    node->MergeCountersFrom(chunk_stats[c]);
-    if (keep_children) {
-      // Per-chunk cardinalities (outer tuples seen / tuples emitted) are
-      // filled here, after the merge, so the parent's own explicit
-      // tuples_in/tuples_out are not double-counted.
-      chunk_stats[c].op = "chunk[" + std::to_string(c) + "]";
-      chunk_stats[c].workers = 1;
-      chunk_stats[c].tuples_in = ranges[c].second - ranges[c].first;
-      chunk_stats[c].tuples_out = buffers[c].size();
-      node->children.push_back(std::move(chunk_stats[c]));
-    }
-    for (Tuple& t : buffers[c]) {
-      (void)out->Insert(std::move(t));
-    }
-  }
-  node->workers = chunks;
+  if (options.stats != nullptr) *options.stats = std::move(node);
+  return out;
 }
 
 }  // namespace
@@ -179,30 +43,18 @@ void RunOuterLoop(
 Result<Relation> Select(const Relation& rel,
                         const std::function<bool(const Tuple&)>& pred,
                         const ExecOptions& options) {
-  MODB_RETURN_IF_ERROR(ValidateOptions(options));
-  OptionalTimer timer(options.stats != nullptr);
-  ExecStats node;
-  node.op = "select";
-  node.tuples_in = rel.NumTuples();
-  Relation out(rel.name() + "_sel", rel.schema());
-  RunOuterLoop(rel.NumTuples(), options, &out, &node,
-               [&](std::size_t, std::size_t i, std::vector<Tuple>* buf,
-                   ExecStats* s) {
-                 ++s->predicate_evals;
-                 if (pred(rel.tuple(i))) buf->push_back(rel.tuple(i));
-               });
-  node.tuples_out = out.NumTuples();
-  FinishNode(std::move(node), timer.ElapsedNs(), options);
-  return out;
+  exec::LogicalQuery q;
+  q.rel = &rel;
+  q.filters.push_back(exec::Predicate{pred, "user", std::nullopt});
+  q.root_op = "select";
+  return PlanAndRun(q, options);
 }
 
 Result<Relation> Project(const Relation& rel,
                          const std::vector<std::string>& attributes,
                          const ExecOptions& options) {
-  MODB_RETURN_IF_ERROR(ValidateOptions(options));
-  OptionalTimer timer(options.stats != nullptr);
   std::vector<int> indices;
-  std::vector<AttributeDef> defs;
+  indices.reserve(attributes.size());
   for (const std::string& name : attributes) {
     int idx = rel.schema().IndexOf(name);
     if (idx < 0) {
@@ -210,22 +62,12 @@ Result<Relation> Project(const Relation& rel,
                               rel.name());
     }
     indices.push_back(idx);
-    defs.push_back(rel.schema().attribute(std::size_t(idx)));
   }
-  ExecStats node;
-  node.op = "project";
-  node.tuples_in = rel.NumTuples();
-  Relation out(rel.name() + "_proj", Schema(std::move(defs)));
-  for (const Tuple& t : rel.tuples()) {
-    Tuple projected;
-    projected.reserve(indices.size());
-    for (int idx : indices) projected.push_back(t[std::size_t(idx)]);
-    (void)out.Insert(std::move(projected));
-  }
-  node.tuples_out = out.NumTuples();
-  node.workers = 1;
-  FinishNode(std::move(node), timer.ElapsedNs(), options);
-  return out;
+  exec::LogicalQuery q;
+  q.rel = &rel;
+  q.project = std::move(indices);
+  q.root_op = "project";
+  return PlanAndRun(q, options);
 }
 
 Result<Relation> NestedLoopJoin(
@@ -233,28 +75,15 @@ Result<Relation> NestedLoopJoin(
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
     const ExecOptions& options) {
-  MODB_RETURN_IF_ERROR(ValidateOptions(options));
-  OptionalTimer timer(options.stats != nullptr);
-  ExecStats node;
-  node.op = "nested_loop_join";
-  node.tuples_in = a.NumTuples() + b.NumTuples();
-  Relation out(a.name() + "_x_" + b.name(),
-               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
-                              b.name() + "."));
-  RunOuterLoop(
-      a.NumTuples(), options, &out, &node,
-      [&](std::size_t, std::size_t i, std::vector<Tuple>* buf, ExecStats* s) {
-        for (std::size_t j = 0; j < b.NumTuples(); ++j) {
-          ++s->predicate_evals;
-          if (!pred(a.tuple(i), i, b.tuple(j), j)) continue;
-          Tuple joined = a.tuple(i);
-          joined.insert(joined.end(), b.tuple(j).begin(), b.tuple(j).end());
-          buf->push_back(std::move(joined));
-        }
-      });
-  node.tuples_out = out.NumTuples();
-  FinishNode(std::move(node), timer.ElapsedNs(), options);
-  return out;
+  exec::LogicalQuery q;
+  q.rel = &a;
+  exec::LogicalQuery::JoinSpec join;
+  join.algorithm = exec::LogicalQuery::JoinSpec::Algorithm::kNestedLoop;
+  join.inner = &b;
+  join.pred = exec::JoinPred{pred, "user"};
+  q.join = std::move(join);
+  q.root_op = "nested_loop_join";
+  return PlanAndRun(q, options);
 }
 
 Result<RTree3D> BuildMovingPointIndex(const Relation& b, int attr_b) {
@@ -280,50 +109,24 @@ Result<RTree3D> BuildMovingPointIndex(const Relation& b, int attr_b) {
   return RTree3D::BulkLoad(std::move(entries));
 }
 
-namespace {
-
-// Shared body of the two IndexJoinOnMovingPoint overloads; index_builds
-// records whether this call paid for the R-tree construction.
-Result<Relation> IndexJoinImpl(
-    const Relation& a, int attr_a, const Relation& b, const RTree3D& tree,
-    double expand,
-    const std::function<bool(const Tuple&, std::size_t, const Tuple&,
-                             std::size_t)>& pred,
-    const ExecOptions& options, std::uint64_t index_builds,
-    const OptionalTimer& timer) {
-  ExecStats node;
-  node.op = "index_join_on_moving_point";
-  node.tuples_in = a.NumTuples() + b.NumTuples();
-  node.index_builds = index_builds;
-  Relation out(a.name() + "_ix_" + b.name(),
-               Schema::Concat(a.schema(), a.name() + ".", b.schema(),
-                              b.name() + "."));
-  std::vector<ProbeScratch> scratch(PlannedChunks(options));
-  RunOuterLoop(a.NumTuples(), options, &out, &node,
-               [&](std::size_t c, std::size_t i, std::vector<Tuple>* buf,
-                   ExecStats* s) {
-                 ProbeIndexJoinTuple(a, attr_a, b, tree, expand, i, pred, buf,
-                                     s, &scratch[c]);
-               });
-  node.tuples_out = out.NumTuples();
-  FinishNode(std::move(node), timer.ElapsedNs(), options);
-  return out;
-}
-
-}  // namespace
-
 Result<Relation> IndexJoinOnMovingPoint(
     const Relation& a, int attr_a, const Relation& b, int attr_b,
     double expand,
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
     const ExecOptions& options) {
-  MODB_RETURN_IF_ERROR(ValidateOptions(options));
-  OptionalTimer timer(options.stats != nullptr);
-  Result<RTree3D> tree = BuildMovingPointIndex(b, attr_b);
-  if (!tree.ok()) return tree.status();
-  return IndexJoinImpl(a, attr_a, b, *tree, expand, pred, options,
-                       /*index_builds=*/1, timer);
+  exec::LogicalQuery q;
+  q.rel = &a;
+  exec::LogicalQuery::JoinSpec join;
+  join.algorithm = exec::LogicalQuery::JoinSpec::Algorithm::kIndex;
+  join.inner = &b;
+  join.attr_outer = attr_a;
+  join.attr_inner = attr_b;
+  join.expand = expand;
+  join.pred = exec::JoinPred{pred, "user"};
+  q.join = std::move(join);
+  q.root_op = "index_join_on_moving_point";
+  return PlanAndRun(q, options);
 }
 
 Result<Relation> IndexJoinOnMovingPoint(
@@ -332,10 +135,18 @@ Result<Relation> IndexJoinOnMovingPoint(
     const std::function<bool(const Tuple&, std::size_t, const Tuple&,
                              std::size_t)>& pred,
     const ExecOptions& options) {
-  MODB_RETURN_IF_ERROR(ValidateOptions(options));
-  OptionalTimer timer(options.stats != nullptr);
-  return IndexJoinImpl(a, attr_a, b, index, expand, pred, options,
-                       /*index_builds=*/0, timer);
+  exec::LogicalQuery q;
+  q.rel = &a;
+  exec::LogicalQuery::JoinSpec join;
+  join.algorithm = exec::LogicalQuery::JoinSpec::Algorithm::kIndex;
+  join.inner = &b;
+  join.attr_outer = attr_a;
+  join.expand = expand;
+  join.pred = exec::JoinPred{pred, "user"};
+  join.prebuilt = &index;
+  q.join = std::move(join);
+  q.root_op = "index_join_on_moving_point";
+  return PlanAndRun(q, options);
 }
 
 }  // namespace modb

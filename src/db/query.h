@@ -22,29 +22,9 @@
 
 namespace modb {
 
-/// Parallel execution policy for the query operators.
-///
-/// Determinism guarantee: each operator partitions its outer relation
-/// into contiguous chunks whose boundaries depend only on (tuple count,
-/// chunk count) — never on thread scheduling — and gives every chunk a
-/// private result buffer (and private ExecStats node). Buffers and stats
-/// are merged in ascending chunk order after the barrier, so the output
-/// relation is identical (tuple-for-tuple and byte-for-byte) to the
-/// serial operator's, and the stats tree is identical across runs.
-/// Predicates must be thread-safe when more than one chunk runs: they
-/// are invoked concurrently from pool workers.
-struct ParallelOptions {
-  /// Worker/chunk count. 1 runs serially inline on the calling thread
-  /// (no pool is touched); <= 0 uses one chunk per thread of the pool;
-  /// values above kMaxQueryThreads are rejected with InvalidArgument.
-  int num_threads = 0;
-  /// Pool to run on; nullptr uses ThreadPool::Shared().
-  ThreadPool* pool = nullptr;
-};
-
-/// Upper bound on ParallelOptions.num_threads. Chunk counts beyond this
-/// are certainly a bug (a garbage or overflowed value), not a policy.
-inline constexpr int kMaxQueryThreads = 4096;
+// ParallelOptions, kMaxQueryThreads, and ValidateParallelOptions live in
+// db/parallel.h so the sanity bound is validated by one shared helper
+// across the query operators, the exec engine, and the batch kernels.
 
 /// Per-call execution options shared by every query operator.
 struct ExecOptions {

@@ -1,0 +1,88 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+
+namespace modb {
+namespace exec {
+
+std::size_t PickMorselRows(std::size_t n, std::size_t workers,
+                           std::size_t requested) {
+  if (requested > 0) return requested;
+  if (n == 0) return 1;
+  workers = std::max<std::size_t>(workers, 1);
+  const std::size_t per_worker_target = (n + 4 * workers - 1) / (4 * workers);
+  return std::max<std::size_t>(
+      1, std::min<std::size_t>(kDefaultMorselRows, per_worker_target));
+}
+
+MorselScheduler::MorselScheduler(std::size_t num_rows, std::size_t morsel_rows,
+                                 std::size_t workers)
+    : num_rows_(num_rows),
+      morsel_rows_(std::max<std::size_t>(morsel_rows, 1)),
+      num_morsels_((num_rows + morsel_rows_ - 1) / morsel_rows_),
+      workers_(std::max<std::size_t>(workers, 1)),
+      next_(new std::atomic<std::size_t>[workers_]) {
+  for (std::size_t w = 0; w < workers_; ++w) {
+    next_[w].store(w * num_morsels_ / workers_, std::memory_order_relaxed);
+  }
+}
+
+Morsel MorselScheduler::MorselAt(std::size_t seq) const {
+  Morsel m;
+  m.seq = seq;
+  m.begin = seq * morsel_rows_;
+  m.end = std::min(m.begin + morsel_rows_, num_rows_);
+  return m;
+}
+
+bool MorselScheduler::Next(std::size_t w, Morsel* out, bool* stolen) {
+  // Own shard first.
+  std::size_t seq = next_[w].fetch_add(1, std::memory_order_relaxed);
+  if (seq < shard_end(w)) {
+    *out = MorselAt(seq);
+    *stolen = false;
+    return true;
+  }
+  // Steal: claim from the victim with the most remaining morsels. The
+  // size snapshot is racy, but a stale pick only means a slightly less
+  // loaded victim — the claim itself is still a single atomic
+  // fetch_add checked against the victim's true shard end. Retry until
+  // a scan observes every shard drained: claims are monotonic, so that
+  // observation is stable and the loop terminates.
+  for (;;) {
+    std::size_t victim = workers_;
+    std::size_t best_remaining = 0;
+    for (std::size_t v = 0; v < workers_; ++v) {
+      if (v == w) continue;
+      const std::size_t end = shard_end(v);
+      const std::size_t pos = next_[v].load(std::memory_order_relaxed);
+      const std::size_t remaining = pos < end ? end - pos : 0;
+      if (remaining > best_remaining) {
+        best_remaining = remaining;
+        victim = v;
+      }
+    }
+    if (victim == workers_) return false;  // every shard drained
+    seq = next_[victim].fetch_add(1, std::memory_order_relaxed);
+    if (seq < shard_end(victim)) {
+      *out = MorselAt(seq);
+      *stolen = true;
+      return true;
+    }
+  }
+}
+
+namespace {
+ExecTestHooks* g_hooks = nullptr;
+}  // namespace
+
+ExecTestHooks* SetExecTestHooks(ExecTestHooks* hooks) {
+  ExecTestHooks* prev = g_hooks;
+  g_hooks = hooks;
+  return prev;
+}
+
+const ExecTestHooks* GetExecTestHooks() { return g_hooks; }
+
+}  // namespace exec
+}  // namespace modb

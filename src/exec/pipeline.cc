@@ -1,0 +1,466 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "db/parallel.h"
+#include "obs/metrics.h"
+
+namespace modb {
+namespace exec {
+
+namespace {
+
+// Per-stage tallies accumulated in worker-local plain integers and
+// summed after the barrier (addition is commutative, so the totals are
+// schedule-independent).
+struct StageCounters {
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t predicate_evals = 0;
+  std::uint64_t index_candidates = 0;
+  std::uint64_t index_hits = 0;
+  std::uint64_t units_scanned = 0;
+  std::uint64_t pushdown_skips = 0;
+};
+
+// Worker-private buffers reused across the morsels a worker claims; a
+// warm worker allocates nothing per morsel.
+struct WorkerState {
+  std::vector<std::size_t> rows;  // surviving source row ids
+  std::vector<Tuple> mat;         // materialized tuples (spilled scan)
+  ProbeScratch probe;
+  std::vector<StageCounters> stages;
+  std::uint64_t morsels = 0;
+  std::uint64_t morsels_stolen = 0;
+};
+
+class OptionalTimer {
+ public:
+  explicit OptionalTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  std::uint64_t ElapsedNs() const {
+    if (!enabled_) return 0;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    return ns > 0 ? std::uint64_t(ns) : 0;
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// First-error capture with deterministic tie-break: the error of the
+// smallest morsel sequence wins, so a failing plan reports the same
+// Status regardless of worker schedule.
+class FirstError {
+ public:
+  void Record(std::size_t seq, Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!has_ || seq < seq_) {
+      has_ = true;
+      seq_ = seq;
+      status_ = std::move(status);
+    }
+    failed_.store(true, std::memory_order_release);
+  }
+  bool Failed() const { return failed_.load(std::memory_order_acquire); }
+  Status Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+ private:
+  std::mutex mu_;
+  bool has_ = false;
+  std::size_t seq_ = 0;
+  Status status_ = Status::OK();
+  std::atomic<bool> failed_{false};
+};
+
+// Stage ids within a pipeline's counter arrays: 0 = scan, 1..F =
+// filters, F+1 = terminal (project / join probe / implicit copy sink).
+std::size_t NumStages(const Pipeline& pipe) {
+  return pipe.filters.size() + 2;
+}
+
+// Joined tuples for one surviving outer row of the index-join probe,
+// appended in ascending candidate order — the same body (and the same
+// stats semantics) for every execution policy, which is what keeps
+// pipelined output byte-identical to the materializing operator's.
+void ProbeIndexJoinRow(const Tuple& outer, std::size_t outer_row,
+                       const JoinProbeOp& op, const RTree3D& tree,
+                       std::vector<Tuple>* out, StageCounters* s,
+                       ProbeScratch* scratch) {
+  const Relation& b = *op.inner;
+  const auto& mp = std::get<MovingPoint>(outer[std::size_t(op.attr_outer)]);
+  std::vector<int64_t>& candidates = scratch->candidates;
+  candidates.clear();
+  const Cube& bounds = tree.Bounds();
+  for (const UPoint& u : mp.units()) {
+    Cube c = u.BoundingCube();
+    c.rect.min_x -= op.expand;
+    c.rect.min_y -= op.expand;
+    c.rect.max_x += op.expand;
+    c.rect.max_y += op.expand;
+    // Bbox prefilter: a probe cube disjoint from the whole tree cannot
+    // produce candidates; skip the descent outright.
+    if (!Cube::Intersect(c, bounds)) continue;
+    tree.QueryVisit(c, [&candidates](int64_t id) { candidates.push_back(id); });
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  s->units_scanned += mp.units().size();
+  s->index_candidates += candidates.size();
+  for (int64_t j : candidates) {
+    ++s->predicate_evals;
+    if (!op.pred.fn(outer, outer_row, b.tuple(std::size_t(j)),
+                    std::size_t(j))) {
+      continue;
+    }
+    ++s->index_hits;
+    Tuple joined = outer;
+    joined.insert(joined.end(), b.tuple(std::size_t(j)).begin(),
+                  b.tuple(std::size_t(j)).end());
+    out->push_back(std::move(joined));
+  }
+}
+
+void ProbeNestedLoopRow(const Tuple& outer, std::size_t outer_row,
+                        const JoinProbeOp& op, std::vector<Tuple>* out,
+                        StageCounters* s) {
+  const Relation& b = *op.inner;
+  for (std::size_t j = 0; j < b.NumTuples(); ++j) {
+    ++s->predicate_evals;
+    if (!op.pred.fn(outer, outer_row, b.tuple(j), j)) continue;
+    Tuple joined = outer;
+    joined.insert(joined.end(), b.tuple(j).begin(), b.tuple(j).end());
+    out->push_back(std::move(joined));
+  }
+}
+
+// One morsel through the fused stage chain. Returns non-OK only for
+// source faults (spilled page errors); predicate work never fails.
+Status ProcessMorsel(const Pipeline& pipe, const RTree3D* tree,
+                     const Morsel& m, WorkerState* w,
+                     std::vector<Tuple>* out) {
+  w->rows.clear();
+  w->mat.clear();
+  const bool from_spill = pipe.spilled != nullptr;
+
+  // Scan: enumerate (and for spilled sources, materialize) the morsel's
+  // rows. The pushed-down window tests the resident stats record first,
+  // so disqualified rows never fault a page.
+  StageCounters& scan = w->stages[0];
+  scan.rows_in += m.end - m.begin;
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    if (from_spill) {
+      if (pipe.scan_window &&
+          !pipe.spilled->stats(i).MayIntersectWindow(pipe.scan_window->t0,
+                                                     pipe.scan_window->t1)) {
+        ++scan.pushdown_skips;
+        continue;
+      }
+      Result<Tuple> t = pipe.spilled->MaterializeTuple(i);
+      if (!t.ok()) return t.status();
+      w->mat.push_back(std::move(*t));
+    }
+    w->rows.push_back(i);
+  }
+  scan.rows_out += w->rows.size();
+
+  auto tuple_at = [&](std::size_t k) -> const Tuple& {
+    return from_spill ? w->mat[k] : pipe.rel->tuple(w->rows[k]);
+  };
+
+  // Filters: in-place compaction of the surviving row list.
+  for (std::size_t f = 0; f < pipe.filters.size(); ++f) {
+    StageCounters& s = w->stages[1 + f];
+    s.rows_in += w->rows.size();
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < w->rows.size(); ++k) {
+      ++s.predicate_evals;
+      if (!pipe.filters[f].fn(tuple_at(k))) continue;
+      if (kept != k) {
+        w->rows[kept] = w->rows[k];
+        if (from_spill) w->mat[kept] = std::move(w->mat[k]);
+      }
+      ++kept;
+    }
+    w->rows.resize(kept);
+    if (from_spill) w->mat.resize(kept);
+    s.rows_out += kept;
+  }
+
+  // Terminal: emit this morsel's output tuples.
+  StageCounters& term = w->stages[NumStages(pipe) - 1];
+  term.rows_in += w->rows.size();
+  if (pipe.join) {
+    for (std::size_t k = 0; k < w->rows.size(); ++k) {
+      if (pipe.join->kind == JoinProbeOp::Kind::kIndex) {
+        ProbeIndexJoinRow(tuple_at(k), w->rows[k], *pipe.join, *tree, out,
+                          &term, &w->probe);
+      } else {
+        ProbeNestedLoopRow(tuple_at(k), w->rows[k], *pipe.join, out, &term);
+      }
+    }
+  } else if (pipe.project) {
+    for (std::size_t k = 0; k < w->rows.size(); ++k) {
+      const Tuple& t = tuple_at(k);
+      Tuple projected;
+      projected.reserve(pipe.project->indices.size());
+      for (int idx : pipe.project->indices) {
+        projected.push_back(t[std::size_t(idx)]);
+      }
+      out->push_back(std::move(projected));
+    }
+  } else {
+    for (std::size_t k = 0; k < w->rows.size(); ++k) {
+      out->push_back(tuple_at(k));
+    }
+  }
+  term.rows_out += out->size();
+  return Status::OK();
+}
+
+const char* TerminalOpName(const Pipeline& pipe) {
+  if (pipe.join) return "join_probe";
+  if (pipe.project) return "project";
+  return "sink";
+}
+
+// Runs one pipeline step morsel-parallel and appends its output to
+// `out` in morsel order. `node` (when kept) receives one child per
+// stage plus the root-level morsel/steal counters.
+Status RunPipeline(const Pipeline& pipe, const RTree3D* tree,
+                   const ExecOptions& options, Relation* out,
+                   ExecStats* node) {
+  const std::size_t n = pipe.NumSourceRows();
+  const std::size_t workers = ResolveWorkerCount(options.parallel);
+  const std::size_t morsel_rows =
+      PickMorselRows(n, workers, pipe.morsel_rows);
+  MorselScheduler sched(n, morsel_rows, workers);
+  const std::size_t num_morsels = sched.num_morsels();
+
+  std::vector<std::vector<Tuple>> outputs(num_morsels);
+  std::vector<WorkerState> states(workers);
+  for (WorkerState& w : states) w.stages.resize(NumStages(pipe));
+  FirstError error;
+  const ExecTestHooks* hooks = GetExecTestHooks();
+
+  auto worker_loop = [&](std::size_t w) {
+    WorkerState& state = states[w];
+    Morsel m;
+    bool stolen = false;
+    while (!error.Failed() && sched.Next(w, &m, &stolen)) {
+      if (hooks != nullptr && hooks->before_morsel) {
+        hooks->before_morsel(w, m.seq);
+      }
+      ++state.morsels;
+      if (stolen) ++state.morsels_stolen;
+      Status s = ProcessMorsel(pipe, tree, m, &state, &outputs[m.seq]);
+      if (!s.ok()) error.Record(m.seq, std::move(s));
+    }
+  };
+
+  if (workers == 1 || num_morsels <= 1) {
+    // Serial inline (or nothing to overlap): never resolves a pool.
+    worker_loop(0);
+  } else {
+    ThreadPool& pool = ResolvePool(options.parallel);
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining = workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.Submit([&, w] {
+        worker_loop(w);
+        std::lock_guard<std::mutex> lock(mu);
+        if (--remaining == 0) done.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    done.wait(lock, [&] { return remaining == 0; });
+  }
+
+  if (error.Failed()) return error.Take();
+
+  // Deterministic sink: concatenate per-morsel outputs in ascending
+  // sequence order — ascending source-row order, the serial order.
+  for (std::size_t seq = 0; seq < num_morsels; ++seq) {
+    for (Tuple& t : outputs[seq]) {
+      // Insert cannot fail: tuples conform to the output schema.
+      (void)out->Insert(std::move(t));
+    }
+  }
+
+  // Merge worker-local stage counters (sums, schedule-independent).
+  std::vector<StageCounters> totals(NumStages(pipe));
+  std::uint64_t morsels = 0, morsels_stolen = 0;
+  for (const WorkerState& w : states) {
+    morsels += w.morsels;
+    morsels_stolen += w.morsels_stolen;
+    for (std::size_t s = 0; s < totals.size(); ++s) {
+      StageCounters& t = totals[s];
+      const StageCounters& c = w.stages[s];
+      t.rows_in += c.rows_in;
+      t.rows_out += c.rows_out;
+      t.predicate_evals += c.predicate_evals;
+      t.index_candidates += c.index_candidates;
+      t.index_hits += c.index_hits;
+      t.units_scanned += c.units_scanned;
+      t.pushdown_skips += c.pushdown_skips;
+    }
+  }
+
+  if (node != nullptr) {
+    node->workers += workers;
+    node->morsels += morsels;
+    node->morsels_stolen += morsels_stolen;
+    auto stage_node = [&](const char* op, const StageCounters& c) {
+      ExecStats s;
+      s.op = op;
+      s.tuples_in = c.rows_in;
+      s.tuples_out = c.rows_out;
+      s.predicate_evals = c.predicate_evals;
+      s.index_candidates = c.index_candidates;
+      s.index_hits = c.index_hits;
+      s.units_scanned = c.units_scanned;
+      s.pushdown_skips = c.pushdown_skips;
+      node->children.push_back(std::move(s));
+    };
+    stage_node("scan", totals[0]);
+    for (std::size_t f = 0; f < pipe.filters.size(); ++f) {
+      stage_node("select", totals[1 + f]);
+    }
+    stage_node(TerminalOpName(pipe), totals[NumStages(pipe) - 1]);
+  }
+  // Roll the pipeline's counters into the parent node so wrapper-level
+  // semantics (predicate_evals, index candidates/hits, units scanned,
+  // pushdown skips) survive even without children.
+  if (node != nullptr) {
+    for (const StageCounters& c : totals) {
+      node->predicate_evals += c.predicate_evals;
+      node->index_candidates += c.index_candidates;
+      node->index_hits += c.index_hits;
+      node->units_scanned += c.units_scanned;
+      node->pushdown_skips += c.pushdown_skips;
+    }
+  }
+
+  MODB_COUNTER_ADD("exec.morsels_scheduled", morsels);
+  MODB_COUNTER_ADD("exec.morsels_stolen", morsels_stolen);
+  MODB_COUNTER_ADD("exec.pushdown_skips", totals[0].pushdown_skips);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> RunPlan(const PhysicalPlan& plan, const ExecOptions& options) {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(options.parallel));
+  OptionalTimer timer(options.stats != nullptr);
+
+  // Exactly one pipeline step produces the output.
+  std::size_t pipe_steps = 0;
+  for (const PlanStep& step : plan.steps) {
+    if (step.pipe.has_value() == step.build.has_value()) {
+      return Status::InvalidArgument(
+          "plan step must be exactly one of build or pipeline");
+    }
+    if (step.pipe) ++pipe_steps;
+  }
+  if (pipe_steps != 1) {
+    return Status::InvalidArgument(
+        "plan must contain exactly one pipeline step, got " +
+        std::to_string(pipe_steps));
+  }
+
+  ExecStats node;
+  node.op = plan.root_op;
+  node.tuples_in = plan.legacy_tuples_in;
+  node.materializations = 1;  // the sink; stages materialize nothing
+  ExecStats* stats = options.stats != nullptr ? &node : nullptr;
+
+  Relation out(plan.out_name, plan.out_schema);
+  std::vector<std::optional<RTree3D>> built(plan.steps.size());
+  std::vector<bool> executed(plan.steps.size(), false);
+
+  // Deterministic topological schedule: repeatedly run the
+  // lowest-index step whose dependencies have all completed. Build
+  // steps run serially (their output is a shared read-only index);
+  // pipeline steps run morsel-parallel.
+  for (std::size_t done = 0; done < plan.steps.size();) {
+    std::size_t ready = plan.steps.size();
+    for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+      if (executed[i]) continue;
+      bool deps_ok = true;
+      for (std::size_t d : plan.steps[i].deps) {
+        if (d >= plan.steps.size() || !executed[d]) {
+          deps_ok = false;
+          break;
+        }
+      }
+      if (deps_ok) {
+        ready = i;
+        break;
+      }
+    }
+    if (ready == plan.steps.size()) {
+      return Status::InvalidArgument("plan DAG has a dependency cycle");
+    }
+    const PlanStep& step = plan.steps[ready];
+    if (step.build) {
+      OptionalTimer build_timer(stats != nullptr);
+      Result<RTree3D> tree =
+          BuildMovingPointIndex(*step.build->rel, step.build->attr);
+      if (!tree.ok()) return tree.status();
+      built[ready].emplace(std::move(*tree));
+      if (stats != nullptr) {
+        ExecStats b;
+        b.op = "build_index";
+        b.tuples_in = step.build->rel->NumTuples();
+        b.index_builds = 1;
+        b.wall_ns = build_timer.ElapsedNs();
+        node.children.push_back(std::move(b));
+      }
+      node.index_builds += 1;
+    } else {
+      const Pipeline& pipe = *step.pipe;
+      const RTree3D* tree = nullptr;
+      if (pipe.join && pipe.join->kind == JoinProbeOp::Kind::kIndex) {
+        if (pipe.join->tree != nullptr) {
+          tree = pipe.join->tree;
+        } else if (pipe.join->build_step >= 0 &&
+                   std::size_t(pipe.join->build_step) < built.size() &&
+                   built[std::size_t(pipe.join->build_step)]) {
+          tree = &*built[std::size_t(pipe.join->build_step)];
+        } else {
+          return Status::InvalidArgument(
+              "index join probe has no prebuilt tree and no completed "
+              "build step");
+        }
+      }
+      MODB_RETURN_IF_ERROR(RunPipeline(pipe, tree, options, &out, &node));
+    }
+    executed[ready] = true;
+    ++done;
+  }
+
+  node.tuples_out = out.NumTuples();
+  node.wall_ns = timer.ElapsedNs();
+  if (options.stats != nullptr) *options.stats = std::move(node);
+  MODB_COUNTER_INC("exec.plans_run");
+  MODB_COUNTER_INC("exec.relations_materialized");
+  return out;
+}
+
+}  // namespace exec
+}  // namespace modb

@@ -1,0 +1,164 @@
+// The pipelined execution engine: a physical query plan is a small DAG
+// of steps — index builds and *pipelines* — scheduled in topological
+// order. A pipeline streams fixed-size morsels (row ranges over its
+// source) through a fused stage chain
+//
+//   Scan → Select* → (Project | Join probe | none) → Sink
+//
+// with work-stealing across a shared ThreadPool: each worker claims a
+// morsel, runs it through every stage on its own stack (no Relation is
+// materialized between stages), and deposits the result tuples in the
+// morsel's output slot. The sink concatenates slots in morsel order,
+// so output is byte-identical to the serial single-operator path for
+// any worker count and any steal schedule.
+//
+// Determinism argument, in full:
+//   1. Morsel boundaries depend only on (row count, worker count,
+//      requested morsel size) — never on scheduling.
+//   2. Each morsel is claimed exactly once, and its stage chain is a
+//      pure function of the morsel's rows (per-worker scratch is
+//      reset per morsel; stats are commutative counters).
+//   3. The sink concatenates per-morsel outputs in ascending sequence
+//      order, which equals ascending source-row order — exactly the
+//      order a serial loop produces.
+//
+// Plans are built by the rule-based planner (exec/planner.h); the
+// db/query.h operators are thin wrappers that plan and run here.
+
+#ifndef MODB_EXEC_PIPELINE_H_
+#define MODB_EXEC_PIPELINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instant.h"
+#include "core/status.h"
+#include "db/query.h"
+#include "db/relation.h"
+#include "exec/morsel.h"
+#include "exec/spilled_relation.h"
+#include "index/rtree3d.h"
+#include "obs/exec_stats.h"
+
+namespace modb {
+namespace exec {
+
+/// A conservative time-window annotation on a predicate: the predicate
+/// is false for any tuple whose moving attribute `attr` has no unit
+/// intersecting the closed window [t0, t1]. The planner pushes the
+/// window into spilled scans (stats-only test, no page faults); the
+/// exact predicate still runs on every tuple that survives the scan.
+struct TimeWindow {
+  int attr = -1;
+  Instant t0 = 0;
+  Instant t1 = 0;
+};
+
+/// A selection predicate: the exact row test plus the planner-facing
+/// shape (plan-cache key component) and optional pushdown window.
+struct Predicate {
+  std::function<bool(const Tuple&)> fn;
+  std::string shape = "user";
+  std::optional<TimeWindow> window;
+};
+
+/// A join predicate over (outer tuple, outer row, inner tuple, inner
+/// row). In a pipelined plan the outer row id is the SOURCE row index
+/// (stable under upstream filters), not the ordinal within the
+/// filtered stream.
+struct JoinPred {
+  std::function<bool(const Tuple&, std::size_t, const Tuple&, std::size_t)>
+      fn;
+  std::string shape = "user";
+};
+
+/// Terminal projection stage: emit the given attribute slots, in order.
+struct ProjectOp {
+  std::vector<int> indices;
+};
+
+/// Terminal join-probe stage. kIndex probes `tree` (an R-tree over the
+/// inner attribute's unit bounding cubes, prebuilt or produced by a
+/// build step of the same plan) with each outer unit cube expanded by
+/// `expand`; kNestedLoop tests every inner row. Both emit surviving
+/// pairs as (outer row ascending, inner row ascending), so their
+/// outputs coincide whenever the predicate implies the expanded-cube
+/// envelope — the contract under which the planner may choose freely.
+struct JoinProbeOp {
+  enum class Kind { kIndex, kNestedLoop };
+  Kind kind = Kind::kIndex;
+  const Relation* inner = nullptr;
+  int attr_outer = -1;
+  double expand = 0;
+  JoinPred pred;
+  /// Prebuilt index (kIndex only); when null, `build_step` names the
+  /// plan step whose output tree this probe uses.
+  const RTree3D* tree = nullptr;
+  int build_step = -1;
+};
+
+/// One streaming pipeline: exactly one source (in-memory relation or
+/// spilled relation), filters, and at most one terminal op.
+struct Pipeline {
+  const Relation* rel = nullptr;
+  SpilledRelation* spilled = nullptr;
+  /// Pushdown window applied at the spilled scan: rows whose stats
+  /// cannot intersect are skipped without faulting pages.
+  std::optional<TimeWindow> scan_window;
+  std::vector<Predicate> filters;
+  std::optional<ProjectOp> project;
+  std::optional<JoinProbeOp> join;
+  /// Rows per morsel; 0 = PickMorselRows default.
+  std::size_t morsel_rows = 0;
+
+  std::size_t NumSourceRows() const {
+    return rel != nullptr ? rel->NumTuples() : spilled->NumTuples();
+  }
+};
+
+/// A step of the plan DAG: exactly one of `build` (serial R-tree
+/// construction over an inner relation's moving-point attribute) or
+/// `pipe` (a morsel-parallel pipeline). `deps` are step indices that
+/// must complete first.
+struct BuildIndexOp {
+  const Relation* rel = nullptr;
+  int attr = -1;
+};
+
+struct PlanStep {
+  std::vector<std::size_t> deps;
+  std::optional<BuildIndexOp> build;
+  std::optional<Pipeline> pipe;
+};
+
+/// A physical plan: topologically scheduled steps, the last pipeline
+/// step producing the output relation (out_name / out_schema).
+/// legacy_tuples_in carries the operator-semantics cardinality for the
+/// root ExecStats node (outer + inner for joins, as the materializing
+/// operators reported).
+struct PhysicalPlan {
+  std::vector<PlanStep> steps;
+  std::string out_name;
+  Schema out_schema;
+  std::string root_op = "pipeline";
+  std::uint64_t legacy_tuples_in = 0;
+};
+
+/// Executes the plan. Steps run in deterministic topological order
+/// (lowest ready index first); each pipeline step runs morsel-parallel
+/// per `options.parallel` with per-worker ExecStats accumulation.
+/// When `options.stats` is set, the node gets one child per stage
+/// ("build_index", "scan", "select", "project", "join_probe") with
+/// rows in/out, morsels scheduled/stolen, and pushdown skips; the
+/// root's `materializations` counts Relations the plan materialized —
+/// always exactly 1 (the sink), which is what "zero intermediate
+/// materializations" means operationally.
+Result<Relation> RunPlan(const PhysicalPlan& plan, const ExecOptions& options);
+
+}  // namespace exec
+}  // namespace modb
+
+#endif  // MODB_EXEC_PIPELINE_H_

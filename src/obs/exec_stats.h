@@ -53,6 +53,20 @@ struct ExecStats {
   /// Worker chunks the operator ran as (1 = serial inline).
   std::uint64_t workers = 0;
 
+  /// Pipelined engine (src/exec/): morsels this node processed, and how
+  /// many of them a worker stole from another worker's shard.
+  std::uint64_t morsels = 0;
+  std::uint64_t morsels_stolen = 0;
+
+  /// Spilled-scan rows skipped by a pushed-down predicate window using
+  /// resident stats only — no page was faulted for these rows.
+  std::uint64_t pushdown_skips = 0;
+
+  /// Relations this node materialized. A pipelined plan reports exactly
+  /// 1 (the sink); a composed chain of materializing operators reports
+  /// one per operator — the difference is the engine's whole point.
+  std::uint64_t materializations = 0;
+
   /// Operator wall time; 0 unless a stats tree was requested.
   std::uint64_t wall_ns = 0;
 

@@ -32,6 +32,7 @@
 #include "core/instant.h"
 #include "core/intime.h"
 #include "core/status.h"
+#include "db/parallel.h"
 #include "obs/metrics.h"
 #include "temporal/mapping.h"
 #include "temporal/refinement.h"
@@ -487,6 +488,59 @@ Status AtInstantBatchXYInto(const Mapping<U>& m,
   MODB_COUNTER_INC("temporal.batch.atinstant_xy_calls");
   MODB_COUNTER_ADD("temporal.batch.atinstant_instants", k);
   batch_internal::FlushSweepCounters(sweep, cursor);
+  return Status::OK();
+}
+
+/// SoA outputs of one mapping's batched position evaluation.
+struct BatchXYOutput {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<std::uint8_t> defined;
+};
+
+/// Many-mapping parallel front-end for AtInstantBatchXYInto: evaluates
+/// every mapping of `maps` at the same ascending instants, filling
+/// (*outs)[i] from maps[i]. The mapping list is statically chunked
+/// across `parallel` (same chunk-boundary rule as ParallelFor, one
+/// warm BatchScratch per chunk), so outputs land at fixed slots and the
+/// result is identical to the serial loop for any worker count. The
+/// thread-count sanity bound is enforced by the same shared helper as
+/// the query operators and the exec engine (db/parallel.h); on error,
+/// the lowest failing mapping index's Status is returned.
+template <typename U>
+  requires requires(const U& u) {
+    { u.motion().x0 } -> std::convertible_to<double>;
+  }
+Status AtInstantBatchManyXY(const std::vector<const Mapping<U>*>& maps,
+                            const std::vector<Instant>& instants,
+                            std::vector<BatchXYOutput>* outs,
+                            const ParallelOptions& parallel = {}) {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(parallel));
+  outs->resize(maps.size());
+  auto run_range = [&](std::size_t begin, std::size_t end,
+                       BatchScratch* scratch) -> Status {
+    for (std::size_t i = begin; i < end; ++i) {
+      BatchXYOutput& o = (*outs)[i];
+      MODB_RETURN_IF_ERROR(AtInstantBatchXYInto(*maps[i], instants, &o.xs,
+                                                &o.ys, &o.defined, scratch));
+    }
+    return Status::OK();
+  };
+  const std::size_t workers = ResolveWorkerCount(parallel);
+  const std::size_t chunks = std::min(workers, maps.size());
+  if (chunks <= 1) {
+    BatchScratch scratch;
+    return run_range(0, maps.size(), &scratch);
+  }
+  std::vector<Status> chunk_status(chunks, Status::OK());
+  ParallelFor(ResolvePool(parallel), maps.size(), chunks,
+              [&](std::size_t c, std::size_t begin, std::size_t end) {
+                BatchScratch scratch;
+                chunk_status[c] = run_range(begin, end, &scratch);
+              });
+  for (Status& s : chunk_status) {
+    if (!s.ok()) return s;
+  }
   return Status::OK();
 }
 

@@ -271,15 +271,19 @@ TEST(ParallelOperators, StatsSinkDoesNotChangeOutput) {
     EXPECT_EQ(stats.tuples_out, plain.NumTuples());
     EXPECT_EQ(stats.predicate_evals, planes.NumTuples());
     EXPECT_EQ(stats.workers, std::uint64_t(threads));
-    EXPECT_EQ(stats.children.size(), std::size_t(threads));
-    // Per-worker children partition the parent's counters.
-    std::uint64_t in = 0, out = 0;
-    for (const ExecStats& child : stats.children) {
-      in += child.tuples_in;
-      out += child.tuples_out;
-    }
-    EXPECT_EQ(in, stats.tuples_in);
-    EXPECT_EQ(out, stats.tuples_out);
+    // The pipelined engine reports one child per fused stage: the scan,
+    // the selection, and the ordered sink.
+    ASSERT_EQ(stats.children.size(), 3u);
+    EXPECT_EQ(stats.children[0].op, "scan");
+    EXPECT_EQ(stats.children[1].op, "select");
+    EXPECT_EQ(stats.children[2].op, "sink");
+    EXPECT_EQ(stats.children[0].tuples_in, planes.NumTuples());
+    EXPECT_EQ(stats.children[1].predicate_evals, planes.NumTuples());
+    EXPECT_EQ(stats.children[2].tuples_out, plain.NumTuples());
+    // Exactly one relation materialized (the sink), every morsel
+    // accounted for.
+    EXPECT_EQ(stats.materializations, 1u);
+    EXPECT_GE(stats.morsels, 1u);
   }
 }
 

@@ -1,0 +1,427 @@
+#include "exec/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/parallel.h"
+#include "db/query.h"
+#include "db/relation_io.h"
+#include "exec/planner.h"
+#include "gen/flights_gen.h"
+#include "obs/metrics.h"
+#include "storage/page_store.h"
+
+namespace modb {
+namespace exec {
+namespace {
+
+// AttributeValue has no operator==; compare through the storage
+// serialization, name and schema included — the "byte-identical"
+// contract the engine promises against the materializing operators.
+void ExpectByteIdentical(const Relation& a, const Relation& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.schema().NumAttributes(), b.schema().NumAttributes());
+  for (std::size_t j = 0; j < a.schema().NumAttributes(); ++j) {
+    EXPECT_EQ(a.schema().attribute(j).name, b.schema().attribute(j).name);
+  }
+  ASSERT_EQ(a.NumTuples(), b.NumTuples());
+  for (std::size_t i = 0; i < a.NumTuples(); ++i) {
+    const Tuple& ta = a.tuple(i);
+    const Tuple& tb = b.tuple(i);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      auto sa = SerializeAttribute(ta[j]);
+      auto sb = SerializeAttribute(tb[j]);
+      ASSERT_TRUE(sa.ok() && sb.ok());
+      ASSERT_EQ(*sa, *sb) << "tuple " << i << " attr " << j;
+    }
+  }
+}
+
+Relation TestPlanes(int num_flights, std::uint64_t seed) {
+  FlightsOptions opt;
+  opt.num_flights = num_flights;
+  opt.seed = seed;
+  auto rel = GeneratePlanes(opt);
+  EXPECT_TRUE(rel.ok()) << rel.status();
+  return *rel;
+}
+
+bool EvenUnits(const Tuple& t) {
+  const auto& mp = std::get<MovingPoint>(t[std::size_t(kFlightAttrFlight)]);
+  return mp.NumUnits() % 2 == 0;
+}
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 7};
+
+ExecOptions ThreadedOptions(ThreadPool* pool, ExecStats* stats = nullptr) {
+  ExecOptions options;
+  options.parallel.num_threads = 0;
+  options.parallel.pool = pool;
+  options.stats = stats;
+  return options;
+}
+
+// Counter deltas can only be asserted when the metrics registry is
+// compiled in; under MODB_NO_METRICS every counter reads 0.
+std::uint64_t CounterValue(const char* name) {
+#ifdef MODB_NO_METRICS
+  (void)name;
+  return 0;
+#else
+  return obs::Metrics::Global().counter(name)->value();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Differential: fused pipelines vs composed materializing operators.
+// ---------------------------------------------------------------------------
+
+// Select → Project as ONE pipeline must equal Select() then Project()
+// (two materializing operator calls), byte-for-byte, at every thread
+// count — and must materialize exactly one Relation doing it.
+TEST(PipelinedPlans, SelectProjectMatchesComposedOperators) {
+  Relation planes = TestPlanes(60, 11);
+  Relation composed = *Project(*Select(planes, EvenUnits),
+                               {"airline", "flight"});
+
+  LogicalQuery q;
+  q.rel = &planes;
+  q.filters.push_back(Predicate{EvenUnits, "even_units", std::nullopt});
+  q.project = std::vector<int>{kFlightAttrAirline, kFlightAttrFlight};
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ExecStats stats;
+    const std::uint64_t sinks_before =
+        CounterValue("exec.relations_materialized");
+    auto out = RunPlan(*plan, ThreadedOptions(&pool, &stats));
+    ASSERT_TRUE(out.ok()) << out.status();
+    ExpectByteIdentical(composed, *out);
+    // Zero intermediate materializations: the fused plan builds one
+    // Relation (the sink) where the composed chain builds two.
+    EXPECT_EQ(stats.materializations, 1u);
+#ifndef MODB_NO_METRICS
+    EXPECT_EQ(CounterValue("exec.relations_materialized"), sinks_before + 1);
+#else
+    (void)sinks_before;
+#endif
+    EXPECT_EQ(stats.workers, std::uint64_t(threads));
+    EXPECT_GE(stats.morsels, 1u);
+    // Stage children: scan → select → project.
+    ASSERT_EQ(stats.children.size(), 3u);
+    EXPECT_EQ(stats.children[0].op, "scan");
+    EXPECT_EQ(stats.children[1].op, "select");
+    EXPECT_EQ(stats.children[2].op, "project");
+    EXPECT_EQ(stats.children[1].predicate_evals, planes.NumTuples());
+    EXPECT_EQ(stats.children[2].tuples_out, composed.NumTuples());
+  }
+}
+
+// Select → IndexJoinOnMovingPoint as one pipeline vs the composed
+// two-operator chain. The join predicate must not depend on the outer
+// ordinal: the pipelined plan passes SOURCE row indices, the composed
+// chain passes post-select ordinals.
+TEST(PipelinedPlans, SelectIndexJoinMatchesComposedOperators) {
+  Relation planes = TestPlanes(32, 12);
+  Relation other = TestPlanes(32, 13);
+  auto join_pred = [](const Tuple& ta, std::size_t, const Tuple& tb,
+                      std::size_t) {
+    const auto& ma = std::get<MovingPoint>(ta[std::size_t(kFlightAttrFlight)]);
+    const auto& mb = std::get<MovingPoint>(tb[std::size_t(kFlightAttrFlight)]);
+    return !ma.IsEmpty() && !mb.IsEmpty();
+  };
+
+  Relation composed = *IndexJoinOnMovingPoint(
+      *Select(planes, EvenUnits), kFlightAttrFlight, other, kFlightAttrFlight,
+      500.0, join_pred);
+
+  LogicalQuery q;
+  q.rel = &planes;
+  q.filters.push_back(Predicate{EvenUnits, "even_units", std::nullopt});
+  LogicalQuery::JoinSpec join;
+  join.algorithm = LogicalQuery::JoinSpec::Algorithm::kIndex;
+  join.inner = &other;
+  join.attr_outer = kFlightAttrFlight;
+  join.attr_inner = kFlightAttrFlight;
+  join.expand = 500.0;
+  join.pred = JoinPred{join_pred, "nonempty_pair"};
+  q.join = std::move(join);
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Index plan: a build step feeding the probe pipeline.
+  ASSERT_EQ(plan->steps.size(), 2u);
+  EXPECT_TRUE(plan->steps[0].build.has_value());
+
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ExecStats stats;
+    auto out = RunPlan(*plan, ThreadedOptions(&pool, &stats));
+    ASSERT_TRUE(out.ok()) << out.status();
+    ExpectByteIdentical(composed, *out);
+    EXPECT_EQ(stats.materializations, 1u);
+    EXPECT_EQ(stats.index_builds, 1u);
+    ASSERT_EQ(stats.children.size(), 4u);
+    EXPECT_EQ(stats.children[0].op, "build_index");
+    EXPECT_EQ(stats.children[3].op, "join_probe");
+  }
+}
+
+// The nested-loop variant of the same fused plan.
+TEST(PipelinedPlans, SelectNestedLoopJoinMatchesComposedOperators) {
+  Relation planes = TestPlanes(16, 14);
+  Relation other = TestPlanes(12, 15);
+  auto join_pred = [](const Tuple& ta, std::size_t, const Tuple& tb,
+                      std::size_t) {
+    return std::get<StringValue>(ta[std::size_t(kFlightAttrAirline)]) <
+           std::get<StringValue>(tb[std::size_t(kFlightAttrAirline)]);
+  };
+  Relation composed =
+      *NestedLoopJoin(*Select(planes, EvenUnits), other, join_pred);
+
+  LogicalQuery q;
+  q.rel = &planes;
+  q.filters.push_back(Predicate{EvenUnits, "even_units", std::nullopt});
+  LogicalQuery::JoinSpec join;
+  join.algorithm = LogicalQuery::JoinSpec::Algorithm::kNestedLoop;
+  join.inner = &other;
+  join.pred = JoinPred{join_pred, "airline_lt"};
+  q.join = std::move(join);
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    auto out = RunPlan(*plan, ThreadedOptions(&pool));
+    ASSERT_TRUE(out.ok()) << out.status();
+    ExpectByteIdentical(composed, *out);
+  }
+}
+
+TEST(PipelinedPlans, EmptySourceProducesEmptyOutput) {
+  Relation planes = TestPlanes(3, 16);
+  Relation empty("planes", planes.schema());
+  LogicalQuery q;
+  q.rel = &empty;
+  q.filters.push_back(Predicate{EvenUnits, "even_units", std::nullopt});
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ExecStats stats;
+  ExecOptions options;
+  options.stats = &stats;
+  auto out = RunPlan(*plan, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->NumTuples(), 0u);
+  EXPECT_EQ(out->name(), "planes_sel");
+  EXPECT_EQ(stats.workers, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Spilled sources: pushdown and differential equivalence.
+// ---------------------------------------------------------------------------
+
+// A time-window select over a spilled relation must (a) produce exactly
+// the in-memory result, and (b) never fault pages for rows whose
+// resident stats already disqualify them.
+TEST(PipelinedPlans, SpilledScanPushdownSkipsColdRows) {
+  Relation planes = TestPlanes(48, 17);
+  PageStore store;
+  BufferPool pool(&store, 256);
+  auto spilled =
+      SpilledRelation::Spill(planes, kFlightAttrFlight, &store, &pool);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+
+  // Window over the start of the departure range: some flights overlap,
+  // later departures provably cannot.
+  const Instant t0 = 0.0, t1 = 6.0;
+  auto window_pred = [t0, t1](const Tuple& t) {
+    const auto& mp = std::get<MovingPoint>(t[std::size_t(kFlightAttrFlight)]);
+    if (mp.IsEmpty()) return false;
+    return mp.units().front().interval().start() <= t1 &&
+           t0 <= mp.units().back().interval().end();
+  };
+
+  LogicalQuery q;
+  q.spilled = &*spilled;
+  q.filters.push_back(Predicate{
+      window_pred, "deftime_window", TimeWindow{kFlightAttrFlight, t0, t1}});
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  ThreadPool tp(4);
+  ExecStats stats;
+  auto out = RunPlan(*plan, ThreadedOptions(&tp, &stats));
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  // Rows the stats disqualified were never faulted in.
+  EXPECT_GT(stats.pushdown_skips, 0u);
+  std::size_t cold = 0;
+  for (std::size_t i = 0; i < spilled->NumTuples(); ++i) {
+    if (!spilled->stats(i).MayIntersectWindow(t0, t1)) {
+      EXPECT_FALSE(spilled->IsLoaded(i)) << "row " << i << " was faulted";
+      ++cold;
+    }
+  }
+  EXPECT_EQ(stats.pushdown_skips, cold);
+  EXPECT_GT(cold, 0u);
+
+  // Byte-identical to the in-memory path over the fully loaded data.
+  auto all = spilled->MaterializeAll();
+  ASSERT_TRUE(all.ok()) << all.status();
+  Relation reference = *Select(*all, window_pred);
+  ExpectByteIdentical(reference, *out);
+}
+
+// Spilled scans stay byte-identical across thread counts (concurrent
+// page faults on distinct rows).
+TEST(PipelinedPlans, SpilledScanMatchesAcrossThreadCounts) {
+  Relation planes = TestPlanes(30, 18);
+  PageStore store;
+  BufferPool pool(&store, 256);
+  auto spilled =
+      SpilledRelation::Spill(planes, kFlightAttrFlight, &store, &pool);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+
+  LogicalQuery q;
+  q.spilled = &*spilled;
+  q.filters.push_back(Predicate{EvenUnits, "even_units", std::nullopt});
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  ExecOptions serial;
+  auto baseline = RunPlan(*plan, serial);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  EXPECT_GT(baseline->NumTuples(), 0u);
+  for (int threads : kThreadCounts) {
+    ThreadPool tp(threads);
+    auto out = RunPlan(*plan, ThreadedOptions(&tp));
+    ASSERT_TRUE(out.ok()) << out.status();
+    ExpectByteIdentical(*baseline, *out);
+  }
+}
+
+// A faulting row (corrupted page) must surface the SAME error whatever
+// the schedule: the engine reports the smallest failing morsel.
+TEST(PipelinedPlans, SpilledLoadErrorIsDeterministic) {
+  Relation planes = TestPlanes(12, 19);
+  PageStore store;
+  BufferPool pool(&store, 64);
+  auto spilled =
+      SpilledRelation::Spill(planes, kFlightAttrFlight, &store, &pool);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+  // Row 0 spilled first, so page 0 belongs to it; trash the page.
+  std::string garbage(kPageSize, '\x5a');
+  ASSERT_TRUE(store.WritePage(0, garbage.data()).ok());
+
+  LogicalQuery q;
+  q.spilled = &*spilled;
+  q.filters.push_back(
+      Predicate{[](const Tuple&) { return true; }, "all", std::nullopt});
+  q.morsel_rows = 1;
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  ExecOptions serial;
+  auto serial_out = RunPlan(*plan, serial);
+  ASSERT_FALSE(serial_out.ok());
+  for (int threads : {2, 4}) {
+    ThreadPool tp(threads);
+    auto out = RunPlan(*plan, ThreadedOptions(&tp));
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().ToString(), serial_out.status().ToString());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing: determinism under permuted completion orders.
+// ---------------------------------------------------------------------------
+
+// Fixed thread count, 1-row morsels, and a hook that stalls one chosen
+// worker per run: completion order (and who steals what) is permuted
+// across runs, the output must not move a byte, and the stalled runs
+// must actually exercise stealing.
+TEST(PipelinedPlans, WorkStealingPermutationsAreByteIdentical) {
+  Relation planes = TestPlanes(40, 20);
+  LogicalQuery q;
+  q.rel = &planes;
+  q.filters.push_back(Predicate{EvenUnits, "even_units", std::nullopt});
+  q.morsel_rows = 1;  // maximize scheduling freedom
+  auto plan = PlanQuery(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  ExecOptions serial;
+  auto baseline = RunPlan(*plan, serial);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  std::uint64_t total_stolen = 0;
+  for (std::size_t slow_worker = 0; slow_worker < 4; ++slow_worker) {
+    ExecTestHooks hooks;
+    hooks.before_morsel = [slow_worker](std::size_t worker, std::size_t) {
+      if (worker == slow_worker) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    };
+    SetExecTestHooks(&hooks);
+    ThreadPool tp(4);
+    ExecStats stats;
+    ExecOptions options = ThreadedOptions(&tp, &stats);
+    options.parallel.num_threads = 4;
+    auto out = RunPlan(*plan, options);
+    SetExecTestHooks(nullptr);
+    ASSERT_TRUE(out.ok()) << out.status();
+    ExpectByteIdentical(*baseline, *out);
+    // Every morsel claimed exactly once regardless of who ran it.
+    EXPECT_EQ(stats.morsels, 40u);
+    total_stolen += stats.morsels_stolen;
+  }
+  // A stalled worker sheds most of its shard: across the four
+  // permutations stealing must have happened.
+  EXPECT_GT(total_stolen, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Plan validation.
+// ---------------------------------------------------------------------------
+
+TEST(RunPlanValidation, RejectsMalformedPlans) {
+  Relation planes = TestPlanes(3, 21);
+  // No pipeline step.
+  PhysicalPlan no_pipe;
+  no_pipe.out_schema = planes.schema();
+  ExecOptions options;
+  EXPECT_FALSE(RunPlan(no_pipe, options).ok());
+
+  // Dependency cycle.
+  PhysicalPlan cycle;
+  cycle.out_name = "x";
+  cycle.out_schema = planes.schema();
+  PlanStep step;
+  step.pipe = Pipeline{};
+  step.pipe->rel = &planes;
+  step.deps = {0};  // depends on itself
+  cycle.steps.push_back(std::move(step));
+  EXPECT_FALSE(RunPlan(cycle, options).ok());
+
+  // Thread-count sanity bound comes from the shared helper.
+  PhysicalPlan ok_plan;
+  ok_plan.out_name = "y";
+  ok_plan.out_schema = planes.schema();
+  PlanStep ok_step;
+  ok_step.pipe = Pipeline{};
+  ok_step.pipe->rel = &planes;
+  ok_plan.steps.push_back(std::move(ok_step));
+  ExecOptions absurd;
+  absurd.parallel.num_threads = kMaxQueryThreads + 1;
+  auto r = RunPlan(ok_plan, absurd);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace modb

@@ -19,6 +19,10 @@ ExecStats SampleTree() {
   root.index_builds = 1;
   root.units_scanned = 256;
   root.workers = 2;
+  root.morsels = 9;
+  root.morsels_stolen = 3;
+  root.pushdown_skips = 5;
+  root.materializations = 1;
   root.wall_ns = 123456789;
   for (int c = 0; c < 2; ++c) {
     ExecStats child;
@@ -48,6 +52,10 @@ TEST(ExecStats, JsonRoundTripIsExact) {
   EXPECT_EQ(parsed->index_builds, root.index_builds);
   EXPECT_EQ(parsed->units_scanned, root.units_scanned);
   EXPECT_EQ(parsed->workers, root.workers);
+  EXPECT_EQ(parsed->morsels, root.morsels);
+  EXPECT_EQ(parsed->morsels_stolen, root.morsels_stolen);
+  EXPECT_EQ(parsed->pushdown_skips, root.pushdown_skips);
+  EXPECT_EQ(parsed->materializations, root.materializations);
   EXPECT_EQ(parsed->wall_ns, root.wall_ns);
   ASSERT_EQ(parsed->children.size(), 2u);
   EXPECT_EQ(parsed->children[1].op, "chunk[1]");
@@ -92,6 +100,10 @@ TEST(ExecStats, MergeCountersSumsEverythingButWallTime) {
   b.index_builds = 2;
   b.units_scanned = 6;
   b.workers = 1;
+  b.morsels = 7;
+  b.morsels_stolen = 2;
+  b.pushdown_skips = 8;
+  b.materializations = 1;
   b.wall_ns = 999;
   ExecStats child;
   child.op = "chunk[9]";
@@ -106,6 +118,10 @@ TEST(ExecStats, MergeCountersSumsEverythingButWallTime) {
   EXPECT_EQ(a.index_builds, 3u);
   EXPECT_EQ(a.units_scanned, 262u);
   EXPECT_EQ(a.workers, 3u);
+  EXPECT_EQ(a.morsels, 16u);
+  EXPECT_EQ(a.morsels_stolen, 5u);
+  EXPECT_EQ(a.pushdown_skips, 13u);
+  EXPECT_EQ(a.materializations, 2u);
   EXPECT_EQ(a.wall_ns, 123456789u);       // wall time is not additive
   EXPECT_EQ(a.children.size(), 2u);       // children untouched
 }

@@ -1,12 +1,26 @@
-// bench_compare: regression gate over two google-benchmark JSON export
-// files. Benchmarks are matched by name (aggregate rows like *_mean are
-// ignored); a benchmark whose cpu_time grew by more than the threshold
-// relative to the baseline fails the run. Benchmarks present in only
-// one file are reported but never fail — the suite is allowed to grow.
+// bench_compare: perf gates over google-benchmark JSON export files.
 //
-// Usage: bench_compare BASELINE.json CURRENT.json [--threshold=0.15]
-//   exit 0  no benchmark regressed beyond the threshold
-//   exit 1  at least one regression
+// Modes:
+//   bench_compare BASELINE.json CURRENT.json [--threshold=0.15]
+//       Regression gate. Benchmarks are matched by name (aggregate rows
+//       like *_mean are ignored); a benchmark whose cpu_time grew by
+//       more than the threshold relative to the baseline fails the run.
+//       Benchmarks present in only one file are reported but never fail
+//       — the suite is allowed to grow.
+//   bench_compare --scaling FILE.json [--min-speedup=2.0]
+//       Thread-scaling gate over a bench_scaling export: the pipelined
+//       Select+Join plan must be at least min-speedup faster (real
+//       time) at 4 threads than at 1. Hosts with fewer than 4 CPUs
+//       cannot honestly run this check, so it warns and passes there.
+//   --require-release (composable with both modes, or alone with one
+//       file) rejects a run whose JSON context was not produced by a
+//       Release build. The authoritative key is "modb_build_type"
+//       (stamped by bench_main from the CMake config that compiled the
+//       binary); "library_build_type" only describes how libbenchmark
+//       itself was built, so it is a fallback.
+//
+//   exit 0  all gates passed (or were honestly skipped with a warning)
+//   exit 1  a gate failed
 //   exit 2  usage / parse error
 //
 // tools/verify.sh runs this against the repo-root BENCH_*.json
@@ -17,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +46,11 @@ struct BenchRow {
   double real_time = 0;
 };
 
+struct BenchContext {
+  std::string build_type;  // lowercased; empty when absent
+  int num_cpus = 0;
+};
+
 double UnitToNs(const std::string& unit) {
   if (unit == "us") return 1e3;
   if (unit == "ms") return 1e6;
@@ -38,7 +58,15 @@ double UnitToNs(const std::string& unit) {
   return 1.0;  // ns (google-benchmark's default)
 }
 
-bool LoadRows(const char* path, std::vector<BenchRow>* rows) {
+std::string LowerCase(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = char(c - 'A' + 'a');
+  }
+  return s;
+}
+
+bool LoadFile(const char* path, std::vector<BenchRow>* rows,
+              BenchContext* context) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
@@ -51,6 +79,14 @@ bool LoadRows(const char* path, std::vector<BenchRow>* rows) {
     std::fprintf(stderr, "bench_compare: %s: %s\n", path,
                  parsed.status().ToString().c_str());
     return false;
+  }
+  if (const modb::obs::JsonValue* ctx = parsed->Find("context")) {
+    const modb::obs::JsonValue* build = ctx->Find("modb_build_type");
+    if (build == nullptr) build = ctx->Find("library_build_type");
+    if (build != nullptr) context->build_type = LowerCase(build->string_value());
+    if (const modb::obs::JsonValue* cpus = ctx->Find("num_cpus")) {
+      context->num_cpus = int(cpus->number_value());
+    }
   }
   const modb::obs::JsonValue* benches = parsed->Find("benchmarks");
   if (benches == nullptr ||
@@ -87,10 +123,67 @@ const BenchRow* FindRow(const std::vector<BenchRow>& rows,
   return nullptr;
 }
 
+// 0 = pass, 1 = fail.
+int CheckRelease(const char* path, const BenchContext& context) {
+  if (context.build_type == "release") return 0;
+  std::fprintf(stderr,
+               "bench_compare: %s was not recorded from a release build "
+               "(modb_build_type=\"%s\"); rebuild with --preset release\n",
+               path, context.build_type.c_str());
+  return 1;
+}
+
+int RunScalingGate(const char* path, double min_speedup, bool require_release) {
+  std::vector<BenchRow> rows;
+  BenchContext context;
+  if (!LoadFile(path, &rows, &context)) return 2;
+  if (require_release && CheckRelease(path, context) != 0) return 1;
+  // UseRealTime() benchmarks report as "<name>/T/real_time"; accept the
+  // bare name too so hand-rolled exports still gate.
+  const char* kPlan = "BM_Scaling_PipelinedSelectJoin";
+  auto find_threads = [&rows](const std::string& base) -> const BenchRow* {
+    if (const BenchRow* r = FindRow(rows, base + "/real_time")) return r;
+    return FindRow(rows, base);
+  };
+  const BenchRow* one = find_threads(std::string(kPlan) + "/1");
+  const BenchRow* four = find_threads(std::string(kPlan) + "/4");
+  if (one == nullptr || four == nullptr) {
+    std::fprintf(stderr,
+                 "bench_compare: %s is missing %s/1 or %s/4 (run "
+                 "bench_scaling with --modb_threads including 1 and 4)\n",
+                 path, kPlan, kPlan);
+    return 2;
+  }
+  const double speedup =
+      four->real_time > 0 ? one->real_time / four->real_time : 0;
+  std::printf("  scaling  %-50s %12.0f -> %12.0f ns  (%.2fx @ 4 threads)\n",
+              kPlan, one->real_time, four->real_time, speedup);
+  if (context.num_cpus < 4) {
+    std::printf(
+        "bench_compare: WARNING: host has %d CPUs (< 4); scaling gate "
+        "skipped — the %.1fx floor only applies on >= 4 cores\n",
+        context.num_cpus, min_speedup);
+    return 0;
+  }
+  if (speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "bench_compare: scaling gate FAILED: %.2fx at 4 threads "
+                 "(floor %.1fx on a %d-CPU host)\n",
+                 speedup, min_speedup, context.num_cpus);
+    return 1;
+  }
+  std::printf("bench_compare: scaling gate passed (%.2fx >= %.1fx)\n", speedup,
+              min_speedup);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double threshold = 0.15;
+  double min_speedup = 2.0;
+  bool scaling = false;
+  bool require_release = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
@@ -99,20 +192,57 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_compare: bad threshold %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
+      if (min_speedup <= 0) {
+        std::fprintf(stderr, "bench_compare: bad min-speedup %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--scaling") == 0) {
+      scaling = true;
+    } else if (std::strcmp(argv[i], "--require-release") == 0) {
+      require_release = true;
     } else {
       files.push_back(argv[i]);
     }
   }
+
+  if (scaling) {
+    if (files.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: bench_compare --scaling FILE.json "
+                   "[--min-speedup=2.0] [--require-release]\n");
+      return 2;
+    }
+    return RunScalingGate(files[0], min_speedup, require_release);
+  }
+
+  if (files.size() == 1 && require_release) {
+    // Build-type check only.
+    std::vector<BenchRow> rows;
+    BenchContext context;
+    if (!LoadFile(files[0], &rows, &context)) return 2;
+    if (CheckRelease(files[0], context) != 0) return 1;
+    std::printf("bench_compare: %s is a release-build record\n", files[0]);
+    return 0;
+  }
+
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare BASELINE.json CURRENT.json "
-                 "[--threshold=0.15]\n");
+                 "[--threshold=0.15] [--require-release]\n"
+                 "       bench_compare --scaling FILE.json "
+                 "[--min-speedup=2.0]\n"
+                 "       bench_compare --require-release FILE.json\n");
     return 2;
   }
   std::vector<BenchRow> baseline, current;
-  if (!LoadRows(files[0], &baseline) || !LoadRows(files[1], &current)) {
+  BenchContext base_ctx, cur_ctx;
+  if (!LoadFile(files[0], &baseline, &base_ctx) ||
+      !LoadFile(files[1], &current, &cur_ctx)) {
     return 2;
   }
+  if (require_release && CheckRelease(files[1], cur_ctx) != 0) return 1;
   int regressions = 0, compared = 0;
   for (const BenchRow& cur : current) {
     const BenchRow* base = FindRow(baseline, cur.name);

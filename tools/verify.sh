@@ -4,6 +4,8 @@
 #   default       RelWithDebInfo, metrics off by default, fault hooks on
 #   asan-metrics  ASan+UBSan with the metrics registry enabled
 #   nometrics     metrics AND fault hooks compiled out (stub paths)
+# then a Release (-O3 -DNDEBUG) build runs the perf smoke + thread
+# scaling gates, re-recording the repo-root BENCH_*.json snapshots.
 # Usage: tools/verify.sh [preset ...]   (defaults to all three)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,7 +16,7 @@ if [ ${#presets[@]} -eq 0 ]; then
 fi
 
 declare -A preset_dirs=(
-  [default]=build [asan]=build-asan
+  [default]=build [release]=build-release [asan]=build-asan
   [asan-metrics]=build-asan-metrics [nometrics]=build-nometrics
 )
 
@@ -45,10 +47,14 @@ for preset in "${presets[@]}"; do
   run_crashloop "$preset"
 done
 
-# Perf smoke on the default (RelWithDebInfo) build: export the key
+# Perf smoke on a Release (-O3 -DNDEBUG) build: export the key
 # query/batch benchmarks to repo-root BENCH_*.json snapshots and gate
 # them with bench_compare — >15% cpu_time growth on any benchmark that
 # also exists in the previous snapshot fails, same as a test failure.
+# bench_compare --require-release rejects records whose JSON context was
+# not stamped by a release binary, so the snapshots can never silently
+# drift back to a debug build.
+release_dir=build-release
 run_perf_smoke() {
   local name="$1" binary="$2" filter="$3"
   local out="BENCH_${name}.json"
@@ -57,29 +63,46 @@ run_perf_smoke() {
     prev="$(mktemp)"
     cp "$out" "$prev"
   fi
-  "build/bench/${binary}" \
+  "$release_dir/bench/${binary}" \
     --benchmark_filter="$filter" \
     --benchmark_min_time=0.1 \
     --benchmark_format=json \
     --benchmark_out="$out" \
     --benchmark_out_format=json
-  build/tools/json_check "$out"
+  "$release_dir/tools/json_check" "$out"
   if [ -n "$prev" ]; then
-    build/tools/bench_compare "$prev" "$out" --threshold=0.15
+    "$release_dir/tools/bench_compare" "$prev" "$out" \
+      --threshold=0.15 --require-release
     rm -f "$prev"
   else
-    echo "perf-smoke: no previous $out snapshot, gate skipped"
+    "$release_dir/tools/bench_compare" --require-release "$out"
+    echo "perf-smoke: no previous $out snapshot, regression gate skipped"
   fi
 }
 
-if [ -x build/bench/bench_queries ] && [ -x build/bench/bench_batch ]; then
-  echo "==== perf smoke ===="
-  run_perf_smoke queries bench_queries \
-    'BM_Q1_TrajectoryLength/64|BM_Q2_Join_RTree/64|BM_Q2_Join_RTree_Prebuilt/64'
-  run_perf_smoke batch bench_batch \
-    'BM_AtInstant_Batch/10000/1024|BM_AtInstant_Batch/16384/16384'
-else
-  echo "==== perf smoke skipped (default build not present) ===="
-fi
+echo "==== [release] configure + build (perf smoke) ===="
+cmake --preset release
+cmake --build --preset release -j "$jobs" \
+  --target bench_queries bench_batch bench_scaling bench_compare json_check
+
+echo "==== perf smoke (release build) ===="
+run_perf_smoke queries bench_queries \
+  'BM_Q1_TrajectoryLength/64|BM_Q2_Join_RTree/64|BM_Q2_Join_RTree_Prebuilt/64'
+run_perf_smoke batch bench_batch \
+  'BM_AtInstant_Batch/10000/1024|BM_AtInstant_Batch/16384/16384'
+
+# Thread-scaling sweep + gate: the pipelined Select+Join plan must hit
+# 2x at 4 threads vs 1 on hosts with >= 4 CPUs (bench_compare warns and
+# skips on smaller hosts — the floor would be dishonest there).
+echo "==== scaling sweep (release build) ===="
+"$release_dir/bench/bench_scaling" \
+  --modb_threads=1,2,4,8 \
+  --benchmark_min_time=0.1 \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_scaling.json \
+  --benchmark_out_format=json
+"$release_dir/tools/json_check" BENCH_scaling.json
+"$release_dir/tools/bench_compare" --scaling BENCH_scaling.json \
+  --require-release
 
 echo "==== all presets green: ${presets[*]} ===="
