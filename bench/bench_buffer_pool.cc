@@ -90,8 +90,9 @@ void BM_AtInstantBatch_InMemory(benchmark::State& state) {
   mp.BuildSearchIndex();
   std::vector<Instant> instants = SortedInstants(k, units, 13);
   std::vector<Intime<Point>> out;
+  BatchScratch scratch;
   for (auto _ : state) {
-    if (!AtInstantBatchInto(mp, instants, &out).ok()) {
+    if (!AtInstantBatchInto(mp, instants, &out, &scratch).ok()) {
       state.SkipWithError("batch failed");
     }
     benchmark::DoNotOptimize(out.data());

@@ -29,6 +29,11 @@ enum class StatusCode {
   // which storage treats as transient and retryable — a DataLoss error
   // is permanent: retrying the same I/O cannot succeed.
   kDataLoss,
+  // A bounded resource (the modbd query-thread budget, an admission
+  // queue) is exhausted. Retryable by the caller after backoff; the
+  // serving layer returns it as a typed overload rejection instead of
+  // queueing without bound.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -63,6 +68,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

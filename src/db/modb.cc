@@ -1,0 +1,324 @@
+#include "db/modb.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/interval.h"
+#include "core/range_set.h"
+#include "db/query.h"
+#include "exec/pipeline.h"
+#include "exec/planner.h"
+#include "temporal/batch_ops.h"
+#include "temporal/lifted_ops.h"
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+// Resolves `attr` in `schema` and checks its declared type, naming the
+// attribute, the relation, and both types on failure so a remote caller
+// can fix the request from the message alone.
+Result<int> ResolveSlot(const Relation& rel, const std::string& attr,
+                        AttributeType want) {
+  const int slot = rel.schema().IndexOf(attr);
+  if (slot < 0) {
+    return Status::InvalidArgument("relation '" + rel.name() +
+                                   "' has no attribute '" + attr + "'");
+  }
+  const AttributeType got = rel.schema().attribute(slot).type;
+  if (got != want) {
+    return Status::InvalidArgument(
+        "attribute '" + attr + "' of relation '" + rel.name() + "' is " +
+        AttributeTypeName(got) + ", expected " + AttributeTypeName(want));
+  }
+  return slot;
+}
+
+// Lowers one FilterSpec to an exec::Predicate. The shape strings key the
+// plan cache, so they identify the filter template (kind + slot), not
+// its constants.
+Result<exec::Predicate> LowerFilter(const Relation& rel,
+                                    const FilterSpec& f) {
+  exec::Predicate p;
+  switch (f.kind) {
+    case FilterSpec::Kind::kStringEquals: {
+      Result<int> slot = ResolveSlot(rel, f.attr, AttributeType::kString);
+      MODB_RETURN_IF_ERROR(slot.status());
+      const int s = *slot;
+      const std::string value = f.value;
+      p.fn = [s, value](const Tuple& t) {
+        return std::get<StringValue>(t[s]).value() == value;
+      };
+      p.shape = "modb.string_eq:" + std::to_string(s);
+      return p;
+    }
+    case FilterSpec::Kind::kTrajectoryLengthAtLeast: {
+      Result<int> slot = ResolveSlot(rel, f.attr, AttributeType::kMovingPoint);
+      MODB_RETURN_IF_ERROR(slot.status());
+      const int s = *slot;
+      const double threshold = f.threshold;
+      p.fn = [s, threshold](const Tuple& t) {
+        return Trajectory(std::get<MovingPoint>(t[s])).Length() >= threshold;
+      };
+      p.shape = "modb.trajlen_ge:" + std::to_string(s);
+      return p;
+    }
+    case FilterSpec::Kind::kPresentAt: {
+      Result<int> slot = ResolveSlot(rel, f.attr, AttributeType::kMovingPoint);
+      MODB_RETURN_IF_ERROR(slot.status());
+      const int s = *slot;
+      const Instant t0 = f.t0;
+      p.fn = [s, t0](const Tuple& t) {
+        return std::get<MovingPoint>(t[s]).Present(t0);
+      };
+      p.shape = "modb.present_at:" + std::to_string(s);
+      p.window = exec::TimeWindow{s, t0, t0};
+      return p;
+    }
+    case FilterSpec::Kind::kDeftimeIntersects: {
+      Result<int> slot = ResolveSlot(rel, f.attr, AttributeType::kMovingPoint);
+      MODB_RETURN_IF_ERROR(slot.status());
+      if (!(f.t0 <= f.t1)) {
+        return Status::InvalidArgument(
+            "deftime_intersects window is empty: t0 = " +
+            std::to_string(f.t0) + " > t1 = " + std::to_string(f.t1));
+      }
+      const int s = *slot;
+      Result<Interval<Instant>> iv = Interval<Instant>::Closed(f.t0, f.t1);
+      MODB_RETURN_IF_ERROR(iv.status());
+      const Periods window = Periods::Of(*iv);
+      p.fn = [s, window](const Tuple& t) {
+        return std::get<MovingPoint>(t[s]).Present(window);
+      };
+      p.shape = "modb.deftime_x:" + std::to_string(s);
+      p.window = exec::TimeWindow{s, f.t0, f.t1};
+      return p;
+    }
+  }
+  return Status::InvalidArgument("unknown filter kind " +
+                                 std::to_string(int(f.kind)));
+}
+
+// The Q2 predicate template: ever closer than `dist`, optionally only
+// distinct (i < j) pairs.
+exec::JoinPred EverCloserPred(int slot_a, int slot_b, double dist,
+                              bool distinct_pairs) {
+  exec::JoinPred p;
+  p.fn = [slot_a, slot_b, dist, distinct_pairs](
+             const Tuple& a, std::size_t i, const Tuple& b, std::size_t j) {
+    if (distinct_pairs && i >= j) return false;
+    Result<MovingReal> d = LiftedDistance(std::get<MovingPoint>(a[slot_a]),
+                                          std::get<MovingPoint>(b[slot_b]));
+    if (!d.ok() || d->IsEmpty()) return false;
+    Result<MovingReal> am = AtMin(*d);
+    return am.ok() && !am->IsEmpty() && am->Initial().val() < dist;
+  };
+  p.shape = "modb.ever_closer:" + std::to_string(slot_a) + ":" +
+            std::to_string(slot_b) + (distinct_pairs ? ":distinct" : "");
+  return p;
+}
+
+}  // namespace
+
+Status Db::Register(Relation rel) {
+  if (rel.name().empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = relations_.try_emplace(rel.name());
+  if (!inserted) {
+    return Status::FailedPrecondition("relation '" + rel.name() +
+                                      "' is already registered");
+  }
+  it->second.rel = std::move(rel);
+  return Status::OK();
+}
+
+Status Db::Drop(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Status Db::BuildIndex(const std::string& relation, const std::string& attr) {
+  std::unique_lock lock(mu_);
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  Result<int> slot =
+      ResolveSlot(it->second.rel, attr, AttributeType::kMovingPoint);
+  MODB_RETURN_IF_ERROR(slot.status());
+  Result<RTree3D> tree = BuildMovingPointIndex(it->second.rel, *slot);
+  MODB_RETURN_IF_ERROR(tree.status());
+  it->second.indexes.insert_or_assign(*slot, *std::move(tree));
+  return Status::OK();
+}
+
+std::vector<std::string> Db::RelationNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, entry] : relations_) names.push_back(name);
+  return names;
+}
+
+Result<std::uint64_t> Db::NumTuples(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return std::uint64_t{it->second.rel.NumTuples()};
+}
+
+Result<QueryResult> Db::Run(const QueryRequest& req,
+                            const ExecOptions& options) const {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(options.parallel));
+  std::shared_lock lock(mu_);
+
+  auto src_it = relations_.find(req.relation);
+  if (src_it == relations_.end()) {
+    return Status::NotFound("no relation named '" + req.relation + "'");
+  }
+  const Entry& src = src_it->second;
+
+  QueryResult result;
+  ExecOptions run = options;
+  run.stats = &result.stats;
+
+  switch (req.kind) {
+    case QueryRequest::Kind::kSelect:
+    case QueryRequest::Kind::kProject:
+    case QueryRequest::Kind::kJoin:
+    case QueryRequest::Kind::kIndexJoin: {
+      exec::LogicalQuery q;
+      q.rel = &src.rel;
+      for (const FilterSpec& f : req.filters) {
+        Result<exec::Predicate> p = LowerFilter(src.rel, f);
+        MODB_RETURN_IF_ERROR(p.status());
+        q.filters.push_back(*std::move(p));
+      }
+      if (req.kind == QueryRequest::Kind::kProject) {
+        if (req.project.empty()) {
+          return Status::InvalidArgument(
+              "project requires at least one attribute");
+        }
+        std::vector<int> slots;
+        for (const std::string& name : req.project) {
+          const int slot = src.rel.schema().IndexOf(name);
+          if (slot < 0) {
+            return Status::InvalidArgument("relation '" + req.relation +
+                                           "' has no attribute '" + name +
+                                           "'");
+          }
+          slots.push_back(slot);
+        }
+        q.project = std::move(slots);
+      } else if (req.kind != QueryRequest::Kind::kSelect) {
+        auto inner_it = relations_.find(req.join_relation);
+        if (inner_it == relations_.end()) {
+          return Status::NotFound("no relation named '" + req.join_relation +
+                                  "' (join inner)");
+        }
+        const Entry& inner = inner_it->second;
+        Result<int> outer_slot =
+            ResolveSlot(src.rel, req.attr, AttributeType::kMovingPoint);
+        MODB_RETURN_IF_ERROR(outer_slot.status());
+        Result<int> inner_slot =
+            ResolveSlot(inner.rel, req.join_attr, AttributeType::kMovingPoint);
+        MODB_RETURN_IF_ERROR(inner_slot.status());
+        exec::LogicalQuery::JoinSpec join;
+        join.inner = &inner.rel;
+        join.attr_outer = *outer_slot;
+        join.attr_inner = *inner_slot;
+        join.expand = req.distance;
+        join.pred = EverCloserPred(*outer_slot, *inner_slot, req.distance,
+                                   req.distinct_pairs);
+        if (req.kind == QueryRequest::Kind::kJoin) {
+          join.algorithm = exec::LogicalQuery::JoinSpec::Algorithm::kNestedLoop;
+        } else {
+          join.algorithm = exec::LogicalQuery::JoinSpec::Algorithm::kIndex;
+          auto tree = inner.indexes.find(*inner_slot);
+          if (tree != inner.indexes.end()) join.prebuilt = &tree->second;
+        }
+        q.join = std::move(join);
+      }
+      Result<exec::PhysicalPlan> plan = exec::PlanQuery(q);
+      MODB_RETURN_IF_ERROR(plan.status());
+      Result<Relation> rows = exec::RunPlan(*plan, run);
+      MODB_RETURN_IF_ERROR(rows.status());
+      result.payload = QueryResult::Payload::kRows;
+      result.rows = *std::move(rows);
+      break;
+    }
+
+    case QueryRequest::Kind::kAtInstantBatch: {
+      Result<int> slot =
+          ResolveSlot(src.rel, req.attr, AttributeType::kMovingPoint);
+      MODB_RETURN_IF_ERROR(slot.status());
+      std::vector<const MovingPoint*> maps;
+      maps.reserve(src.rel.NumTuples());
+      for (const Tuple& t : src.rel.tuples()) {
+        maps.push_back(&std::get<MovingPoint>(t[*slot]));
+      }
+      std::vector<BatchXYOutput> outs;
+      MODB_RETURN_IF_ERROR(
+          AtInstantBatchManyXY(maps, req.instants, &outs, run));
+      result.payload = QueryResult::Payload::kXY;
+      result.batch_tuples = maps.size();
+      result.batch_instants = req.instants.size();
+      const std::size_t cells = maps.size() * req.instants.size();
+      result.xs.reserve(cells);
+      result.ys.reserve(cells);
+      result.defined.reserve(cells);
+      for (const BatchXYOutput& out : outs) {
+        result.xs.insert(result.xs.end(), out.xs.begin(), out.xs.end());
+        result.ys.insert(result.ys.end(), out.ys.begin(), out.ys.end());
+        result.defined.insert(result.defined.end(), out.defined.begin(),
+                              out.defined.end());
+      }
+      break;
+    }
+
+    case QueryRequest::Kind::kPresentBatch: {
+      Result<int> slot =
+          ResolveSlot(src.rel, req.attr, AttributeType::kMovingPoint);
+      MODB_RETURN_IF_ERROR(slot.status());
+      const auto start = std::chrono::steady_clock::now();
+      result.payload = QueryResult::Payload::kPresent;
+      result.batch_tuples = src.rel.NumTuples();
+      result.batch_instants = req.instants.size();
+      result.present.reserve(result.batch_tuples * result.batch_instants);
+      std::vector<std::uint8_t> buf;
+      for (const Tuple& t : src.rel.tuples()) {
+        // Per-tuple kernels run serial inline; the whole loop already
+        // holds the reader lock, and stats are aggregated manually so
+        // the root node covers the full batch.
+        MODB_RETURN_IF_ERROR(PresentBatchInto(std::get<MovingPoint>(t[*slot]),
+                                              req.instants, &buf));
+        result.present.insert(result.present.end(), buf.begin(), buf.end());
+      }
+      result.stats.op = "present_batch_many";
+      result.stats.tuples_in = result.batch_tuples * result.batch_instants;
+      result.stats.workers = 1;
+      for (std::uint8_t b : result.present) result.stats.tuples_out += b;
+      result.stats.wall_ns = std::uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      break;
+    }
+
+    default:
+      return Status::InvalidArgument("unknown query kind " +
+                                     std::to_string(int(req.kind)));
+  }
+
+  if (options.stats != nullptr) *options.stats = result.stats;
+  return result;
+}
+
+}  // namespace modb

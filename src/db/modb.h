@@ -1,0 +1,175 @@
+// modb::Db — the supported embedding facade and the serving layer's
+// execution target. A Db holds named relations and prebuilt moving-point
+// R-trees resident and answers typed QueryRequests: a closed, fully
+// serializable query model (no std::function, no pointers) that a remote
+// client can ship over the wire and a local embedder can construct
+// directly. Db::Run lowers a request onto the rule-based planner and the
+// morsel-driven pipelined engine (src/exec/), so results are
+// byte-identical for any thread count — the property the serving layer's
+// concurrent-client determinism contract rests on.
+//
+// Thread model: Register/Drop/BuildIndex take the writer lock; Run takes
+// the reader lock for its whole execution, so queries run concurrently
+// with each other and never observe a half-registered relation. Results
+// are materialized copies — safe to use after the lock is released.
+
+#ifndef MODB_DB_MODB_H_
+#define MODB_DB_MODB_H_
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/instant.h"
+#include "core/status.h"
+#include "db/parallel.h"
+#include "db/relation.h"
+#include "index/rtree3d.h"
+#include "obs/exec_stats.h"
+
+namespace modb {
+
+/// One selection filter of the closed request model. `attr` names an
+/// attribute of the source relation; which other fields are read depends
+/// on `kind`. Unknown attributes and type mismatches are
+/// InvalidArgument at Run time, never undefined behavior.
+struct FilterSpec {
+  enum class Kind : std::uint8_t {
+    /// String attribute equals `value` (Q1's airline = "Lufthansa").
+    kStringEquals = 0,
+    /// length(trajectory(mpoint attr)) >= `threshold` (Q1's second
+    /// conjunct).
+    kTrajectoryLengthAtLeast = 1,
+    /// Moving-point attr is defined at instant `t0`.
+    kPresentAt = 2,
+    /// Moving-point attr's deftime intersects [t0, t1]. Annotated with a
+    /// TimeWindow, so the planner can push it into spilled scans.
+    kDeftimeIntersects = 3,
+  };
+  Kind kind = Kind::kStringEquals;
+  std::string attr;
+  std::string value;      // kStringEquals
+  double threshold = 0;   // kTrajectoryLengthAtLeast
+  Instant t0 = 0;         // kPresentAt, kDeftimeIntersects
+  Instant t1 = 0;         // kDeftimeIntersects
+};
+
+/// A typed query against a Db. Pure data: serve/wire.h encodes it 1:1.
+struct QueryRequest {
+  enum class Kind : std::uint8_t {
+    /// σ(relation) under `filters`.
+    kSelect = 0,
+    /// π(σ(relation)) onto the `project` attribute names.
+    kProject = 1,
+    /// Nested-loop ever-closer-than join of relation × join_relation.
+    kJoin = 2,
+    /// Same join through the R-tree (prebuilt via Db::BuildIndex when
+    /// available, else built inside the plan).
+    kIndexJoin = 3,
+    /// atinstant of every tuple's `attr` at each of `instants`
+    /// (ascending) — xs/ys/defined, row-major [tuple][instant].
+    kAtInstantBatch = 4,
+    /// present of every tuple's `attr` at each of `instants`.
+    kPresentBatch = 5,
+  };
+  Kind kind = Kind::kSelect;
+
+  /// Source relation name (join outer).
+  std::string relation;
+  /// Pre-filters, applied in order (kSelect/kProject/kJoin/kIndexJoin).
+  std::vector<FilterSpec> filters;
+  /// Output attribute names, in order (kProject).
+  std::vector<std::string> project;
+
+  /// Join inner relation (may equal `relation` — Q2's self join).
+  std::string join_relation;
+  /// Moving-point attribute on the source: the join outer attribute for
+  /// kJoin/kIndexJoin, the evaluation target for the batch kinds.
+  std::string attr;
+  /// Moving-point attribute on `join_relation`.
+  std::string join_attr;
+  /// Join predicate: val(initial(atmin(distance(a, b)))) < distance.
+  double distance = 0;
+  /// Self-join dedup: emit only pairs with outer row < inner row.
+  bool distinct_pairs = true;
+
+  /// Evaluation instants for the batch kinds; must be ascending.
+  std::vector<Instant> instants;
+
+  /// Wire-level execution hint: the worker count the client asks for.
+  /// The server copies it into ExecOptions.parallel and the shared
+  /// ValidateParallelOptions bound applies; Db::Run itself executes
+  /// under the ExecOptions it is given, not this field.
+  std::int64_t num_threads = 1;
+};
+
+/// The answer to a QueryRequest. Exactly one payload is populated —
+/// `payload` says which: `rows` for the relational kinds, xs/ys/defined
+/// for kAtInstantBatch, `present` for kPresentBatch. `stats` is always
+/// filled.
+struct QueryResult {
+  enum class Payload : std::uint8_t { kRows = 0, kXY = 1, kPresent = 2 };
+  Payload payload = Payload::kRows;
+
+  Relation rows;
+
+  /// Batch payload geometry: row-major [tuple][instant] flattening.
+  std::uint64_t batch_tuples = 0;
+  std::uint64_t batch_instants = 0;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<std::uint8_t> defined;
+  std::vector<std::uint8_t> present;
+
+  ExecStats stats;
+};
+
+/// The resident database: named relations plus prebuilt R-trees over
+/// their moving-point attributes.
+class Db {
+ public:
+  Db() = default;
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  /// Registers `rel` under its name. FailedPrecondition if the name is
+  /// taken, InvalidArgument on an empty name.
+  Status Register(Relation rel);
+
+  /// Drops the relation and any indexes built over it. NotFound if
+  /// absent.
+  Status Drop(const std::string& name);
+
+  /// Builds (or rebuilds) the R-tree over `relation`'s moving-point
+  /// attribute `attr` and keeps it resident; subsequent kIndexJoin
+  /// requests with this inner attribute probe it without a build step.
+  Status BuildIndex(const std::string& relation, const std::string& attr);
+
+  /// Registered relation names, sorted.
+  std::vector<std::string> RelationNames() const;
+  /// Tuple count of a registered relation; NotFound if absent.
+  Result<std::uint64_t> NumTuples(const std::string& name) const;
+
+  /// Executes `req` under `options` (policy + optional extra stats
+  /// sink; the result's own `stats` member is always populated).
+  /// Deterministic: for a fixed Db state and request, the payload is
+  /// byte-identical for every valid options.parallel.num_threads.
+  Result<QueryResult> Run(const QueryRequest& req,
+                          const ExecOptions& options = {}) const;
+
+ private:
+  struct Entry {
+    Relation rel;
+    /// Prebuilt R-trees by attribute slot.
+    std::map<int, RTree3D> indexes;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Entry> relations_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_DB_MODB_H_

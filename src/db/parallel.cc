@@ -43,10 +43,10 @@ ThreadPool& ThreadPool::Shared() {
 Status ValidateParallelOptions(const ParallelOptions& options) {
   if (options.num_threads > kMaxQueryThreads) {
     return Status::InvalidArgument(
-        "ParallelOptions.num_threads = " +
-        std::to_string(options.num_threads) + " exceeds the sanity bound of " +
-        std::to_string(kMaxQueryThreads) +
-        " (<= 0 selects one worker per pool thread)");
+        "ParallelOptions.num_threads = " + std::to_string(options.num_threads) +
+        " exceeds kMaxQueryThreads = " + std::to_string(kMaxQueryThreads) +
+        " (valid range: num_threads <= " + std::to_string(kMaxQueryThreads) +
+        "; <= 0 selects one worker per pool thread)");
   }
   return Status::OK();
 }

@@ -20,6 +20,10 @@
 
 namespace modb {
 
+namespace obs {
+struct ExecStats;
+}  // namespace obs
+
 /// Fixed-size pool of worker threads draining a FIFO task queue.
 class ThreadPool {
  public:
@@ -72,10 +76,27 @@ struct ParallelOptions {
 inline constexpr int kMaxQueryThreads = 4096;
 
 /// The one validation point for every ParallelOptions consumer — the
-/// query operators, the exec engine, and any batch kernel that accepts
-/// a parallel policy all call this, so the sanity bound is enforced
-/// (and phrased) identically everywhere.
+/// query operators, the exec engine, the batch kernels, and the modbd
+/// server all call this, so the sanity bound is enforced (and phrased)
+/// identically everywhere. The error message names the offending field
+/// and the violated bound so a remote caller seeing the round-tripped
+/// kInvalidArgument can fix its request without reading server logs.
 Status ValidateParallelOptions(const ParallelOptions& options);
+
+/// Per-call execution options shared by every query operator
+/// (db/query.h) and the unified temporal batch front-ends
+/// (temporal/batch_ops.h, temporal/paged_ops.h): one entrypoint shape,
+/// Result<…>(…, const ExecOptions&), across the whole public surface.
+struct ExecOptions {
+  /// Chunking/pool policy. ExecOptions defaults to serial inline
+  /// (num_threads = 1); a ParallelOptions you construct yourself keeps
+  /// its historical default of 0 = one chunk per pool thread.
+  ParallelOptions parallel{.num_threads = 1};
+  /// When non-null, the operator fills one ExecStats node here
+  /// (cardinalities, predicate/index counters, wall time, one child per
+  /// worker chunk). Null skips even the clock reads.
+  obs::ExecStats* stats = nullptr;
+};
 
 /// The worker/chunk count `options` resolves to: 1 when serial, the
 /// explicit count when positive, one per pool thread otherwise.

@@ -22,21 +22,10 @@
 
 namespace modb {
 
-// ParallelOptions, kMaxQueryThreads, and ValidateParallelOptions live in
-// db/parallel.h so the sanity bound is validated by one shared helper
-// across the query operators, the exec engine, and the batch kernels.
-
-/// Per-call execution options shared by every query operator.
-struct ExecOptions {
-  /// Chunking/pool policy. ExecOptions defaults to serial inline
-  /// (num_threads = 1); a ParallelOptions you construct yourself keeps
-  /// its historical default of 0 = one chunk per pool thread.
-  ParallelOptions parallel{.num_threads = 1};
-  /// When non-null, the operator fills one ExecStats node here
-  /// (cardinalities, predicate/index counters, wall time, one child per
-  /// worker chunk). Null skips even the clock reads.
-  ExecStats* stats = nullptr;
-};
+// ParallelOptions, kMaxQueryThreads, ValidateParallelOptions, and
+// ExecOptions live in db/parallel.h so the sanity bound is validated by
+// one shared helper — and the entrypoint shape is shared — across the
+// query operators, the exec engine, and the temporal batch kernels.
 
 /// σ: tuples of `rel` satisfying `pred`.
 Result<Relation> Select(const Relation& rel,

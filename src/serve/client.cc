@@ -1,0 +1,104 @@
+#include "serve/client.h"
+
+#include <optional>
+#include <utility>
+
+#include "obs/exec_stats.h"
+#include "serve/net.h"
+#include "serve/wire.h"
+
+namespace modb {
+namespace serve {
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  Result<int> fd = ConnectTcp(host, port);
+  MODB_RETURN_IF_ERROR(fd.status());
+  return Client(*fd);
+}
+
+Client::~Client() { CloseFd(fd_); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    CloseFd(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client::Reply> Client::Query(const QueryRequest& req) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  MODB_RETURN_IF_ERROR(
+      WriteFrame(fd_, FrameType::kQuery, EncodeQueryRequest(req)));
+  Result<std::optional<Frame>> frame = ReadFrame(fd_);
+  MODB_RETURN_IF_ERROR(frame.status());
+  if (!frame->has_value()) {
+    return Status::DataLoss("server closed the connection before replying");
+  }
+  if ((*frame)->type != FrameType::kReply) {
+    return Status::InvalidArgument("expected a reply frame, got type " +
+                                   std::to_string(int((*frame)->type)));
+  }
+  Result<WireReply> wire = DecodeReply((*frame)->payload);
+  MODB_RETURN_IF_ERROR(wire.status());
+  Reply reply;
+  reply.status = wire->status;
+  if (wire->status.ok()) {
+    Result<QueryResult> result = DecodeResultBlock(wire->result_block);
+    MODB_RETURN_IF_ERROR(result.status());
+    reply.result = *std::move(result);
+    reply.result_block = std::move(wire->result_block);
+    if (!wire->stats_json.empty()) {
+      Result<ExecStats> stats = ExecStats::FromJson(wire->stats_json);
+      MODB_RETURN_IF_ERROR(stats.status());
+      reply.result.stats = *std::move(stats);
+    }
+  }
+  return reply;
+}
+
+Result<std::string> FetchMetricsJson(const std::string& host, int port) {
+  Result<int> fd = ConnectTcp(host, port);
+  MODB_RETURN_IF_ERROR(fd.status());
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  Status sent = WriteFull(*fd, request.data(), request.size());
+  if (!sent.ok()) {
+    CloseFd(*fd);
+    return sent;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    Result<bool> got = ReadFullOrEof(*fd, buf, 1);
+    if (!got.ok()) {
+      CloseFd(*fd);
+      return got.status();
+    }
+    if (!*got) break;
+    response.push_back(buf[0]);
+    if (response.size() > (8u << 20)) {
+      CloseFd(*fd);
+      return Status::InvalidArgument("metrics response exceeds 8 MiB");
+    }
+  }
+  CloseFd(*fd);
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return Status::DataLoss("malformed HTTP response (no header terminator)");
+  }
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    return Status::Internal("metrics endpoint returned: " +
+                            response.substr(0, response.find("\r\n")));
+  }
+  return response.substr(body + 4);
+}
+
+}  // namespace serve
+}  // namespace modb

@@ -1,0 +1,58 @@
+// The modbd client: one TCP connection speaking the frame protocol,
+// issuing QueryRequests and decoding replies. Used by tools/loadgen and
+// by any embedder that wants to talk to a remote modbd instead of an
+// in-process modb::Db — Reply mirrors what Db::Run returns, plus the
+// raw result-block bytes for byte-identity comparisons.
+
+#ifndef MODB_SERVE_CLIENT_H_
+#define MODB_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "db/modb.h"
+
+namespace modb {
+namespace serve {
+
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  struct Reply {
+    /// The server's verdict on the query — a failed query (unknown
+    /// relation, invalid num_threads, admission rejection) arrives
+    /// here, NOT as the transport error of Query().
+    Status status;
+    /// Decoded result; meaningful only when status is OK.
+    QueryResult result;
+    /// The raw result block: byte-identical across runs and thread
+    /// counts for the same query against the same Db state.
+    std::string result_block;
+  };
+
+  /// Sends `req` and waits for the reply. The returned status is the
+  /// transport/protocol verdict; the server's query verdict is
+  /// Reply::status.
+  Result<Reply> Query(const QueryRequest& req);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// Fetches the server's /metrics JSON over HTTP on the same port.
+Result<std::string> FetchMetricsJson(const std::string& host, int port);
+
+}  // namespace serve
+}  // namespace modb
+
+#endif  // MODB_SERVE_CLIENT_H_

@@ -1,0 +1,168 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace modb {
+namespace serve {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port " + std::to_string(port) +
+                                   " out of range [0, 65535]");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(std::uint16_t(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address '" + host +
+                                   "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& host, int port) {
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  MODB_RETURN_IF_ERROR(addr.status());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof *addr) <
+      0) {
+    Status s = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return int(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  MODB_RETURN_IF_ERROR(addr.status());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                sizeof *addr) < 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+Result<bool> ReadFullOrEof(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      return Status::DataLoss("connection closed mid-message (" +
+                              std::to_string(got) + " of " +
+                              std::to_string(n) + " bytes)");
+    }
+    got += std::size_t(r);
+  }
+  return true;
+}
+
+Status ReadFull(int fd, void* buf, std::size_t n) {
+  Result<bool> r = ReadFullOrEof(fd, buf, n);
+  MODB_RETURN_IF_ERROR(r.status());
+  if (!*r) {
+    return Status::DataLoss("connection closed before message");
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, p + sent, n - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    sent += std::size_t(w);
+  }
+  return Status::OK();
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void ShutdownReadFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte cap");
+  }
+  std::string msg = EncodeFrameHeader(type, std::uint32_t(payload.size()));
+  msg.append(payload.data(), payload.size());
+  return WriteFull(fd, msg.data(), msg.size());
+}
+
+Result<std::optional<Frame>> ReadFrame(int fd) {
+  char header[kFrameHeaderBytes];
+  Result<bool> got = ReadFullOrEof(fd, header, sizeof header);
+  MODB_RETURN_IF_ERROR(got.status());
+  if (!*got) return std::optional<Frame>();
+  Result<FrameHeader> h =
+      DecodeFrameHeader(std::string_view(header, sizeof header));
+  MODB_RETURN_IF_ERROR(h.status());
+  Frame frame;
+  frame.type = h->type;
+  frame.payload.resize(h->payload_len);
+  if (h->payload_len > 0) {
+    MODB_RETURN_IF_ERROR(ReadFull(fd, frame.payload.data(), h->payload_len));
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace serve
+}  // namespace modb

@@ -1,0 +1,65 @@
+// Thin POSIX TCP helpers shared by the modbd server and the client:
+// bind/listen/connect plus loop-until-done reads and writes, and the
+// frame I/O built on them. Everything returns Status/Result — no
+// exceptions, no partial-read surprises — and file descriptors are
+// plain ints owned by the caller.
+
+#ifndef MODB_SERVE_NET_H_
+#define MODB_SERVE_NET_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+#include "serve/wire.h"
+
+namespace modb {
+namespace serve {
+
+/// Binds and listens on host:port (port 0 picks an ephemeral port).
+/// Returns the listening fd.
+Result<int> ListenTcp(const std::string& host, int port);
+
+/// The locally bound port of a socket (resolves port-0 binds).
+Result<int> BoundPort(int fd);
+
+/// Connects to host:port; returns the connected fd.
+Result<int> ConnectTcp(const std::string& host, int port);
+
+/// Reads exactly n bytes. Internal on error, DataLoss on EOF mid-read.
+Status ReadFull(int fd, void* buf, std::size_t n);
+
+/// Like ReadFull, but a clean EOF before the first byte returns false
+/// (the peer closed between messages — not an error).
+Result<bool> ReadFullOrEof(int fd, void* buf, std::size_t n);
+
+/// Writes exactly n bytes.
+Status WriteFull(int fd, const void* buf, std::size_t n);
+
+/// Half-closes / closes, ignoring errors (teardown paths).
+/// ShutdownReadFd closes only the read side: a blocked read returns,
+/// but a reply in flight can still be written.
+void ShutdownFd(int fd);
+void ShutdownReadFd(int fd);
+void CloseFd(int fd);
+
+/// Writes one frame (header + payload). The payload must fit the frame
+/// cap.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+struct Frame {
+  FrameType type = FrameType::kQuery;
+  std::string payload;
+};
+
+/// Reads one frame; nullopt on clean EOF at a frame boundary. Header
+/// decode errors (bad magic, oversized length) surface as the header
+/// decoder's typed status without reading the payload.
+Result<std::optional<Frame>> ReadFrame(int fd);
+
+}  // namespace serve
+}  // namespace modb
+
+#endif  // MODB_SERVE_NET_H_

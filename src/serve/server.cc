@@ -1,0 +1,300 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "db/parallel.h"
+#include "obs/metrics.h"
+#include "serve/net.h"
+#include "serve/wire.h"
+
+namespace modb {
+namespace serve {
+namespace {
+
+// num_threads travels as i64; fold it into int range without changing
+// whether ValidateParallelOptions accepts it (every value outside
+// [-2^30, 2^30] is far outside [anything, kMaxQueryThreads] anyway).
+int ClampThreads(std::int64_t n) {
+  constexpr std::int64_t kLimit = std::int64_t{1} << 30;
+  return int(std::clamp(n, -kLimit, kLimit));
+}
+
+std::string HttpResponse(const std::string& status_line,
+                         const std::string& body) {
+  return "HTTP/1.0 " + status_line +
+         "\r\nContent-Type: application/json\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+         body;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(std::int64_t budget,
+                                         std::size_t queue_capacity)
+    : budget_(budget), queue_capacity_(queue_capacity) {}
+
+Status AdmissionController::Acquire(std::int64_t cost) {
+  if (cost <= 0) {
+    return Status::InvalidArgument("admission cost must be positive, got " +
+                                   std::to_string(cost));
+  }
+  std::unique_lock lock(mu_);
+  if (cost > budget_) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        "query needs " + std::to_string(cost) +
+        " worker threads but the server budget is " +
+        std::to_string(budget_) + " (lower the request's num_threads)");
+  }
+  if (in_use_ + cost <= budget_ && queued_ == 0) {
+    in_use_ += cost;
+    ++next_ticket_;
+    ++serving_ticket_;
+    return Status::OK();
+  }
+  if (queued_ >= queue_capacity_) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        "admission queue is full (" + std::to_string(queue_capacity_) +
+        " queries already waiting for the " + std::to_string(budget_) +
+        "-thread budget); retry after backoff");
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  ++queued_;
+  cv_.wait(lock, [&] {
+    return serving_ticket_ == ticket && in_use_ + cost <= budget_;
+  });
+  --queued_;
+  in_use_ += cost;
+  ++serving_ticket_;
+  // The next waiter may also fit (e.g. two cheap queries released
+  // together); let it re-check.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void AdmissionController::Release(std::int64_t cost) {
+  {
+    std::lock_guard lock(mu_);
+    in_use_ -= cost;
+  }
+  cv_.notify_all();
+}
+
+std::int64_t AdmissionController::in_use() const {
+  std::lock_guard lock(mu_);
+  return in_use_;
+}
+
+std::size_t AdmissionController::queued() const {
+  std::lock_guard lock(mu_);
+  return queued_;
+}
+
+std::uint64_t AdmissionController::rejected() const {
+  std::lock_guard lock(mu_);
+  return rejected_;
+}
+
+Server::Server(Db* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      admission_(options_.thread_budget, options_.queue_capacity) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (options_.thread_budget < 1 ||
+      options_.thread_budget > kMaxQueryThreads) {
+    return Status::InvalidArgument(
+        "ServerOptions.thread_budget = " +
+        std::to_string(options_.thread_budget) + " must be in [1, " +
+        std::to_string(kMaxQueryThreads) + "] (kMaxQueryThreads)");
+  }
+  Result<int> fd = ListenTcp(options_.host, options_.port);
+  MODB_RETURN_IF_ERROR(fd.status());
+  Result<int> port = BoundPort(*fd);
+  if (!port.ok()) {
+    CloseFd(*fd);
+    return port.status();
+  }
+  listen_fd_ = *fd;
+  port_ = *port;
+  {
+    std::lock_guard lock(mu_);
+    started_ = true;
+    stopping_ = false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;  // claim the shutdown; later Stop()s return above
+    stopping_ = true;
+  }
+  // Wake the blocking accept().
+  ShutdownFd(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Half-close every open connection: reads drain to EOF so the
+  // per-connection loops exit after their current request, while reply
+  // writes for in-flight queries still go out.
+  {
+    std::lock_guard lock(mu_);
+    for (int fd : open_fds_) ShutdownReadFd(fd);
+  }
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      if (fd >= 0) CloseFd(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listening socket is gone
+    }
+    MODB_COUNTER_INC("serve.connections");
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  // Sniff the first bytes: an HTTP GET (the /metrics endpoint) instead
+  // of a frame magic diverts the whole connection to the HTTP path.
+  char sniff[4];
+  Result<bool> got = ReadFullOrEof(fd, sniff, sizeof sniff);
+  if (got.ok() && *got && std::string_view(sniff, 4) == "GET ") {
+    ServeHttp(fd, std::string(sniff, 4));
+  } else if (got.ok() && *got) {
+    bool first = true;
+    for (;;) {
+      char header[kFrameHeaderBytes];
+      if (first) {
+        std::memcpy(header, sniff, 4);
+        if (!ReadFull(fd, header + 4, sizeof header - 4).ok()) break;
+        first = false;
+      } else {
+        Result<bool> more = ReadFullOrEof(fd, header, sizeof header);
+        if (!more.ok() || !*more) break;
+      }
+      Result<FrameHeader> h =
+          DecodeFrameHeader(std::string_view(header, sizeof header));
+      if (!h.ok()) {
+        // The stream cannot be resynchronized after a bad header; send
+        // the typed error and drop the connection.
+        Result<std::string> reply = EncodeReply(h.status(), nullptr);
+        if (reply.ok()) (void)WriteFrame(fd, FrameType::kReply, *reply);
+        MODB_COUNTER_INC("serve.errors");
+        break;
+      }
+      std::string payload(h->payload_len, '\0');
+      if (h->payload_len > 0 &&
+          !ReadFull(fd, payload.data(), payload.size()).ok()) {
+        break;
+      }
+      std::string reply;
+      if (h->type != FrameType::kQuery) {
+        Result<std::string> r = EncodeReply(
+            Status::InvalidArgument("expected a query frame"), nullptr);
+        reply = r.ok() ? *std::move(r) : std::string();
+        MODB_COUNTER_INC("serve.errors");
+      } else {
+        reply = HandleQuery(payload);
+      }
+      if (reply.empty() || !WriteFrame(fd, FrameType::kReply, reply).ok()) {
+        break;
+      }
+    }
+  }
+  std::lock_guard lock(mu_);
+  open_fds_.erase(std::find(open_fds_.begin(), open_fds_.end(), fd));
+  CloseFd(fd);
+}
+
+void Server::ServeHttp(int fd, const std::string& sniffed) {
+  // Read the rest of the request head (bounded; body-less GET).
+  std::string head = sniffed;
+  char c;
+  while (head.size() < 8192 &&
+         head.find("\r\n\r\n") == std::string::npos) {
+    Result<bool> got = ReadFullOrEof(fd, &c, 1);
+    if (!got.ok() || !*got) break;
+    head.push_back(c);
+  }
+  const std::size_t path_begin = 4;  // after "GET "
+  const std::size_t path_end = head.find(' ', path_begin);
+  const std::string path = path_end == std::string::npos
+                               ? std::string()
+                               : head.substr(path_begin, path_end - path_begin);
+  std::string response;
+  if (path == "/metrics") {
+    response = HttpResponse("200 OK", obs::Metrics::Global().ToJson());
+  } else {
+    response = HttpResponse("404 Not Found", "{\"error\":\"not found\"}");
+  }
+  (void)WriteFull(fd, response.data(), response.size());
+}
+
+std::string Server::HandleQuery(const std::string& payload) {
+  const auto start = std::chrono::steady_clock::now();
+  MODB_COUNTER_INC("serve.requests");
+  auto reply_error = [](const Status& s) {
+    Result<std::string> r = EncodeReply(s, nullptr);
+    MODB_COUNTER_INC("serve.errors");
+    return r.ok() ? *std::move(r) : std::string();
+  };
+
+  Result<QueryRequest> req = DecodeQueryRequest(payload);
+  if (!req.ok()) return reply_error(req.status());
+
+  ExecOptions options;
+  options.parallel.num_threads = ClampThreads(req->num_threads);
+  // The shared validation point; its message names the offending field
+  // and bound, and the reply round-trips it as kInvalidArgument.
+  if (Status s = ValidateParallelOptions(options.parallel); !s.ok()) {
+    return reply_error(s);
+  }
+
+  const std::int64_t cost =
+      std::int64_t(ResolveWorkerCount(options.parallel));
+  if (Status s = admission_.Acquire(cost); !s.ok()) {
+    MODB_COUNTER_INC("serve.rejected");
+    return reply_error(s);
+  }
+  Result<QueryResult> result = db_->Run(*req, options);
+  admission_.Release(cost);
+  if (!result.ok()) return reply_error(result.status());
+
+  Result<std::string> reply = EncodeReply(Status::OK(), &*result);
+  if (!reply.ok()) return reply_error(reply.status());
+  MODB_HISTOGRAM_RECORD(
+      "serve.request_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return *std::move(reply);
+}
+
+}  // namespace serve
+}  // namespace modb

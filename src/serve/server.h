@@ -1,0 +1,136 @@
+// modbd's serving core: a thread-per-connection TCP server that holds a
+// modb::Db resident and executes QueryRequests through it, plus the
+// admission controller that bounds the server-wide query-thread budget.
+//
+// Admission control: every query costs the worker count its
+// ParallelOptions resolve to. Costs are debited from a fixed budget; a
+// query that does not fit waits in a bounded FIFO queue, and when the
+// queue is full — or the query could never fit — it is rejected with a
+// typed kResourceExhausted, which the wire layer round-trips to the
+// client. Overload therefore degrades into fast typed rejections, never
+// unbounded queueing, hangs, or crashes.
+//
+// Graceful shutdown: Stop() stops accepting, half-closes every open
+// connection (so idle clients see EOF and per-connection loops exit
+// after their current request), then joins every connection thread —
+// in-flight and admission-queued queries run to completion and their
+// replies are delivered before Stop() returns.
+//
+// Observability: requests, rejections, errors, and per-request wall
+// times go to the process-global obs::Metrics registry; an HTTP
+// "GET /metrics" on the same port (sniffed from the first bytes of a
+// connection) returns the registry's JSON snapshot.
+
+#ifndef MODB_SERVE_SERVER_H_
+#define MODB_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "db/modb.h"
+
+namespace modb {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via Server::port().
+  int port = 0;
+  /// Server-wide worker budget queries are admitted against. Must be in
+  /// [1, kMaxQueryThreads].
+  std::int64_t thread_budget = 64;
+  /// Queries allowed to wait for budget before rejections start.
+  std::size_t queue_capacity = 64;
+};
+
+/// The query-thread budget gate. Exposed (rather than buried in the
+/// server) so tests can drive overload deterministically without
+/// sockets.
+class AdmissionController {
+ public:
+  AdmissionController(std::int64_t budget, std::size_t queue_capacity);
+
+  /// Debits `cost` workers, waiting in FIFO order while the budget is
+  /// exhausted. ResourceExhausted when `cost` exceeds the whole budget
+  /// (can never fit) or the wait queue is full. InvalidArgument for a
+  /// non-positive cost.
+  Status Acquire(std::int64_t cost);
+  /// Credits `cost` back and wakes the longest-waiting query.
+  void Release(std::int64_t cost);
+
+  std::int64_t budget() const { return budget_; }
+  std::int64_t in_use() const;
+  std::size_t queued() const;
+  std::uint64_t rejected() const;
+
+ private:
+  const std::int64_t budget_;
+  const std::size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t in_use_ = 0;
+  std::size_t queued_ = 0;
+  /// FIFO fairness: tickets admit waiters in arrival order, so a cheap
+  /// query cannot starve an expensive one that arrived first.
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t serving_ticket_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// The server. Owns its accept and connection threads; does NOT own the
+/// Db (the embedder does — modbd's main builds one, registers
+/// relations, then starts a Server over it).
+class Server {
+ public:
+  /// `db` must outlive the server.
+  Server(Db* db, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts accepting. InvalidArgument if the
+  /// options are out of range (thread_budget vs kMaxQueryThreads).
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  int port() const { return port_; }
+
+  /// Graceful shutdown; idempotent. Returns after every connection
+  /// thread has drained and joined.
+  void Stop();
+
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one already-sniffed HTTP connection (metrics endpoint).
+  void ServeHttp(int fd, const std::string& sniffed);
+  /// Decodes, admits, executes, and encodes one query payload.
+  std::string HandleQuery(const std::string& payload);
+
+  Db* const db_;
+  const ServerOptions options_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> connections_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace serve
+}  // namespace modb
+
+#endif  // MODB_SERVE_SERVER_H_

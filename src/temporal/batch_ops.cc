@@ -200,39 +200,42 @@ void EvalMotionPositionsXY(const MappingSearchIndex& ix, const Instant* ts,
 // query layer evaluates in bulk, keeping their code out of every
 // including TU.
 
+// (Only the unified ExecOptions entrypoints are pinned; the
+// [[deprecated]] wrappers instantiate at their remaining call sites and
+// disappear with them next PR.)
+
 template Status AtInstantBatchInto<UPoint>(const Mapping<UPoint>&,
                                            const std::vector<Instant>&,
                                            std::vector<Intime<Point>>*,
-                                           BatchScratch*);
-template Status AtInstantBatchInto<UPoint>(const Mapping<UPoint>&,
-                                           const std::vector<Instant>&,
-                                           std::vector<Intime<Point>>*);
+                                           BatchScratch*, const ExecOptions&);
 template Status AtInstantBatchInto<UReal>(const Mapping<UReal>&,
                                           const std::vector<Instant>&,
                                           std::vector<Intime<double>>*,
-                                          BatchScratch*);
-template Status AtInstantBatchInto<UReal>(const Mapping<UReal>&,
-                                          const std::vector<Instant>&,
-                                          std::vector<Intime<double>>*);
+                                          BatchScratch*, const ExecOptions&);
 template Result<std::vector<Intime<Point>>> AtInstantBatch<UPoint>(
-    const Mapping<UPoint>&, const std::vector<Instant>&);
+    const Mapping<UPoint>&, const std::vector<Instant>&, const ExecOptions&);
 template Result<std::vector<Intime<double>>> AtInstantBatch<UReal>(
-    const Mapping<UReal>&, const std::vector<Instant>&);
+    const Mapping<UReal>&, const std::vector<Instant>&, const ExecOptions&);
 template Status AtInstantBatchXYInto<UPoint>(const Mapping<UPoint>&,
                                              const std::vector<Instant>&,
-                                             std::vector<double>*,
-                                             std::vector<double>*,
-                                             std::vector<std::uint8_t>*,
-                                             BatchScratch*);
+                                             BatchXYOutput*, BatchScratch*,
+                                             const ExecOptions&);
+template Result<BatchXYOutput> AtInstantBatchXY<UPoint>(
+    const Mapping<UPoint>&, const std::vector<Instant>&, const ExecOptions&);
+template Status AtInstantBatchManyXY<UPoint>(
+    const std::vector<const Mapping<UPoint>*>&, const std::vector<Instant>&,
+    std::vector<BatchXYOutput>*, const ExecOptions&);
 template Status PresentBatchInto<UPoint>(const Mapping<UPoint>&,
                                          const std::vector<Instant>&,
-                                         std::vector<std::uint8_t>*);
+                                         std::vector<std::uint8_t>*,
+                                         const ExecOptions&);
 template Status PresentBatchInto<UReal>(const Mapping<UReal>&,
                                         const std::vector<Instant>&,
-                                        std::vector<std::uint8_t>*);
+                                        std::vector<std::uint8_t>*,
+                                        const ExecOptions&);
 template Result<std::vector<std::uint8_t>> PresentBatch<UPoint>(
-    const Mapping<UPoint>&, const std::vector<Instant>&);
+    const Mapping<UPoint>&, const std::vector<Instant>&, const ExecOptions&);
 template Result<std::vector<std::uint8_t>> PresentBatch<UReal>(
-    const Mapping<UReal>&, const std::vector<Instant>&);
+    const Mapping<UReal>&, const std::vector<Instant>&, const ExecOptions&);
 
 }  // namespace modb

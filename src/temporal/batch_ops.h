@@ -22,17 +22,20 @@
 #define MODB_TEMPORAL_BATCH_OPS_H_
 
 #include <algorithm>
+#include <chrono>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/instant.h"
 #include "core/intime.h"
 #include "core/status.h"
 #include "db/parallel.h"
+#include "obs/exec_stats.h"
 #include "obs/metrics.h"
 #include "temporal/mapping.h"
 #include "temporal/refinement.h"
@@ -317,20 +320,11 @@ struct BatchScratch {
   std::vector<std::int32_t> unit_idx;
 };
 
-/// atinstant over a batch of ascending instants: one merge sweep instead
-/// of k independent O(log n) searches. Instants outside the deftime
-/// yield undefined Intime values, exactly like Mapping::AtInstant.
-/// Clears and fills `*out`, reusing its capacity — hoist the buffer out
-/// of a per-tuple loop to evaluate many batches without reallocating.
-///
-/// When the mapping has a SoA search index with packed motion
-/// coefficients (upoint), the kernel splits into a resolve pass (merge
-/// sweep filling `scratch->unit_idx`) and a vectorized evaluation pass
-/// over the contiguous coefficient arrays — byte-identical output to
-/// the generic path. Pass a hoisted BatchScratch to make repeated calls
-/// allocation-free.
+namespace batch_internal {
+
+/// The atinstant sweep core (see AtInstantBatchInto for the contract).
 template <typename U>
-Status AtInstantBatchInto(const Mapping<U>& m,
+Status AtInstantBatchCore(const Mapping<U>& m,
                           const std::vector<Instant>& instants,
                           std::vector<Intime<typename U::ValueType>>* out,
                           BatchScratch* scratch) {
@@ -404,35 +398,12 @@ Status AtInstantBatchInto(const Mapping<U>& m,
   return Status::OK();
 }
 
-/// Scratch-allocating overload (one index-array allocation per call on
-/// the fast path; prefer the scratch overload in loops).
-template <typename U>
-Status AtInstantBatchInto(const Mapping<U>& m,
-                          const std::vector<Instant>& instants,
-                          std::vector<Intime<typename U::ValueType>>* out) {
-  BatchScratch scratch;
-  return AtInstantBatchInto(m, instants, out, &scratch);
-}
-
-/// Allocating convenience wrapper around AtInstantBatchInto.
-template <typename U>
-Result<std::vector<Intime<typename U::ValueType>>> AtInstantBatch(
-    const Mapping<U>& m, const std::vector<Instant>& instants) {
-  std::vector<Intime<typename U::ValueType>> out;
-  MODB_RETURN_IF_ERROR(AtInstantBatchInto(m, instants, &out));
-  return out;
-}
-
-/// Batched upoint position evaluation with SoA outputs: xs/ys get the
-/// evaluated coordinates (0 where undefined) and defined the 0/1
-/// presence flags — packed arrays ready for downstream vector kernels,
-/// with the same resolve pass as AtInstantBatchInto. Requires ascending
-/// instants. Clears and fills the output vectors, reusing capacity.
+/// The XY evaluation core (see AtInstantBatchXYInto for the contract).
 template <typename U>
   requires requires(const U& u) {
     { u.motion().x0 } -> std::convertible_to<double>;
   }
-Status AtInstantBatchXYInto(const Mapping<U>& m,
+Status AtInstantBatchXYCore(const Mapping<U>& m,
                             const std::vector<Instant>& instants,
                             std::vector<double>* xs, std::vector<double>* ys,
                             std::vector<std::uint8_t>* defined,
@@ -491,6 +462,47 @@ Status AtInstantBatchXYInto(const Mapping<U>& m,
   return Status::OK();
 }
 
+/// Shared ExecStats fill for the unified batch entrypoints: one node
+/// with the op label, input cardinality, and wall time. When no sink is
+/// set it skips everything, even the clock reads — same discipline as
+/// the db/query.h operators.
+class BatchStatsScope {
+ public:
+  BatchStatsScope(obs::ExecStats* stats, const char* op,
+                  std::uint64_t tuples_in)
+      : stats_(stats) {
+    if (stats_ == nullptr) return;
+    *stats_ = obs::ExecStats{};
+    stats_->op = op;
+    stats_->tuples_in = tuples_in;
+    stats_->workers = 1;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~BatchStatsScope() {
+    if (stats_ == nullptr) return;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    stats_->wall_ns = ns > 0 ? std::uint64_t(ns) : 0;
+  }
+  BatchStatsScope(const BatchStatsScope&) = delete;
+  BatchStatsScope& operator=(const BatchStatsScope&) = delete;
+
+  bool armed() const { return stats_ != nullptr; }
+  void set_tuples_out(std::uint64_t n) {
+    if (stats_ != nullptr) stats_->tuples_out = n;
+  }
+  void set_workers(std::uint64_t n) {
+    if (stats_ != nullptr) stats_->workers = n;
+  }
+
+ private:
+  obs::ExecStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace batch_internal
+
 /// SoA outputs of one mapping's batched position evaluation.
 struct BatchXYOutput {
   std::vector<double> xs;
@@ -498,12 +510,137 @@ struct BatchXYOutput {
   std::vector<std::uint8_t> defined;
 };
 
+// ---------------------------------------------------------------------------
+// Unified front-ends. Every public batch entrypoint below shares the
+// db/query.h operator shape — Result<…>/Status(…, const ExecOptions&) —
+// validating options.parallel through the same shared helper as the
+// query operators and the exec engine, and filling options.stats with
+// one node when set. The merge sweeps are inherently serial, so the
+// single-mapping kernels run inline regardless of the requested worker
+// count (exactly like Project, a pure copy); AtInstantBatchManyXY is
+// the fan-out point and honours the full policy. The paged twins in
+// temporal/paged_ops.h share this shape.
+// ---------------------------------------------------------------------------
+
+/// atinstant over a batch of ascending instants: one merge sweep instead
+/// of k independent O(log n) searches. Instants outside the deftime
+/// yield undefined Intime values, exactly like Mapping::AtInstant.
+/// Clears and fills `*out`, reusing its capacity — hoist the buffer and
+/// the BatchScratch out of a per-tuple loop to evaluate many batches
+/// without reallocating.
+///
+/// When the mapping has a SoA search index with packed motion
+/// coefficients (upoint), the kernel splits into a resolve pass (merge
+/// sweep filling `scratch->unit_idx`) and a vectorized evaluation pass
+/// over the contiguous coefficient arrays — byte-identical output to
+/// the generic path.
+template <typename U>
+Status AtInstantBatchInto(const Mapping<U>& m,
+                          const std::vector<Instant>& instants,
+                          std::vector<Intime<typename U::ValueType>>* out,
+                          BatchScratch* scratch,
+                          const ExecOptions& options = {}) {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(options.parallel));
+  batch_internal::BatchStatsScope stats(options.stats, "atinstant_batch",
+                                        instants.size());
+  MODB_RETURN_IF_ERROR(
+      batch_internal::AtInstantBatchCore(m, instants, out, scratch));
+  if (stats.armed()) {
+    std::uint64_t defined = 0;
+    for (const auto& v : *out) defined += v.defined ? 1 : 0;
+    stats.set_tuples_out(defined);
+  }
+  return Status::OK();
+}
+
+/// Deprecated scratch-less overload; migrate to the unified
+/// (…, BatchScratch*, const ExecOptions&) entrypoint.
+template <typename U>
+[[deprecated(
+    "use AtInstantBatchInto(m, instants, out, &scratch, options)")]] Status
+AtInstantBatchInto(const Mapping<U>& m, const std::vector<Instant>& instants,
+                   std::vector<Intime<typename U::ValueType>>* out) {
+  BatchScratch scratch;
+  return AtInstantBatchInto(m, instants, out, &scratch, ExecOptions{});
+}
+
+/// Allocating convenience wrapper around AtInstantBatchInto.
+template <typename U>
+Result<std::vector<Intime<typename U::ValueType>>> AtInstantBatch(
+    const Mapping<U>& m, const std::vector<Instant>& instants,
+    const ExecOptions& options = {}) {
+  std::vector<Intime<typename U::ValueType>> out;
+  BatchScratch scratch;
+  MODB_RETURN_IF_ERROR(
+      AtInstantBatchInto(m, instants, &out, &scratch, options));
+  return out;
+}
+
+/// Batched upoint position evaluation with SoA outputs: out->xs/ys get
+/// the evaluated coordinates (0 where undefined) and out->defined the
+/// 0/1 presence flags — packed arrays ready for downstream vector
+/// kernels, with the same resolve pass as AtInstantBatchInto. Requires
+/// ascending instants. Clears and fills the output vectors, reusing
+/// capacity.
+template <typename U>
+  requires requires(const U& u) {
+    { u.motion().x0 } -> std::convertible_to<double>;
+  }
+Status AtInstantBatchXYInto(const Mapping<U>& m,
+                            const std::vector<Instant>& instants,
+                            BatchXYOutput* out, BatchScratch* scratch,
+                            const ExecOptions& options = {}) {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(options.parallel));
+  batch_internal::BatchStatsScope stats(options.stats, "atinstant_batch_xy",
+                                        instants.size());
+  MODB_RETURN_IF_ERROR(batch_internal::AtInstantBatchXYCore(
+      m, instants, &out->xs, &out->ys, &out->defined, scratch));
+  if (stats.armed()) {
+    std::uint64_t defined = 0;
+    for (std::uint8_t d : out->defined) defined += d;
+    stats.set_tuples_out(defined);
+  }
+  return Status::OK();
+}
+
+/// Deprecated xs/ys/defined triple; migrate to the BatchXYOutput +
+/// ExecOptions overload.
+template <typename U>
+  requires requires(const U& u) {
+    { u.motion().x0 } -> std::convertible_to<double>;
+  }
+[[deprecated(
+    "use AtInstantBatchXYInto(m, instants, &xy_out, &scratch, "
+    "options)")]] Status
+AtInstantBatchXYInto(const Mapping<U>& m, const std::vector<Instant>& instants,
+                     std::vector<double>* xs, std::vector<double>* ys,
+                     std::vector<std::uint8_t>* defined,
+                     BatchScratch* scratch) {
+  return batch_internal::AtInstantBatchXYCore(m, instants, xs, ys, defined,
+                                              scratch);
+}
+
+/// Allocating convenience wrapper around AtInstantBatchXYInto.
+template <typename U>
+  requires requires(const U& u) {
+    { u.motion().x0 } -> std::convertible_to<double>;
+  }
+Result<BatchXYOutput> AtInstantBatchXY(const Mapping<U>& m,
+                                       const std::vector<Instant>& instants,
+                                       const ExecOptions& options = {}) {
+  BatchXYOutput out;
+  BatchScratch scratch;
+  MODB_RETURN_IF_ERROR(
+      AtInstantBatchXYInto(m, instants, &out, &scratch, options));
+  return out;
+}
+
 /// Many-mapping parallel front-end for AtInstantBatchXYInto: evaluates
 /// every mapping of `maps` at the same ascending instants, filling
 /// (*outs)[i] from maps[i]. The mapping list is statically chunked
-/// across `parallel` (same chunk-boundary rule as ParallelFor, one
-/// warm BatchScratch per chunk), so outputs land at fixed slots and the
-/// result is identical to the serial loop for any worker count. The
+/// across `options.parallel` (same chunk-boundary rule as ParallelFor,
+/// one warm BatchScratch per chunk), so outputs land at fixed slots and
+/// the result is identical to the serial loop for any worker count. The
 /// thread-count sanity bound is enforced by the same shared helper as
 /// the query operators and the exec engine (db/parallel.h); on error,
 /// the lowest failing mapping index's Status is returned.
@@ -514,41 +651,75 @@ template <typename U>
 Status AtInstantBatchManyXY(const std::vector<const Mapping<U>*>& maps,
                             const std::vector<Instant>& instants,
                             std::vector<BatchXYOutput>* outs,
-                            const ParallelOptions& parallel = {}) {
-  MODB_RETURN_IF_ERROR(ValidateParallelOptions(parallel));
+                            const ExecOptions& options = {}) {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(options.parallel));
+  batch_internal::BatchStatsScope stats(
+      options.stats, "atinstant_batch_many_xy",
+      std::uint64_t(maps.size()) * instants.size());
   outs->resize(maps.size());
   auto run_range = [&](std::size_t begin, std::size_t end,
                        BatchScratch* scratch) -> Status {
     for (std::size_t i = begin; i < end; ++i) {
       BatchXYOutput& o = (*outs)[i];
-      MODB_RETURN_IF_ERROR(AtInstantBatchXYInto(*maps[i], instants, &o.xs,
-                                                &o.ys, &o.defined, scratch));
+      MODB_RETURN_IF_ERROR(batch_internal::AtInstantBatchXYCore(
+          *maps[i], instants, &o.xs, &o.ys, &o.defined, scratch));
     }
     return Status::OK();
   };
-  const std::size_t workers = ResolveWorkerCount(parallel);
+  const std::size_t workers = ResolveWorkerCount(options.parallel);
   const std::size_t chunks = std::min(workers, maps.size());
+  stats.set_workers(chunks > 0 ? chunks : 1);
+  Status run_status = Status::OK();
   if (chunks <= 1) {
     BatchScratch scratch;
-    return run_range(0, maps.size(), &scratch);
+    run_status = run_range(0, maps.size(), &scratch);
+  } else {
+    std::vector<Status> chunk_status(chunks, Status::OK());
+    ParallelFor(ResolvePool(options.parallel), maps.size(), chunks,
+                [&](std::size_t c, std::size_t begin, std::size_t end) {
+                  BatchScratch scratch;
+                  chunk_status[c] = run_range(begin, end, &scratch);
+                });
+    for (Status& s : chunk_status) {
+      if (!s.ok()) {
+        run_status = s;
+        break;
+      }
+    }
   }
-  std::vector<Status> chunk_status(chunks, Status::OK());
-  ParallelFor(ResolvePool(parallel), maps.size(), chunks,
-              [&](std::size_t c, std::size_t begin, std::size_t end) {
-                BatchScratch scratch;
-                chunk_status[c] = run_range(begin, end, &scratch);
-              });
-  for (Status& s : chunk_status) {
-    if (!s.ok()) return s;
+  MODB_RETURN_IF_ERROR(run_status);
+  if (stats.armed()) {
+    std::uint64_t defined = 0;
+    for (const BatchXYOutput& o : *outs) {
+      for (std::uint8_t d : o.defined) defined += d;
+    }
+    stats.set_tuples_out(defined);
   }
   return Status::OK();
 }
 
-/// present over a batch of ascending instants; (*out)[i] is 1 iff the
-/// moving value is defined at instants[i]. Clears and fills `*out`,
-/// reusing its capacity.
+/// Deprecated ParallelOptions spelling; migrate to
+/// ExecOptions{.parallel = …}. (No default argument: the three-argument
+/// call resolves to the unified entrypoint above.)
 template <typename U>
-Status PresentBatchInto(const Mapping<U>& m,
+  requires requires(const U& u) {
+    { u.motion().x0 } -> std::convertible_to<double>;
+  }
+[[deprecated(
+    "pass ExecOptions{.parallel = …} — the unified entrypoint")]] Status
+AtInstantBatchManyXY(const std::vector<const Mapping<U>*>& maps,
+                     const std::vector<Instant>& instants,
+                     std::vector<BatchXYOutput>* outs,
+                     const ParallelOptions& parallel) {
+  return AtInstantBatchManyXY(maps, instants, outs,
+                              ExecOptions{.parallel = parallel});
+}
+
+namespace batch_internal {
+
+/// The present sweep core (see PresentBatchInto for the contract).
+template <typename U>
+Status PresentBatchCore(const Mapping<U>& m,
                         const std::vector<Instant>& instants,
                         std::vector<std::uint8_t>* out) {
   out->clear();
@@ -585,12 +756,35 @@ Status PresentBatchInto(const Mapping<U>& m,
   return Status::OK();
 }
 
+}  // namespace batch_internal
+
+/// present over a batch of ascending instants; (*out)[i] is 1 iff the
+/// moving value is defined at instants[i]. Clears and fills `*out`,
+/// reusing its capacity.
+template <typename U>
+Status PresentBatchInto(const Mapping<U>& m,
+                        const std::vector<Instant>& instants,
+                        std::vector<std::uint8_t>* out,
+                        const ExecOptions& options = {}) {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(options.parallel));
+  batch_internal::BatchStatsScope stats(options.stats, "present_batch",
+                                        instants.size());
+  MODB_RETURN_IF_ERROR(batch_internal::PresentBatchCore(m, instants, out));
+  if (stats.armed()) {
+    std::uint64_t present = 0;
+    for (std::uint8_t p : *out) present += p;
+    stats.set_tuples_out(present);
+  }
+  return Status::OK();
+}
+
 /// Allocating convenience wrapper around PresentBatchInto.
 template <typename U>
 Result<std::vector<std::uint8_t>> PresentBatch(
-    const Mapping<U>& m, const std::vector<Instant>& instants) {
+    const Mapping<U>& m, const std::vector<Instant>& instants,
+    const ExecOptions& options = {}) {
   std::vector<std::uint8_t> out;
-  MODB_RETURN_IF_ERROR(PresentBatchInto(m, instants, &out));
+  MODB_RETURN_IF_ERROR(PresentBatchInto(m, instants, &out, options));
   return out;
 }
 

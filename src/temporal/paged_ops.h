@@ -5,6 +5,11 @@
 // pay one device read per page, warm calls none — then runs the same
 // batch kernels as the in-memory path, so results are identical
 // regardless of where the value resides.
+//
+// The entrypoints share the unified db/query.h shape: the last
+// parameter is a const ExecOptions& supplying the stats sink and the
+// (validated) parallel policy, exactly like their in-memory twins in
+// temporal/batch_ops.h.
 
 #ifndef MODB_TEMPORAL_PAGED_OPS_H_
 #define MODB_TEMPORAL_PAGED_OPS_H_
@@ -26,10 +31,12 @@ namespace modb {
 template <typename U>
 Status AtInstantBatchSpilled(Spilled<Mapping<U>>* value, BufferPool* pool,
                              const std::vector<Instant>& instants,
-                             std::vector<Intime<typename U::ValueType>>* out) {
+                             std::vector<Intime<typename U::ValueType>>* out,
+                             const ExecOptions& options = {}) {
   Result<const Mapping<U>*> m = value->Load(pool, /*build_search_index=*/true);
   if (!m.ok()) return m.status();
-  return AtInstantBatchInto(**m, instants, out);
+  BatchScratch scratch;
+  return AtInstantBatchInto(**m, instants, out, &scratch, options);
 }
 
 /// present over ascending instants against a spilled mapping; the paged
@@ -37,16 +44,18 @@ Status AtInstantBatchSpilled(Spilled<Mapping<U>>* value, BufferPool* pool,
 template <typename U>
 Status PresentBatchSpilled(Spilled<Mapping<U>>* value, BufferPool* pool,
                            const std::vector<Instant>& instants,
-                           std::vector<std::uint8_t>* out) {
+                           std::vector<std::uint8_t>* out,
+                           const ExecOptions& options = {}) {
   Result<const Mapping<U>*> m = value->Load(pool, /*build_search_index=*/true);
   if (!m.ok()) return m.status();
-  return PresentBatchInto(**m, instants, out);
+  return PresentBatchInto(**m, instants, out, options);
 }
 
 /// present at a single instant against a spilled mapping.
 template <typename U>
 Result<bool> PresentSpilled(Spilled<Mapping<U>>* value, BufferPool* pool,
-                            Instant t) {
+                            Instant t, const ExecOptions& options = {}) {
+  MODB_RETURN_IF_ERROR(ValidateParallelOptions(options.parallel));
   Result<const Mapping<U>*> m = value->Load(pool, /*build_search_index=*/true);
   if (!m.ok()) return m.status();
   return (*m)->Present(t);

@@ -1,0 +1,416 @@
+// modb::Db facade tests: registration lifecycle, typed request
+// validation (unknown relations/attributes/type mismatches are typed
+// errors that name the offender), result payloads matching direct
+// operator calls, and the determinism contract — byte-identical result
+// blocks for every thread count.
+
+#include "db/modb.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/relation.h"
+#include "gen/flights_gen.h"
+#include "serve/wire.h"
+#include "spatial/point.h"
+#include "temporal/batch_ops.h"
+#include "temporal/lifted_ops.h"
+#include "temporal/moving.h"
+
+namespace modb {
+namespace {
+
+Relation Planes(int flights = 16) {
+  FlightsOptions gen;
+  gen.num_flights = flights;
+  gen.seed = 99;
+  Result<Relation> planes = GeneratePlanes(gen);
+  EXPECT_TRUE(planes.ok()) << planes.status();
+  return *std::move(planes);
+}
+
+std::string Airline(const Relation& rel, std::size_t i) {
+  return std::get<StringValue>(rel.tuple(i)[kFlightAttrAirline]).value();
+}
+
+const MovingPoint& Flight(const Relation& rel, std::size_t i) {
+  return std::get<MovingPoint>(rel.tuple(i)[kFlightAttrFlight]);
+}
+
+std::string Block(const QueryResult& result) {
+  Result<std::string> block = serve::EncodeResultBlock(result);
+  EXPECT_TRUE(block.ok()) << block.status();
+  return block.ok() ? *block : std::string();
+}
+
+// ---------------------------------------------------------------------------
+// Registration lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(DbLifecycle, RegisterDropAndIntrospection) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes()).ok());
+  EXPECT_EQ(db.RelationNames(), std::vector<std::string>{"planes"});
+  Result<std::uint64_t> n = db.NumTuples("planes");
+  ASSERT_TRUE(n.ok());
+  EXPECT_GT(*n, 0u);
+
+  // Duplicate name, empty name, unknown drops.
+  EXPECT_EQ(db.Register(Planes()).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.Register(Relation("", Schema{})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Drop("ships").code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.NumTuples("ships").status().code(), StatusCode::kNotFound);
+
+  EXPECT_TRUE(db.Drop("planes").ok());
+  EXPECT_TRUE(db.RelationNames().empty());
+}
+
+TEST(DbLifecycle, BuildIndexValidatesRelationAndAttribute) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes()).ok());
+  EXPECT_EQ(db.BuildIndex("ships", "flight").code(), StatusCode::kNotFound);
+
+  Status bad_attr = db.BuildIndex("planes", "altitude");
+  EXPECT_EQ(bad_attr.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_attr.message().find("altitude"), std::string::npos);
+
+  // airline is a string, not an mpoint — the message names both types.
+  Status bad_type = db.BuildIndex("planes", "airline");
+  EXPECT_EQ(bad_type.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_type.message().find("string"), std::string::npos);
+  EXPECT_NE(bad_type.message().find("mpoint"), std::string::npos);
+
+  EXPECT_TRUE(db.BuildIndex("planes", "flight").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Request validation.
+// ---------------------------------------------------------------------------
+
+TEST(DbRun, TypedErrorsNameTheOffender) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes()).ok());
+
+  QueryRequest req;
+  req.relation = "ships";
+  EXPECT_EQ(db.Run(req).status().code(), StatusCode::kNotFound);
+
+  req.relation = "planes";
+  FilterSpec f;
+  f.kind = FilterSpec::Kind::kStringEquals;
+  f.attr = "altitude";
+  req.filters = {f};
+  Result<QueryResult> r = db.Run(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("altitude"), std::string::npos);
+
+  // Type mismatch: string-equals over the mpoint attribute.
+  f.attr = "flight";
+  req.filters = {f};
+  r = db.Run(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("mpoint"), std::string::npos);
+
+  // Empty deftime window.
+  f.kind = FilterSpec::Kind::kDeftimeIntersects;
+  f.t0 = 5;
+  f.t1 = 1;
+  req.filters = {f};
+  r = db.Run(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Project onto an unknown attribute.
+  req.filters.clear();
+  req.kind = QueryRequest::Kind::kProject;
+  req.project = {"altitude"};
+  r = db.Run(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Project with no attributes at all.
+  req.project.clear();
+  EXPECT_EQ(db.Run(req).status().code(), StatusCode::kInvalidArgument);
+
+  // Join against an unregistered inner.
+  req.kind = QueryRequest::Kind::kJoin;
+  req.join_relation = "ships";
+  req.attr = "flight";
+  req.join_attr = "flight";
+  EXPECT_EQ(db.Run(req).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DbRun, InvalidThreadCountFailsTheSharedValidation) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes()).ok());
+  QueryRequest req;
+  req.relation = "planes";
+  ExecOptions options;
+  options.parallel.num_threads = 5000;  // past kMaxQueryThreads = 4096
+  Result<QueryResult> r = db.Run(req, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("num_threads"), std::string::npos);
+  EXPECT_NE(r.status().message().find("4096"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Payloads match direct operator evaluation.
+// ---------------------------------------------------------------------------
+
+TEST(DbRun, SelectMatchesBruteForce) {
+  const Relation planes = Planes();
+  Db db;
+  ASSERT_TRUE(db.Register(planes).ok());
+
+  // Filter on the airline of the first tuple: guaranteed non-empty.
+  const std::string airline = Airline(planes, 0);
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < planes.NumTuples(); ++i) {
+    if (Airline(planes, i) == airline) ++expect;
+  }
+
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kSelect;
+  req.relation = "planes";
+  FilterSpec f;
+  f.kind = FilterSpec::Kind::kStringEquals;
+  f.attr = "airline";
+  f.value = airline;
+  req.filters = {f};
+  Result<QueryResult> r = db.Run(req);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->payload, QueryResult::Payload::kRows);
+  EXPECT_EQ(r->rows.NumTuples(), expect);
+  EXPECT_GT(expect, 0u);
+  EXPECT_FALSE(r->stats.op.empty());
+}
+
+TEST(DbRun, PresentAtFilterMatchesDirectPresent) {
+  const Relation planes = Planes();
+  Db db;
+  ASSERT_TRUE(db.Register(planes).ok());
+
+  const Instant t = 12.0;
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < planes.NumTuples(); ++i) {
+    if (Flight(planes, i).Present(t)) ++expect;
+  }
+
+  QueryRequest req;
+  req.relation = "planes";
+  FilterSpec f;
+  f.kind = FilterSpec::Kind::kPresentAt;
+  f.attr = "flight";
+  f.t0 = t;
+  req.filters = {f};
+  Result<QueryResult> r = db.Run(req);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows.NumTuples(), expect);
+}
+
+TEST(DbRun, ProjectKeepsNamedAttributesInOrder) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes()).ok());
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kProject;
+  req.relation = "planes";
+  req.project = {"id", "airline"};
+  Result<QueryResult> r = db.Run(req);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.schema().NumAttributes(), 2u);
+  EXPECT_EQ(r->rows.schema().attribute(0).name, "id");
+  EXPECT_EQ(r->rows.schema().attribute(1).name, "airline");
+  Result<std::uint64_t> n = db.NumTuples("planes");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(r->rows.NumTuples(), *n);
+}
+
+TEST(DbRun, IndexJoinMatchesNestedLoopJoin) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes(12)).ok());
+  ASSERT_TRUE(db.BuildIndex("planes", "flight").ok());
+
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kJoin;
+  req.relation = "planes";
+  req.join_relation = "planes";
+  req.attr = "flight";
+  req.join_attr = "flight";
+  req.distance = 500.0;
+  req.distinct_pairs = true;
+  Result<QueryResult> nested = db.Run(req);
+  ASSERT_TRUE(nested.ok()) << nested.status();
+
+  req.kind = QueryRequest::Kind::kIndexJoin;
+  Result<QueryResult> indexed = db.Run(req);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+
+  // The engine names the output relations differently per algorithm
+  // (planes_x_planes vs planes_ix_planes); the contract is on schema and
+  // tuples. Re-materialize both under one name and compare the blocks.
+  auto renamed = [](const QueryResult& r) {
+    QueryResult out;
+    out.rows = Relation("joined", r.rows.schema());
+    for (const Tuple& t : r.rows.tuples()) {
+      EXPECT_TRUE(out.rows.Insert(t).ok());
+    }
+    return out;
+  };
+  EXPECT_GT(nested->rows.NumTuples(), 0u);
+  EXPECT_EQ(Block(renamed(*nested)), Block(renamed(*indexed)));
+  // The prebuilt index was reused, not rebuilt inside the plan.
+  EXPECT_EQ(indexed->stats.index_builds, 0u);
+}
+
+TEST(DbRun, AtInstantBatchMatchesPerTupleKernels) {
+  const Relation planes = Planes();
+  Db db;
+  ASSERT_TRUE(db.Register(planes).ok());
+
+  std::vector<Instant> instants;
+  for (Instant t = 0; t <= 24.0; t += 1.0) instants.push_back(t);
+
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kAtInstantBatch;
+  req.relation = "planes";
+  req.attr = "flight";
+  req.instants = instants;
+  Result<QueryResult> r = db.Run(req);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->payload, QueryResult::Payload::kXY);
+  ASSERT_EQ(r->batch_tuples, planes.NumTuples());
+  ASSERT_EQ(r->batch_instants, instants.size());
+  const std::size_t cells = planes.NumTuples() * instants.size();
+  ASSERT_EQ(r->xs.size(), cells);
+  ASSERT_EQ(r->ys.size(), cells);
+  ASSERT_EQ(r->defined.size(), cells);
+
+  BatchScratch scratch;
+  BatchXYOutput xy;
+  for (std::size_t i = 0; i < planes.NumTuples(); ++i) {
+    ASSERT_TRUE(
+        AtInstantBatchXYInto(Flight(planes, i), instants, &xy, &scratch).ok());
+    for (std::size_t k = 0; k < instants.size(); ++k) {
+      const std::size_t cell = i * instants.size() + k;
+      EXPECT_EQ(r->xs[cell], xy.xs[k]);
+      EXPECT_EQ(r->ys[cell], xy.ys[k]);
+      EXPECT_EQ(r->defined[cell], xy.defined[k]);
+    }
+  }
+}
+
+TEST(DbRun, PresentBatchMatchesDirectPresent) {
+  const Relation planes = Planes();
+  Db db;
+  ASSERT_TRUE(db.Register(planes).ok());
+
+  const std::vector<Instant> instants = {0.0, 6.0, 12.0, 18.0, 24.0};
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kPresentBatch;
+  req.relation = "planes";
+  req.attr = "flight";
+  req.instants = instants;
+  Result<QueryResult> r = db.Run(req);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->payload, QueryResult::Payload::kPresent);
+  ASSERT_EQ(r->present.size(), planes.NumTuples() * instants.size());
+  for (std::size_t i = 0; i < planes.NumTuples(); ++i) {
+    for (std::size_t k = 0; k < instants.size(); ++k) {
+      EXPECT_EQ(r->present[i * instants.size() + k] != 0,
+                Flight(planes, i).Present(instants[k]))
+          << "tuple " << i << " instant " << instants[k];
+    }
+  }
+  EXPECT_EQ(r->stats.op, "present_batch_many");
+}
+
+TEST(DbRun, BatchKindsRejectUnsortedInstants) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes()).ok());
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kAtInstantBatch;
+  req.relation = "planes";
+  req.attr = "flight";
+  req.instants = {2.0, 1.0};
+  EXPECT_EQ(db.Run(req).status().code(), StatusCode::kInvalidArgument);
+  req.kind = QueryRequest::Kind::kPresentBatch;
+  EXPECT_EQ(db.Run(req).status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: byte-identical result blocks for every thread count.
+// ---------------------------------------------------------------------------
+
+TEST(DbRun, ResultBlocksAreByteIdenticalAcrossThreadCounts) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes(12)).ok());
+  ASSERT_TRUE(db.BuildIndex("planes", "flight").ok());
+
+  std::vector<QueryRequest> requests;
+  QueryRequest select;
+  select.kind = QueryRequest::Kind::kSelect;
+  select.relation = "planes";
+  FilterSpec f;
+  f.kind = FilterSpec::Kind::kTrajectoryLengthAtLeast;
+  f.attr = "flight";
+  f.threshold = 5000.0;
+  select.filters = {f};
+  requests.push_back(select);
+
+  QueryRequest join;
+  join.kind = QueryRequest::Kind::kIndexJoin;
+  join.relation = "planes";
+  join.join_relation = "planes";
+  join.attr = "flight";
+  join.join_attr = "flight";
+  join.distance = 500.0;
+  requests.push_back(join);
+
+  QueryRequest batch;
+  batch.kind = QueryRequest::Kind::kAtInstantBatch;
+  batch.relation = "planes";
+  batch.attr = "flight";
+  for (Instant t = 0; t <= 24.0; t += 0.5) batch.instants.push_back(t);
+  requests.push_back(batch);
+
+  for (const QueryRequest& req : requests) {
+    ExecOptions serial;
+    serial.parallel.num_threads = 1;
+    Result<QueryResult> base = db.Run(req, serial);
+    ASSERT_TRUE(base.ok()) << base.status();
+    const std::string expect = Block(*base);
+    for (int threads : {2, 4, 8}) {
+      ExecOptions options;
+      options.parallel.num_threads = threads;
+      Result<QueryResult> r = db.Run(req, options);
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(Block(*r), expect)
+          << "kind " << int(req.kind) << " threads " << threads;
+    }
+  }
+}
+
+TEST(DbRun, StatsMirrorIntoCallerSink) {
+  Db db;
+  ASSERT_TRUE(db.Register(Planes()).ok());
+  QueryRequest req;
+  req.relation = "planes";
+  ExecStats stats;
+  ExecOptions options;
+  options.stats = &stats;
+  Result<QueryResult> r = db.Run(req, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(stats.op, r->stats.op);
+  EXPECT_EQ(stats.tuples_out, r->stats.tuples_out);
+  EXPECT_FALSE(stats.op.empty());
+}
+
+}  // namespace
+}  // namespace modb

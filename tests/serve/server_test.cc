@@ -1,0 +1,545 @@
+// End-to-end serving tests against a real server on an ephemeral port:
+// the concurrent-client determinism contract (byte-identical result
+// blocks across clients and thread budgets, equal to direct library
+// execution), the ValidateParallelOptions round-trip to a client-visible
+// kInvalidArgument, typed overload rejections that never hang, malformed
+// frames over a raw socket, graceful shutdown with traffic in flight,
+// and AdmissionController unit tests driven without sockets.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/modb.h"
+#include "gen/flights_gen.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/wire.h"
+
+namespace modb {
+namespace serve {
+namespace {
+
+bool WaitUntil(const std::function<bool()>& pred,
+               std::chrono::milliseconds timeout =
+                   std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController (no sockets).
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionController, NonPositiveCostIsInvalidArgument) {
+  AdmissionController ac(4, 4);
+  EXPECT_EQ(ac.Acquire(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ac.Acquire(-3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ac.in_use(), 0);
+}
+
+TEST(AdmissionController, CostBeyondBudgetRejectsImmediately) {
+  AdmissionController ac(4, 4);
+  Status s = ac.Acquire(5);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("budget"), std::string::npos);
+  EXPECT_EQ(ac.rejected(), 1u);
+  EXPECT_EQ(ac.in_use(), 0);
+}
+
+TEST(AdmissionController, FullQueueRejectsInsteadOfWaiting) {
+  AdmissionController ac(1, 0);
+  ASSERT_TRUE(ac.Acquire(1).ok());
+  // The budget is taken and the queue holds nobody: an admissible-sized
+  // query must be rejected, not parked.
+  Status s = ac.Acquire(1);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("queue"), std::string::npos);
+  EXPECT_EQ(ac.rejected(), 1u);
+  ac.Release(1);
+  EXPECT_EQ(ac.in_use(), 0);
+}
+
+TEST(AdmissionController, WaiterIsAdmittedOnRelease) {
+  AdmissionController ac(2, 2);
+  ASSERT_TRUE(ac.Acquire(2).ok());
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(ac.Acquire(1).ok());
+    admitted = true;
+    ac.Release(1);
+  });
+  ASSERT_TRUE(WaitUntil([&] { return ac.queued() == 1; }));
+  EXPECT_FALSE(admitted.load());
+  ac.Release(2);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(ac.in_use(), 0);
+  EXPECT_EQ(ac.rejected(), 0u);
+}
+
+TEST(AdmissionController, WaitersAdmitInFifoOrder) {
+  AdmissionController ac(2, 4);
+  ASSERT_TRUE(ac.Acquire(2).ok());
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto worker = [&](int id, std::int64_t cost) {
+    ASSERT_TRUE(ac.Acquire(cost).ok());
+    {
+      std::lock_guard lock(order_mu);
+      order.push_back(id);
+    }
+    ac.Release(cost);
+  };
+  // First waiter is expensive, second is cheap: FIFO means the cheap one
+  // must NOT jump the queue when capacity frees up.
+  std::thread w1([&] { worker(1, 2); });
+  ASSERT_TRUE(WaitUntil([&] { return ac.queued() == 1; }));
+  std::thread w2([&] { worker(2, 1); });
+  ASSERT_TRUE(WaitUntil([&] { return ac.queued() == 2; }));
+
+  ac.Release(2);
+  w1.join();
+  w2.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(ac.in_use(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Server fixture: planes resident, index prebuilt, ephemeral port.
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    FlightsOptions gen;
+    gen.num_flights = 12;
+    gen.seed = 99;
+    Result<Relation> planes = GeneratePlanes(gen);
+    ASSERT_TRUE(planes.ok()) << planes.status();
+    ASSERT_TRUE(db_.Register(*std::move(planes)).ok());
+    ASSERT_TRUE(db_.BuildIndex("planes", "flight").ok());
+    server_ = std::make_unique<Server>(&db_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  Client MustConnect() {
+    Result<Client> client = Connect();
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+  Result<Client> Connect() {
+    return Client::Connect("127.0.0.1", server_->port());
+  }
+
+  Db db_;
+  std::unique_ptr<Server> server_;
+};
+
+QueryRequest Q1Select() {
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kSelect;
+  req.relation = "planes";
+  FilterSpec len;
+  len.kind = FilterSpec::Kind::kTrajectoryLengthAtLeast;
+  len.attr = "flight";
+  len.threshold = 5000.0;
+  req.filters = {len};
+  return req;
+}
+
+QueryRequest Q2IndexJoin() {
+  QueryRequest req;
+  req.kind = QueryRequest::Kind::kIndexJoin;
+  req.relation = "planes";
+  req.join_relation = "planes";
+  req.attr = "flight";
+  req.join_attr = "flight";
+  req.distance = 500.0;
+  req.distinct_pairs = true;
+  return req;
+}
+
+QueryRequest BatchRequest(QueryRequest::Kind kind) {
+  QueryRequest req;
+  req.kind = kind;
+  req.relation = "planes";
+  req.attr = "flight";
+  for (double t = 0; t <= 24.0; t += 0.5) req.instants.push_back(t);
+  return req;
+}
+
+TEST_F(ServerTest, EveryQueryKindMatchesDirectExecution) {
+  StartServer();
+  QueryRequest project;
+  project.kind = QueryRequest::Kind::kProject;
+  project.relation = "planes";
+  project.project = {"airline", "id"};
+
+  const std::vector<QueryRequest> requests = {
+      Q1Select(), project, Q2IndexJoin(),
+      BatchRequest(QueryRequest::Kind::kAtInstantBatch),
+      BatchRequest(QueryRequest::Kind::kPresentBatch)};
+
+  Client client = MustConnect();
+  for (const QueryRequest& req : requests) {
+    Result<QueryResult> direct = db_.Run(req);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    Result<std::string> expect = EncodeResultBlock(*direct);
+    ASSERT_TRUE(expect.ok());
+
+    Result<Client::Reply> reply = client.Query(req);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    ASSERT_TRUE(reply->status.ok()) << reply->status;
+    EXPECT_EQ(reply->result_block, *expect) << "kind " << int(req.kind);
+    EXPECT_FALSE(reply->result.stats.op.empty());
+  }
+}
+
+TEST_F(ServerTest, EightConcurrentClientsAreByteIdentical) {
+  StartServer();
+  const QueryRequest base = Q1Select();
+  Result<QueryResult> direct = db_.Run(base);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  Result<std::string> expect = EncodeResultBlock(*direct);
+  ASSERT_TRUE(expect.ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::string> blocks(kClients);
+  std::vector<Status> verdicts(kClients, Status::OK());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Result<Client> client =
+          Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        verdicts[i] = client.status();
+        return;
+      }
+      QueryRequest req = base;
+      req.num_threads = (i % 4) + 1;  // mixed per-client thread budgets
+      Result<Client::Reply> reply = client->Query(req);
+      if (!reply.ok()) {
+        verdicts[i] = reply.status();
+      } else if (!reply->status.ok()) {
+        verdicts[i] = reply->status;
+      } else {
+        blocks[i] = reply->result_block;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(verdicts[i].ok()) << "client " << i << ": " << verdicts[i];
+    EXPECT_EQ(blocks[i], *expect) << "client " << i;
+  }
+}
+
+TEST_F(ServerTest, InvalidThreadCountRoundTripsAsInvalidArgument) {
+  StartServer();
+  Client client = MustConnect();
+  QueryRequest req = Q1Select();
+  req.num_threads = 5000;  // past kMaxQueryThreads = 4096
+  Result<Client::Reply> reply = client.Query(req);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reply->status.message().find("num_threads"), std::string::npos)
+      << reply->status;
+  EXPECT_NE(reply->status.message().find("4096"), std::string::npos)
+      << reply->status;
+
+  // An i64 far outside int range must clamp into the same verdict, and
+  // the connection must survive both errors.
+  req.num_threads = std::int64_t{1} << 40;
+  reply = client.Query(req);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status.code(), StatusCode::kInvalidArgument);
+
+  req.num_threads = 1;
+  reply = client.Query(req);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->status.ok()) << reply->status;
+}
+
+TEST_F(ServerTest, UnknownRelationIsNotFound) {
+  StartServer();
+  Client client = MustConnect();
+  QueryRequest req;
+  req.relation = "ships";
+  Result<Client::Reply> reply = client.Query(req);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status.code(), StatusCode::kNotFound);
+  EXPECT_NE(reply->status.message().find("ships"), std::string::npos);
+}
+
+TEST_F(ServerTest, NonQueryFrameGetsTypedReplyAndConnectionSurvives) {
+  StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  ASSERT_TRUE(
+      WriteFrame(*fd, FrameType::kReply, EncodeQueryRequest(Q1Select()))
+          .ok());
+  Result<std::optional<Frame>> frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value());
+  Result<WireReply> reply = DecodeReply((*frame)->payload);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status.code(), StatusCode::kInvalidArgument);
+
+  // The header was well-formed, so the stream is still in sync: a real
+  // query on the same connection succeeds.
+  ASSERT_TRUE(
+      WriteFrame(*fd, FrameType::kQuery, EncodeQueryRequest(Q1Select()))
+          .ok());
+  frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value());
+  reply = DecodeReply((*frame)->payload);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->status.ok()) << reply->status;
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, GarbageMagicGetsDataLossReplyThenClose) {
+  StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  const char garbage[kFrameHeaderBytes] = {'X', 'Y', 'Z', 'W', 0, 0,
+                                           0,   0,   0,   0,   0, 0};
+  ASSERT_TRUE(WriteFull(*fd, garbage, sizeof garbage).ok());
+
+  Result<std::optional<Frame>> frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value());
+  Result<WireReply> reply = DecodeReply((*frame)->payload);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status.code(), StatusCode::kDataLoss);
+
+  // Resynchronization is hopeless; the server must hang up.
+  frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_FALSE(frame->has_value());
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, OversizedLengthGetsTypedReplyThenClose) {
+  StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  // Patch the length field past the cap (EncodeFrameHeader itself would
+  // happily write it — the cap is enforced on decode).
+  std::string bytes = EncodeFrameHeader(FrameType::kQuery, 0);
+  const std::uint32_t oversized = kMaxFramePayload + 1;
+  bytes[8] = char(oversized & 0xff);
+  bytes[9] = char((oversized >> 8) & 0xff);
+  bytes[10] = char((oversized >> 16) & 0xff);
+  bytes[11] = char((oversized >> 24) & 0xff);
+  ASSERT_TRUE(WriteFull(*fd, bytes.data(), bytes.size()).ok());
+
+  Result<std::optional<Frame>> frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value());
+  Result<WireReply> reply = DecodeReply((*frame)->payload);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status.code(), StatusCode::kInvalidArgument);
+
+  frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame->has_value());
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, TruncatedPayloadNeverHangsTheServer) {
+  StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  // Header promises 100 payload bytes; send 10 and half-close. The
+  // server's payload read must fail cleanly and drop the connection.
+  const std::string header = EncodeFrameHeader(FrameType::kQuery, 100);
+  ASSERT_TRUE(WriteFull(*fd, header.data(), header.size()).ok());
+  ASSERT_TRUE(WriteFull(*fd, "truncated!", 10).ok());
+  ::shutdown(*fd, SHUT_WR);
+
+  Result<std::optional<Frame>> frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_FALSE(frame->has_value());  // EOF, no reply, no hang
+  CloseFd(*fd);
+
+  // And the server still serves new connections.
+  Client client = MustConnect();
+  Result<Client::Reply> reply = client.Query(Q1Select());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->status.ok());
+}
+
+TEST_F(ServerTest, OverloadYieldsTypedRejectionsNeverHangs) {
+  ServerOptions options;
+  options.thread_budget = 1;
+  options.queue_capacity = 0;
+  StartServer(options);
+
+  // Every request asks for 2 workers against a 1-thread budget: all of
+  // them must come back as fast typed kResourceExhausted.
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::atomic<int> rejected{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      Result<Client> client =
+          Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        wrong += kRequests;
+        return;
+      }
+      QueryRequest req = Q1Select();
+      req.num_threads = 2;
+      for (int i = 0; i < kRequests; ++i) {
+        Result<Client::Reply> reply = client->Query(req);
+        if (reply.ok() &&
+            reply->status.code() == StatusCode::kResourceExhausted &&
+            !reply->status.message().empty()) {
+          ++rejected;
+        } else {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(rejected.load(), kClients * kRequests);
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(server_->admission().rejected(),
+            std::uint64_t(kClients * kRequests));
+  EXPECT_EQ(server_->admission().in_use(), 0);
+
+  // The same connection budget still serves admissible queries.
+  Client client = MustConnect();
+  QueryRequest ok_req = Q1Select();
+  ok_req.num_threads = 1;
+  Result<Client::Reply> reply = client.Query(ok_req);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->status.ok()) << reply->status;
+}
+
+TEST_F(ServerTest, ContendedAdmissibleLoadAllSucceedsOrRejectsTyped) {
+  ServerOptions options;
+  options.thread_budget = 2;
+  options.queue_capacity = 1;
+  StartServer(options);
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 6;
+  std::atomic<int> ok{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      Result<Client> client =
+          Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        wrong += kRequests;
+        return;
+      }
+      QueryRequest req = BatchRequest(QueryRequest::Kind::kAtInstantBatch);
+      for (int i = 0; i < kRequests; ++i) {
+        Result<Client::Reply> reply = client->Query(req);
+        if (!reply.ok()) {
+          ++wrong;
+        } else if (reply->status.ok()) {
+          ++ok;
+        } else if (reply->status.code() == StatusCode::kResourceExhausted) {
+          ++rejected;
+        } else {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(ok.load(), 0);  // contention may reject, but never everything
+  EXPECT_EQ(ok.load() + rejected.load(), kClients * kRequests);
+  EXPECT_EQ(server_->admission().in_use(), 0);
+}
+
+TEST_F(ServerTest, GracefulStopDrainsInFlightQueries) {
+  StartServer();
+  constexpr int kClients = 3;
+  std::atomic<int> completed{0};
+  std::atomic<int> wrong{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      Result<Client> client =
+          Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) return;  // raced with Stop before connecting
+      while (!go.load()) std::this_thread::yield();
+      const QueryRequest req = Q2IndexJoin();
+      for (;;) {
+        Result<Client::Reply> reply = client->Query(req);
+        // Once Stop() half-closes the connection the transport reports
+        // an error/EOF — that ends the loop. Every reply that did
+        // arrive must be a complete, well-formed success.
+        if (!reply.ok()) break;
+        if (reply->status.ok() && !reply->result_block.empty()) {
+          ++completed;
+        } else {
+          ++wrong;
+        }
+      }
+    });
+  }
+  go = true;
+  // Let some queries land in flight, then stop under load.
+  ASSERT_TRUE(WaitUntil([&] { return completed.load() >= 2; }));
+  server_->Stop();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GE(completed.load(), 2);
+  server_->Stop();  // idempotent
+}
+
+TEST_F(ServerTest, MetricsEndpointServesJsonOverHttp) {
+  StartServer();
+  // Generate at least one request so the serving counters exist.
+  Client client = MustConnect();
+  Result<Client::Reply> reply = client.Query(Q1Select());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+
+  Result<std::string> metrics =
+      FetchMetricsJson("127.0.0.1", server_->port());
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->find("serve.requests"), std::string::npos);
+  EXPECT_NE(metrics->find("serve.request_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace modb

@@ -171,7 +171,8 @@ TEST(PagedOpsTest, AtInstantBatchSpilledMatchesInMemory) {
 
   mp.BuildSearchIndex();
   std::vector<Intime<Point>> expect;
-  ASSERT_TRUE(AtInstantBatchInto(mp, instants, &expect).ok());
+  BatchScratch scratch;
+  ASSERT_TRUE(AtInstantBatchInto(mp, instants, &expect, &scratch).ok());
 
   BufferPool pool(&store, 8);
   std::vector<Intime<Point>> got;

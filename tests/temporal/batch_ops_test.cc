@@ -185,9 +185,10 @@ TEST(AtInstantBatch, MatchesAtInstantOnBoundaries) {
   // The Into variant reuses the buffer's capacity and agrees with the
   // allocating wrapper.
   std::vector<Intime<double>> buf;
-  ASSERT_TRUE(AtInstantBatchInto(m, instants, &buf).ok());
+  BatchScratch scratch;
+  ASSERT_TRUE(AtInstantBatchInto(m, instants, &buf, &scratch).ok());
   const Intime<double>* data = buf.data();
-  ASSERT_TRUE(AtInstantBatchInto(m, instants, &buf).ok());
+  ASSERT_TRUE(AtInstantBatchInto(m, instants, &buf, &scratch).ok());
   EXPECT_EQ(buf.data(), data);
   ASSERT_EQ(buf.size(), batch2->size());
   for (std::size_t i = 0; i < buf.size(); ++i) {
@@ -403,18 +404,17 @@ TEST(BatchSimd, UPointXYKernelScalarAvx2ByteIdentical) {
     double hi = mp.units().back().interval().end();
     std::vector<Instant> instants =
         SortedProbe(&rng, -0.5, hi + 0.5, 11 + iter * 9);
-    std::vector<double> xs_s, ys_s, xs_v, ys_v;
-    std::vector<std::uint8_t> def_s, def_v;
+    BatchXYOutput xy_s, xy_v;
     BatchScratch scratch;
     simd::SetSimdMode(simd::Mode::kScalar);
-    ASSERT_TRUE(
-        AtInstantBatchXYInto(mp, instants, &xs_s, &ys_s, &def_s, &scratch)
-            .ok());
+    ASSERT_TRUE(AtInstantBatchXYInto(mp, instants, &xy_s, &scratch).ok());
     simd::SetSimdMode(simd::Mode::kAvx2);
-    ASSERT_TRUE(
-        AtInstantBatchXYInto(mp, instants, &xs_v, &ys_v, &def_v, &scratch)
-            .ok());
+    ASSERT_TRUE(AtInstantBatchXYInto(mp, instants, &xy_v, &scratch).ok());
     simd::SetSimdMode(simd::Mode::kAuto);
+    const std::vector<double>&xs_s = xy_s.xs, &ys_s = xy_s.ys, &xs_v = xy_v.xs,
+                             &ys_v = xy_v.ys;
+    const std::vector<std::uint8_t>&def_s = xy_s.defined,
+                                   &def_v = xy_v.defined;
     ASSERT_EQ(def_s, def_v) << "iter " << iter;
     for (std::size_t i = 0; i < instants.size(); ++i) {
       ASSERT_TRUE(BitEq(xs_s[i], xs_v[i])) << "iter " << iter << " i=" << i;
@@ -439,15 +439,13 @@ TEST(BatchSimd, UPointXYKernelWithoutIndexMatchesIndexed) {
   indexed.BuildSearchIndex();
   double hi = mp.units().back().interval().end();
   std::vector<Instant> instants = SortedProbe(&rng, -0.5, hi + 0.5, 200);
-  std::vector<double> xs_a, ys_a, xs_b, ys_b;
-  std::vector<std::uint8_t> def_a, def_b;
+  BatchXYOutput xy_a, xy_b;
   BatchScratch scratch;
-  ASSERT_TRUE(
-      AtInstantBatchXYInto(mp, instants, &xs_a, &ys_a, &def_a, &scratch).ok());
-  ASSERT_TRUE(
-      AtInstantBatchXYInto(indexed, instants, &xs_b, &ys_b, &def_b, &scratch)
-          .ok());
-  EXPECT_EQ(def_a, def_b);
+  ASSERT_TRUE(AtInstantBatchXYInto(mp, instants, &xy_a, &scratch).ok());
+  ASSERT_TRUE(AtInstantBatchXYInto(indexed, instants, &xy_b, &scratch).ok());
+  const std::vector<double>&xs_a = xy_a.xs, &ys_a = xy_a.ys, &xs_b = xy_b.xs,
+                           &ys_b = xy_b.ys;
+  EXPECT_EQ(xy_a.defined, xy_b.defined);
   for (std::size_t i = 0; i < instants.size(); ++i) {
     EXPECT_TRUE(BitEq(xs_a[i], xs_b[i])) << i;
     EXPECT_TRUE(BitEq(ys_a[i], ys_b[i])) << i;
@@ -459,12 +457,10 @@ TEST(BatchSimd, RejectsUnsortedOnFastPath) {
   MovingPoint mp = GappyTrack(&rng, 8);
   mp.BuildSearchIndex();
   std::vector<Intime<Point>> out;
-  std::vector<double> xs, ys;
-  std::vector<std::uint8_t> def;
+  BatchXYOutput xy;
   BatchScratch scratch;
   EXPECT_FALSE(AtInstantBatchInto(mp, {2.0, 1.0}, &out, &scratch).ok());
-  EXPECT_FALSE(AtInstantBatchXYInto(mp, {2.0, 1.0}, &xs, &ys, &def, &scratch)
-                   .ok());
+  EXPECT_FALSE(AtInstantBatchXYInto(mp, {2.0, 1.0}, &xy, &scratch).ok());
 }
 
 // uregion workload: the sweep kernels run over the generic unit-record

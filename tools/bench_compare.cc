@@ -12,7 +12,14 @@
 //       Select+Join plan must be at least min-speedup faster (real
 //       time) at 4 threads than at 1. Hosts with fewer than 4 CPUs
 //       cannot honestly run this check, so it warns and passes there.
-//   --require-release (composable with both modes, or alone with one
+//   bench_compare --serving FILE.json [--max-p99-ms=5000] [--min-qps=25]
+//       Serving gate over a loadgen BENCH_serving.json export: the run
+//       must have completed requests and zero hard errors (typed
+//       admission rejections are NOT errors), and every */p99 latency
+//       row must stay under max-p99-ms. The qps floor is a throughput
+//       gate, so — like --scaling — it warns and passes on hosts with
+//       fewer than 4 CPUs, where throughput numbers are not honest.
+//   --require-release (composable with every mode, or alone with one
 //       file) rejects a run whose JSON context was not produced by a
 //       Release build. The authoritative key is "modb_build_type"
 //       (stamped by bench_main from the CMake config that compiled the
@@ -177,12 +184,102 @@ int RunScalingGate(const char* path, double min_speedup, bool require_release) {
   return 0;
 }
 
+int RunServingGate(const char* path, double max_p99_ms, double min_qps,
+                   bool require_release) {
+  std::vector<BenchRow> rows;
+  BenchContext context;
+  if (!LoadFile(path, &rows, &context)) return 2;
+  if (require_release && CheckRelease(path, context) != 0) return 1;
+
+  // Pull the serving summary out of the context block.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = modb::obs::JsonValue::Parse(buf.str());
+  if (!parsed.ok()) return 2;
+  const modb::obs::JsonValue* ctx = parsed->Find("context");
+  const modb::obs::JsonValue* serving =
+      ctx != nullptr ? ctx->Find("modb_serving") : nullptr;
+  if (serving == nullptr) {
+    std::fprintf(stderr,
+                 "bench_compare: %s has no context.modb_serving block (not "
+                 "a loadgen export?)\n",
+                 path);
+    return 2;
+  }
+  auto num = [serving](const char* key) -> double {
+    const modb::obs::JsonValue* v = serving->Find(key);
+    return v != nullptr ? v->number_value() : 0;
+  };
+  const double completed = num("completed");
+  const double errors = num("errors");
+  const double rejected = num("rejected");
+  const double qps = num("qps");
+  std::printf(
+      "  serving  completed=%.0f errors=%.0f rejected=%.0f qps=%.1f\n",
+      completed, errors, rejected, qps);
+
+  int failures = 0;
+  if (completed <= 0) {
+    std::fprintf(stderr, "bench_compare: serving gate FAILED: no request "
+                         "completed\n");
+    ++failures;
+  }
+  if (errors != 0) {
+    std::fprintf(stderr,
+                 "bench_compare: serving gate FAILED: %.0f hard errors "
+                 "(typed rejections are counted separately: %.0f)\n",
+                 errors, rejected);
+    ++failures;
+  }
+  const double max_p99_ns = max_p99_ms * 1e6;
+  for (const BenchRow& r : rows) {
+    const std::string suffix = "/p99";
+    if (r.name.size() < suffix.size() ||
+        r.name.compare(r.name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+      continue;
+    }
+    const bool bad = r.real_time > max_p99_ns;
+    std::printf("  %-8s %-50s %12.0f ns\n", bad ? "SLOW" : "ok",
+                r.name.c_str(), r.real_time);
+    if (bad) {
+      std::fprintf(stderr,
+                   "bench_compare: serving gate FAILED: %s = %.1f ms exceeds "
+                   "--max-p99-ms=%.0f\n",
+                   r.name.c_str(), r.real_time / 1e6, max_p99_ms);
+      ++failures;
+    }
+  }
+  if (qps < min_qps) {
+    if (context.num_cpus < 4) {
+      std::printf(
+          "bench_compare: WARNING: host has %d CPUs (< 4); qps floor "
+          "skipped — %.1f qps measured, %.1f required on >= 4 cores\n",
+          context.num_cpus, qps, min_qps);
+    } else {
+      std::fprintf(stderr,
+                   "bench_compare: serving gate FAILED: %.1f qps below the "
+                   "%.1f floor on a %d-CPU host\n",
+                   qps, min_qps, context.num_cpus);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_compare: serving gate passed\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double threshold = 0.15;
   double min_speedup = 2.0;
+  double max_p99_ms = 5000;
+  double min_qps = 25;
   bool scaling = false;
+  bool serving = false;
   bool require_release = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
@@ -198,13 +295,38 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_compare: bad min-speedup %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--max-p99-ms=", 13) == 0) {
+      max_p99_ms = std::atof(argv[i] + 13);
+      if (max_p99_ms <= 0) {
+        std::fprintf(stderr, "bench_compare: bad max-p99-ms %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--min-qps=", 10) == 0) {
+      min_qps = std::atof(argv[i] + 10);
+      if (min_qps <= 0) {
+        std::fprintf(stderr, "bench_compare: bad min-qps %s\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--scaling") == 0) {
       scaling = true;
+    } else if (std::strcmp(argv[i], "--serving") == 0) {
+      serving = true;
     } else if (std::strcmp(argv[i], "--require-release") == 0) {
       require_release = true;
     } else {
       files.push_back(argv[i]);
     }
+  }
+
+  if (serving) {
+    if (files.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: bench_compare --serving FILE.json "
+                   "[--max-p99-ms=5000] [--min-qps=25] "
+                   "[--require-release]\n");
+      return 2;
+    }
+    return RunServingGate(files[0], max_p99_ms, min_qps, require_release);
   }
 
   if (scaling) {

@@ -1,0 +1,415 @@
+// loadgen: closed-loop load generator for modbd. N client threads each
+// keep one connection and issue a fixed mixed workload (Q1 select,
+// filtered project, the Q2 index join, atinstant batch, present batch)
+// back to back; per-kind p50/p99 latencies, error counts, and overall
+// throughput land in a google-benchmark-schema JSON that
+// bench_compare --serving gates.
+//
+//   loadgen --port=P [--host=127.0.0.1] [--clients=4] [--requests=32]
+//           [--num-threads=1] [--flights=64] [--seed=99]
+//           [--out=BENCH_serving.json] [--metrics-out=FILE]
+//           [--verify] [--expect-rejections]
+//
+// --verify rebuilds the server's deterministic Db locally (same
+// --flights/--seed) and fails unless every client's reply bytes are
+// identical to each other AND to the locally executed query — the
+// end-to-end determinism check.
+//
+// --expect-rejections flips the exit criterion for the overload probe:
+// the run must observe at least one typed kResourceExhausted rejection
+// and no hard errors.
+//
+// exit 0: no errors (and verification/rejection expectations held).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/modb.h"
+#include "gen/flights_gen.h"
+#include "obs/json.h"
+#include "serve/client.h"
+#include "serve/wire.h"
+
+#ifndef MODB_BUILD_TYPE
+#define MODB_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+using modb::QueryRequest;
+using modb::FilterSpec;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int clients = 4;
+  int requests = 32;  // per client
+  long num_threads = 1;
+  int flights = 64;
+  long seed = 99;
+  std::string out = "BENCH_serving.json";
+  std::string metrics_out;
+  bool verify = false;
+  bool expect_rejections = false;
+};
+
+struct WorkloadKind {
+  const char* name;
+  QueryRequest request;
+};
+
+std::vector<modb::Instant> EvalInstants() {
+  std::vector<modb::Instant> ts;
+  for (double t = 0; t <= 24.0; t += 0.5) ts.push_back(t);
+  return ts;
+}
+
+// The fixed workload mix, in issue order. Every request targets the
+// resident "planes" relation modbd builds at startup.
+std::vector<WorkloadKind> Workload(long num_threads) {
+  std::vector<WorkloadKind> kinds;
+  {
+    QueryRequest q;  // Q1: airline = Lufthansa AND trajectory length
+    q.kind = QueryRequest::Kind::kSelect;
+    q.relation = "planes";
+    q.filters.push_back({FilterSpec::Kind::kStringEquals, "airline",
+                         "Lufthansa", 0, 0, 0});
+    q.filters.push_back(
+        {FilterSpec::Kind::kTrajectoryLengthAtLeast, "flight", "", 5000, 0,
+         0});
+    kinds.push_back({"q1_select", q});
+  }
+  {
+    QueryRequest q;  // flights in the air at noon, id+airline only
+    q.kind = QueryRequest::Kind::kProject;
+    q.relation = "planes";
+    q.filters.push_back(
+        {FilterSpec::Kind::kPresentAt, "flight", "", 0, 12.0, 0});
+    q.project = {"airline", "id"};
+    kinds.push_back({"project", q});
+  }
+  {
+    QueryRequest q;  // Q2: pairs of planes ever closer than 50
+    q.kind = QueryRequest::Kind::kIndexJoin;
+    q.relation = "planes";
+    q.join_relation = "planes";
+    q.attr = "flight";
+    q.join_attr = "flight";
+    q.distance = 50;
+    q.distinct_pairs = true;
+    kinds.push_back({"q2_index_join", q});
+  }
+  {
+    QueryRequest q;  // every position at every half hour
+    q.kind = QueryRequest::Kind::kAtInstantBatch;
+    q.relation = "planes";
+    q.attr = "flight";
+    q.instants = EvalInstants();
+    kinds.push_back({"atinstant_batch", q});
+  }
+  {
+    QueryRequest q;  // presence mask over the same grid
+    q.kind = QueryRequest::Kind::kPresentBatch;
+    q.relation = "planes";
+    q.attr = "flight";
+    q.instants = EvalInstants();
+    kinds.push_back({"present_batch", q});
+  }
+  for (WorkloadKind& k : kinds) k.request.num_threads = num_threads;
+  return kinds;
+}
+
+struct ClientStats {
+  // One latency vector per workload kind, ns.
+  std::vector<std::vector<std::uint64_t>> latency_ns;
+  // First successful reply's result block per kind (identity checks).
+  std::vector<std::string> first_block;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected = 0;
+  std::string first_error;
+};
+
+void RunClient(const Options& opt, const std::vector<WorkloadKind>& kinds,
+               ClientStats* stats) {
+  stats->latency_ns.resize(kinds.size());
+  stats->first_block.resize(kinds.size());
+  auto note_error = [stats](const std::string& what) {
+    ++stats->errors;
+    if (stats->first_error.empty()) stats->first_error = what;
+  };
+  modb::Result<modb::serve::Client> client =
+      modb::serve::Client::Connect(opt.host, opt.port);
+  if (!client.ok()) {
+    note_error("connect: " + client.status().ToString());
+    return;
+  }
+  for (int r = 0; r < opt.requests; ++r) {
+    const std::size_t k = std::size_t(r) % kinds.size();
+    const auto start = std::chrono::steady_clock::now();
+    modb::Result<modb::serve::Client::Reply> reply =
+        client->Query(kinds[k].request);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (!reply.ok()) {
+      note_error(std::string(kinds[k].name) + ": transport: " +
+                 reply.status().ToString());
+      return;  // the connection is unusable after a transport error
+    }
+    if (reply->status.code() == modb::StatusCode::kResourceExhausted) {
+      ++stats->rejected;  // typed overload rejection: retryable, not an error
+      continue;
+    }
+    if (!reply->status.ok()) {
+      note_error(std::string(kinds[k].name) + ": " +
+                 reply->status.ToString());
+      continue;
+    }
+    stats->latency_ns[k].push_back(std::uint64_t(ns));
+    if (stats->first_block[k].empty()) {
+      stats->first_block[k] = reply->result_block;
+    }
+  }
+}
+
+std::uint64_t Percentile(std::vector<std::uint64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx =
+      std::size_t(double(sorted.size() - 1) * p + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// Rebuilds the server's Db (same generator parameters) and returns the
+// encoded result block for each workload kind, executed locally.
+bool LocalBlocks(const Options& opt, const std::vector<WorkloadKind>& kinds,
+                 std::vector<std::string>* blocks) {
+  modb::FlightsOptions gen;
+  gen.num_flights = opt.flights;
+  gen.seed = std::uint64_t(opt.seed);
+  modb::Result<modb::Relation> planes = modb::GeneratePlanes(gen);
+  if (!planes.ok()) return false;
+  modb::Db db;
+  if (!db.Register(*std::move(planes)).ok()) return false;
+  if (!db.BuildIndex("planes", "flight").ok()) return false;
+  for (const WorkloadKind& k : kinds) {
+    modb::ExecOptions options;
+    options.parallel.num_threads = int(k.request.num_threads);
+    modb::Result<modb::QueryResult> result = db.Run(k.request, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "loadgen: local %s failed: %s\n", k.name,
+                   result.status().ToString().c_str());
+      return false;
+    }
+    modb::Result<std::string> block =
+        modb::serve::EncodeResultBlock(*result);
+    if (!block.ok()) return false;
+    blocks->push_back(*std::move(block));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  auto parse_long = [](const char* arg, const char* flag,
+                       long* out) -> bool {
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+    char* end = nullptr;
+    *out = std::strtol(arg + n + 1, &end, 10);
+    return end != nullptr && *end == '\0';
+  };
+  auto parse_str = [](const char* arg, const char* flag,
+                      std::string* out) -> bool {
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+    *out = arg + n + 1;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    long v;
+    if (parse_long(argv[i], "--port", &v)) {
+      opt.port = int(v);
+    } else if (parse_long(argv[i], "--clients", &v)) {
+      opt.clients = int(v);
+    } else if (parse_long(argv[i], "--requests", &v)) {
+      opt.requests = int(v);
+    } else if (parse_long(argv[i], "--num-threads", &v)) {
+      opt.num_threads = v;
+    } else if (parse_long(argv[i], "--flights", &v)) {
+      opt.flights = int(v);
+    } else if (parse_long(argv[i], "--seed", &v)) {
+      opt.seed = v;
+    } else if (parse_str(argv[i], "--host", &opt.host) ||
+               parse_str(argv[i], "--out", &opt.out) ||
+               parse_str(argv[i], "--metrics-out", &opt.metrics_out)) {
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      opt.verify = true;
+    } else if (std::strcmp(argv[i], "--expect-rejections") == 0) {
+      opt.expect_rejections = true;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 2;
+  }
+
+  const std::vector<WorkloadKind> kinds = Workload(opt.num_threads);
+  std::vector<ClientStats> stats(std::size_t(opt.clients));
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < opt.clients; ++c) {
+    threads.emplace_back(
+        [&, c] { RunClient(opt, kinds, &stats[std::size_t(c)]); });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::uint64_t wall_ns =
+      std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count());
+
+  // Merge.
+  std::uint64_t errors = 0, rejected = 0, completed = 0;
+  std::string first_error;
+  std::vector<std::vector<std::uint64_t>> merged(kinds.size());
+  for (const ClientStats& s : stats) {
+    errors += s.errors;
+    rejected += s.rejected;
+    if (first_error.empty()) first_error = s.first_error;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      completed += s.latency_ns[k].size();
+      merged[k].insert(merged[k].end(), s.latency_ns[k].begin(),
+                       s.latency_ns[k].end());
+    }
+  }
+  std::vector<std::uint64_t> all;
+  for (std::vector<std::uint64_t>& m : merged) {
+    std::sort(m.begin(), m.end());
+    all.insert(all.end(), m.begin(), m.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double qps =
+      wall_ns > 0 ? double(completed) * 1e9 / double(wall_ns) : 0;
+
+  // Cross-client + local byte identity.
+  int verify_failures = 0;
+  if (opt.verify) {
+    std::vector<std::string> local;
+    if (!LocalBlocks(opt, kinds, &local)) {
+      std::fprintf(stderr, "loadgen: building local reference failed\n");
+      return 1;
+    }
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      for (const ClientStats& s : stats) {
+        if (s.first_block[k].empty()) continue;  // no success for this kind
+        if (s.first_block[k] != local[k]) {
+          std::fprintf(stderr,
+                       "loadgen: VERIFY FAILED: %s reply differs from the "
+                       "direct library result\n",
+                       kinds[k].name);
+          ++verify_failures;
+          break;
+        }
+      }
+    }
+  }
+
+  // Report.
+  std::printf("loadgen: %d clients x %d requests: %llu ok, %llu rejected, "
+              "%llu errors, %.1f qps\n",
+              opt.clients, opt.requests, (unsigned long long)completed,
+              (unsigned long long)rejected, (unsigned long long)errors, qps);
+  if (!first_error.empty()) {
+    std::fprintf(stderr, "loadgen: first error: %s\n", first_error.c_str());
+  }
+
+  if (!opt.out.empty()) {
+    using modb::obs::JsonValue;
+    JsonValue serving = JsonValue::Object();
+    serving.Set("clients", JsonValue::Int(std::uint64_t(opt.clients)));
+    serving.Set("requests_per_client",
+                JsonValue::Int(std::uint64_t(opt.requests)));
+    serving.Set("completed", JsonValue::Int(completed));
+    serving.Set("errors", JsonValue::Int(errors));
+    serving.Set("rejected", JsonValue::Int(rejected));
+    serving.Set("wall_ns", JsonValue::Int(wall_ns));
+    serving.Set("qps", JsonValue::Number(qps));
+    JsonValue context = JsonValue::Object();
+    context.Set("num_cpus", JsonValue::Int(std::max(
+                                1u, std::thread::hardware_concurrency())));
+    context.Set("modb_build_type", JsonValue::Str(MODB_BUILD_TYPE));
+    context.Set("modb_serving", std::move(serving));
+    JsonValue benchmarks = JsonValue::Array();
+    auto add_row = [&benchmarks](const std::string& name, std::uint64_t ns,
+                                 std::uint64_t iterations) {
+      JsonValue row = JsonValue::Object();
+      row.Set("name", JsonValue::Str(name));
+      row.Set("run_type", JsonValue::Str("iteration"));
+      row.Set("iterations", JsonValue::Int(iterations));
+      row.Set("real_time", JsonValue::Int(ns));
+      row.Set("cpu_time", JsonValue::Int(ns));
+      row.Set("time_unit", JsonValue::Str("ns"));
+      benchmarks.Append(std::move(row));
+    };
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const std::string base = std::string("SERVE_") + kinds[k].name;
+      add_row(base + "/p50", Percentile(merged[k], 0.50), merged[k].size());
+      add_row(base + "/p99", Percentile(merged[k], 0.99), merged[k].size());
+    }
+    add_row("SERVE_all/p50", Percentile(all, 0.50), all.size());
+    add_row("SERVE_all/p99", Percentile(all, 0.99), all.size());
+    JsonValue doc = JsonValue::Object();
+    doc.Set("context", std::move(context));
+    doc.Set("benchmarks", std::move(benchmarks));
+    std::ofstream out(opt.out, std::ios::binary | std::ios::trunc);
+    out << doc.Write() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    std::printf("loadgen: wrote %s\n", opt.out.c_str());
+  }
+
+  if (!opt.metrics_out.empty()) {
+    modb::Result<std::string> metrics =
+        modb::serve::FetchMetricsJson(opt.host, opt.port);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "loadgen: fetching /metrics: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(opt.metrics_out, std::ios::binary | std::ios::trunc);
+    out << *metrics;
+    if (!out) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n",
+                   opt.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("loadgen: wrote %s\n", opt.metrics_out.c_str());
+  }
+
+  if (errors != 0) return 1;
+  if (verify_failures != 0) return 1;
+  if (opt.expect_rejections && rejected == 0) {
+    std::fprintf(stderr,
+                 "loadgen: expected typed rejections under overload, saw "
+                 "none\n");
+    return 1;
+  }
+  if (!opt.expect_rejections && completed == 0) {
+    std::fprintf(stderr, "loadgen: no request completed\n");
+    return 1;
+  }
+  return 0;
+}

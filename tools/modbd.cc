@@ -1,0 +1,115 @@
+// modbd: the long-running MODB server. Builds the planes relation (the
+// paper's running example) with a deterministic seed, keeps it and its
+// moving-point R-tree resident in a modb::Db, and serves typed
+// QueryRequests over the frame protocol (docs/PROTOCOL.md) until
+// SIGTERM/SIGINT, then drains in-flight queries and exits 0.
+//
+//   modbd [--port=0] [--host=127.0.0.1] [--thread-budget=64]
+//         [--queue-capacity=64] [--flights=64] [--seed=99]
+//
+// Prints exactly one line "modbd listening on HOST:PORT" once ready —
+// scripts (verify.sh) parse the ephemeral port from it.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "db/modb.h"
+#include "gen/flights_gen.h"
+#include "serve/server.h"
+
+namespace {
+
+bool ParseInt(const char* arg, const char* flag, long* out) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  char* end = nullptr;
+  *out = std::strtol(arg + n + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseStr(const char* arg, const char* flag, std::string* out) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  modb::serve::ServerOptions options;
+  long flights = 64;
+  long seed = 99;
+  for (int i = 1; i < argc; ++i) {
+    long v;
+    std::string s;
+    if (ParseInt(argv[i], "--port", &v)) {
+      options.port = int(v);
+    } else if (ParseStr(argv[i], "--host", &s)) {
+      options.host = s;
+    } else if (ParseInt(argv[i], "--thread-budget", &v)) {
+      options.thread_budget = v;
+    } else if (ParseInt(argv[i], "--queue-capacity", &v)) {
+      options.queue_capacity = std::size_t(v < 0 ? 0 : v);
+    } else if (ParseInt(argv[i], "--flights", &v)) {
+      flights = v;
+    } else if (ParseInt(argv[i], "--seed", &v)) {
+      seed = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: modbd [--port=0] [--host=127.0.0.1] "
+                   "[--thread-budget=64] [--queue-capacity=64] "
+                   "[--flights=64] [--seed=99]\n");
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before any thread starts, so they are
+  // delivered to sigwait below and nowhere else.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  modb::FlightsOptions gen;
+  gen.num_flights = int(flights);
+  gen.seed = std::uint64_t(seed);
+  modb::Result<modb::Relation> planes = modb::GeneratePlanes(gen);
+  if (!planes.ok()) {
+    std::fprintf(stderr, "modbd: generating planes: %s\n",
+                 planes.status().ToString().c_str());
+    return 1;
+  }
+
+  modb::Db db;
+  if (modb::Status s = db.Register(*std::move(planes)); !s.ok()) {
+    std::fprintf(stderr, "modbd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (modb::Status s = db.BuildIndex("planes", "flight"); !s.ok()) {
+    std::fprintf(stderr, "modbd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  modb::serve::Server server(&db, options);
+  if (modb::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "modbd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("modbd listening on %s:%d\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("modbd: received %s, draining\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  server.Stop();
+  std::printf("modbd: stopped cleanly\n");
+  return 0;
+}

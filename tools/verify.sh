@@ -105,4 +105,57 @@ echo "==== scaling sweep (release build) ===="
 "$release_dir/tools/bench_compare" --scaling BENCH_scaling.json \
   --require-release
 
+# Serving smoke (release build): modbd + loadgen end to end. The load
+# generator re-executes every query against an in-process Db and fails
+# on any byte difference vs the server's result blocks (--verify);
+# json_check and bench_compare --serving gate the recorded latency
+# snapshot (p99 ceiling; the qps floor warn-skips on small CI hosts);
+# the overload probe (1-thread budget, no queue, 2-thread requests)
+# must yield typed rejections only; SIGTERM must drain and exit 0.
+echo "==== serving smoke (release build) ===="
+cmake --build --preset release -j "$jobs" --target modbd loadgen
+serving_pid=""
+cleanup_serving() {
+  if [ -n "$serving_pid" ]; then kill "$serving_pid" 2>/dev/null || true; fi
+}
+trap cleanup_serving EXIT
+
+start_modbd() {
+  local log="$1"
+  shift
+  "$release_dir/tools/modbd" "$@" > "$log" &
+  serving_pid=$!
+  modbd_port=""
+  for _ in $(seq 1 100); do
+    modbd_port=$(sed -n 's/^modbd listening on .*:\([0-9][0-9]*\)$/\1/p' "$log")
+    [ -n "$modbd_port" ] && return 0
+    kill -0 "$serving_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "modbd failed to start:"
+  cat "$log"
+  return 1
+}
+
+start_modbd "$release_dir/modbd.log" --port=0
+"$release_dir/tools/loadgen" --port="$modbd_port" --clients=2 --requests=10 \
+  --verify --out=BENCH_serving.json --metrics-out="$release_dir/metrics.json"
+"$release_dir/tools/json_check" BENCH_serving.json
+"$release_dir/tools/json_check" "$release_dir/metrics.json"
+"$release_dir/tools/bench_compare" --serving BENCH_serving.json \
+  --require-release
+kill -TERM "$serving_pid"
+wait "$serving_pid"  # graceful drain: modbd must exit 0
+serving_pid=""
+
+start_modbd "$release_dir/modbd_overload.log" --port=0 \
+  --thread-budget=1 --queue-capacity=0
+"$release_dir/tools/loadgen" --port="$modbd_port" --clients=4 --requests=10 \
+  --num-threads=2 --expect-rejections \
+  --out="$release_dir/BENCH_serving_overload.json"
+kill -TERM "$serving_pid"
+wait "$serving_pid"
+serving_pid=""
+trap - EXIT
+
 echo "==== all presets green: ${presets[*]} ===="
