@@ -1,6 +1,9 @@
 #include "db/modb.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "core/interval.h"
@@ -99,6 +102,124 @@ Result<exec::Predicate> LowerFilter(const Relation& rel,
                                  std::to_string(int(f.kind)));
 }
 
+// ---- window aggregation (kWindowAggregate) --------------------------------
+
+// Hard ceiling on emitted windows: one row each, so this bounds both
+// the response size and the serial aggregation loop.
+constexpr std::uint64_t kMaxWindows = std::uint64_t(1) << 20;
+
+// A set of instants {t : lo <= t <= hi} with endpoint closedness — the
+// working type of the exact window/unit/rect intersection. All three
+// operand kinds lower to it: unit intervals (their own closedness),
+// windows (closed-open), rect crossing ranges (closed).
+struct TRange {
+  double lo = 0;
+  double hi = 0;
+  bool lc = true;
+  bool rc = true;
+  bool empty = false;
+};
+
+TRange EmptyRange() {
+  TRange r;
+  r.empty = true;
+  return r;
+}
+
+TRange IntersectRanges(const TRange& a, const TRange& b) {
+  if (a.empty || b.empty) return EmptyRange();
+  TRange r;
+  if (a.lo > b.lo) {
+    r.lo = a.lo;
+    r.lc = a.lc;
+  } else if (b.lo > a.lo) {
+    r.lo = b.lo;
+    r.lc = b.lc;
+  } else {
+    r.lo = a.lo;
+    r.lc = a.lc && b.lc;
+  }
+  if (a.hi < b.hi) {
+    r.hi = a.hi;
+    r.rc = a.rc;
+  } else if (b.hi < a.hi) {
+    r.hi = b.hi;
+    r.rc = b.rc;
+  } else {
+    r.hi = a.hi;
+    r.rc = a.rc && b.rc;
+  }
+  // A degenerate instant survives only if BOTH operands actually
+  // contain it — this is what makes a fix exactly on a window edge
+  // count in exactly one window.
+  if (r.lo > r.hi || (r.lo == r.hi && !(r.lc && r.rc))) return EmptyRange();
+  return r;
+}
+
+// Time range where c0 + c1*t lies in [lo, hi] (closed): a closed
+// interval for c1 != 0, everything or nothing for constant motion.
+TRange AxisCrossingRange(double c0, double c1, double lo, double hi) {
+  TRange r;
+  if (c1 == 0) {
+    if (c0 < lo || c0 > hi) return EmptyRange();
+    r.lo = -std::numeric_limits<double>::infinity();
+    r.hi = std::numeric_limits<double>::infinity();
+    return r;
+  }
+  double a = (lo - c0) / c1;
+  double b = (hi - c0) / c1;
+  if (a > b) std::swap(a, b);
+  r.lo = a;
+  r.hi = b;
+  return r;
+}
+
+TRange RangeOfInterval(const TimeInterval& iv) {
+  TRange r;
+  r.lo = iv.start();
+  r.hi = iv.end();
+  r.lc = iv.left_closed();
+  r.rc = iv.right_closed();
+  return r;
+}
+
+// Per-object accumulation over one window: presence inside the rect,
+// plus distance traveled / time covered under the TEMPORAL clip only
+// (the rect does not clip distance — documented in docs/INGEST.md).
+struct WindowRowAgg {
+  bool qualifies = false;
+  double distance = 0;
+  double covered = 0;
+};
+
+WindowRowAgg AggregateRowWindow(const MovingPoint& mp, const TRange& window,
+                                bool has_rect, double min_x, double min_y,
+                                double max_x, double max_y) {
+  WindowRowAgg agg;
+  for (const UPoint& u : mp.units()) {
+    const TimeInterval& iv = u.interval();
+    if (iv.end() < window.lo) continue;
+    if (iv.start() > window.hi) break;
+    const TRange clip = IntersectRanges(RangeOfInterval(iv), window);
+    if (clip.empty) continue;
+    const double dur = clip.hi - clip.lo;
+    agg.distance += u.Speed() * dur;
+    agg.covered += dur;
+    if (!agg.qualifies) {
+      if (!has_rect) {
+        agg.qualifies = true;
+      } else {
+        const LinearMotion& m = u.motion();
+        const TRange q = IntersectRanges(
+            IntersectRanges(clip, AxisCrossingRange(m.x0, m.x1, min_x, max_x)),
+            AxisCrossingRange(m.y0, m.y1, min_y, max_y));
+        if (!q.empty) agg.qualifies = true;
+      }
+    }
+  }
+  return agg;
+}
+
 // The Q2 predicate template: ever closer than `dist`, optionally only
 // distinct (i < j) pairs.
 exec::JoinPred EverCloserPred(int slot_a, int slot_b, double dist,
@@ -148,6 +269,11 @@ Status Db::BuildIndex(const std::string& relation, const std::string& attr) {
   if (it == relations_.end()) {
     return Status::NotFound("no relation named '" + relation + "'");
   }
+  if (it->second.live != nullptr) {
+    return Status::FailedPrecondition(
+        "relation '" + relation +
+        "' is live and maintains its own layered index");
+  }
   Result<int> slot =
       ResolveSlot(it->second.rel, attr, AttributeType::kMovingPoint);
   MODB_RETURN_IF_ERROR(slot.status());
@@ -171,7 +297,152 @@ Result<std::uint64_t> Db::NumTuples(const std::string& name) const {
   if (it == relations_.end()) {
     return Status::NotFound("no relation named '" + name + "'");
   }
-  return std::uint64_t{it->second.rel.NumTuples()};
+  return std::uint64_t{RelOf(it->second).NumTuples()};
+}
+
+Status Db::RegisterLive(const std::string& name, ingest::LiveOptions options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = relations_.try_emplace(name);
+  if (!inserted) {
+    return Status::FailedPrecondition("relation '" + name +
+                                      "' is already registered");
+  }
+  it->second.live = std::make_unique<ingest::LiveRelation>(name, options);
+  return Status::OK();
+}
+
+Status Db::AttachLiveStore(const std::string& name,
+                           VersionedSpillStore* store) {
+  std::unique_lock lock(mu_);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  if (it->second.live == nullptr) {
+    return Status::FailedPrecondition("relation '" + name +
+                                      "' is not a live relation");
+  }
+  return it->second.live->AttachStore(store);
+}
+
+Result<MutationResult> Db::Apply(const MutationRequest& req) {
+  std::unique_lock lock(mu_);
+  MutationResult ack;
+  switch (req.kind) {
+    case MutationRequest::Kind::kRegisterLive: {
+      if (req.relation.empty()) {
+        return Status::InvalidArgument("relation name must be non-empty");
+      }
+      auto [it, inserted] = relations_.try_emplace(req.relation);
+      if (!inserted) {
+        return Status::FailedPrecondition("relation '" + req.relation +
+                                          "' is already registered");
+      }
+      ingest::LiveOptions options;
+      if (req.seal_units > 0) {
+        options.seal_units = std::size_t(req.seal_units);
+      }
+      it->second.live =
+          std::make_unique<ingest::LiveRelation>(req.relation, options);
+      return ack;
+    }
+
+    case MutationRequest::Kind::kDropRelation: {
+      if (relations_.erase(req.relation) == 0) {
+        return Status::NotFound("no relation named '" + req.relation + "'");
+      }
+      return ack;
+    }
+
+    case MutationRequest::Kind::kIngest: {
+      auto it = relations_.find(req.relation);
+      if (it == relations_.end()) {
+        return Status::NotFound("no relation named '" + req.relation +
+                                "' (ingest target)");
+      }
+      ingest::LiveRelation* live = it->second.live.get();
+      if (live == nullptr) {
+        return Status::FailedPrecondition("relation '" + req.relation +
+                                          "' is not a live relation");
+      }
+      std::vector<ingest::IngestFix> fixes;
+      fixes.reserve(req.fixes.size());
+      for (const MutationRequest::Fix& f : req.fixes) {
+        fixes.push_back({f.object_id, f.t, f.x, f.y});
+      }
+      MODB_RETURN_IF_ERROR(live->Ingest(fixes));
+      // Durability before the ack: a store-backed ingest is committed
+      // as one epoch, so a crash after the reply loses nothing the
+      // client was told about.
+      if (live->HasStore()) MODB_RETURN_IF_ERROR(live->Persist());
+      ack.accepted = fixes.size();
+      ack.objects = live->NumObjects();
+      ack.mem_units = live->index().MemEntries();
+      ack.delta_entries = live->index().DeltaEntries();
+      ack.base_entries = live->index().BaseEntries();
+      ack.merges = live->index().merges();
+      ack.epoch = live->epoch();
+      return ack;
+    }
+  }
+  return Status::InvalidArgument("unknown mutation kind " +
+                                 std::to_string(int(req.kind)));
+}
+
+Status Db::MergeLive(const std::string& name) {
+  std::optional<MergePlan> plan;
+  int fanout = 16;
+  {
+    std::shared_lock lock(mu_);
+    auto it = relations_.find(name);
+    if (it == relations_.end()) {
+      return Status::NotFound("no relation named '" + name + "'");
+    }
+    if (it->second.live == nullptr) {
+      return Status::FailedPrecondition("relation '" + name +
+                                        "' is not a live relation");
+    }
+    fanout = it->second.live->options().fanout;
+    plan = it->second.live->PrepareMerge();
+  }
+  if (!plan) return Status::OK();  // empty delta — nothing to compact
+
+  // The expensive part runs with NO lock held.
+  RTree3D merged = RTree3D::BulkLoad(plan->entries, fanout);
+
+  std::unique_lock lock(mu_);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  if (it->second.live == nullptr) {
+    return Status::FailedPrecondition("relation '" + name +
+                                      "' is not a live relation");
+  }
+  // A stale generation (a seal raced the build) is a clean no-op; the
+  // next maintenance round re-prepares against the new generation.
+  (void)it->second.live->ApplyMerge(*plan, std::move(merged));
+  return Status::OK();
+}
+
+Status Db::DrainLive(const std::string& name) {
+  std::unique_lock lock(mu_);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  if (it->second.live == nullptr) {
+    return Status::FailedPrecondition("relation '" + name +
+                                      "' is not a live relation");
+  }
+  it->second.live->SealAll();
+  if (it->second.live->HasStore()) {
+    return it->second.live->Persist();
+  }
+  return Status::OK();
 }
 
 Result<QueryResult> Db::Run(const QueryRequest& req,
@@ -184,6 +455,7 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
     return Status::NotFound("no relation named '" + req.relation + "'");
   }
   const Entry& src = src_it->second;
+  const Relation& src_rel = RelOf(src);
 
   QueryResult result;
   ExecOptions run = options;
@@ -195,9 +467,9 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
     case QueryRequest::Kind::kJoin:
     case QueryRequest::Kind::kIndexJoin: {
       exec::LogicalQuery q;
-      q.rel = &src.rel;
+      q.rel = &src_rel;
       for (const FilterSpec& f : req.filters) {
-        Result<exec::Predicate> p = LowerFilter(src.rel, f);
+        Result<exec::Predicate> p = LowerFilter(src_rel, f);
         MODB_RETURN_IF_ERROR(p.status());
         q.filters.push_back(*std::move(p));
       }
@@ -208,7 +480,7 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
         }
         std::vector<int> slots;
         for (const std::string& name : req.project) {
-          const int slot = src.rel.schema().IndexOf(name);
+          const int slot = src_rel.schema().IndexOf(name);
           if (slot < 0) {
             return Status::InvalidArgument("relation '" + req.relation +
                                            "' has no attribute '" + name +
@@ -224,14 +496,15 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
                                   "' (join inner)");
         }
         const Entry& inner = inner_it->second;
+        const Relation& inner_rel = RelOf(inner);
         Result<int> outer_slot =
-            ResolveSlot(src.rel, req.attr, AttributeType::kMovingPoint);
+            ResolveSlot(src_rel, req.attr, AttributeType::kMovingPoint);
         MODB_RETURN_IF_ERROR(outer_slot.status());
         Result<int> inner_slot =
-            ResolveSlot(inner.rel, req.join_attr, AttributeType::kMovingPoint);
+            ResolveSlot(inner_rel, req.join_attr, AttributeType::kMovingPoint);
         MODB_RETURN_IF_ERROR(inner_slot.status());
         exec::LogicalQuery::JoinSpec join;
-        join.inner = &inner.rel;
+        join.inner = &inner_rel;
         join.attr_outer = *outer_slot;
         join.attr_inner = *inner_slot;
         join.expand = req.distance;
@@ -241,8 +514,16 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
           join.algorithm = exec::LogicalQuery::JoinSpec::Algorithm::kNestedLoop;
         } else {
           join.algorithm = exec::LogicalQuery::JoinSpec::Algorithm::kIndex;
-          auto tree = inner.indexes.find(*inner_slot);
-          if (tree != inner.indexes.end()) join.prebuilt = &tree->second;
+          if (inner.live != nullptr &&
+              *inner_slot == ingest::LiveRelation::kTrailSlot) {
+            // Live inner: probe the base/delta/mem stack instead of
+            // building a throwaway tree. The probe's sort+dedupe makes
+            // the layering invisible in the output.
+            join.layers = inner.live->View();
+          } else {
+            auto tree = inner.indexes.find(*inner_slot);
+            if (tree != inner.indexes.end()) join.prebuilt = &tree->second;
+          }
         }
         q.join = std::move(join);
       }
@@ -257,11 +538,11 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
 
     case QueryRequest::Kind::kAtInstantBatch: {
       Result<int> slot =
-          ResolveSlot(src.rel, req.attr, AttributeType::kMovingPoint);
+          ResolveSlot(src_rel, req.attr, AttributeType::kMovingPoint);
       MODB_RETURN_IF_ERROR(slot.status());
       std::vector<const MovingPoint*> maps;
-      maps.reserve(src.rel.NumTuples());
-      for (const Tuple& t : src.rel.tuples()) {
+      maps.reserve(src_rel.NumTuples());
+      for (const Tuple& t : src_rel.tuples()) {
         maps.push_back(&std::get<MovingPoint>(t[*slot]));
       }
       std::vector<BatchXYOutput> outs;
@@ -285,15 +566,15 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
 
     case QueryRequest::Kind::kPresentBatch: {
       Result<int> slot =
-          ResolveSlot(src.rel, req.attr, AttributeType::kMovingPoint);
+          ResolveSlot(src_rel, req.attr, AttributeType::kMovingPoint);
       MODB_RETURN_IF_ERROR(slot.status());
       const auto start = std::chrono::steady_clock::now();
       result.payload = QueryResult::Payload::kPresent;
-      result.batch_tuples = src.rel.NumTuples();
+      result.batch_tuples = src_rel.NumTuples();
       result.batch_instants = req.instants.size();
       result.present.reserve(result.batch_tuples * result.batch_instants);
       std::vector<std::uint8_t> buf;
-      for (const Tuple& t : src.rel.tuples()) {
+      for (const Tuple& t : src_rel.tuples()) {
         // Per-tuple kernels run serial inline; the whole loop already
         // holds the reader lock, and stats are aggregated manually so
         // the root node covers the full batch.
@@ -309,6 +590,90 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - start)
               .count());
+      break;
+    }
+
+    case QueryRequest::Kind::kWindowAggregate: {
+      Result<int> slot =
+          ResolveSlot(src_rel, req.attr, AttributeType::kMovingPoint);
+      MODB_RETURN_IF_ERROR(slot.status());
+      if (!(req.window_width > 0) || !(req.window_step > 0)) {
+        return Status::InvalidArgument(
+            "window aggregate requires window_width > 0 and window_step > 0");
+      }
+      if (!std::isfinite(req.window_t0) || !std::isfinite(req.window_t1) ||
+          !std::isfinite(req.window_width) || !std::isfinite(req.window_step)) {
+        return Status::InvalidArgument(
+            "window aggregate fields must be finite");
+      }
+      if (req.window_t1 < req.window_t0) {
+        return Status::InvalidArgument(
+            "window sweep is inverted: window_t1 < window_t0");
+      }
+      if ((req.window_t1 - req.window_t0) / req.window_step >
+          double(kMaxWindows)) {
+        return Status::InvalidArgument(
+            "window sweep would emit more than " +
+            std::to_string(kMaxWindows) + " windows");
+      }
+      // The rect is optional: an inverted rect means no spatial
+      // constraint (every defined instant qualifies).
+      const bool has_rect = req.min_x <= req.max_x && req.min_y <= req.max_y;
+
+      // Filters ride the ordinary select pipeline first, so pushdown,
+      // stats, and determinism behave exactly as for kSelect; the
+      // aggregation below is a serial pass in row order.
+      exec::LogicalQuery q;
+      q.rel = &src_rel;
+      for (const FilterSpec& f : req.filters) {
+        Result<exec::Predicate> p = LowerFilter(src_rel, f);
+        MODB_RETURN_IF_ERROR(p.status());
+        q.filters.push_back(*std::move(p));
+      }
+      q.root_op = "window_aggregate";
+      Result<exec::PhysicalPlan> plan = exec::PlanQuery(q);
+      MODB_RETURN_IF_ERROR(plan.status());
+      Result<Relation> filtered = exec::RunPlan(*plan, run);
+      MODB_RETURN_IF_ERROR(filtered.status());
+
+      Relation out(src_rel.name() + "_win",
+                   Schema({{"w_start", AttributeType::kReal},
+                           {"w_end", AttributeType::kReal},
+                           {"count", AttributeType::kInt},
+                           {"distance", AttributeType::kReal},
+                           {"avg_speed", AttributeType::kReal}}));
+      // s = t0 + i*step (never accumulated), so window boundaries are
+      // bit-reproducible regardless of how many windows precede them.
+      for (std::uint64_t i = 0;; ++i) {
+        const Instant s = req.window_t0 + double(i) * req.window_step;
+        if (!(s < req.window_t1)) break;
+        TRange window;
+        window.lo = s;
+        window.hi = s + req.window_width;
+        window.lc = true;
+        window.rc = false;  // closed-open: [s, s + width)
+        std::uint64_t count = 0;
+        double distance = 0;
+        double covered = 0;
+        for (const Tuple& t : filtered->tuples()) {
+          const WindowRowAgg agg = AggregateRowWindow(
+              std::get<MovingPoint>(t[std::size_t(*slot)]), window, has_rect,
+              req.min_x, req.min_y, req.max_x, req.max_y);
+          if (!agg.qualifies) continue;
+          ++count;
+          distance += agg.distance;
+          covered += agg.covered;
+        }
+        Tuple row;
+        row.emplace_back(RealValue(window.lo));
+        row.emplace_back(RealValue(window.hi));
+        row.emplace_back(IntValue(std::int64_t(count)));
+        row.emplace_back(RealValue(distance));
+        row.emplace_back(RealValue(covered > 0 ? distance / covered : 0.0));
+        MODB_RETURN_IF_ERROR(out.Insert(std::move(row)));
+      }
+      result.payload = QueryResult::Payload::kRows;
+      result.rows = std::move(out);
       break;
     }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "db/parallel.h"
 #include "db/relation.h"
 #include "index/rtree3d.h"
+#include "ingest/live_relation.h"
 #include "obs/exec_stats.h"
 
 namespace modb {
@@ -73,6 +75,15 @@ struct QueryRequest {
     kAtInstantBatch = 4,
     /// present of every tuple's `attr` at each of `instants`.
     kPresentBatch = 5,
+    /// Continuous-window aggregation over `attr`: tumbling (step ==
+    /// width) or sliding (step < width) windows [s, s + width) with
+    /// s = window_t0 + i*window_step while s < window_t1. Per window,
+    /// over the (optionally filtered) source: how many objects are
+    /// inside the rect at some instant of the window, the distance
+    /// those objects travel during it, and their average speed. Emits
+    /// one row per window (empty windows included) as rows payload
+    /// {w_start, w_end, count, distance, avg_speed}.
+    kWindowAggregate = 6,
   };
   Kind kind = Kind::kSelect;
 
@@ -97,6 +108,20 @@ struct QueryRequest {
 
   /// Evaluation instants for the batch kinds; must be ascending.
   std::vector<Instant> instants;
+
+  /// kWindowAggregate: the window sweep [window_t0, window_t1) cut into
+  /// windows of `window_width` advancing by `window_step` (both > 0).
+  Instant window_t0 = 0;
+  Instant window_t1 = 0;
+  Instant window_width = 0;
+  Instant window_step = 0;
+  /// kWindowAggregate: the query rect, closed on all sides. An inverted
+  /// rect (min > max on either axis — the default) means "no spatial
+  /// constraint": every defined instant qualifies.
+  double min_x = 0;
+  double min_y = 0;
+  double max_x = -1;
+  double max_y = -1;
 
   /// Wire-level execution hint: the worker count the client asks for.
   /// The server copies it into ExecOptions.parallel and the shared
@@ -126,6 +151,50 @@ struct QueryResult {
   ExecStats stats;
 };
 
+/// A typed mutation against a Db — the write-side counterpart of
+/// QueryRequest, equally closed and wire-encodable (serve/wire.h).
+struct MutationRequest {
+  enum class Kind : std::uint8_t {
+    /// Creates an empty live relation named `relation` (schema
+    /// {id: string, trail: mpoint}); `seal_units` > 0 overrides the
+    /// default seal threshold.
+    kRegisterLive = 0,
+    /// Drops `relation` (live or not) and everything derived from it.
+    kDropRelation = 1,
+    /// Appends `fixes` to live relation `relation`, atomically: the
+    /// whole batch is validated first and rejected as a unit. When the
+    /// relation is store-backed the batch is committed before the ack —
+    /// an acknowledged ingest is durable.
+    kIngest = 2,
+  };
+  Kind kind = Kind::kIngest;
+  std::string relation;
+
+  struct Fix {
+    std::string object_id;
+    Instant t = 0;
+    double x = 0;
+    double y = 0;
+  };
+  std::vector<Fix> fixes;
+
+  /// kRegisterLive: 0 keeps the LiveOptions default.
+  std::uint64_t seal_units = 0;
+};
+
+/// The ack for a MutationRequest: what was applied plus a snapshot of
+/// the live relation's layer sizes (zeros for kRegisterLive/kDrop).
+struct MutationResult {
+  std::uint64_t accepted = 0;
+  std::uint64_t objects = 0;
+  std::uint64_t mem_units = 0;
+  std::uint64_t delta_entries = 0;
+  std::uint64_t base_entries = 0;
+  std::uint64_t merges = 0;
+  /// Store epoch after the mutation; 0 when no store is attached.
+  std::uint64_t epoch = 0;
+};
+
 /// The resident database: named relations plus prebuilt R-trees over
 /// their moving-point attributes.
 class Db {
@@ -145,7 +214,39 @@ class Db {
   /// Builds (or rebuilds) the R-tree over `relation`'s moving-point
   /// attribute `attr` and keeps it resident; subsequent kIndexJoin
   /// requests with this inner attribute probe it without a build step.
+  /// FailedPrecondition on live relations — they maintain their own
+  /// layered index.
   Status BuildIndex(const std::string& relation, const std::string& attr);
+
+  /// Creates an empty live relation (ingest target). Name rules as for
+  /// Register.
+  Status RegisterLive(const std::string& name,
+                      ingest::LiveOptions options = ingest::LiveOptions());
+
+  /// Attaches a durability store to live relation `name` (adopting an
+  /// empty store or recovering a populated one — see
+  /// ingest::LiveRelation::AttachStore). The store must outlive the Db
+  /// entry.
+  Status AttachLiveStore(const std::string& name, VersionedSpillStore* store);
+
+  /// Applies a mutation under the writer lock. For kIngest the returned
+  /// ack reflects the post-batch (and, when store-backed, post-commit)
+  /// state.
+  Result<MutationResult> Apply(const MutationRequest& req);
+
+  /// One LSM maintenance round for live relation `name`: snapshots the
+  /// base+delta union under the reader lock, bulk-loads the merged tree
+  /// with NO lock held, and installs it under the writer lock unless a
+  /// seal intervened (in which case the round is a no-op and a later
+  /// round retries). Queries are never blocked on the build.
+  Status MergeLive(const std::string& name);
+
+  /// Final drain for live relation `name` (modbd's shutdown path):
+  /// seals every tail, compacts delta into base, and — when
+  /// store-backed — commits one final epoch, so recovery reopens to
+  /// exactly this state. NotFound if absent, FailedPrecondition if not
+  /// live.
+  Status DrainLive(const std::string& name);
 
   /// Registered relation names, sorted.
   std::vector<std::string> RelationNames() const;
@@ -164,7 +265,15 @@ class Db {
     Relation rel;
     /// Prebuilt R-trees by attribute slot.
     std::map<int, RTree3D> indexes;
+    /// Set for live relations; `rel` is then unused and the relation's
+    /// tuples live inside (live->relation()).
+    std::unique_ptr<ingest::LiveRelation> live;
   };
+
+  /// The queryable relation of an entry (live or static).
+  static const Relation& RelOf(const Entry& e) {
+    return e.live != nullptr ? e.live->relation() : e.rel;
+  }
 
   mutable std::shared_mutex mu_;
   std::map<std::string, Entry> relations_;

@@ -62,6 +62,11 @@ class Relation {
   /// Appends a tuple after checking arity and attribute types.
   Status Insert(Tuple tuple);
 
+  /// Replaces one attribute of an existing tuple, type checked against
+  /// the schema (the live-ingest refresh path: a tail's trajectory
+  /// attribute is re-materialized in place after each absorbed batch).
+  Status SetValue(std::size_t row, std::size_t slot, AttributeValue value);
+
  private:
   std::string name_;
   Schema schema_;

@@ -97,24 +97,24 @@ std::size_t NumStages(const Pipeline& pipe) {
 // stats semantics) for every execution policy, which is what keeps
 // pipelined output byte-identical to the materializing operator's.
 void ProbeIndexJoinRow(const Tuple& outer, std::size_t outer_row,
-                       const JoinProbeOp& op, const RTree3D& tree,
+                       const JoinProbeOp& op, const IndexLayersView& view,
                        std::vector<Tuple>* out, StageCounters* s,
                        ProbeScratch* scratch) {
   const Relation& b = *op.inner;
   const auto& mp = std::get<MovingPoint>(outer[std::size_t(op.attr_outer)]);
   std::vector<int64_t>& candidates = scratch->candidates;
   candidates.clear();
-  const Cube& bounds = tree.Bounds();
+  const Cube& bounds = view.Bounds();
   for (const UPoint& u : mp.units()) {
     Cube c = u.BoundingCube();
     c.rect.min_x -= op.expand;
     c.rect.min_y -= op.expand;
     c.rect.max_x += op.expand;
     c.rect.max_y += op.expand;
-    // Bbox prefilter: a probe cube disjoint from the whole tree cannot
+    // Bbox prefilter: a probe cube disjoint from every layer cannot
     // produce candidates; skip the descent outright.
     if (!Cube::Intersect(c, bounds)) continue;
-    tree.QueryVisit(c, [&candidates](int64_t id) { candidates.push_back(id); });
+    view.QueryVisit(c, [&candidates](int64_t id) { candidates.push_back(id); });
   }
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
@@ -150,7 +150,7 @@ void ProbeNestedLoopRow(const Tuple& outer, std::size_t outer_row,
 
 // One morsel through the fused stage chain. Returns non-OK only for
 // source faults (spilled page errors); predicate work never fails.
-Status ProcessMorsel(const Pipeline& pipe, const RTree3D* tree,
+Status ProcessMorsel(const Pipeline& pipe, const IndexLayersView& view,
                      const Morsel& m, WorkerState* w,
                      std::vector<Tuple>* out) {
   w->rows.clear();
@@ -207,7 +207,7 @@ Status ProcessMorsel(const Pipeline& pipe, const RTree3D* tree,
   if (pipe.join) {
     for (std::size_t k = 0; k < w->rows.size(); ++k) {
       if (pipe.join->kind == JoinProbeOp::Kind::kIndex) {
-        ProbeIndexJoinRow(tuple_at(k), w->rows[k], *pipe.join, *tree, out,
+        ProbeIndexJoinRow(tuple_at(k), w->rows[k], *pipe.join, view, out,
                           &term, &w->probe);
       } else {
         ProbeNestedLoopRow(tuple_at(k), w->rows[k], *pipe.join, out, &term);
@@ -241,7 +241,7 @@ const char* TerminalOpName(const Pipeline& pipe) {
 // Runs one pipeline step morsel-parallel and appends its output to
 // `out` in morsel order. `node` (when kept) receives one child per
 // stage plus the root-level morsel/steal counters.
-Status RunPipeline(const Pipeline& pipe, const RTree3D* tree,
+Status RunPipeline(const Pipeline& pipe, const IndexLayersView& view,
                    const ExecOptions& options, Relation* out,
                    ExecStats* node) {
   const std::size_t n = pipe.NumSourceRows();
@@ -267,7 +267,7 @@ Status RunPipeline(const Pipeline& pipe, const RTree3D* tree,
       }
       ++state.morsels;
       if (stolen) ++state.morsels_stolen;
-      Status s = ProcessMorsel(pipe, tree, m, &state, &outputs[m.seq]);
+      Status s = ProcessMorsel(pipe, view, m, &state, &outputs[m.seq]);
       if (!s.ok()) error.Record(m.seq, std::move(s));
     }
   };
@@ -434,21 +434,27 @@ Result<Relation> RunPlan(const PhysicalPlan& plan, const ExecOptions& options) {
       node.index_builds += 1;
     } else {
       const Pipeline& pipe = *step.pipe;
-      const RTree3D* tree = nullptr;
+      // Resolve the index the probe runs against: a live relation's
+      // layered view, a prebuilt tree, or this plan's build step — all
+      // wrapped as an IndexLayersView so the probe has one body.
+      IndexLayersView view;
       if (pipe.join && pipe.join->kind == JoinProbeOp::Kind::kIndex) {
-        if (pipe.join->tree != nullptr) {
-          tree = pipe.join->tree;
+        if (pipe.join->layers) {
+          view = *pipe.join->layers;
+        } else if (pipe.join->tree != nullptr) {
+          view = IndexLayersView::Single(pipe.join->tree);
         } else if (pipe.join->build_step >= 0 &&
                    std::size_t(pipe.join->build_step) < built.size() &&
                    built[std::size_t(pipe.join->build_step)]) {
-          tree = &*built[std::size_t(pipe.join->build_step)];
+          view = IndexLayersView::Single(
+              &*built[std::size_t(pipe.join->build_step)]);
         } else {
           return Status::InvalidArgument(
-              "index join probe has no prebuilt tree and no completed "
-              "build step");
+              "index join probe has no layered view, no prebuilt tree, and "
+              "no completed build step");
         }
       }
-      MODB_RETURN_IF_ERROR(RunPipeline(pipe, tree, options, &out, &node));
+      MODB_RETURN_IF_ERROR(RunPipeline(pipe, view, options, &out, &node));
     }
     executed[ready] = true;
     ++done;

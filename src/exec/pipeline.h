@@ -40,6 +40,7 @@
 #include "db/relation.h"
 #include "exec/morsel.h"
 #include "exec/spilled_relation.h"
+#include "index/delta_index.h"
 #include "index/rtree3d.h"
 #include "obs/exec_stats.h"
 
@@ -80,13 +81,17 @@ struct ProjectOp {
   std::vector<int> indices;
 };
 
-/// Terminal join-probe stage. kIndex probes `tree` (an R-tree over the
-/// inner attribute's unit bounding cubes, prebuilt or produced by a
-/// build step of the same plan) with each outer unit cube expanded by
+/// Terminal join-probe stage. kIndex probes an index over the inner
+/// attribute's unit bounding cubes (a single tree — prebuilt or produced
+/// by a build step of the same plan — or a live relation's layered
+/// base/delta/mem stack) with each outer unit cube expanded by
 /// `expand`; kNestedLoop tests every inner row. Both emit surviving
 /// pairs as (outer row ascending, inner row ascending), so their
 /// outputs coincide whenever the predicate implies the expanded-cube
 /// envelope — the contract under which the planner may choose freely.
+/// The probe sorts and deduplicates candidate ids before evaluating the
+/// predicate, so any layering of the same entry set (one tree, or
+/// base+delta+mem) yields byte-identical output.
 struct JoinProbeOp {
   enum class Kind { kIndex, kNestedLoop };
   Kind kind = Kind::kIndex;
@@ -94,8 +99,11 @@ struct JoinProbeOp {
   int attr_outer = -1;
   double expand = 0;
   JoinPred pred;
-  /// Prebuilt index (kIndex only); when null, `build_step` names the
-  /// plan step whose output tree this probe uses.
+  /// Layered index view (kIndex only): probes a live relation's
+  /// base/delta/mem stack. Takes precedence over tree/build_step.
+  std::optional<IndexLayersView> layers;
+  /// Prebuilt index (kIndex only); when null and `layers` is unset,
+  /// `build_step` names the plan step whose output tree this probe uses.
   const RTree3D* tree = nullptr;
   int build_step = -1;
 };

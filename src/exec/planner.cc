@@ -112,7 +112,7 @@ Status ValidateQuery(const LogicalQuery& q) {
             "join outer attribute " + std::to_string(j.attr_outer) +
             " is not a moving point");
       }
-      if (j.prebuilt == nullptr &&
+      if (j.prebuilt == nullptr && !j.layers &&
           (j.attr_inner < 0 ||
            std::size_t(j.attr_inner) >= j.inner->schema().NumAttributes())) {
         return Status::InvalidArgument(
@@ -131,7 +131,7 @@ Status ValidateQuery(const LogicalQuery& q) {
 // always wins.
 bool ChooseIndexJoin(const LogicalQuery& q) {
   const LogicalQuery::JoinSpec& j = *q.join;
-  if (j.prebuilt != nullptr) return true;
+  if (j.prebuilt != nullptr || j.layers) return true;
   const std::uint64_t outer_rows =
       q.rel != nullptr ? q.rel->NumTuples() : q.spilled->NumTuples();
   const std::uint64_t nl_evals = outer_rows * j.inner->NumTuples();
@@ -197,7 +197,7 @@ std::string PlanCacheKey(const LogicalQuery& q) {
                : (j.algorithm == LogicalQuery::JoinSpec::Algorithm::kIndex
                       ? "index"
                       : "nl");
-    key += j.prebuilt != nullptr ? " prebuilt" : " build";
+    key += j.layers ? " layers" : (j.prebuilt != nullptr ? " prebuilt" : " build");
     key += " " + std::to_string(j.attr_outer) + "/" +
            std::to_string(j.attr_inner) + " ";
     key += j.pred.shape;
@@ -300,7 +300,9 @@ Result<PhysicalPlan> PlanQuery(const LogicalQuery& q) {
     op.expand = j.expand;
     op.pred = j.pred;
     if (decision.use_index_join) {
-      if (j.prebuilt != nullptr) {
+      if (j.layers) {
+        op.layers = j.layers;
+      } else if (j.prebuilt != nullptr) {
         op.tree = j.prebuilt;
       } else {
         PlanStep build;

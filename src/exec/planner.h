@@ -67,6 +67,11 @@ struct LogicalQuery {
     /// Optional prebuilt R-tree over `inner`'s join attribute; forces
     /// the index variant without a build step.
     const RTree3D* prebuilt = nullptr;
+    /// Optional layered index view (live relations: base + delta + mem
+    /// over `inner`'s join attribute); forces the index variant without
+    /// a build step and takes precedence over `prebuilt`. The referenced
+    /// layers must outlive the plan's execution.
+    std::optional<IndexLayersView> layers;
   };
   std::optional<JoinSpec> join;
 

@@ -1,0 +1,161 @@
+// A live relation: the ingest-facing owner of one fleet of moving
+// points. It glues together the three PR-8 pieces —
+//
+//   * per-object TailSeries (ingest/tail.h) absorbing fixes with the
+//     bitwise-identity guarantee,
+//   * the {id: string, trail: mpoint} Relation whose trail attribute is
+//     re-materialized in place after every batch (so every existing
+//     query operator works on live data unchanged), and
+//   * the LSM-layered IndexSnapshot (index/delta_index.h) whose
+//     base/delta/mem union always equals the bulk entry set over the
+//     current relation: one {unit cube, row} entry per trajectory unit.
+//
+// Batch atomicity: Ingest validates the WHOLE batch first (per-object
+// strictly increasing timestamps, both within the batch and against the
+// tail frontier; finite coordinates; object cap when a store is
+// attached) and only then mutates — a rejected batch leaves relation,
+// tails and index untouched.
+//
+// Layer invariant (why live queries match batch queries byte for byte):
+// Absorb only ever mutates the LAST unit of a tail, and a right-bound
+// flip never moves that unit's cube; sealed units [0, frontier) are
+// frozen. So entries handed to delta on Seal() stay valid forever, mem
+// is rebuilt from the unsealed suffix after each batch, and
+//   base ∪ delta ∪ mem  =  { (unit cube, row) : all units of all rows }
+// which is exactly what RTree3D bulk-built over the relation holds. The
+// probe's sort+dedupe makes the layering invisible (delta_index.h).
+//
+// Durability (optional VersionedSpillStore): root 0 is a manifest
+// (object ids + the exact last fix per object — persisted verbatim
+// because recomputing the anchor from motion coefficients would round,
+// breaking bitwise resume); root i+1 is object row i's trajectory
+// (kMovingPoint), or a 1-byte kOpaque placeholder while the object has
+// a single fix and no units yet. Persist() restages dirty roots and
+// commits — one epoch per acknowledged batch, so an ingest ack implies
+// durability. Recovery reopens fully compacted: every persisted unit
+// except each tail's newest lands in base, the newest units form mem,
+// delta is empty. The index itself is never persisted — it is derived
+// state, rebuilt from the trajectories on open.
+
+#ifndef MODB_INGEST_LIVE_RELATION_H_
+#define MODB_INGEST_LIVE_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "db/relation.h"
+#include "index/delta_index.h"
+#include "ingest/tail.h"
+#include "storage/recovery.h"
+
+namespace modb {
+namespace ingest {
+
+/// One GPS fix as it arrives over the wire.
+struct IngestFix {
+  std::string object_id;
+  Instant t = 0;
+  double x = 0;
+  double y = 0;
+};
+
+struct LiveOptions {
+  /// Seal a tail once its unsealed suffix exceeds this many units.
+  std::size_t seal_units = 8;
+  /// Inline-compact delta into base once it holds this many entries.
+  std::size_t merge_threshold = 1024;
+  /// STR fanout for every bulk load this relation performs.
+  int fanout = 16;
+};
+
+class LiveRelation {
+ public:
+  static constexpr int kIdSlot = 0;
+  static constexpr int kTrailSlot = 1;
+  /// Store layout is manifest + one root per object, and a store holds
+  /// at most kMaxRootsPerStore roots.
+  static constexpr std::size_t kMaxStoredObjects = kMaxRootsPerStore - 1;
+
+  explicit LiveRelation(std::string name, LiveOptions options = LiveOptions());
+
+  /// Absorbs a batch of fixes atomically (all or nothing), refreshes the
+  /// relation's trail attributes, reseals/retiles the index layers, and
+  /// inline-merges past the delta threshold. New object ids register
+  /// rows on first sight.
+  Status Ingest(const std::vector<IngestFix>& fixes);
+
+  /// Seals every tail to its frontier and compacts delta into base (the
+  /// drain path: makes in-memory state match what recovery rebuilds).
+  void SealAll();
+
+  /// Inline base+delta compaction (maintenance path when the off-lock
+  /// protocol below is not needed).
+  void MergeNow() { index_.MergeInline(options_.fanout); }
+
+  /// Off-lock merge protocol passthrough: PrepareMerge under a reader
+  /// lock, bulk-load with no lock, ApplyMerge under the writer lock.
+  std::optional<MergePlan> PrepareMerge() const {
+    return index_.PrepareMerge();
+  }
+  bool ApplyMerge(const MergePlan& plan, RTree3D merged) {
+    return index_.ApplyMerge(plan, std::move(merged));
+  }
+
+  /// Attaches a durability store. An empty store is adopted as-is; a
+  /// non-empty one must be attached to a fresh LiveRelation and is
+  /// recovered into it (rows in persisted order, fully compacted
+  /// index). The store must outlive this relation.
+  Status AttachStore(VersionedSpillStore* store);
+  bool HasStore() const { return store_ != nullptr; }
+
+  /// Stages the manifest and every dirty object and commits one epoch.
+  /// FailedPrecondition without an attached store.
+  Status Persist();
+
+  const Relation& relation() const { return rel_; }
+  IndexLayersView View() const { return index_.View(); }
+  const IndexSnapshot& index() const { return index_; }
+  std::size_t NumObjects() const { return objects_.size(); }
+  const LiveOptions& options() const { return options_; }
+  std::uint64_t epoch() const { return store_ != nullptr ? store_->epoch() : 0; }
+
+  /// Row of `object_id`, or nullopt.
+  std::optional<std::size_t> RowOf(const std::string& object_id) const;
+  const TailSeries& tail(std::size_t row) const { return objects_[row].tail; }
+
+ private:
+  struct ObjectState {
+    TailSeries tail;
+    /// Set by Ingest, cleared by Persist: this object's root is stale.
+    bool dirty = false;
+  };
+
+  /// Registers a new object row (relation tuple + tail + row map).
+  Result<std::size_t> AddObject(const std::string& object_id);
+  /// Rebuilds the mem layer from every tail's unsealed suffix.
+  void RebuildMem();
+  std::string EncodeManifest() const;
+  Status RecoverFrom(VersionedSpillStore* store);
+
+  LiveOptions options_;
+  Relation rel_;
+  std::vector<ObjectState> objects_;  // row i <-> objects_[i]
+  std::unordered_map<std::string, std::size_t> rows_;
+  IndexSnapshot index_;
+
+  VersionedSpillStore* store_ = nullptr;
+  /// Objects whose roots exist in the store (committed or staged);
+  /// rows >= this stage fresh roots on the next Persist.
+  std::size_t persisted_objects_ = 0;
+  bool manifest_root_exists_ = false;
+};
+
+}  // namespace ingest
+}  // namespace modb
+
+#endif  // MODB_INGEST_LIVE_RELATION_H_

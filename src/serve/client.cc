@@ -62,6 +62,33 @@ Result<Client::Reply> Client::Query(const QueryRequest& req) {
   return reply;
 }
 
+Result<Client::MutationReply> Client::Mutate(const MutationRequest& req) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  MODB_RETURN_IF_ERROR(
+      WriteFrame(fd_, FrameType::kMutation, EncodeMutationRequest(req)));
+  Result<std::optional<Frame>> frame = ReadFrame(fd_);
+  MODB_RETURN_IF_ERROR(frame.status());
+  if (!frame->has_value()) {
+    return Status::DataLoss("server closed the connection before replying");
+  }
+  if ((*frame)->type != FrameType::kReply) {
+    return Status::InvalidArgument("expected a reply frame, got type " +
+                                   std::to_string(int((*frame)->type)));
+  }
+  Result<WireReply> wire = DecodeReply((*frame)->payload);
+  MODB_RETURN_IF_ERROR(wire.status());
+  MutationReply reply;
+  reply.status = wire->status;
+  if (wire->status.ok()) {
+    Result<MutationResult> ack = DecodeMutationAck(wire->result_block);
+    MODB_RETURN_IF_ERROR(ack.status());
+    reply.ack = *std::move(ack);
+  }
+  return reply;
+}
+
 Result<std::string> FetchMetricsJson(const std::string& host, int port) {
   Result<int> fd = ConnectTcp(host, port);
   MODB_RETURN_IF_ERROR(fd.status());

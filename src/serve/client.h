@@ -42,6 +42,17 @@ class Client {
   /// Reply::status.
   Result<Reply> Query(const QueryRequest& req);
 
+  struct MutationReply {
+    /// The server's verdict on the mutation (unknown relation, rejected
+    /// batch, admission rejection) — NOT the transport error.
+    Status status;
+    /// Decoded ack; meaningful only when status is OK.
+    MutationResult ack;
+  };
+
+  /// Sends a mutation frame and waits for its ack.
+  Result<MutationReply> Mutate(const MutationRequest& req);
+
   int fd() const { return fd_; }
 
  private:

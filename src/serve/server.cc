@@ -214,13 +214,16 @@ void Server::ServeConnection(int fd) {
         break;
       }
       std::string reply;
-      if (h->type != FrameType::kQuery) {
+      if (h->type == FrameType::kQuery) {
+        reply = HandleQuery(payload);
+      } else if (h->type == FrameType::kMutation) {
+        reply = HandleMutation(payload);
+      } else {
         Result<std::string> r = EncodeReply(
-            Status::InvalidArgument("expected a query frame"), nullptr);
+            Status::InvalidArgument("expected a query or mutation frame"),
+            nullptr);
         reply = r.ok() ? *std::move(r) : std::string();
         MODB_COUNTER_INC("serve.errors");
-      } else {
-        reply = HandleQuery(payload);
       }
       if (reply.empty() || !WriteFrame(fd, FrameType::kReply, reply).ok()) {
         break;
@@ -287,6 +290,39 @@ std::string Server::HandleQuery(const std::string& payload) {
   if (!result.ok()) return reply_error(result.status());
 
   Result<std::string> reply = EncodeReply(Status::OK(), &*result);
+  if (!reply.ok()) return reply_error(reply.status());
+  MODB_HISTOGRAM_RECORD(
+      "serve.request_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return *std::move(reply);
+}
+
+std::string Server::HandleMutation(const std::string& payload) {
+  const auto start = std::chrono::steady_clock::now();
+  MODB_COUNTER_INC("serve.requests");
+  auto reply_error = [](const Status& s) {
+    Result<std::string> r = EncodeMutationReply(s, nullptr);
+    MODB_COUNTER_INC("serve.errors");
+    return r.ok() ? *std::move(r) : std::string();
+  };
+
+  Result<MutationRequest> req = DecodeMutationRequest(payload);
+  if (!req.ok()) return reply_error(req.status());
+
+  // Mutations run single-threaded under the Db writer lock; they cost
+  // one worker against the same budget queries draw from, so a write
+  // burst degrades into the same typed rejections as a query burst.
+  if (Status s = admission_.Acquire(1); !s.ok()) {
+    MODB_COUNTER_INC("serve.rejected");
+    return reply_error(s);
+  }
+  Result<MutationResult> ack = db_->Apply(*req);
+  admission_.Release(1);
+  if (!ack.ok()) return reply_error(ack.status());
+
+  Result<std::string> reply = EncodeMutationReply(Status::OK(), &*ack);
   if (!reply.ok()) return reply_error(reply.status());
   MODB_HISTOGRAM_RECORD(
       "serve.request_ns",

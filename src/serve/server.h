@@ -114,6 +114,8 @@ class Server {
   void ServeHttp(int fd, const std::string& sniffed);
   /// Decodes, admits, executes, and encodes one query payload.
   std::string HandleQuery(const std::string& payload);
+  /// Decodes, admits, applies, and acks one mutation payload.
+  std::string HandleMutation(const std::string& payload);
 
   Db* const db_;
   const ServerOptions options_;

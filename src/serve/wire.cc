@@ -12,15 +12,20 @@ namespace serve {
 namespace {
 
 constexpr std::uint8_t kMaxQueryKind =
-    std::uint8_t(QueryRequest::Kind::kPresentBatch);
+    std::uint8_t(QueryRequest::Kind::kWindowAggregate);
 constexpr std::uint8_t kMaxFilterKind =
     std::uint8_t(FilterSpec::Kind::kDeftimeIntersects);
 constexpr std::uint8_t kMaxPayloadKind =
     std::uint8_t(QueryResult::Payload::kPresent);
+constexpr std::uint8_t kMaxMutationKind =
+    std::uint8_t(MutationRequest::Kind::kIngest);
 constexpr std::uint32_t kMaxStatusCode =
     std::uint32_t(StatusCode::kResourceExhausted);
 constexpr std::uint8_t kMaxAttributeType =
     std::uint8_t(AttributeType::kMovingRegion);
+/// Result-block kind of a mutation ack: first value outside the
+/// QueryResult::Payload range, so DecodeResultBlock rejects it.
+constexpr std::uint8_t kAckBlockKind = 3;
 
 }  // namespace
 
@@ -56,7 +61,8 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes) {
   }
   const std::uint8_t type = std::uint8_t(bytes[5]);
   if (type != std::uint8_t(FrameType::kQuery) &&
-      type != std::uint8_t(FrameType::kReply)) {
+      type != std::uint8_t(FrameType::kReply) &&
+      type != std::uint8_t(FrameType::kMutation)) {
     return Status::InvalidArgument("unknown frame type " +
                                    std::to_string(type));
   }
@@ -200,6 +206,16 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   w.U32(std::uint32_t(req.instants.size()));
   for (Instant t : req.instants) w.F64(t);
   w.I64(req.num_threads);
+  // v2: the window-aggregate fields ride at the end of every query
+  // payload (fixed size, defaults for the other kinds).
+  w.F64(req.window_t0);
+  w.F64(req.window_t1);
+  w.F64(req.window_width);
+  w.F64(req.window_step);
+  w.F64(req.min_x);
+  w.F64(req.min_y);
+  w.F64(req.max_x);
+  w.F64(req.max_y);
   return w.Take();
 }
 
@@ -258,8 +274,90 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
     req.instants.push_back(t);
   }
   MODB_RETURN_IF_ERROR(r.I64(&req.num_threads));
+  MODB_RETURN_IF_ERROR(r.F64(&req.window_t0));
+  MODB_RETURN_IF_ERROR(r.F64(&req.window_t1));
+  MODB_RETURN_IF_ERROR(r.F64(&req.window_width));
+  MODB_RETURN_IF_ERROR(r.F64(&req.window_step));
+  MODB_RETURN_IF_ERROR(r.F64(&req.min_x));
+  MODB_RETURN_IF_ERROR(r.F64(&req.min_y));
+  MODB_RETURN_IF_ERROR(r.F64(&req.max_x));
+  MODB_RETURN_IF_ERROR(r.F64(&req.max_y));
   MODB_RETURN_IF_ERROR(r.ExpectEnd());
   return req;
+}
+
+std::string EncodeMutationRequest(const MutationRequest& req) {
+  WireWriter w;
+  w.U8(std::uint8_t(req.kind));
+  w.Str(req.relation);
+  w.U32(std::uint32_t(req.fixes.size()));
+  for (const MutationRequest::Fix& f : req.fixes) {
+    w.Str(f.object_id);
+    w.F64(f.t);
+    w.F64(f.x);
+    w.F64(f.y);
+  }
+  w.U64(req.seal_units);
+  return w.Take();
+}
+
+Result<MutationRequest> DecodeMutationRequest(std::string_view payload) {
+  WireReader r(payload);
+  MutationRequest req;
+  std::uint8_t kind;
+  MODB_RETURN_IF_ERROR(r.U8(&kind));
+  if (kind > kMaxMutationKind) {
+    return Status::InvalidArgument("unknown mutation kind " +
+                                   std::to_string(kind));
+  }
+  req.kind = MutationRequest::Kind(kind);
+  MODB_RETURN_IF_ERROR(r.Str(&req.relation));
+  std::uint32_t num_fixes;
+  MODB_RETURN_IF_ERROR(r.U32(&num_fixes));
+  for (std::uint32_t i = 0; i < num_fixes; ++i) {
+    MutationRequest::Fix f;
+    MODB_RETURN_IF_ERROR(r.Str(&f.object_id));
+    MODB_RETURN_IF_ERROR(r.F64(&f.t));
+    MODB_RETURN_IF_ERROR(r.F64(&f.x));
+    MODB_RETURN_IF_ERROR(r.F64(&f.y));
+    req.fixes.push_back(std::move(f));
+  }
+  MODB_RETURN_IF_ERROR(r.U64(&req.seal_units));
+  MODB_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::string EncodeMutationAck(const MutationResult& ack) {
+  WireWriter w;
+  w.U8(kAckBlockKind);
+  w.U64(ack.accepted);
+  w.U64(ack.objects);
+  w.U64(ack.mem_units);
+  w.U64(ack.delta_entries);
+  w.U64(ack.base_entries);
+  w.U64(ack.merges);
+  w.U64(ack.epoch);
+  return w.Take();
+}
+
+Result<MutationResult> DecodeMutationAck(std::string_view block) {
+  WireReader r(block);
+  MutationResult ack;
+  std::uint8_t kind;
+  MODB_RETURN_IF_ERROR(r.U8(&kind));
+  if (kind != kAckBlockKind) {
+    return Status::InvalidArgument("not a mutation ack block (kind " +
+                                   std::to_string(kind) + ")");
+  }
+  MODB_RETURN_IF_ERROR(r.U64(&ack.accepted));
+  MODB_RETURN_IF_ERROR(r.U64(&ack.objects));
+  MODB_RETURN_IF_ERROR(r.U64(&ack.mem_units));
+  MODB_RETURN_IF_ERROR(r.U64(&ack.delta_entries));
+  MODB_RETURN_IF_ERROR(r.U64(&ack.base_entries));
+  MODB_RETURN_IF_ERROR(r.U64(&ack.merges));
+  MODB_RETURN_IF_ERROR(r.U64(&ack.epoch));
+  MODB_RETURN_IF_ERROR(r.ExpectEnd());
+  return ack;
 }
 
 Result<std::string> EncodeResultBlock(const QueryResult& result) {
@@ -399,21 +497,43 @@ Result<QueryResult> DecodeResultBlock(std::string_view block) {
   return result;
 }
 
-Result<std::string> EncodeReply(const Status& status,
-                                const QueryResult* result) {
+namespace {
+
+// Shared reply layout: u32 code, string message, string block, string
+// stats JSON. Errors always carry empty block and stats.
+std::string EncodeReplyFrom(const Status& status, std::string_view block,
+                            std::string_view stats_json) {
   WireWriter w;
   w.U32(std::uint32_t(status.code()));
   w.Str(status.message());
-  if (status.ok() && result != nullptr) {
-    Result<std::string> block = EncodeResultBlock(*result);
-    MODB_RETURN_IF_ERROR(block.status());
-    w.Str(*block);
-    w.Str(result->stats.ToJson());
+  if (status.ok()) {
+    w.Str(block);
+    w.Str(stats_json);
   } else {
     w.Str("");
     w.Str("");
   }
   return w.Take();
+}
+
+}  // namespace
+
+Result<std::string> EncodeReply(const Status& status,
+                                const QueryResult* result) {
+  if (status.ok() && result != nullptr) {
+    Result<std::string> block = EncodeResultBlock(*result);
+    MODB_RETURN_IF_ERROR(block.status());
+    return EncodeReplyFrom(status, *block, result->stats.ToJson());
+  }
+  return EncodeReplyFrom(status, "", "");
+}
+
+Result<std::string> EncodeMutationReply(const Status& status,
+                                        const MutationResult* ack) {
+  if (status.ok() && ack != nullptr) {
+    return EncodeReplyFrom(status, EncodeMutationAck(*ack), "");
+  }
+  return EncodeReplyFrom(status, "", "");
 }
 
 Result<WireReply> DecodeReply(std::string_view payload) {

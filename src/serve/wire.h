@@ -33,7 +33,12 @@ namespace modb {
 namespace serve {
 
 inline constexpr char kMagic[4] = {'M', 'O', 'D', 'B'};
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2 added mutation frames (kMutation), the mutation ack result block,
+/// and the trailing window-aggregate fields of the query payload. The
+/// protocol is single-version lockstep: a peer speaking any other
+/// version is rejected at the frame header (see docs/PROTOCOL.md,
+/// "Versioning").
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Upper bound on a frame payload; larger length fields are rejected
 /// before any allocation.
@@ -44,6 +49,10 @@ enum class FrameType : std::uint8_t {
   kQuery = 1,
   /// server -> client: an encoded reply (status + optional result).
   kReply = 2,
+  /// client -> server: an encoded MutationRequest (ingest / register /
+  /// drop). Answered with a kReply whose result block is a mutation
+  /// ack.
+  kMutation = 3,
 };
 
 struct FrameHeader {
@@ -107,6 +116,17 @@ class WireReader {
 std::string EncodeQueryRequest(const QueryRequest& req);
 Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
 
+/// MutationRequest <-> bytes, field for field.
+std::string EncodeMutationRequest(const MutationRequest& req);
+Result<MutationRequest> DecodeMutationRequest(std::string_view payload);
+
+/// MutationResult <-> bytes. The ack travels in the reply's result
+/// block slot under its own block kind (3), deliberately outside the
+/// QueryResult payload range so DecodeResultBlock keeps rejecting it —
+/// a client cannot mistake an ack for rows.
+std::string EncodeMutationAck(const MutationResult& ack);
+Result<MutationResult> DecodeMutationAck(std::string_view block);
+
 /// QueryResult payload <-> bytes: the deterministic part of a reply
 /// (rows / xy / present geometry), NOT including stats — two runs of the
 /// same query produce byte-identical result blocks for any thread
@@ -129,6 +149,10 @@ struct WireReply {
 /// (empty on error), string stats JSON.
 Result<std::string> EncodeReply(const Status& status,
                                 const QueryResult* result);
+/// Reply to a mutation: same layout, the block is a mutation ack and
+/// the stats JSON is empty.
+Result<std::string> EncodeMutationReply(const Status& status,
+                                        const MutationResult* ack);
 Result<WireReply> DecodeReply(std::string_view payload);
 
 }  // namespace serve

@@ -200,10 +200,6 @@ void EvalMotionPositionsXY(const MappingSearchIndex& ix, const Instant* ts,
 // query layer evaluates in bulk, keeping their code out of every
 // including TU.
 
-// (Only the unified ExecOptions entrypoints are pinned; the
-// [[deprecated]] wrappers instantiate at their remaining call sites and
-// disappear with them next PR.)
-
 template Status AtInstantBatchInto<UPoint>(const Mapping<UPoint>&,
                                            const std::vector<Instant>&,
                                            std::vector<Intime<Point>>*,

@@ -553,17 +553,6 @@ Status AtInstantBatchInto(const Mapping<U>& m,
   return Status::OK();
 }
 
-/// Deprecated scratch-less overload; migrate to the unified
-/// (…, BatchScratch*, const ExecOptions&) entrypoint.
-template <typename U>
-[[deprecated(
-    "use AtInstantBatchInto(m, instants, out, &scratch, options)")]] Status
-AtInstantBatchInto(const Mapping<U>& m, const std::vector<Instant>& instants,
-                   std::vector<Intime<typename U::ValueType>>* out) {
-  BatchScratch scratch;
-  return AtInstantBatchInto(m, instants, out, &scratch, ExecOptions{});
-}
-
 /// Allocating convenience wrapper around AtInstantBatchInto.
 template <typename U>
 Result<std::vector<Intime<typename U::ValueType>>> AtInstantBatch(
@@ -604,22 +593,6 @@ Status AtInstantBatchXYInto(const Mapping<U>& m,
 }
 
 /// Deprecated xs/ys/defined triple; migrate to the BatchXYOutput +
-/// ExecOptions overload.
-template <typename U>
-  requires requires(const U& u) {
-    { u.motion().x0 } -> std::convertible_to<double>;
-  }
-[[deprecated(
-    "use AtInstantBatchXYInto(m, instants, &xy_out, &scratch, "
-    "options)")]] Status
-AtInstantBatchXYInto(const Mapping<U>& m, const std::vector<Instant>& instants,
-                     std::vector<double>* xs, std::vector<double>* ys,
-                     std::vector<std::uint8_t>* defined,
-                     BatchScratch* scratch) {
-  return batch_internal::AtInstantBatchXYCore(m, instants, xs, ys, defined,
-                                              scratch);
-}
-
 /// Allocating convenience wrapper around AtInstantBatchXYInto.
 template <typename U>
   requires requires(const U& u) {
@@ -696,23 +669,6 @@ Status AtInstantBatchManyXY(const std::vector<const Mapping<U>*>& maps,
     stats.set_tuples_out(defined);
   }
   return Status::OK();
-}
-
-/// Deprecated ParallelOptions spelling; migrate to
-/// ExecOptions{.parallel = …}. (No default argument: the three-argument
-/// call resolves to the unified entrypoint above.)
-template <typename U>
-  requires requires(const U& u) {
-    { u.motion().x0 } -> std::convertible_to<double>;
-  }
-[[deprecated(
-    "pass ExecOptions{.parallel = …} — the unified entrypoint")]] Status
-AtInstantBatchManyXY(const std::vector<const Mapping<U>*>& maps,
-                     const std::vector<Instant>& instants,
-                     std::vector<BatchXYOutput>* outs,
-                     const ParallelOptions& parallel) {
-  return AtInstantBatchManyXY(maps, instants, outs,
-                              ExecOptions{.parallel = parallel});
 }
 
 namespace batch_internal {

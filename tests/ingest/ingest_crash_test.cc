@@ -1,0 +1,175 @@
+// Crash campaign over the live-ingest durability path: every device
+// write of a multi-batch ingest+persist workload (with LSM merges
+// between batches — the "mid-merge era") is crashed, both as a hard
+// failure and as a torn write, and recovery must land on a committed
+// batch prefix: the store opens, accounts for every page, and the
+// recovered tails are BITWISE identical to replaying exactly the
+// committed batches. An acked batch (Persist returned OK) must never
+// be lost.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ingest/live_relation.h"
+#include "storage/fault.h"
+#include "storage/recovery.h"
+
+namespace modb {
+namespace ingest {
+namespace {
+
+std::vector<std::vector<IngestFix>> Batches() {
+  // 3 objects x 8 steps, 4 batches of 6 fixes. Small on purpose: the
+  // campaign replays the workload once per write site.
+  std::vector<std::vector<IngestFix>> batches;
+  std::vector<IngestFix> cur;
+  for (int t = 0; t < 8; ++t) {
+    for (int o = 0; o < 3; ++o) {
+      cur.push_back({"obj" + std::to_string(o), double(t),
+                     double(o * 10 + t), double(o * -5 - t)});
+      if (cur.size() == 6) {
+        batches.push_back(cur);
+        cur.clear();
+      }
+    }
+  }
+  if (!cur.empty()) batches.push_back(cur);
+  return batches;
+}
+
+// Replays the workload: per batch Ingest + Persist, with an inline
+// merge after every even batch so commits land in distinct merge eras.
+// Returns the number of batches ACKED. A batch is acked only if Persist
+// returned OK *and* no fault fired during it: a torn write is silent
+// (the Commit may "succeed"), but firing means the process died inside
+// the call, so the ack never reached the client — exactly how the PR-5
+// crash campaign counts its commit points.
+std::size_t RunWorkload(LiveRelation* live,
+                        const std::vector<std::vector<IngestFix>>& batches) {
+  std::size_t acked = 0;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    if (!live->Ingest(batches[b]).ok()) break;
+    const Status persisted = live->Persist();
+    if (FaultInjector::Global().FiredCount() > 0) break;
+    if (!persisted.ok()) break;
+    ++acked;
+    if (b % 2 == 0) live->MergeNow();
+  }
+  return acked;
+}
+
+void ExpectTailsMatch(const LiveRelation& got, const LiveRelation& want) {
+  ASSERT_EQ(got.NumObjects(), want.NumObjects());
+  for (std::size_t row = 0; row < want.NumObjects(); ++row) {
+    const TailSeries& g = got.tail(row);
+    const TailSeries& w = want.tail(row);
+    ASSERT_EQ(g.NumUnits(), w.NumUnits()) << "row " << row;
+    for (std::size_t i = 0; i < w.NumUnits(); ++i) {
+      const double gd[6] = {g.units()[i].interval().start(),
+                            g.units()[i].interval().end(),
+                            g.units()[i].motion().x0,
+                            g.units()[i].motion().x1,
+                            g.units()[i].motion().y0,
+                            g.units()[i].motion().y1};
+      const double wd[6] = {w.units()[i].interval().start(),
+                            w.units()[i].interval().end(),
+                            w.units()[i].motion().x0,
+                            w.units()[i].motion().x1,
+                            w.units()[i].motion().y0,
+                            w.units()[i].motion().y1};
+      EXPECT_EQ(0, std::memcmp(gd, wd, sizeof gd))
+          << "row " << row << " unit " << i;
+    }
+    const double ga[2] = {g.last_point().x, g.last_point().y};
+    const double wa[2] = {w.last_point().x, w.last_point().y};
+    EXPECT_EQ(g.last_time(), w.last_time()) << "row " << row;
+    EXPECT_EQ(0, std::memcmp(ga, wa, sizeof ga)) << "row " << row;
+  }
+}
+
+TEST(IngestCrash, EveryWriteSiteRecoversToACommittedBatchPrefix) {
+  if (!kFaultsEnabled) GTEST_SKIP() << "faults compiled out (MODB_FAULTS=OFF)";
+  const std::string path = ::testing::TempDir() + "/ingest_crash_store.bin";
+  const std::vector<std::vector<IngestFix>> batches = Batches();
+  FaultInjector& injector = FaultInjector::Global();
+
+  // Clean pass: enumerate the workload's write sites.
+  std::uint64_t write_sites = 0;
+  std::uint64_t base_epoch = 0;
+  {
+    Result<VersionedSpillStore> store = VersionedSpillStore::Create(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    base_epoch = store->epoch();
+    LiveRelation live("fleet", LiveOptions{2, 8, 16});
+    ASSERT_TRUE(live.AttachStore(&*store).ok());
+    injector.Disarm();  // count from here: the workload's own writes
+    ASSERT_EQ(batches.size(), RunWorkload(&live, batches));
+    write_sites = injector.OpCount(FaultOp::kWrite);
+  }
+  ASSERT_GT(write_sites, 0u);
+
+  std::uint64_t crashes = 0, recoveries = 0;
+  for (int torn = 0; torn < 2; ++torn) {
+    for (std::uint64_t site = 0; site < write_sites; ++site) {
+      injector.Disarm();
+      {
+        Result<VersionedSpillStore> store = VersionedSpillStore::Create(path);
+        ASSERT_TRUE(store.ok());
+        LiveRelation live("fleet", LiveOptions{2, 8, 16});
+        ASSERT_TRUE(live.AttachStore(&*store).ok());
+        if (torn != 0) {
+          injector.TearNth(site, 7);  // persist 7 bytes, then die
+        } else {
+          injector.FailNth(FaultOp::kWrite, site);
+        }
+        injector.HaltAfterFire();
+        const std::size_t acked = RunWorkload(&live, batches);
+        ASSERT_GT(injector.FiredCount(), 0u)
+            << "site " << site << " never fired";
+        ++crashes;
+        injector.Disarm();
+        store->Abandon();  // the dead process's handle
+
+        // Recovery: reopen and re-attach, as modbd --store does.
+        Result<VersionedSpillStore> reopened =
+            VersionedSpillStore::Open(path);
+        ASSERT_TRUE(reopened.ok())
+            << "site " << site << ": " << reopened.status();
+        ASSERT_TRUE(reopened->VerifyAccounting().ok())
+            << "site " << site << " leaked pages";
+        const std::uint64_t committed = reopened->epoch() - base_epoch;
+        // Acked implies durable; at most the in-flight batch beyond it
+        // can have committed before the crash point.
+        ASSERT_GE(committed, acked) << "site " << site << " lost an ack";
+        ASSERT_LE(committed, acked + 1) << "site " << site;
+        ASSERT_LE(committed, batches.size()) << "site " << site;
+
+        LiveRelation recovered("fleet", LiveOptions{2, 8, 16});
+        ASSERT_TRUE(recovered.AttachStore(&*reopened).ok())
+            << "site " << site;
+        LiveRelation reference("fleet", LiveOptions{2, 8, 16});
+        for (std::size_t b = 0; b < committed; ++b) {
+          ASSERT_TRUE(reference.Ingest(batches[b]).ok());
+        }
+        ExpectTailsMatch(recovered, reference);
+
+        // The recovered relation must accept the remaining batches.
+        for (std::size_t b = committed; b < batches.size(); ++b) {
+          ASSERT_TRUE(recovered.Ingest(batches[b]).ok()) << "site " << site;
+          ASSERT_TRUE(recovered.Persist().ok()) << "site " << site;
+        }
+        ++recoveries;
+      }
+    }
+  }
+  injector.Disarm();
+  EXPECT_EQ(crashes, 2 * write_sites);
+  EXPECT_EQ(recoveries, crashes);
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace modb

@@ -124,6 +124,14 @@ QueryRequest FullRequest() {
   req.distance = 50.0;
   req.distinct_pairs = false;
   req.instants = {0.0, 0.5, 1.0};
+  req.window_t0 = 1.0;
+  req.window_t1 = 25.0;
+  req.window_width = 4.0;
+  req.window_step = 2.0;
+  req.min_x = -10.0;
+  req.min_y = -20.0;
+  req.max_x = 30.0;
+  req.max_y = 40.0;
   req.num_threads = 7;
   return req;
 }
@@ -147,6 +155,14 @@ void ExpectRequestsEqual(const QueryRequest& a, const QueryRequest& b) {
   EXPECT_EQ(a.distance, b.distance);
   EXPECT_EQ(a.distinct_pairs, b.distinct_pairs);
   EXPECT_EQ(a.instants, b.instants);
+  EXPECT_EQ(a.window_t0, b.window_t0);
+  EXPECT_EQ(a.window_t1, b.window_t1);
+  EXPECT_EQ(a.window_width, b.window_width);
+  EXPECT_EQ(a.window_step, b.window_step);
+  EXPECT_EQ(a.min_x, b.min_x);
+  EXPECT_EQ(a.min_y, b.min_y);
+  EXPECT_EQ(a.max_x, b.max_x);
+  EXPECT_EQ(a.max_y, b.max_y);
   EXPECT_EQ(a.num_threads, b.num_threads);
 }
 
@@ -158,8 +174,8 @@ TEST(QueryRequestCodec, RoundTripsEveryField) {
 }
 
 TEST(QueryRequestCodec, RoundTripsEveryKind) {
-  for (std::uint8_t k = 0; k <= std::uint8_t(QueryRequest::Kind::kPresentBatch);
-       ++k) {
+  for (std::uint8_t k = 0;
+       k <= std::uint8_t(QueryRequest::Kind::kWindowAggregate); ++k) {
     QueryRequest req;
     req.kind = QueryRequest::Kind(k);
     req.relation = "r";
@@ -399,6 +415,152 @@ TEST(ReplyCodec, RejectsInconsistentReplies) {
 }
 
 // ---------------------------------------------------------------------------
+// Mutations: the v2 request payload and its ack block.
+// ---------------------------------------------------------------------------
+
+MutationRequest FullMutation() {
+  MutationRequest req;
+  req.kind = MutationRequest::Kind::kIngest;
+  req.relation = "fleet";
+  req.fixes.push_back({"obj00001", 1.5, -3.25, 4.75});
+  req.fixes.push_back({"obj00002", 2.0, 0.0, -0.0});
+  req.fixes.push_back({"", 3.0, 1e9, -1e-9});
+  req.seal_units = 12;
+  return req;
+}
+
+void ExpectMutationsEqual(const MutationRequest& a, const MutationRequest& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.relation, b.relation);
+  ASSERT_EQ(a.fixes.size(), b.fixes.size());
+  for (std::size_t i = 0; i < a.fixes.size(); ++i) {
+    EXPECT_EQ(a.fixes[i].object_id, b.fixes[i].object_id) << "fix " << i;
+    EXPECT_EQ(a.fixes[i].t, b.fixes[i].t) << "fix " << i;
+    EXPECT_EQ(a.fixes[i].x, b.fixes[i].x) << "fix " << i;
+    EXPECT_EQ(a.fixes[i].y, b.fixes[i].y) << "fix " << i;
+  }
+  EXPECT_EQ(a.seal_units, b.seal_units);
+}
+
+TEST(MutationCodec, RoundTripsEveryFieldAndKind) {
+  for (std::uint8_t k = 0;
+       k <= std::uint8_t(MutationRequest::Kind::kIngest); ++k) {
+    MutationRequest req = FullMutation();
+    req.kind = MutationRequest::Kind(k);
+    Result<MutationRequest> d = DecodeMutationRequest(EncodeMutationRequest(req));
+    ASSERT_TRUE(d.ok()) << "kind " << int(k) << ": " << d.status();
+    ExpectMutationsEqual(req, *d);
+  }
+}
+
+TEST(MutationCodec, RejectsUnknownKinds) {
+  std::string bytes = EncodeMutationRequest(FullMutation());
+  bytes[0] = char(3);  // one past kIngest
+  Result<MutationRequest> d = DecodeMutationRequest(bytes);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MutationCodec, RejectsTrailingBytes) {
+  std::string bytes = EncodeMutationRequest(FullMutation());
+  bytes.push_back('\0');
+  EXPECT_FALSE(DecodeMutationRequest(bytes).ok());
+}
+
+TEST(MutationCodec, EveryStrictPrefixFailsTyped) {
+  const std::string bytes = EncodeMutationRequest(FullMutation());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    Result<MutationRequest> d = DecodeMutationRequest(bytes.substr(0, n));
+    ASSERT_FALSE(d.ok()) << "prefix length " << n;
+    EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument)
+        << "prefix length " << n;
+  }
+}
+
+TEST(MutationCodec, HugeStringLengthFailsWithoutOverread) {
+  // A fix-count far beyond the payload must be rejected by arithmetic,
+  // not by allocating or walking 2^32 entries.
+  std::string bytes = EncodeMutationRequest(FullMutation());
+  const std::size_t count_at = 1 + 4 + 5;  // kind, relation len, "fleet"
+  bytes[count_at] = char(0xff);
+  bytes[count_at + 1] = char(0xff);
+  bytes[count_at + 2] = char(0xff);
+  bytes[count_at + 3] = char(0xff);
+  EXPECT_FALSE(DecodeMutationRequest(bytes).ok());
+}
+
+MutationResult FullAck() {
+  MutationResult ack;
+  ack.accepted = 64;
+  ack.objects = 8;
+  ack.mem_units = 3;
+  ack.delta_entries = 40;
+  ack.base_entries = 512;
+  ack.merges = 2;
+  ack.epoch = 65;
+  return ack;
+}
+
+void ExpectAcksEqual(const MutationResult& a, const MutationResult& b) {
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.objects, b.objects);
+  EXPECT_EQ(a.mem_units, b.mem_units);
+  EXPECT_EQ(a.delta_entries, b.delta_entries);
+  EXPECT_EQ(a.base_entries, b.base_entries);
+  EXPECT_EQ(a.merges, b.merges);
+  EXPECT_EQ(a.epoch, b.epoch);
+}
+
+TEST(MutationAckCodec, RoundTrips) {
+  const MutationResult ack = FullAck();
+  Result<MutationResult> d = DecodeMutationAck(EncodeMutationAck(ack));
+  ASSERT_TRUE(d.ok()) << d.status();
+  ExpectAcksEqual(ack, *d);
+}
+
+TEST(MutationAckCodec, EveryStrictPrefixFailsTyped) {
+  const std::string bytes = EncodeMutationAck(FullAck());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    ASSERT_FALSE(DecodeMutationAck(bytes.substr(0, n)).ok())
+        << "prefix length " << n;
+  }
+  std::string trailing = bytes;
+  trailing.push_back('\0');
+  EXPECT_FALSE(DecodeMutationAck(trailing).ok());
+}
+
+TEST(MutationAckCodec, AckBlockIsNotAQueryResult) {
+  // The ack block kind (3) sits outside the QueryResult payload range,
+  // so a client that sent a query cannot mistake an ack for rows.
+  const std::string block = EncodeMutationAck(FullAck());
+  Result<QueryResult> d = DecodeResultBlock(block);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MutationAckCodec, ReplyRoundTripsOkAndError) {
+  const MutationResult ack = FullAck();
+  Result<std::string> payload = EncodeMutationReply(Status::OK(), &ack);
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  Result<WireReply> reply = DecodeReply(*payload);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->status.ok());
+  Result<MutationResult> decoded = DecodeMutationAck(reply->result_block);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectAcksEqual(ack, *decoded);
+
+  const Status not_found =
+      Status::NotFound("ingest into unknown relation 'ghost'");
+  payload = EncodeMutationReply(not_found, nullptr);
+  ASSERT_TRUE(payload.ok());
+  reply = DecodeReply(*payload);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(reply->status.message(), not_found.message());
+  EXPECT_TRUE(reply->result_block.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Fuzz: random garbage through every decoder. The contract is "typed
 // error or a valid decode", never a crash, hang, or over-read.
 // ---------------------------------------------------------------------------
@@ -417,6 +579,25 @@ TEST(WireFuzz, RandomBytesNeverCrashAnyDecoder) {
     (void)DecodeQueryRequest(bytes);
     (void)DecodeResultBlock(bytes);
     (void)DecodeReply(bytes);
+    (void)DecodeMutationRequest(bytes);
+    (void)DecodeMutationAck(bytes);
+  }
+}
+
+TEST(WireFuzz, MutatedValidMutationsNeverCrash) {
+  const std::string base = EncodeMutationRequest(FullMutation());
+  std::mt19937_64 rng(1331);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes = base;
+    bytes[pos(rng)] = char(byte(rng));
+    Result<MutationRequest> d = DecodeMutationRequest(bytes);
+    if (d.ok()) {
+      Result<MutationRequest> again =
+          DecodeMutationRequest(EncodeMutationRequest(*d));
+      EXPECT_TRUE(again.ok()) << again.status();
+    }
   }
 }
 

@@ -19,6 +19,14 @@
 //       row must stay under max-p99-ms. The qps floor is a throughput
 //       gate, so — like --scaling — it warns and passes on hosts with
 //       fewer than 4 CPUs, where throughput numbers are not honest.
+//   bench_compare --ingest FILE.json [--max-p99-ms=5000]
+//       [--min-fix-rate=1000]
+//       Ingest gate over a loadgen --ingest BENCH_ingest.json export:
+//       fixes must have been accepted with zero hard errors, every
+//       */p99 row (ingest batches AND concurrent live queries) must
+//       stay under max-p99-ms, and the sustained fix rate must clear
+//       the floor — which, like the qps floor, warns and passes on
+//       hosts with fewer than 4 CPUs.
 //   --require-release (composable with every mode, or alone with one
 //       file) rejects a run whose JSON context was not produced by a
 //       Release build. The authoritative key is "modb_build_type"
@@ -271,6 +279,91 @@ int RunServingGate(const char* path, double max_p99_ms, double min_qps,
   return failures == 0 ? 0 : 1;
 }
 
+int RunIngestGate(const char* path, double max_p99_ms, double min_fix_rate,
+                  bool require_release) {
+  std::vector<BenchRow> rows;
+  BenchContext context;
+  if (!LoadFile(path, &rows, &context)) return 2;
+  if (require_release && CheckRelease(path, context) != 0) return 1;
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = modb::obs::JsonValue::Parse(buf.str());
+  if (!parsed.ok()) return 2;
+  const modb::obs::JsonValue* ctx = parsed->Find("context");
+  const modb::obs::JsonValue* ingest =
+      ctx != nullptr ? ctx->Find("modb_ingest") : nullptr;
+  if (ingest == nullptr) {
+    std::fprintf(stderr,
+                 "bench_compare: %s has no context.modb_ingest block (not "
+                 "a loadgen --ingest export?)\n",
+                 path);
+    return 2;
+  }
+  auto num = [ingest](const char* key) -> double {
+    const modb::obs::JsonValue* v = ingest->Find(key);
+    return v != nullptr ? v->number_value() : 0;
+  };
+  const double accepted = num("fixes_accepted");
+  const double errors = num("errors");
+  const double queries = num("queries_completed");
+  const double fix_rate = num("fix_rate");
+  std::printf(
+      "  ingest   accepted=%.0f errors=%.0f queries=%.0f fix_rate=%.0f/s\n",
+      accepted, errors, queries, fix_rate);
+
+  int failures = 0;
+  if (accepted <= 0) {
+    std::fprintf(stderr,
+                 "bench_compare: ingest gate FAILED: no fix accepted\n");
+    ++failures;
+  }
+  if (errors != 0) {
+    std::fprintf(stderr,
+                 "bench_compare: ingest gate FAILED: %.0f hard errors\n",
+                 errors);
+    ++failures;
+  }
+  const double max_p99_ns = max_p99_ms * 1e6;
+  for (const BenchRow& r : rows) {
+    const std::string suffix = "/p99";
+    if (r.name.size() < suffix.size() ||
+        r.name.compare(r.name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+      continue;
+    }
+    const bool bad = r.real_time > max_p99_ns;
+    std::printf("  %-8s %-50s %12.0f ns\n", bad ? "SLOW" : "ok",
+                r.name.c_str(), r.real_time);
+    if (bad) {
+      std::fprintf(stderr,
+                   "bench_compare: ingest gate FAILED: %s = %.1f ms exceeds "
+                   "--max-p99-ms=%.0f\n",
+                   r.name.c_str(), r.real_time / 1e6, max_p99_ms);
+      ++failures;
+    }
+  }
+  if (fix_rate < min_fix_rate) {
+    if (context.num_cpus < 4) {
+      std::printf(
+          "bench_compare: WARNING: host has %d CPUs (< 4); fix-rate floor "
+          "skipped — %.0f fixes/s measured, %.0f required on >= 4 cores\n",
+          context.num_cpus, fix_rate, min_fix_rate);
+    } else {
+      std::fprintf(stderr,
+                   "bench_compare: ingest gate FAILED: %.0f fixes/s below "
+                   "the %.0f floor on a %d-CPU host\n",
+                   fix_rate, min_fix_rate, context.num_cpus);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_compare: ingest gate passed\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,8 +371,10 @@ int main(int argc, char** argv) {
   double min_speedup = 2.0;
   double max_p99_ms = 5000;
   double min_qps = 25;
+  double min_fix_rate = 1000;
   bool scaling = false;
   bool serving = false;
+  bool ingest = false;
   bool require_release = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
@@ -307,15 +402,34 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_compare: bad min-qps %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--min-fix-rate=", 15) == 0) {
+      min_fix_rate = std::atof(argv[i] + 15);
+      if (min_fix_rate <= 0) {
+        std::fprintf(stderr, "bench_compare: bad min-fix-rate %s\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--scaling") == 0) {
       scaling = true;
     } else if (std::strcmp(argv[i], "--serving") == 0) {
       serving = true;
+    } else if (std::strcmp(argv[i], "--ingest") == 0) {
+      ingest = true;
     } else if (std::strcmp(argv[i], "--require-release") == 0) {
       require_release = true;
     } else {
       files.push_back(argv[i]);
     }
+  }
+
+  if (ingest) {
+    if (files.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: bench_compare --ingest FILE.json "
+                   "[--max-p99-ms=5000] [--min-fix-rate=1000] "
+                   "[--require-release]\n");
+      return 2;
+    }
+    return RunIngestGate(files[0], max_p99_ms, min_fix_rate, require_release);
   }
 
   if (serving) {

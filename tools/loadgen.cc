@@ -19,9 +19,26 @@
 // the run must observe at least one typed kResourceExhausted rejection
 // and no hard errors.
 //
+// Ingest mode (the PR-8 closed ingest+query loop):
+//
+//   loadgen --ingest --port=P [--relation=fleet] [--objects=16]
+//           [--fixes=4096] [--batch=64] [--clients=2] [--t0=0]
+//           [--seal-units=0] [--out=BENCH_ingest.json] [--verify]
+//
+// One connection streams deterministic per-object random walks (seeded
+// by --seed; dt = 1 starting at --t0) as kMutation batches while
+// --clients concurrent connections query the live relation (select /
+// atinstant batch / self index join / window aggregate) the whole
+// time. --verify then quiesces and replays the identical batches into
+// a local Db, failing unless the server's reply bytes for every query
+// kind are byte-identical to the local ones — the live-path
+// counterpart of the serving determinism check, and the over-the-wire
+// form of the bulk-vs-incremental identity theorem (docs/INGEST.md).
+//
 // exit 0: no errors (and verification/rejection expectations held).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,9 +72,19 @@ struct Options {
   int flights = 64;
   long seed = 99;
   std::string out = "BENCH_serving.json";
+  bool out_set = false;
   std::string metrics_out;
   bool verify = false;
   bool expect_rejections = false;
+
+  // Ingest mode.
+  bool ingest = false;
+  std::string relation = "fleet";
+  long objects = 16;
+  long fixes = 4096;  // total across all objects
+  long batch = 64;    // fixes per mutation frame
+  double t0 = 0;      // first fix timestamp (restarted stores continue)
+  long seal_units = 0;
 };
 
 struct WorkloadKind {
@@ -215,6 +242,397 @@ bool LocalBlocks(const Options& opt, const std::vector<WorkloadKind>& kinds,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Ingest mode.
+
+// The deterministic fleet: object o's walk is seeded from (seed, o), dt
+// is 1 starting at --t0, and fixes interleave round-robin across
+// objects so every batch advances the whole fleet. Both the wire path
+// and the local --verify replay call this — identical batches by
+// construction.
+std::vector<modb::MutationRequest> GenBatches(const Options& opt) {
+  const std::size_t n = std::size_t(opt.objects);
+  std::vector<std::uint64_t> rng(n);
+  std::vector<double> px(n), py(n);
+  std::vector<std::string> ids(n);
+  for (std::size_t o = 0; o < n; ++o) {
+    rng[o] = std::uint64_t(opt.seed) * 6364136223846793005ULL +
+             (std::uint64_t(o) + 1) * 1442695040888963407ULL;
+    px[o] = double(o) * 10.0;
+    py[o] = double(o) * -7.0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "obj%05zu", o);
+    ids[o] = buf;
+  }
+  auto step = [&rng](std::size_t o) {
+    rng[o] = rng[o] * 6364136223846793005ULL + 1442695040888963407ULL;
+    return double(std::int64_t((rng[o] >> 33) % 2001) - 1000) / 100.0;
+  };
+  std::vector<modb::MutationRequest> batches;
+  modb::MutationRequest cur;
+  cur.kind = modb::MutationRequest::Kind::kIngest;
+  cur.relation = opt.relation;
+  for (long i = 0; i < opt.fixes; ++i) {
+    const std::size_t o = std::size_t(i) % n;
+    const double t = opt.t0 + double(i / long(n));
+    px[o] += step(o);
+    py[o] += step(o);
+    cur.fixes.push_back({ids[o], t, px[o], py[o]});
+    if (long(cur.fixes.size()) >= opt.batch) {
+      batches.push_back(std::move(cur));
+      cur = modb::MutationRequest();
+      cur.kind = modb::MutationRequest::Kind::kIngest;
+      cur.relation = opt.relation;
+    }
+  }
+  if (!cur.fixes.empty()) batches.push_back(std::move(cur));
+  return batches;
+}
+
+// The query mix the concurrent clients loop over while ingest runs.
+// Windows cover the whole fix time range [t0, t0 + steps].
+std::vector<WorkloadKind> LiveWorkload(const Options& opt) {
+  const double steps =
+      opt.objects > 0 ? double(opt.fixes / opt.objects) : 0;
+  std::vector<WorkloadKind> kinds;
+  {
+    QueryRequest q;  // the whole fleet, ids + trails
+    q.kind = QueryRequest::Kind::kSelect;
+    q.relation = opt.relation;
+    kinds.push_back({"live_select", q});
+  }
+  {
+    QueryRequest q;  // positions on a coarse instant grid
+    q.kind = QueryRequest::Kind::kAtInstantBatch;
+    q.relation = opt.relation;
+    q.attr = "trail";
+    const double dt = std::max(1.0, steps / 16.0);
+    for (double t = opt.t0; t <= opt.t0 + steps; t += dt) {
+      q.instants.push_back(t);
+    }
+    kinds.push_back({"live_atinstant", q});
+  }
+  {
+    QueryRequest q;  // fleet pairs ever closer than 50
+    q.kind = QueryRequest::Kind::kIndexJoin;
+    q.relation = opt.relation;
+    q.join_relation = opt.relation;
+    q.attr = "trail";
+    q.join_attr = "trail";
+    q.distance = 50;
+    q.distinct_pairs = true;
+    kinds.push_back({"live_index_join", q});
+  }
+  {
+    QueryRequest q;  // sliding windows over the whole ingest range
+    q.kind = QueryRequest::Kind::kWindowAggregate;
+    q.relation = opt.relation;
+    q.attr = "trail";
+    q.window_t0 = opt.t0;
+    q.window_t1 = opt.t0 + steps + 1;
+    q.window_width = std::max(1.0, steps / 4.0);
+    q.window_step = q.window_width / 2;
+    kinds.push_back({"live_window", q});
+  }
+  for (WorkloadKind& k : kinds) k.request.num_threads = opt.num_threads;
+  return kinds;
+}
+
+// Loops the live workload on its own connection until ingest finishes.
+void RunLiveClient(const Options& opt, const std::vector<WorkloadKind>& kinds,
+                   const std::atomic<bool>* done, ClientStats* stats) {
+  stats->latency_ns.resize(kinds.size());
+  stats->first_block.resize(kinds.size());
+  auto note_error = [stats](const std::string& what) {
+    ++stats->errors;
+    if (stats->first_error.empty()) stats->first_error = what;
+  };
+  modb::Result<modb::serve::Client> client =
+      modb::serve::Client::Connect(opt.host, opt.port);
+  if (!client.ok()) {
+    note_error("connect: " + client.status().ToString());
+    return;
+  }
+  for (std::size_t r = 0; !done->load(std::memory_order_relaxed); ++r) {
+    const std::size_t k = r % kinds.size();
+    const auto start = std::chrono::steady_clock::now();
+    modb::Result<modb::serve::Client::Reply> reply =
+        client->Query(kinds[k].request);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (!reply.ok()) {
+      note_error(std::string(kinds[k].name) + ": transport: " +
+                 reply.status().ToString());
+      return;
+    }
+    if (reply->status.code() == modb::StatusCode::kResourceExhausted) {
+      ++stats->rejected;
+      continue;
+    }
+    if (!reply->status.ok()) {
+      note_error(std::string(kinds[k].name) + ": " +
+                 reply->status.ToString());
+      continue;
+    }
+    stats->latency_ns[k].push_back(std::uint64_t(ns));
+  }
+}
+
+int RunIngestMode(const Options& opt) {
+  if (opt.objects < 1 || opt.fixes < 1 || opt.batch < 1) {
+    std::fprintf(stderr,
+                 "loadgen: --objects, --fixes and --batch must be >= 1\n");
+    return 2;
+  }
+  const std::vector<modb::MutationRequest> batches = GenBatches(opt);
+  const std::vector<WorkloadKind> kinds = LiveWorkload(opt);
+
+  modb::Result<modb::serve::Client> ctl =
+      modb::serve::Client::Connect(opt.host, opt.port);
+  if (!ctl.ok()) {
+    std::fprintf(stderr, "loadgen: connect: %s\n",
+                 ctl.status().ToString().c_str());
+    return 1;
+  }
+  {
+    modb::MutationRequest reg;
+    reg.kind = modb::MutationRequest::Kind::kRegisterLive;
+    reg.relation = opt.relation;
+    reg.seal_units = std::uint64_t(opt.seal_units < 0 ? 0 : opt.seal_units);
+    modb::Result<modb::serve::Client::MutationReply> r = ctl->Mutate(reg);
+    if (!r.ok()) {
+      std::fprintf(stderr, "loadgen: register: transport: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    // FailedPrecondition = already registered (modbd --live, or a rerun
+    // against a recovered store) — the ingest target exists either way.
+    if (!r->status.ok() &&
+        r->status.code() != modb::StatusCode::kFailedPrecondition) {
+      std::fprintf(stderr, "loadgen: register: %s\n",
+                   r->status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<ClientStats> qstats(std::size_t(opt.clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < opt.clients; ++c) {
+    threads.emplace_back(
+        [&, c] { RunLiveClient(opt, kinds, &done, &qstats[std::size_t(c)]); });
+  }
+
+  // The ingest loop: one batch per round trip, closed loop.
+  std::vector<std::uint64_t> batch_ns;
+  std::uint64_t ingest_errors = 0, accepted = 0;
+  std::string first_error;
+  modb::MutationResult last_ack;
+  std::uint64_t max_delta = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (const modb::MutationRequest& b : batches) {
+    const auto start = std::chrono::steady_clock::now();
+    modb::Result<modb::serve::Client::MutationReply> r = ctl->Mutate(b);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (!r.ok()) {
+      ++ingest_errors;
+      if (first_error.empty()) {
+        first_error = "ingest: transport: " + r.status().ToString();
+      }
+      break;  // the connection is unusable
+    }
+    if (!r->status.ok()) {
+      ++ingest_errors;
+      if (first_error.empty()) {
+        first_error = "ingest: " + r->status.ToString();
+      }
+      continue;  // a rejected batch leaves the server untouched
+    }
+    batch_ns.push_back(std::uint64_t(ns));
+    accepted += r->ack.accepted;
+    max_delta = std::max(max_delta, r->ack.delta_entries);
+    last_ack = r->ack;
+  }
+  const std::uint64_t wall_ns =
+      std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count());
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+
+  // Merge query-side stats.
+  std::uint64_t qerrors = 0, qrejected = 0, qcompleted = 0;
+  std::vector<std::vector<std::uint64_t>> merged(kinds.size());
+  for (const ClientStats& s : qstats) {
+    qerrors += s.errors;
+    qrejected += s.rejected;
+    if (first_error.empty()) first_error = s.first_error;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      qcompleted += s.latency_ns[k].size();
+      merged[k].insert(merged[k].end(), s.latency_ns[k].begin(),
+                       s.latency_ns[k].end());
+    }
+  }
+  std::vector<std::uint64_t> all;
+  for (std::vector<std::uint64_t>& m : merged) {
+    std::sort(m.begin(), m.end());
+    all.insert(all.end(), m.begin(), m.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::sort(batch_ns.begin(), batch_ns.end());
+  const double fix_rate =
+      wall_ns > 0 ? double(accepted) * 1e9 / double(wall_ns) : 0;
+
+  // Quiesced verification: replay the identical batches into a local
+  // Db, then byte-compare every query kind's result block. Layering on
+  // the server (sealed vs merged vs in-tail) is invisible by the
+  // identity theorem, so no flush is needed — only quiescence.
+  int verify_failures = 0;
+  if (opt.verify) {
+    modb::Db local;
+    modb::ingest::LiveOptions live;
+    if (opt.seal_units > 0) live.seal_units = std::size_t(opt.seal_units);
+    if (!local.RegisterLive(opt.relation, live).ok()) {
+      std::fprintf(stderr, "loadgen: local register failed\n");
+      return 1;
+    }
+    for (const modb::MutationRequest& b : batches) {
+      if (!local.Apply(b).ok()) {
+        std::fprintf(stderr, "loadgen: local replay failed\n");
+        return 1;
+      }
+    }
+    for (const WorkloadKind& k : kinds) {
+      modb::ExecOptions options;
+      options.parallel.num_threads = int(k.request.num_threads);
+      modb::Result<modb::QueryResult> result = local.Run(k.request, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "loadgen: local %s failed: %s\n", k.name,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      modb::Result<std::string> block =
+          modb::serve::EncodeResultBlock(*result);
+      if (!block.ok()) return 1;
+      modb::Result<modb::serve::Client::Reply> remote =
+          ctl->Query(k.request);
+      if (!remote.ok() || !remote->status.ok()) {
+        std::fprintf(stderr, "loadgen: VERIFY: remote %s failed\n", k.name);
+        ++verify_failures;
+        continue;
+      }
+      if (remote->result_block != *block) {
+        std::fprintf(stderr,
+                     "loadgen: VERIFY FAILED: %s reply differs from the "
+                     "local replay of the same batches\n",
+                     k.name);
+        ++verify_failures;
+      }
+    }
+    if (verify_failures == 0) {
+      std::printf("loadgen: verify passed: %zu query kinds byte-identical "
+                  "to the local replay\n",
+                  kinds.size());
+    }
+  }
+
+  const std::uint64_t errors = ingest_errors + qerrors;
+  std::printf(
+      "loadgen: ingest %llu/%ld fixes in %zu batches (%.0f fixes/s), "
+      "%llu query ok, %llu rejected, %llu errors, epoch %llu\n",
+      (unsigned long long)accepted, opt.fixes, batches.size(), fix_rate,
+      (unsigned long long)qcompleted, (unsigned long long)qrejected,
+      (unsigned long long)errors, (unsigned long long)last_ack.epoch);
+  if (!first_error.empty()) {
+    std::fprintf(stderr, "loadgen: first error: %s\n", first_error.c_str());
+  }
+
+  if (!opt.out.empty()) {
+    using modb::obs::JsonValue;
+    JsonValue ingest = JsonValue::Object();
+    ingest.Set("objects", JsonValue::Int(std::uint64_t(opt.objects)));
+    ingest.Set("fixes_sent", JsonValue::Int(std::uint64_t(opt.fixes)));
+    ingest.Set("fixes_accepted", JsonValue::Int(accepted));
+    ingest.Set("batches", JsonValue::Int(std::uint64_t(batches.size())));
+    ingest.Set("errors", JsonValue::Int(errors));
+    ingest.Set("rejected", JsonValue::Int(qrejected));
+    ingest.Set("queries_completed", JsonValue::Int(qcompleted));
+    ingest.Set("wall_ns", JsonValue::Int(wall_ns));
+    ingest.Set("fix_rate", JsonValue::Number(fix_rate));
+    ingest.Set("max_delta_entries", JsonValue::Int(max_delta));
+    ingest.Set("final_base_entries", JsonValue::Int(last_ack.base_entries));
+    ingest.Set("final_delta_entries", JsonValue::Int(last_ack.delta_entries));
+    ingest.Set("final_mem_units", JsonValue::Int(last_ack.mem_units));
+    ingest.Set("merges", JsonValue::Int(last_ack.merges));
+    ingest.Set("final_epoch", JsonValue::Int(last_ack.epoch));
+    JsonValue context = JsonValue::Object();
+    context.Set("num_cpus", JsonValue::Int(std::max(
+                                1u, std::thread::hardware_concurrency())));
+    context.Set("modb_build_type", JsonValue::Str(MODB_BUILD_TYPE));
+    context.Set("modb_ingest", std::move(ingest));
+    JsonValue benchmarks = JsonValue::Array();
+    auto add_row = [&benchmarks](const std::string& name, std::uint64_t ns,
+                                 std::uint64_t iterations) {
+      JsonValue row = JsonValue::Object();
+      row.Set("name", JsonValue::Str(name));
+      row.Set("run_type", JsonValue::Str("iteration"));
+      row.Set("iterations", JsonValue::Int(iterations));
+      row.Set("real_time", JsonValue::Int(ns));
+      row.Set("cpu_time", JsonValue::Int(ns));
+      row.Set("time_unit", JsonValue::Str("ns"));
+      benchmarks.Append(std::move(row));
+    };
+    add_row("INGEST_batch/p50", Percentile(batch_ns, 0.50), batch_ns.size());
+    add_row("INGEST_batch/p99", Percentile(batch_ns, 0.99), batch_ns.size());
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const std::string base = std::string("LIVE_") + kinds[k].name;
+      add_row(base + "/p50", Percentile(merged[k], 0.50), merged[k].size());
+      add_row(base + "/p99", Percentile(merged[k], 0.99), merged[k].size());
+    }
+    add_row("LIVE_all/p50", Percentile(all, 0.50), all.size());
+    add_row("LIVE_all/p99", Percentile(all, 0.99), all.size());
+    JsonValue doc = JsonValue::Object();
+    doc.Set("context", std::move(context));
+    doc.Set("benchmarks", std::move(benchmarks));
+    std::ofstream out(opt.out, std::ios::binary | std::ios::trunc);
+    out << doc.Write() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    std::printf("loadgen: wrote %s\n", opt.out.c_str());
+  }
+
+  if (!opt.metrics_out.empty()) {
+    modb::Result<std::string> metrics =
+        modb::serve::FetchMetricsJson(opt.host, opt.port);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "loadgen: fetching /metrics: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(opt.metrics_out, std::ios::binary | std::ios::trunc);
+    out << *metrics;
+    if (!out) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n",
+                   opt.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("loadgen: wrote %s\n", opt.metrics_out.c_str());
+  }
+
+  if (errors != 0) return 1;
+  if (verify_failures != 0) return 1;
+  if (accepted == 0) {
+    std::fprintf(stderr, "loadgen: no fix was accepted\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,9 +666,23 @@ int main(int argc, char** argv) {
       opt.flights = int(v);
     } else if (parse_long(argv[i], "--seed", &v)) {
       opt.seed = v;
+    } else if (parse_long(argv[i], "--objects", &v)) {
+      opt.objects = v;
+    } else if (parse_long(argv[i], "--fixes", &v)) {
+      opt.fixes = v;
+    } else if (parse_long(argv[i], "--batch", &v)) {
+      opt.batch = v;
+    } else if (parse_long(argv[i], "--seal-units", &v)) {
+      opt.seal_units = v;
+    } else if (parse_long(argv[i], "--t0", &v)) {
+      opt.t0 = double(v);
     } else if (parse_str(argv[i], "--host", &opt.host) ||
-               parse_str(argv[i], "--out", &opt.out) ||
+               parse_str(argv[i], "--relation", &opt.relation) ||
                parse_str(argv[i], "--metrics-out", &opt.metrics_out)) {
+    } else if (parse_str(argv[i], "--out", &opt.out)) {
+      opt.out_set = true;
+    } else if (std::strcmp(argv[i], "--ingest") == 0) {
+      opt.ingest = true;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       opt.verify = true;
     } else if (std::strcmp(argv[i], "--expect-rejections") == 0) {
@@ -263,6 +695,10 @@ int main(int argc, char** argv) {
   if (opt.port == 0) {
     std::fprintf(stderr, "loadgen: --port is required\n");
     return 2;
+  }
+  if (opt.ingest) {
+    if (!opt.out_set) opt.out = "BENCH_ingest.json";
+    return RunIngestMode(opt);
   }
 
   const std::vector<WorkloadKind> kinds = Workload(opt.num_threads);

@@ -6,19 +6,39 @@
 //
 //   modbd [--port=0] [--host=127.0.0.1] [--thread-budget=64]
 //         [--queue-capacity=64] [--flights=64] [--seed=99]
+//         [--live=NAME] [--store=PATH] [--merge-interval-ms=500]
+//         [--seal-units=0]
+//
+// --live=NAME additionally registers an empty live relation NAME
+// (schema {id: string, trail: mpoint}) as an ingest target for
+// kMutation frames, and starts a maintenance thread that runs one
+// Db::MergeLive round every --merge-interval-ms. --store=PATH attaches
+// a VersionedSpillStore for durability: an existing store is recovered
+// (printing "modbd recovered epoch E (N objects)"), a missing one is
+// created, and the SIGTERM drain seals every tail and commits one
+// final epoch before exit — restart with the same --store resumes
+// bitwise-identically.
 //
 // Prints exactly one line "modbd listening on HOST:PORT" once ready —
 // scripts (verify.sh) parse the ephemeral port from it.
 
+#include <sys/stat.h>
+
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "db/modb.h"
 #include "gen/flights_gen.h"
 #include "serve/server.h"
+#include "storage/recovery.h"
 
 namespace {
 
@@ -37,12 +57,21 @@ bool ParseStr(const char* arg, const char* flag, std::string* out) {
   return true;
 }
 
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   modb::serve::ServerOptions options;
   long flights = 64;
   long seed = 99;
+  long merge_interval_ms = 500;
+  long seal_units = 0;
+  std::string live_name;
+  std::string store_path;
   for (int i = 1; i < argc; ++i) {
     long v;
     std::string s;
@@ -58,13 +87,27 @@ int main(int argc, char** argv) {
       flights = v;
     } else if (ParseInt(argv[i], "--seed", &v)) {
       seed = v;
+    } else if (ParseStr(argv[i], "--live", &s)) {
+      live_name = s;
+    } else if (ParseStr(argv[i], "--store", &s)) {
+      store_path = s;
+    } else if (ParseInt(argv[i], "--merge-interval-ms", &v)) {
+      merge_interval_ms = v < 1 ? 1 : v;
+    } else if (ParseInt(argv[i], "--seal-units", &v)) {
+      seal_units = v < 0 ? 0 : v;
     } else {
       std::fprintf(stderr,
                    "usage: modbd [--port=0] [--host=127.0.0.1] "
                    "[--thread-budget=64] [--queue-capacity=64] "
-                   "[--flights=64] [--seed=99]\n");
+                   "[--flights=64] [--seed=99] [--live=NAME] "
+                   "[--store=PATH] [--merge-interval-ms=500] "
+                   "[--seal-units=0]\n");
       return 2;
     }
+  }
+  if (!store_path.empty() && live_name.empty()) {
+    std::fprintf(stderr, "modbd: --store requires --live=NAME\n");
+    return 2;
   }
 
   // Block the shutdown signals before any thread starts, so they are
@@ -85,6 +128,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Declared before the Db so it outlives the live relation it backs.
+  std::optional<modb::VersionedSpillStore> store;
   modb::Db db;
   if (modb::Status s = db.Register(*std::move(planes)); !s.ok()) {
     std::fprintf(stderr, "modbd: %s\n", s.ToString().c_str());
@@ -93,6 +138,39 @@ int main(int argc, char** argv) {
   if (modb::Status s = db.BuildIndex("planes", "flight"); !s.ok()) {
     std::fprintf(stderr, "modbd: %s\n", s.ToString().c_str());
     return 1;
+  }
+
+  if (!live_name.empty()) {
+    modb::ingest::LiveOptions live;
+    if (seal_units > 0) live.seal_units = std::size_t(seal_units);
+    if (modb::Status s = db.RegisterLive(live_name, live); !s.ok()) {
+      std::fprintf(stderr, "modbd: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!store_path.empty()) {
+      modb::Result<modb::VersionedSpillStore> opened =
+          FileExists(store_path)
+              ? modb::VersionedSpillStore::Open(store_path)
+              : modb::VersionedSpillStore::Create(store_path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "modbd: opening store %s: %s\n",
+                     store_path.c_str(),
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      store.emplace(std::move(*opened));
+      if (modb::Status s = db.AttachLiveStore(live_name, &*store); !s.ok()) {
+        std::fprintf(stderr, "modbd: attaching store: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      if (store->NumRoots() > 0) {
+        std::printf("modbd recovered epoch %llu (%zu objects)\n",
+                    (unsigned long long)store->epoch(),
+                    store->NumRoots() - 1);
+        std::fflush(stdout);
+      }
+    }
   }
 
   modb::serve::Server server(&db, options);
@@ -104,12 +182,55 @@ int main(int argc, char** argv) {
               server.port());
   std::fflush(stdout);
 
+  // LSM maintenance: one background round per interval compacts the
+  // live relation's delta into its base off the lock. Failures are
+  // non-fatal (the next round retries).
+  std::mutex merge_mu;
+  std::condition_variable merge_cv;
+  bool merge_stop = false;
+  std::thread merge_thread;
+  if (!live_name.empty()) {
+    merge_thread = std::thread([&] {
+      std::unique_lock lock(merge_mu);
+      while (!merge_stop) {
+        merge_cv.wait_for(lock,
+                          std::chrono::milliseconds(merge_interval_ms),
+                          [&] { return merge_stop; });
+        if (merge_stop) return;
+        lock.unlock();
+        (void)db.MergeLive(live_name);
+        lock.lock();
+      }
+    });
+  }
+
   int sig = 0;
   sigwait(&sigs, &sig);
   std::printf("modbd: received %s, draining\n",
               sig == SIGTERM ? "SIGTERM" : "SIGINT");
   std::fflush(stdout);
   server.Stop();
+  if (merge_thread.joinable()) {
+    {
+      std::lock_guard lock(merge_mu);
+      merge_stop = true;
+    }
+    merge_cv.notify_all();
+    merge_thread.join();
+  }
+  if (!live_name.empty()) {
+    // Seal + final commit AFTER the server stopped: no in-flight ingest
+    // can race the drain epoch, so restart recovers exactly this state.
+    if (modb::Status s = db.DrainLive(live_name); !s.ok()) {
+      std::fprintf(stderr, "modbd: draining %s: %s\n", live_name.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    if (store.has_value()) {
+      std::printf("modbd: drained %s at epoch %llu\n", live_name.c_str(),
+                  (unsigned long long)store->epoch());
+    }
+  }
   std::printf("modbd: stopped cleanly\n");
   return 0;
 }

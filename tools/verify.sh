@@ -156,6 +156,58 @@ start_modbd "$release_dir/modbd_overload.log" --port=0 \
 kill -TERM "$serving_pid"
 wait "$serving_pid"
 serving_pid=""
+
+# Ingest smoke (release build): the PR-8 closed ingest+query loop.
+# modbd hosts a store-backed live relation; loadgen streams
+# deterministic fixes while concurrent clients query it, then replays
+# the identical batches into a local Db and byte-compares every query
+# kind (--verify). The recorded BENCH_ingest.json is gated like the
+# serving snapshot. Then the crash-consistency drill: SIGTERM lands
+# mid-ingest (the drain seals and commits a final epoch — loadgen's
+# severed connection is expected, hence || true), modbd must still exit
+# 0, and a restart on the same store must print the recovered epoch.
+echo "==== ingest smoke (release build) ===="
+fleet_store="$release_dir/fleet.store"
+rm -f "$fleet_store"
+start_modbd "$release_dir/modbd_ingest.log" --port=0 \
+  --live=fleet --store="$fleet_store" --merge-interval-ms=100
+"$release_dir/tools/loadgen" --ingest --port="$modbd_port" \
+  --objects=8 --fixes=2048 --batch=32 --clients=2 --verify \
+  --out=BENCH_ingest.json
+"$release_dir/tools/json_check" BENCH_ingest.json
+"$release_dir/tools/bench_compare" --ingest BENCH_ingest.json \
+  --require-release
+kill -TERM "$serving_pid"
+wait "$serving_pid"
+serving_pid=""
+
+start_modbd "$release_dir/modbd_drain.log" --port=0 \
+  --live=fleet --store="$fleet_store" --merge-interval-ms=100
+grep -q "modbd recovered epoch" "$release_dir/modbd_drain.log" || {
+  echo "modbd did not recover the ingest store:"
+  cat "$release_dir/modbd_drain.log"
+  exit 1
+}
+"$release_dir/tools/loadgen" --ingest --port="$modbd_port" \
+  --objects=8 --fixes=65536 --batch=16 --clients=1 --t0=10000 \
+  --out="$release_dir/BENCH_ingest_drain.json" &
+loadgen_pid=$!
+sleep 0.7  # let the ingest stream get going, then cut it mid-flight
+kill -TERM "$serving_pid"
+wait "$serving_pid"  # the drain must still exit 0
+serving_pid=""
+wait "$loadgen_pid" || true  # severed mid-ingest: failure is expected
+start_modbd "$release_dir/modbd_recover.log" --port=0 \
+  --live=fleet --store="$fleet_store"
+grep -q "modbd recovered epoch" "$release_dir/modbd_recover.log" || {
+  echo "modbd did not recover after the mid-ingest drain:"
+  cat "$release_dir/modbd_recover.log"
+  exit 1
+}
+kill -TERM "$serving_pid"
+wait "$serving_pid"
+serving_pid=""
+rm -f "$fleet_store"
 trap - EXIT
 
 echo "==== all presets green: ${presets[*]} ===="
