@@ -374,16 +374,32 @@ Result<MutationResult> Db::Apply(const MutationRequest& req) {
         fixes.push_back({f.object_id, f.t, f.x, f.y});
       }
       MODB_RETURN_IF_ERROR(live->Ingest(fixes));
-      // Durability before the ack: a store-backed ingest is committed
-      // as one epoch, so a crash after the reply loses nothing the
-      // client was told about.
-      if (live->HasStore()) MODB_RETURN_IF_ERROR(live->Persist());
       ack.accepted = fixes.size();
       ack.objects = live->NumObjects();
       ack.mem_units = live->index().MemEntries();
       ack.delta_entries = live->index().DeltaEntries();
       ack.base_entries = live->index().BaseEntries();
       ack.merges = live->index().merges();
+      ack.epoch = live->epoch();
+      if (!live->HasStore()) return ack;
+
+      // Durability before the ack: a store-backed ingest is committed
+      // as one epoch, so a crash after the reply loses nothing the
+      // client was told about. The commit's I/O runs under the READER
+      // lock — queries proceed concurrently (pinned to the epoch they
+      // started on); only the in-memory mutation above excluded them.
+      // Persist-vs-Persist is serialized inside LiveRelation, and
+      // Persist's reads cannot overlap an Ingest because Ingest holds
+      // the writer lock, which waits out our reader lock.
+      lock.unlock();
+      std::shared_lock rlock(mu_);
+      auto again = relations_.find(req.relation);
+      if (again == relations_.end() || again->second.live.get() != live) {
+        return Status::FailedPrecondition(
+            "relation '" + req.relation +
+            "' was dropped before its ingest batch became durable");
+      }
+      MODB_RETURN_IF_ERROR(live->Persist());
       ack.epoch = live->epoch();
       return ack;
     }
@@ -456,6 +472,14 @@ Result<QueryResult> Db::Run(const QueryRequest& req,
   }
   const Entry& src = src_it->second;
   const Relation& src_rel = RelOf(src);
+
+  // Store-backed live source: pin its committed epoch for the whole
+  // request. A concurrent ingest may commit later epochs while we run
+  // (its Persist holds only the reader lock too), but deferred
+  // reclamation keeps every page of the pinned snapshot intact until
+  // this pin drains with the request.
+  VersionedSpillStore::EpochPin epoch_pin;
+  if (src.live != nullptr) epoch_pin = src.live->PinStoreEpoch();
 
   QueryResult result;
   ExecOptions run = options;

@@ -12,6 +12,11 @@
 // the reader lock for its whole execution, so queries run concurrently
 // with each other and never observe a half-registered relation. Results
 // are materialized copies — safe to use after the lock is released.
+// A store-backed ingest (Apply kIngest) holds the writer lock only for
+// the in-memory mutation; the durability commit runs under the reader
+// lock, concurrently with queries, each of which pins the store epoch it
+// started on (storage/recovery.h) so reclamation can never pull pages
+// out from under a running request.
 
 #ifndef MODB_DB_MODB_H_
 #define MODB_DB_MODB_H_
@@ -229,8 +234,11 @@ class Db {
   /// entry.
   Status AttachLiveStore(const std::string& name, VersionedSpillStore* store);
 
-  /// Applies a mutation under the writer lock. For kIngest the returned
-  /// ack reflects the post-batch (and, when store-backed, post-commit)
+  /// Applies a mutation. The in-memory effect happens under the writer
+  /// lock; for a store-backed kIngest the durability commit then runs
+  /// under the reader lock (concurrently with queries) before the ack
+  /// returns, so an acknowledged batch is still always durable. The ack
+  /// reflects the post-batch (and, when store-backed, post-commit)
   /// state.
   Result<MutationResult> Apply(const MutationRequest& req);
 

@@ -162,6 +162,19 @@ Status ProcessMorsel(const Pipeline& pipe, const IndexLayersView& view,
   // so disqualified rows never fault a page.
   StageCounters& scan = w->stages[0];
   scan.rows_in += m.end - m.begin;
+  // Readahead sweep: hint every page run this morsel will fault —
+  // qualifying rows only, so the pushdown still saves the skipped I/O —
+  // before the materialize loop starts paying for them.
+  if (from_spill) {
+    for (std::size_t i = m.begin; i < m.end; ++i) {
+      if (pipe.scan_window &&
+          !pipe.spilled->stats(i).MayIntersectWindow(pipe.scan_window->t0,
+                                                     pipe.scan_window->t1)) {
+        continue;
+      }
+      pipe.spilled->PrefetchRow(i);
+    }
+  }
   for (std::size_t i = m.begin; i < m.end; ++i) {
     if (from_spill) {
       if (pipe.scan_window &&

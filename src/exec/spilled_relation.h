@@ -83,6 +83,16 @@ class SpilledRelation {
   /// reads no pages. The loaded mapping gets its SoA search index.
   Result<Tuple> MaterializeTuple(std::size_t i);
 
+  /// Readahead hint for row i's page run (no-op once the row is
+  /// loaded). Scans call this for every qualifying row of a morsel
+  /// before materializing any of them, so cold sequential faults
+  /// overlap with decode/predicate compute.
+  void PrefetchRow(std::size_t i) const {
+    if (handles_[i].IsLoaded()) return;
+    const SpillLocator& loc = handles_[i].locator();
+    pool_->Prefetch(loc.first_page, loc.num_pages);
+  }
+
   /// The fully in-memory relation (loads every value): the legacy-path
   /// input the differential tests compare pipelined spilled scans
   /// against. Name and schema match the spilled source, so results are

@@ -331,6 +331,7 @@ Status LiveRelation::Persist() {
     return Status::FailedPrecondition("live relation " + rel_.name() +
                                       " has no store attached");
   }
+  std::lock_guard<std::mutex> persist_lock(persist_mu_);
   const std::string manifest = EncodeManifest();
   if (!manifest_root_exists_) {
     Result<std::size_t> root =

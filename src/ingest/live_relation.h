@@ -42,6 +42,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -115,7 +116,22 @@ class LiveRelation {
 
   /// Stages the manifest and every dirty object and commits one epoch.
   /// FailedPrecondition without an attached store.
+  ///
+  /// Concurrency: Persist serializes against other Persist calls on an
+  /// internal mutex, and its reads of the in-memory state must not
+  /// overlap an Ingest (Db::Apply guarantees this by mutating under the
+  /// writer lock and persisting under the reader lock). It runs safely
+  /// alongside queries — the commit's I/O no longer stalls readers.
   Status Persist();
+
+  /// Pins the store's current committed epoch (empty pin when no store
+  /// is attached). Queries take one per request so a concurrent
+  /// Persist commit can never reclaim the pages their snapshot could
+  /// still resolve blobs from.
+  VersionedSpillStore::EpochPin PinStoreEpoch() const {
+    return store_ != nullptr ? store_->PinEpoch()
+                             : VersionedSpillStore::EpochPin();
+  }
 
   const Relation& relation() const { return rel_; }
   IndexLayersView View() const { return index_.View(); }
@@ -153,6 +169,9 @@ class LiveRelation {
   /// rows >= this stage fresh roots on the next Persist.
   std::size_t persisted_objects_ = 0;
   bool manifest_root_exists_ = false;
+  /// Serializes Persist against itself (writer-vs-writer); readers are
+  /// never behind it.
+  std::mutex persist_mu_;
 };
 
 }  // namespace ingest

@@ -1,17 +1,34 @@
 #include "storage/buffer_pool.h"
 
+#include <cstring>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace modb {
 
+namespace {
+std::size_t FloorPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+// Small pools stay single-sharded so eviction order is a global LRU;
+// large pools split into up to 8 shards of >= 16 frames each.
+std::size_t AutoShards(std::size_t capacity) {
+  if (capacity < 32) return 1;
+  return FloorPow2(std::min<std::size_t>(8, capacity / 16));
+}
+}  // namespace
+
 BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
   if (this != &o) {
     Release();
     pool_ = std::exchange(o.pool_, nullptr);
-    frame_ = o.frame_;
+    frame_ = std::exchange(o.frame_, nullptr);
     data_ = std::exchange(o.data_, nullptr);
     page_ = o.page_;
     dirty_ = std::exchange(o.dirty_, false);
@@ -23,192 +40,353 @@ void BufferPool::PageRef::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(frame_, dirty_);
     pool_ = nullptr;
+    frame_ = nullptr;
     data_ = nullptr;
     dirty_ = false;
   }
 }
 
+char* BufferPool::PageRef::mutable_data() {
+  dirty_ = true;
+  char* p = pool_->MutableData(frame_);
+  data_ = p;
+  return p;
+}
+
 BufferPool::BufferPool(PageDevice* device, std::size_t capacity)
+    : BufferPool(device, capacity, AutoShards(capacity == 0 ? 1 : capacity)) {}
+
+BufferPool::BufferPool(PageDevice* device, std::size_t capacity,
+                       std::size_t shards)
     : device_(device), capacity_(capacity == 0 ? 1 : capacity) {
-  frames_.resize(capacity_);
-  free_.reserve(capacity_);
-  // Hand frames out in index order (pop_back): 0, 1, 2, ...
-  for (std::size_t i = capacity_; i > 0; --i) free_.push_back(i - 1);
+  shards_count_ = FloorPow2(
+      std::max<std::size_t>(1, std::min(shards == 0 ? 1 : shards, capacity_)));
+  std::uint32_t bits = 0;
+  while ((std::size_t(1) << bits) < shards_count_) ++bits;
+  shard_shift_ = 32 - bits;
+  shards_ = std::make_unique<Shard[]>(shards_count_);
+  const std::size_t base = capacity_ / shards_count_;
+  const std::size_t rem = capacity_ % shards_count_;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    s.num_frames = base + (i < rem ? 1 : 0);
+    s.frames = std::make_unique<Frame[]>(s.num_frames);
+    s.free_frames.reserve(s.num_frames);
+    // Hand frames out in index order (pop_back): 0, 1, 2, ...
+    for (std::size_t j = s.num_frames; j > 0; --j) {
+      s.frames[j - 1].home = &s;
+      s.free_frames.push_back(&s.frames[j - 1]);
+    }
+  }
 }
 
 BufferPool::~BufferPool() { FlushAll().ok(); }
 
+BufferPool::Shard& BufferPool::ShardFor(std::uint32_t page) const {
+  if (shards_count_ == 1) return shards_[0];
+  // Fibonacci-style multiplicative hash; the upper bits decorrelate the
+  // sequential page ids spill extents produce.
+  const std::uint32_t h = page * 2654435761u;
+  return shards_[h >> shard_shift_];
+}
+
 Result<BufferPool::PageRef> BufferPool::Pin(std::uint32_t page) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(page);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    ++f.pins;
-    f.lru_tick = ++tick_;
-    ++stats_.hits;
-    MODB_COUNTER_INC("storage.buffer_pool.hits");
-    return PageRef(this, it->second, f.data.get(), page);
+  Shard& s = ShardFor(page);
+  {
+    // Fast path: a resident page needs only the shared lock and an
+    // atomic pin bump, so concurrent pins of hot pages never serialize.
+    std::shared_lock<std::shared_mutex> lock(s.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      MODB_COUNTER_INC("storage.buffer_pool.shard_conflicts");
+      lock.lock();
+    }
+    auto it = s.table.find(page);
+    if (it != s.table.end()) {
+      Frame* f = it->second;
+      f->pins.fetch_add(1, std::memory_order_acq_rel);
+      f->lru_tick.store(s.tick.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+      s.hits.fetch_add(1, std::memory_order_relaxed);
+      MODB_COUNTER_INC("storage.buffer_pool.hits");
+      return PageRef(this, f, f->bytes(), page);
+    }
   }
-  ++stats_.misses;
+
+  std::unique_lock<std::shared_mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    MODB_COUNTER_INC("storage.buffer_pool.shard_conflicts");
+    lock.lock();
+  }
+  // Another thread may have faulted the page in while we dropped the
+  // shared lock.
+  auto it = s.table.find(page);
+  if (it != s.table.end()) {
+    Frame* f = it->second;
+    f->pins.fetch_add(1, std::memory_order_acq_rel);
+    f->lru_tick.store(s.tick.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+    MODB_COUNTER_INC("storage.buffer_pool.hits");
+    return PageRef(this, f, f->bytes(), page);
+  }
+  s.misses.fetch_add(1, std::memory_order_relaxed);
   MODB_COUNTER_INC("storage.buffer_pool.misses");
 
-  std::size_t victim;
-  if (!free_.empty()) {
-    victim = free_.back();
-    free_.pop_back();
+  Frame* f = nullptr;
+  if (!s.free_frames.empty()) {
+    f = s.free_frames.back();
+    s.free_frames.pop_back();
   } else {
-    // Evict the least-recently-used unpinned frame.
-    victim = capacity_;
+    // Evict the least-recently-used unpinned frame of this shard.
     std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t i = 0; i < capacity_; ++i) {
-      const Frame& f = frames_[i];
-      if (f.resident && f.pins == 0 && f.lru_tick < best) {
-        best = f.lru_tick;
-        victim = i;
+    for (std::size_t i = 0; i < s.num_frames; ++i) {
+      Frame& c = s.frames[i];
+      if (c.resident && c.pins.load(std::memory_order_acquire) == 0 &&
+          c.lru_tick.load(std::memory_order_relaxed) < best) {
+        best = c.lru_tick.load(std::memory_order_relaxed);
+        f = &c;
       }
     }
-    if (victim == capacity_) {
+    if (f == nullptr) {
       MODB_COUNTER_INC("storage.buffer_pool.pin_exhausted");
       return Status::FailedPrecondition(
           "buffer pool exhausted: every frame is pinned");
     }
-    Frame& v = frames_[victim];
-    if (v.dirty) {
-      Status wb = WritebackLocked(&v);
+    if (f->dirty.load(std::memory_order_acquire)) {
+      Status wb = WritebackLocked(&s, f);
       if (!wb.ok()) {
         // The dirty victim stays resident — failing the pin must not
         // lose its unwritten bytes.
-        ++stats_.write_errors;
+        s.write_errors.fetch_add(1, std::memory_order_relaxed);
         return wb;
       }
     }
-    table_.erase(v.page);
-    v.resident = false;
-    ++stats_.evictions;
+    s.table.erase(f->page);
+    f->resident = false;
+    f->owned.reset();
+    f->mapped.store(nullptr, std::memory_order_relaxed);
+    s.evictions.fetch_add(1, std::memory_order_relaxed);
     MODB_COUNTER_INC("storage.buffer_pool.evictions");
   }
 
-  Frame& f = frames_[victim];
-  if (!f.data) f.data = std::make_unique<char[]>(kPageSize);
-  Status read = device_->ReadPage(page, f.data.get());
-  if (!read.ok()) {
-    ++stats_.read_errors;
-    free_.push_back(victim);
-    return read;
+  // Zero-copy devices serve the page as a pointer into their own
+  // storage; copying devices get a private frame buffer filled by
+  // ReadPage.
+  Result<const char*> mapped = device_->MappedPage(page);
+  if (!mapped.ok()) {
+    s.read_errors.fetch_add(1, std::memory_order_relaxed);
+    s.free_frames.push_back(f);
+    return mapped.status();
   }
-  f.page = page;
-  f.pins = 1;
-  f.dirty = false;
-  f.resident = true;
-  f.lru_tick = ++tick_;
-  table_.emplace(page, victim);
-  return PageRef(this, victim, f.data.get(), page);
+  if (*mapped != nullptr) {
+    f->mapped.store(*mapped, std::memory_order_relaxed);
+    f->owned.reset();
+  } else {
+    if (!f->owned) f->owned = std::make_unique<char[]>(kPageSize);
+    f->mapped.store(nullptr, std::memory_order_relaxed);
+    Status read = device_->ReadPage(page, f->owned.get());
+    if (!read.ok()) {
+      s.read_errors.fetch_add(1, std::memory_order_relaxed);
+      s.free_frames.push_back(f);
+      return read;
+    }
+  }
+  f->page = page;
+  f->pins.store(1, std::memory_order_relaxed);
+  f->dirty.store(false, std::memory_order_relaxed);
+  f->resident = true;
+  f->lru_tick.store(s.tick.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  s.table.emplace(page, f);
+  MODB_HISTOGRAM_RECORD("storage.buffer_pool.shard_occupancy",
+                        s.table.size());
+  return PageRef(this, f, f->bytes(), page);
 }
 
-void BufferPool::Unpin(std::size_t frame, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Frame& f = frames_[frame];
-  f.dirty = f.dirty || dirty;
-  if (f.pins > 0) --f.pins;
-  if (f.pins == 0) f.lru_tick = ++tick_;
+void BufferPool::Unpin(Frame* f, bool dirty) {
+  // Lock-free: the dirty bit is published before the pin drops, so an
+  // evictor that observes pins == 0 under the exclusive lock also sees
+  // the dirty bit.
+  if (dirty) f->dirty.store(true, std::memory_order_release);
+  Shard* s = f->home;
+  const std::uint64_t tick =
+      s->tick.fetch_add(1, std::memory_order_relaxed) + 1;
+  f->lru_tick.store(tick, std::memory_order_relaxed);
+  f->pins.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-Status BufferPool::WritebackLocked(Frame* f) {
-  Status s = device_->WritePage(f->page, f->data.get());
-  if (!s.ok()) return s;
-  f->dirty = false;
-  ++stats_.writebacks;
-  MODB_COUNTER_INC("storage.buffer_pool.writebacks");
+char* BufferPool::MutableData(Frame* f) {
+  // Copy-in frames own their buffer from the moment they were loaded
+  // (published by the table insert under the exclusive lock), and a
+  // mapped frame whose upgrade completed published `owned` before
+  // clearing `mapped` — either way a null `mapped` means `owned` is
+  // safe to hand out with no lock.
+  if (f->mapped.load(std::memory_order_acquire) == nullptr) {
+    return f->owned.get();
+  }
+  // Copy-on-write upgrade of a device-mapped frame: scribbles must live
+  // in pool memory only, so DiscardAll can really discard them and
+  // snapshot readers of the mapped bytes keep the committed state.
+  Shard& s = *f->home;
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  const char* mapped = f->mapped.load(std::memory_order_relaxed);
+  if (mapped != nullptr) {
+    auto copy = std::make_unique<char[]>(kPageSize);
+    std::memcpy(copy.get(), mapped, kPageSize);
+    f->owned = std::move(copy);
+    f->mapped.store(nullptr, std::memory_order_release);
+  }
+  return f->owned.get();
+}
+
+Status BufferPool::WritebackLocked(Shard* s, Frame* f) {
+  if (f->owned) {
+    Status st = device_->WritePage(f->page, f->owned.get());
+    if (!st.ok()) return st;
+    s->writebacks.fetch_add(1, std::memory_order_relaxed);
+    MODB_COUNTER_INC("storage.buffer_pool.writebacks");
+  }
+  // A mapped frame with no private copy has nothing to write: its bytes
+  // already live in the device's storage.
+  f->dirty.store(false, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& f : frames_) {
-    if (f.resident && f.dirty) {
-      Status s = WritebackLocked(&f);
-      if (!s.ok()) {
-        ++stats_.write_errors;
-        return s;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    for (std::size_t j = 0; j < s.num_frames; ++j) {
+      Frame& f = s.frames[j];
+      if (f.resident && f.dirty.load(std::memory_order_acquire)) {
+        Status st = WritebackLocked(&s, &f);
+        if (!st.ok()) {
+          s.write_errors.fetch_add(1, std::memory_order_relaxed);
+          return st;
+        }
       }
     }
   }
-  return Status::OK();
+  // The durability barrier: written pages must survive a crash before
+  // the caller (e.g. the two-phase commit) proceeds.
+  return device_->Sync();
 }
 
 Status BufferPool::DropAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const Frame& f : frames_) {
-    if (f.resident && f.pins > 0) {
-      return Status::FailedPrecondition("cannot drop: pages are pinned");
-    }
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_count_);
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    locks.emplace_back(shards_[i].mu);
   }
-  for (std::size_t i = 0; i < capacity_; ++i) {
-    Frame& f = frames_[i];
-    if (!f.resident) continue;
-    if (f.dirty) {
-      Status s = WritebackLocked(&f);
-      if (!s.ok()) {
-        ++stats_.write_errors;
-        return s;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    for (std::size_t j = 0; j < s.num_frames; ++j) {
+      const Frame& f = s.frames[j];
+      if (f.resident && f.pins.load(std::memory_order_acquire) > 0) {
+        return Status::FailedPrecondition("cannot drop: pages are pinned");
       }
     }
-    table_.erase(f.page);
-    f.resident = false;
-    ++stats_.evictions;
-    MODB_COUNTER_INC("storage.buffer_pool.evictions");
-    free_.push_back(i);
   }
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    for (std::size_t j = 0; j < s.num_frames; ++j) {
+      Frame& f = s.frames[j];
+      if (!f.resident) continue;
+      if (f.dirty.load(std::memory_order_acquire)) {
+        Status st = WritebackLocked(&s, &f);
+        if (!st.ok()) {
+          s.write_errors.fetch_add(1, std::memory_order_relaxed);
+          return st;
+        }
+      }
+      s.table.erase(f.page);
+      f.resident = false;
+      f.owned.reset();
+      f.mapped.store(nullptr, std::memory_order_relaxed);
+      s.evictions.fetch_add(1, std::memory_order_relaxed);
+      MODB_COUNTER_INC("storage.buffer_pool.evictions");
+      s.free_frames.push_back(&f);
+    }
+  }
+  Status sync = device_->Sync();
+  if (!sync.ok()) return sync;
   return Status::OK();
 }
 
 Status BufferPool::DiscardAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const Frame& f : frames_) {
-    if (f.resident && f.pins > 0) {
-      return Status::FailedPrecondition("cannot discard: pages are pinned");
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_count_);
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    locks.emplace_back(shards_[i].mu);
+  }
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    for (std::size_t j = 0; j < s.num_frames; ++j) {
+      const Frame& f = s.frames[j];
+      if (f.resident && f.pins.load(std::memory_order_acquire) > 0) {
+        return Status::FailedPrecondition("cannot discard: pages are pinned");
+      }
     }
   }
-  for (std::size_t i = 0; i < capacity_; ++i) {
-    Frame& f = frames_[i];
-    if (!f.resident) continue;
-    table_.erase(f.page);
-    f.resident = false;
-    f.dirty = false;
-    ++stats_.evictions;
-    MODB_COUNTER_INC("storage.buffer_pool.evictions");
-    free_.push_back(i);
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    for (std::size_t j = 0; j < s.num_frames; ++j) {
+      Frame& f = s.frames[j];
+      if (!f.resident) continue;
+      s.table.erase(f.page);
+      f.resident = false;
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.owned.reset();
+      f.mapped.store(nullptr, std::memory_order_relaxed);
+      s.evictions.fetch_add(1, std::memory_order_relaxed);
+      MODB_COUNTER_INC("storage.buffer_pool.evictions");
+      s.free_frames.push_back(&f);
+    }
   }
   return Status::OK();
 }
 
-std::size_t BufferPool::NumDevicePages() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return device_->NumPages();
-}
-
 bool BufferPool::IsResident(std::uint32_t page) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return table_.count(page) != 0;
+  Shard& s = ShardFor(page);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  return s.table.count(page) != 0;
 }
 
 std::size_t BufferPool::NumResident() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return table_.size();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    n += s.table.size();
+  }
+  return n;
 }
 
 std::size_t BufferPool::NumPinned() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.resident && f.pins > 0) ++n;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    for (std::size_t j = 0; j < s.num_frames; ++j) {
+      const Frame& f = s.frames[j];
+      if (f.resident && f.pins.load(std::memory_order_acquire) > 0) ++n;
+    }
   }
   return n;
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  BufferPoolStats out;
+  for (std::size_t i = 0; i < shards_count_; ++i) {
+    const Shard& s = shards_[i];
+    out.hits += s.hits.load(std::memory_order_relaxed);
+    out.misses += s.misses.load(std::memory_order_relaxed);
+    out.evictions += s.evictions.load(std::memory_order_relaxed);
+    out.writebacks += s.writebacks.load(std::memory_order_relaxed);
+    out.read_errors += s.read_errors.load(std::memory_order_relaxed);
+    out.write_errors += s.write_errors.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace modb

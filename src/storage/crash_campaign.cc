@@ -19,12 +19,13 @@ RetryPolicy FastRetry() {
   return p;
 }
 
-VersionedSpillStore::Options StoreOptions() {
+VersionedSpillStore::Options StoreOptions(StoreDeviceKind device) {
   VersionedSpillStore::Options o;
   // Small pool: staging must evict through the device, so writeback
   // paths sit inside the enumerated fault window too.
   o.pool_capacity = 8;
   o.retry = FastRetry();
+  o.device = device;
   return o;
 }
 
@@ -74,9 +75,9 @@ struct EpochState {
 
 /// The scripted workload's inputs and the state after each commit.
 struct Script {
-  std::string a, b, c, d;  // opaque blobs (multi-page and sub-page)
+  std::string a, b, c, d, e;  // opaque blobs (multi-page and sub-page)
   std::string mi0, mi1, per;
-  std::vector<EpochState> expected;  // index == epoch 0..3
+  std::vector<EpochState> expected;  // index == epoch 0..4
 };
 
 Result<Script> BuildScript() {
@@ -94,10 +95,11 @@ Result<Script> BuildScript() {
   Result<std::string> per = PeriodsBlob();
   if (!per.ok()) return per.status();
   s.per = *per;
+  s.e = OpaqueBlob(6000, 5);  // 2 pages — epoch 4 of the pinned workload
 
   using VT = SpillValueType;
-  s.expected.resize(4);
-  for (std::size_t e = 0; e < 4; ++e) s.expected[e].epoch = e;
+  s.expected.resize(5);
+  for (std::size_t e = 0; e < 5; ++e) s.expected[e].epoch = e;
   s.expected[1].roots = {{VT::kOpaque, s.a},
                          {VT::kMovingInt, s.mi0},
                          {VT::kPeriods, s.per}};
@@ -109,6 +111,11 @@ Result<Script> BuildScript() {
                          {VT::kMovingInt, s.mi1},
                          {VT::kPeriods, s.per},
                          {VT::kOpaque, s.c}};
+  // Epoch 4 exists only in the pinned-reader workload: one more value
+  // on top of epoch 3, so its commit must allocate around the pages a
+  // live pin still protects.
+  s.expected[4].roots = s.expected[3].roots;
+  s.expected[4].roots.push_back({VT::kOpaque, s.e});
   return s;
 }
 
@@ -145,14 +152,15 @@ struct RunOutcome {
     }                                                                     \
   } while (0)
 
-Status RunWorkload(const std::string& path, const Script& script,
-                   RunOutcome* out) {
+Status RunWorkload(const std::string& path,
+                   const VersionedSpillStore::Options& sopts,
+                   const Script& script, RunOutcome* out) {
   using VT = SpillValueType;
   std::optional<VersionedSpillStore> store;
 
   {
     Result<VersionedSpillStore> created =
-        VersionedSpillStore::Create(path, StoreOptions());
+        VersionedSpillStore::Create(path, sopts);
     if (created.ok()) store.emplace(std::move(*created));
     MODB_CAMPAIGN_STEP(created.ok() ? Status::OK() : created.status(), 0);
   }
@@ -176,6 +184,94 @@ Status RunWorkload(const std::string& path, const Script& script,
   MODB_CAMPAIGN_STEP(store->RestageBlob(0, script.d, VT::kOpaque), 3);
   MODB_CAMPAIGN_STEP(store->Commit(), 3);
   out->last_ok = 3;
+
+  out->completed = true;
+  return Status::OK();
+}
+
+/// Byte-compares everything visible through `pin` against `expect`.
+Status VerifyPinView(VersionedSpillStore* store,
+                     const VersionedSpillStore::EpochPin& pin,
+                     const EpochState& expect) {
+  if (pin.epoch() != expect.epoch || pin.NumRoots() != expect.roots.size()) {
+    return Status::Internal("pinned view shape changed under the reader");
+  }
+  for (std::size_t i = 0; i < expect.roots.size(); ++i) {
+    if (pin.roots()[i].type != expect.roots[i].first) {
+      return Status::Internal("pinned root " + std::to_string(i) +
+                              " changed its type tag under the reader");
+    }
+    Result<std::string> blob = store->ReadRootBlob(pin, i);
+    if (!blob.ok()) return blob.status();
+    if (*blob != expect.roots[i].second) {
+      return Status::Internal(
+          "pinned root " + std::to_string(i) +
+          " is no longer byte-identical to its pinned epoch");
+    }
+  }
+  return Status::OK();
+}
+
+/// The concurrent-reader schedule: pin epoch 2, then keep proving the
+/// pinned view untouched while epochs 3 and 4 stage, commit, or crash
+/// over it. `views` counts pinned-view checks that completed cleanly.
+Status RunPinnedWorkload(const std::string& path,
+                         const VersionedSpillStore::Options& sopts,
+                         const Script& script, RunOutcome* out,
+                         std::uint64_t* views) {
+  using VT = SpillValueType;
+  std::optional<VersionedSpillStore> store;
+
+  {
+    Result<VersionedSpillStore> created =
+        VersionedSpillStore::Create(path, sopts);
+    if (created.ok()) store.emplace(std::move(*created));
+    MODB_CAMPAIGN_STEP(created.ok() ? Status::OK() : created.status(), 0);
+  }
+  out->last_ok = 0;
+
+  MODB_CAMPAIGN_STEP(store->StageBlob(script.a, VT::kOpaque).status(), 1);
+  MODB_CAMPAIGN_STEP(store->StageBlob(script.mi0, VT::kMovingInt).status(), 1);
+  MODB_CAMPAIGN_STEP(store->StageBlob(script.per, VT::kPeriods).status(), 1);
+  MODB_CAMPAIGN_STEP(store->Commit(), 1);
+  out->last_ok = 1;
+
+  MODB_CAMPAIGN_STEP(store->RestageBlob(0, script.b, VT::kOpaque), 2);
+  MODB_CAMPAIGN_STEP(store->StageBlob(script.c, VT::kOpaque).status(), 2);
+  MODB_CAMPAIGN_STEP(store->Commit(), 2);
+  out->last_ok = 2;
+
+  // The reader arrives: pin epoch 2 and take its fingerprint.
+  VersionedSpillStore::EpochPin pin = store->PinEpoch();
+  MODB_CAMPAIGN_STEP(VerifyPinView(&*store, pin, script.expected[2]), 3);
+  ++*views;
+
+  // Epoch 3 stages shadow pages; staging must not disturb the pin.
+  MODB_CAMPAIGN_STEP(store->RestageBlob(1, script.mi1, VT::kMovingInt), 3);
+  MODB_CAMPAIGN_STEP(store->RestageBlob(0, script.d, VT::kOpaque), 3);
+  MODB_CAMPAIGN_STEP(VerifyPinView(&*store, pin, script.expected[2]), 3);
+  ++*views;
+  // Commit retires the pages epoch 3 replaced — but the pin holds them.
+  MODB_CAMPAIGN_STEP(store->Commit(), 3);
+  out->last_ok = 3;
+  MODB_CAMPAIGN_STEP(VerifyPinView(&*store, pin, script.expected[2]), 3);
+  ++*views;
+
+  // Epoch 4 allocates fresh runs; retired pages must not be handed out.
+  MODB_CAMPAIGN_STEP(store->StageBlob(script.e, VT::kOpaque).status(), 4);
+  MODB_CAMPAIGN_STEP(store->Commit(), 4);
+  out->last_ok = 4;
+  MODB_CAMPAIGN_STEP(VerifyPinView(&*store, pin, script.expected[2]), 4);
+  ++*views;
+
+  // Reader leaves: the parked pages drain and the books must balance.
+  pin.Release();
+  if (store->NumRetiredPages() != 0) {
+    store->Abandon().ok();
+    return Status::Internal(
+        "retired pages survived the last pin draining");
+  }
+  MODB_CAMPAIGN_STEP(store->VerifyAccounting(), 4);
 
   out->completed = true;
   return Status::OK();
@@ -209,13 +305,15 @@ Status VerifyState(VersionedSpillStore* store, const EpochState& expect) {
   return store->VerifyAccounting();
 }
 
-Status VerifyAfterRun(const std::string& path, const Script& script,
-                      const RunOutcome& run, CrashCampaignReport* report) {
+Status VerifyAfterRun(const std::string& path,
+                      const VersionedSpillStore::Options& sopts,
+                      const Script& script, const RunOutcome& run,
+                      CrashCampaignReport* report) {
   FaultInjector::Global().Disarm();
   const std::string where =
       run.site != nullptr ? std::string(run.site) : std::string("(none)");
   Result<VersionedSpillStore> reopened =
-      VersionedSpillStore::Open(path, StoreOptions());
+      VersionedSpillStore::Open(path, sopts);
   if (!reopened.ok()) {
     if (run.last_ok < 0) {
       // The crash predates the first commit point; "the store never
@@ -280,6 +378,7 @@ Result<CrashCampaignReport> RunCrashCampaign(
   FaultInjector& inj = FaultInjector::Global();
   CrashCampaignReport report;
   report.tear_modes = options.tear_keep_bytes.size();
+  const VersionedSpillStore::Options sopts = StoreOptions(options.device);
 
   Result<Script> script = BuildScript();
   if (!script.ok()) return script.status();
@@ -289,7 +388,7 @@ Result<CrashCampaignReport> RunCrashCampaign(
   {
     RunOutcome clean;
     RunOutcome* out = &clean;
-    MODB_RETURN_IF_ERROR(RunWorkload(options.path, *script, out));
+    MODB_RETURN_IF_ERROR(RunWorkload(options.path, sopts, *script, out));
     if (!clean.completed) {
       return Status::Internal("clean workload run did not complete");
     }
@@ -300,7 +399,7 @@ Result<CrashCampaignReport> RunCrashCampaign(
   inj.Disarm();
   {
     Result<VersionedSpillStore> opened =
-        VersionedSpillStore::Open(options.path, StoreOptions());
+        VersionedSpillStore::Open(options.path, sopts);
     if (!opened.ok()) return opened.status();
     MODB_RETURN_IF_ERROR(VerifyState(&*opened, script->expected[3]));
   }
@@ -311,11 +410,11 @@ Result<CrashCampaignReport> RunCrashCampaign(
     arm();
     inj.HaltAfterFire();
     RunOutcome run;
-    Status s = RunWorkload(options.path, *script, &run);
+    Status s = RunWorkload(options.path, sopts, *script, &run);
     if (!s.ok()) return s;
     ++report.runs;
     if (run.fired) ++report.crashes;
-    return VerifyAfterRun(options.path, *script, run, &report);
+    return VerifyAfterRun(options.path, sopts, *script, run, &report);
   };
 
   // Every write site × {hard failure, each torn-write mode}.
@@ -332,12 +431,43 @@ Result<CrashCampaignReport> RunCrashCampaign(
         run_with_arm([&] { inj.FailNth(FaultOp::kRead, r); }));
   }
 
+  // Concurrent-reader schedules: the pinned workload, crashed at every
+  // write site (hard failure; the torn modes above already exercised
+  // the byte-level write paths).
+  inj.Disarm();
+  {
+    RunOutcome clean;
+    std::uint64_t views = 0;
+    MODB_RETURN_IF_ERROR(
+        RunPinnedWorkload(options.path, sopts, *script, &clean, &views));
+    if (!clean.completed) {
+      return Status::Internal("clean pinned-reader run did not complete");
+    }
+    report.pinned_views_verified += views;
+  }
+  report.pinned_write_sites = inj.OpCount(FaultOp::kWrite);
+  for (std::uint64_t w = 0; w < report.pinned_write_sites; ++w) {
+    inj.Disarm();
+    inj.FailNth(FaultOp::kWrite, w);
+    inj.HaltAfterFire();
+    RunOutcome run;
+    std::uint64_t views = 0;
+    Status s = RunPinnedWorkload(options.path, sopts, *script, &run, &views);
+    if (!s.ok()) return s;
+    ++report.runs;
+    ++report.pinned_reader_runs;
+    report.pinned_views_verified += views;
+    if (run.fired) ++report.crashes;
+    MODB_RETURN_IF_ERROR(
+        VerifyAfterRun(options.path, sopts, *script, run, &report));
+  }
+
   // Transient-read sweep: a single flaky (non-crash) read at every site
   // of a recovery Open must be absorbed by the retry policy.
   inj.Disarm();
   {
     RunOutcome rebuild;
-    MODB_RETURN_IF_ERROR(RunWorkload(options.path, *script, &rebuild));
+    MODB_RETURN_IF_ERROR(RunWorkload(options.path, sopts, *script, &rebuild));
     if (!rebuild.completed) {
       return Status::Internal("rebuild workload run did not complete");
     }
@@ -346,7 +476,7 @@ Result<CrashCampaignReport> RunCrashCampaign(
     inj.Disarm();
     inj.FailNth(FaultOp::kRead, r);
     Result<VersionedSpillStore> opened =
-        VersionedSpillStore::Open(options.path, StoreOptions());
+        VersionedSpillStore::Open(options.path, sopts);
     ++report.runs;
     if (!opened.ok()) {
       return Status::Internal(

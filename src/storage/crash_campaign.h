@@ -16,6 +16,13 @@
 // site of a clean Open and requires recovery to succeed via the retry
 // policy.
 //
+// A second, concurrent-reader enumeration runs a workload that pins an
+// epoch mid-stream and keeps re-verifying the pinned view — byte for
+// byte — while later epochs are staged, committed, and crashed at
+// every write site: deferred reclamation must keep every page the pin
+// references untouched, and once the pin drains the accounting must
+// show zero retired pages and zero leaks.
+//
 // Exposed as a library so both the storage tests and tools/crashloop
 // (the CI entry point, wired into tools/verify.sh) run the same
 // enumeration.
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "storage/recovery.h"
 
 namespace modb {
 
@@ -39,6 +47,9 @@ struct CrashCampaignOptions {
   /// everything away, a mid-header cut and a mid-page cut catch
   /// different parser paths.
   std::vector<std::size_t> tear_keep_bytes = {0, 16, 2048};
+  /// Device implementation under test; the guarantees (and this
+  /// enumeration) are identical for both.
+  StoreDeviceKind device = StoreDeviceKind::kFile;
 };
 
 struct CrashCampaignReport {
@@ -63,6 +74,12 @@ struct CrashCampaignReport {
   /// Totals across all verified recoveries.
   std::uint64_t orphans_reclaimed = 0;
   std::uint64_t pages_healed = 0;
+  /// Concurrent-reader schedule: device writes in one clean run of the
+  /// pinned-reader workload, injected runs of it, and pinned-view
+  /// byte-identity checks that passed across all of them.
+  std::uint64_t pinned_write_sites = 0;
+  std::uint64_t pinned_reader_runs = 0;
+  std::uint64_t pinned_views_verified = 0;
 };
 
 /// Runs the full enumeration. Returns the report, or the first

@@ -1,0 +1,266 @@
+#include "storage/mmap_device.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "storage/fault.h"
+
+namespace modb {
+
+namespace {
+constexpr uint64_t kFileMagic = 0x4d4f444250414745ull;  // "MODBPAGE".
+
+uint64_t OsPageAlignUp(uint64_t n) {
+  const uint64_t os_page = uint64_t(::sysconf(_SC_PAGESIZE));
+  return (n + os_page - 1) / os_page * os_page;
+}
+}  // namespace
+
+MmapPageDevice::~MmapPageDevice() {
+  if (base_ != nullptr) ::munmap(base_, reserved_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+MmapPageDevice::MmapPageDevice(MmapPageDevice&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      base_(other.base_),
+      reserved_bytes_(other.reserved_bytes_),
+      num_pages_(other.num_pages_.load(std::memory_order_relaxed)),
+      bytes_used_(other.bytes_used_),
+      materialized_bytes_(
+          other.materialized_bytes_.load(std::memory_order_relaxed)) {
+  other.fd_ = -1;
+  other.base_ = nullptr;
+}
+
+MmapPageDevice& MmapPageDevice::operator=(MmapPageDevice&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, reserved_bytes_);
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    base_ = other.base_;
+    reserved_bytes_ = other.reserved_bytes_;
+    num_pages_.store(other.num_pages_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    bytes_used_ = other.bytes_used_;
+    materialized_bytes_.store(
+        other.materialized_bytes_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.fd_ = -1;
+    other.base_ = nullptr;
+  }
+  return *this;
+}
+
+void MmapPageDevice::WriteHeaderInMap() {
+  uint64_t magic = kFileMagic;
+  uint64_t num_pages = num_pages_.load(std::memory_order_relaxed);
+  std::memcpy(base_, &magic, sizeof magic);
+  std::memcpy(base_ + 8, &num_pages, sizeof num_pages);
+  std::memcpy(base_ + 16, &bytes_used_, sizeof bytes_used_);
+}
+
+Status MmapPageDevice::Materialize(uint64_t want_bytes) {
+  if (want_bytes > reserved_bytes_) {
+    return Status::ResourceExhausted(
+        "mmap reservation exhausted for " + path_ + ": need " +
+        std::to_string(want_bytes) + " bytes, reserved " +
+        std::to_string(reserved_bytes_));
+  }
+  if (::ftruncate(fd_, off_t(want_bytes)) != 0) {
+    return Status::Internal("cannot grow " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  materialized_bytes_.store(want_bytes, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<MmapPageDevice> MmapPageDevice::MapFd(std::string path, int fd,
+                                             uint64_t file_size,
+                                             const Options& options) {
+  MmapPageDevice dev;
+  dev.path_ = std::move(path);
+  dev.fd_ = fd;
+  dev.reserved_bytes_ =
+      std::max(OsPageAlignUp(options.reserve_bytes), OsPageAlignUp(file_size));
+  void* base = ::mmap(nullptr, dev.reserved_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    return Status::Internal("cannot mmap " + dev.path_ + ": " +
+                            std::strerror(errno));
+  }
+  dev.base_ = static_cast<char*>(base);
+  dev.materialized_bytes_.store(file_size, std::memory_order_relaxed);
+  return dev;
+}
+
+Result<MmapPageDevice> MmapPageDevice::Create(const std::string& path,
+                                              const Options& options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create " + path + ": " +
+                            std::strerror(errno));
+  }
+  if (::ftruncate(fd, off_t(kPageFileHeaderSize)) != 0) {
+    Status st = Status::Internal("cannot size " + path + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  Result<MmapPageDevice> dev =
+      MapFd(path, fd, kPageFileHeaderSize, options);
+  if (!dev.ok()) {
+    ::close(fd);
+    return dev.status();
+  }
+  dev->WriteHeaderInMap();
+  MODB_COUNTER_INC("storage.mmap_device.creates");
+  return dev;
+}
+
+Result<MmapPageDevice> MmapPageDevice::Open(const std::string& path,
+                                            const Options& options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status err = Status::Internal("cannot stat " + path + ": " +
+                                  std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  if (uint64_t(st.st_size) < kPageFileHeaderSize) {
+    ::close(fd);
+    return Status::InvalidArgument("not a MODB page file: " + path);
+  }
+  Result<MmapPageDevice> dev =
+      MapFd(path, fd, uint64_t(st.st_size), options);
+  if (!dev.ok()) {
+    ::close(fd);
+    return dev.status();
+  }
+  uint64_t magic = 0, num_pages = 0;
+  std::memcpy(&magic, dev->base_, sizeof magic);
+  std::memcpy(&num_pages, dev->base_ + 8, sizeof num_pages);
+  std::memcpy(&dev->bytes_used_, dev->base_ + 16, sizeof dev->bytes_used_);
+  if (magic != kFileMagic) {
+    return Status::InvalidArgument("not a MODB page file: " + path);
+  }
+  dev->num_pages_.store(num_pages, std::memory_order_relaxed);
+  MODB_COUNTER_INC("storage.mmap_device.opens");
+  return dev;
+}
+
+Result<uint32_t> MmapPageDevice::AllocatePages(uint32_t n) {
+  std::size_t keep = kFaultKeepAll;
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnWrite("mmap_device.allocate_pages", &keep));
+  const uint64_t old_pages = num_pages_.load(std::memory_order_relaxed);
+  const uint32_t first = uint32_t(old_pages);
+  // A torn allocation materializes only a prefix of the new pages'
+  // bytes; the header below is still updated, so later reads of the
+  // missing tail report kDataLoss — the same crash-mid-grow shape as
+  // FilePageDevice (phantom pages, healed by recovery).
+  const uint64_t grow = std::min(uint64_t(keep), uint64_t(n) * kPageSize);
+  const uint64_t want =
+      std::max(materialized_bytes_.load(std::memory_order_relaxed),
+               kPageFileHeaderSize + old_pages * kPageSize + grow);
+  MODB_RETURN_IF_ERROR(Materialize(want));
+  num_pages_.store(old_pages + n, std::memory_order_release);
+  bytes_used_ += std::size_t(n) * kPageSize;
+  WriteHeaderInMap();
+  MODB_COUNTER_ADD("storage.mmap_device.pages_allocated", n);
+  return first;
+}
+
+Result<const char*> MmapPageDevice::MappedPage(uint32_t page) const {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
+    MODB_COUNTER_INC("storage.mmap_device.read_errors");
+    return Status::OutOfRange("page id out of range");
+  }
+  MODB_RETURN_IF_ERROR(FaultInjector::Global().OnRead("mmap_device.read_page"));
+  const uint64_t offset = kPageFileHeaderSize + uint64_t(page) * kPageSize;
+  const uint64_t materialized =
+      materialized_bytes_.load(std::memory_order_acquire);
+  if (offset + kPageSize > materialized) {
+    // A phantom page: the header admits it but the file ends first.
+    // Touching it through the mapping would SIGBUS, so bounds-check and
+    // report the same typed truncation error as FilePageDevice.
+    const uint64_t got = materialized > offset ? materialized - offset : 0;
+    MODB_COUNTER_INC("storage.mmap_device.read_errors");
+    return Status::DataLoss(
+        "short page read from " + path_ + " at offset " +
+        std::to_string(offset) + ": expected " + std::to_string(kPageSize) +
+        " bytes, got " + std::to_string(got));
+  }
+  MODB_COUNTER_INC("storage.mmap_device.page_reads");
+  return Result<const char*>(base_ + offset);
+}
+
+Status MmapPageDevice::ReadPage(uint32_t page, char* out) const {
+  Result<const char*> mapped = MappedPage(page);
+  if (!mapped.ok()) return mapped.status();
+  std::memcpy(out, *mapped, kPageSize);
+  return Status::OK();
+}
+
+Status MmapPageDevice::WritePage(uint32_t page, const char* data) {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
+    MODB_COUNTER_INC("storage.mmap_device.write_errors");
+    return Status::OutOfRange("page id out of range");
+  }
+  std::size_t keep = kFaultKeepAll;
+  MODB_RETURN_IF_ERROR(
+      FaultInjector::Global().OnWrite("mmap_device.write_page", &keep));
+  const uint64_t offset = kPageFileHeaderSize + uint64_t(page) * kPageSize;
+  const std::size_t want = std::min(keep, kPageSize);
+  // Writing to a phantom page materializes exactly the bytes persisted
+  // (FilePageDevice's pwrite extends the file the same way): a torn
+  // write to the device's tail leaves a short page behind.
+  const uint64_t end = offset + want;
+  if (end > materialized_bytes_.load(std::memory_order_relaxed)) {
+    MODB_RETURN_IF_ERROR(Materialize(end));
+  }
+  std::memcpy(base_ + offset, data, want);
+  MODB_COUNTER_INC("storage.mmap_device.page_writes");
+  return Status::OK();
+}
+
+void MmapPageDevice::Prefetch(uint32_t first_page, uint32_t num_pages) const {
+  if (num_pages == 0) return;
+  const uint64_t os_page = uint64_t(::sysconf(_SC_PAGESIZE));
+  uint64_t begin = kPageFileHeaderSize + uint64_t(first_page) * kPageSize;
+  uint64_t end = begin + uint64_t(num_pages) * kPageSize;
+  end = std::min(end, materialized_bytes_.load(std::memory_order_acquire));
+  begin = begin / os_page * os_page;
+  if (end <= begin) return;
+  ::madvise(base_ + begin, std::size_t(end - begin), MADV_WILLNEED);
+  MODB_COUNTER_ADD("storage.mmap_device.prefetch_pages", num_pages);
+}
+
+Status MmapPageDevice::Sync() {
+  const uint64_t len =
+      OsPageAlignUp(materialized_bytes_.load(std::memory_order_acquire));
+  if (len == 0) return Status::OK();
+  if (::msync(base_, std::size_t(std::min(len, reserved_bytes_)), MS_SYNC) !=
+      0) {
+    return Status::Internal("msync of " + path_ + " failed: " +
+                            std::strerror(errno));
+  }
+  MODB_COUNTER_INC("storage.mmap_device.syncs");
+  return Status::OK();
+}
+
+}  // namespace modb

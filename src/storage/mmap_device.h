@@ -1,0 +1,110 @@
+// MmapPageDevice: a PageDevice that maps the MODBPAGE file into the
+// address space and serves reads as pointers into the mapping — no
+// copy, no syscall on the hot path. The exemplar is the classic
+// header + fixed-stride mapped-records layout (SNIPPETS.md Snippet 1):
+// page `p` lives at kPageFileHeaderSize + p * kPageSize, exactly the
+// FilePageDevice format, so the two devices open each other's files.
+//
+// Growth never remaps: the constructor maps a large fixed virtual
+// reservation (Options::reserve_bytes) with MAP_SHARED and the file is
+// extended underneath it with ftruncate, so pointers handed out by
+// MappedPage() stay valid for the life of the device — pinned
+// zero-copy readers survive concurrent growth. Pages the header
+// admits but the file does not materialize (a crash tore a growth)
+// are detected by bounds-checking against the materialized file size
+// instead of faulting SIGBUS, and report the same typed kDataLoss
+// shape as FilePageDevice so recovery heals them identically.
+//
+// Durability: WritePage is a memcpy into the shared mapping; bytes
+// reach the file at the kernel's leisure or at Sync() (msync MS_SYNC).
+// The two-phase commit in storage/recovery.h calls FlushAll — which
+// ends with Sync() — before and after the root-record write, so the
+// commit-point ordering is identical on both devices.
+
+#ifndef MODB_STORAGE_MMAP_DEVICE_H_
+#define MODB_STORAGE_MMAP_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "storage/page_store.h"
+
+namespace modb {
+
+/// A zero-copy PageDevice over the MODBPAGE file format via mmap.
+class MmapPageDevice : public PageDevice {
+ public:
+  struct Options {
+    /// Virtual address space reserved for the mapping. Growth beyond it
+    /// returns kResourceExhausted; it costs no physical memory, so the
+    /// default is deliberately generous.
+    uint64_t reserve_bytes = uint64_t(16) << 30;  // 16 GiB
+  };
+
+  /// Creates (truncating) an empty device file and maps it.
+  static Result<MmapPageDevice> Create(const std::string& path,
+                                       const Options& options);
+  static Result<MmapPageDevice> Create(const std::string& path) {
+    return Create(path, Options());
+  }
+
+  /// Opens and maps an existing device file (e.g. one written by
+  /// FilePageDevice or PageStore::SaveToFile).
+  static Result<MmapPageDevice> Open(const std::string& path,
+                                     const Options& options);
+  static Result<MmapPageDevice> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  ~MmapPageDevice() override;
+
+  MmapPageDevice(const MmapPageDevice&) = delete;
+  MmapPageDevice& operator=(const MmapPageDevice&) = delete;
+  MmapPageDevice(MmapPageDevice&& other) noexcept;
+  MmapPageDevice& operator=(MmapPageDevice&& other) noexcept;
+
+  // PageDevice:
+  std::size_t NumPages() const override {
+    return std::size_t(num_pages_.load(std::memory_order_acquire));
+  }
+  Result<uint32_t> AllocatePages(uint32_t n) override;
+  Status ReadPage(uint32_t page, char* out) const override;
+  Status WritePage(uint32_t page, const char* data) override;
+  Result<const char*> MappedPage(uint32_t page) const override;
+  void Prefetch(uint32_t first_page, uint32_t num_pages) const override;
+  Status Sync() override;
+
+  const std::string& path() const { return path_; }
+  uint64_t reserve_bytes() const { return reserved_bytes_; }
+
+ private:
+  MmapPageDevice() = default;
+
+  static Result<MmapPageDevice> MapFd(std::string path, int fd,
+                                      uint64_t file_size,
+                                      const Options& options);
+
+  /// Refreshes the 24-byte header inside the mapping from the members.
+  void WriteHeaderInMap();
+
+  /// Grows the file to at least `want_bytes` via ftruncate.
+  Status Materialize(uint64_t want_bytes);
+
+  std::string path_;
+  int fd_ = -1;
+  char* base_ = nullptr;
+  uint64_t reserved_bytes_ = 0;
+  std::atomic<uint64_t> num_pages_{0};
+  uint64_t bytes_used_ = 0;
+  // Actual file size: pages whose bytes end beyond it are phantoms a
+  // torn growth admitted but never materialized. Readers race benignly
+  // with the writer's ftruncate growth.
+  std::atomic<uint64_t> materialized_bytes_{0};
+};
+
+}  // namespace modb
+
+#endif  // MODB_STORAGE_MMAP_DEVICE_H_

@@ -1,7 +1,12 @@
 #include "storage/page_store.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 
 #include "obs/metrics.h"
 #include "storage/fault.h"
@@ -10,8 +15,39 @@ namespace modb {
 
 namespace {
 constexpr uint64_t kFileMagic = 0x4d4f444250414745ull;  // "MODBPAGE".
-// File header: magic u64, num_pages u64, bytes_used u64 (all LE).
-constexpr std::size_t kFileHeaderSize = 24;
+
+// Positioned full-buffer read: retries EINTR and continues short reads
+// until `n` bytes arrive or EOF. Returns bytes read (< n only at EOF),
+// or -1 with errno set on a hard error.
+ssize_t PReadFull(int fd, char* out, std::size_t n, uint64_t offset) {
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, out + done, n - done, off_t(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;  // EOF: the file really ends here.
+    done += std::size_t(r);
+  }
+  return ssize_t(done);
+}
+
+// Positioned full-buffer write: retries EINTR and continues short
+// writes. Returns bytes written (== n on success) or -1 with errno.
+ssize_t PWriteFull(int fd, const char* data, std::size_t n, uint64_t offset) {
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd, data + done, n - done, off_t(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;  // no progress (full disk): report short.
+    done += std::size_t(r);
+  }
+  return ssize_t(done);
+}
 }  // namespace
 
 // -- PageStore ---------------------------------------------------------------
@@ -148,25 +184,54 @@ Result<PageStore> PageStore::LoadFromFile(const std::string& path) {
 
 // -- FilePageDevice ----------------------------------------------------------
 
+FilePageDevice::~FilePageDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FilePageDevice::FilePageDevice(FilePageDevice&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      num_pages_(other.num_pages_.load(std::memory_order_relaxed)),
+      bytes_used_(other.bytes_used_) {
+  other.fd_ = -1;
+}
+
+FilePageDevice& FilePageDevice::operator=(FilePageDevice&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    num_pages_.store(other.num_pages_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    bytes_used_ = other.bytes_used_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
 Status FilePageDevice::WriteHeader() {
+  char header[kPageFileHeaderSize];
   uint64_t magic = kFileMagic;
-  file_.seekp(0);
-  file_.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  file_.write(reinterpret_cast<const char*>(&num_pages_), sizeof num_pages_);
-  file_.write(reinterpret_cast<const char*>(&bytes_used_), sizeof bytes_used_);
-  file_.flush();
-  if (!file_) return Status::Internal("cannot write header to " + path_);
+  uint64_t num_pages = num_pages_.load(std::memory_order_relaxed);
+  std::memcpy(header, &magic, sizeof magic);
+  std::memcpy(header + 8, &num_pages, sizeof num_pages);
+  std::memcpy(header + 16, &bytes_used_, sizeof bytes_used_);
+  if (PWriteFull(fd_, header, sizeof header, 0) !=
+      ssize_t(sizeof header)) {
+    return Status::Internal("cannot write header to " + path_ + ": " +
+                            std::strerror(errno));
+  }
   return Status::OK();
 }
 
 Result<FilePageDevice> FilePageDevice::Create(const std::string& path) {
-  // Truncate, then reopen read/write (fstream cannot create-and-truncate
-  // in in|out mode on a missing file).
-  { std::ofstream trunc(path, std::ios::binary | std::ios::trunc); }
   FilePageDevice dev;
   dev.path_ = path;
-  dev.file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
-  if (!dev.file_) return Status::Internal("cannot create " + path);
+  dev.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (dev.fd_ < 0) {
+    return Status::Internal("cannot create " + path + ": " +
+                            std::strerror(errno));
+  }
   MODB_RETURN_IF_ERROR(dev.WriteHeader());
   MODB_COUNTER_INC("storage.file_device.creates");
   return dev;
@@ -175,17 +240,23 @@ Result<FilePageDevice> FilePageDevice::Create(const std::string& path) {
 Result<FilePageDevice> FilePageDevice::Open(const std::string& path) {
   FilePageDevice dev;
   dev.path_ = path;
-  dev.file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
-  if (!dev.file_) return Status::NotFound("cannot open " + path);
-  uint64_t magic = 0;
-  dev.file_.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  dev.file_.read(reinterpret_cast<char*>(&dev.num_pages_),
-                 sizeof dev.num_pages_);
-  dev.file_.read(reinterpret_cast<char*>(&dev.bytes_used_),
-                 sizeof dev.bytes_used_);
-  if (!dev.file_ || magic != kFileMagic) {
+  dev.fd_ = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (dev.fd_ < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  char header[kPageFileHeaderSize];
+  if (PReadFull(dev.fd_, header, sizeof header, 0) != ssize_t(sizeof header)) {
     return Status::InvalidArgument("not a MODB page file: " + path);
   }
+  uint64_t magic = 0, num_pages = 0;
+  std::memcpy(&magic, header, sizeof magic);
+  std::memcpy(&num_pages, header + 8, sizeof num_pages);
+  std::memcpy(&dev.bytes_used_, header + 16, sizeof dev.bytes_used_);
+  if (magic != kFileMagic) {
+    return Status::InvalidArgument("not a MODB page file: " + path);
+  }
+  dev.num_pages_.store(num_pages, std::memory_order_relaxed);
   MODB_COUNTER_INC("storage.file_device.opens");
   return dev;
 }
@@ -194,21 +265,24 @@ Result<uint32_t> FilePageDevice::AllocatePages(uint32_t n) {
   std::size_t keep = kFaultKeepAll;
   MODB_RETURN_IF_ERROR(
       FaultInjector::Global().OnWrite("file_device.allocate_pages", &keep));
-  uint32_t first = uint32_t(num_pages_);
+  const uint64_t old_pages = num_pages_.load(std::memory_order_relaxed);
+  uint32_t first = uint32_t(old_pages);
   const std::string zeros(kPageSize, '\0');
-  file_.clear();
-  file_.seekp(std::streamoff(kFileHeaderSize + num_pages_ * kPageSize));
   // A torn allocation appends only a prefix of the new pages' bytes; the
   // header below is still updated, so later reads of the missing tail
   // fail — exactly the crash-mid-grow shape.
   std::size_t budget = keep;
+  uint64_t offset = kPageFileHeaderSize + old_pages * kPageSize;
   for (uint32_t i = 0; i < n && budget > 0; ++i) {
     std::size_t len = std::min(kPageSize, budget);
-    file_.write(zeros.data(), std::streamsize(len));
+    if (PWriteFull(fd_, zeros.data(), len, offset) != ssize_t(len)) {
+      return Status::Internal("cannot grow " + path_ + ": " +
+                              std::strerror(errno));
+    }
+    offset += kPageSize;
     budget -= len;
   }
-  if (!file_) return Status::Internal("cannot grow " + path_);
-  num_pages_ += n;
+  num_pages_.store(old_pages + n, std::memory_order_release);
   bytes_used_ += std::size_t(n) * kPageSize;
   MODB_RETURN_IF_ERROR(WriteHeader());
   MODB_COUNTER_ADD("storage.file_device.pages_allocated", n);
@@ -216,46 +290,48 @@ Result<uint32_t> FilePageDevice::AllocatePages(uint32_t n) {
 }
 
 Status FilePageDevice::ReadPage(uint32_t page, char* out) const {
-  if (page >= num_pages_) {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
     MODB_COUNTER_INC("storage.file_device.read_errors");
     return Status::OutOfRange("page id out of range");
   }
   MODB_RETURN_IF_ERROR(FaultInjector::Global().OnRead("file_device.read_page"));
-  const uint64_t offset = kFileHeaderSize + uint64_t(page) * kPageSize;
-  file_.clear();
-  file_.seekg(std::streamoff(offset));
-  file_.read(out, std::streamsize(kPageSize));
-  if (!file_) {
-    // A short read is data loss, not a transient hiccup: the file simply
-    // does not contain the bytes the header admits (e.g. a crash tore a
-    // previous AllocatePages growth). Report exactly what is missing so
-    // recovery can decide to heal rather than retry.
-    const std::streamsize got = file_.gcount();
+  const uint64_t offset = kPageFileHeaderSize + uint64_t(page) * kPageSize;
+  const ssize_t got = PReadFull(fd_, out, kPageSize, offset);
+  if (got < 0) {
+    // A hard I/O error (EIO and friends) is transient from the format's
+    // point of view: the bytes may still be on disk, so report it as
+    // retryable rather than data loss.
+    MODB_COUNTER_INC("storage.file_device.read_errors");
+    return Status::Internal("page read from " + path_ + " at offset " +
+                            std::to_string(offset) + " failed: " +
+                            std::strerror(errno));
+  }
+  if (std::size_t(got) < kPageSize) {
+    // EOF before a full page is data loss, not a transient hiccup: the
+    // file simply does not contain the bytes the header admits (e.g. a
+    // crash tore a previous AllocatePages growth). Report exactly what
+    // is missing so recovery can decide to heal rather than retry.
     MODB_COUNTER_INC("storage.file_device.read_errors");
     return Status::DataLoss(
         "short page read from " + path_ + " at offset " +
         std::to_string(offset) + ": expected " + std::to_string(kPageSize) +
-        " bytes, got " + std::to_string(got >= 0 ? got : 0));
+        " bytes, got " + std::to_string(got));
   }
   MODB_COUNTER_INC("storage.file_device.page_reads");
   return Status::OK();
 }
 
 Status FilePageDevice::WritePage(uint32_t page, const char* data) {
-  if (page >= num_pages_) {
+  if (page >= num_pages_.load(std::memory_order_acquire)) {
     MODB_COUNTER_INC("storage.file_device.write_errors");
     return Status::OutOfRange("page id out of range");
   }
   std::size_t keep = kFaultKeepAll;
   MODB_RETURN_IF_ERROR(
       FaultInjector::Global().OnWrite("file_device.write_page", &keep));
-  const uint64_t offset = kFileHeaderSize + uint64_t(page) * kPageSize;
+  const uint64_t offset = kPageFileHeaderSize + uint64_t(page) * kPageSize;
   const std::size_t want = std::min(keep, kPageSize);
-  file_.clear();
-  file_.seekp(std::streamoff(offset));
-  file_.write(data, std::streamsize(want));
-  file_.flush();
-  if (!file_) {
+  if (PWriteFull(fd_, data, want, offset) != ssize_t(want)) {
     MODB_COUNTER_INC("storage.file_device.write_errors");
     return Status::DataLoss(
         "short page write to " + path_ + " at offset " +
@@ -263,6 +339,23 @@ Status FilePageDevice::WritePage(uint32_t page, const char* data) {
         " bytes, persisted count unknown");
   }
   MODB_COUNTER_INC("storage.file_device.page_writes");
+  return Status::OK();
+}
+
+void FilePageDevice::Prefetch(uint32_t first_page, uint32_t num_pages) const {
+  if (num_pages == 0) return;
+#if defined(POSIX_FADV_WILLNEED)
+  const uint64_t offset = kPageFileHeaderSize + uint64_t(first_page) * kPageSize;
+  ::posix_fadvise(fd_, off_t(offset), off_t(uint64_t(num_pages) * kPageSize),
+                  POSIX_FADV_WILLNEED);
+#endif
+}
+
+Status FilePageDevice::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal("fdatasync of " + path_ + " failed: " +
+                            std::strerror(errno));
+  }
   return Status::OK();
 }
 

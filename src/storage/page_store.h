@@ -10,15 +10,17 @@
 // with fallible page-granular reads and writes. PageStore implements it
 // in memory; FilePageDevice implements it directly against a file so
 // pages are only brought into main memory on demand ("secondary memory"
-// proper — a relation accessed through it can exceed RAM). Both route
-// every page I/O through the fault injector (storage/fault.h).
+// proper — a relation accessed through it can exceed RAM);
+// MmapPageDevice (storage/mmap_device.h) maps the same file format and
+// serves reads as pointers into the mapping. All devices route every
+// page I/O through the fault injector (storage/fault.h).
 
 #ifndef MODB_STORAGE_PAGE_STORE_H_
 #define MODB_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +31,12 @@ namespace modb {
 
 inline constexpr std::size_t kPageSize = 4096;
 
+/// The on-disk page file header: magic u64, num_pages u64, bytes_used
+/// u64 (all LE). Shared by PageStore::SaveToFile, FilePageDevice, and
+/// MmapPageDevice — page `p` lives at byte offset
+/// kPageFileHeaderSize + p * kPageSize. See docs/STORAGE_FORMAT.md §2.
+inline constexpr std::size_t kPageFileHeaderSize = 24;
+
 /// A contiguous run of pages holding one database array.
 struct PageExtent {
   uint32_t first_page = 0;
@@ -38,8 +46,12 @@ struct PageExtent {
 
 /// The block-device contract: fixed-size pages addressed by id. All
 /// operations are fallible; implementations must not abort on I/O errors.
-/// Implementations are not required to be thread-safe — the buffer pool
-/// serializes access to its device.
+///
+/// Thread safety: ReadPage, WritePage, MappedPage, and Prefetch must
+/// tolerate concurrent calls (the sharded buffer pool issues page I/O
+/// from several shards at once). AllocatePages and Sync are
+/// writer-side operations: callers must serialize them against each
+/// other, but reads may proceed concurrently with both.
 class PageDevice {
  public:
   virtual ~PageDevice() = default;
@@ -54,6 +66,27 @@ class PageDevice {
 
   /// Overwrites page `page` with data[0, kPageSize).
   virtual Status WritePage(uint32_t page, const char* data) = 0;
+
+  /// Zero-copy read: a pointer to the device's own stable storage for
+  /// `page`, valid until the device is destroyed. Returns nullptr (OK)
+  /// when the device cannot map pages — the buffer pool then falls back
+  /// to a ReadPage copy-in. An error means the page's bytes are not
+  /// readable at all (same contract as ReadPage).
+  virtual Result<const char*> MappedPage(uint32_t page) const {
+    (void)page;
+    return Result<const char*>(nullptr);
+  }
+
+  /// Advises the device that [first_page, first_page + num_pages) is
+  /// about to be read sequentially. Purely a hint; never fails.
+  virtual void Prefetch(uint32_t first_page, uint32_t num_pages) const {
+    (void)first_page;
+    (void)num_pages;
+  }
+
+  /// Forces previously written pages down to durable storage (msync /
+  /// fdatasync). A no-op for in-memory devices.
+  virtual Status Sync() { return Status::OK(); }
 };
 
 /// A trivially simple in-memory page allocator with read/write access by
@@ -97,9 +130,15 @@ class PageStore : public PageDevice {
 };
 
 /// A file-backed page device over the PageStore file format: pages are
-/// read and written in place, one page per I/O, so only the pages a query
-/// actually touches ever occupy main memory. Cache it behind a BufferPool
-/// to amortize the per-page seeks.
+/// read and written in place with positioned I/O (pread/pwrite), one
+/// page per call, so only the pages a query actually touches ever occupy
+/// main memory and concurrent reads never contend on a shared file
+/// offset. Cache it behind a BufferPool to amortize the per-page seeks.
+///
+/// Short reads/writes and EINTR are retried in a loop; only true
+/// truncation — the file ends before the bytes the header admits — is
+/// reported as kDataLoss, with the path, offset, and expected/got byte
+/// counts so recovery can decide to heal rather than retry.
 class FilePageDevice : public PageDevice {
  public:
   /// Creates (truncating) an empty device file.
@@ -109,16 +148,22 @@ class FilePageDevice : public PageDevice {
   /// PageStore::SaveToFile).
   static Result<FilePageDevice> Open(const std::string& path);
 
+  ~FilePageDevice() override;
+
   FilePageDevice(const FilePageDevice&) = delete;
   FilePageDevice& operator=(const FilePageDevice&) = delete;
-  FilePageDevice(FilePageDevice&&) = default;
-  FilePageDevice& operator=(FilePageDevice&&) = default;
+  FilePageDevice(FilePageDevice&& other) noexcept;
+  FilePageDevice& operator=(FilePageDevice&& other) noexcept;
 
   // PageDevice:
-  std::size_t NumPages() const override { return std::size_t(num_pages_); }
+  std::size_t NumPages() const override {
+    return std::size_t(num_pages_.load(std::memory_order_acquire));
+  }
   Result<uint32_t> AllocatePages(uint32_t n) override;
   Status ReadPage(uint32_t page, char* out) const override;
   Status WritePage(uint32_t page, const char* data) override;
+  void Prefetch(uint32_t first_page, uint32_t num_pages) const override;
+  Status Sync() override;
 
   const std::string& path() const { return path_; }
 
@@ -128,8 +173,10 @@ class FilePageDevice : public PageDevice {
   Status WriteHeader();
 
   std::string path_;
-  mutable std::fstream file_;
-  uint64_t num_pages_ = 0;
+  int fd_ = -1;
+  // Readers race benignly with the writer's growth; acquire/release so
+  // a page id observed in-range has its backing bytes visible too.
+  std::atomic<uint64_t> num_pages_{0};
   uint64_t bytes_used_ = 0;
 };
 

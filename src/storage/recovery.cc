@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "obs/metrics.h"
+#include "storage/mmap_device.h"
 #include "validate/validate.h"
 
 namespace modb {
@@ -138,6 +140,25 @@ Status DecodeThenValidate(const FlatValue& flat, Validator&& validator) {
   return validator(*value);
 }
 
+/// Builds the backing device for `kind`, creating (truncating) or
+/// opening `path`. Both kinds speak the same MODBPAGE format.
+Result<std::unique_ptr<PageDevice>> MakeDevice(StoreDeviceKind kind,
+                                               const std::string& path,
+                                               bool create) {
+  if (kind == StoreDeviceKind::kMmap) {
+    Result<MmapPageDevice> dev =
+        create ? MmapPageDevice::Create(path) : MmapPageDevice::Open(path);
+    if (!dev.ok()) return dev.status();
+    return std::unique_ptr<PageDevice>(
+        std::make_unique<MmapPageDevice>(std::move(*dev)));
+  }
+  Result<FilePageDevice> dev =
+      create ? FilePageDevice::Create(path) : FilePageDevice::Open(path);
+  if (!dev.ok()) return dev.status();
+  return std::unique_ptr<PageDevice>(
+      std::make_unique<FilePageDevice>(std::move(*dev)));
+}
+
 }  // namespace
 
 Status DecodeAndValidateRootBlob(SpillValueType type, std::string_view blob) {
@@ -189,11 +210,13 @@ Result<VersionedSpillStore> VersionedSpillStore::Open(const std::string& path) {
 
 Result<VersionedSpillStore> VersionedSpillStore::Create(
     const std::string& path, Options options) {
-  Result<FilePageDevice> dev = FilePageDevice::Create(path);
+  Result<std::unique_ptr<PageDevice>> dev =
+      MakeDevice(options.device, path, /*create=*/true);
   if (!dev.ok()) return dev.status();
   VersionedSpillStore store;
-  store.device_ = std::make_unique<FilePageDevice>(std::move(*dev));
+  store.device_ = std::move(*dev);
   store.options_ = options;
+  store.state_ = std::make_shared<SharedState>();
   Result<std::uint32_t> first = store.device_->AllocatePages(2);
   if (!first.ok()) return first.status();
   // Epoch 0 (the empty state) goes to slot 0; slot 1 stays zeroed. The
@@ -202,19 +225,23 @@ Result<VersionedSpillStore> VersionedSpillStore::Create(
   char page[kPageSize];
   EncodeRootRecord(0, {}, page);
   MODB_RETURN_IF_ERROR(store.device_->WritePage(kRootSlotPages[0], page));
+  MODB_RETURN_IF_ERROR(store.device_->Sync());
   store.pool_ =
       std::make_unique<BufferPool>(store.device_.get(), options.pool_capacity);
+  store.state_->snapshot = std::make_shared<const EpochSnapshot>();
   store.info_.epoch = 0;
   return store;
 }
 
 Result<VersionedSpillStore> VersionedSpillStore::Open(const std::string& path,
                                                       Options options) {
-  Result<FilePageDevice> dev = FilePageDevice::Open(path);
+  Result<std::unique_ptr<PageDevice>> dev =
+      MakeDevice(options.device, path, /*create=*/false);
   if (!dev.ok()) return dev.status();
   VersionedSpillStore store;
-  store.device_ = std::make_unique<FilePageDevice>(std::move(*dev));
+  store.device_ = std::move(*dev);
   store.options_ = options;
+  store.state_ = std::make_shared<SharedState>();
   if (store.device_->NumPages() < 2) {
     return Status::DataLoss(
         "store truncated before its root slots existed: " + path);
@@ -293,20 +320,23 @@ Result<VersionedSpillStore> VersionedSpillStore::Open(const std::string& path,
   store.epoch_ = chosen->epoch;
   store.committed_ = chosen->roots;
   store.staged_ = store.committed_;
-  store.RecomputeFree();
+  store.state_->snapshot = std::make_shared<const EpochSnapshot>(
+      EpochSnapshot{store.epoch_, store.committed_});
+  store.RecomputeFreeLocked();
 
   // The free list is derived, never persisted: every page unreachable
   // from the chosen epoch — including shadow pages a crashed commit
   // orphaned — is reclaimed here.
-  store.info_.orphans_reclaimed = std::uint32_t(store.free_.size());
-  MODB_COUNTER_ADD("storage.recovery.orphans_reclaimed", store.free_.size());
+  store.info_.orphans_reclaimed = std::uint32_t(store.state_->free.size());
+  MODB_COUNTER_ADD("storage.recovery.orphans_reclaimed",
+                   store.state_->free.size());
 
   // Heal phantom pages: the device header admits them but a torn growth
   // never wrote their bytes, so reads fail until they are materialized.
   // Both free pages (future shadow targets are pinned, which reads
   // first) and an unreadable root slot (the next commit's target) must
   // be healed or the store could never commit again.
-  for (std::uint32_t p : store.free_) {
+  for (std::uint32_t p : store.state_->free) {
     Status probe = RetryTransient(
         options.retry, [&] { return store.device_->ReadPage(p, page); });
     if (probe.ok()) continue;
@@ -330,8 +360,9 @@ Result<VersionedSpillStore> VersionedSpillStore::Open(const std::string& path,
   return store;
 }
 
-void VersionedSpillStore::RecomputeFree() {
-  free_.clear();
+void VersionedSpillStore::RecomputeFreeLocked() {
+  SharedState& s = *state_;
+  s.free.clear();
   std::vector<bool> used(device_->NumPages(), false);
   for (std::uint32_t slot : kRootSlotPages) used[slot] = true;
   for (const VersionedRoot& r : committed_) {
@@ -339,25 +370,53 @@ void VersionedSpillStore::RecomputeFree() {
       used[r.locator.first_page + p] = true;
     }
   }
+  // Retired pages are spoken for until their epoch pins drain —
+  // handing them out as shadow targets would scribble over a pinned
+  // reader's view.
+  for (const RetiredRun& run : s.retired) {
+    for (std::uint32_t p : run.pages) used[p] = true;
+  }
   for (std::size_t p = 0; p < used.size(); ++p) {
-    if (!used[p]) free_.push_back(std::uint32_t(p));
+    if (!used[p]) s.free.push_back(std::uint32_t(p));
   }
 }
 
+void VersionedSpillStore::DrainRetiredLocked(SharedState* s) {
+  const std::uint64_t min_pinned =
+      s->pins.empty() ? std::numeric_limits<std::uint64_t>::max()
+                      : s->pins.begin()->first;
+  auto keep = s->retired.begin();
+  for (auto it = s->retired.begin(); it != s->retired.end(); ++it) {
+    if (it->last_epoch < min_pinned) {
+      MODB_COUNTER_ADD("storage.recovery.retired_reclaimed",
+                       it->pages.size());
+      s->free.insert(s->free.end(), it->pages.begin(), it->pages.end());
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  s->retired.erase(keep, s->retired.end());
+}
+
 Result<std::uint32_t> VersionedSpillStore::AllocateRun(std::uint32_t n) {
-  if (n > 0 && free_.size() >= n) {
-    std::sort(free_.begin(), free_.end());
-    std::size_t start = 0;
-    for (std::size_t i = 1; i <= free_.size(); ++i) {
-      if (i == free_.size() || free_[i] != free_[i - 1] + 1) {
-        if (i - start >= n) {
-          std::uint32_t first = free_[start];
-          free_.erase(free_.begin() + std::ptrdiff_t(start),
-                      free_.begin() + std::ptrdiff_t(start + n));
-          MODB_COUNTER_ADD("storage.recovery.pages_reused", n);
-          return first;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    std::vector<std::uint32_t>& free = state_->free;
+    if (n > 0 && free.size() >= n) {
+      std::sort(free.begin(), free.end());
+      std::size_t start = 0;
+      for (std::size_t i = 1; i <= free.size(); ++i) {
+        if (i == free.size() || free[i] != free[i - 1] + 1) {
+          if (i - start >= n) {
+            std::uint32_t first = free[start];
+            free.erase(free.begin() + std::ptrdiff_t(start),
+                       free.begin() + std::ptrdiff_t(start + n));
+            MODB_COUNTER_ADD("storage.recovery.pages_reused", n);
+            return first;
+          }
+          start = i;
         }
-        start = i;
       }
     }
   }
@@ -415,11 +474,66 @@ Status VersionedSpillStore::Commit() {
   // Phase 2: the root record is the only dirty page left; this flush is
   // the single-page commit point.
   MODB_RETURN_IF_ERROR(pool_->FlushAll());
+
+  // Pages the outgoing epoch referenced but the new one does not were
+  // last needed by epoch `epoch_`; readers pinned there (or earlier)
+  // may still be resolving blobs out of them, so they retire instead of
+  // freeing and drain when the pins do.
+  std::vector<std::uint32_t> new_pages;
+  for (const VersionedRoot& r : staged_) {
+    for (std::uint32_t p = 0; p < r.locator.num_pages; ++p) {
+      new_pages.push_back(r.locator.first_page + p);
+    }
+  }
+  std::sort(new_pages.begin(), new_pages.end());
+  RetiredRun retiring;
+  retiring.last_epoch = epoch_;
+  for (const VersionedRoot& r : committed_) {
+    for (std::uint32_t p = 0; p < r.locator.num_pages; ++p) {
+      const std::uint32_t page = r.locator.first_page + p;
+      if (!std::binary_search(new_pages.begin(), new_pages.end(), page)) {
+        retiring.pages.push_back(page);
+      }
+    }
+  }
+
   epoch_ = next;
   committed_ = staged_;
-  RecomputeFree();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!retiring.pages.empty()) {
+      MODB_COUNTER_ADD("storage.recovery.pages_retired",
+                       retiring.pages.size());
+      state_->retired.push_back(std::move(retiring));
+    }
+    RecomputeFreeLocked();
+    state_->snapshot = std::make_shared<const EpochSnapshot>(
+        EpochSnapshot{epoch_, committed_});
+    DrainRetiredLocked(state_.get());
+  }
   MODB_COUNTER_INC("storage.recovery.commits");
   return Status::OK();
+}
+
+VersionedSpillStore::EpochPin VersionedSpillStore::PinEpoch() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::shared_ptr<const EpochSnapshot> snap = state_->snapshot;
+  ++state_->pins[snap->epoch];
+  MODB_COUNTER_INC("storage.recovery.epoch_pins");
+  return EpochPin(state_, std::move(snap));
+}
+
+void VersionedSpillStore::EpochPin::Release() {
+  if (state_) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto it = state_->pins.find(snapshot_->epoch);
+    if (it != state_->pins.end() && --(it->second) == 0) {
+      state_->pins.erase(it);
+      DrainRetiredLocked(state_.get());
+    }
+    state_.reset();
+  }
+  snapshot_.reset();
 }
 
 Result<std::string> VersionedSpillStore::ReadRootBlob(std::size_t i) {
@@ -432,20 +546,63 @@ Result<std::string> VersionedSpillStore::ReadRootBlob(std::size_t i) {
       options_.retry, [&] { return ReadSpilledBlob(pool_.get(), loc); });
 }
 
+Result<std::string> VersionedSpillStore::ReadRootBlob(const EpochPin& pin,
+                                                      std::size_t i) {
+  if (!pin) return Status::InvalidArgument("empty epoch pin");
+  if (i >= pin.roots().size()) {
+    return Status::OutOfRange("root index out of range");
+  }
+  // No store lock here: the pin's page runs cannot be reused while it
+  // lives, and the buffer pool tolerates concurrent pins, so this runs
+  // lock-free against a writer committing the next epoch.
+  const SpillLocator loc = pin.roots()[i].locator;
+  return RetryTransientResult<std::string>(
+      options_.retry, [&] { return ReadSpilledBlob(pool_.get(), loc); });
+}
+
 Status VersionedSpillStore::Abandon() {
   abandoned_ = true;
   return pool_->DiscardAll();
 }
 
+std::uint64_t VersionedSpillStore::epoch() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->snapshot->epoch;
+}
+
+std::size_t VersionedSpillStore::NumFreePages() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->free.size();
+}
+
+std::size_t VersionedSpillStore::NumRetiredPages() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::size_t n = 0;
+  for (const RetiredRun& run : state_->retired) n += run.pages.size();
+  return n;
+}
+
+std::size_t VersionedSpillStore::NumPinnedEpochs() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->pins.size();
+}
+
 Status VersionedSpillStore::VerifyAccounting() const {
   std::size_t reachable = 0;
   for (const VersionedRoot& r : committed_) reachable += r.locator.num_pages;
+  std::size_t free_pages = 0, retired = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    free_pages = state_->free.size();
+    for (const RetiredRun& run : state_->retired) retired += run.pages.size();
+  }
   const std::size_t total = device_->NumPages();
-  if (2 + reachable + free_.size() != total) {
+  if (2 + reachable + free_pages + retired != total) {
     return Status::Internal(
         "page accounting broken: 2 slots + " + std::to_string(reachable) +
-        " reachable + " + std::to_string(free_.size()) + " free != " +
-        std::to_string(total) + " device pages");
+        " reachable + " + std::to_string(free_pages) + " free + " +
+        std::to_string(retired) + " retired != " + std::to_string(total) +
+        " device pages");
   }
   return Status::OK();
 }

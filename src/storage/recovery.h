@@ -26,6 +26,17 @@
 // backoff (storage/retry.h), and refuses to serve any root whose
 // decoded value violates the Section-3 invariants (validate/validate.h).
 //
+// Concurrent snapshot readers: shadow paging is MVCC for free. A
+// reader calls PinEpoch() to take an immutable snapshot of the current
+// committed epoch (its number and root table), then resolves blobs
+// against the pin — lock-free and unaffected by a writer staging and
+// committing the next epoch, because committed pages are never
+// overwritten. The one thing a commit does reclaim is the pages a
+// *replaced* root occupied; with pins outstanding those runs are
+// parked on a retired list and only drain back into the free list when
+// every pin on an epoch that could reference them is released —
+// deferred reclamation, accounted by VerifyAccounting.
+//
 // Byte-level layout of the root record: docs/STORAGE_FORMAT.md.
 
 #ifndef MODB_STORAGE_RECOVERY_H_
@@ -33,9 +44,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/status.h"
@@ -57,6 +71,14 @@ inline constexpr std::size_t kRootEntrySize = 16;
 /// Roots one record can hold: (4096 - 20) / 16.
 inline constexpr std::size_t kMaxRootsPerStore =
     (kPageSize - kRootHeaderSize) / kRootEntrySize;
+
+/// Which PageDevice implementation backs a store's MODBPAGE file. Both
+/// kinds read and write the identical format, so a file created under
+/// one opens under the other.
+enum class StoreDeviceKind {
+  kFile,  // FilePageDevice: positioned read/write syscalls per page
+  kMmap,  // MmapPageDevice: zero-copy reads out of a shared mapping
+};
 
 /// Type tag stored with each root entry so recovery knows how to decode
 /// and validate the blob without out-of-band schema knowledge.
@@ -108,8 +130,8 @@ struct VersionedRoot {
 Status DecodeAndValidateRootBlob(SpillValueType type, std::string_view blob);
 
 /// A page-device-backed store of versioned spilled values with
-/// crash-consistent commits. Single-writer; reads go through the
-/// embedded buffer pool.
+/// crash-consistent commits. Staging and Commit are single-writer;
+/// any number of concurrent readers run against pinned epochs.
 class VersionedSpillStore {
  public:
   struct Options {
@@ -120,6 +142,8 @@ class VersionedSpillStore {
     /// decode + invariant pass). The validated path is the default;
     /// benches use this to measure its cost.
     bool validate_on_open = true;
+    /// Backing device implementation (same on-disk format either way).
+    StoreDeviceKind device = StoreDeviceKind::kFile;
   };
 
   /// What Open()'s recovery pass did — exposed for tests, tools, and
@@ -137,6 +161,75 @@ class VersionedSpillStore {
     /// Phantom pages (admitted by the device header but unreadable
     /// after a torn growth) re-materialized as zero pages.
     std::uint32_t pages_healed = 0;
+  };
+
+  /// An immutable view of one committed epoch: its number and root
+  /// table, snapshotted at pin time.
+  struct EpochSnapshot {
+    std::uint64_t epoch = 0;
+    std::vector<VersionedRoot> roots;
+  };
+
+ private:
+  /// A run of pages the commit of `last_epoch + 1` un-referenced; free
+  /// to reuse only once no pin on any epoch <= last_epoch remains.
+  struct RetiredRun {
+    std::uint64_t last_epoch = 0;
+    std::vector<std::uint32_t> pages;
+  };
+
+  /// Reader-visible bookkeeping, heap-shared so pins survive moves of
+  /// the store object itself.
+  struct SharedState {
+    std::mutex mu;
+    std::vector<std::uint32_t> free;
+    std::vector<RetiredRun> retired;
+    std::map<std::uint64_t, std::uint32_t> pins;  // epoch -> pin count
+    std::shared_ptr<const EpochSnapshot> snapshot;
+  };
+
+ public:
+  /// An RAII pin on one committed epoch. While alive, every page run
+  /// the pinned epoch references stays untouched on the device — a
+  /// writer may stage and commit later epochs concurrently, but
+  /// reclamation of the pinned epoch's pages is deferred until the
+  /// last pin on it drains. Reads through the pin (ReadRootBlob /
+  /// LoadRoot overloads) never take the store's metadata lock.
+  class EpochPin {
+   public:
+    EpochPin() = default;
+    EpochPin(EpochPin&& o) noexcept { *this = std::move(o); }
+    EpochPin& operator=(EpochPin&& o) noexcept {
+      if (this != &o) {
+        Release();
+        state_ = std::move(o.state_);
+        snapshot_ = std::move(o.snapshot_);
+      }
+      return *this;
+    }
+    EpochPin(const EpochPin&) = delete;
+    EpochPin& operator=(const EpochPin&) = delete;
+    ~EpochPin() { Release(); }
+
+    explicit operator bool() const { return snapshot_ != nullptr; }
+    std::uint64_t epoch() const { return snapshot_->epoch; }
+    const std::vector<VersionedRoot>& roots() const {
+      return snapshot_->roots;
+    }
+    std::size_t NumRoots() const { return snapshot_->roots.size(); }
+
+    /// Early release; the pin becomes empty. Dropping the last pin on
+    /// an epoch drains any page runs whose reclamation it deferred.
+    void Release();
+
+   private:
+    friend class VersionedSpillStore;
+    EpochPin(std::shared_ptr<SharedState> state,
+             std::shared_ptr<const EpochSnapshot> snapshot)
+        : state_(std::move(state)), snapshot_(std::move(snapshot)) {}
+
+    std::shared_ptr<SharedState> state_;
+    std::shared_ptr<const EpochSnapshot> snapshot_;
   };
 
   /// Creates an empty store at `path` (truncating) and commits epoch 0.
@@ -183,18 +276,30 @@ class VersionedSpillStore {
 
   /// Makes every staged change durable and atomically switches to the
   /// next epoch. On failure the previous epoch remains the committed
-  /// state (and is what a subsequent Open recovers).
+  /// state (and is what a subsequent Open recovers). Readers pinned on
+  /// older epochs are unaffected: the page runs this commit replaces
+  /// are parked until their pins drain.
   Status Commit();
 
   // -- reading committed state -----------------------------------------------
 
-  std::uint64_t epoch() const { return epoch_; }
+  /// The current committed epoch. Safe to read from any thread, even
+  /// while a writer commits (it reads the published snapshot).
+  std::uint64_t epoch() const;
   std::size_t NumRoots() const { return committed_.size(); }
   const std::vector<VersionedRoot>& roots() const { return committed_; }
 
+  /// Pins the current committed epoch. Safe to call from any thread;
+  /// the returned pin's reads run concurrently with a committing
+  /// writer.
+  EpochPin PinEpoch();
+
   /// The committed bytes of root `i`, CRC-verified, with transient read
-  /// errors retried under the store's RetryPolicy.
+  /// errors retried under the store's RetryPolicy. The non-pinned
+  /// overload reads the writer's current epoch and must not race a
+  /// concurrent Commit; the pinned overload is lock-free against one.
   Result<std::string> ReadRootBlob(std::size_t i);
+  Result<std::string> ReadRootBlob(const EpochPin& pin, std::size_t i);
 
   /// Decodes root `i` as `M` (the stored tag must match).
   template <typename M>
@@ -211,6 +316,21 @@ class VersionedSpillStore {
     if (!flat.ok()) return flat.status();
     return FlatCodec<M>::FromFlat(*flat);
   }
+  template <typename M>
+  Result<M> LoadRoot(const EpochPin& pin, std::size_t i) {
+    if (!pin) return Status::InvalidArgument("empty epoch pin");
+    if (i >= pin.roots().size()) {
+      return Status::OutOfRange("root index out of range");
+    }
+    if (pin.roots()[i].type != SpillTypeOf<M>::value) {
+      return Status::InvalidArgument("root type tag mismatch");
+    }
+    Result<std::string> blob = ReadRootBlob(pin, i);
+    if (!blob.ok()) return blob.status();
+    Result<FlatValue> flat = ParseFlat(*blob);
+    if (!flat.ok()) return flat.status();
+    return FlatCodec<M>::FromFlat(*flat);
+  }
 
   // -- crash simulation / introspection --------------------------------------
 
@@ -220,20 +340,30 @@ class VersionedSpillStore {
   Status Abandon();
 
   BufferPool* pool() { return pool_.get(); }
+  PageDevice* device() { return device_.get(); }
   const RecoveryInfo& recovery_info() const { return info_; }
-  std::size_t NumFreePages() const { return free_.size(); }
+  std::size_t NumFreePages() const;
   std::size_t NumDevicePages() const { return device_->NumPages(); }
+  /// Pages parked on the retired list, waiting for epoch pins to drain.
+  std::size_t NumRetiredPages() const;
+  /// Distinct epochs currently holding at least one pin.
+  std::size_t NumPinnedEpochs() const;
 
   /// The zero-leak invariant: slots + pages reachable from the
-  /// committed roots + free pages account for every device page.
+  /// committed roots + free pages + retired (pin-deferred) pages
+  /// account for every device page.
   Status VerifyAccounting() const;
 
  private:
   VersionedSpillStore() = default;
 
-  /// Rebuilds the free list as every page not in {0,1} and not
-  /// referenced by `committed_`.
-  void RecomputeFree();
+  /// Rebuilds the free list as every page not in {0,1}, not referenced
+  /// by `committed_`, and not parked on the retired list. Caller holds
+  /// state_->mu (or is single-threaded during Create/Open).
+  void RecomputeFreeLocked();
+
+  /// Moves retired runs whose pins have drained into the free list.
+  static void DrainRetiredLocked(SharedState* s);
 
   /// Takes `n` consecutive pages from the free list, or grows the
   /// device. Removed from the free list immediately so a later stage in
@@ -242,13 +372,13 @@ class VersionedSpillStore {
 
   Result<SpillLocator> StageBlobPages(std::string_view blob);
 
-  std::unique_ptr<FilePageDevice> device_;
+  std::unique_ptr<PageDevice> device_;
   std::unique_ptr<BufferPool> pool_;
   Options options_;
   std::uint64_t epoch_ = 0;
   std::vector<VersionedRoot> committed_;
   std::vector<VersionedRoot> staged_;
-  std::vector<std::uint32_t> free_;
+  std::shared_ptr<SharedState> state_;
   RecoveryInfo info_;
   bool abandoned_ = false;
 };

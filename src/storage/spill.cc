@@ -64,21 +64,46 @@ std::uint32_t SpillPagesNeeded(std::size_t num_bytes) {
   return n == 0 ? 1 : n;
 }
 
+// Slicing-by-8 CRC-32 (same polynomial and values as the classic
+// bytewise loop — table[0] is exactly that table, so the two agree on
+// every input): processes 8 bytes per step instead of 1, which matters
+// because verification runs over every page a scan pulls through the
+// pool — on the zero-copy mmap device it is the dominant per-page cost.
 std::uint32_t Crc32(const char* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
     }
     return t;
   }();
   std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ std::uint8_t(data[i])) & 0xFFu] ^ (crc >> 8);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Little-endian reads of the next two words; memcpy keeps it legal
+    // on any alignment and compiles to plain loads.
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, data + i, 4);
+    std::memcpy(&hi, data + i + 4, 4);
+    lo ^= crc;
+    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+          tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+  }
+  for (; i < n; ++i) {
+    crc = tables[0][(crc ^ std::uint8_t(data[i])) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
 }
@@ -141,6 +166,10 @@ Result<std::string> ReadSpilledBlob(BufferPool* pool,
     MODB_COUNTER_INC("storage.spill.header_rejects");
     return Status::OutOfRange("spill locator pages beyond the device");
   }
+  // The pin loop below touches the run strictly in sequence; hint the
+  // whole run up front so the device (madvise/fadvise WILLNEED) can
+  // overlap the later faults with the first pages' decode.
+  if (loc.num_pages > 1) pool->Prefetch(loc.first_page, loc.num_pages);
   std::string out;
   out.reserve(loc.num_bytes);
   for (std::uint32_t i = 0; i < loc.num_pages; ++i) {

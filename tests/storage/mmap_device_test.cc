@@ -1,0 +1,261 @@
+#include "storage/mmap_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/fault.h"
+#include "storage/page_store.h"
+
+namespace modb {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void FillPage(char* page, char c) { std::memset(page, c, kPageSize); }
+
+TEST(MmapDeviceTest, CreateGrowReadWrite) {
+  const std::string path = TempPath("modb_mmap_basic.bin");
+  auto dev = MmapPageDevice::Create(path);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  EXPECT_EQ(dev->NumPages(), 0u);
+
+  auto first = dev->AllocatePages(3);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(*first, 0u);
+  EXPECT_EQ(dev->NumPages(), 3u);
+
+  char page[kPageSize];
+  FillPage(page, 'm');
+  ASSERT_TRUE(dev->WritePage(1, page).ok());
+
+  char back[kPageSize];
+  ASSERT_TRUE(dev->ReadPage(1, back).ok());
+  EXPECT_EQ(std::memcmp(page, back, kPageSize), 0);
+
+  // Fresh pages are zeroed, and out-of-range ids are rejected.
+  ASSERT_TRUE(dev->ReadPage(2, back).ok());
+  EXPECT_EQ(back[0], 0);
+  EXPECT_EQ(back[kPageSize - 1], 0);
+  EXPECT_FALSE(dev->ReadPage(3, back).ok());
+  EXPECT_FALSE(dev->WritePage(3, page).ok());
+}
+
+TEST(MmapDeviceTest, MappedPointersAreZeroCopyAndStableAcrossGrowth) {
+  const std::string path = TempPath("modb_mmap_stable.bin");
+  auto dev = MmapPageDevice::Create(path);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  ASSERT_TRUE(dev->AllocatePages(2).ok());
+
+  char page[kPageSize];
+  FillPage(page, 's');
+  ASSERT_TRUE(dev->WritePage(1, page).ok());
+
+  auto mapped = dev->MappedPage(1);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_NE(*mapped, nullptr);
+  EXPECT_EQ((*mapped)[0], 's');
+
+  // Growth extends the file under the fixed reservation; the pointer
+  // handed out before the growth must stay valid and keep its bytes.
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_TRUE(dev->AllocatePages(64).ok());
+  }
+  auto again = dev->MappedPage(1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *mapped);
+  EXPECT_EQ((*mapped)[kPageSize - 1], 's');
+
+  // WritePage is visible through previously handed-out pointers — they
+  // alias the same shared mapping.
+  FillPage(page, 'T');
+  ASSERT_TRUE(dev->WritePage(1, page).ok());
+  EXPECT_EQ((*mapped)[17], 'T');
+}
+
+TEST(MmapDeviceTest, OpensFilesWrittenByFileDeviceAndViceVersa) {
+  const std::string path = TempPath("modb_mmap_interop.bin");
+  char page[kPageSize];
+  {
+    auto fdev = FilePageDevice::Create(path);
+    ASSERT_TRUE(fdev.ok()) << fdev.status();
+    ASSERT_TRUE(fdev->AllocatePages(2).ok());
+    FillPage(page, 'f');
+    ASSERT_TRUE(fdev->WritePage(0, page).ok());
+    ASSERT_TRUE(fdev->Sync().ok());
+  }
+  {
+    auto mdev = MmapPageDevice::Open(path);
+    ASSERT_TRUE(mdev.ok()) << mdev.status();
+    EXPECT_EQ(mdev->NumPages(), 2u);
+    char back[kPageSize];
+    ASSERT_TRUE(mdev->ReadPage(0, back).ok());
+    EXPECT_EQ(back[0], 'f');
+    // Write through the mapping, sync, and hand the file back.
+    FillPage(page, 'M');
+    ASSERT_TRUE(mdev->WritePage(1, page).ok());
+    ASSERT_TRUE(mdev->Sync().ok());
+  }
+  {
+    auto fdev = FilePageDevice::Open(path);
+    ASSERT_TRUE(fdev.ok()) << fdev.status();
+    char back[kPageSize];
+    ASSERT_TRUE(fdev->ReadPage(1, back).ok());
+    EXPECT_EQ(back[kPageSize - 1], 'M');
+  }
+}
+
+TEST(MmapDeviceTest, OpensPageStoreSaveToFileOutput) {
+  const std::string path = TempPath("modb_mmap_savetofile.bin");
+  PageStore store;
+  PageExtent extent = store.Write(std::string(kPageSize + 100, 'p'));
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+
+  auto dev = MmapPageDevice::Open(path);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  ASSERT_EQ(dev->NumPages(), store.NumPages());
+  char back[kPageSize];
+  ASSERT_TRUE(dev->ReadPage(extent.first_page, back).ok());
+  EXPECT_EQ(back[0], 'p');
+}
+
+TEST(MmapDeviceTest, ReopenSeesSyncedBytes) {
+  const std::string path = TempPath("modb_mmap_reopen.bin");
+  {
+    auto dev = MmapPageDevice::Create(path);
+    ASSERT_TRUE(dev.ok()) << dev.status();
+    ASSERT_TRUE(dev->AllocatePages(1).ok());
+    char page[kPageSize];
+    FillPage(page, 'r');
+    ASSERT_TRUE(dev->WritePage(0, page).ok());
+    ASSERT_TRUE(dev->Sync().ok());
+  }
+  auto dev = MmapPageDevice::Open(path);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  char back[kPageSize];
+  ASSERT_TRUE(dev->ReadPage(0, back).ok());
+  EXPECT_EQ(back[0], 'r');
+  EXPECT_EQ(back[kPageSize - 1], 'r');
+}
+
+TEST(MmapDeviceTest, ReservationExhaustionIsResourceExhausted) {
+  const std::string path = TempPath("modb_mmap_reserve.bin");
+  MmapPageDevice::Options options;
+  options.reserve_bytes = kPageFileHeaderSize + 4 * kPageSize;
+  auto dev = MmapPageDevice::Create(path, options);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  ASSERT_TRUE(dev->AllocatePages(4).ok());
+  auto overflow = dev->AllocatePages(1);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  // The failed growth admitted nothing: page 3 still reads, 4 does not.
+  char page[kPageSize];
+  EXPECT_TRUE(dev->ReadPage(3, page).ok());
+  EXPECT_FALSE(dev->ReadPage(4, page).ok());
+}
+
+class MmapDeviceFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kFaultsEnabled) {
+      GTEST_SKIP() << "built without MODB_FAULTS";
+    }
+    FaultInjector::Global().Disarm();
+  }
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(MmapDeviceFaultTest, ReadAndWriteFaultsFireAndHeal) {
+  const std::string path = TempPath("modb_mmap_fault.bin");
+  auto dev = MmapPageDevice::Create(path);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  FaultInjector::Global().Disarm();  // Create's header write counted
+  ASSERT_TRUE(dev->AllocatePages(2).ok());
+
+  char page[kPageSize];
+  FaultInjector::Global().FailNth(FaultOp::kRead, 0);
+  EXPECT_FALSE(dev->ReadPage(0, page).ok());
+  EXPECT_TRUE(dev->ReadPage(0, page).ok());
+
+  FaultInjector::Global().FailNth(FaultOp::kWrite, 0);
+  EXPECT_FALSE(dev->WritePage(0, page).ok());
+  EXPECT_TRUE(dev->WritePage(0, page).ok());
+
+  // MappedPage is a read too: a phantom-free in-range page maps fine,
+  // but the injector can fail it like any other read.
+  FaultInjector::Global().FailNth(FaultOp::kRead, 0);
+  EXPECT_FALSE(dev->MappedPage(1).ok());
+  EXPECT_TRUE(dev->MappedPage(1).ok());
+}
+
+TEST_F(MmapDeviceFaultTest, TornGrowthLeavesPhantomPagesReportingDataLoss) {
+  const std::string path = TempPath("modb_mmap_phantom.bin");
+  auto dev = MmapPageDevice::Create(path);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  FaultInjector::Global().Disarm();
+  // The growth tears after one page's worth of bytes: pages 1..3 are
+  // phantoms the header admits but the file never materialized. The
+  // mmap device must bounds-check instead of faulting SIGBUS.
+  FaultInjector::Global().TearNth(0, kPageSize);
+  ASSERT_TRUE(dev->AllocatePages(4).ok());
+
+  char page[kPageSize];
+  EXPECT_TRUE(dev->ReadPage(0, page).ok());
+  Status lost = dev->ReadPage(3, page);
+  ASSERT_FALSE(lost.ok());
+  // Same typed kDataLoss shape as FilePageDevice: path, byte offset,
+  // expected and got counts, so recovery heals both identically.
+  EXPECT_EQ(lost.code(), StatusCode::kDataLoss);
+  EXPECT_NE(lost.message().find(path), std::string::npos) << lost;
+  EXPECT_NE(lost.message().find("offset " + std::to_string(24 + 3 * kPageSize)),
+            std::string::npos)
+      << lost;
+  EXPECT_NE(lost.message().find("expected " + std::to_string(kPageSize)),
+            std::string::npos)
+      << lost;
+  EXPECT_NE(lost.message().find("got "), std::string::npos) << lost;
+
+  // The zero-copy path refuses phantoms the same way.
+  auto mapped = dev->MappedPage(3);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kDataLoss);
+
+  // Healing: a full write materializes the page and it reads again.
+  FillPage(page, 'h');
+  ASSERT_TRUE(dev->WritePage(3, page).ok());
+  char back[kPageSize];
+  ASSERT_TRUE(dev->ReadPage(3, back).ok());
+  EXPECT_EQ(back[0], 'h');
+}
+
+TEST_F(MmapDeviceFaultTest, ExternallyTruncatedFileReadsAsDataLoss) {
+  const std::string path = TempPath("modb_mmap_truncated.bin");
+  {
+    auto dev = MmapPageDevice::Create(path);
+    ASSERT_TRUE(dev.ok()) << dev.status();
+    ASSERT_TRUE(dev->AllocatePages(2).ok());
+    char page[kPageSize];
+    FillPage(page, 'x');
+    ASSERT_TRUE(dev->WritePage(1, page).ok());
+    ASSERT_TRUE(dev->Sync().ok());
+  }
+  // Cut the file mid-way through page 1, then open: the opened device
+  // must treat page 1 as unreadable, not SIGBUS on first touch.
+  std::filesystem::resize_file(path, 24 + kPageSize + 100);
+  auto dev = MmapPageDevice::Open(path);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  char page[kPageSize];
+  Status lost = dev->ReadPage(1, page);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.code(), StatusCode::kDataLoss);
+  EXPECT_NE(lost.message().find("got 100"), std::string::npos) << lost;
+  EXPECT_TRUE(dev->ReadPage(0, page).ok());
+}
+
+}  // namespace
+}  // namespace modb

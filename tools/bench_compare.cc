@@ -27,6 +27,14 @@
 //       stay under max-p99-ms, and the sustained fix rate must clear
 //       the floor — which, like the qps floor, warns and passes on
 //       hosts with fewer than 4 CPUs.
+//   bench_compare --storage FILE.json [--min-ratio=1.5]
+//       [--min-reader-items=50000]
+//       Storage-device gate over a bench_storage export: the warm
+//       spilled sequential scan on the mmap device must be at least
+//       min-ratio faster (real time) than on the file device — a
+//       single-threaded ratio, honest on any host, so it never skips.
+//       The epoch-pinned concurrent-reader items/s floor warns and
+//       passes on hosts with fewer than 4 CPUs.
 //   --require-release (composable with every mode, or alone with one
 //       file) rejects a run whose JSON context was not produced by a
 //       Release build. The authoritative key is "modb_build_type"
@@ -59,6 +67,7 @@ struct BenchRow {
   std::string name;
   double cpu_time = 0;  // normalized to nanoseconds
   double real_time = 0;
+  double items_per_second = 0;  // 0 when the bench reported none
 };
 
 struct BenchContext {
@@ -124,8 +133,12 @@ bool LoadFile(const char* path, std::vector<BenchRow>* rows,
     if (const modb::obs::JsonValue* unit = b.Find("time_unit")) {
       scale = UnitToNs(unit->string_value());
     }
+    double items = 0;
+    if (const modb::obs::JsonValue* ips = b.Find("items_per_second")) {
+      items = ips->number_value();
+    }
     rows->push_back({name->string_value(), cpu->number_value() * scale,
-                     real->number_value() * scale});
+                     real->number_value() * scale, items});
   }
   return true;
 }
@@ -364,6 +377,87 @@ int RunIngestGate(const char* path, double max_p99_ms, double min_fix_rate,
   return failures == 0 ? 0 : 1;
 }
 
+int RunStorageGate(const char* path, double min_ratio,
+                   double min_reader_items, bool require_release) {
+  std::vector<BenchRow> rows;
+  BenchContext context;
+  if (!LoadFile(path, &rows, &context)) return 2;
+  if (require_release && CheckRelease(path, context) != 0) return 1;
+
+  const BenchRow* warm_file = FindRow(rows, "BM_SpilledScanWarm_File");
+  const BenchRow* warm_mmap = FindRow(rows, "BM_SpilledScanWarm_Mmap");
+  if (warm_file == nullptr || warm_mmap == nullptr) {
+    std::fprintf(stderr,
+                 "bench_compare: %s is missing BM_SpilledScanWarm_File or "
+                 "BM_SpilledScanWarm_Mmap (re-run bench_storage)\n",
+                 path);
+    return 2;
+  }
+  if (const BenchRow* cold_file = FindRow(rows, "BM_SpilledScanCold_File")) {
+    std::printf("  storage  %-50s %12.0f ns\n", cold_file->name.c_str(),
+                cold_file->real_time);
+  }
+  if (const BenchRow* cold_mmap = FindRow(rows, "BM_SpilledScanCold_Mmap")) {
+    std::printf("  storage  %-50s %12.0f ns\n", cold_mmap->name.c_str(),
+                cold_mmap->real_time);
+  }
+  const double ratio = warm_mmap->real_time > 0
+                           ? warm_file->real_time / warm_mmap->real_time
+                           : 0;
+  std::printf(
+      "  storage  warm scan file %.0f ns vs mmap %.0f ns  (%.2fx)\n",
+      warm_file->real_time, warm_mmap->real_time, ratio);
+
+  int failures = 0;
+  // The warm-scan ratio is single-threaded, so it is honest on any
+  // host: no CPU-count skip, this is the hard gate.
+  if (ratio < min_ratio) {
+    std::fprintf(stderr,
+                 "bench_compare: storage gate FAILED: warm mmap scan is only "
+                 "%.2fx faster than file (floor %.1fx)\n",
+                 ratio, min_ratio);
+    ++failures;
+  }
+
+  // Concurrent pinned readers: a throughput floor, honest only with
+  // enough cores to actually run the reader threads in parallel.
+  const BenchRow* readers = nullptr;
+  for (const BenchRow& r : rows) {
+    if (r.name.rfind("BM_EpochPinnedReaders", 0) == 0) {
+      readers = &r;
+      break;
+    }
+  }
+  if (readers == nullptr) {
+    std::fprintf(stderr,
+                 "bench_compare: %s is missing BM_EpochPinnedReaders\n", path);
+    return 2;
+  }
+  std::printf("  storage  %-50s %12.0f items/s\n", readers->name.c_str(),
+              readers->items_per_second);
+  if (readers->items_per_second < min_reader_items) {
+    if (context.num_cpus < 4) {
+      std::printf(
+          "bench_compare: WARNING: host has %d CPUs (< 4); pinned-reader "
+          "floor skipped — %.0f items/s measured, %.0f required on >= 4 "
+          "cores\n",
+          context.num_cpus, readers->items_per_second, min_reader_items);
+    } else {
+      std::fprintf(stderr,
+                   "bench_compare: storage gate FAILED: %.0f pinned reads/s "
+                   "below the %.0f floor on a %d-CPU host\n",
+                   readers->items_per_second, min_reader_items,
+                   context.num_cpus);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_compare: storage gate passed (%.2fx >= %.1fx)\n", ratio,
+                min_ratio);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -372,9 +466,12 @@ int main(int argc, char** argv) {
   double max_p99_ms = 5000;
   double min_qps = 25;
   double min_fix_rate = 1000;
+  double min_ratio = 1.5;
+  double min_reader_items = 50000;
   bool scaling = false;
   bool serving = false;
   bool ingest = false;
+  bool storage = false;
   bool require_release = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
@@ -408,17 +505,44 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_compare: bad min-fix-rate %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--min-ratio=", 12) == 0) {
+      min_ratio = std::atof(argv[i] + 12);
+      if (min_ratio <= 0) {
+        std::fprintf(stderr, "bench_compare: bad min-ratio %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--min-reader-items=", 19) == 0) {
+      min_reader_items = std::atof(argv[i] + 19);
+      if (min_reader_items <= 0) {
+        std::fprintf(stderr, "bench_compare: bad min-reader-items %s\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--scaling") == 0) {
       scaling = true;
     } else if (std::strcmp(argv[i], "--serving") == 0) {
       serving = true;
     } else if (std::strcmp(argv[i], "--ingest") == 0) {
       ingest = true;
+    } else if (std::strcmp(argv[i], "--storage") == 0) {
+      storage = true;
     } else if (std::strcmp(argv[i], "--require-release") == 0) {
       require_release = true;
     } else {
       files.push_back(argv[i]);
     }
+  }
+
+  if (storage) {
+    if (files.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: bench_compare --storage FILE.json "
+                   "[--min-ratio=1.5] [--min-reader-items=50000] "
+                   "[--require-release]\n");
+      return 2;
+    }
+    return RunStorageGate(files[0], min_ratio, min_reader_items,
+                          require_release);
   }
 
   if (ingest) {

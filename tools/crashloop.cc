@@ -6,9 +6,11 @@
 // (byte mismatch, leaked page, failed validation, dead store) exits
 // nonzero with the violating site in the error.
 //
-// Usage: crashloop [PATH]   (PATH: scratch device file, default under /tmp)
+// Usage: crashloop [--device=file|mmap] [PATH]
+//   PATH: scratch device file, default under /tmp
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "storage/crash_campaign.h"
@@ -16,7 +18,22 @@
 
 int main(int argc, char** argv) {
   modb::CrashCampaignOptions options;
-  options.path = argc > 1 ? argv[1] : "/tmp/modb_crashloop.bin";
+  options.path = "/tmp/modb_crashloop.bin";
+  const char* device = "file";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--device=", 9) == 0) {
+      device = argv[i] + 9;
+    } else {
+      options.path = argv[i];
+    }
+  }
+  if (std::strcmp(device, "mmap") == 0) {
+    options.device = modb::StoreDeviceKind::kMmap;
+  } else if (std::strcmp(device, "file") != 0) {
+    std::fprintf(stderr, "crashloop: unknown --device=%s (file|mmap)\n",
+                 device);
+    return 2;
+  }
 
   modb::Result<modb::CrashCampaignReport> report =
       modb::RunCrashCampaign(options);
@@ -37,11 +54,15 @@ int main(int argc, char** argv) {
 
   const modb::CrashCampaignReport& r = *report;
   std::printf(
-      "{\"crashloop\": \"ok\", \"write_sites\": %llu, \"read_sites\": %llu, "
+      "{\"crashloop\": \"ok\", \"device\": \"%s\", "
+      "\"write_sites\": %llu, \"read_sites\": %llu, "
       "\"open_read_sites\": %llu, \"tear_modes\": %llu, \"runs\": %llu, "
       "\"crashes\": %llu, \"recoveries_verified\": %llu, "
       "\"preinit_reopen_failures\": %llu, \"retried_opens\": %llu, "
-      "\"orphans_reclaimed\": %llu, \"pages_healed\": %llu}\n",
+      "\"orphans_reclaimed\": %llu, \"pages_healed\": %llu, "
+      "\"pinned_write_sites\": %llu, \"pinned_reader_runs\": %llu, "
+      "\"pinned_views_verified\": %llu}\n",
+      device,
       (unsigned long long)r.write_sites, (unsigned long long)r.read_sites,
       (unsigned long long)r.open_read_sites, (unsigned long long)r.tear_modes,
       (unsigned long long)r.runs, (unsigned long long)r.crashes,
@@ -49,6 +70,9 @@ int main(int argc, char** argv) {
       (unsigned long long)r.preinit_reopen_failures,
       (unsigned long long)r.retried_opens,
       (unsigned long long)r.orphans_reclaimed,
-      (unsigned long long)r.pages_healed);
+      (unsigned long long)r.pages_healed,
+      (unsigned long long)r.pinned_write_sites,
+      (unsigned long long)r.pinned_reader_runs,
+      (unsigned long long)r.pinned_views_verified);
   return 0;
 }

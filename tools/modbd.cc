@@ -6,8 +6,8 @@
 //
 //   modbd [--port=0] [--host=127.0.0.1] [--thread-budget=64]
 //         [--queue-capacity=64] [--flights=64] [--seed=99]
-//         [--live=NAME] [--store=PATH] [--merge-interval-ms=500]
-//         [--seal-units=0]
+//         [--live=NAME] [--store=PATH] [--device=file|mmap]
+//         [--merge-interval-ms=500] [--seal-units=0]
 //
 // --live=NAME additionally registers an empty live relation NAME
 // (schema {id: string, trail: mpoint}) as an ingest target for
@@ -17,7 +17,10 @@
 // (printing "modbd recovered epoch E (N objects)"), a missing one is
 // created, and the SIGTERM drain seals every tail and commits one
 // final epoch before exit — restart with the same --store resumes
-// bitwise-identically.
+// bitwise-identically. --device picks the PageDevice backing the store
+// (default file; mmap serves reads zero-copy out of a shared mapping);
+// both kinds write the identical format, so a store created under one
+// reopens under the other.
 //
 // Prints exactly one line "modbd listening on HOST:PORT" once ready —
 // scripts (verify.sh) parse the ephemeral port from it.
@@ -72,6 +75,7 @@ int main(int argc, char** argv) {
   long seal_units = 0;
   std::string live_name;
   std::string store_path;
+  modb::StoreDeviceKind device = modb::StoreDeviceKind::kFile;
   for (int i = 1; i < argc; ++i) {
     long v;
     std::string s;
@@ -91,6 +95,16 @@ int main(int argc, char** argv) {
       live_name = s;
     } else if (ParseStr(argv[i], "--store", &s)) {
       store_path = s;
+    } else if (ParseStr(argv[i], "--device", &s)) {
+      if (s == "file") {
+        device = modb::StoreDeviceKind::kFile;
+      } else if (s == "mmap") {
+        device = modb::StoreDeviceKind::kMmap;
+      } else {
+        std::fprintf(stderr, "modbd: unknown --device=%s (file|mmap)\n",
+                     s.c_str());
+        return 2;
+      }
     } else if (ParseInt(argv[i], "--merge-interval-ms", &v)) {
       merge_interval_ms = v < 1 ? 1 : v;
     } else if (ParseInt(argv[i], "--seal-units", &v)) {
@@ -100,8 +114,8 @@ int main(int argc, char** argv) {
                    "usage: modbd [--port=0] [--host=127.0.0.1] "
                    "[--thread-budget=64] [--queue-capacity=64] "
                    "[--flights=64] [--seed=99] [--live=NAME] "
-                   "[--store=PATH] [--merge-interval-ms=500] "
-                   "[--seal-units=0]\n");
+                   "[--store=PATH] [--device=file|mmap] "
+                   "[--merge-interval-ms=500] [--seal-units=0]\n");
       return 2;
     }
   }
@@ -148,10 +162,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!store_path.empty()) {
+      modb::VersionedSpillStore::Options store_options;
+      store_options.device = device;
       modb::Result<modb::VersionedSpillStore> opened =
           FileExists(store_path)
-              ? modb::VersionedSpillStore::Open(store_path)
-              : modb::VersionedSpillStore::Create(store_path);
+              ? modb::VersionedSpillStore::Open(store_path, store_options)
+              : modb::VersionedSpillStore::Create(store_path, store_options);
       if (!opened.ok()) {
         std::fprintf(stderr, "modbd: opening store %s: %s\n",
                      store_path.c_str(),

@@ -24,16 +24,50 @@ declare -A preset_dirs=(
 # of a commit workload is crashed — hard fail and torn write — and
 # recovery must land on a committed state with zero leaked pages. Runs
 # on every fault-enabled preset (crashloop self-reports a skip on
-# nometrics, where the hooks are compiled out); the one-line JSON
-# summary is gated through json_check like the bench exports.
+# nometrics, where the hooks are compiled out) and on BOTH PageDevice
+# kinds — the two campaigns must produce byte-identical summaries,
+# since the devices write the same format and the recovery invariants
+# cannot depend on which one backed the store. The one-line JSON
+# summaries are gated through json_check like the bench exports.
 run_crashloop() {
   local preset="$1" dir="${preset_dirs[$1]:-build}"
   [ -x "$dir/tools/crashloop" ] || return 0
-  echo "==== [$preset] crash campaign ===="
-  local out="$dir/CRASHLOOP_${preset}.json"
-  "$dir/tools/crashloop" "$dir/crashloop_scratch.bin" | tee "$out"
-  "$dir/tools/json_check" "$out"
-  rm -f "$dir/crashloop_scratch.bin"
+  local device
+  for device in file mmap; do
+    echo "==== [$preset] crash campaign ($device device) ===="
+    local out="$dir/CRASHLOOP_${preset}_${device}.json"
+    "$dir/tools/crashloop" --device="$device" \
+      "$dir/crashloop_scratch.bin" | tee "$out"
+    "$dir/tools/json_check" "$out"
+    rm -f "$dir/crashloop_scratch.bin"
+  done
+  # Byte-identical apart from the self-describing "device" field.
+  diff <(sed 's/"device": "[a-z]*", //' \
+             "$dir/CRASHLOOP_${preset}_file.json") \
+       <(sed 's/"device": "[a-z]*", //' \
+             "$dir/CRASHLOOP_${preset}_mmap.json") || {
+    echo "crashloop: file and mmap campaigns diverged"
+    return 1
+  }
+}
+
+# Device smoke: re-run the device-parameterized spill/store/epoch
+# suites selecting one PageDevice kind at a time (the suites are
+# TEST_P over StoreDeviceKind; the instantiation names the params
+# "file" and "mmap", so a --device choice maps to a gtest filter).
+# ctest already ran both params interleaved — this pass proves each
+# kind also holds up in isolation, which is how modbd deploys it.
+run_device_smoke() {
+  local preset="$1" dir="${preset_dirs[$1]:-build}"
+  [ -x "$dir/tests/device_param_test" ] || return 0
+  local device
+  for device in file mmap; do
+    echo "==== [$preset] device smoke (--device=$device) ===="
+    "$dir/tests/device_param_test" --gtest_filter="*/${device}" \
+      --gtest_brief=1
+    "$dir/tests/epoch_pin_test" --gtest_filter="*/${device}" \
+      --gtest_brief=1
+  done
 }
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -44,6 +78,7 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   echo "==== [$preset] test ===="
   ctest --preset "$preset" -j "$jobs"
+  run_device_smoke "$preset"
   run_crashloop "$preset"
 done
 
@@ -83,13 +118,24 @@ run_perf_smoke() {
 echo "==== [release] configure + build (perf smoke) ===="
 cmake --preset release
 cmake --build --preset release -j "$jobs" \
-  --target bench_queries bench_batch bench_scaling bench_compare json_check
+  --target bench_queries bench_batch bench_scaling bench_storage \
+  bench_compare json_check
 
 echo "==== perf smoke (release build) ===="
 run_perf_smoke queries bench_queries \
   'BM_Q1_TrajectoryLength/64|BM_Q2_Join_RTree/64|BM_Q2_Join_RTree_Prebuilt/64'
 run_perf_smoke batch bench_batch \
   'BM_AtInstant_Batch/10000/1024|BM_AtInstant_Batch/16384/16384'
+
+# Storage device gate: warm page-granular scans through the buffer pool
+# on both PageDevice kinds, plus the 4-thread epoch-pinned reader bench.
+# bench_compare --storage enforces the single-threaded warm mmap/file
+# ratio floor (1.5x) unconditionally — it is honest on any host — and
+# warn-skips the reader throughput floor below 4 CPUs.
+run_perf_smoke storage bench_storage \
+  'BM_Serialize_MovingPoint/256|BM_SpilledScanWarm|BM_SpilledScanCold|BM_SpilledBlobScanWarm|BM_EpochPinnedReaders'
+"$release_dir/tools/bench_compare" --storage BENCH_storage.json \
+  --require-release
 
 # Thread-scaling sweep + gate: the pipelined Select+Join plan must hit
 # 2x at 4 threads vs 1 on hosts with >= 4 CPUs (bench_compare warns and
